@@ -1,0 +1,35 @@
+# Convenience targets for the reproduction repository.
+
+.PHONY: install test bench experiments report calibration examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+test-fast:
+	pytest tests/ -m "not slow"
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro all --quiet
+
+report:
+	python -m repro.report RESULTS.md
+
+calibration:
+	python tools/check_calibration.py
+
+examples:
+	python examples/quickstart.py
+	python examples/batch_server.py
+	python examples/power_cap_explorer.py
+	python examples/model_accuracy.py
+	python examples/schedule_explorer.py
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +; true
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info

@@ -1,0 +1,27 @@
+"""Benchmark harness helpers.
+
+Each benchmark regenerates one of the paper's tables/figures via its
+experiment driver, times it with pytest-benchmark, asserts the shape
+criteria, and prints the headline rows so a ``--benchmark-only -s`` run
+reproduces the paper's evaluation section end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Time an experiment driver once and return its result."""
+
+    def _run(fn, **kwargs):
+        result = benchmark.pedantic(
+            lambda: fn(**kwargs), rounds=1, iterations=1, warmup_rounds=0
+        )
+        print(f"\n[{result.name}] " + "  ".join(
+            f"{k}={v:.4g}" for k, v in result.headline.items()
+        ))
+        return result
+
+    return _run

@@ -1,0 +1,17 @@
+"""Benchmark: the design-choice ablation sweeps (beyond the paper)."""
+
+from repro.experiments import ablations
+
+
+def test_ablations(run_experiment):
+    result = run_experiment(ablations.run)
+    # The rendered report must contain all five studies.
+    text = result.render()
+    for title in (
+        "preference threshold",
+        "grid resolution",
+        "power-cap sweep",
+        "refinement passes",
+        "model-error cost",
+    ):
+        assert title in text

@@ -1,0 +1,49 @@
+"""Benchmarks for the beyond-the-paper extension studies."""
+
+from repro.experiments import capcontrol, robustness, scaling, splitting
+
+
+def test_capcontrol(run_experiment):
+    result = run_experiment(capcontrol.run)
+    h = result.headline
+    assert h["predictive_makespan_s"] <= h["reactive_makespan_s"]
+    assert h["predictive_overshoot_w"] < 2.0
+
+
+def test_splitting(run_experiment):
+    result = run_experiment(splitting.run)
+    assert result.headline["split_wins"] == 0.0
+
+
+def test_scaling(run_experiment):
+    result = run_experiment(scaling.run, sizes=(4, 8, 16))
+    assert result.headline["max_overhead_frac"] < 0.01
+
+
+def test_robustness(run_experiment):
+    result = run_experiment(robustness.run)
+    assert result.headline["sampled_vs_offline_makespan"] < 1.25
+    assert result.headline["hcs_over_astar"] >= 0.99
+
+
+def test_energy(run_experiment):
+    from repro.experiments import energy
+
+    result = run_experiment(energy.run)
+    h = result.headline
+    assert h["energy_energy_kj"] < h["performance_energy_kj"]
+
+
+def test_arrivals(run_experiment):
+    from repro.experiments import arrivals
+
+    result = run_experiment(arrivals.run)
+    assert result.headline["gap0_makespan_gain"] > 1.0
+
+
+def test_crossplatform(run_experiment):
+    from repro.experiments import crossplatform
+
+    result = run_experiment(lambda: crossplatform.run(n_random=5))
+    for prefix in ("ivy", "amd"):
+        assert result.headline[f"{prefix}_hcs_speedup"] > 1.0

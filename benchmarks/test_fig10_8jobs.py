@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 10 (8-instance scheduling study, 15 W)."""
+
+from repro.experiments import fig10
+
+
+def test_fig10_8jobs(run_experiment):
+    result = run_experiment(fig10.run)
+    h = result.headline
+    # Shape: Random < Default_C < Default_G < HCS <= HCS+ < lower bound.
+    assert 1.0 < h["default_c_speedup"] < h["default_g_speedup"]
+    assert h["default_g_speedup"] < h["hcs_speedup"]
+    assert h["hcs_speedup"] <= h["hcs+_speedup"] + 1e-9
+    assert h["hcs+_speedup"] < h["bound_speedup"]
+    # Magnitudes: paper reports +41% for HCS+ over Random, +9% over Default.
+    assert h["hcs+_speedup"] >= 1.25
+    assert h["hcs+_speedup"] / h["default_g_speedup"] >= 1.05

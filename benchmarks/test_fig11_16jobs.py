@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 11 (16-instance scalability study, 15 W)."""
+
+from repro.experiments import fig11
+
+
+def test_fig11_16jobs(run_experiment):
+    result = run_experiment(fig11.run)
+    h = result.headline
+    # The crossover: both Default variants fall below Random (paper: -21%/-9%).
+    assert h["default_c_speedup"] < 1.0
+    assert h["default_g_speedup"] < 1.0
+    # HCS scales (paper: +35% / +37%).
+    assert h["hcs_speedup"] >= 1.15
+    assert h["hcs+_speedup"] >= h["hcs_speedup"]
+    assert h["hcs+_speedup"] / h["default_g_speedup"] >= 1.30
+    assert h["hcs+_speedup"] < h["bound_speedup"]

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 2 (standalone CPU vs GPU performance)."""
+
+from repro.experiments import fig2
+
+
+def test_fig2_standalone(run_experiment):
+    result = run_experiment(fig2.run)
+    h = result.headline
+    # Paper's factors: 2.5x / 1.8x / 2.4x GPU-preferred; dwt2d 2.5x CPU.
+    assert 2.2 <= h["streamcluster_gpu_speedup"] <= 2.8
+    assert 1.5 <= h["cfd_gpu_speedup"] <= 2.1
+    assert 2.1 <= h["hotspot_gpu_speedup"] <= 2.7
+    assert 0.3 <= h["dwt2d_gpu_speedup"] <= 0.5

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figures 5/6 (co-run degradation spectra)."""
+
+from repro.experiments import fig5_fig6
+
+
+def test_fig5_fig6_spectrum(run_experiment):
+    result = run_experiment(fig5_fig6.run)
+    h = result.headline
+    assert 0.55 <= h["max_cpu_degradation"] <= 0.75   # paper ~65%
+    assert 0.38 <= h["max_gpu_degradation"] <= 0.52   # paper ~45%
+    assert h["max_cpu_degradation"] > h["max_gpu_degradation"]
+    assert h["high_demand_cpu_mean"] > h["high_demand_gpu_mean"]
+    assert h["mean_gpu_degradation"] > h["mean_cpu_degradation"]
+    assert h["frac_cpu_below_20pct"] >= 0.5

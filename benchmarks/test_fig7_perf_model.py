@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 7 (performance-model error distribution)."""
+
+from repro.experiments import fig7
+
+
+def test_fig7_perf_model(run_experiment):
+    result = run_experiment(fig7.run)
+    h = result.headline
+    assert 0.08 <= h["high_mean_error"] <= 0.20       # paper ~15%
+    assert 0.05 <= h["medium_mean_error"] <= 0.15     # paper ~11%
+    assert h["medium_mean_error"] < h["high_mean_error"]
+    assert 0.35 <= h["high_frac_below_10pct"] <= 0.70  # paper: ~half below 10%
+    assert h["high_frac_below_20pct"] >= 0.65          # paper: >70% below 20%

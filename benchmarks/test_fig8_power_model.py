@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 8 (power-model error distribution)."""
+
+from repro.experiments import fig8
+
+
+def test_fig8_power_model(run_experiment):
+    result = run_experiment(fig8.run)
+    h = result.headline
+    assert h["mean_error"] <= 0.04     # paper: 1.92% mean
+    assert h["max_error"] < 0.08       # paper: no error above 8%
+    assert h["frac_below_2pct"] >= 0.3 # paper: 69% below 2%

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 9 (1 Hz power traces vs the 16 W cap)."""
+
+from repro.experiments import fig9
+
+
+def test_fig9_power_trace(run_experiment):
+    result = run_experiment(fig9.run)
+    h = result.headline
+    # Paper: the cap is respected most of the time; overshoot < 2 W.
+    assert h["max_overshoot_w"] < 2.0
+    assert h["cap_w"] == 16.0

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate the Section III motivating example."""
+
+from repro.experiments import sec3_example
+
+
+def test_sec3_example(run_experiment):
+    result = run_experiment(sec3_example.run)
+    h = result.headline
+    # Pairing: dwt2d loses ~81% next to streamcluster, ~17% next to hotspot;
+    # the GPU co-runners lose ~5%.
+    assert 0.6 <= h["dwt2d_vs_streamcluster_cpu_slowdown"] <= 1.1
+    assert 0.10 <= h["dwt2d_vs_hotspot_cpu_slowdown"] <= 0.30
+    assert h["dwt2d_vs_streamcluster_gpu_slowdown"] <= 0.10
+    assert h["dwt2d_vs_hotspot_gpu_slowdown"] <= 0.10
+    # Frequency enumeration: best co-schedule ~2.3x better than worst.
+    assert 1.8 <= h["worst_over_best"] <= 4.0

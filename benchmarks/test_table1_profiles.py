@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Table I (profiles and preferences)."""
+
+from repro.experiments import table1
+
+
+def test_table1_profiles(run_experiment):
+    result = run_experiment(table1.run)
+    # All eight preference classifications must match the paper's row.
+    assert result.headline["preference_matches"] == 8.0

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Scenario: validating the co-run predictor before trusting its schedules.
+
+Walks the Section V modeling pipeline step by step:
+
+1. sweep the tunable micro-benchmark to characterize the degradation space
+   (Figures 5/6) and print the two surfaces;
+2. profile a held-out pair of programs standalone;
+3. predict their co-run times by staged interpolation;
+4. *measure* the same co-run on the simulator and compare.
+
+Run:  python examples/model_accuracy.py
+"""
+
+from repro import (
+    CoRunPredictor,
+    DeviceKind,
+    characterize_space,
+    make_ivy_bridge,
+    make_jobs,
+    profile_workload,
+    rodinia_programs,
+)
+from repro.engine.corun import steady_degradation
+from repro.util.asciiplot import surface
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    processor = make_ivy_bridge()
+
+    # Step 1: the micro-benchmark characterization sweep (121 short co-runs).
+    space = characterize_space(processor)
+    print(surface(space.cpu_grid.values, x_label="gpu GB/s", y_label="cpu GB/s",
+                  title="CPU degradation space (Figure 5)"))
+    print()
+    print(surface(space.gpu_grid.values, x_label="gpu GB/s", y_label="cpu GB/s",
+                  title="GPU degradation space (Figure 6)"))
+
+    # Step 2: standalone profiles (times, bandwidths, powers per level).
+    jobs = make_jobs(rodinia_programs())
+    table = profile_workload(processor, jobs)
+    predictor = CoRunPredictor(processor, table, space)
+
+    # Steps 3+4: predict vs measure for a few interesting pairs.
+    setting = processor.max_setting
+    rows = []
+    for cpu_uid, gpu_uid in [
+        ("dwt2d", "streamcluster"),   # the paper's worst-case pairing
+        ("dwt2d", "hotspot"),         # the benign pairing
+        ("lud", "cfd"),
+        ("leukocyte", "srad"),
+    ]:
+        pred_c, pred_g = predictor.corun_times(cpu_uid, gpu_uid, setting)
+        meas_c = table.time_s(cpu_uid, DeviceKind.CPU, setting.cpu_ghz) * (
+            1 + steady_degradation(
+                processor, table.job(cpu_uid).profile, DeviceKind.CPU,
+                table.job(gpu_uid).profile, setting,
+            )
+        )
+        meas_g = table.time_s(gpu_uid, DeviceKind.GPU, setting.gpu_ghz) * (
+            1 + steady_degradation(
+                processor, table.job(gpu_uid).profile, DeviceKind.GPU,
+                table.job(cpu_uid).profile, setting,
+            )
+        )
+        err = 0.5 * (abs(pred_c - meas_c) / meas_c + abs(pred_g - meas_g) / meas_g)
+        rows.append(
+            (f"{cpu_uid}+{gpu_uid}", pred_c, meas_c, pred_g, meas_g, 100 * err)
+        )
+
+    print()
+    print(format_table(
+        ["pair (cpu+gpu)", "pred cpu s", "meas cpu s", "pred gpu s",
+         "meas gpu s", "error %"],
+        rows,
+        ndigits=1,
+    ))
+    print(
+        "\nThe interpolation model sees only average standalone bandwidths; "
+        "phase bursts and per-program latency sensitivity are invisible to "
+        "it, which is exactly the ~15% error the paper reports (Figure 7)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Scenario: choosing a power cap for a thermally constrained deployment.
+
+Sweeps the chip power cap and reports, for the eight-program workload:
+
+* HCS+ throughput (makespan) and energy at each cap;
+* how placement preferences flip as the cap squeezes the CPU harder than
+  the GPU (lud is non-preferred at the 35 W envelope but GPU-preferred at
+  15 W — the interplay Definition 2.1 is about);
+* where the co-scheduling gain over Random is largest.
+
+Run:  python examples/power_cap_explorer.py
+"""
+
+from repro import CoScheduleRuntime, make_jobs, rodinia_programs
+from repro.core.categorize import job_preference
+from repro.util.tables import format_table
+
+CAPS_W = (12.0, 15.0, 18.0, 22.0, 28.0, 35.0)
+
+
+def main() -> None:
+    jobs = make_jobs(rodinia_programs())
+    rows = []
+    preference_flips = []
+    space = None
+    for cap in CAPS_W:
+        runtime = CoScheduleRuntime(jobs, cap_w=cap, space=space)
+        space = runtime.space  # characterize once, reuse across caps
+
+        random_mean = runtime.random_average(n=10).mean_makespan_s
+        outcome = runtime.run_hcs(refine=True)
+        rows.append(
+            (
+                f"{cap:.0f} W",
+                outcome.makespan_s,
+                random_mean / outcome.makespan_s,
+                outcome.execution.energy_j / 1e3,
+                outcome.execution.mean_power_w,
+            )
+        )
+        lud = next(j for j in jobs if j.uid == "lud")
+        preference_flips.append(
+            (f"{cap:.0f} W", job_preference(runtime.predictor, lud, cap).value)
+        )
+
+    print(
+        format_table(
+            ["cap", "hcs+ makespan (s)", "speedup/random", "energy (kJ)",
+             "mean power (W)"],
+            rows,
+            ndigits=2,
+        )
+    )
+    print("\nlud's processor preference across caps (threshold D = 20%):")
+    print(format_table(["cap", "preference"], preference_flips))
+    print(
+        "\nTight caps throttle the CPU (1.2-3.6 GHz span) much harder than "
+        "the GPU (0.35-1.25 GHz), so borderline programs drift GPU-ward as "
+        "the cap drops — one reason cap-aware scheduling beats static "
+        "placement."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: co-schedule the paper's eight-program workload under 15 W.
+
+Builds the full runtime (offline profiling + micro-benchmark space
+characterization + predictor), runs every scheduling policy from the paper,
+and prints their makespans and speedups over the Random baseline — a
+miniature Figure 10.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Bias, CoScheduleRuntime, make_jobs, rodinia_programs
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    # 1. The workload: eight OpenCL-like programs calibrated to the paper's
+    #    Table I (streamcluster ... heartwall).
+    jobs = make_jobs(rodinia_programs())
+    print(f"workload: {', '.join(j.uid for j in jobs)}")
+
+    # 2. The runtime owns the whole pipeline: standalone profiling at every
+    #    frequency level, one 11x11 micro-benchmark characterization sweep,
+    #    and the staged-interpolation co-run predictor.
+    runtime = CoScheduleRuntime(jobs, cap_w=15.0)
+    print(f"power cap: {runtime.cap_w} W  "
+          f"(chip can draw ~{runtime.processor.power.max_power(3.6, 1.25, 13.0):.0f} W uncapped)")
+
+    # 3. Schedule and execute with each policy.
+    random_mean = runtime.random_average(n=20).mean_makespan_s
+    outcomes = [
+        runtime.run_default(bias=Bias.CPU),
+        runtime.run_default(bias=Bias.GPU),
+        runtime.run_hcs(),
+        runtime.run_hcs(refine=True),
+    ]
+
+    rows = [("random (20 seeds)", random_mean, 1.0)]
+    for outcome in outcomes:
+        rows.append(
+            (outcome.policy, outcome.makespan_s, random_mean / outcome.makespan_s)
+        )
+    bound = runtime.lower_bound_s()
+    rows.append(("lower bound", bound, random_mean / bound))
+
+    print()
+    print(format_table(["policy", "makespan (s)", "speedup"], rows, ndigits=2))
+
+    # 4. Inspect the winning schedule.
+    best = outcomes[-1]
+    print("\nHCS+ schedule:")
+    print(best.schedule.describe())
+    print(f"\nscheduling took {best.scheduling_time_s * 1e3:.1f} ms "
+          f"({best.scheduling_time_s / best.makespan_s:.3%} of the makespan)")
+    print(f"mean chip power: {best.execution.mean_power_w:.1f} W")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Thin setup shim.
+
+The project metadata lives in pyproject.toml; this file exists so the
+package remains installable with legacy tooling (``pip install -e .`` in
+environments without the ``wheel`` package, e.g. offline boxes).
+"""
+
+from setuptools import setup
+
+setup()

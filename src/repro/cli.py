@@ -1,0 +1,61 @@
+"""Command-line entry point: ``python -m repro <experiment> [...]``.
+
+Runs one or more of the paper's experiments and prints their text
+renderings.  ``all`` runs everything in paper order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regenerate the tables and figures of 'Co-Run Scheduling with "
+            "Power Cap on Integrated CPU-GPU Systems' (IPDPS 2017)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        metavar="EXPERIMENT",
+        help=f"one or more of: {', '.join(EXPERIMENTS)}, or 'all'",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="print only headline metrics"
+    )
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    seen = set()
+    for name in names:
+        driver = EXPERIMENTS.get(name)
+        if driver is not None and driver in seen:  # fig5/fig6 share a driver
+            continue
+        if driver is not None:
+            seen.add(driver)
+        try:
+            t0 = time.perf_counter()
+            result = run_experiment(name)
+            elapsed = time.perf_counter() - t0
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        if args.quiet:
+            print(f"[{result.name}] " + "  ".join(
+                f"{k}={v:.4g}" for k, v in result.headline.items()
+            ))
+        else:
+            print(result.render())
+            print(f"\n({name} completed in {elapsed:.1f}s)\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

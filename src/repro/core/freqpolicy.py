@@ -1,0 +1,167 @@
+"""Power-cap frequency policies (governors).
+
+A governor answers: *given the jobs currently running, what frequency pair
+should the chip use?*  Three policies appear in the paper:
+
+* **GPU-biased** (Section VI-A): keep the GPU as fast as the cap allows,
+  sacrificing CPU frequency first — the default used with the Random and
+  Default baselines.
+* **CPU-biased**: the mirror image.
+* **HCS's model-driven choice** (Section IV-A.2): traverse every cap-
+  feasible setting and pick the best-performing one for the running pair.
+
+All three consult only the *predicted* power model — exactly the paper's
+setup, where the runtime cannot measure a co-run before launching it.  The
+small prediction error is why measured power occasionally overshoots the cap
+(Figure 9).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.hardware.device import DeviceKind
+from repro.hardware.frequency import FrequencySetting
+from repro.workload.program import Job
+from repro.model.predictor import CoRunPredictor
+
+
+class Bias(enum.Enum):
+    """Which device keeps its frequency under power pressure."""
+
+    GPU = "gpu"
+    CPU = "cpu"
+
+
+def _predicted_power(
+    predictor: CoRunPredictor,
+    cpu_job: Job | None,
+    gpu_job: Job | None,
+    setting: FrequencySetting,
+) -> float:
+    """Predicted chip power for an arbitrary running combination."""
+    if cpu_job is not None and gpu_job is not None:
+        return predictor.pair_power_w(cpu_job.uid, gpu_job.uid, setting)
+    if cpu_job is not None:
+        return predictor.solo_power_w(cpu_job.uid, DeviceKind.CPU, setting.cpu_ghz)
+    if gpu_job is not None:
+        return predictor.solo_power_w(gpu_job.uid, DeviceKind.GPU, setting.gpu_ghz)
+    raise ValueError("governor consulted with no running job")
+
+
+@dataclass
+class BiasedGovernor:
+    """GPU-biased or CPU-biased cap enforcement.
+
+    Maximizes the favoured device's frequency, then the other's, subject to
+    the predicted power staying at or below the cap.  Equivalent to the
+    paper's iterative lower/raise description, but solved directly.
+
+    Raises ``RuntimeError`` when even the lowest levels exceed the cap; the
+    default calibration's caps (15/16 W) always admit the floor setting.
+    """
+
+    predictor: CoRunPredictor
+    cap_w: float
+    bias: Bias = Bias.GPU
+    _cache: dict = field(default_factory=dict)
+
+    def __call__(self, cpu_job: Job | None, gpu_job: Job | None) -> FrequencySetting:
+        key = (
+            cpu_job.uid if cpu_job else None,
+            gpu_job.uid if gpu_job else None,
+        )
+        if key in self._cache:
+            return self._cache[key]
+        proc = self.predictor.processor
+        cpu_levels = list(proc.cpu.domain.levels)
+        gpu_levels = list(proc.gpu.domain.levels)
+
+        if self.bias is Bias.GPU:
+            outer = [FrequencySetting(fc, fg) for fg in reversed(gpu_levels)
+                     for fc in reversed(cpu_levels)]
+        else:
+            outer = [FrequencySetting(fc, fg) for fc in reversed(cpu_levels)
+                     for fg in reversed(gpu_levels)]
+        for setting in outer:
+            if _predicted_power(self.predictor, cpu_job, gpu_job, setting) <= self.cap_w:
+                self._cache[key] = setting
+                return setting
+        raise RuntimeError(
+            f"no frequency setting satisfies the {self.cap_w} W cap for "
+            f"({key[0]}, {key[1]})"
+        )
+
+
+@dataclass
+class ModelGovernor:
+    """HCS's per-pair frequency choice: best predicted performance under the cap.
+
+    For a co-running pair, picks the cap-feasible setting minimizing the
+    *sum* of the two predicted co-run times — the pair's aggregate
+    throughput.  (Minimizing the pair makespan instead is a trap: when one
+    side dominates, every frequency of the other side ties on makespan, and
+    the tie would be broken arbitrarily — possibly parking the faster
+    device at its floor.)  For a solo job, the cap-feasible level minimizing
+    its standalone time, with the idle device parked at its lowest level.
+    """
+
+    predictor: CoRunPredictor
+    cap_w: float
+    _cache: dict = field(default_factory=dict)
+
+    def __call__(self, cpu_job: Job | None, gpu_job: Job | None) -> FrequencySetting:
+        key = (
+            cpu_job.uid if cpu_job else None,
+            gpu_job.uid if gpu_job else None,
+        )
+        if key in self._cache:
+            return self._cache[key]
+        setting = self._choose(cpu_job, gpu_job)
+        self._cache[key] = setting
+        return setting
+
+    def _choose(self, cpu_job: Job | None, gpu_job: Job | None) -> FrequencySetting:
+        proc = self.predictor.processor
+        if cpu_job is not None and gpu_job is not None:
+            feasible = self.predictor.feasible_pair_settings(
+                cpu_job.uid, gpu_job.uid, self.cap_w
+            )
+            if not feasible:
+                raise RuntimeError(
+                    f"pair ({cpu_job.uid}, {gpu_job.uid}) infeasible under "
+                    f"{self.cap_w} W"
+                )
+            return min(
+                feasible,
+                key=lambda s: sum(
+                    self.predictor.corun_times(cpu_job.uid, gpu_job.uid, s)
+                ),
+            )
+        if cpu_job is not None:
+            f, _ = self.predictor.best_solo(cpu_job.uid, DeviceKind.CPU, self.cap_w)
+            return FrequencySetting(f, proc.gpu.domain.fmin)
+        if gpu_job is not None:
+            f, _ = self.predictor.best_solo(gpu_job.uid, DeviceKind.GPU, self.cap_w)
+            return FrequencySetting(proc.cpu.domain.fmin, f)
+        raise ValueError("governor consulted with no running job")
+
+    def min_pair_interference(
+        self, cpu_uid: str, gpu_uid: str
+    ) -> tuple[float, FrequencySetting] | None:
+        """Minimal predicted degradation sum over cap-feasible settings.
+
+        This is the ranking quantity of the heuristic's Step 3 ("traverses
+        all frequency settings allowed by the power cap to compute the
+        minimal degradation").  Returns ``None`` when no setting fits the
+        cap.
+        """
+        feasible = self.predictor.feasible_pair_settings(cpu_uid, gpu_uid, self.cap_w)
+        if not feasible:
+            return None
+        best_s = min(
+            feasible,
+            key=lambda s: sum(self.predictor.degradations(cpu_uid, gpu_uid, s)),
+        )
+        return sum(self.predictor.degradations(cpu_uid, gpu_uid, best_s)), best_s

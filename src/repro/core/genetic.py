@@ -1,0 +1,200 @@
+"""Genetic-algorithm co-scheduling (the paper's reference [23] approach).
+
+Phan et al. evolve co-schedules with a genetic algorithm on homogeneous
+clusters; this module adapts the idea to the Definition 2.1 search space so
+it can serve as a second search-based comparator (next to A*): a genome is
+a placement vector plus a priority permutation, decoded into two processor
+queues; fitness is the predicted makespan under the same cap-aware governor
+HCS uses.
+
+GA is the anytime middle ground between greedy HCS (instant, good) and A*
+(optimal, exponential): a few hundred fitness evaluations typically land
+within a few percent of A* on 8-job instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.workload.program import Job
+from repro.core.freqpolicy import ModelGovernor
+from repro.core.schedule import CoSchedule, predicted_makespan
+from repro.model.predictor import CoRunPredictor
+from repro.util.rng import default_rng
+
+
+@dataclass(frozen=True)
+class GaConfig:
+    """Population and operator settings."""
+
+    population: int = 40
+    generations: int = 30
+    elite: int = 4
+    crossover_rate: float = 0.8
+    mutation_rate: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.population < 2:
+            raise ValueError("population must be at least 2")
+        if not 0 <= self.elite < self.population:
+            raise ValueError("elite must fit inside the population")
+        for name in ("crossover_rate", "mutation_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability")
+
+
+@dataclass
+class _Genome:
+    """placement[i] True -> CPU; priority: order within each queue."""
+
+    placement: np.ndarray
+    priority: np.ndarray
+
+
+class GeneticScheduler:
+    """Evolve two-queue co-schedules under the predicted model."""
+
+    def __init__(
+        self,
+        predictor: CoRunPredictor,
+        jobs: Sequence[Job],
+        cap_w: float,
+        *,
+        config: GaConfig | None = None,
+        seed=None,
+    ) -> None:
+        if not jobs:
+            raise ValueError("cannot schedule an empty job set")
+        self.jobs = list(jobs)
+        if len({j.uid for j in self.jobs}) != len(self.jobs):
+            raise ValueError("job uids must be unique")
+        self.predictor = predictor
+        self.cap_w = cap_w
+        self.config = config if config is not None else GaConfig()
+        self.rng = default_rng(seed)
+        self.governor = ModelGovernor(predictor, cap_w)
+        self._fitness_cache: dict[tuple, float] = {}
+
+    # ------------------------------------------------------------------
+    def _decode(self, genome: _Genome) -> CoSchedule:
+        order = np.argsort(genome.priority, kind="stable")
+        cpu = [self.jobs[i] for i in order if genome.placement[i]]
+        gpu = [self.jobs[i] for i in order if not genome.placement[i]]
+        return CoSchedule(cpu_queue=tuple(cpu), gpu_queue=tuple(gpu))
+
+    def _fitness(self, genome: _Genome) -> float:
+        key = (genome.placement.tobytes(), genome.priority.tobytes())
+        if key not in self._fitness_cache:
+            schedule = self._decode(genome)
+            self._fitness_cache[key] = predicted_makespan(
+                schedule, self.predictor, self.governor
+            )
+        return self._fitness_cache[key]
+
+    def _random_genome(self) -> _Genome:
+        n = len(self.jobs)
+        return _Genome(
+            placement=self.rng.random(n) < 0.5,
+            priority=self.rng.permutation(n).astype(np.int64),
+        )
+
+    def _crossover(self, a: _Genome, b: _Genome) -> _Genome:
+        n = len(self.jobs)
+        mask = self.rng.random(n) < 0.5
+        placement = np.where(mask, a.placement, b.placement)
+        # Order crossover on the priority permutation: keep a's relative
+        # order for masked positions, fill the rest in b's order.
+        child = np.empty(n, dtype=np.int64)
+        a_rank = np.argsort(a.priority, kind="stable")
+        b_rank = np.argsort(b.priority, kind="stable")
+        picked = set(int(i) for i in a_rank[: n // 2])
+        sequence = [int(i) for i in a_rank[: n // 2]] + [
+            int(i) for i in b_rank if int(i) not in picked
+        ]
+        for rank, idx in enumerate(sequence):
+            child[idx] = rank
+        return _Genome(placement=placement, priority=child)
+
+    def _mutate(self, genome: _Genome) -> _Genome:
+        n = len(self.jobs)
+        placement = genome.placement.copy()
+        priority = genome.priority.copy()
+        if self.rng.random() < self.config.mutation_rate:
+            placement[int(self.rng.integers(n))] ^= True
+        if n >= 2 and self.rng.random() < self.config.mutation_rate:
+            i, j = self.rng.choice(n, size=2, replace=False)
+            priority[i], priority[j] = priority[j], priority[i]
+        return _Genome(placement=placement, priority=priority)
+
+    # ------------------------------------------------------------------
+    def evolve(
+        self, *, seed_schedule: CoSchedule | None = None
+    ) -> tuple[CoSchedule, float]:
+        """Run the GA; returns the best schedule and its predicted makespan.
+
+        ``seed_schedule`` (e.g. HCS's output) is injected into the initial
+        population — memetic seeding, which in practice lets the GA act as
+        a *refiner* of the heuristic.
+        """
+        cfg = self.config
+        population = [self._random_genome() for _ in range(cfg.population)]
+        if seed_schedule is not None:
+            population[0] = self._encode(seed_schedule)
+
+        for _ in range(cfg.generations):
+            population.sort(key=self._fitness)
+            next_gen = population[: cfg.elite]
+            while len(next_gen) < cfg.population:
+                a, b = self._tournament(population), self._tournament(population)
+                child = (
+                    self._crossover(a, b)
+                    if self.rng.random() < cfg.crossover_rate
+                    else a
+                )
+                next_gen.append(self._mutate(child))
+            population = next_gen
+
+        best = min(population, key=self._fitness)
+        return self._decode(best), self._fitness(best)
+
+    def _tournament(self, population: list[_Genome], k: int = 3) -> _Genome:
+        picks = self.rng.choice(len(population), size=min(k, len(population)),
+                                replace=False)
+        return min((population[int(i)] for i in picks), key=self._fitness)
+
+    def _encode(self, schedule: CoSchedule) -> _Genome:
+        uid_to_idx = {j.uid: i for i, j in enumerate(self.jobs)}
+        n = len(self.jobs)
+        placement = np.zeros(n, dtype=bool)
+        priority = np.zeros(n, dtype=np.int64)
+        rank = 0
+        for job in schedule.cpu_queue:
+            placement[uid_to_idx[job.uid]] = True
+            priority[uid_to_idx[job.uid]] = rank
+            rank += 1
+        for job in schedule.gpu_queue:
+            priority[uid_to_idx[job.uid]] = rank
+            rank += 1
+        for job, _ in schedule.solo_tail:
+            priority[uid_to_idx[job.uid]] = rank
+            rank += 1
+        return _Genome(placement=placement, priority=priority)
+
+
+def genetic_schedule(
+    predictor: CoRunPredictor,
+    jobs: Sequence[Job],
+    cap_w: float,
+    *,
+    config: GaConfig | None = None,
+    seed=None,
+    seed_schedule: CoSchedule | None = None,
+) -> tuple[CoSchedule, float]:
+    """Convenience wrapper around :class:`GeneticScheduler`."""
+    return GeneticScheduler(
+        predictor, jobs, cap_w, config=config, seed=seed
+    ).evolve(seed_schedule=seed_schedule)

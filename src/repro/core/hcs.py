@@ -1,0 +1,96 @@
+"""HCS / HCS+ facade: the complete heuristic co-scheduling algorithm.
+
+Wires the three steps together (Sections IV-A.1/2) and optionally the post
+refinement (IV-A.3):
+
+1. :func:`repro.core.partition.partition_jobs` — S_co vs S_seq via the
+   Co-Run Theorem over cap-feasible settings;
+2. :func:`repro.core.categorize.categorize_jobs` — preference sets with
+   threshold D;
+3. :func:`repro.core.greedy.greedy_schedule` — greedy minimum-interference
+   pairing; S_seq jobs are appended as a solo tail, each on its best
+   cap-feasible processor.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.hardware.device import DeviceKind
+from repro.workload.program import Job
+from repro.core.categorize import DEFAULT_THRESHOLD, Categorized, categorize_jobs
+from repro.core.freqpolicy import ModelGovernor
+from repro.core.greedy import greedy_schedule
+from repro.core.partition import Partition, partition_jobs
+from repro.core.refine import refine_schedule
+from repro.core.schedule import CoSchedule, predicted_makespan
+from repro.model.predictor import CoRunPredictor
+
+
+@dataclass(frozen=True)
+class HcsResult:
+    """The heuristic's output plus its intermediate artifacts."""
+
+    schedule: CoSchedule
+    partition: Partition
+    categorized: Categorized
+    governor: ModelGovernor
+    predicted_makespan_s: float
+    scheduling_time_s: float
+
+
+def _best_solo_kind(
+    predictor: CoRunPredictor, job: Job, cap_w: float
+) -> DeviceKind:
+    """The processor delivering the job's best cap-feasible standalone time."""
+    times = {}
+    for kind in DeviceKind:
+        try:
+            times[kind] = predictor.best_solo(job.uid, kind, cap_w)[1]
+        except ValueError:
+            continue
+    if not times:
+        raise ValueError(f"{job.uid} cannot run under the cap on either device")
+    return min(times, key=times.get)
+
+
+def hcs_schedule(
+    predictor: CoRunPredictor,
+    jobs: Sequence[Job],
+    cap_w: float,
+    *,
+    refine: bool = False,
+    threshold: float = DEFAULT_THRESHOLD,
+    seed: int | np.random.Generator | None = None,
+) -> HcsResult:
+    """Compute an HCS (or, with ``refine=True``, HCS+) co-schedule."""
+    if not jobs:
+        raise ValueError("cannot schedule an empty job set")
+    t0 = time.perf_counter()
+    governor = ModelGovernor(predictor, cap_w)
+
+    part = partition_jobs(predictor, jobs, cap_w)
+    cat = categorize_jobs(predictor, part.co, cap_w, threshold=threshold)
+    cpu_order, gpu_order = greedy_schedule(predictor, cat, cap_w, governor)
+    solo = tuple(
+        (job, _best_solo_kind(predictor, job, cap_w)) for job in part.seq
+    )
+    schedule = CoSchedule(
+        cpu_queue=tuple(cpu_order), gpu_queue=tuple(gpu_order), solo_tail=solo
+    )
+    if refine:
+        schedule = refine_schedule(schedule, predictor, governor, seed=seed)
+    elapsed = time.perf_counter() - t0
+
+    return HcsResult(
+        schedule=schedule,
+        partition=part,
+        categorized=cat,
+        governor=governor,
+        predicted_makespan_s=predicted_makespan(schedule, predictor, governor),
+        scheduling_time_s=elapsed,
+    )

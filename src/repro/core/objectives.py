@@ -1,0 +1,118 @@
+"""Alternative scheduling objectives: energy and energy-delay product.
+
+Definition 2.1 minimizes the makespan, but the power-cap setting naturally
+raises the energy question (the related work's co-scheduling-for-energy line
+[18, 22]).  This module adds:
+
+* objective evaluators over measured executions (makespan, energy, EDP);
+* :class:`EnergyAwareGovernor` — a drop-in replacement for the HCS
+  governor that picks, among cap-feasible frequency settings, the one
+  minimizing the *predicted energy to complete the running pair* instead of
+  the predicted completion time.
+
+Low frequencies are disproportionately energy-efficient (dynamic power
+falls with ``f * V(f)^2`` while run time grows only with ``1/f``), so the
+energy-optimal operating point sits well below the cap — the experiment in
+``repro.experiments.energy`` quantifies the throughput/energy trade the
+two governors span.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.hardware.device import DeviceKind
+from repro.hardware.frequency import FrequencySetting
+from repro.workload.program import Job
+from repro.engine.timeline import ScheduleExecution
+from repro.model.predictor import CoRunPredictor
+
+
+class Objective(enum.Enum):
+    """What a schedule is scored on."""
+
+    MAKESPAN = "makespan"
+    ENERGY = "energy"
+    EDP = "edp"
+
+
+def score_execution(execution: ScheduleExecution, objective: Objective) -> float:
+    """Score a measured execution under an objective (lower is better)."""
+    if objective is Objective.MAKESPAN:
+        return execution.makespan_s
+    if objective is Objective.ENERGY:
+        return execution.energy_j
+    return execution.energy_j * execution.makespan_s
+
+
+@dataclass
+class EnergyAwareGovernor:
+    """Cap-feasible frequency choice minimizing predicted pair energy.
+
+    The predicted energy to complete a co-running pair is approximated as
+    the predicted chip power times the summed predicted co-run times (both
+    jobs must finish; power is roughly constant while they overlap).  Solo
+    jobs minimize ``chip power x standalone time``.
+    """
+
+    predictor: CoRunPredictor
+    cap_w: float
+    _cache: dict = field(default_factory=dict)
+
+    def __call__(self, cpu_job: Job | None, gpu_job: Job | None) -> FrequencySetting:
+        key = (
+            cpu_job.uid if cpu_job else None,
+            gpu_job.uid if gpu_job else None,
+        )
+        if key in self._cache:
+            return self._cache[key]
+        setting = self._choose(cpu_job, gpu_job)
+        self._cache[key] = setting
+        return setting
+
+    def _pair_energy(self, cpu_uid: str, gpu_uid: str, s: FrequencySetting) -> float:
+        power = self.predictor.pair_power_w(cpu_uid, gpu_uid, s)
+        t_c, t_g = self.predictor.corun_times(cpu_uid, gpu_uid, s)
+        return power * (t_c + t_g)
+
+    def _choose(self, cpu_job: Job | None, gpu_job: Job | None) -> FrequencySetting:
+        proc = self.predictor.processor
+        if cpu_job is not None and gpu_job is not None:
+            feasible = self.predictor.feasible_pair_settings(
+                cpu_job.uid, gpu_job.uid, self.cap_w
+            )
+            if not feasible:
+                raise RuntimeError(
+                    f"pair ({cpu_job.uid}, {gpu_job.uid}) infeasible under "
+                    f"{self.cap_w} W"
+                )
+            return min(
+                feasible,
+                key=lambda s: self._pair_energy(cpu_job.uid, gpu_job.uid, s),
+            )
+        if cpu_job is not None:
+            levels = self.predictor.feasible_solo_levels(
+                cpu_job.uid, DeviceKind.CPU, self.cap_w
+            )
+            best = min(
+                levels,
+                key=lambda f: self.predictor.solo_power_w(
+                    cpu_job.uid, DeviceKind.CPU, f
+                )
+                * self.predictor.solo_time(cpu_job.uid, DeviceKind.CPU, f),
+            )
+            return FrequencySetting(best, proc.gpu.domain.fmin)
+        if gpu_job is not None:
+            levels = self.predictor.feasible_solo_levels(
+                gpu_job.uid, DeviceKind.GPU, self.cap_w
+            )
+            best = min(
+                levels,
+                key=lambda f: self.predictor.solo_power_w(
+                    gpu_job.uid, DeviceKind.GPU, f
+                )
+                * self.predictor.solo_time(gpu_job.uid, DeviceKind.GPU, f),
+            )
+            return FrequencySetting(proc.cpu.domain.fmin, best)
+        raise ValueError("governor consulted with no running job")

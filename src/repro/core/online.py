@@ -1,0 +1,104 @@
+"""Online scheduling policies for open (arrival-driven) systems.
+
+Two policies for :func:`repro.engine.arrivals.execute_with_arrivals`:
+
+* :class:`FifoOnlinePolicy` — arrival order, placed on whichever processor
+  asks (the naive work-conserving server);
+* :class:`HcsOnlinePolicy` — the paper's greedy rule applied online: among
+  *arrived* jobs, fill a processor from its preferred candidates first,
+  choose the least predicted interference with the current co-runner, and
+  decline a placement on the wrong processor when the job's relative
+  slowdown there is too high (the batch scheduler's steal guard, adapted
+  to the open setting where future arrivals are unknown).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.device import DeviceKind
+from repro.workload.program import Job
+from repro.core.categorize import DEFAULT_THRESHOLD
+from repro.core.freqpolicy import ModelGovernor
+from repro.model.predictor import CoRunPredictor
+
+
+@dataclass
+class FifoOnlinePolicy:
+    """First-come first-served, any processor that asks gets the head job."""
+
+    def __call__(
+        self, kind: DeviceKind, available: list[Job], other: Job | None, now: float
+    ) -> Job | None:
+        return available[0] if available else None
+
+
+@dataclass
+class HcsOnlinePolicy:
+    """The heuristic's Step 2+3 rules applied to the arrived-job pool.
+
+    ``steal_ratio_limit`` bounds how much slower than its preferred
+    processor a job may run when placed on the other one; with unknown
+    future arrivals there is no horizon to compare against, so a fixed
+    ratio plays the steal guard's role (2.0 ~ "at most twice as slow").
+    """
+
+    predictor: CoRunPredictor
+    cap_w: float
+    threshold: float = DEFAULT_THRESHOLD
+    steal_ratio_limit: float = 2.0
+    _governor: ModelGovernor = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._governor = ModelGovernor(self.predictor, self.cap_w)
+
+    def _best_time(self, job: Job, kind: DeviceKind) -> float:
+        try:
+            return self.predictor.best_solo(job.uid, kind, self.cap_w)[1]
+        except ValueError:
+            return float("inf")
+
+    def _prefers(self, job: Job, kind: DeviceKind) -> bool:
+        own = self._best_time(job, kind)
+        other = self._best_time(job, kind.other)
+        if own == float("inf"):
+            return False
+        if other == float("inf"):
+            return True
+        diff = abs(own - other) / min(own, other)
+        return diff <= self.threshold or own < other
+
+    def _interference(self, job: Job, kind: DeviceKind, other: Job) -> float:
+        pair = (
+            (job.uid, other.uid) if kind is DeviceKind.CPU else (other.uid, job.uid)
+        )
+        ranked = self._governor.min_pair_interference(*pair)
+        return ranked[0] if ranked is not None else float("inf")
+
+    def __call__(
+        self, kind: DeviceKind, available: list[Job], other: Job | None, now: float
+    ) -> Job | None:
+        if not available:
+            return None
+        preferred = [j for j in available if self._prefers(j, kind)]
+        if preferred:
+            candidates = preferred
+        else:
+            # Only wrong-processor jobs are available: take one only if the
+            # relative penalty is acceptable; otherwise stay idle and let
+            # the right processor (or a better arrival) pick it up.
+            candidates = [
+                j
+                for j in available
+                if self._best_time(j, kind)
+                <= self.steal_ratio_limit * self._best_time(j, kind.other)
+            ]
+            if not candidates:
+                # Declining is safe even with both processors idle: an empty
+                # preferred set here means every available job is strictly
+                # faster on the other processor, whose own pick (asked in
+                # the same scheduling event) will take it.
+                return None
+        if other is None:
+            return max(candidates, key=lambda j: self._best_time(j, kind))
+        return min(candidates, key=lambda j: self._interference(j, kind, other))

@@ -1,0 +1,62 @@
+"""Step 1 of the heuristic: partition jobs into S_co and S_seq.
+
+A job joins S_co if *some* co-runner, placement, and cap-feasible frequency
+setting exists for which the Co-Run Theorem predicts the co-run beats
+sequential execution; otherwise it joins S_seq and will run alone on its
+best processor (Section IV-A.1, with the power-cap change of IV-A.2: the
+theorem is evaluated across all settings that satisfy the cap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.hardware.device import DeviceKind
+from repro.workload.program import Job
+from repro.core.theorem import corun_beneficial_theorem
+from repro.model.predictor import CoRunPredictor
+
+
+@dataclass(frozen=True)
+class Partition:
+    """The two disjoint job sets produced by Step 1."""
+
+    co: tuple[Job, ...]
+    seq: tuple[Job, ...]
+
+
+def _pair_ever_beneficial(
+    predictor: CoRunPredictor,
+    cpu_job: Job,
+    gpu_job: Job,
+    cap_w: float,
+) -> bool:
+    """Does any cap-feasible setting make this placement's co-run beneficial?"""
+    for setting in predictor.feasible_pair_settings(cpu_job.uid, gpu_job.uid, cap_w):
+        l_c = predictor.solo_time(cpu_job.uid, DeviceKind.CPU, setting.cpu_ghz)
+        l_g = predictor.solo_time(gpu_job.uid, DeviceKind.GPU, setting.gpu_ghz)
+        d_c, d_g = predictor.degradations(cpu_job.uid, gpu_job.uid, setting)
+        if corun_beneficial_theorem(l_c, d_c, l_g, d_g):
+            return True
+    return False
+
+
+def partition_jobs(
+    predictor: CoRunPredictor, jobs: Sequence[Job], cap_w: float
+) -> Partition:
+    """Split ``jobs`` into co-run candidates and run-alone jobs."""
+    co: list[Job] = []
+    seq: list[Job] = []
+    for job in jobs:
+        beneficial = False
+        for other in jobs:
+            if other.uid == job.uid:
+                continue
+            if _pair_ever_beneficial(predictor, job, other, cap_w) or (
+                _pair_ever_beneficial(predictor, other, job, cap_w)
+            ):
+                beneficial = True
+                break
+        (co if beneficial else seq).append(job)
+    return Partition(co=tuple(co), seq=tuple(seq))

@@ -1,0 +1,183 @@
+"""The co-scheduling runtime facade.
+
+One object that owns the whole pipeline of the paper's prototype runtime:
+profile the workload standalone, characterize the degradation space once,
+build the predictor, compute schedules with any of the five policies
+(Random, Default_G, Default_C, HCS, HCS+), execute them on the ground-truth
+engine, and report makespans, speedups, power traces, and the lower bound.
+
+This is the main entry point for library users::
+
+    from repro import CoScheduleRuntime, make_jobs, rodinia_programs
+
+    runtime = CoScheduleRuntime(make_jobs(rodinia_programs()), cap_w=15.0)
+    hcs = runtime.run_hcs(refine=True)
+    random_mean = runtime.random_average(n=20).mean_makespan_s
+    print(random_mean / hcs.makespan_s)   # speedup over Random
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.hardware.calibration import DEFAULT_POWER_CAP_W, make_ivy_bridge
+from repro.hardware.processor import IntegratedProcessor
+from repro.workload.program import Job
+from repro.engine.multiprog import DEFAULT_CS_OVERHEAD, execute_default_schedule
+from repro.engine.timeline import (
+    ScheduleExecution,
+    execute_online,
+    execute_schedule,
+)
+from repro.model.characterize import characterize_space
+from repro.model.predictor import CoRunPredictor
+from repro.model.profiler import profile_workload
+from repro.model.space import DegradationSpace
+from repro.core.baselines import (
+    RandomOnlineSource,
+    default_partition,
+    random_schedule,
+)
+from repro.core.bounds import lower_bound
+from repro.core.freqpolicy import Bias, BiasedGovernor, ModelGovernor
+from repro.core.hcs import HcsResult, hcs_schedule
+from repro.core.schedule import CoSchedule
+from repro.util.rng import default_rng, spawn_rng
+
+
+@dataclass(frozen=True)
+class ScheduleOutcome:
+    """A schedule plus its measured (simulated ground-truth) execution."""
+
+    policy: str
+    schedule: CoSchedule | None
+    execution: ScheduleExecution
+    scheduling_time_s: float = 0.0
+
+    @property
+    def makespan_s(self) -> float:
+        return self.execution.makespan_s
+
+
+@dataclass(frozen=True)
+class RandomAverage:
+    """Aggregate of repeated Random-baseline runs (the paper uses 20)."""
+
+    outcomes: tuple[ScheduleOutcome, ...]
+
+    @property
+    def mean_makespan_s(self) -> float:
+        return float(np.mean([o.makespan_s for o in self.outcomes]))
+
+
+class CoScheduleRuntime:
+    """End-to-end co-scheduling runtime over one processor and job set."""
+
+    def __init__(
+        self,
+        jobs: Sequence[Job],
+        *,
+        processor: IntegratedProcessor | None = None,
+        cap_w: float = DEFAULT_POWER_CAP_W,
+        space: DegradationSpace | None = None,
+    ) -> None:
+        if not jobs:
+            raise ValueError("need at least one job")
+        self.processor = processor if processor is not None else make_ivy_bridge()
+        self.jobs = tuple(jobs)
+        self.cap_w = cap_w
+        self.table = profile_workload(self.processor, self.jobs)
+        self.space = (
+            space if space is not None else characterize_space(self.processor)
+        )
+        self.predictor = CoRunPredictor(self.processor, self.table, self.space)
+
+    # ------------------------------------------------------------------
+    # Policies
+    # ------------------------------------------------------------------
+    def run_hcs(
+        self, *, refine: bool = False, seed=None, threshold: float | None = None
+    ) -> ScheduleOutcome:
+        """HCS (or HCS+ with ``refine=True``): schedule, then execute."""
+        kwargs = {}
+        if threshold is not None:
+            kwargs["threshold"] = threshold
+        result: HcsResult = hcs_schedule(
+            self.predictor, self.jobs, self.cap_w, refine=refine, seed=seed, **kwargs
+        )
+        execution = execute_schedule(
+            self.processor,
+            result.schedule.cpu_queue,
+            result.schedule.gpu_queue,
+            result.governor,
+            solo_tail=result.schedule.solo_tail,
+        )
+        return ScheduleOutcome(
+            policy="hcs+" if refine else "hcs",
+            schedule=result.schedule,
+            execution=execution,
+            scheduling_time_s=result.scheduling_time_s,
+        )
+
+    def run_random(self, *, seed=None, bias: Bias = Bias.GPU) -> ScheduleOutcome:
+        """One Random-baseline sample: online random picks under a biased
+        cap policy (the paper's semantics — an idle processor grabs a random
+        remaining job, or is occasionally left idle)."""
+        source = RandomOnlineSource(self.jobs, seed=seed)
+        governor = BiasedGovernor(self.predictor, self.cap_w, bias)
+        execution = execute_online(self.processor, source, governor)
+        return ScheduleOutcome(policy="random", schedule=None, execution=execution)
+
+    def random_average(
+        self, *, n: int = 20, seed=None, bias: Bias = Bias.GPU
+    ) -> RandomAverage:
+        """Average of ``n`` Random runs with independent seeds (paper: 20)."""
+        rng = default_rng(seed)
+        outcomes = tuple(
+            self.run_random(seed=r, bias=bias) for r in spawn_rng(rng, n)
+        )
+        return RandomAverage(outcomes=outcomes)
+
+    def run_default(
+        self,
+        *,
+        bias: Bias = Bias.GPU,
+        cs_overhead: float = DEFAULT_CS_OVERHEAD,
+    ) -> ScheduleOutcome:
+        """Default baseline (Default_G / Default_C by ``bias``)."""
+        part = default_partition(self.table, self.jobs)
+        governor = BiasedGovernor(self.predictor, self.cap_w, bias)
+        execution = execute_default_schedule(
+            self.processor,
+            part.cpu_partition,
+            part.gpu_partition,
+            governor,
+            cs_overhead=cs_overhead,
+        )
+        policy = "default_g" if bias is Bias.GPU else "default_c"
+        return ScheduleOutcome(policy=policy, schedule=None, execution=execution)
+
+    # ------------------------------------------------------------------
+    # Analysis helpers
+    # ------------------------------------------------------------------
+    def execute(self, schedule: CoSchedule, governor=None) -> ScheduleExecution:
+        """Execute an arbitrary schedule (defaults to the HCS governor)."""
+        if governor is None:
+            governor = ModelGovernor(self.predictor, self.cap_w)
+        return execute_schedule(
+            self.processor,
+            schedule.cpu_queue,
+            schedule.gpu_queue,
+            governor,
+            solo_tail=schedule.solo_tail,
+        )
+
+    def lower_bound_s(self, *, deg_source=None) -> float:
+        """The Section IV-B lower bound for this job set and cap."""
+        bound, _ = lower_bound(
+            self.predictor, self.jobs, self.cap_w, deg_source=deg_source
+        )
+        return bound

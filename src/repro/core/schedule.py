@@ -1,0 +1,135 @@
+"""Co-schedule representation and the scheduler-side (predicted) timeline.
+
+A :class:`CoSchedule` is the object every scheduling algorithm produces: an
+ordered CPU queue, an ordered GPU queue, and a *solo tail* of jobs that run
+alone at the end (the heuristic's S_seq).  The ground-truth engine executes
+it via :func:`repro.engine.timeline.execute_schedule`; the scheduler itself
+evaluates candidates with :func:`predicted_makespan`, which replays the same
+queue semantics using *predicted* degradations — the paper's runtime never
+touches the machine while searching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from collections.abc import Sequence
+
+from repro.hardware.device import DeviceKind
+from repro.workload.program import Job
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class CoSchedule:
+    """Two execution queues plus a run-alone tail (Definition 2.1 output)."""
+
+    cpu_queue: tuple[Job, ...] = ()
+    gpu_queue: tuple[Job, ...] = ()
+    solo_tail: tuple[tuple[Job, DeviceKind], ...] = ()
+
+    def __post_init__(self) -> None:
+        uids = self.all_uids()
+        if len(set(uids)) != len(uids):
+            raise ValueError("a job may appear only once in a co-schedule")
+
+    def all_uids(self) -> list[str]:
+        """Every scheduled job uid, in queue order."""
+        return (
+            [j.uid for j in self.cpu_queue]
+            + [j.uid for j in self.gpu_queue]
+            + [j.uid for j, _ in self.solo_tail]
+        )
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.cpu_queue) + len(self.gpu_queue) + len(self.solo_tail)
+
+    def with_queues(
+        self, cpu_queue: Sequence[Job], gpu_queue: Sequence[Job]
+    ) -> "CoSchedule":
+        """Copy with replaced co-phase queues (used by the refinement moves)."""
+        return replace(
+            self, cpu_queue=tuple(cpu_queue), gpu_queue=tuple(gpu_queue)
+        )
+
+    def describe(self) -> str:
+        """Human-readable one-line-per-processor rendering."""
+        lines = [
+            "CPU : " + " -> ".join(j.uid for j in self.cpu_queue),
+            "GPU : " + " -> ".join(j.uid for j in self.gpu_queue),
+        ]
+        if self.solo_tail:
+            lines.append(
+                "SOLO: "
+                + ", ".join(f"{j.uid}@{kind}" for j, kind in self.solo_tail)
+            )
+        return "\n".join(lines)
+
+
+def predicted_makespan(schedule: CoSchedule, predictor, governor) -> float:
+    """Makespan of ``schedule`` under the *predicted* performance model.
+
+    Mean-field replay: whenever jobs A (CPU) and B (GPU) overlap, each
+    progresses at ``1 / (l (1 + d))`` per second with ``d`` the predicted
+    steady degradation at the governor's chosen setting; a job running with
+    the other processor empty progresses at ``1 / l``.  This mirrors the
+    Co-Run Theorem's steady-state accounting, including the partial-overlap
+    correction of the Section IV-B side note (rates are re-evaluated when a
+    co-runner finishes).
+
+    ``predictor`` needs ``corun_times``/``solo_time``; ``governor`` maps a
+    (cpu job, gpu job) pair to the frequency setting (see
+    :mod:`repro.core.freqpolicy`).
+    """
+    cpu = list(schedule.cpu_queue)
+    gpu = list(schedule.gpu_queue)
+
+    # (job, remaining fraction) per side, or None when idle.
+    cur_c: tuple[Job, float] | None = None
+    cur_g: tuple[Job, float] | None = None
+    t = 0.0
+
+    while True:
+        if cur_c is None and cpu:
+            cur_c = (cpu.pop(0), 1.0)
+        if cur_g is None and gpu:
+            cur_g = (gpu.pop(0), 1.0)
+        if cur_c is None and cur_g is None:
+            break
+
+        setting = governor(cur_c[0] if cur_c else None, cur_g[0] if cur_g else None)
+        if cur_c is not None and cur_g is not None:
+            t_c, t_g = predictor.corun_times(cur_c[0].uid, cur_g[0].uid, setting)
+        elif cur_c is not None:
+            t_c = predictor.solo_time(cur_c[0].uid, DeviceKind.CPU, setting.cpu_ghz)
+            t_g = None
+        else:
+            t_g = predictor.solo_time(cur_g[0].uid, DeviceKind.GPU, setting.gpu_ghz)
+            t_c = None
+
+        # Wall time each running job still needs if conditions persist.
+        dt_candidates = []
+        if cur_c is not None:
+            dt_candidates.append(cur_c[1] * t_c)
+        if cur_g is not None:
+            dt_candidates.append(cur_g[1] * t_g)
+        dt = min(dt_candidates)
+
+        if cur_c is not None:
+            rem = cur_c[1] - dt / t_c
+            cur_c = None if rem <= _EPS else (cur_c[0], rem)
+        if cur_g is not None:
+            rem = cur_g[1] - dt / t_g
+            cur_g = None if rem <= _EPS else (cur_g[0], rem)
+        t += dt
+
+    for job, kind in schedule.solo_tail:
+        setting = governor(
+            job if kind is DeviceKind.CPU else None,
+            job if kind is DeviceKind.GPU else None,
+        )
+        f = setting.cpu_ghz if kind is DeviceKind.CPU else setting.gpu_ghz
+        t += predictor.solo_time(job.uid, kind, f)
+
+    return t

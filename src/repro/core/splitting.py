@@ -1,0 +1,112 @@
+"""Kernel-level job splitting analysis (the paper's deferred direction).
+
+Section II limits scheduling to whole jobs, citing Zhang et al. [31]: due to
+data-partitioning and communication overhead, splitting one kernel across
+CPU and GPU "often yields even worse performance than using a single
+processor".  This module implements the split model so that claim can be
+*checked* on the simulator rather than assumed:
+
+a split ratio ``alpha`` sends that fraction of a job's work to the CPU and
+the rest to the GPU; the two halves co-run (contending for memory like any
+pair), plus a synchronization/communication overhead proportional to the
+moved data.  :func:`best_split` scans the ratio grid and compares the best
+split against the better single-processor placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.device import DeviceKind
+from repro.hardware.frequency import FrequencySetting
+from repro.hardware.processor import IntegratedProcessor
+from repro.workload.program import ProgramProfile
+from repro.engine.corun import corun_pair
+from repro.engine.standalone import standalone_run
+from repro.util.validation import check_in_range, check_nonnegative
+
+#: Default synchronization/communication overhead: seconds added per GB of
+#: input handed to the minority device (partition + result merge traffic).
+DEFAULT_SYNC_S_PER_GB = 0.35
+
+
+@dataclass(frozen=True)
+class SplitOutcome:
+    """Result of evaluating one program's best split."""
+
+    program: str
+    best_alpha: float          # CPU share of the work (0 = GPU only)
+    split_makespan_s: float    # best split's finish time incl. sync cost
+    single_makespan_s: float   # better single-processor standalone time
+    single_kind: DeviceKind
+
+    @property
+    def split_wins(self) -> bool:
+        return self.split_makespan_s < self.single_makespan_s
+
+    @property
+    def gain(self) -> float:
+        """Relative improvement of the split over the single placement
+        (negative when splitting loses)."""
+        return 1.0 - self.split_makespan_s / self.single_makespan_s
+
+
+def split_makespan(
+    processor: IntegratedProcessor,
+    profile: ProgramProfile,
+    alpha: float,
+    setting: FrequencySetting,
+    *,
+    sync_s_per_gb: float = DEFAULT_SYNC_S_PER_GB,
+) -> float:
+    """Finish time of running ``alpha`` of the job on the CPU, the rest on
+    the GPU, with both halves co-running and a data-partitioning penalty."""
+    check_in_range("alpha", alpha, 0.0, 1.0)
+    check_nonnegative("sync_s_per_gb", sync_s_per_gb)
+    if alpha == 0.0:
+        return standalone_run(profile, processor.gpu, setting.gpu_ghz).time_s
+    if alpha == 1.0:
+        return standalone_run(profile, processor.cpu, setting.cpu_ghz).time_s
+    cpu_part = profile.scaled(alpha, name=f"{profile.name}~cpu")
+    gpu_part = profile.scaled(1.0 - alpha, name=f"{profile.name}~gpu")
+    result = corun_pair(processor, cpu_part, gpu_part, setting)
+    moved_gb = profile.bytes_gb * min(alpha, 1.0 - alpha)
+    return result.makespan_s + sync_s_per_gb * moved_gb
+
+
+def best_split(
+    processor: IntegratedProcessor,
+    profile: ProgramProfile,
+    *,
+    setting: FrequencySetting | None = None,
+    alphas=None,
+    sync_s_per_gb: float = DEFAULT_SYNC_S_PER_GB,
+) -> SplitOutcome:
+    """Scan split ratios and compare against the best single placement."""
+    if setting is None:
+        setting = processor.max_setting
+    if alphas is None:
+        alphas = np.linspace(0.0, 1.0, 11)
+
+    cpu_solo = standalone_run(profile, processor.cpu, setting.cpu_ghz).time_s
+    gpu_solo = standalone_run(profile, processor.gpu, setting.gpu_ghz).time_s
+    single_kind = DeviceKind.CPU if cpu_solo <= gpu_solo else DeviceKind.GPU
+    single = min(cpu_solo, gpu_solo)
+
+    best_alpha, best_time = 0.0, float("inf")
+    for alpha in alphas:
+        t = split_makespan(
+            processor, profile, float(alpha), setting,
+            sync_s_per_gb=sync_s_per_gb,
+        )
+        if t < best_time:
+            best_alpha, best_time = float(alpha), t
+    return SplitOutcome(
+        program=profile.name,
+        best_alpha=best_alpha,
+        split_makespan_s=best_time,
+        single_makespan_s=single,
+        single_kind=single_kind,
+    )

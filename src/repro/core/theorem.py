@@ -1,0 +1,92 @@
+"""The Co-Run Theorem and co-run length arithmetic (Section IV-A / IV-B).
+
+**Co-Run Theorem (paper).**  For jobs W1 and W2 with standalone lengths l1,
+l2 and co-run lengths ``l1 (1 + d1)``, ``l2 (1 + d2)``, ordered so that
+``l1 (1 + d1) >= l2 (1 + d2)``: the co-run yields higher throughput than
+running the jobs sequentially *iff* ``l1 * d1 < l2``.
+
+The theorem treats the longer job as degraded for its whole duration — the
+steady-state view appropriate when the shorter slot is continuously refilled
+by a scheduler.  For an isolated pair, the shorter job stops interfering
+when it finishes; :func:`corun_lengths` implements that exact partial-overlap
+accounting (the paper's Section IV-B side note; the formula printed there
+contains a typo — ``l*d`` where co-run lengths ``l*(1+d)`` are meant — and
+this module implements the corrected progress-based version).
+:func:`corun_beneficial_exact` compares makespans under the exact
+accounting; both predicates are exposed because the heuristic algorithm uses
+the theorem form while the lower bound and tests use the exact form.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_nonnegative, check_positive
+
+
+def _validate(l1: float, d1: float, l2: float, d2: float) -> None:
+    check_positive("l1", l1)
+    check_positive("l2", l2)
+    check_nonnegative("d1", d1)
+    check_nonnegative("d2", d2)
+
+
+def corun_lengths(l1: float, d1: float, l2: float, d2: float) -> tuple[float, float]:
+    """Exact completion times of two jobs co-started at time zero.
+
+    ``l_i`` are standalone lengths; ``d_i`` the fractional degradations each
+    suffers while the other is running.  The job with the shorter degraded
+    length finishes first (at its fully-degraded time); the survivor's
+    remaining work then proceeds at standalone speed:
+
+    If ``l2 (1 + d2) <= l1 (1 + d1)`` the finish times are::
+
+        t2 = l2 (1 + d2)
+        t1 = t2 + l1 (1 - t2 / (l1 (1 + d1))) = l1 + t2 * d1 / (1 + d1)
+
+    and symmetrically otherwise.
+    """
+    _validate(l1, d1, l2, d2)
+    t1_full = l1 * (1.0 + d1)
+    t2_full = l2 * (1.0 + d2)
+    if t2_full <= t1_full:
+        t2 = t2_full
+        t1 = l1 + t2 * d1 / (1.0 + d1)
+        return t1, t2
+    t1 = t1_full
+    t2 = l2 + t1 * d2 / (1.0 + d2)
+    return t1, t2
+
+
+def corun_makespan(l1: float, d1: float, l2: float, d2: float) -> float:
+    """Exact makespan of co-starting the pair (max of the two finish times)."""
+    t1, t2 = corun_lengths(l1, d1, l2, d2)
+    return max(t1, t2)
+
+
+def corun_beneficial_theorem(l1: float, d1: float, l2: float, d2: float) -> bool:
+    """The paper's Co-Run Theorem predicate.
+
+    Orders the two jobs by degraded length internally, then applies
+    ``l_long * d_long < l_short``.  This is the steady-state criterion the
+    heuristic's Step 1 uses to decide whether a job can ever benefit from
+    co-running.
+    """
+    _validate(l1, d1, l2, d2)
+    if l1 * (1.0 + d1) >= l2 * (1.0 + d2):
+        l_long, d_long, l_short = l1, d1, l2
+    else:
+        l_long, d_long, l_short = l2, d2, l1
+    return l_long * d_long < l_short
+
+
+def corun_beneficial_exact(l1: float, d1: float, l2: float, d2: float) -> bool:
+    """Whether co-starting the pair beats running it sequentially, exactly.
+
+    Uses the partial-overlap makespan of :func:`corun_makespan` against the
+    sequential makespan ``l1 + l2``.  Because interference stops when the
+    shorter job finishes, this predicate is *more permissive* than the
+    theorem form: any pair with finite degradations has co-run makespan
+    ``l_long + t_short * d_long / (1 + d_long) < l_long + l_short`` whenever
+    ``t_short * d_long / (1 + d_long) < l_short``, which holds strictly
+    unless degradations are extreme.
+    """
+    return corun_makespan(l1, d1, l2, d2) < l1 + l2

@@ -1,0 +1,52 @@
+"""Ground-truth execution engine.
+
+This subpackage is the reproduction's stand-in for *running programs on the
+real machine*: it turns program profiles plus an operating point into times,
+bandwidth demands, and powers.
+
+* :mod:`repro.engine.standalone` — solo runs (phase-resolved).
+* :mod:`repro.engine.corun` — steady-state co-run simulation of a CPU/GPU
+  pair with event-driven phase overlap; produces the measured degradations
+  and powers that the paper's model is judged against.
+* :mod:`repro.engine.timeline` — executes a complete co-schedule (two job
+  queues + a frequency governor) and reports makespan and power trace.
+* :mod:`repro.engine.multiprog` — CPU time-sharing semantics used by the
+  Default (Linux-like) baseline.
+
+The engine is *the machine*: scheduler-side code must never peek at profile
+internals (phases, sensitivities); it may only call the engine the way the
+paper's runtime could measure the hardware.
+"""
+
+from repro.engine.standalone import (
+    PhaseTiming,
+    StandaloneRun,
+    phase_timings,
+    solve_compute_base,
+    standalone_power_w,
+    standalone_run,
+)
+from repro.engine.corun import CoRunResult, corun_pair, steady_degradation
+from repro.engine.timeline import ScheduleExecution, execute_schedule
+from repro.engine.multiprog import execute_default_schedule
+from repro.engine.arrivals import ArrivalExecution, execute_with_arrivals
+from repro.engine.feedback import ReactiveCapController, execute_with_reactive_cap
+
+__all__ = [
+    "PhaseTiming",
+    "StandaloneRun",
+    "phase_timings",
+    "standalone_run",
+    "standalone_power_w",
+    "solve_compute_base",
+    "CoRunResult",
+    "corun_pair",
+    "steady_degradation",
+    "ScheduleExecution",
+    "execute_schedule",
+    "execute_default_schedule",
+    "ArrivalExecution",
+    "execute_with_arrivals",
+    "ReactiveCapController",
+    "execute_with_reactive_cap",
+]

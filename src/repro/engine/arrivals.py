@@ -1,0 +1,182 @@
+"""Execution with job arrivals over time (open-system semantics).
+
+The paper schedules a closed batch: every job is available at time zero.
+A shared workstation is an *open* system — jobs arrive while others run.
+This executor generalizes the online timeline: a scheduling policy is
+consulted whenever a processor is idle, but it may only choose among jobs
+that have **arrived**; when both processors idle with nothing available,
+time jumps to the next arrival.
+
+Per-job latency metrics (turnaround = finish − arrival) come with the
+execution record, since an open system is judged on responsiveness, not
+only makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable, Sequence
+
+from repro.hardware.device import DeviceKind
+from repro.hardware.processor import IntegratedProcessor
+from repro.workload.program import Job
+from repro.engine.corun import PhasedRunner, _pair_stalls, _segment_power
+from repro.engine.timeline import _MAX_EVENTS, GovernorFn, ScheduleExecution
+from repro.engine.tracing import JobCompletion, PowerSegment
+
+#: Policy signature: (kind being filled, arrived unstarted jobs, job running
+#: on the other processor or None, now) -> job to start or None (stay idle).
+ArrivalPolicy = Callable[[DeviceKind, list[Job], Job | None, float], Job | None]
+
+
+@dataclass(frozen=True)
+class ArrivalExecution:
+    """Execution record plus open-system latency metrics."""
+
+    execution: ScheduleExecution
+    arrivals: dict[str, float]
+
+    @property
+    def makespan_s(self) -> float:
+        return self.execution.makespan_s
+
+    def turnaround_s(self, uid: str) -> float:
+        return self.execution.finish_of(uid) - self.arrivals[uid]
+
+    @property
+    def mean_turnaround_s(self) -> float:
+        return sum(self.turnaround_s(uid) for uid in self.arrivals) / len(
+            self.arrivals
+        )
+
+    @property
+    def max_turnaround_s(self) -> float:
+        return max(self.turnaround_s(uid) for uid in self.arrivals)
+
+
+def execute_with_arrivals(
+    processor: IntegratedProcessor,
+    arrivals: Sequence[tuple[Job, float]],
+    policy: ArrivalPolicy,
+    governor: GovernorFn,
+) -> ArrivalExecution:
+    """Run an arrival sequence under an online policy."""
+    if not arrivals:
+        raise ValueError("need at least one arriving job")
+    uids = [job.uid for job, _ in arrivals]
+    if len(set(uids)) != len(uids):
+        raise ValueError("job uids must be unique")
+    for job, t_arr in arrivals:
+        if t_arr < 0:
+            raise ValueError(f"{job.uid}: negative arrival time")
+
+    future = sorted(arrivals, key=lambda item: item[1])
+    pending: list[Job] = []
+    t = 0.0
+    completions: list[JobCompletion] = []
+    segments: list[PowerSegment] = []
+    cpu_busy = gpu_busy = 0.0
+    cpu_run = gpu_run = None
+    cpu_job = gpu_job = None
+    cpu_start = gpu_start = 0.0
+    setting = None
+    pair_changed = True
+
+    def admit_arrivals() -> None:
+        while future and future[0][1] <= t + 1e-12:
+            pending.append(future.pop(0)[0])
+
+    for _ in range(_MAX_EVENTS):
+        admit_arrivals()
+
+        if cpu_run is None and pending:
+            job = policy(DeviceKind.CPU, list(pending), gpu_job, t)
+            if job is not None:
+                pending.remove(job)
+                cpu_job, cpu_start = job, t
+                cpu_run = PhasedRunner(
+                    job.profile, processor, DeviceKind.CPU,
+                    processor.cpu.domain.fmax,
+                )
+                pair_changed = True
+        if gpu_run is None and pending:
+            job = policy(DeviceKind.GPU, list(pending), cpu_job, t)
+            if job is not None:
+                pending.remove(job)
+                gpu_job, gpu_start = job, t
+                gpu_run = PhasedRunner(
+                    job.profile, processor, DeviceKind.GPU,
+                    processor.gpu.domain.fmax,
+                )
+                pair_changed = True
+
+        if cpu_run is None and gpu_run is None:
+            if not pending and not future:
+                break
+            if not pending:
+                # Idle gap: jump to the next arrival.
+                t = future[0][1]
+                continue
+            raise RuntimeError(
+                "policy declined to issue a job with both processors idle"
+            )
+
+        if pair_changed or setting is None:
+            setting = governor(
+                cpu_job if cpu_run else None, gpu_job if gpu_run else None
+            )
+            processor.validate_setting(setting)
+            if cpu_run is not None:
+                cpu_run.set_frequency(setting.cpu_ghz)
+            if gpu_run is not None:
+                gpu_run.set_frequency(setting.gpu_ghz)
+            pair_changed = False
+
+        stalls = _pair_stalls(processor, cpu_run, gpu_run)
+        dts = []
+        if cpu_run is not None:
+            dts.append(cpu_run.time_to_phase_end(stalls[0]))
+        if gpu_run is not None:
+            dts.append(gpu_run.time_to_phase_end(stalls[1]))
+        if future:
+            dts.append(max(future[0][1] - t, 1e-12))
+        dt = min(dts)
+
+        watts = _segment_power(processor, setting, cpu_run, gpu_run, stalls)
+        if dt > 0:
+            segments.append(PowerSegment(duration_s=dt, watts=watts))
+            if cpu_run is not None:
+                cpu_busy += dt
+            if gpu_run is not None:
+                gpu_busy += dt
+        if cpu_run is not None:
+            cpu_run.advance(dt, stalls[0])
+            if cpu_run.done:
+                completions.append(
+                    JobCompletion(cpu_job.uid, "cpu", t + dt, cpu_start)
+                )
+                cpu_run, cpu_job = None, None
+                pair_changed = True
+        if gpu_run is not None:
+            gpu_run.advance(dt, stalls[1])
+            if gpu_run.done:
+                completions.append(
+                    JobCompletion(gpu_job.uid, "gpu", t + dt, gpu_start)
+                )
+                gpu_run, gpu_job = None, None
+                pair_changed = True
+        t += dt
+    else:  # pragma: no cover - defensive
+        raise RuntimeError("arrival execution exceeded the event budget")
+
+    execution = ScheduleExecution(
+        makespan_s=t,
+        completions=tuple(completions),
+        segments=tuple(segments),
+        cpu_busy_s=cpu_busy,
+        gpu_busy_s=gpu_busy,
+    )
+    return ArrivalExecution(
+        execution=execution,
+        arrivals={job.uid: t_arr for job, t_arr in arrivals},
+    )

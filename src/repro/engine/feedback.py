@@ -1,0 +1,210 @@
+"""Reactive power-cap enforcement (RAPL-style measurement feedback).
+
+The paper's runtime enforces the cap *predictively*: it only launches
+frequency settings whose predicted power fits the budget (Section V), which
+is why measured power occasionally overshoots (Figure 9).  Real hardware
+also offers the opposite strategy — RAPL's closed loop reacts to *measured*
+power with no model at all.  This module implements that strategy on the
+simulator so the two can be compared (``repro.experiments.capcontrol``):
+
+every ``control_interval_s`` the controller compares the interval's mean
+chip power against the cap and steps one frequency level:
+
+* over the cap: step the sacrificial device down (CPU first under GPU
+  bias), falling back to the favoured device at the floor;
+* under the cap by more than ``headroom_w``: step the favoured device up,
+  then the other.
+
+The executor is the standard phase-resolved timeline with control-boundary
+events added, so its results are directly comparable with
+:func:`repro.engine.timeline.execute_schedule`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.hardware.device import DeviceKind
+from repro.hardware.frequency import FrequencySetting
+from repro.hardware.processor import IntegratedProcessor
+from repro.workload.program import Job
+from repro.engine.corun import PhasedRunner, _pair_stalls, _segment_power
+from repro.engine.timeline import _MAX_EVENTS, ScheduleExecution
+from repro.engine.tracing import JobCompletion, PowerSegment
+from repro.util.validation import check_nonnegative, check_positive
+
+
+@dataclass
+class ReactiveCapController:
+    """One-level-per-interval frequency stepping from measured power."""
+
+    processor: IntegratedProcessor
+    cap_w: float
+    gpu_biased: bool = True
+    headroom_w: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("cap_w", self.cap_w)
+        check_nonnegative("headroom_w", self.headroom_w)
+        self.setting = FrequencySetting(
+            self.processor.cpu.domain.medium, self.processor.gpu.domain.medium
+        )
+
+    def _step_down(self) -> None:
+        cpu_dom = self.processor.cpu.domain
+        gpu_dom = self.processor.gpu.domain
+        first, second = (
+            (cpu_dom, gpu_dom) if self.gpu_biased else (gpu_dom, cpu_dom)
+        )
+        for dom in (first, second):
+            current = (
+                self.setting.cpu_ghz if dom is cpu_dom else self.setting.gpu_ghz
+            )
+            lower = dom.step_down(current)
+            if lower is not None:
+                if dom is cpu_dom:
+                    self.setting = FrequencySetting(lower, self.setting.gpu_ghz)
+                else:
+                    self.setting = FrequencySetting(self.setting.cpu_ghz, lower)
+                return
+
+    def _step_up(self) -> None:
+        cpu_dom = self.processor.cpu.domain
+        gpu_dom = self.processor.gpu.domain
+        first, second = (
+            (gpu_dom, cpu_dom) if self.gpu_biased else (cpu_dom, gpu_dom)
+        )
+        for dom in (first, second):
+            current = (
+                self.setting.cpu_ghz if dom is cpu_dom else self.setting.gpu_ghz
+            )
+            higher = dom.step_up(current)
+            if higher is not None:
+                if dom is cpu_dom:
+                    self.setting = FrequencySetting(higher, self.setting.gpu_ghz)
+                else:
+                    self.setting = FrequencySetting(self.setting.cpu_ghz, higher)
+                return
+
+    def observe(self, interval_mean_power_w: float) -> FrequencySetting:
+        """Feed one control interval's measured power; returns the setting
+        for the next interval."""
+        if interval_mean_power_w > self.cap_w:
+            self._step_down()
+        elif interval_mean_power_w < self.cap_w - self.headroom_w:
+            self._step_up()
+        return self.setting
+
+
+def execute_with_reactive_cap(
+    processor: IntegratedProcessor,
+    cpu_queue: Sequence[Job],
+    gpu_queue: Sequence[Job],
+    cap_w: float,
+    *,
+    gpu_biased: bool = True,
+    control_interval_s: float = 1.0,
+    headroom_w: float = 1.0,
+) -> tuple[ScheduleExecution, list[FrequencySetting]]:
+    """Execute two queues under closed-loop cap control.
+
+    Returns the execution record plus the per-interval setting trace.
+    """
+    check_positive("control_interval_s", control_interval_s)
+    all_uids = [j.uid for j in cpu_queue] + [j.uid for j in gpu_queue]
+    if len(set(all_uids)) != len(all_uids):
+        raise ValueError("a job appears more than once in the schedule")
+
+    controller = ReactiveCapController(
+        processor, cap_w, gpu_biased=gpu_biased, headroom_w=headroom_w
+    )
+    cpu_pending = deque(cpu_queue)
+    gpu_pending = deque(gpu_queue)
+
+    t = 0.0
+    completions: list[JobCompletion] = []
+    segments: list[PowerSegment] = []
+    settings_trace: list[FrequencySetting] = [controller.setting]
+    cpu_busy = gpu_busy = 0.0
+    interval_energy = 0.0
+    interval_elapsed = 0.0
+
+    cpu_run = gpu_run = None
+    cpu_job = gpu_job = None
+    cpu_start = gpu_start = 0.0
+
+    for _ in range(_MAX_EVENTS):
+        if cpu_run is None and cpu_pending:
+            cpu_job = cpu_pending.popleft()
+            cpu_run = PhasedRunner(
+                cpu_job.profile, processor, DeviceKind.CPU,
+                controller.setting.cpu_ghz,
+            )
+            cpu_start = t
+        if gpu_run is None and gpu_pending:
+            gpu_job = gpu_pending.popleft()
+            gpu_run = PhasedRunner(
+                gpu_job.profile, processor, DeviceKind.GPU,
+                controller.setting.gpu_ghz,
+            )
+            gpu_start = t
+        if cpu_run is None and gpu_run is None:
+            break
+
+        setting = controller.setting
+        if cpu_run is not None:
+            cpu_run.set_frequency(setting.cpu_ghz)
+        if gpu_run is not None:
+            gpu_run.set_frequency(setting.gpu_ghz)
+
+        stalls = _pair_stalls(processor, cpu_run, gpu_run)
+        dts = [control_interval_s - interval_elapsed]
+        if cpu_run is not None:
+            dts.append(cpu_run.time_to_phase_end(stalls[0]))
+        if gpu_run is not None:
+            dts.append(gpu_run.time_to_phase_end(stalls[1]))
+        dt = max(min(dts), 1e-12)
+
+        watts = _segment_power(processor, setting, cpu_run, gpu_run, stalls)
+        segments.append(PowerSegment(duration_s=dt, watts=watts))
+        interval_energy += watts * dt
+        interval_elapsed += dt
+        if cpu_run is not None:
+            cpu_busy += dt
+        if gpu_run is not None:
+            gpu_busy += dt
+
+        if cpu_run is not None:
+            cpu_run.advance(dt, stalls[0])
+            if cpu_run.done:
+                completions.append(
+                    JobCompletion(cpu_job.uid, "cpu", t + dt, cpu_start)
+                )
+                cpu_run, cpu_job = None, None
+        if gpu_run is not None:
+            gpu_run.advance(dt, stalls[1])
+            if gpu_run.done:
+                completions.append(
+                    JobCompletion(gpu_job.uid, "gpu", t + dt, gpu_start)
+                )
+                gpu_run, gpu_job = None, None
+        t += dt
+
+        if interval_elapsed >= control_interval_s - 1e-12:
+            controller.observe(interval_energy / interval_elapsed)
+            settings_trace.append(controller.setting)
+            interval_energy = 0.0
+            interval_elapsed = 0.0
+    else:  # pragma: no cover - defensive
+        raise RuntimeError("reactive execution exceeded the event budget")
+
+    execution = ScheduleExecution(
+        makespan_s=t,
+        completions=tuple(completions),
+        segments=tuple(segments),
+        cpu_busy_s=cpu_busy,
+        gpu_busy_s=gpu_busy,
+    )
+    return execution, settings_trace

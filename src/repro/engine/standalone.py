@@ -1,0 +1,206 @@
+"""Standalone (solo) execution model.
+
+A program's solo run on device ``d`` at frequency ``f`` decomposes per phase
+into a compute part (scaling with core frequency) and a memory part (bytes
+over the achievable fraction of the device's streaming limit).  Within a
+phase the two partially overlap:
+
+    t_phase = max(t_c, t_m) + (1 - overlap) * min(t_c, t_m)
+
+``overlap = 0`` serializes them (the micro-benchmark's structure);
+``overlap = 1`` hides the smaller entirely.  The program's standalone
+*bandwidth demand* — the x/y coordinate of the paper's degradation space —
+is total bytes over total time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.device import ComputeDevice, DeviceKind
+from repro.hardware.processor import IntegratedProcessor
+from repro.workload.program import ProgramProfile
+from repro.util.validation import check_nonnegative, check_positive
+
+
+def phase_time(compute_s: float, mem_s: float, overlap: float) -> float:
+    """Duration of one phase with partial compute/memory overlap."""
+    hi, lo = (compute_s, mem_s) if compute_s >= mem_s else (mem_s, compute_s)
+    return hi + (1.0 - overlap) * lo
+
+
+@dataclass(frozen=True)
+class PhaseTiming:
+    """One phase of a standalone run at a fixed operating point."""
+
+    compute_s: float        # uncontended compute time of the phase
+    mem_s: float            # uncontended memory time of the phase
+    bytes_gb: float         # traffic carried by the phase
+    duration_s: float       # standalone phase duration (with overlap)
+    overlap: float          # the program's compute/memory overlap factor
+
+    @property
+    def demand_gbps(self) -> float:
+        """Standalone bandwidth demand during this phase."""
+        return self.bytes_gb / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def compute_fraction(self) -> float:
+        """Fraction of the phase the device's execution units are busy."""
+        if self.duration_s <= 0:
+            return 0.0
+        return min(1.0, self.compute_s / self.duration_s)
+
+    def contended_duration(self, stall: float, sensitivity: float) -> float:
+        """Phase duration when memory time dilates by ``stall``.
+
+        The program-specific ``sensitivity`` rescales the contention-induced
+        latency growth relative to the micro-benchmark's; the phase is then
+        re-timed with the same overlap model, so a phase can flip from
+        compute-bound to memory-bound under heavy contention.
+        """
+        check_nonnegative("sensitivity", sensitivity)
+        if stall < 1.0:
+            raise ValueError(f"stall factor must be >= 1, got {stall}")
+        eff_stall = 1.0 + sensitivity * (stall - 1.0)
+        return phase_time(self.compute_s, self.mem_s * eff_stall, self.overlap)
+
+
+@dataclass(frozen=True)
+class StandaloneRun:
+    """Summary of one solo run."""
+
+    program: str
+    kind: DeviceKind
+    f_ghz: float
+    time_s: float
+    bytes_gb: float
+    phases: tuple[PhaseTiming, ...]
+
+    @property
+    def demand_gbps(self) -> float:
+        """Average standalone bandwidth demand (the predictor's coordinate)."""
+        return self.bytes_gb / self.time_s if self.time_s > 0 else 0.0
+
+    @property
+    def compute_fraction(self) -> float:
+        """Duration-weighted compute-busy fraction (drives dynamic power)."""
+        if self.time_s <= 0:
+            return 0.0
+        busy = sum(min(p.compute_s, p.duration_s) for p in self.phases)
+        return min(1.0, busy / self.time_s)
+
+
+def phase_timings(
+    profile: ProgramProfile, device: ComputeDevice, f_ghz: float
+) -> tuple[PhaseTiming, ...]:
+    """Per-phase timings of ``profile`` running alone on ``device`` at ``f_ghz``."""
+    check_positive("f_ghz", f_ghz)
+    speed = device.speed(f_ghz)
+    bw_cap = device.bw_limit(f_ghz) * profile.mem_eff[device.kind]
+    base_c = profile.compute_base_s[device.kind]
+    timings = []
+    for ph in profile.phases:
+        compute = ph.weight * base_c / speed
+        bytes_gb = ph.weight * ph.intensity * profile.bytes_gb
+        mem = bytes_gb / bw_cap
+        timings.append(
+            PhaseTiming(
+                compute_s=compute,
+                mem_s=mem,
+                bytes_gb=bytes_gb,
+                duration_s=phase_time(compute, mem, profile.overlap),
+                overlap=profile.overlap,
+            )
+        )
+    return tuple(timings)
+
+
+def standalone_run(
+    profile: ProgramProfile, device: ComputeDevice, f_ghz: float
+) -> StandaloneRun:
+    """Simulate ``profile`` running alone on ``device`` at ``f_ghz``."""
+    phases = phase_timings(profile, device, f_ghz)
+    return StandaloneRun(
+        program=profile.name,
+        kind=device.kind,
+        f_ghz=f_ghz,
+        time_s=sum(p.duration_s for p in phases),
+        bytes_gb=profile.bytes_gb,
+        phases=phases,
+    )
+
+
+def standalone_power_w(
+    profile: ProgramProfile,
+    processor: IntegratedProcessor,
+    kind: DeviceKind,
+    f_ghz: float,
+    *,
+    idle_other_f_ghz: float | None = None,
+) -> tuple[float, float]:
+    """Power of a solo run: ``(own-device active power, whole-chip power)``.
+
+    The other device idles at its minimum level unless overridden.  The
+    own-device figure is what the paper's Section V power predictor sums
+    across the two co-runners; the chip figure is what a RAPL meter (and the
+    power cap) sees.
+    """
+    device = processor.device(kind)
+    run = standalone_run(profile, device, f_ghz)
+    own_model = processor.power.cpu if kind is DeviceKind.CPU else processor.power.gpu
+    other_model = processor.power.gpu if kind is DeviceKind.CPU else processor.power.cpu
+    other_device = processor.device(kind.other)
+    other_f = idle_other_f_ghz if idle_other_f_ghz is not None else other_device.domain.fmin
+
+    util = own_model.effective_util(run.compute_fraction)
+    own_w = own_model.power(f_ghz, util)
+    other_w = other_model.idle_power(other_f)
+    uncore_w = processor.power.uncore.power(run.demand_gbps)
+    return own_w, own_w + other_w + uncore_w
+
+
+def solve_compute_base(
+    profile_without_compute: ProgramProfile,
+    device: ComputeDevice,
+    target_time_s: float,
+    *,
+    tol: float = 1e-9,
+) -> float:
+    """Find the compute base (at reference frequency) hitting ``target_time_s``.
+
+    Used to calibrate synthetic program profiles against published standalone
+    times (Table I): given the profile's memory side (bytes, efficiency,
+    overlap, phases), bisect the per-device compute base so the phased
+    standalone time at the device's maximum frequency equals the target.
+
+    Raises ``ValueError`` when the memory side alone already exceeds the
+    target (the profile's traffic is infeasible for that runtime).
+    """
+    check_positive("target_time_s", target_time_s)
+    from dataclasses import replace
+
+    def time_with(base: float) -> float:
+        candidate = replace(
+            profile_without_compute,
+            compute_base_s={
+                **profile_without_compute.compute_base_s,
+                device.kind: base,
+            },
+        )
+        return standalone_run(candidate, device, device.domain.fmax).time_s
+
+    t_floor = time_with(0.0)
+    if t_floor > target_time_s * (1.0 + 1e-9):
+        raise ValueError(
+            f"{profile_without_compute.name} on {device.kind}: memory time "
+            f"{t_floor:.2f}s already exceeds target {target_time_s:.2f}s"
+        )
+    lo, hi = 0.0, target_time_s  # t(base) >= base, so the target bounds it
+    while hi - lo > tol * max(1.0, target_time_s):
+        mid = 0.5 * (lo + hi)
+        if time_with(mid) < target_time_s:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)

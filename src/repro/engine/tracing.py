@@ -1,0 +1,58 @@
+"""Execution trace records shared by the co-run and timeline simulators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.rapl import PowerTrace, sample_power_trace
+
+
+@dataclass(frozen=True)
+class PowerSegment:
+    """A stretch of execution with constant chip power."""
+
+    duration_s: float
+    watts: float
+
+
+@dataclass(frozen=True)
+class JobCompletion:
+    """When a job ran and where."""
+
+    job: str
+    kind: str
+    finish_s: float
+    start_s: float = 0.0
+
+    @property
+    def duration_s(self) -> float:
+        return self.finish_s - self.start_s
+
+
+def segments_energy_j(segments: tuple[PowerSegment, ...]) -> float:
+    """Total energy of a segment list, in joules."""
+    return sum(s.duration_s * s.watts for s in segments)
+
+
+def segments_mean_power_w(segments: tuple[PowerSegment, ...]) -> float:
+    """Time-weighted mean power of a segment list."""
+    total = sum(s.duration_s for s in segments)
+    if total <= 0:
+        return 0.0
+    return segments_energy_j(segments) / total
+
+
+def segments_to_trace(
+    segments: tuple[PowerSegment, ...],
+    *,
+    dt_s: float = 1.0,
+    jitter_w: float = 0.0,
+    seed=None,
+) -> PowerTrace:
+    """Convert power segments into a RAPL-style sampled trace."""
+    return sample_power_trace(
+        [(s.duration_s, s.watts) for s in segments],
+        dt_s=dt_s,
+        jitter_w=jitter_w,
+        seed=seed,
+    )

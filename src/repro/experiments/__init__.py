@@ -1,0 +1,18 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Every driver exposes ``run(...) -> ExperimentResult`` and is registered in
+:mod:`repro.experiments.registry`; ``python -m repro <name>`` renders the
+result as text.  The drivers regenerate the same rows/series the paper
+reports; EXPERIMENTS.md records paper-vs-measured for each.
+"""
+
+from repro.experiments.common import ExperimentResult, default_runtime
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "default_runtime",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+]

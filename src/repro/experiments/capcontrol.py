@@ -1,0 +1,75 @@
+"""Predictive vs reactive power-cap enforcement.
+
+The paper enforces the cap a priori, from predicted powers (Section V); real
+RAPL hardware reacts a posteriori, from measured power.  This experiment
+runs the same HCS schedule under both and compares makespan, overshoot, and
+cap compliance — the trade: the predictive controller needs a model but
+never waits to learn the operating point; the reactive one needs no model
+but oscillates around the cap and loses time converging.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.calibration import DEFAULT_POWER_CAP_W
+from repro.engine.feedback import execute_with_reactive_cap
+from repro.engine.tracing import segments_to_trace
+from repro.experiments.common import ExperimentResult, default_runtime
+from repro.util.tables import format_table
+
+
+def run(cap_w: float = DEFAULT_POWER_CAP_W) -> ExperimentResult:
+    runtime = default_runtime(cap_w=cap_w)
+    hcs = runtime.run_hcs()
+    schedule = hcs.schedule
+
+    predictive = hcs.execution
+    reactive, settings_trace = execute_with_reactive_cap(
+        runtime.processor,
+        schedule.cpu_queue,
+        schedule.gpu_queue,
+        cap_w,
+    )
+
+    rows = []
+    headline = {}
+    for name, execution in (("predictive", predictive), ("reactive", reactive)):
+        trace = segments_to_trace(execution.segments, dt_s=1.0)
+        rows.append(
+            (
+                name,
+                execution.makespan_s,
+                trace.mean_power(),
+                trace.max_overshoot(cap_w),
+                100 * trace.fraction_over(cap_w),
+            )
+        )
+        headline[f"{name}_makespan_s"] = execution.makespan_s
+        headline[f"{name}_overshoot_w"] = trace.max_overshoot(cap_w)
+        headline[f"{name}_frac_over"] = trace.fraction_over(cap_w)
+    headline["reactive_setting_changes"] = float(
+        sum(1 for a, b in zip(settings_trace, settings_trace[1:]) if a != b)
+    )
+
+    result = ExperimentResult(
+        name="capcontrol",
+        title="Predictive (model-based) vs reactive (RAPL-style) cap control",
+        headline=headline,
+    )
+    result.add_section(
+        f"HCS schedule under a {cap_w:.0f} W cap",
+        format_table(
+            ["controller", "makespan (s)", "mean W", "max overshoot W",
+             "% samples over"],
+            rows,
+            ndigits=2,
+        ),
+    )
+    result.add_section(
+        "notes",
+        "The predictive controller inherits the ~2% power-model error "
+        "(small, persistent overshoot risk); the reactive controller "
+        "oscillates one frequency level around the cap and pays a "
+        "convergence cost after every job transition "
+        f"({headline['reactive_setting_changes']:.0f} setting changes).",
+    )
+    return result

@@ -1,0 +1,63 @@
+"""Energy study: throughput-optimal vs energy-optimal frequency policies.
+
+Runs the HCS+ schedule of the 8-program workload under three governors —
+the performance-oriented HCS governor, the energy-aware governor, and the
+GPU-biased baseline policy — and reports makespan, energy, mean power, and
+energy-delay product for each.  Quantifies the trade the power cap leaves
+open: the cap limits *instantaneous* power, but which point under the cap
+to run at is an objective choice Definition 2.1 does not fix.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.calibration import DEFAULT_POWER_CAP_W
+from repro.core.freqpolicy import Bias, BiasedGovernor, ModelGovernor
+from repro.core.hcs import hcs_schedule
+from repro.core.objectives import EnergyAwareGovernor, Objective, score_execution
+from repro.experiments.common import ExperimentResult, default_runtime
+from repro.util.tables import format_table
+
+
+def run(cap_w: float = DEFAULT_POWER_CAP_W) -> ExperimentResult:
+    runtime = default_runtime(cap_w=cap_w)
+    result_hcs = hcs_schedule(runtime.predictor, runtime.jobs, cap_w, refine=True)
+    schedule = result_hcs.schedule
+
+    governors = {
+        "performance (HCS)": result_hcs.governor,
+        "energy-aware": EnergyAwareGovernor(runtime.predictor, cap_w),
+        "gpu-biased": BiasedGovernor(runtime.predictor, cap_w, Bias.GPU),
+    }
+
+    rows = []
+    headline = {}
+    for name, governor in governors.items():
+        execution = runtime.execute(schedule, governor)
+        rows.append(
+            (
+                name,
+                execution.makespan_s,
+                execution.energy_j / 1e3,
+                execution.mean_power_w,
+                score_execution(execution, Objective.EDP) / 1e6,
+            )
+        )
+        key = name.split()[0].split("-")[0]
+        headline[f"{key}_makespan_s"] = execution.makespan_s
+        headline[f"{key}_energy_kj"] = execution.energy_j / 1e3
+
+    result = ExperimentResult(
+        name="energy",
+        title="Throughput-optimal vs energy-optimal frequency policies",
+        headline=headline,
+    )
+    result.add_section(
+        f"HCS+ schedule under different governors ({cap_w:.0f} W cap)",
+        format_table(
+            ["governor", "makespan (s)", "energy (kJ)", "mean power (W)",
+             "EDP (MJ*s)"],
+            rows,
+            ndigits=2,
+        ),
+    )
+    return result

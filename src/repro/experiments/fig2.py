@@ -1,0 +1,57 @@
+"""Figure 2: standalone CPU vs GPU performance of four programs.
+
+The paper's motivating measurement: streamcluster, cfd, and hotspot run
+2.5x / 1.8x / 2.4x faster on the GPU, while dwt2d runs 2.5x faster on the
+CPU.  Regenerated here from the calibrated profiles at maximum frequency.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.calibration import make_ivy_bridge
+from repro.workload.rodinia import rodinia_programs
+from repro.engine.standalone import standalone_run
+from repro.experiments.common import ExperimentResult
+from repro.util.asciiplot import bar_chart
+from repro.util.tables import format_table
+
+#: The four programs of the paper's Section III example, with the speedup
+#: factors Figure 2 reports (GPU-over-CPU; dwt2d is CPU-preferred).
+PAPER_SPEEDUPS = {
+    "streamcluster": 2.5,
+    "cfd": 1.8,
+    "dwt2d": 1 / 2.5,
+    "hotspot": 2.4,
+}
+
+
+def run() -> ExperimentResult:
+    processor = make_ivy_bridge()
+    programs = {p.name: p for p in rodinia_programs()}
+
+    rows = []
+    headline: dict[str, float] = {}
+    labels, ratios = [], []
+    for name, paper_ratio in PAPER_SPEEDUPS.items():
+        prog = programs[name]
+        t_cpu = standalone_run(prog, processor.cpu, processor.cpu.domain.fmax).time_s
+        t_gpu = standalone_run(prog, processor.gpu, processor.gpu.domain.fmax).time_s
+        ratio = t_cpu / t_gpu
+        rows.append((name, t_cpu, t_gpu, ratio, paper_ratio))
+        headline[f"{name}_gpu_speedup"] = ratio
+        labels.append(name)
+        ratios.append(ratio)
+
+    result = ExperimentResult(
+        name="fig2",
+        title="Standalone performance of programs on CPU and on GPU",
+        headline=headline,
+    )
+    result.add_section(
+        "standalone times at max frequency",
+        format_table(
+            ["program", "cpu (s)", "gpu (s)", "cpu/gpu (measured)", "cpu/gpu (paper)"],
+            rows,
+        ),
+    )
+    result.add_section("GPU speedup over CPU", bar_chart(labels, ratios))
+    return result

@@ -1,0 +1,55 @@
+"""Figures 5 and 6: the co-run degradation spectra.
+
+The micro-benchmark sweep produces two surfaces over the 11x11 bandwidth
+grid: CPU-side degradation (Figure 5) and GPU-side degradation (Figure 6).
+The paper's qualitative facts, locked in by tests:
+
+* higher-throughput settings suffer and inflict more;
+* the GPU suffers more at low/medium contention (most degradations in the
+  20-40% band) while the CPU stays below 20% in about half the cases;
+* past ~8.5 GB/s on both sides the CPU overtakes: worst CPU degradation
+  ~65% versus ~45% for the GPU.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.calibration import make_ivy_bridge
+from repro.model.characterize import characterize_space
+from repro.experiments.common import ExperimentResult
+from repro.util.asciiplot import surface
+from repro.util.tables import format_kv
+
+
+def run(n_levels: int = 11) -> ExperimentResult:
+    processor = make_ivy_bridge()
+    space = characterize_space(processor, n_levels=n_levels)
+    stats = space.summary()
+
+    result = ExperimentResult(
+        name="fig5_fig6",
+        title="Co-run degradation spectra from micro-benchmark co-runs",
+        headline=stats,
+    )
+    result.add_section(
+        "Figure 5: CPU degradation (rows: CPU GB/s, cols: GPU GB/s)",
+        surface(
+            space.cpu_grid.values, x_label="gpu bw", y_label="cpu bw",
+        ),
+    )
+    result.add_section(
+        "Figure 6: GPU degradation (rows: CPU GB/s, cols: GPU GB/s)",
+        surface(
+            space.gpu_grid.values, x_label="gpu bw", y_label="cpu bw",
+        ),
+    )
+    result.add_section(
+        "paper targets",
+        format_kv(
+            {
+                "max cpu degradation (paper ~0.65)": stats["max_cpu_degradation"],
+                "max gpu degradation (paper ~0.45)": stats["max_gpu_degradation"],
+                "frac cpu <= 20% (paper ~half)": stats["frac_cpu_below_20pct"],
+            }
+        ),
+    )
+    return result

@@ -1,0 +1,50 @@
+"""Figure 7: performance-model error distribution over the 64 co-run pairs.
+
+Every ordered pair of the eight programs is co-run at two frequency
+settings — both devices at maximum, and both at their medium level — and
+the predicted co-run times are scored against the simulated ground truth.
+The paper reports ~15% mean error at the high setting and ~11% at medium,
+with about half the pairs under 10% and over 70% under 20%.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult, default_runtime
+from repro.model.accuracy import evaluate_performance_model
+from repro.util.asciiplot import histogram
+from repro.util.stats import histogram_bins
+
+#: Error-range bin edges of the paper's histogram (fractions).
+BIN_EDGES = (0.0, 0.10, 0.20, 0.30, 1_000.0)
+BIN_LABELS = ("0-10%", "10-20%", "20-30%", ">30%")
+
+
+def run() -> ExperimentResult:
+    runtime = default_runtime()
+    processor, predictor = runtime.processor, runtime.predictor
+    uids = runtime.table.uids
+
+    headline: dict[str, float] = {}
+    result = ExperimentResult(
+        name="fig7",
+        title="Error-rate distribution of the co-run performance model",
+    )
+    for label, setting, paper_mean in (
+        ("high frequency (both max)", processor.max_setting, 0.15),
+        ("medium frequency", processor.medium_setting, 0.11),
+    ):
+        records = evaluate_performance_model(processor, predictor, uids, setting)
+        errors = np.array([r.error for r in records])
+        fracs = histogram_bins(errors, BIN_EDGES)
+        key = "high" if "high" in label else "medium"
+        headline[f"{key}_mean_error"] = float(errors.mean())
+        headline[f"{key}_frac_below_10pct"] = float(np.mean(errors < 0.10))
+        headline[f"{key}_frac_below_20pct"] = float(np.mean(errors < 0.20))
+        result.add_section(
+            f"{label} — mean error {errors.mean():.1%} (paper ~{paper_mean:.0%})",
+            histogram(BIN_LABELS, fracs),
+        )
+    result.headline = headline
+    return result

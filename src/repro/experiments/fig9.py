@@ -1,0 +1,78 @@
+"""Figure 9: per-second power samples of four random co-run pairs.
+
+Each pair runs at the best cap-feasible setting under the 16 W cap; the
+chip power is sampled at 1 Hz (RAPL style).  The paper's observations:
+power stays below the cap most of the time, and overshoot — caused by the
+~2% power-prediction error — is typically under 2 W.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.calibration import MODEL_POWER_CAP_W
+from repro.engine.corun import corun_pair
+from repro.engine.tracing import segments_to_trace
+from repro.experiments.common import ExperimentResult, default_runtime
+from repro.model.accuracy import best_feasible_setting
+from repro.util.asciiplot import line_trace
+from repro.util.rng import default_rng
+from repro.util.tables import format_table
+
+
+def run(
+    cap_w: float = MODEL_POWER_CAP_W,
+    n_pairs: int = 4,
+    seed=None,
+) -> ExperimentResult:
+    runtime = default_runtime()
+    rng = default_rng(seed)
+    uids = runtime.table.uids
+
+    pairs = []
+    while len(pairs) < n_pairs:
+        c, g = rng.choice(uids, size=2, replace=False)
+        if (c, g) not in pairs:
+            pairs.append((str(c), str(g)))
+
+    rows = []
+    traces = {}
+    worst_overshoot = 0.0
+    for cpu_uid, gpu_uid in pairs:
+        setting = best_feasible_setting(runtime.predictor, cpu_uid, gpu_uid, cap_w)
+        res = corun_pair(
+            runtime.processor,
+            runtime.table.job(cpu_uid).profile,
+            runtime.table.job(gpu_uid).profile,
+            setting,
+        )
+        trace = segments_to_trace(res.segments, dt_s=1.0)
+        name = f"{cpu_uid}-{gpu_uid}"
+        traces[name] = list(trace.watts)
+        overshoot = trace.max_overshoot(cap_w)
+        worst_overshoot = max(worst_overshoot, overshoot)
+        rows.append(
+            (name, trace.mean_power(), float(trace.watts.max()), overshoot,
+             100 * trace.fraction_over(cap_w))
+        )
+
+    result = ExperimentResult(
+        name="fig9",
+        title="Power samples of four random co-runs vs the cap",
+        headline={
+            "max_overshoot_w": worst_overshoot,
+            "cap_w": cap_w,
+        },
+    )
+    result.add_section(
+        "per-pair power statistics (pair A-B: A on CPU, B on GPU)",
+        format_table(
+            ["pair", "mean W", "max W", "overshoot W", "% samples over cap"],
+            rows,
+        ),
+    )
+    # Render the shortest common prefix so all series share the time axis.
+    horizon = min(len(v) for v in traces.values())
+    result.add_section(
+        "1 Hz power trace (first %d s; cap drawn as ---)" % horizon,
+        line_trace({k: v[:horizon] for k, v in traces.items()}, cap=cap_w),
+    )
+    return result

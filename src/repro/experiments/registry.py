@@ -1,0 +1,65 @@
+"""Experiment registry: name -> driver, for the CLI and the benchmarks."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.experiments import (
+    ablations,
+    arrivals,
+    capcontrol,
+    crossplatform,
+    fig2,
+    fig5_fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    energy,
+    overhead,
+    scaling,
+    splitting,
+    robustness,
+    sec3_example,
+    table1,
+)
+from repro.experiments.common import ExperimentResult
+
+#: All experiment drivers, in the order they appear in the paper.
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "fig2": fig2.run,
+    "sec3": sec3_example.run,
+    "fig5": fig5_fig6.run,
+    "fig6": fig5_fig6.run,  # one sweep produces both surfaces
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "table1": table1.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "overhead": overhead.run,
+    "ablations": ablations.run,
+    "robustness": robustness.run,
+    "energy": energy.run,
+    "capcontrol": capcontrol.run,
+    "splitting": splitting.run,
+    "scaling": scaling.run,
+    "crossplatform": crossplatform.run,
+    "arrivals": arrivals.run,
+}
+
+
+def get_experiment(name: str) -> Callable[[], ExperimentResult]:
+    """Look up a driver; raises ``KeyError`` with the available names."""
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {', '.join(EXPERIMENTS)}"
+        ) from None
+
+
+def run_experiment(name: str) -> ExperimentResult:
+    """Run one experiment by name."""
+    return get_experiment(name)()

@@ -1,0 +1,78 @@
+"""Scalability study: scheduling cost and quality versus batch size.
+
+Section VI-D claims the heuristic's "linear computational complexity"
+keeps scheduling below 0.1% of the makespan.  This experiment measures
+HCS/HCS+ scheduling wall time on growing random batches and checks the
+growth rate, alongside the schedule quality (speedup over Random and the
+distance to the lower bound) so cost isn't traded for quality silently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.calibration import DEFAULT_POWER_CAP_W
+from repro.core.runtime import CoScheduleRuntime
+from repro.model.characterize import characterize_space
+from repro.hardware.calibration import make_ivy_bridge
+from repro.workload.generator import random_workload
+from repro.experiments.common import ExperimentResult
+from repro.util.tables import format_table
+
+
+def run(
+    sizes=(4, 8, 16, 24, 32),
+    cap_w: float = DEFAULT_POWER_CAP_W,
+    seed: int = 11,
+) -> ExperimentResult:
+    processor = make_ivy_bridge()
+    space = characterize_space(processor)
+
+    rows = []
+    sched_times = []
+    for i, n in enumerate(sizes):
+        jobs = random_workload(n, seed=seed + i)
+        runtime = CoScheduleRuntime(jobs, processor=processor, cap_w=cap_w,
+                                    space=space)
+        random_mean = runtime.random_average(n=5).mean_makespan_s
+        outcome = runtime.run_hcs(refine=True)
+        bound = runtime.lower_bound_s()
+        sched_times.append(outcome.scheduling_time_s)
+        rows.append(
+            (
+                n,
+                outcome.scheduling_time_s * 1e3,
+                100 * outcome.scheduling_time_s / outcome.makespan_s,
+                random_mean / outcome.makespan_s,
+                outcome.makespan_s / bound,
+            )
+        )
+
+    # Empirical growth order: slope of log(time) vs log(n).
+    logs = np.polyfit(np.log(sizes), np.log(sched_times), 1)
+    growth = float(logs[0])
+
+    result = ExperimentResult(
+        name="scaling",
+        title="Scheduling cost and quality vs batch size",
+        headline={
+            "empirical_growth_order": growth,
+            "max_overhead_frac": max(r[2] for r in rows) / 100,
+        },
+    )
+    result.add_section(
+        "HCS+ on random batches",
+        format_table(
+            ["jobs", "sched (ms)", "overhead %", "speedup/random",
+             "makespan/bound"],
+            rows,
+        ),
+    )
+    result.add_section(
+        "growth",
+        f"scheduling time ~ n^{growth:.2f} empirically (the candidate "
+        "ranking is quadratic in jobs but each evaluation is O(1) table "
+        "lookups; the paper calls the overall cost linear because the "
+        "pairwise tables are precomputed).",
+    )
+    return result

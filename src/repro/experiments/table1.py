@@ -1,0 +1,87 @@
+"""Table I: offline profiles and model-predicted minimum co-run times.
+
+For each of the eight programs: the standalone CPU/GPU times at maximum
+frequency (calibrated to the paper's numbers exactly), the co-run time with
+the least-degrading partner as predicted by the performance model, and the
+resulting processor preference (dwt2d CPU-preferred, lud non-preferred, the
+rest GPU-preferred).
+"""
+
+from __future__ import annotations
+
+from repro.hardware.device import DeviceKind
+from repro.workload.rodinia import RODINIA_NAMES, TABLE1_STANDALONE
+from repro.experiments.common import ExperimentResult, default_runtime
+from repro.core.categorize import DEFAULT_THRESHOLD
+from repro.util.tables import format_table
+
+#: The preference row of the paper's Table I.
+PAPER_PREFERENCE = {
+    "streamcluster": "GPU",
+    "cfd": "GPU",
+    "dwt2d": "CPU",
+    "hotspot": "GPU",
+    "srad": "GPU",
+    "lud": "Non",
+    "leukocyte": "GPU",
+    "heartwall": "GPU",
+}
+
+
+def _min_corun_time(predictor, uid: str, kind: DeviceKind, setting) -> float:
+    """Predicted co-run time with the least-degrading partner."""
+    best = float("inf")
+    for other in predictor.table.uids:
+        if other == uid:
+            continue
+        if kind is DeviceKind.CPU:
+            t, _ = predictor.corun_times(uid, other, setting)
+        else:
+            _, t = predictor.corun_times(other, uid, setting)
+        best = min(best, t)
+    return best
+
+
+def _preference(t_cpu: float, t_gpu: float, threshold: float) -> str:
+    if abs(t_cpu - t_gpu) / min(t_cpu, t_gpu) <= threshold:
+        return "Non"
+    return "CPU" if t_cpu < t_gpu else "GPU"
+
+
+def run() -> ExperimentResult:
+    runtime = default_runtime()
+    predictor = runtime.predictor
+    setting = runtime.processor.max_setting
+
+    rows = []
+    headline = {}
+    matches = 0
+    for name in RODINIA_NAMES:
+        t_cpu = predictor.solo_time(name, DeviceKind.CPU, setting.cpu_ghz)
+        t_gpu = predictor.solo_time(name, DeviceKind.GPU, setting.gpu_ghz)
+        co_cpu = _min_corun_time(predictor, name, DeviceKind.CPU, setting)
+        co_gpu = _min_corun_time(predictor, name, DeviceKind.GPU, setting)
+        pref = _preference(t_cpu, t_gpu, DEFAULT_THRESHOLD)
+        paper_cpu, paper_gpu = TABLE1_STANDALONE[name]
+        rows.append(
+            (name, co_cpu, co_gpu, t_cpu, paper_cpu, t_gpu, paper_gpu,
+             f"{pref}/{PAPER_PREFERENCE[name]}")
+        )
+        matches += pref == PAPER_PREFERENCE[name]
+        headline[f"{name}_pref_match"] = float(pref == PAPER_PREFERENCE[name])
+    headline["preference_matches"] = float(matches)
+
+    result = ExperimentResult(
+        name="table1",
+        title="Standalone and minimum co-run execution times",
+        headline=headline,
+    )
+    result.add_section(
+        "Table I (ours vs paper; preference shown ours/paper)",
+        format_table(
+            ["program", "min co-run cpu", "min co-run gpu",
+             "cpu s", "paper", "gpu s", "paper", "pref"],
+            rows,
+        ),
+    )
+    return result

@@ -1,0 +1,61 @@
+"""Integrated CPU-GPU processor substrate.
+
+The paper's testbed is an Intel Ivy Bridge i7-3520M with an integrated HD
+Graphics 4000 GPU: CPU and GPU share the last-level cache and main memory,
+each has its own DVFS domain, and the chip enforces a power cap.  This
+subpackage is an analytical simulator of that platform exposing exactly the
+observables the paper's algorithms consume:
+
+* per-device frequency domains (16 CPU levels, 10 GPU levels),
+* a voltage/frequency power model per device plus shared uncore power,
+* a shared memory system with a contention model that reproduces the
+  qualitative degradation asymmetries of the paper's Figures 5 and 6,
+* RAPL-style power sampling.
+
+See DESIGN.md section 4 for the governing equations and calibration targets.
+"""
+
+from repro.hardware.frequency import (
+    FrequencyDomain,
+    FrequencySetting,
+    enumerate_settings,
+    ivy_bridge_cpu_domain,
+    ivy_bridge_gpu_domain,
+)
+from repro.hardware.voltage import VoltageCurve
+from repro.hardware.power import ChipPowerModel, DevicePowerModel, UncorePowerModel
+from repro.hardware.memory import BandwidthDemand, ContentionParams, MemorySystem
+from repro.hardware.device import ComputeDevice, DeviceKind
+from repro.hardware.processor import IntegratedProcessor
+from repro.hardware.rapl import PowerSample, PowerTrace, sample_power_trace
+from repro.hardware.calibration import (
+    DEFAULT_POWER_CAP_W,
+    MODEL_POWER_CAP_W,
+    make_amd_llano,
+    make_ivy_bridge,
+)
+
+__all__ = [
+    "FrequencyDomain",
+    "FrequencySetting",
+    "enumerate_settings",
+    "ivy_bridge_cpu_domain",
+    "ivy_bridge_gpu_domain",
+    "VoltageCurve",
+    "DevicePowerModel",
+    "UncorePowerModel",
+    "ChipPowerModel",
+    "BandwidthDemand",
+    "ContentionParams",
+    "MemorySystem",
+    "ComputeDevice",
+    "DeviceKind",
+    "IntegratedProcessor",
+    "PowerSample",
+    "PowerTrace",
+    "sample_power_trace",
+    "make_ivy_bridge",
+    "make_amd_llano",
+    "DEFAULT_POWER_CAP_W",
+    "MODEL_POWER_CAP_W",
+]

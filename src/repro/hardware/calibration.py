@@ -1,0 +1,208 @@
+"""Default calibration: an Ivy-Bridge-like integrated processor.
+
+The constants below target the published characteristics of the paper's
+platform (Intel i7-3520M + HD Graphics 4000, TDP 35 W) and the qualitative
+facts of its measurements:
+
+* CPU DVFS 1.2-3.6 GHz in 16 levels; GPU 0.35-1.25 GHz in 10 levels
+  (Section VI "Platform").
+* Full-bore chip power ~35 W, so the experiments' 15-16 W caps genuinely
+  throttle both devices.
+* Shared-memory contention surfaces matching Figures 5/6: worst-case CPU
+  degradation ~65% (when both co-runners demand > 8.5 GB/s), worst-case GPU
+  degradation ~45%, GPU more sensitive than CPU at low/medium contention.
+* Per-device streaming limits ~11 GB/s — the top of the micro-benchmark
+  throughput range — rising with core frequency.
+
+``tests/hardware/test_calibration.py`` locks these facts in.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.device import ComputeDevice, DeviceKind
+from repro.hardware.frequency import (
+    FrequencyDomain,
+    ivy_bridge_cpu_domain,
+    ivy_bridge_gpu_domain,
+)
+from repro.hardware.memory import ContentionParams, MemorySystem
+from repro.hardware.power import ChipPowerModel, DevicePowerModel, UncorePowerModel
+from repro.hardware.processor import IntegratedProcessor
+from repro.hardware.voltage import VoltageCurve
+
+#: Power cap used by the scheduling experiments (Figures 10/11, Section III).
+DEFAULT_POWER_CAP_W = 15.0
+
+#: Power cap used by the model-accuracy experiments (Figures 8/9).
+MODEL_POWER_CAP_W = 16.0
+
+#: Sustainable shared main-memory bandwidth (GB/s).  Slightly above the
+#: per-device streaming limit of 11 GB/s: two streams together extract more
+#: DRAM page parallelism than one, but far less than 2x.
+PEAK_SHARED_BW_GBPS = 14.2
+
+#: Per-device streaming-bandwidth ceiling at max frequency (GB/s).  This is
+#: the top of the paper's 0-11 GB/s micro-benchmark throughput range.
+DEVICE_BW_LIMIT_GBPS = 11.0
+
+
+def _cpu_device() -> ComputeDevice:
+    return ComputeDevice(
+        kind=DeviceKind.CPU,
+        name="ivb-cpu",
+        domain=ivy_bridge_cpu_domain(),
+        n_units=4,
+        bw_limit_max_gbps=DEVICE_BW_LIMIT_GBPS,
+        bw_limit_floor_frac=0.52,
+    )
+
+
+def _gpu_device() -> ComputeDevice:
+    return ComputeDevice(
+        kind=DeviceKind.GPU,
+        name="hd4000",
+        domain=ivy_bridge_gpu_domain(),
+        n_units=16,
+        bw_limit_max_gbps=DEVICE_BW_LIMIT_GBPS,
+        bw_limit_floor_frac=0.28,
+    )
+
+
+def _memory_system() -> MemorySystem:
+    # Calibration targets (see module docstring):
+    #   stall_cpu(11, 11) ~= 1.65 -> 65% degradation for a pure-memory kernel
+    #   stall_gpu(11, 11) ~= 1.45 -> 45%
+    # which fixes the share weights: the GPU's deeper miss queues earn it a
+    # ~14% larger share of saturated bandwidth.
+    cpu = ContentionParams(
+        latency_sensitivity=0.12,
+        spike_coeff=0.90,
+        spike_knee=0.65,
+        share_weight=1.00,
+    )
+    gpu = ContentionParams(
+        latency_sensitivity=0.50,
+        spike_coeff=0.15,
+        spike_knee=0.65,
+        share_weight=1.14,
+    )
+    return MemorySystem(
+        peak_bw_gbps=PEAK_SHARED_BW_GBPS, cpu_params=cpu, gpu_params=gpu
+    )
+
+
+def _chip_power_model() -> ChipPowerModel:
+    # CPU dynamic power ~20 W flat out (4.591 * 3.6 GHz * 1.10 V^2); GPU
+    # ~11 W (7.982 * 1.25 GHz * 1.05 V^2).  With leakage (1.5 + 1.0 W) and
+    # uncore (~3 W at full traffic) the chip tops out near the 35 W TDP.
+    cpu = DevicePowerModel(
+        name="ivb-cpu",
+        leakage_w=1.5,
+        dyn_coeff=4.591,
+        curve=VoltageCurve(fmin_ghz=1.2, fmax_ghz=3.6, vmin=0.75, vmax=1.10),
+        stall_power_fraction=0.62,
+        idle_util=0.02,
+    )
+    gpu = DevicePowerModel(
+        name="hd4000",
+        leakage_w=1.0,
+        dyn_coeff=7.982,
+        curve=VoltageCurve(fmin_ghz=0.35, fmax_ghz=1.25, vmin=0.70, vmax=1.05),
+        stall_power_fraction=0.62,
+        idle_util=0.02,
+    )
+    uncore = UncorePowerModel(base_w=2.0, per_gbps_w=0.08)
+    return ChipPowerModel(cpu=cpu, gpu=gpu, uncore=uncore)
+
+
+def make_ivy_bridge() -> IntegratedProcessor:
+    """Build the default Ivy-Bridge-like integrated processor."""
+    return IntegratedProcessor(
+        name="i7-3520M+HD4000",
+        cpu=_cpu_device(),
+        gpu=_gpu_device(),
+        memory=_memory_system(),
+        power=_chip_power_model(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# A second platform: an AMD-Llano-like mobile APU.
+#
+# The paper notes the same co-run phenomena "on the heterogeneous integrated
+# systems (both Intel and AMD)" (Section V-A).  This alternative calibration
+# models a 32 nm mobile Fusion part (A8-3500M class): a slower, leakier CPU
+# with a narrower DVFS span, a wide but low-clocked GPU, and a slightly
+# weaker shared-memory system.  Used by the cross-platform experiment to
+# check that the scheduling results are not an artifact of one calibration.
+# ---------------------------------------------------------------------------
+
+def _llano_cpu_device() -> ComputeDevice:
+    return ComputeDevice(
+        kind=DeviceKind.CPU,
+        name="llano-cpu",
+        domain=FrequencyDomain.linspace("cpu", 0.8, 2.4, 8),
+        n_units=4,
+        bw_limit_max_gbps=10.4,
+        bw_limit_floor_frac=0.50,
+    )
+
+
+def _llano_gpu_device() -> ComputeDevice:
+    return ComputeDevice(
+        kind=DeviceKind.GPU,
+        name="llano-gpu",
+        domain=FrequencyDomain.linspace("gpu", 0.20, 0.444, 5),
+        n_units=400,
+        bw_limit_max_gbps=10.8,
+        bw_limit_floor_frac=0.30,
+    )
+
+
+def _llano_memory_system() -> MemorySystem:
+    cpu = ContentionParams(
+        latency_sensitivity=0.14,
+        spike_coeff=1.00,
+        spike_knee=0.62,
+        share_weight=1.00,
+    )
+    gpu = ContentionParams(
+        latency_sensitivity=0.55,
+        spike_coeff=0.18,
+        spike_knee=0.62,
+        share_weight=1.20,
+    )
+    return MemorySystem(peak_bw_gbps=12.8, cpu_params=cpu, gpu_params=gpu)
+
+
+def _llano_chip_power_model() -> ChipPowerModel:
+    # 32 nm: leakier, higher voltage floor; chip tops out near its 35 W TDP.
+    cpu = DevicePowerModel(
+        name="llano-cpu",
+        leakage_w=2.0,
+        dyn_coeff=6.2,
+        curve=VoltageCurve(fmin_ghz=0.8, fmax_ghz=2.4, vmin=0.80, vmax=1.10),
+        stall_power_fraction=0.62,
+        idle_util=0.02,
+    )
+    gpu = DevicePowerModel(
+        name="llano-gpu",
+        leakage_w=1.5,
+        dyn_coeff=20.4,
+        curve=VoltageCurve(fmin_ghz=0.20, fmax_ghz=0.444, vmin=0.80, vmax=1.05),
+        stall_power_fraction=0.62,
+        idle_util=0.02,
+    )
+    uncore = UncorePowerModel(base_w=2.2, per_gbps_w=0.09)
+    return ChipPowerModel(cpu=cpu, gpu=gpu, uncore=uncore)
+
+
+def make_amd_llano() -> IntegratedProcessor:
+    """Build the alternative AMD-Llano-like integrated processor."""
+    return IntegratedProcessor(
+        name="A8-3500M-like",
+        cpu=_llano_cpu_device(),
+        gpu=_llano_gpu_device(),
+        memory=_llano_memory_system(),
+        power=_llano_chip_power_model(),
+    )

@@ -1,0 +1,96 @@
+"""Compute devices: the CPU cluster and the integrated GPU.
+
+A device contributes two things to the execution model:
+
+* a relative **compute speed** proportional to frequency (program profiles
+  store their compute time at the device's reference frequency, normally the
+  maximum level), and
+* a **standalone bandwidth limit**: the most memory traffic the device can
+  generate at a given frequency.  Higher core frequency issues misses faster,
+  so the limit grows with frequency — the mechanism behind the paper's
+  observation that high-frequency runs contend harder (Section VI-B).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.hardware.frequency import FrequencyDomain
+from repro.util.validation import check_in_range, check_positive
+
+
+class DeviceKind(enum.Enum):
+    """The two processor types of Definition 2.1."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+
+    @property
+    def other(self) -> "DeviceKind":
+        """The opposite device kind (co-runners always sit on opposite kinds)."""
+        return DeviceKind.GPU if self is DeviceKind.CPU else DeviceKind.CPU
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class ComputeDevice:
+    """One side of the integrated processor.
+
+    Attributes
+    ----------
+    kind:
+        CPU or GPU.
+    name:
+        Human-readable label.
+    domain:
+        The device's DVFS domain.
+    n_units:
+        Core / execution-unit count (informational; program profiles already
+        fold unit counts into their per-device base times).
+    bw_limit_max_gbps:
+        Standalone streaming-bandwidth limit at the maximum frequency.
+    bw_limit_floor_frac:
+        Fraction of that limit still reachable at the minimum frequency.
+    """
+
+    kind: DeviceKind
+    name: str
+    domain: FrequencyDomain
+    n_units: int
+    bw_limit_max_gbps: float
+    bw_limit_floor_frac: float
+
+    def __post_init__(self) -> None:
+        if self.n_units < 1:
+            raise ValueError(f"n_units must be >= 1, got {self.n_units}")
+        check_positive("bw_limit_max_gbps", self.bw_limit_max_gbps)
+        check_in_range("bw_limit_floor_frac", self.bw_limit_floor_frac, 0.0, 1.0)
+
+    @property
+    def ref_ghz(self) -> float:
+        """Reference frequency for program base times (the max level)."""
+        return self.domain.fmax
+
+    def speed(self, f_ghz: float) -> float:
+        """Relative compute speed at ``f_ghz`` (1.0 at the reference level)."""
+        check_positive("f_ghz", f_ghz)
+        return f_ghz / self.ref_ghz
+
+    def compute_time(self, base_seconds: float, f_ghz: float) -> float:
+        """Scale a compute time profiled at the reference frequency to ``f_ghz``."""
+        return base_seconds / self.speed(f_ghz)
+
+    def bw_limit(self, f_ghz: float) -> float:
+        """Standalone bandwidth limit (GB/s) at ``f_ghz``.
+
+        Linear between ``floor * max`` at the minimum level and ``max`` at the
+        maximum level; clamped outside the domain range.
+        """
+        check_positive("f_ghz", f_ghz)
+        lo, hi = self.domain.fmin, self.domain.fmax
+        frac = (min(max(f_ghz, lo), hi) - lo) / (hi - lo)
+        floor = self.bw_limit_floor_frac * self.bw_limit_max_gbps
+        return floor + frac * (self.bw_limit_max_gbps - floor)

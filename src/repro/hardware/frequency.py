@@ -1,0 +1,130 @@
+"""DVFS frequency domains and chip-wide frequency settings.
+
+The paper's platform exposes 16 CPU frequency levels (1.2 GHz to 3.6 GHz)
+and 10 GPU levels (350 MHz to 1.25 GHz); a *frequency setting* is a pair of
+one level per domain, and the schedulers of Section IV traverse all settings
+that satisfy the power cap.  This module models the domains and provides the
+enumeration helpers the algorithms use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterator
+
+import numpy as np
+
+#: Tolerance when matching a frequency value to a discrete level (GHz).
+_LEVEL_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class FrequencyDomain:
+    """A discrete DVFS domain: an ascending tuple of frequency levels in GHz."""
+
+    name: str
+    levels: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.levels) < 1:
+            raise ValueError(f"domain {self.name!r} needs at least one level")
+        if any(f <= 0 for f in self.levels):
+            raise ValueError(f"domain {self.name!r} has non-positive levels")
+        if any(b <= a for a, b in zip(self.levels, self.levels[1:])):
+            raise ValueError(f"domain {self.name!r} levels must be strictly ascending")
+
+    @classmethod
+    def linspace(cls, name: str, fmin: float, fmax: float, n: int) -> "FrequencyDomain":
+        """Build a domain of ``n`` evenly spaced levels in ``[fmin, fmax]``."""
+        if n < 1:
+            raise ValueError("need at least one level")
+        if n == 1:
+            if fmin != fmax:
+                raise ValueError("single-level domain requires fmin == fmax")
+            return cls(name, (float(fmin),))
+        return cls(name, tuple(float(f) for f in np.linspace(fmin, fmax, n)))
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.levels)
+
+    @property
+    def fmin(self) -> float:
+        return self.levels[0]
+
+    @property
+    def fmax(self) -> float:
+        return self.levels[-1]
+
+    def level(self, index: int) -> float:
+        """Frequency (GHz) of the level at ``index`` (supports negatives)."""
+        return self.levels[index]
+
+    def index_of(self, f_ghz: float) -> int:
+        """Exact index of frequency ``f_ghz``; raises if it is not a level."""
+        for i, level in enumerate(self.levels):
+            if abs(level - f_ghz) <= _LEVEL_TOL:
+                return i
+        raise ValueError(f"{f_ghz} GHz is not a level of domain {self.name!r}")
+
+    def nearest_index(self, f_ghz: float) -> int:
+        """Index of the level closest to ``f_ghz``."""
+        diffs = [abs(level - f_ghz) for level in self.levels]
+        return int(np.argmin(diffs))
+
+    def contains(self, f_ghz: float) -> bool:
+        """Whether ``f_ghz`` matches one of the discrete levels."""
+        return any(abs(level - f_ghz) <= _LEVEL_TOL for level in self.levels)
+
+    def step_down(self, f_ghz: float) -> float | None:
+        """One level below ``f_ghz``, or ``None`` at the floor."""
+        i = self.index_of(f_ghz)
+        return self.levels[i - 1] if i > 0 else None
+
+    def step_up(self, f_ghz: float) -> float | None:
+        """One level above ``f_ghz``, or ``None`` at the ceiling."""
+        i = self.index_of(f_ghz)
+        return self.levels[i + 1] if i < self.n_levels - 1 else None
+
+    @property
+    def medium(self) -> float:
+        """The middle level — the paper's "medium frequency" setting."""
+        return self.levels[self.n_levels // 2]
+
+
+def ivy_bridge_cpu_domain() -> FrequencyDomain:
+    """The 16 CPU levels of the i7-3520M: 1.2 GHz .. 3.6 GHz.
+
+    16 evenly spaced levels give a 0.16 GHz step, matching the paper's count
+    ("16 frequency levels for CPU", Section III).
+    """
+    return FrequencyDomain.linspace("cpu", 1.2, 3.6, 16)
+
+
+def ivy_bridge_gpu_domain() -> FrequencyDomain:
+    """The 10 GPU levels of HD Graphics 4000: 0.35 GHz .. 1.25 GHz."""
+    return FrequencyDomain.linspace("gpu", 0.35, 1.25, 10)
+
+
+@dataclass(frozen=True, order=True)
+class FrequencySetting:
+    """A chip-wide frequency setting: one CPU level and one GPU level (GHz)."""
+
+    cpu_ghz: float
+    gpu_ghz: float
+
+    def __post_init__(self) -> None:
+        if self.cpu_ghz <= 0 or self.gpu_ghz <= 0:
+            raise ValueError(f"frequencies must be positive: {self}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"(cpu={self.cpu_ghz:.2f} GHz, gpu={self.gpu_ghz:.2f} GHz)"
+
+
+def enumerate_settings(
+    cpu_domain: FrequencyDomain, gpu_domain: FrequencyDomain
+) -> Iterator[FrequencySetting]:
+    """All cpu-level x gpu-level combinations (the K^2 space of Section III)."""
+    for fc in cpu_domain.levels:
+        for fg in gpu_domain.levels:
+            yield FrequencySetting(fc, fg)

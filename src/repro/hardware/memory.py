@@ -1,0 +1,145 @@
+"""Shared memory system and its bandwidth-contention model.
+
+Following the paper (Section V-A, citing Zhuravlev et al.), main-memory
+bandwidth contention — not LLC contention — is modeled as the dominant cause
+of co-run slowdown.  Concurrent requesters each declare a bandwidth *demand*
+(what they would consume running alone); the memory system answers with a
+per-requester *stall factor*, the multiplier applied to that requester's
+memory-bound time.
+
+The model combines two effects:
+
+1. **Capacity sharing.**  When total demand exceeds the sustainable peak
+   bandwidth ``B``, achieved bandwidths shrink to weighted proportional
+   shares.  The GPU's deeper request queues win it a slightly larger share
+   (``share_weight``), which is why the *CPU* degrades worst when both
+   co-runners stream heavily — the paper observed 65% worst-case CPU
+   degradation versus 45% for the GPU (Figures 5/6).
+
+2. **Queueing latency.**  Even below saturation, a co-runner's traffic
+   inflates average memory latency.  The GPU tolerates latency poorly *in
+   this integrated setting* because its latency-hiding capacity is sized for
+   its own traffic only, so its linear sensitivity ``latency_sensitivity``
+   is higher: it explains the paper's observation that GPU degradations
+   cluster in the 20–40% band while the CPU often stays below 20%.  The CPU
+   additionally suffers a superlinear latency *spike* as utilization passes
+   ``spike_knee`` (out-of-order windows fill up), captured by
+   ``spike_coeff``.
+
+The per-requester stall factor is the maximum of the two effects (whichever
+bottleneck binds), which keeps the surface monotone in both demands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.hardware.device import DeviceKind
+from repro.util.validation import check_in_range, check_nonnegative, check_positive
+
+
+@dataclass(frozen=True)
+class ContentionParams:
+    """Per-device-kind contention parameters (see module docstring)."""
+
+    latency_sensitivity: float
+    spike_coeff: float
+    spike_knee: float
+    share_weight: float
+
+    def __post_init__(self) -> None:
+        check_nonnegative("latency_sensitivity", self.latency_sensitivity)
+        check_nonnegative("spike_coeff", self.spike_coeff)
+        check_in_range("spike_knee", self.spike_knee, 0.0, 1.0)
+        check_positive("share_weight", self.share_weight)
+
+
+@dataclass(frozen=True)
+class BandwidthDemand:
+    """One requester's declared standalone bandwidth demand."""
+
+    kind: DeviceKind
+    gbps: float
+
+    def __post_init__(self) -> None:
+        check_nonnegative("gbps", self.gbps)
+
+
+@dataclass(frozen=True)
+class MemorySystem:
+    """The shared LLC + DRAM subsystem seen by both devices."""
+
+    peak_bw_gbps: float
+    cpu_params: ContentionParams
+    gpu_params: ContentionParams
+
+    def __post_init__(self) -> None:
+        check_positive("peak_bw_gbps", self.peak_bw_gbps)
+
+    def _params(self, kind: DeviceKind) -> ContentionParams:
+        return self.cpu_params if kind is DeviceKind.CPU else self.gpu_params
+
+    def stall_factors(self, demands: Sequence[BandwidthDemand]) -> list[float]:
+        """Per-requester memory-time multipliers (>= 1) under contention.
+
+        A single requester (or none) never stalls: contention needs at least
+        two active demand streams.
+        """
+        if not demands:
+            return []
+        total = sum(d.gbps for d in demands)
+        if len(demands) == 1 or total <= 0.0:
+            return [1.0] * len(demands)
+
+        b = self.peak_bw_gbps
+        rho = total / b
+        # Weighted proportional shares bind only past saturation.
+        weighted_total = sum(self._params(d.kind).share_weight * d.gbps for d in demands)
+
+        factors: list[float] = []
+        for d in demands:
+            if d.gbps == 0.0:
+                factors.append(1.0)
+                continue
+            p = self._params(d.kind)
+            if total > b:
+                share = b * p.share_weight * d.gbps / weighted_total
+                cap_inflation = d.gbps / share
+            else:
+                cap_inflation = 1.0
+            u_other = (total - d.gbps) / b
+            knee_excess = max(0.0, min(rho, 1.0) - p.spike_knee)
+            # The saturation spike is gated by the co-runners' share of the
+            # total pressure: a requester's own traffic is already priced
+            # into its standalone baseline and must not self-stall it.
+            other_share = (total - d.gbps) / total
+            latency_inflation = (
+                1.0
+                + p.latency_sensitivity * u_other
+                + p.spike_coeff * knee_excess * knee_excess * other_share
+            )
+            factors.append(max(cap_inflation, latency_inflation))
+        return factors
+
+    def achieved_bandwidths(self, demands: Sequence[BandwidthDemand]) -> list[float]:
+        """Bandwidth each requester actually receives under contention.
+
+        Achieved bandwidth is demand divided by the stall factor: a requester
+        whose memory time dilates by ``s`` moves the same bytes in ``s`` times
+        as long.
+        """
+        factors = self.stall_factors(demands)
+        return [d.gbps / f for d, f in zip(demands, factors)]
+
+    def pair_stall_factors(
+        self, cpu_demand_gbps: float, gpu_demand_gbps: float
+    ) -> tuple[float, float]:
+        """Convenience for the common CPU-vs-GPU pair case."""
+        factors = self.stall_factors(
+            [
+                BandwidthDemand(DeviceKind.CPU, cpu_demand_gbps),
+                BandwidthDemand(DeviceKind.GPU, gpu_demand_gbps),
+            ]
+        )
+        return factors[0], factors[1]

@@ -1,0 +1,129 @@
+"""Power models for the integrated processor.
+
+Chip power is the sum of three parts:
+
+* per-device power: leakage plus dynamic power ``c * f * V(f)^2 * util``,
+  where ``util`` is the fraction of cycles the device is doing useful work
+  (memory stalls burn only a fraction of active dynamic power);
+* uncore power (ring, LLC, memory controller): a base term plus a term
+  proportional to the memory traffic actually flowing.
+
+The paper's Section V-B power predictor approximates co-run power as the sum
+of the two standalone powers at the same frequencies; the ground-truth
+deviation from that (utilization shifts and contended-vs-nominal bandwidth)
+is what produces the ~2% errors of Figure 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.voltage import VoltageCurve
+from repro.util.validation import check_in_range, check_nonnegative, check_positive
+
+
+@dataclass(frozen=True)
+class DevicePowerModel:
+    """Power model of one device (CPU cluster or GPU slice).
+
+    Attributes
+    ----------
+    name:
+        Device label (diagnostics only).
+    leakage_w:
+        Static power drawn whenever the device is powered, in watts.
+    dyn_coeff:
+        Dynamic coefficient ``c`` in ``P_dyn = c * f[GHz] * V(f)^2 * util``.
+    curve:
+        The device's voltage/frequency curve.
+    stall_power_fraction:
+        Fraction of full dynamic power burned during a memory-stall cycle
+        (the front end keeps clocking while execution units idle).
+    idle_util:
+        Effective utilization when the device runs no job (clock-gated).
+    """
+
+    name: str
+    leakage_w: float
+    dyn_coeff: float
+    curve: VoltageCurve
+    stall_power_fraction: float = 0.45
+    idle_util: float = 0.02
+
+    def __post_init__(self) -> None:
+        check_nonnegative("leakage_w", self.leakage_w)
+        check_positive("dyn_coeff", self.dyn_coeff)
+        check_in_range("stall_power_fraction", self.stall_power_fraction, 0.0, 1.0)
+        check_in_range("idle_util", self.idle_util, 0.0, 1.0)
+
+    def dynamic_power(self, f_ghz: float, util: float = 1.0) -> float:
+        """Dynamic power at frequency ``f_ghz`` and utilization ``util``."""
+        check_in_range("util", util, 0.0, 1.0)
+        v = self.curve.voltage(f_ghz)
+        return self.dyn_coeff * f_ghz * v * v * util
+
+    def power(self, f_ghz: float, util: float) -> float:
+        """Total device power (leakage + dynamic)."""
+        return self.leakage_w + self.dynamic_power(f_ghz, util)
+
+    def active_power(self, f_ghz: float) -> float:
+        """Device power when fully busy (util = 1)."""
+        return self.power(f_ghz, 1.0)
+
+    def idle_power(self, f_ghz: float) -> float:
+        """Device power when hosting no job."""
+        return self.power(f_ghz, self.idle_util)
+
+    def effective_util(self, compute_fraction: float) -> float:
+        """Utilization of a workload spending ``compute_fraction`` of time computing.
+
+        The remaining ``1 - compute_fraction`` is memory-stall time, billed at
+        :attr:`stall_power_fraction` of full dynamic power.
+        """
+        check_in_range("compute_fraction", compute_fraction, 0.0, 1.0)
+        return compute_fraction + (1.0 - compute_fraction) * self.stall_power_fraction
+
+
+@dataclass(frozen=True)
+class UncorePowerModel:
+    """Shared-uncore power: base plus a memory-traffic-proportional term."""
+
+    base_w: float
+    per_gbps_w: float
+
+    def __post_init__(self) -> None:
+        check_nonnegative("base_w", self.base_w)
+        check_nonnegative("per_gbps_w", self.per_gbps_w)
+
+    def power(self, total_bw_gbps: float) -> float:
+        """Uncore power when ``total_bw_gbps`` of traffic flows through it."""
+        check_nonnegative("total_bw_gbps", total_bw_gbps)
+        return self.base_w + self.per_gbps_w * total_bw_gbps
+
+
+@dataclass(frozen=True)
+class ChipPowerModel:
+    """Aggregate chip power: CPU + GPU + uncore."""
+
+    cpu: DevicePowerModel
+    gpu: DevicePowerModel
+    uncore: UncorePowerModel
+
+    def total(
+        self,
+        cpu_ghz: float,
+        gpu_ghz: float,
+        cpu_util: float,
+        gpu_util: float,
+        total_bw_gbps: float,
+    ) -> float:
+        """Instantaneous chip power for the given operating point."""
+        return (
+            self.cpu.power(cpu_ghz, cpu_util)
+            + self.gpu.power(gpu_ghz, gpu_util)
+            + self.uncore.power(total_bw_gbps)
+        )
+
+    def max_power(self, cpu_fmax: float, gpu_fmax: float, bw_gbps: float) -> float:
+        """Worst-case chip power (both devices fully busy at max frequency)."""
+        return self.total(cpu_fmax, gpu_fmax, 1.0, 1.0, bw_gbps)

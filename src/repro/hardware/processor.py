@@ -1,0 +1,81 @@
+"""The integrated processor: two devices + shared memory + chip power.
+
+This is the top-level hardware object threaded through the engine, model,
+and scheduler layers.  It answers the two questions the algorithms care
+about: *how fast* does an operating point run, and *how much power* does it
+draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterator
+
+from repro.hardware.device import ComputeDevice, DeviceKind
+from repro.hardware.frequency import FrequencySetting, enumerate_settings
+from repro.hardware.memory import MemorySystem
+from repro.hardware.power import ChipPowerModel
+
+
+@dataclass(frozen=True)
+class IntegratedProcessor:
+    """An integrated CPU-GPU chip in the style of Ivy Bridge (Figure 1)."""
+
+    name: str
+    cpu: ComputeDevice
+    gpu: ComputeDevice
+    memory: MemorySystem
+    power: ChipPowerModel
+
+    def __post_init__(self) -> None:
+        if self.cpu.kind is not DeviceKind.CPU:
+            raise ValueError("cpu slot must hold a CPU device")
+        if self.gpu.kind is not DeviceKind.GPU:
+            raise ValueError("gpu slot must hold a GPU device")
+
+    def device(self, kind: DeviceKind) -> ComputeDevice:
+        """The device of the given kind."""
+        return self.cpu if kind is DeviceKind.CPU else self.gpu
+
+    def settings(self) -> Iterator[FrequencySetting]:
+        """All (cpu level, gpu level) frequency settings."""
+        return enumerate_settings(self.cpu.domain, self.gpu.domain)
+
+    @property
+    def n_settings(self) -> int:
+        """Size of the frequency-setting space (16 x 10 = 160 by default)."""
+        return self.cpu.domain.n_levels * self.gpu.domain.n_levels
+
+    @property
+    def max_setting(self) -> FrequencySetting:
+        """Both domains at their highest level."""
+        return FrequencySetting(self.cpu.domain.fmax, self.gpu.domain.fmax)
+
+    @property
+    def medium_setting(self) -> FrequencySetting:
+        """Both domains at their middle level (the paper's "medium" case)."""
+        return FrequencySetting(self.cpu.domain.medium, self.gpu.domain.medium)
+
+    @property
+    def min_setting(self) -> FrequencySetting:
+        """Both domains at their lowest level."""
+        return FrequencySetting(self.cpu.domain.fmin, self.gpu.domain.fmin)
+
+    def chip_power(
+        self,
+        setting: FrequencySetting,
+        cpu_util: float,
+        gpu_util: float,
+        total_bw_gbps: float,
+    ) -> float:
+        """Instantaneous chip power at an operating point."""
+        return self.power.total(
+            setting.cpu_ghz, setting.gpu_ghz, cpu_util, gpu_util, total_bw_gbps
+        )
+
+    def validate_setting(self, setting: FrequencySetting) -> None:
+        """Raise if ``setting`` uses frequencies outside the discrete domains."""
+        if not self.cpu.domain.contains(setting.cpu_ghz):
+            raise ValueError(f"{setting.cpu_ghz} GHz is not a CPU level")
+        if not self.gpu.domain.contains(setting.gpu_ghz):
+            raise ValueError(f"{setting.gpu_ghz} GHz is not a GPU level")

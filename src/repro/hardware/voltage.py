@@ -1,0 +1,45 @@
+"""Voltage/frequency curves.
+
+Dynamic power scales as ``C * f * V(f)^2``; on real parts the operating
+voltage rises roughly linearly with frequency across the DVFS range, which is
+what makes low frequency levels disproportionately power-efficient — the
+effect the power-cap policies of the paper exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class VoltageCurve:
+    """Linear V/f curve: ``V(fmin) = vmin`` rising to ``V(fmax) = vmax``."""
+
+    fmin_ghz: float
+    fmax_ghz: float
+    vmin: float
+    vmax: float
+
+    def __post_init__(self) -> None:
+        check_positive("fmin_ghz", self.fmin_ghz)
+        check_positive("vmin", self.vmin)
+        if self.fmax_ghz <= self.fmin_ghz:
+            raise ValueError("fmax_ghz must exceed fmin_ghz")
+        if self.vmax < self.vmin:
+            raise ValueError("vmax must be >= vmin")
+
+    def voltage(self, f_ghz: float) -> float:
+        """Operating voltage at ``f_ghz``, clamped to the curve's endpoints.
+
+        Clamping (rather than extrapolating) mirrors real voltage tables: the
+        part cannot run below its minimum operating voltage.
+        """
+        check_positive("f_ghz", f_ghz)
+        if f_ghz <= self.fmin_ghz:
+            return self.vmin
+        if f_ghz >= self.fmax_ghz:
+            return self.vmax
+        frac = (f_ghz - self.fmin_ghz) / (self.fmax_ghz - self.fmin_ghz)
+        return self.vmin + frac * (self.vmax - self.vmin)

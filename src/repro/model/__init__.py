@@ -1,0 +1,51 @@
+"""Co-run performance and power modeling (the paper's Section V).
+
+Exhaustively profiling every co-run of N programs at K^2 frequency settings
+would cost O(N^2 K^2) runs.  The paper instead:
+
+1. characterizes the *co-run degradation space* once, by co-running a
+   tunable micro-benchmark against itself across an 11x11 grid of bandwidth
+   settings (Figures 5/6) — :mod:`repro.model.characterize`;
+2. profiles each program *standalone* per device and frequency level
+   (time, bandwidth demand, power) — :mod:`repro.model.profiler`;
+3. predicts any pair's co-run degradation by staged interpolation of the
+   space at the pair's standalone bandwidths — :mod:`repro.model.space`,
+   :mod:`repro.model.interpolation`, :mod:`repro.model.predictor`;
+4. predicts co-run power as the sum of the standalone device powers plus
+   shared-uncore power — :mod:`repro.model.predictor`.
+
+:mod:`repro.model.accuracy` scores the predictions against the ground-truth
+engine, regenerating the error histograms of Figures 7 and 8.
+"""
+
+from repro.model.interpolation import BilinearGrid
+from repro.model.space import DegradationSpace, StagedDegradationSpace
+from repro.model.characterize import characterize_space, characterize_staged_space
+from repro.model.profiler import ProfileTable, profile_workload
+from repro.model.predictor import CoRunPredictor, OracleDegradations
+from repro.model.accuracy import (
+    PairAccuracy,
+    evaluate_performance_model,
+    evaluate_power_model,
+)
+from repro.model.sampling import SamplingConfig, sample_profile_table
+from repro.model.crossrun import estimate_scaled_profiles, merge_tables
+
+__all__ = [
+    "BilinearGrid",
+    "DegradationSpace",
+    "characterize_space",
+    "characterize_staged_space",
+    "StagedDegradationSpace",
+    "ProfileTable",
+    "profile_workload",
+    "CoRunPredictor",
+    "OracleDegradations",
+    "PairAccuracy",
+    "evaluate_performance_model",
+    "evaluate_power_model",
+    "SamplingConfig",
+    "sample_profile_table",
+    "estimate_scaled_profiles",
+    "merge_tables",
+]

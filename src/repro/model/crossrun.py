@@ -1,0 +1,102 @@
+"""Cross-run (input-scaling) profile estimation (the paper's reference [27]).
+
+Tian et al.'s "input-consciousness" line predicts a program's behaviour on
+a new input from profiles collected on previous inputs.  The 16-program
+study runs *two differently sized instances* of every program; profiling
+each instance separately doubles the offline cost, but with cross-run
+estimation only the base input is profiled and scaled instances are
+predicted:
+
+* run **time** scales with the input factor (both compute and traffic
+  scale; the ratio structure is input-invariant);
+* **bandwidth demand** is input-invariant (same intensity, longer run);
+* **power** is input-invariant (same operating point, longer run).
+
+These relations hold exactly for :meth:`ProgramProfile.scaled` instances,
+so the estimator's error comes only from *estimating the scale factor*,
+which callers typically derive from input bytes.  The estimator also
+accepts an explicit factor per instance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.hardware.device import DeviceKind
+from repro.workload.program import Job
+from repro.model.profiler import ProfileTable, _JobProfile
+from repro.util.validation import check_positive
+
+
+def estimate_scaled_profiles(
+    base_table: ProfileTable,
+    instances: Sequence[tuple[Job, str, float]],
+) -> ProfileTable:
+    """Build a profile table for scaled instances without re-profiling.
+
+    ``instances`` is a list of ``(job, base_uid, scale)`` triples: the job
+    to estimate, the uid of its profiled base program in ``base_table``,
+    and the input-scale factor relating them.  Returns a table covering
+    exactly the given instances.
+    """
+    profiles: dict[tuple[str, DeviceKind], _JobProfile] = {}
+    jobs = []
+    seen = set()
+    for job, base_uid, scale in instances:
+        check_positive(f"scale[{job.uid}]", scale)
+        if job.uid in seen:
+            raise ValueError(f"duplicate instance uid {job.uid!r}")
+        seen.add(job.uid)
+        jobs.append(job)
+        for kind in DeviceKind:
+            base = base_table._profiles[(base_uid, kind)]
+            profiles[(job.uid, kind)] = _JobProfile(
+                time_s=base.time_s * scale,
+                demand_gbps=base.demand_gbps.copy(),
+                own_power_w=base.own_power_w.copy(),
+                chip_power_w=base.chip_power_w.copy(),
+            )
+    return ProfileTable(
+        processor=base_table.processor, jobs=tuple(jobs), _profiles=profiles
+    )
+
+
+def merge_tables(a: ProfileTable, b: ProfileTable) -> ProfileTable:
+    """Combine two profile tables over the same processor."""
+    if a.processor != b.processor:
+        raise ValueError("tables must share a processor")
+    overlap = set(a.uids) & set(b.uids)
+    if overlap:
+        raise ValueError(f"duplicate uids across tables: {sorted(overlap)}")
+    return ProfileTable(
+        processor=a.processor,
+        jobs=tuple(a.jobs) + tuple(b.jobs),
+        _profiles={**a._profiles, **b._profiles},
+    )
+
+
+def crossrun_errors(
+    exact: ProfileTable, estimated: ProfileTable
+) -> Mapping[str, float]:
+    """Relative time/demand errors of the estimate vs an exact table."""
+    t_errs, d_errs = [], []
+    for job in estimated.jobs:
+        for kind in DeviceKind:
+            for f in exact.processor.device(kind).domain.levels:
+                t_ref = exact.time_s(job.uid, kind, f)
+                t_errs.append(
+                    abs(estimated.time_s(job.uid, kind, f) - t_ref) / t_ref
+                )
+                d_ref = exact.demand_gbps(job.uid, kind, f)
+                if d_ref > 0:
+                    d_errs.append(
+                        abs(estimated.demand_gbps(job.uid, kind, f) - d_ref)
+                        / d_ref
+                    )
+    return {
+        "time_mean_error": float(np.mean(t_errs)),
+        "time_max_error": float(np.max(t_errs)),
+        "demand_mean_error": float(np.mean(d_errs)) if d_errs else 0.0,
+    }

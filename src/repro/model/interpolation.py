@@ -1,0 +1,78 @@
+"""Two-dimensional bilinear interpolation over a rectangular grid.
+
+The degradation space is characterized at discrete (CPU-bandwidth,
+GPU-bandwidth) nodes; real program pairs land between nodes and are
+predicted by bilinear interpolation — the paper's "two-dimensional linear
+interpolations upon the performance space" (Section V-C).
+
+Coordinates outside the characterized range are clamped to the boundary.
+That is a faithful reproduction of the method's limitation: a pair whose
+demand exceeds anything the micro-benchmark can generate is predicted at
+the space's edge (and hence under-predicted), one of the reasons the model's
+worst errors occur for high-demand pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BilinearGrid:
+    """A function of two variables sampled on a rectangular grid.
+
+    ``values[i, j]`` is the sample at ``(x_levels[i], y_levels[j])``.
+    """
+
+    x_levels: np.ndarray
+    y_levels: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        x = np.asarray(self.x_levels, dtype=float)
+        y = np.asarray(self.y_levels, dtype=float)
+        v = np.asarray(self.values, dtype=float)
+        if x.ndim != 1 or y.ndim != 1:
+            raise ValueError("x_levels and y_levels must be 1-D")
+        if x.size < 2 or y.size < 2:
+            raise ValueError("need at least a 2x2 grid")
+        if np.any(np.diff(x) <= 0) or np.any(np.diff(y) <= 0):
+            raise ValueError("grid levels must be strictly ascending")
+        if v.shape != (x.size, y.size):
+            raise ValueError(
+                f"values shape {v.shape} does not match grid "
+                f"({x.size}, {y.size})"
+            )
+        if not np.all(np.isfinite(v)):
+            raise ValueError("grid values must be finite")
+        object.__setattr__(self, "x_levels", x)
+        object.__setattr__(self, "y_levels", y)
+        object.__setattr__(self, "values", v)
+
+    def __call__(self, x: float, y: float) -> float:
+        """Bilinearly interpolated value at ``(x, y)``, clamped to the grid."""
+        xs, ys, v = self.x_levels, self.y_levels, self.values
+        x = float(np.clip(x, xs[0], xs[-1]))
+        y = float(np.clip(y, ys[0], ys[-1]))
+
+        i = int(np.searchsorted(xs, x, side="right") - 1)
+        j = int(np.searchsorted(ys, y, side="right") - 1)
+        i = min(max(i, 0), xs.size - 2)
+        j = min(max(j, 0), ys.size - 2)
+
+        tx = (x - xs[i]) / (xs[i + 1] - xs[i])
+        ty = (y - ys[j]) / (ys[j + 1] - ys[j])
+        v00, v01 = v[i, j], v[i, j + 1]
+        v10, v11 = v[i + 1, j], v[i + 1, j + 1]
+        return float(
+            v00 * (1 - tx) * (1 - ty)
+            + v10 * tx * (1 - ty)
+            + v01 * (1 - tx) * ty
+            + v11 * tx * ty
+        )
+
+    def max_value(self) -> float:
+        """Largest sample in the grid."""
+        return float(self.values.max())

@@ -1,0 +1,114 @@
+"""Offline standalone profiling.
+
+The paper records, for every program, device, and frequency level, the
+standalone run time and power ("we use offline profiling to record the
+standalone performance and power usage at each frequency level", Section
+V-C).  These are the ``l_{i,p,f}`` values of the algorithms, plus the
+bandwidth-demand coordinates the interpolation model needs.
+
+For N programs this costs N x (16 + 10) solo runs — linear in N, unlike
+exhaustive pair profiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.hardware.device import DeviceKind
+from repro.hardware.processor import IntegratedProcessor
+from repro.workload.program import Job
+from repro.engine.standalone import standalone_power_w, standalone_run
+
+
+@dataclass(frozen=True)
+class _JobProfile:
+    """Per-level standalone observations for one job on one device."""
+
+    time_s: np.ndarray
+    demand_gbps: np.ndarray
+    own_power_w: np.ndarray
+    chip_power_w: np.ndarray
+
+
+@dataclass(frozen=True)
+class ProfileTable:
+    """Standalone profiles of a job set on one processor.
+
+    All lookups are keyed by job uid, device kind, and an exact frequency
+    level of the corresponding domain.
+    """
+
+    processor: IntegratedProcessor
+    jobs: tuple[Job, ...]
+    _profiles: dict[tuple[str, DeviceKind], _JobProfile]
+
+    def _lookup(self, uid: str, kind: DeviceKind, f_ghz: float) -> tuple[_JobProfile, int]:
+        try:
+            prof = self._profiles[(uid, kind)]
+        except KeyError:
+            raise KeyError(f"job {uid!r} was not profiled") from None
+        idx = self.processor.device(kind).domain.index_of(f_ghz)
+        return prof, idx
+
+    def time_s(self, uid: str, kind: DeviceKind, f_ghz: float) -> float:
+        """Standalone run time ``l_{i,p,f}``."""
+        prof, idx = self._lookup(uid, kind, f_ghz)
+        return float(prof.time_s[idx])
+
+    def demand_gbps(self, uid: str, kind: DeviceKind, f_ghz: float) -> float:
+        """Standalone memory-bandwidth demand (interpolation coordinate)."""
+        prof, idx = self._lookup(uid, kind, f_ghz)
+        return float(prof.demand_gbps[idx])
+
+    def own_power_w(self, uid: str, kind: DeviceKind, f_ghz: float) -> float:
+        """Standalone power of the device the job runs on."""
+        prof, idx = self._lookup(uid, kind, f_ghz)
+        return float(prof.own_power_w[idx])
+
+    def chip_power_w(self, uid: str, kind: DeviceKind, f_ghz: float) -> float:
+        """Whole-chip power of the standalone run (other device idle)."""
+        prof, idx = self._lookup(uid, kind, f_ghz)
+        return float(prof.chip_power_w[idx])
+
+    def job(self, uid: str) -> Job:
+        """The job object behind a uid."""
+        for j in self.jobs:
+            if j.uid == uid:
+                return j
+        raise KeyError(f"unknown job {uid!r}")
+
+    @property
+    def uids(self) -> list[str]:
+        return [j.uid for j in self.jobs]
+
+
+def profile_workload(
+    processor: IntegratedProcessor, jobs: Sequence[Job]
+) -> ProfileTable:
+    """Profile every job standalone on both devices at every frequency level."""
+    uids = [j.uid for j in jobs]
+    if len(set(uids)) != len(uids):
+        raise ValueError("job uids must be unique")
+    profiles: dict[tuple[str, DeviceKind], _JobProfile] = {}
+    for job in jobs:
+        for kind in DeviceKind:
+            device = processor.device(kind)
+            levels = device.domain.levels
+            times = np.empty(len(levels))
+            demands = np.empty(len(levels))
+            own = np.empty(len(levels))
+            chip = np.empty(len(levels))
+            for idx, f in enumerate(levels):
+                run = standalone_run(job.profile, device, f)
+                times[idx] = run.time_s
+                demands[idx] = run.demand_gbps
+                own[idx], chip[idx] = standalone_power_w(
+                    job.profile, processor, kind, f
+                )
+            profiles[(job.uid, kind)] = _JobProfile(
+                time_s=times, demand_gbps=demands, own_power_w=own, chip_power_w=chip
+            )
+    return ProfileTable(processor=processor, jobs=tuple(jobs), _profiles=profiles)

@@ -1,0 +1,162 @@
+"""The co-run degradation space (the paper's Figures 5 and 6).
+
+Two surfaces over the (CPU bandwidth, GPU bandwidth) plane:
+
+* ``cpu_grid[i, j]`` — fractional degradation of a CPU workload demanding
+  ``levels[i]`` GB/s while a GPU workload demands ``levels[j]`` GB/s;
+* ``gpu_grid[i, j]`` — degradation of the GPU workload in the same co-run.
+
+Both are indexed ``[cpu_level, gpu_level]`` (the paper swaps the horizontal
+axes between its two 3-D plots; we keep one canonical orientation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.frequency import FrequencySetting
+from repro.model.interpolation import BilinearGrid
+
+
+@dataclass(frozen=True)
+class DegradationSpace:
+    """Characterized degradation surfaces plus their provenance."""
+
+    levels_gbps: np.ndarray
+    cpu_grid: BilinearGrid
+    gpu_grid: BilinearGrid
+    setting: FrequencySetting  # frequency setting the space was characterized at
+
+    def predict_cpu_degradation(
+        self, cpu_bw_gbps: float, gpu_bw_gbps: float, setting=None
+    ) -> float:
+        """Predicted degradation of a CPU job at the given demand pair.
+
+        ``setting`` is accepted for interface compatibility with the
+        multi-anchor :class:`StagedDegradationSpace` and ignored here (a
+        single-anchor space is frequency-agnostic beyond its coordinates).
+        """
+        return max(0.0, self.cpu_grid(cpu_bw_gbps, gpu_bw_gbps))
+
+    def predict_gpu_degradation(
+        self, cpu_bw_gbps: float, gpu_bw_gbps: float, setting=None
+    ) -> float:
+        """Predicted degradation of a GPU job at the given demand pair."""
+        return max(0.0, self.gpu_grid(cpu_bw_gbps, gpu_bw_gbps))
+
+    @property
+    def max_cpu_degradation(self) -> float:
+        """Worst CPU degradation anywhere in the space (paper: ~65%)."""
+        return self.cpu_grid.max_value()
+
+    @property
+    def max_gpu_degradation(self) -> float:
+        """Worst GPU degradation anywhere in the space (paper: ~45%)."""
+        return self.gpu_grid.max_value()
+
+    def summary(self) -> dict[str, float]:
+        """Headline statistics used by the Figure 5/6 experiment."""
+        cpu_vals = self.cpu_grid.values
+        gpu_vals = self.gpu_grid.values
+        # Off-diagonal corner: both co-runners demanding > 8.5 GB/s, where
+        # the paper observed the CPU overtaking the GPU in degradation.
+        hi = self.levels_gbps > 8.5
+        return {
+            "max_cpu_degradation": float(cpu_vals.max()),
+            "max_gpu_degradation": float(gpu_vals.max()),
+            "mean_cpu_degradation": float(cpu_vals.mean()),
+            "mean_gpu_degradation": float(gpu_vals.mean()),
+            "frac_cpu_below_20pct": float(np.mean(cpu_vals <= 0.20)),
+            "frac_gpu_in_20_40pct": float(
+                np.mean((gpu_vals >= 0.20) & (gpu_vals <= 0.40))
+            ),
+            "high_demand_cpu_mean": float(cpu_vals[np.ix_(hi, hi)].mean())
+            if hi.any()
+            else 0.0,
+            "high_demand_gpu_mean": float(gpu_vals[np.ix_(hi, hi)].mean())
+            if hi.any()
+            else 0.0,
+        }
+
+
+@dataclass(frozen=True)
+class StagedDegradationSpace:
+    """Multi-anchor degradation space: the full *staged* interpolation.
+
+    The single-anchor space characterizes the micro-benchmark co-runs at one
+    frequency setting (usually both-max) and relies on the bandwidth
+    coordinates to carry all frequency dependence.  That is cheap but
+    slightly wrong: at lower frequencies the devices' latency-hiding
+    capacity changes, so the same demand pair degrades a little differently.
+
+    The staged variant characterizes the space at several *anchor* settings
+    and interpolates in two stages: first bilinearly in the bandwidth plane
+    within each anchor (stage 1), then across anchors by inverse-distance
+    weighting in normalized (cpu GHz, gpu GHz) space (stage 2).  The
+    ``anchor_sweep`` ablation quantifies what the extra characterization
+    cost buys.
+    """
+
+    anchors: tuple[DegradationSpace, ...]
+
+    def __post_init__(self) -> None:
+        if not self.anchors:
+            raise ValueError("need at least one anchor space")
+
+    def _weights(self, setting: FrequencySetting | None) -> np.ndarray:
+        if setting is None or len(self.anchors) == 1:
+            w = np.zeros(len(self.anchors))
+            w[0] = 1.0
+            return w
+        # Normalize by the anchor spread so CPU and GPU GHz are comparable.
+        fc = np.array([a.setting.cpu_ghz for a in self.anchors])
+        fg = np.array([a.setting.gpu_ghz for a in self.anchors])
+        fc_span = max(fc.max() - fc.min(), 1e-9)
+        fg_span = max(fg.max() - fg.min(), 1e-9)
+        d2 = (
+            ((fc - setting.cpu_ghz) / fc_span) ** 2
+            + ((fg - setting.gpu_ghz) / fg_span) ** 2
+        )
+        exact = d2 < 1e-12
+        if exact.any():
+            w = np.zeros(len(self.anchors))
+            w[int(np.argmax(exact))] = 1.0
+            return w
+        w = 1.0 / d2
+        return w / w.sum()
+
+    def predict_cpu_degradation(
+        self,
+        cpu_bw_gbps: float,
+        gpu_bw_gbps: float,
+        setting: FrequencySetting | None = None,
+    ) -> float:
+        w = self._weights(setting)
+        value = sum(
+            wi * a.cpu_grid(cpu_bw_gbps, gpu_bw_gbps)
+            for wi, a in zip(w, self.anchors)
+        )
+        return max(0.0, float(value))
+
+    def predict_gpu_degradation(
+        self,
+        cpu_bw_gbps: float,
+        gpu_bw_gbps: float,
+        setting: FrequencySetting | None = None,
+    ) -> float:
+        w = self._weights(setting)
+        value = sum(
+            wi * a.gpu_grid(cpu_bw_gbps, gpu_bw_gbps)
+            for wi, a in zip(w, self.anchors)
+        )
+        return max(0.0, float(value))
+
+    @property
+    def max_cpu_degradation(self) -> float:
+        return max(a.max_cpu_degradation for a in self.anchors)
+
+    @property
+    def max_gpu_degradation(self) -> float:
+        return max(a.max_gpu_degradation for a in self.anchors)

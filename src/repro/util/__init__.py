@@ -1,0 +1,39 @@
+"""Shared utilities: RNG handling, statistics, table/plot rendering, validation.
+
+These helpers are deliberately dependency-light (NumPy only) so every other
+subpackage can use them without import cycles.
+"""
+
+from repro.util.rng import default_rng, spawn_rng
+from repro.util.stats import (
+    geomean,
+    histogram_bins,
+    mean_abs_pct_error,
+    pct_error,
+    relative_error,
+    summarize,
+)
+from repro.util.tables import format_table, format_kv
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+)
+
+__all__ = [
+    "default_rng",
+    "spawn_rng",
+    "geomean",
+    "histogram_bins",
+    "mean_abs_pct_error",
+    "pct_error",
+    "relative_error",
+    "summarize",
+    "format_table",
+    "format_kv",
+    "check_finite",
+    "check_in_range",
+    "check_nonnegative",
+    "check_positive",
+]

@@ -1,0 +1,121 @@
+"""ASCII rendering of the paper's figures (histograms, surfaces, traces).
+
+The reproduction runs in a terminal with no display, so each figure is also
+emitted as a text sketch.  These functions are presentation-only; the numeric
+series they draw are produced (and tested) elsewhere.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+_BAR = "#"
+_SHADES = " .:-=+*#%@"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one row per (label, value)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    if not labels:
+        return "(empty chart)"
+    vmax = max(max(values), 0.0)
+    label_w = max(len(l) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        n = 0 if vmax == 0 else int(round(width * max(value, 0.0) / vmax))
+        lines.append(f"{label.ljust(label_w)} |{_BAR * n} {value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def histogram(
+    bin_labels: Sequence[str],
+    fractions: Sequence[float],
+    *,
+    width: int = 40,
+) -> str:
+    """Error-histogram rendering used for Figures 7 and 8."""
+    return bar_chart(bin_labels, [100.0 * f for f in fractions], width=width, unit="%")
+
+
+def surface(
+    grid: np.ndarray,
+    *,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = "",
+) -> str:
+    """Shade-mapped rendering of a 2-D surface (Figures 5 and 6).
+
+    Row 0 is printed at the bottom so the axes read like the paper's 3-D
+    plots: values grow up and to the right.
+    """
+    grid = np.asarray(grid, dtype=float)
+    if grid.ndim != 2:
+        raise ValueError(f"surface expects a 2-D grid, got shape {grid.shape}")
+    lo, hi = float(grid.min()), float(grid.max())
+    span = hi - lo if hi > lo else 1.0
+    lines = []
+    if title:
+        lines.append(title)
+    for i in range(grid.shape[0] - 1, -1, -1):
+        row = grid[i]
+        shades = "".join(
+            _SHADES[min(int((v - lo) / span * (len(_SHADES) - 1)), len(_SHADES) - 1)]
+            for v in row
+        )
+        lines.append(f"{y_label}[{i:2d}] |{shades}|")
+    lines.append(f"       +{'-' * grid.shape[1]}+  ({x_label} increases to the right)")
+    lines.append(f"shade scale: min={lo:.3g}  max={hi:.3g}")
+    return "\n".join(lines)
+
+
+def line_trace(
+    series: dict[str, Sequence[float]],
+    *,
+    height: int = 12,
+    cap: float | None = None,
+) -> str:
+    """Multi-series time trace (Figure 9) as a character raster.
+
+    Each series gets the first letter of its name as the plot symbol; an
+    optional horizontal ``cap`` line is drawn with ``-``.
+    """
+    if not series:
+        return "(no series)"
+    length = max(len(v) for v in series.values())
+    all_vals = [v for vals in series.values() for v in vals]
+    if cap is not None:
+        all_vals.append(cap)
+    lo, hi = min(all_vals), max(all_vals)
+    span = hi - lo if hi > lo else 1.0
+    raster = [[" "] * length for _ in range(height)]
+
+    def row_of(value: float) -> int:
+        return min(int((value - lo) / span * (height - 1)), height - 1)
+
+    if cap is not None:
+        r = row_of(cap)
+        raster[r] = ["-"] * length
+    for name, vals in series.items():
+        sym = name[0].upper()
+        for t, v in enumerate(vals):
+            raster[row_of(v)][t] = sym
+    lines = []
+    for r in range(height - 1, -1, -1):
+        level = lo + span * r / (height - 1)
+        lines.append(f"{level:7.2f} |" + "".join(raster[r]))
+    lines.append(" " * 8 + "+" + "-" * length + "> time (s)")
+    legend = "  ".join(f"{name[0].upper()}={name}" for name in series)
+    if cap is not None:
+        legend += f"  ---=cap({cap:g} W)"
+    lines.append("         " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""ASCII Gantt rendering of a measured schedule execution.
+
+Turns the start/finish intervals of a :class:`ScheduleExecution` into a
+per-job bar chart over a shared time axis — the quickest way to *see* a
+co-schedule: which jobs overlapped, where a processor idled, and where the
+solo tail began.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.engine.tracing import JobCompletion
+
+_BAR = {"cpu": "=", "gpu": "#"}
+
+
+def render_gantt(
+    completions: Sequence[JobCompletion],
+    *,
+    width: int = 72,
+    makespan_s: float | None = None,
+) -> str:
+    """Render job intervals as ASCII bars.
+
+    Jobs are grouped by processor (CPU rows first) and sorted by start
+    time; the bar glyph encodes the processor (``=`` CPU, ``#`` GPU).
+    """
+    if not completions:
+        return "(no completions)"
+    horizon = makespan_s
+    if horizon is None:
+        horizon = max(c.finish_s for c in completions)
+    if horizon <= 0:
+        return "(zero-length execution)"
+
+    label_w = max(len(c.job) for c in completions) + 7  # "<job> @cpu "
+    lines = []
+    ordered = sorted(
+        completions, key=lambda c: (c.kind != "cpu", c.start_s, c.job)
+    )
+    for c in ordered:
+        start_col = int(round(width * c.start_s / horizon))
+        end_col = max(start_col + 1, int(round(width * c.finish_s / horizon)))
+        end_col = min(end_col, width)
+        glyph = _BAR.get(c.kind, "*")
+        bar = " " * start_col + glyph * (end_col - start_col)
+        label = f"{c.job} @{c.kind}".ljust(label_w)
+        lines.append(f"{label}|{bar.ljust(width)}|")
+    axis = " " * label_w + "+" + "-" * width + "+"
+    scale = (
+        " " * label_w
+        + f"0s{' ' * (width - len(f'{horizon:.0f}s') - 2)}{horizon:.0f}s"
+    )
+    lines.append(axis)
+    lines.append(scale)
+    lines.append(" " * label_w + " (= CPU job, # GPU job)")
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Small statistics helpers used by the model-accuracy and speedup experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def relative_error(predicted: float, actual: float) -> float:
+    """Relative error ``|predicted - actual| / |actual|``.
+
+    The paper's Figures 7 and 8 report model accuracy as the relative error of
+    the predicted degradation (resp. power) against the measured one.  When
+    ``actual`` is zero the error is defined as ``|predicted|`` (absolute), so a
+    perfect prediction of "no degradation" scores zero instead of NaN.
+    """
+    if actual == 0.0:
+        return abs(predicted)
+    return abs(predicted - actual) / abs(actual)
+
+
+def pct_error(predicted: float, actual: float) -> float:
+    """Relative error expressed in percent."""
+    return 100.0 * relative_error(predicted, actual)
+
+
+def mean_abs_pct_error(predicted, actual) -> float:
+    """Mean absolute percentage error over paired sequences."""
+    predicted = np.asarray(predicted, dtype=float)
+    actual = np.asarray(actual, dtype=float)
+    if predicted.shape != actual.shape:
+        raise ValueError(
+            f"shape mismatch: predicted {predicted.shape} vs actual {actual.shape}"
+        )
+    if predicted.size == 0:
+        raise ValueError("cannot compute error of empty sequences")
+    errs = [pct_error(p, a) for p, a in zip(predicted.ravel(), actual.ravel())]
+    return float(np.mean(errs))
+
+
+def geomean(values) -> float:
+    """Geometric mean, the conventional aggregate for speedup ratios."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("geomean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geomean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def histogram_bins(values, edges) -> np.ndarray:
+    """Fraction of ``values`` falling into each ``[edges[i], edges[i+1])`` bin.
+
+    The final bin is open to the right (everything ``>= edges[-2]`` lands in
+    it), matching the "> X%" tail bucket of the paper's error histograms.
+    """
+    values = np.asarray(values, dtype=float)
+    edges = np.asarray(edges, dtype=float)
+    if edges.ndim != 1 or edges.size < 2:
+        raise ValueError("edges must be a 1-D array with at least two entries")
+    if values.size == 0:
+        return np.zeros(edges.size - 1)
+    counts, _ = np.histogram(np.clip(values, edges[0], np.nextafter(edges[-1], -np.inf)), bins=edges)
+    return counts / values.size
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.n} mean={self.mean:.4g} std={self.std:.4g} "
+            f"min={self.minimum:.4g} median={self.median:.4g} max={self.maximum:.4g}"
+        )
+
+
+def summarize(values) -> Summary:
+    """Summarise a sample into a :class:`Summary`."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+    return Summary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        median=float(np.median(arr)),
+    )

@@ -1,0 +1,61 @@
+"""Plain-text table rendering for experiment output.
+
+Experiments print the same rows the paper's tables/figures report; these
+helpers keep that output aligned and diff-friendly without pulling in any
+formatting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+
+def _fmt_cell(value: object, ndigits: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{ndigits}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    ndigits: int = 2,
+    align_first_left: bool = True,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table."""
+    str_rows = [[_fmt_cell(c, ndigits) for c in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for j, cell in enumerate(cells):
+            if j == 0 and align_first_left:
+                parts.append(cell.ljust(widths[j]))
+            else:
+                parts.append(cell.rjust(widths[j]))
+        return "  ".join(parts)
+
+    lines = [fmt_row(list(headers))]
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_kv(pairs: Mapping[str, object], *, ndigits: int = 3) -> str:
+    """Render a mapping as aligned ``key : value`` lines."""
+    if not pairs:
+        return ""
+    width = max(len(k) for k in pairs)
+    lines = []
+    for key, value in pairs.items():
+        lines.append(f"{key.ljust(width)} : {_fmt_cell(value, ndigits)}")
+    return "\n".join(lines)

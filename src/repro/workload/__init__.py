@@ -1,0 +1,41 @@
+"""OpenCL-like workload substrate.
+
+The paper schedules OpenCL programs whose kernels can run on either the CPU
+or the integrated GPU.  Here a program is a *profile*: per-device compute
+work, memory volume and achievable-bandwidth efficiency, a compute/memory
+overlap factor, a per-device contention sensitivity, and a phase structure
+describing how its memory intensity varies over its lifetime.  The execution
+engine (``repro.engine``) turns profiles into times, bandwidths, and powers.
+
+Three workload families are provided:
+
+* :mod:`repro.workload.microbench` — the tunable memory-stressor kernel of
+  the paper's Figure 4,
+* :mod:`repro.workload.rodinia` — eight synthetic programs calibrated to the
+  paper's Table I (standing in for the Rodinia OpenCL benchmarks),
+* :mod:`repro.workload.generator` — random synthetic programs for property
+  tests and scalability studies.
+"""
+
+from repro.workload.phases import Phase, normalize_phases, uniform_phases
+from repro.workload.program import Job, ProgramProfile, make_jobs
+from repro.workload.microbench import MICRO_MAX_GBPS, micro_benchmark, micro_grid_levels
+from repro.workload.rodinia import RODINIA_NAMES, TABLE1_STANDALONE, rodinia_programs
+from repro.workload.generator import random_program, random_workload
+
+__all__ = [
+    "Phase",
+    "normalize_phases",
+    "uniform_phases",
+    "ProgramProfile",
+    "Job",
+    "make_jobs",
+    "micro_benchmark",
+    "micro_grid_levels",
+    "MICRO_MAX_GBPS",
+    "rodinia_programs",
+    "RODINIA_NAMES",
+    "TABLE1_STANDALONE",
+    "random_program",
+    "random_workload",
+]

@@ -1,0 +1,84 @@
+"""The paper's tunable memory-stressor micro-benchmark (Figure 4).
+
+The original kernel has three steps per loop iteration: stream two input
+arrays (memory), run a register-resident arithmetic loop of tunable length
+(compute), and write one output array (memory).  Dialing the iteration count
+``j_max`` against the array sizes sweeps the kernel's main-memory throughput
+from 0 to ~11 GB/s — the device streaming limit.
+
+Here we synthesise the equivalent profile directly: a single-phase program
+with ``bytes = target_gbps * duration`` of perfectly streaming traffic
+(``mem_eff = 1``), zero compute/memory overlap (the three steps are
+serialized), contention sensitivity exactly 1 (the micro-benchmark *defines*
+the unit of the degradation space), and just enough register arithmetic to
+fill the rest of the nominal duration.  At the device's maximum frequency the
+standalone bandwidth demand is then exactly ``target_gbps``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.device import ComputeDevice, DeviceKind
+from repro.workload.phases import uniform_phases
+from repro.workload.program import ProgramProfile
+from repro.util.validation import check_in_range, check_positive
+
+#: Top of the micro-benchmark throughput range (GB/s); equals the per-device
+#: streaming limit of the default calibration.
+MICRO_MAX_GBPS = 11.0
+
+#: Nominal standalone duration of one micro-benchmark run (seconds).
+MICRO_DURATION_S = 10.0
+
+
+def micro_benchmark(
+    target_gbps: float,
+    cpu: ComputeDevice,
+    gpu: ComputeDevice,
+    *,
+    duration_s: float = MICRO_DURATION_S,
+) -> ProgramProfile:
+    """Synthesise a micro-benchmark profile demanding ``target_gbps``.
+
+    The profile is valid on both devices; the demand calibration holds at
+    each device's maximum frequency, where its streaming limit is
+    ``MICRO_MAX_GBPS``.
+    """
+    check_in_range("target_gbps", target_gbps, 0.0, MICRO_MAX_GBPS)
+    check_positive("duration_s", duration_s)
+    bytes_gb = target_gbps * duration_s
+
+    def compute_base(device: ComputeDevice) -> float:
+        limit = device.bw_limit(device.domain.fmax)
+        mem_time = bytes_gb / limit
+        if mem_time > duration_s + 1e-9:
+            raise ValueError(
+                f"target {target_gbps} GB/s exceeds {device.name}'s streaming "
+                f"limit {limit} GB/s"
+            )
+        return max(0.0, duration_s - mem_time)
+
+    return ProgramProfile(
+        name=f"micro-{target_gbps:.2f}gbps",
+        compute_base_s={
+            DeviceKind.CPU: compute_base(cpu),
+            DeviceKind.GPU: compute_base(gpu),
+        },
+        bytes_gb=bytes_gb,
+        mem_eff={DeviceKind.CPU: 1.0, DeviceKind.GPU: 1.0},
+        overlap=0.0,
+        sensitivity={DeviceKind.CPU: 1.0, DeviceKind.GPU: 1.0},
+        phases=uniform_phases(),
+    )
+
+
+def micro_grid_levels(n_levels: int = 11, max_gbps: float = MICRO_MAX_GBPS) -> np.ndarray:
+    """The throughput settings of the characterization sweep.
+
+    The paper uses 11 settings evenly covering 0 to 11 GB/s.
+    """
+    if n_levels < 2:
+        raise ValueError("need at least two grid levels")
+    check_positive("max_gbps", max_gbps)
+    return np.linspace(0.0, max_gbps, n_levels)

@@ -1,0 +1,60 @@
+"""Program phase structure.
+
+Real programs do not stress memory uniformly: they alternate between
+memory-heavy sweeps and compute-heavy stretches.  A :class:`Phase` covers a
+fraction ``weight`` of the program's work at ``intensity`` times its average
+memory density.  The ground-truth co-run engine simulates phase pairs
+event-by-event, while the paper's predictor sees only the aggregate average
+bandwidth — phase structure is therefore one of the three physical sources
+of the model error reported in Figure 7 (alongside per-program contention
+sensitivity and memory-fraction mismatch with the micro-benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.util.validation import check_nonnegative, check_positive
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One execution phase.
+
+    ``weight`` is the fraction of the program's total work (both compute
+    operations and bytes scale with it); ``intensity`` multiplies the memory
+    density of this slice of work relative to the program average.
+    """
+
+    weight: float
+    intensity: float
+
+    def __post_init__(self) -> None:
+        check_positive("weight", self.weight)
+        check_nonnegative("intensity", self.intensity)
+
+
+def normalize_phases(phases: Sequence[Phase]) -> tuple[Phase, ...]:
+    """Normalise weights to sum to 1 and intensities to average to 1.
+
+    After normalisation, ``sum(w_k) == 1`` and ``sum(w_k * i_k) == 1``, so
+    the phased program moves exactly the profile's total bytes and performs
+    exactly its total compute work.
+    """
+    if not phases:
+        raise ValueError("a program needs at least one phase")
+    total_w = sum(p.weight for p in phases)
+    weights = [p.weight / total_w for p in phases]
+    mean_intensity = sum(w * p.intensity for w, p in zip(weights, phases))
+    if mean_intensity <= 0:
+        raise ValueError("phases must carry some memory traffic on average")
+    return tuple(
+        Phase(weight=w, intensity=p.intensity / mean_intensity)
+        for w, p in zip(weights, phases)
+    )
+
+
+def uniform_phases() -> tuple[Phase, ...]:
+    """A single uniform phase (what the micro-benchmark uses)."""
+    return (Phase(weight=1.0, intensity=1.0),)

@@ -1,0 +1,53 @@
+"""Shared fixtures.
+
+The expensive artifacts (processor, calibrated programs, profiles, the
+characterized degradation space) are deterministic, so they are built once
+per session and shared across the whole suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.calibration import make_ivy_bridge
+from repro.model.characterize import characterize_space
+from repro.model.predictor import CoRunPredictor
+from repro.model.profiler import profile_workload
+from repro.workload.program import make_jobs
+from repro.workload.rodinia import rodinia_programs
+
+
+@pytest.fixture(scope="session")
+def processor():
+    """The default Ivy-Bridge-like integrated processor."""
+    return make_ivy_bridge()
+
+
+@pytest.fixture(scope="session")
+def rodinia(processor):
+    """The eight calibrated program profiles, keyed by name."""
+    return {p.name: p for p in rodinia_programs()}
+
+
+@pytest.fixture(scope="session")
+def rodinia_jobs():
+    """One job per calibrated program."""
+    return make_jobs(rodinia_programs())
+
+
+@pytest.fixture(scope="session")
+def space(processor):
+    """The 11x11 characterized degradation space."""
+    return characterize_space(processor)
+
+
+@pytest.fixture(scope="session")
+def table(processor, rodinia_jobs):
+    """Standalone profiles of the eight programs."""
+    return profile_workload(processor, rodinia_jobs)
+
+
+@pytest.fixture(scope="session")
+def predictor(processor, table, space):
+    """The Section V co-run predictor over the default workload."""
+    return CoRunPredictor(processor, table, space)

@@ -1,0 +1,94 @@
+"""Tests for the power-cap frequency governors."""
+
+import pytest
+
+from repro.hardware.device import DeviceKind
+from repro.core.freqpolicy import Bias, BiasedGovernor, ModelGovernor
+
+
+@pytest.fixture
+def jobs(table):
+    return {j.uid: j for j in table.jobs}
+
+
+class TestBiasedGovernor:
+    def test_returns_cap_feasible_setting(self, predictor, jobs):
+        gov = BiasedGovernor(predictor, 15.0, Bias.GPU)
+        s = gov(jobs["cfd"], jobs["srad"])
+        assert predictor.pair_power_w("cfd", "srad", s) <= 15.0
+
+    def test_gpu_bias_favours_gpu_frequency(self, predictor, jobs):
+        g = BiasedGovernor(predictor, 15.0, Bias.GPU)(jobs["cfd"], jobs["srad"])
+        c = BiasedGovernor(predictor, 15.0, Bias.CPU)(jobs["cfd"], jobs["srad"])
+        assert g.gpu_ghz >= c.gpu_ghz
+        assert c.cpu_ghz >= g.cpu_ghz
+
+    def test_gpu_bias_maximal_gpu_frequency(self, predictor, jobs, processor):
+        """No feasible setting may have a strictly higher GPU level."""
+        gov = BiasedGovernor(predictor, 15.0, Bias.GPU)
+        s = gov(jobs["cfd"], jobs["srad"])
+        for other in predictor.feasible_pair_settings("cfd", "srad", 15.0):
+            assert other.gpu_ghz <= s.gpu_ghz + 1e-9
+
+    def test_solo_jobs_supported(self, predictor, jobs):
+        gov = BiasedGovernor(predictor, 15.0, Bias.GPU)
+        s_cpu = gov(jobs["dwt2d"], None)
+        s_gpu = gov(None, jobs["streamcluster"])
+        assert predictor.solo_power_w("dwt2d", DeviceKind.CPU, s_cpu.cpu_ghz) <= 15.0
+        assert predictor.solo_power_w(
+            "streamcluster", DeviceKind.GPU, s_gpu.gpu_ghz
+        ) <= 15.0
+
+    def test_caching(self, predictor, jobs):
+        gov = BiasedGovernor(predictor, 15.0, Bias.GPU)
+        assert gov(jobs["cfd"], jobs["srad"]) is gov(jobs["cfd"], jobs["srad"])
+
+    def test_impossible_cap_raises(self, predictor, jobs):
+        gov = BiasedGovernor(predictor, 1.0, Bias.GPU)
+        with pytest.raises(RuntimeError):
+            gov(jobs["cfd"], jobs["srad"])
+
+    def test_no_jobs_rejected(self, predictor):
+        gov = BiasedGovernor(predictor, 15.0, Bias.GPU)
+        with pytest.raises(ValueError):
+            gov(None, None)
+
+
+class TestModelGovernor:
+    def test_pair_setting_feasible_and_optimal(self, predictor, jobs):
+        gov = ModelGovernor(predictor, 15.0)
+        s = gov(jobs["dwt2d"], jobs["hotspot"])
+        assert predictor.pair_power_w("dwt2d", "hotspot", s) <= 15.0
+        score = sum(predictor.corun_times("dwt2d", "hotspot", s))
+        for other in predictor.feasible_pair_settings("dwt2d", "hotspot", 15.0):
+            assert score <= sum(
+                predictor.corun_times("dwt2d", "hotspot", other)
+            ) + 1e-9
+
+    def test_solo_parks_idle_device_at_floor(self, predictor, jobs, processor):
+        gov = ModelGovernor(predictor, 15.0)
+        s = gov(jobs["dwt2d"], None)
+        assert s.gpu_ghz == processor.gpu.domain.fmin
+        s = gov(None, jobs["srad"])
+        assert s.cpu_ghz == processor.cpu.domain.fmin
+
+    def test_min_pair_interference_is_minimal(self, predictor, jobs):
+        gov = ModelGovernor(predictor, 15.0)
+        ranked = gov.min_pair_interference("dwt2d", "hotspot")
+        assert ranked is not None
+        value, setting = ranked
+        assert value == pytest.approx(
+            sum(predictor.degradations("dwt2d", "hotspot", setting))
+        )
+        for other in predictor.feasible_pair_settings("dwt2d", "hotspot", 15.0):
+            assert value <= sum(
+                predictor.degradations("dwt2d", "hotspot", other)
+            ) + 1e-12
+
+    def test_min_pair_interference_infeasible_returns_none(self, predictor):
+        gov = ModelGovernor(predictor, 1.0)
+        assert gov.min_pair_interference("cfd", "srad") is None
+
+    def test_caching(self, predictor, jobs):
+        gov = ModelGovernor(predictor, 15.0)
+        assert gov(jobs["cfd"], None) is gov(jobs["cfd"], None)

@@ -1,0 +1,72 @@
+"""Tests for Step 3 (greedy minimum-interference pairing)."""
+
+import pytest
+
+from repro.hardware.device import DeviceKind
+from repro.core.categorize import categorize_jobs
+from repro.core.freqpolicy import ModelGovernor
+from repro.core.greedy import greedy_schedule
+
+
+@pytest.fixture
+def categorized(predictor, rodinia_jobs):
+    return categorize_jobs(predictor, rodinia_jobs, 15.0)
+
+
+@pytest.fixture
+def governor(predictor):
+    return ModelGovernor(predictor, 15.0)
+
+
+class TestGreedySchedule:
+    def test_every_job_scheduled_exactly_once(
+        self, predictor, categorized, governor, rodinia_jobs
+    ):
+        cpu, gpu = greedy_schedule(predictor, categorized, 15.0, governor)
+        scheduled = [j.uid for j in cpu] + [j.uid for j in gpu]
+        assert sorted(scheduled) == sorted(j.uid for j in rodinia_jobs)
+
+    def test_bootstrap_gpu_job_is_longest_gpu_preferred(
+        self, predictor, categorized, governor
+    ):
+        _, gpu = greedy_schedule(predictor, categorized, 15.0, governor)
+        first = gpu[0]
+        t_first = predictor.best_solo(first.uid, DeviceKind.GPU, 15.0)[1]
+        for job in categorized.gpu_preferred:
+            assert t_first >= predictor.best_solo(job.uid, DeviceKind.GPU, 15.0)[1] - 1e-9
+
+    def test_cpu_preferred_jobs_stay_on_cpu(
+        self, predictor, categorized, governor
+    ):
+        cpu, gpu = greedy_schedule(predictor, categorized, 15.0, governor)
+        gpu_uids = {j.uid for j in gpu}
+        for job in categorized.cpu_preferred:
+            assert job.uid not in gpu_uids
+
+    def test_steal_guard_blocks_hopeless_migrations(
+        self, predictor, categorized, governor
+    ):
+        """streamcluster is 3.6x slower on the capped CPU; with the small
+        CPU-side workload of this job set, stealing it can never pay off."""
+        cpu, _ = greedy_schedule(predictor, categorized, 15.0, governor)
+        assert "streamcluster" not in {j.uid for j in cpu}
+
+    def test_cpu_side_not_overloaded(self, predictor, categorized, governor):
+        """The guard keeps the CPU queue's total time within sight of the
+        GPU queue's — the failure mode it exists to prevent is a CPU queue
+        several times longer than the GPU one."""
+        cpu, gpu = greedy_schedule(predictor, categorized, 15.0, governor)
+        cpu_total = sum(
+            predictor.best_solo(j.uid, DeviceKind.CPU, 15.0)[1] for j in cpu
+        )
+        gpu_total = sum(
+            predictor.best_solo(j.uid, DeviceKind.GPU, 15.0)[1] for j in gpu
+        )
+        assert cpu_total <= 1.5 * gpu_total
+
+    def test_empty_categorization(self, predictor, governor):
+        from repro.core.categorize import Categorized
+
+        empty = Categorized((), (), ())
+        cpu, gpu = greedy_schedule(predictor, empty, 15.0, governor)
+        assert cpu == [] and gpu == []

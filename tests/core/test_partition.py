@@ -1,0 +1,47 @@
+"""Tests for Step 1 (Co-Run-Theorem-based partition)."""
+
+from repro.core.partition import partition_jobs
+from repro.workload.program import Job
+
+
+class TestPartitionJobs:
+    def test_sets_are_disjoint_and_complete(self, predictor, rodinia_jobs):
+        part = partition_jobs(predictor, rodinia_jobs, 15.0)
+        co = {j.uid for j in part.co}
+        seq = {j.uid for j in part.seq}
+        assert co | seq == {j.uid for j in rodinia_jobs}
+        assert not (co & seq)
+
+    def test_rodinia_jobs_all_benefit_from_corun(self, predictor, rodinia_jobs):
+        """With degradations well under 100%, the theorem admits every
+        comparable-length pair; the calibrated set has no loner."""
+        part = partition_jobs(predictor, rodinia_jobs, 15.0)
+        assert len(part.co) == len(rodinia_jobs)
+
+    def test_tiny_job_next_to_heavy_one_runs_alone(self, processor, rodinia):
+        """A job much shorter than its companion's co-run *overhead* fails
+        the theorem (l_long * d_long >= l_short) and joins S_seq.  The tiny
+        job is a scaled streamcluster: duration shrinks with the input but
+        its bandwidth pressure — and hence the damage it inflicts on the
+        contention-sensitive dwt2d — does not."""
+        from repro.model.characterize import characterize_space
+        from repro.model.predictor import CoRunPredictor
+        from repro.model.profiler import profile_workload
+
+        heavy = rodinia["dwt2d"]
+        tiny = rodinia["streamcluster"].scaled(0.005, name="tiny-sc")
+        jobs = [Job("heavy", heavy), Job("tiny", tiny)]
+        table = profile_workload(processor, jobs)
+        predictor = CoRunPredictor(
+            processor, table, characterize_space(processor)
+        )
+        part = partition_jobs(predictor, jobs, 15.0)
+        seq_uids = {j.uid for j in part.seq}
+        assert "tiny" in seq_uids
+        # With its only potential partner unable to help, heavy is alone too.
+        assert "heavy" in seq_uids
+
+    def test_single_job_goes_to_seq(self, processor, predictor, rodinia_jobs):
+        part = partition_jobs(predictor, rodinia_jobs[:1], 15.0)
+        assert len(part.seq) == 1
+        assert len(part.co) == 0

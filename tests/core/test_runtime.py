@@ -1,0 +1,76 @@
+"""End-to-end tests for the CoScheduleRuntime facade."""
+
+import pytest
+
+from repro.core.freqpolicy import Bias
+from repro.core.runtime import CoScheduleRuntime
+from repro.workload.generator import random_workload
+
+
+@pytest.fixture(scope="module")
+def runtime(request):
+    from repro.workload.program import make_jobs
+    from repro.workload.rodinia import rodinia_programs
+
+    return CoScheduleRuntime(make_jobs(rodinia_programs()), cap_w=15.0)
+
+
+class TestPolicies:
+    def test_hcs_outcome_complete(self, runtime):
+        outcome = runtime.run_hcs()
+        assert outcome.policy == "hcs"
+        assert outcome.makespan_s > 0
+        assert len(outcome.execution.completions) == len(runtime.jobs)
+        assert outcome.scheduling_time_s > 0
+
+    def test_hcs_plus_policy_name(self, runtime):
+        assert runtime.run_hcs(refine=True).policy == "hcs+"
+
+    def test_random_runs_all_jobs(self, runtime):
+        outcome = runtime.run_random(seed=7)
+        assert len(outcome.execution.completions) == len(runtime.jobs)
+
+    def test_random_average_aggregates(self, runtime):
+        avg = runtime.random_average(n=3, seed=1)
+        assert len(avg.outcomes) == 3
+        makespans = [o.makespan_s for o in avg.outcomes]
+        assert min(makespans) <= avg.mean_makespan_s <= max(makespans)
+
+    def test_random_average_reproducible(self, runtime):
+        a = runtime.random_average(n=3, seed=9).mean_makespan_s
+        b = runtime.random_average(n=3, seed=9).mean_makespan_s
+        assert a == pytest.approx(b)
+
+    def test_default_variants(self, runtime):
+        g = runtime.run_default(bias=Bias.GPU)
+        c = runtime.run_default(bias=Bias.CPU)
+        assert g.policy == "default_g"
+        assert c.policy == "default_c"
+        assert len(g.execution.completions) == len(runtime.jobs)
+
+    def test_execute_arbitrary_schedule(self, runtime):
+        outcome = runtime.run_hcs()
+        replay = runtime.execute(outcome.schedule)
+        assert replay.makespan_s == pytest.approx(outcome.makespan_s)
+
+    def test_lower_bound_below_policies(self, runtime):
+        bound = runtime.lower_bound_s()
+        assert 0 < bound <= runtime.run_hcs(refine=True).makespan_s
+
+
+class TestConstruction:
+    def test_empty_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            CoScheduleRuntime([])
+
+    def test_random_workload_smoke(self):
+        runtime = CoScheduleRuntime(random_workload(4, seed=5), cap_w=15.0)
+        hcs = runtime.run_hcs()
+        rnd = runtime.run_random(seed=0)
+        assert hcs.makespan_s > 0 and rnd.makespan_s > 0
+
+    def test_space_can_be_injected(self, runtime):
+        reuse = CoScheduleRuntime(
+            runtime.jobs, cap_w=15.0, space=runtime.space
+        )
+        assert reuse.space is runtime.space

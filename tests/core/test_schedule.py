@@ -1,0 +1,95 @@
+"""Tests for the CoSchedule container and the predicted-timeline evaluator."""
+
+import pytest
+
+from repro.hardware.device import DeviceKind
+from repro.hardware.frequency import FrequencySetting
+from repro.core.schedule import CoSchedule, predicted_makespan
+from repro.workload.program import Job, ProgramProfile
+
+
+def _job(name):
+    return Job(
+        uid=name,
+        profile=ProgramProfile(
+            name=name,
+            compute_base_s={DeviceKind.CPU: 10.0, DeviceKind.GPU: 5.0},
+            bytes_gb=10.0,
+            mem_eff={DeviceKind.CPU: 0.8, DeviceKind.GPU: 0.9},
+            overlap=0.5,
+            sensitivity={DeviceKind.CPU: 1.0, DeviceKind.GPU: 1.0},
+        ),
+    )
+
+
+class _StubPredictor:
+    """Hand-specified times: solo 10s CPU / 6s GPU, 20% mutual degradation."""
+
+    def corun_times(self, cpu_uid, gpu_uid, setting):
+        return 12.0, 7.2
+
+    def solo_time(self, uid, kind, f_ghz):
+        return 10.0 if kind is DeviceKind.CPU else 6.0
+
+
+def _governor(cpu_job, gpu_job):
+    return FrequencySetting(3.6, 1.25)
+
+
+class TestCoSchedule:
+    def test_duplicate_jobs_rejected(self):
+        job = _job("a")
+        with pytest.raises(ValueError):
+            CoSchedule(cpu_queue=(job,), gpu_queue=(job,))
+
+    def test_all_uids_and_count(self):
+        s = CoSchedule(
+            cpu_queue=(_job("a"),),
+            gpu_queue=(_job("b"),),
+            solo_tail=((_job("c"), DeviceKind.CPU),),
+        )
+        assert s.all_uids() == ["a", "b", "c"]
+        assert s.n_jobs == 3
+
+    def test_with_queues_replaces(self):
+        s = CoSchedule(cpu_queue=(_job("a"),), gpu_queue=(_job("b"),))
+        t = s.with_queues([_job("b")], [_job("a")])
+        assert [j.uid for j in t.cpu_queue] == ["b"]
+
+    def test_describe_mentions_everything(self):
+        s = CoSchedule(
+            cpu_queue=(_job("a"),),
+            gpu_queue=(_job("b"),),
+            solo_tail=((_job("c"), DeviceKind.GPU),),
+        )
+        text = s.describe()
+        assert "a" in text and "b" in text and "c" in text
+
+
+class TestPredictedMakespan:
+    def test_empty_schedule(self):
+        assert predicted_makespan(CoSchedule(), _StubPredictor(), _governor) == 0.0
+
+    def test_solo_cpu_job(self):
+        s = CoSchedule(cpu_queue=(_job("a"),))
+        assert predicted_makespan(s, _StubPredictor(), _governor) == pytest.approx(10.0)
+
+    def test_pair_follows_partial_overlap_arithmetic(self):
+        # GPU job finishes at 7.2 (degraded); CPU has 7.2/12 done, then
+        # finishes alone: t = 7.2 + (1 - 0.6) * 10 = 11.2.
+        s = CoSchedule(cpu_queue=(_job("a"),), gpu_queue=(_job("b"),))
+        assert predicted_makespan(s, _StubPredictor(), _governor) == pytest.approx(11.2)
+
+    def test_solo_tail_is_additive(self):
+        s = CoSchedule(
+            cpu_queue=(_job("a"),),
+            gpu_queue=(_job("b"),),
+            solo_tail=((_job("c"), DeviceKind.GPU),),
+        )
+        assert predicted_makespan(s, _StubPredictor(), _governor) == pytest.approx(
+            11.2 + 6.0
+        )
+
+    def test_two_gpu_jobs_sequence(self):
+        s = CoSchedule(gpu_queue=(_job("a"), _job("b")))
+        assert predicted_makespan(s, _StubPredictor(), _governor) == pytest.approx(12.0)

@@ -1,0 +1,61 @@
+"""Tests for the kernel-splitting analysis."""
+
+import pytest
+
+from repro.core.splitting import best_split, split_makespan
+from repro.engine.standalone import standalone_run
+
+
+class TestSplitMakespan:
+    def test_alpha_zero_is_gpu_standalone(self, processor, rodinia):
+        prog = rodinia["srad"]
+        t = split_makespan(processor, prog, 0.0, processor.max_setting)
+        want = standalone_run(prog, processor.gpu, 1.25).time_s
+        assert t == pytest.approx(want)
+
+    def test_alpha_one_is_cpu_standalone(self, processor, rodinia):
+        prog = rodinia["srad"]
+        t = split_makespan(processor, prog, 1.0, processor.max_setting)
+        want = standalone_run(prog, processor.cpu, 3.6).time_s
+        assert t == pytest.approx(want)
+
+    def test_sync_overhead_added(self, processor, rodinia):
+        prog = rodinia["lud"]
+        free = split_makespan(
+            processor, prog, 0.5, processor.max_setting, sync_s_per_gb=0.0
+        )
+        costly = split_makespan(
+            processor, prog, 0.5, processor.max_setting, sync_s_per_gb=1.0
+        )
+        assert costly == pytest.approx(free + 0.5 * prog.bytes_gb)
+
+    def test_alpha_out_of_range_rejected(self, processor, rodinia):
+        with pytest.raises(ValueError):
+            split_makespan(processor, rodinia["lud"], 1.5, processor.max_setting)
+
+
+class TestBestSplit:
+    def test_paper_claim_holds_with_overhead(self, processor, rodinia):
+        """With realistic partition overhead, whole-job placement wins for
+        every calibrated program (Section II's justification)."""
+        for prog in rodinia.values():
+            outcome = best_split(processor, prog)
+            assert not outcome.split_wins, prog.name
+            assert outcome.best_alpha in (0.0, 1.0)
+
+    def test_free_splitting_helps_somewhat(self, processor, rodinia):
+        """The communication-free upper bound gains for a balanced program
+        — the potential the paper defers to future work."""
+        outcome = best_split(processor, rodinia["lud"], sync_s_per_gb=0.0)
+        assert outcome.split_wins
+        assert 0.0 < outcome.best_alpha < 1.0
+
+    def test_single_side_matches_preference(self, processor, rodinia):
+        outcome = best_split(processor, rodinia["dwt2d"])
+        assert str(outcome.single_kind) == "cpu"
+        outcome = best_split(processor, rodinia["streamcluster"])
+        assert str(outcome.single_kind) == "gpu"
+
+    def test_gain_sign_consistent(self, processor, rodinia):
+        outcome = best_split(processor, rodinia["cfd"])
+        assert (outcome.gain > 0) == outcome.split_wins

@@ -1,0 +1,128 @@
+"""Tests for the Co-Run Theorem and the exact co-run length arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.theorem import (
+    corun_beneficial_exact,
+    corun_beneficial_theorem,
+    corun_lengths,
+    corun_makespan,
+)
+
+_lengths = st.floats(0.5, 200.0)
+_degs = st.floats(0.0, 2.0)
+
+
+def _simulated_lengths(l1, d1, l2, d2, steps=200_000):
+    """Tiny-step progress integration as an independent reference."""
+    p1 = p2 = 0.0
+    t = 0.0
+    t1 = t2 = None
+    dt = (l1 * (1 + d1) + l2 * (1 + d2)) / steps
+    while t1 is None or t2 is None:
+        both = t1 is None and t2 is None
+        if t1 is None:
+            p1 += dt / (l1 * (1 + d1) if both else l1)
+            if p1 >= 1.0:
+                t1 = t
+        if t2 is None:
+            p2 += dt / (l2 * (1 + d2) if both else l2)
+            if p2 >= 1.0:
+                t2 = t
+        t += dt
+    return t1 + dt, t2 + dt
+
+
+class TestCorunLengths:
+    def test_symmetric_pair(self):
+        t1, t2 = corun_lengths(10.0, 0.5, 10.0, 0.5)
+        assert t1 == pytest.approx(15.0)
+        assert t2 == pytest.approx(15.0)
+
+    def test_no_degradation_is_standalone(self):
+        t1, t2 = corun_lengths(10.0, 0.0, 4.0, 0.0)
+        assert (t1, t2) == (10.0, 4.0)
+
+    def test_survivor_resumes_standalone_speed(self):
+        # Job 2 finishes at 6.0; job 1 had 6/20 of its degraded run done.
+        t1, t2 = corun_lengths(10.0, 1.0, 3.0, 1.0)
+        assert t2 == pytest.approx(6.0)
+        # t1 = l1 + t2 * d1/(1+d1) = 10 + 6 * 0.5 = 13
+        assert t1 == pytest.approx(13.0)
+
+    def test_matches_progress_integration(self):
+        for (l1, d1, l2, d2) in [
+            (10.0, 0.8, 25.0, 0.3),
+            (40.0, 0.1, 5.0, 1.5),
+            (7.0, 0.0, 7.0, 0.9),
+        ]:
+            t1, t2 = corun_lengths(l1, d1, l2, d2)
+            s1, s2 = _simulated_lengths(l1, d1, l2, d2)
+            assert t1 == pytest.approx(s1, rel=1e-3)
+            assert t2 == pytest.approx(s2, rel=1e-3)
+
+    @given(_lengths, _degs, _lengths, _degs)
+    def test_lengths_bounded(self, l1, d1, l2, d2):
+        t1, t2 = corun_lengths(l1, d1, l2, d2)
+        assert l1 - 1e-9 <= t1 <= l1 * (1 + d1) + 1e-9
+        assert l2 - 1e-9 <= t2 <= l2 * (1 + d2) + 1e-9
+
+    @given(_lengths, _degs, _lengths, _degs)
+    def test_swap_symmetry(self, l1, d1, l2, d2):
+        t1, t2 = corun_lengths(l1, d1, l2, d2)
+        s2, s1 = corun_lengths(l2, d2, l1, d1)
+        assert t1 == pytest.approx(s1)
+        assert t2 == pytest.approx(s2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            corun_lengths(0.0, 0.1, 1.0, 0.1)
+        with pytest.raises(ValueError):
+            corun_lengths(1.0, -0.1, 1.0, 0.1)
+
+
+class TestTheoremPredicate:
+    def test_paper_statement(self):
+        # l1*(1+d1)=30 >= l2*(1+d2)=12; l1*d1 = 10 < l2 = 10? No: 10 < 10 false.
+        assert not corun_beneficial_theorem(20.0, 0.5, 10.0, 0.2)
+        # smaller degradation -> beneficial: l1*d1 = 2 < 10.
+        assert corun_beneficial_theorem(20.0, 0.1, 10.0, 0.2)
+
+    @given(_lengths, _degs, _lengths, _degs)
+    def test_equivalent_to_steady_makespan_comparison(self, l1, d1, l2, d2):
+        """The theorem compares the steady co-run makespan (the longer job
+        degraded end to end) against sequential execution."""
+        if l1 * (1 + d1) >= l2 * (1 + d2):
+            steady = l1 * (1 + d1)
+        else:
+            steady = l2 * (1 + d2)
+        assert corun_beneficial_theorem(l1, d1, l2, d2) == (steady < l1 + l2)
+
+    @given(_lengths, _degs, _lengths, _degs)
+    def test_order_independent(self, l1, d1, l2, d2):
+        assert corun_beneficial_theorem(l1, d1, l2, d2) == (
+            corun_beneficial_theorem(l2, d2, l1, d1)
+        )
+
+
+class TestExactPredicate:
+    @given(_lengths, _degs, _lengths, _degs)
+    def test_exact_matches_makespan_comparison(self, l1, d1, l2, d2):
+        assert corun_beneficial_exact(l1, d1, l2, d2) == (
+            corun_makespan(l1, d1, l2, d2) < l1 + l2
+        )
+
+    @given(_lengths, st.floats(0.0, 0.9), _lengths, st.floats(0.0, 0.9))
+    def test_exact_always_beneficial_below_unit_product(self, l1, d1, l2, d2):
+        """For an isolated pair, co-starting beats sequential whenever
+        d1 * d2 < 1 (see theorem.py docstring)."""
+        assert corun_beneficial_exact(l1, d1, l2, d2)
+
+    @given(_lengths, _degs, _lengths, _degs)
+    def test_theorem_is_conservative(self, l1, d1, l2, d2):
+        """The steady-state criterion never declares a pair beneficial that
+        the exact finite-pair accounting would reject."""
+        if corun_beneficial_theorem(l1, d1, l2, d2):
+            assert corun_beneficial_exact(l1, d1, l2, d2)

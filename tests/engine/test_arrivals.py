@@ -1,0 +1,113 @@
+"""Tests for the open-system (arrival-driven) executor."""
+
+import pytest
+
+from repro.hardware.device import DeviceKind
+from repro.engine.arrivals import execute_with_arrivals
+from repro.engine.standalone import standalone_run
+from repro.workload.program import Job, ProgramProfile
+
+
+def _job(name, cpu_s=20.0, gpu_s=8.0):
+    return Job(
+        uid=name,
+        profile=ProgramProfile(
+            name=name,
+            compute_base_s={DeviceKind.CPU: cpu_s, DeviceKind.GPU: gpu_s},
+            bytes_gb=30.0,
+            mem_eff={DeviceKind.CPU: 0.8, DeviceKind.GPU: 0.9},
+            overlap=0.5,
+            sensitivity={DeviceKind.CPU: 1.0, DeviceKind.GPU: 1.0},
+        ),
+    )
+
+
+def _gpu_first_policy(kind, available, other, now):
+    """Simple deterministic policy: GPU eats the queue, CPU stays idle."""
+    return available[0] if kind is DeviceKind.GPU else None
+
+
+def _any_policy(kind, available, other, now):
+    return available[0] if available else None
+
+
+def _max_governor(processor):
+    return lambda c, g: processor.max_setting
+
+
+class TestExecuteWithArrivals:
+    def test_all_jobs_finish_with_arrival_metadata(self, processor):
+        arrivals = [(_job("a"), 0.0), (_job("b"), 5.0)]
+        result = execute_with_arrivals(
+            processor, arrivals, _any_policy, _max_governor(processor)
+        )
+        assert len(result.execution.completions) == 2
+        assert result.turnaround_s("a") > 0
+        assert result.mean_turnaround_s > 0
+        assert result.max_turnaround_s >= result.mean_turnaround_s
+
+    def test_job_never_starts_before_arrival(self, processor):
+        arrivals = [(_job("late"), 50.0)]
+        result = execute_with_arrivals(
+            processor, arrivals, _any_policy, _max_governor(processor)
+        )
+        completion = result.execution.completions[0]
+        assert completion.start_s >= 50.0
+
+    def test_idle_gap_jumps_to_next_arrival(self, processor):
+        job = _job("solo")
+        solo_time = standalone_run(job.profile, processor.cpu, 3.6).time_s
+        arrivals = [(job, 100.0)]
+        result = execute_with_arrivals(
+            processor, arrivals, _any_policy, _max_governor(processor)
+        )
+        assert result.makespan_s == pytest.approx(100.0 + solo_time, rel=1e-6)
+        # Idle time carries no power segments.
+        busy = sum(s.duration_s for s in result.execution.segments)
+        assert busy == pytest.approx(solo_time, rel=1e-6)
+
+    def test_declining_policy_leaves_cpu_idle(self, processor):
+        arrivals = [(_job("a"), 0.0), (_job("b"), 0.0)]
+        result = execute_with_arrivals(
+            processor, arrivals, _gpu_first_policy, _max_governor(processor)
+        )
+        kinds = {c.job: c.kind for c in result.execution.completions}
+        assert set(kinds.values()) == {"gpu"}
+
+    def test_turnaround_includes_waiting(self, processor):
+        # Two jobs arrive together; one must wait for the other under the
+        # GPU-only policy.
+        arrivals = [(_job("a"), 0.0), (_job("b"), 0.0)]
+        result = execute_with_arrivals(
+            processor, arrivals, _gpu_first_policy, _max_governor(processor)
+        )
+        turnarounds = sorted(
+            result.turnaround_s(uid) for uid in ("a", "b")
+        )
+        assert turnarounds[1] > turnarounds[0]
+
+    def test_validation(self, processor):
+        with pytest.raises(ValueError):
+            execute_with_arrivals(
+                processor, [], _any_policy, _max_governor(processor)
+            )
+        with pytest.raises(ValueError):
+            execute_with_arrivals(
+                processor, [(_job("a"), -1.0)], _any_policy,
+                _max_governor(processor),
+            )
+        job = _job("a")
+        with pytest.raises(ValueError):
+            execute_with_arrivals(
+                processor, [(job, 0.0), (job, 1.0)], _any_policy,
+                _max_governor(processor),
+            )
+
+    def test_stuck_policy_raises(self, processor):
+        def never(kind, available, other, now):
+            return None
+
+        with pytest.raises(RuntimeError, match="declined"):
+            execute_with_arrivals(
+                processor, [(_job("a"), 0.0)], never, _max_governor(processor)
+            )

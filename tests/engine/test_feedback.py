@@ -1,0 +1,91 @@
+"""Tests for reactive (measurement-feedback) cap enforcement."""
+
+import pytest
+
+from repro.engine.feedback import ReactiveCapController, execute_with_reactive_cap
+from repro.engine.tracing import segments_to_trace
+from repro.hardware.frequency import FrequencySetting
+
+
+class TestReactiveCapController:
+    def test_starts_at_medium(self, processor):
+        ctrl = ReactiveCapController(processor, 15.0)
+        assert ctrl.setting.cpu_ghz == processor.cpu.domain.medium
+        assert ctrl.setting.gpu_ghz == processor.gpu.domain.medium
+
+    def test_over_cap_steps_down(self, processor):
+        ctrl = ReactiveCapController(processor, 15.0, gpu_biased=True)
+        before = ctrl.setting
+        after = ctrl.observe(20.0)
+        # GPU-biased: the CPU is sacrificed first.
+        assert after.cpu_ghz < before.cpu_ghz
+        assert after.gpu_ghz == before.gpu_ghz
+
+    def test_cpu_biased_sacrifices_gpu_first(self, processor):
+        ctrl = ReactiveCapController(processor, 15.0, gpu_biased=False)
+        before = ctrl.setting
+        after = ctrl.observe(20.0)
+        assert after.gpu_ghz < before.gpu_ghz
+        assert after.cpu_ghz == before.cpu_ghz
+
+    def test_under_cap_steps_up_favoured_device(self, processor):
+        ctrl = ReactiveCapController(processor, 15.0, gpu_biased=True)
+        before = ctrl.setting
+        after = ctrl.observe(10.0)
+        assert after.gpu_ghz > before.gpu_ghz
+
+    def test_deadband_holds_setting(self, processor):
+        ctrl = ReactiveCapController(processor, 15.0, headroom_w=1.0)
+        before = ctrl.setting
+        after = ctrl.observe(14.5)  # inside [cap - headroom, cap]
+        assert after == before
+
+    def test_sacrifice_falls_through_at_floor(self, processor):
+        ctrl = ReactiveCapController(processor, 15.0, gpu_biased=True)
+        ctrl.setting = FrequencySetting(
+            processor.cpu.domain.fmin, processor.gpu.domain.medium
+        )
+        after = ctrl.observe(20.0)
+        # CPU already at floor: the GPU must yield.
+        assert after.gpu_ghz < processor.gpu.domain.medium
+
+    def test_bad_parameters_rejected(self, processor):
+        with pytest.raises(ValueError):
+            ReactiveCapController(processor, 0.0)
+        with pytest.raises(ValueError):
+            ReactiveCapController(processor, 15.0, headroom_w=-1.0)
+
+
+class TestExecuteWithReactiveCap:
+    def test_completes_all_jobs(self, processor, rodinia_jobs):
+        execution, trace = execute_with_reactive_cap(
+            processor, rodinia_jobs[:2], rodinia_jobs[2:4], 15.0
+        )
+        assert len(execution.completions) == 4
+        assert len(trace) >= 2
+
+    def test_power_converges_near_the_cap(self, processor, rodinia_jobs):
+        execution, _ = execute_with_reactive_cap(
+            processor, [rodinia_jobs[2]], [rodinia_jobs[0]], 15.0
+        )
+        trace = segments_to_trace(execution.segments, dt_s=1.0)
+        # Steady state (skip the convergence prefix) hugs the cap.
+        steady = trace.watts[5:]
+        assert steady.mean() <= 15.0 + 1.0
+        assert trace.max_overshoot(15.0) < 4.0
+
+    def test_duplicate_jobs_rejected(self, processor, rodinia_jobs):
+        with pytest.raises(ValueError):
+            execute_with_reactive_cap(
+                processor, [rodinia_jobs[0]], [rodinia_jobs[0]], 15.0
+            )
+
+    def test_control_interval_validated(self, processor, rodinia_jobs):
+        with pytest.raises(ValueError):
+            execute_with_reactive_cap(
+                processor, [rodinia_jobs[0]], [], 15.0, control_interval_s=0.0
+            )
+
+    def test_empty_schedule(self, processor):
+        execution, trace = execute_with_reactive_cap(processor, [], [], 15.0)
+        assert execution.makespan_s == 0.0

@@ -1,0 +1,164 @@
+"""Tests for the standalone execution model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.device import DeviceKind
+from repro.engine.standalone import (
+    phase_time,
+    phase_timings,
+    solve_compute_base,
+    standalone_power_w,
+    standalone_run,
+)
+from repro.workload.phases import Phase
+from repro.workload.program import ProgramProfile
+
+
+def _profile(**overrides):
+    kwargs = dict(
+        name="p",
+        compute_base_s={DeviceKind.CPU: 20.0, DeviceKind.GPU: 8.0},
+        bytes_gb=60.0,
+        mem_eff={DeviceKind.CPU: 0.8, DeviceKind.GPU: 0.9},
+        overlap=0.5,
+        sensitivity={DeviceKind.CPU: 1.0, DeviceKind.GPU: 1.0},
+    )
+    kwargs.update(overrides)
+    return ProgramProfile(**kwargs)
+
+
+class TestPhaseTime:
+    def test_no_overlap_is_sum(self):
+        assert phase_time(3.0, 4.0, 0.0) == pytest.approx(7.0)
+
+    def test_full_overlap_is_max(self):
+        assert phase_time(3.0, 4.0, 1.0) == pytest.approx(4.0)
+
+    def test_half_overlap(self):
+        assert phase_time(3.0, 4.0, 0.5) == pytest.approx(5.5)
+
+    @given(st.floats(0, 100), st.floats(0, 100), st.floats(0, 1))
+    def test_bounded_by_max_and_sum(self, c, m, o):
+        t = phase_time(c, m, o)
+        assert max(c, m) - 1e-9 <= t <= c + m + 1e-9
+
+    @given(st.floats(0, 100), st.floats(0, 100), st.floats(0, 1))
+    def test_symmetric_in_compute_and_memory(self, c, m, o):
+        assert phase_time(c, m, o) == pytest.approx(phase_time(m, c, o))
+
+
+class TestStandaloneRun:
+    def test_time_decreases_with_frequency(self, processor):
+        prof = _profile()
+        times = [
+            standalone_run(prof, processor.cpu, f).time_s
+            for f in processor.cpu.domain.levels
+        ]
+        assert all(a >= b for a, b in zip(times, times[1:]))
+
+    def test_demand_is_bytes_over_time(self, processor):
+        prof = _profile()
+        run = standalone_run(prof, processor.cpu, 3.6)
+        assert run.demand_gbps == pytest.approx(prof.bytes_gb / run.time_s)
+
+    def test_phased_time_sums_phase_durations(self, processor):
+        prof = _profile(phases=(Phase(0.5, 1.5), Phase(0.5, 0.5)))
+        run = standalone_run(prof, processor.cpu, 3.6)
+        assert run.time_s == pytest.approx(
+            sum(p.duration_s for p in run.phases)
+        )
+
+    def test_phase_bytes_sum_to_total(self, processor):
+        prof = _profile(phases=(Phase(0.3, 2.0), Phase(0.7, 4.0 / 7.0 * 1.0)))
+        run = standalone_run(prof, processor.cpu, 3.6)
+        assert sum(p.bytes_gb for p in run.phases) == pytest.approx(prof.bytes_gb)
+
+    def test_compute_fraction_in_unit_interval(self, processor):
+        for overlap in (0.0, 0.5, 1.0):
+            run = standalone_run(_profile(overlap=overlap), processor.gpu, 1.25)
+            assert 0.0 <= run.compute_fraction <= 1.0
+
+    def test_pure_compute_program(self, processor):
+        prof = _profile(bytes_gb=0.0)
+        run = standalone_run(prof, processor.cpu, 3.6)
+        assert run.demand_gbps == 0.0
+        assert run.compute_fraction == pytest.approx(1.0)
+
+
+class TestContendedDuration:
+    def test_stall_one_is_identity(self, processor):
+        prof = _profile()
+        for pt in phase_timings(prof, processor.cpu, 3.6):
+            assert pt.contended_duration(1.0, 1.0) == pytest.approx(pt.duration_s)
+
+    def test_stall_increases_duration(self, processor):
+        prof = _profile()
+        pt = phase_timings(prof, processor.cpu, 3.6)[0]
+        assert pt.contended_duration(1.5, 1.0) > pt.duration_s
+
+    def test_sensitivity_scales_the_effect(self, processor):
+        pt = phase_timings(_profile(), processor.cpu, 3.6)[0]
+        mild = pt.contended_duration(1.5, 0.5)
+        harsh = pt.contended_duration(1.5, 2.0)
+        assert mild < harsh
+
+    def test_zero_sensitivity_ignores_contention(self, processor):
+        pt = phase_timings(_profile(), processor.cpu, 3.6)[0]
+        assert pt.contended_duration(2.0, 0.0) == pytest.approx(pt.duration_s)
+
+    def test_invalid_stall_rejected(self, processor):
+        pt = phase_timings(_profile(), processor.cpu, 3.6)[0]
+        with pytest.raises(ValueError):
+            pt.contended_duration(0.9, 1.0)
+
+
+class TestStandalonePower:
+    def test_own_at_most_chip(self, processor):
+        prof = _profile()
+        own, chip = standalone_power_w(prof, processor, DeviceKind.CPU, 3.6)
+        assert own < chip
+
+    def test_chip_includes_idle_other_device(self, processor):
+        prof = _profile()
+        own, chip = standalone_power_w(prof, processor, DeviceKind.CPU, 3.6)
+        idle_gpu = processor.power.gpu.idle_power(processor.gpu.domain.fmin)
+        run = standalone_run(prof, processor.cpu, 3.6)
+        uncore = processor.power.uncore.power(run.demand_gbps)
+        assert chip == pytest.approx(own + idle_gpu + uncore)
+
+    def test_power_rises_with_frequency(self, processor):
+        prof = _profile()
+        p_low = standalone_power_w(prof, processor, DeviceKind.GPU, 0.35)[1]
+        p_high = standalone_power_w(prof, processor, DeviceKind.GPU, 1.25)[1]
+        assert p_high > p_low
+
+
+class TestSolveComputeBase:
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(30.0, 120.0))
+    def test_roundtrip_hits_target(self, target):
+        from dataclasses import replace
+
+        from repro.hardware.calibration import make_ivy_bridge
+
+        processor = make_ivy_bridge()
+        skeleton = _profile(
+            compute_base_s={DeviceKind.CPU: 0.0, DeviceKind.GPU: 0.0}
+        )
+        base = solve_compute_base(skeleton, processor.cpu, target)
+        solved = replace(
+            skeleton,
+            compute_base_s={DeviceKind.CPU: base, DeviceKind.GPU: 0.0},
+        )
+        t = standalone_run(solved, processor.cpu, 3.6).time_s
+        assert t == pytest.approx(target, rel=1e-6)
+
+    def test_infeasible_traffic_rejected(self, processor):
+        skeleton = _profile(
+            compute_base_s={DeviceKind.CPU: 0.0, DeviceKind.GPU: 0.0},
+            bytes_gb=1_000.0,
+        )
+        with pytest.raises(ValueError, match="exceeds target"):
+            solve_compute_base(skeleton, processor.cpu, 10.0)

@@ -1,0 +1,158 @@
+"""Tests for the schedule executor (queue replay and online modes)."""
+
+import pytest
+
+from repro.hardware.device import DeviceKind
+from repro.hardware.frequency import FrequencySetting
+from repro.engine.standalone import standalone_run
+from repro.engine.timeline import execute_online, execute_schedule
+from repro.workload.program import Job, ProgramProfile
+
+
+def _job(name, cpu_s=20.0, gpu_s=8.0, bytes_gb=40.0):
+    return Job(
+        uid=name,
+        profile=ProgramProfile(
+            name=name,
+            compute_base_s={DeviceKind.CPU: cpu_s, DeviceKind.GPU: gpu_s},
+            bytes_gb=bytes_gb,
+            mem_eff={DeviceKind.CPU: 0.8, DeviceKind.GPU: 0.9},
+            overlap=0.5,
+            sensitivity={DeviceKind.CPU: 1.0, DeviceKind.GPU: 1.0},
+        ),
+    )
+
+
+def _max_governor(processor):
+    def governor(cpu_job, gpu_job):
+        return processor.max_setting
+    return governor
+
+
+class TestExecuteSchedule:
+    def test_empty_schedule(self, processor):
+        ex = execute_schedule(processor, [], [], _max_governor(processor))
+        assert ex.makespan_s == 0.0
+        assert ex.completions == ()
+
+    def test_single_cpu_job_equals_standalone(self, processor):
+        job = _job("a")
+        ex = execute_schedule(processor, [job], [], _max_governor(processor))
+        expected = standalone_run(job.profile, processor.cpu, 3.6).time_s
+        assert ex.makespan_s == pytest.approx(expected)
+        assert ex.completions[0].job == "a"
+
+    def test_solo_tail_equals_standalone(self, processor):
+        job = _job("a")
+        ex = execute_schedule(
+            processor, [], [], _max_governor(processor),
+            solo_tail=[(job, DeviceKind.GPU)],
+        )
+        expected = standalone_run(job.profile, processor.gpu, 1.25).time_s
+        assert ex.makespan_s == pytest.approx(expected)
+
+    def test_solo_tail_runs_after_queues(self, processor):
+        queue_job = _job("q")
+        solo_job = _job("s")
+        ex = execute_schedule(
+            processor, [queue_job], [], _max_governor(processor),
+            solo_tail=[(solo_job, DeviceKind.CPU)],
+        )
+        finish_q = ex.finish_of("q")
+        finish_s = ex.finish_of("s")
+        assert finish_s > finish_q
+
+    def test_coscheduled_jobs_overlap(self, processor):
+        a, b = _job("a"), _job("b")
+        ex = execute_schedule(processor, [a], [b], _max_governor(processor))
+        solo_sum = (
+            standalone_run(a.profile, processor.cpu, 3.6).time_s
+            + standalone_run(b.profile, processor.gpu, 1.25).time_s
+        )
+        assert ex.makespan_s < solo_sum
+
+    def test_contention_slows_corun(self, processor):
+        a, b = _job("a", bytes_gb=120.0), _job("b", bytes_gb=120.0)
+        ex = execute_schedule(processor, [a], [b], _max_governor(processor))
+        alone_a = standalone_run(a.profile, processor.cpu, 3.6).time_s
+        alone_b = standalone_run(b.profile, processor.gpu, 1.25).time_s
+        assert ex.makespan_s > max(alone_a, alone_b)
+
+    def test_duplicate_job_rejected(self, processor):
+        job = _job("a")
+        with pytest.raises(ValueError):
+            execute_schedule(processor, [job], [job], _max_governor(processor))
+
+    def test_busy_accounting(self, processor):
+        a, b = _job("a"), _job("b")
+        ex = execute_schedule(processor, [a], [b], _max_governor(processor))
+        assert 0 < ex.cpu_busy_s <= ex.makespan_s + 1e-9
+        assert 0 < ex.gpu_busy_s <= ex.makespan_s + 1e-9
+
+    def test_governor_is_consulted_on_pair_changes(self, processor):
+        calls = []
+
+        def governor(cpu_job, gpu_job):
+            calls.append((cpu_job.uid if cpu_job else None,
+                          gpu_job.uid if gpu_job else None))
+            return processor.max_setting
+
+        execute_schedule(
+            processor, [_job("a"), _job("b")], [_job("c")], governor
+        )
+        assert ("a", "c") in calls
+        # after c finishes the survivor pair is re-consulted
+        assert any(pair[1] is None for pair in calls)
+
+    def test_finish_of_unknown_job_raises(self, processor):
+        ex = execute_schedule(processor, [_job("a")], [], _max_governor(processor))
+        with pytest.raises(KeyError):
+            ex.finish_of("nope")
+
+    def test_energy_and_mean_power(self, processor):
+        ex = execute_schedule(processor, [_job("a")], [], _max_governor(processor))
+        assert ex.energy_j == pytest.approx(ex.mean_power_w * ex.makespan_s)
+
+
+class _ScriptedSource:
+    """Online source that plays back a fixed decision list per processor."""
+
+    def __init__(self, cpu_jobs, gpu_jobs):
+        self.queues = {DeviceKind.CPU: list(cpu_jobs), DeviceKind.GPU: list(gpu_jobs)}
+
+    def remaining(self):
+        return sum(len(q) for q in self.queues.values())
+
+    def next_job(self, kind, other_job, other_busy, now_s):
+        if self.queues[kind]:
+            return self.queues[kind].pop(0)
+        return None
+
+
+class TestExecuteOnline:
+    def test_matches_queue_replay(self, processor):
+        a, b = _job("a"), _job("b")
+        online = execute_online(
+            processor, _ScriptedSource([a], [b]), _max_governor(processor)
+        )
+        replay = execute_schedule(
+            processor, [_job("a")], [_job("b")], _max_governor(processor)
+        )
+        assert online.makespan_s == pytest.approx(replay.makespan_s)
+
+    def test_source_declining_with_both_idle_is_an_error(self, processor):
+        class Stubborn:
+            def remaining(self):
+                return 1
+
+            def next_job(self, kind, other_job, other_busy, now_s):
+                return None
+
+        with pytest.raises(RuntimeError, match="declined"):
+            execute_online(processor, Stubborn(), _max_governor(processor))
+
+    def test_all_jobs_complete(self, processor):
+        jobs = [_job(f"j{i}") for i in range(5)]
+        source = _ScriptedSource(jobs[:2], jobs[2:])
+        ex = execute_online(processor, source, _max_governor(processor))
+        assert {c.job for c in ex.completions} == {j.uid for j in jobs}

@@ -1,0 +1,71 @@
+"""Tests for execution trace records and conversions."""
+
+import pytest
+
+from repro.engine.tracing import (
+    JobCompletion,
+    PowerSegment,
+    segments_energy_j,
+    segments_mean_power_w,
+    segments_to_trace,
+)
+
+
+class TestSegmentAggregates:
+    def test_energy_is_duration_weighted(self):
+        segments = (PowerSegment(2.0, 10.0), PowerSegment(1.0, 16.0))
+        assert segments_energy_j(segments) == pytest.approx(36.0)
+
+    def test_mean_power_weighted(self):
+        segments = (PowerSegment(2.0, 10.0), PowerSegment(1.0, 16.0))
+        assert segments_mean_power_w(segments) == pytest.approx(12.0)
+
+    def test_empty_segments(self):
+        assert segments_energy_j(()) == 0.0
+        assert segments_mean_power_w(()) == 0.0
+
+    def test_trace_conversion_preserves_energy(self):
+        segments = (PowerSegment(1.3, 12.0), PowerSegment(2.7, 18.0))
+        trace = segments_to_trace(segments, dt_s=1.0)
+        total = sum(d for d, _ in ((s.duration_s, 0) for s in segments))
+        trace_energy = 0.0
+        for sample in trace.samples:
+            window = min(1.0, total - sample.time_s)
+            trace_energy += sample.watts * window
+        assert trace_energy == pytest.approx(segments_energy_j(segments))
+
+
+class TestJobCompletion:
+    def test_duration(self):
+        c = JobCompletion(job="a", kind="cpu", finish_s=12.0, start_s=4.0)
+        assert c.duration_s == pytest.approx(8.0)
+
+    def test_default_start_is_zero(self):
+        c = JobCompletion(job="a", kind="gpu", finish_s=5.0)
+        assert c.start_s == 0.0
+
+
+class TestPairTimelineConsistency:
+    def test_single_pair_schedule_matches_corun_pair(self, processor, rodinia):
+        """Executing a one-job-per-queue schedule must agree exactly with
+        the pairwise co-run simulator at the same frequencies — the two
+        code paths share the phase engine and must not drift apart."""
+        from repro.engine.corun import corun_pair
+        from repro.engine.timeline import execute_schedule
+        from repro.workload.program import Job
+
+        a = Job("a", rodinia["dwt2d"])
+        b = Job("b", rodinia["streamcluster"])
+        setting = processor.max_setting
+        execution = execute_schedule(
+            processor, [a], [b], lambda c, g: setting
+        )
+        pair = corun_pair(
+            processor, rodinia["dwt2d"], rodinia["streamcluster"], setting
+        )
+        assert execution.finish_of("a") == pytest.approx(pair.cpu_time_s)
+        assert execution.finish_of("b") == pytest.approx(pair.gpu_time_s)
+        assert execution.makespan_s == pytest.approx(pair.makespan_s)
+        assert execution.mean_power_w == pytest.approx(
+            pair.mean_power_w, rel=1e-6
+        )

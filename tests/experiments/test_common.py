@@ -1,0 +1,50 @@
+"""Tests for the experiment-infrastructure helpers."""
+
+import pytest
+
+from repro.experiments.common import (
+    INSTANCE_SCALES,
+    ExperimentResult,
+    default_runtime,
+)
+
+
+class TestExperimentResult:
+    def test_render_contains_sections_and_headline(self):
+        result = ExperimentResult(name="x", title="Test", headline={"a": 1.0})
+        result.add_section("first", "body text")
+        text = result.render()
+        assert "=== x: Test ===" in text
+        assert "--- first ---" in text
+        assert "body text" in text
+        assert "headline metrics" in text
+
+    def test_render_without_headline(self):
+        result = ExperimentResult(name="x", title="Test")
+        assert "headline metrics" not in result.render()
+
+    def test_sections_preserve_order(self):
+        result = ExperimentResult(name="x", title="T")
+        result.add_section("a", "1")
+        result.add_section("b", "2")
+        text = result.render()
+        assert text.index("--- a ---") < text.index("--- b ---")
+
+
+class TestDefaultRuntime:
+    def test_cached_identity(self):
+        assert default_runtime() is default_runtime()
+        assert default_runtime(cap_w=15.0) is default_runtime(cap_w=15.0)
+
+    def test_distinct_configs_distinct_runtimes(self):
+        assert default_runtime(cap_w=15.0) is not default_runtime(cap_w=16.0)
+
+    def test_two_instance_workload(self):
+        runtime = default_runtime(instances=2)
+        assert len(runtime.jobs) == 16
+        uids = {j.uid for j in runtime.jobs}
+        assert "streamcluster#0" in uids and "streamcluster#1" in uids
+
+    def test_instance_scales_constant(self):
+        assert INSTANCE_SCALES[0] == 1.0
+        assert 0 < INSTANCE_SCALES[1] < 1.0

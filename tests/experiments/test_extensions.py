@@ -1,0 +1,59 @@
+"""Tests for the extension experiments (capcontrol, splitting, scaling,
+energy) and the report generator."""
+
+import pytest
+
+from repro.experiments import capcontrol, scaling, splitting
+from repro.report import generate_report
+
+
+class TestCapControl:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return capcontrol.run()
+
+    def test_both_controllers_finish(self, result):
+        h = result.headline
+        assert h["predictive_makespan_s"] > 0
+        assert h["reactive_makespan_s"] > 0
+
+    def test_predictive_is_faster(self, result):
+        """The model-based controller starts at the right operating point;
+        the reactive one pays to converge."""
+        h = result.headline
+        assert h["predictive_makespan_s"] <= h["reactive_makespan_s"]
+
+    def test_overshoot_bounded_for_both(self, result):
+        h = result.headline
+        assert h["predictive_overshoot_w"] < 2.0   # Figure 9's bound
+        assert h["reactive_overshoot_w"] < 4.0     # one step of slack
+
+    def test_reactive_actually_reacts(self, result):
+        assert result.headline["reactive_setting_changes"] >= 5
+
+
+class TestSplitting:
+    def test_paper_scope_justified(self):
+        h = splitting.run().headline
+        assert h["split_wins"] == 0.0
+        assert h["free_split_wins"] >= 1.0
+
+
+class TestScaling:
+    @pytest.mark.slow
+    def test_overhead_stays_small(self):
+        result = scaling.run(sizes=(4, 8, 16))
+        assert result.headline["max_overhead_frac"] < 0.01
+        # Polynomial, not exponential: well under cubic growth.
+        assert result.headline["empirical_growth_order"] < 3.0
+
+
+class TestReport:
+    def test_generates_markdown(self, tmp_path):
+        out = generate_report(
+            tmp_path / "RESULTS.md", names=["fig2", "table1"], echo=False
+        )
+        text = out.read_text()
+        assert "# RESULTS" in text
+        assert "fig2" in text and "table1" in text
+        assert "```text" in text

@@ -1,0 +1,65 @@
+"""Shape locks for the model-centric experiments (Figs 2, 5/6, 7, 8, 9, Table I)."""
+
+import pytest
+
+from repro.experiments import fig2, fig5_fig6, fig7, fig8, fig9, table1
+
+
+class TestFig2:
+    def test_speedup_shape(self):
+        h = fig2.run().headline
+        # GPU-preferred programs with roughly the paper's factors.
+        assert h["streamcluster_gpu_speedup"] == pytest.approx(2.5, abs=0.3)
+        assert h["cfd_gpu_speedup"] == pytest.approx(1.8, abs=0.3)
+        assert h["hotspot_gpu_speedup"] == pytest.approx(2.4, abs=0.3)
+        # dwt2d prefers the CPU by ~2.5x.
+        assert h["dwt2d_gpu_speedup"] == pytest.approx(0.4, abs=0.1)
+
+
+class TestFig5Fig6:
+    def test_degradation_space_facts(self):
+        h = fig5_fig6.run().headline
+        assert h["max_cpu_degradation"] == pytest.approx(0.65, abs=0.06)
+        assert h["max_gpu_degradation"] == pytest.approx(0.45, abs=0.05)
+        assert h["max_cpu_degradation"] > h["max_gpu_degradation"]
+        assert h["high_demand_cpu_mean"] > h["high_demand_gpu_mean"]
+        assert h["frac_cpu_below_20pct"] >= 0.5
+
+    def test_render_contains_both_surfaces(self):
+        text = fig5_fig6.run().render()
+        assert "Figure 5" in text and "Figure 6" in text
+
+
+class TestFig7:
+    def test_error_bands(self):
+        h = fig7.run().headline
+        assert 0.08 <= h["high_mean_error"] <= 0.20     # paper ~15%
+        assert 0.05 <= h["medium_mean_error"] <= 0.15   # paper ~11%
+        assert h["medium_mean_error"] < h["high_mean_error"]
+        assert 0.35 <= h["high_frac_below_10pct"] <= 0.70  # paper ~half
+        assert h["high_frac_below_20pct"] >= 0.65          # paper >70%
+
+
+class TestFig8:
+    def test_power_error_bands(self):
+        h = fig8.run().headline
+        assert h["mean_error"] <= 0.04      # paper 1.92%
+        assert h["max_error"] < 0.08        # paper: none above 8%
+
+
+class TestFig9:
+    def test_cap_respected_with_small_overshoot(self):
+        h = fig9.run().headline
+        assert h["max_overshoot_w"] < 2.0   # paper: typically < 2 W
+
+    def test_four_traces_rendered(self):
+        result = fig9.run()
+        stats_section = result.sections[0][1]
+        assert stats_section.count("-") > 0
+        assert len(stats_section.splitlines()) >= 6  # header + 4 rows
+
+
+class TestTable1:
+    def test_every_preference_matches_the_paper(self):
+        h = table1.run().headline
+        assert h["preference_matches"] == 8.0

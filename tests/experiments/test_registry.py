@@ -1,0 +1,46 @@
+"""Tests for the experiment registry and CLI plumbing."""
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+from repro.cli import main
+
+
+class TestRegistry:
+    def test_every_paper_artifact_has_a_driver(self):
+        expected = {
+            "fig2", "sec3", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "table1", "fig10", "fig11", "overhead", "ablations",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_get_experiment_known(self):
+        assert callable(get_experiment("fig2"))
+
+    def test_get_experiment_unknown(self):
+        with pytest.raises(KeyError, match="available"):
+            get_experiment("fig99")
+
+    def test_run_experiment_returns_result(self):
+        result = run_experiment("fig2")
+        assert result.name == "fig2"
+        assert result.headline
+
+
+class TestCli:
+    def test_quiet_run(self, capsys):
+        assert main(["fig2", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "[fig2]" in out
+
+    def test_full_render(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "standalone times" in out
+
+    def test_unknown_experiment_exit_code(self, capsys):
+        assert main(["not-an-experiment"]) == 2
+
+    def test_duplicate_names_deduplicated(self, capsys):
+        assert main(["fig2", "fig2", "--quiet"]) == 0
+        assert capsys.readouterr().out.count("[fig2]") == 1

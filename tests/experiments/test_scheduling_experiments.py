@@ -1,0 +1,82 @@
+"""Shape locks for the scheduling experiments (Sec III, Figs 10/11, overhead).
+
+These are the paper's headline results; the assertions encode the *shape*
+criteria of DESIGN.md: orderings, approximate factors, and the 16-job
+crossover, not absolute seconds.
+"""
+
+import pytest
+
+from repro.experiments import fig10, fig11, overhead, sec3_example
+
+
+@pytest.fixture(scope="module")
+def fig10_result():
+    return fig10.run(n_random=10)
+
+
+@pytest.fixture(scope="module")
+def fig11_result():
+    return fig11.run(n_random=10)
+
+
+class TestSec3:
+    def test_pairing_asymmetry(self):
+        h = sec3_example.run().headline
+        # dwt2d+streamcluster ~81%/5%; dwt2d+hotspot ~17%/5%.
+        assert 0.6 <= h["dwt2d_vs_streamcluster_cpu_slowdown"] <= 1.1
+        assert h["dwt2d_vs_streamcluster_gpu_slowdown"] <= 0.10
+        assert 0.10 <= h["dwt2d_vs_hotspot_cpu_slowdown"] <= 0.30
+        assert h["dwt2d_vs_hotspot_gpu_slowdown"] <= 0.10
+        # pairing matters: the bad pair hurts several times more
+        assert (
+            h["dwt2d_vs_streamcluster_cpu_slowdown"]
+            > 2.5 * h["dwt2d_vs_hotspot_cpu_slowdown"]
+        )
+
+    def test_frequency_enumeration_ratio(self):
+        h = sec3_example.run().headline
+        # paper: optimal setting ~2.3x better than the worst co-schedule
+        assert 1.8 <= h["worst_over_best"] <= 4.0
+
+
+class TestFig10:
+    def test_policy_ordering(self, fig10_result):
+        h = fig10_result.headline
+        assert 1.0 < h["default_c_speedup"] < h["default_g_speedup"]
+        assert h["default_g_speedup"] < h["hcs_speedup"]
+        assert h["hcs_speedup"] <= h["hcs+_speedup"] + 1e-9
+        assert h["hcs+_speedup"] < h["bound_speedup"]
+
+    def test_hcs_gains_are_substantial(self, fig10_result):
+        """Paper: HCS+ improves ~41% over Random and ~9% over Default."""
+        h = fig10_result.headline
+        assert h["hcs+_speedup"] >= 1.25
+        assert h["hcs+_speedup"] / h["default_g_speedup"] >= 1.05
+
+    def test_scheduling_overhead_tiny(self, fig10_result):
+        assert fig10_result.headline["scheduling_overhead_frac"] < 0.005
+
+
+class TestFig11:
+    def test_defaults_fall_below_random(self, fig11_result):
+        """The paper's crossover: context-switching makes both Default
+        variants slower than Random at 16 jobs."""
+        h = fig11_result.headline
+        assert h["default_c_speedup"] < 1.0
+        assert h["default_g_speedup"] < 1.0
+        assert h["defaults_below_random"] == 1.0
+
+    def test_hcs_scales(self, fig11_result):
+        h = fig11_result.headline
+        assert h["hcs_speedup"] >= 1.15        # paper: +35%
+        assert h["hcs+_speedup"] >= h["hcs_speedup"]
+        # paper: HCS+ is >= 35% faster than the default schedules
+        assert h["hcs+_speedup"] / h["default_g_speedup"] >= 1.30
+
+
+class TestOverhead:
+    def test_below_paper_budget(self):
+        h = overhead.run().headline
+        for key, frac in h.items():
+            assert frac < 0.01, key

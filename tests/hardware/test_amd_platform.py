@@ -1,0 +1,57 @@
+"""Tests for the alternative AMD-Llano-like calibration."""
+
+import pytest
+
+from repro.hardware.calibration import make_amd_llano
+from repro.workload.rodinia import TABLE1_STANDALONE, rodinia_programs
+from repro.engine.standalone import standalone_run
+
+
+@pytest.fixture(scope="module")
+def llano():
+    return make_amd_llano()
+
+
+class TestLlanoCalibration:
+    def test_dvfs_spans(self, llano):
+        assert llano.cpu.domain.fmin == pytest.approx(0.8)
+        assert llano.cpu.domain.fmax == pytest.approx(2.4)
+        assert llano.gpu.domain.fmax == pytest.approx(0.444)
+
+    def test_power_near_mobile_tdp(self, llano):
+        p = llano.power.max_power(2.4, 0.444, 12.0)
+        assert 30.0 <= p <= 40.0
+
+    def test_floor_fits_the_cap(self, llano):
+        assert llano.chip_power(llano.min_setting, 1.0, 1.0, 5.0) <= 15.0
+
+    def test_contention_asymmetry_preserved(self, llano):
+        """Both platforms share the paper's asymmetry: CPU worst-case stall
+        exceeds the GPU's at joint saturation."""
+        lim = min(llano.cpu.bw_limit(2.4), llano.gpu.bw_limit(0.444))
+        cpu, gpu = llano.memory.pair_stall_factors(lim, lim)
+        assert cpu > gpu > 1.0
+
+    def test_rodinia_recalibrates(self, llano):
+        progs = rodinia_programs(llano)
+        for prog in progs:
+            want_cpu, want_gpu = TABLE1_STANDALONE[prog.name]
+            got_cpu = standalone_run(prog, llano.cpu, 2.4).time_s
+            got_gpu = standalone_run(prog, llano.gpu, 0.444).time_s
+            assert got_cpu == pytest.approx(want_cpu, rel=1e-3)
+            assert got_gpu == pytest.approx(want_gpu, rel=1e-3)
+
+
+class TestCrossPlatformExperiment:
+    @pytest.mark.slow
+    def test_ordering_holds_on_both_platforms(self):
+        from repro.experiments import crossplatform
+
+        h = crossplatform.run(n_random=5).headline
+        for prefix in ("ivy", "amd"):
+            assert h[f"{prefix}_hcs+_speedup"] >= h[f"{prefix}_hcs_speedup"] - 1e-9
+            assert h[f"{prefix}_hcs_speedup"] > h[f"{prefix}_default_g_speedup"]
+            assert h[f"{prefix}_default_g_speedup"] >= (
+                h[f"{prefix}_default_c_speedup"] - 0.05
+            )
+            assert h[f"{prefix}_hcs+_speedup"] > 1.2

@@ -1,0 +1,56 @@
+"""Calibration lock: the platform facts the reproduction depends on.
+
+If any of these drift, the figure-level experiments lose their anchors, so
+they are tested directly against the constants in DESIGN.md section 4.
+"""
+
+import pytest
+
+from repro.hardware.calibration import (
+    DEFAULT_POWER_CAP_W,
+    MODEL_POWER_CAP_W,
+    make_ivy_bridge,
+)
+
+
+class TestPlatform:
+    def test_dvfs_ranges_match_the_paper(self, processor):
+        assert processor.cpu.domain.n_levels == 16
+        assert processor.cpu.domain.fmin == pytest.approx(1.2)
+        assert processor.cpu.domain.fmax == pytest.approx(3.6)
+        assert processor.gpu.domain.n_levels == 10
+        assert processor.gpu.domain.fmin == pytest.approx(0.35)
+        assert processor.gpu.domain.fmax == pytest.approx(1.25)
+
+    def test_full_bore_power_near_tdp(self, processor):
+        """Flat out the chip draws ~35 W, so 15-16 W caps genuinely bind."""
+        p = processor.power.max_power(3.6, 1.25, 13.0)
+        assert 33.0 <= p <= 39.0
+
+    def test_caps_are_well_below_max_power(self, processor):
+        p = processor.power.max_power(3.6, 1.25, 13.0)
+        assert DEFAULT_POWER_CAP_W < p / 2
+        assert MODEL_POWER_CAP_W < p / 2
+
+    def test_floor_setting_fits_the_caps(self, processor):
+        """Even two fully busy devices at floor frequencies fit the cap,
+        so a cap-respecting governor always has a feasible choice."""
+        floor = processor.chip_power(processor.min_setting, 1.0, 1.0, 5.0)
+        assert floor <= DEFAULT_POWER_CAP_W
+
+    def test_contention_asymmetry_targets(self, processor):
+        cpu, gpu = processor.memory.pair_stall_factors(11.0, 11.0)
+        assert cpu == pytest.approx(1.66, abs=0.05)   # ~65% pure-memory deg
+        assert gpu == pytest.approx(1.45, abs=0.05)   # ~45%
+
+    def test_device_streaming_limits(self, processor):
+        assert processor.cpu.bw_limit(3.6) == pytest.approx(11.0)
+        assert processor.gpu.bw_limit(1.25) == pytest.approx(11.0)
+
+    def test_shared_peak_exceeds_single_device(self, processor):
+        assert processor.memory.peak_bw_gbps > 11.0
+        assert processor.memory.peak_bw_gbps < 22.0
+
+    def test_construction_is_pure(self):
+        a, b = make_ivy_bridge(), make_ivy_bridge()
+        assert a == b

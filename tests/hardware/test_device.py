@@ -1,0 +1,80 @@
+"""Tests for repro.hardware.device."""
+
+import pytest
+
+from repro.hardware.calibration import make_ivy_bridge
+from repro.hardware.device import ComputeDevice, DeviceKind
+from repro.hardware.frequency import FrequencyDomain
+
+
+@pytest.fixture(scope="module")
+def cpu():
+    return make_ivy_bridge().cpu
+
+
+@pytest.fixture(scope="module")
+def gpu():
+    return make_ivy_bridge().gpu
+
+
+class TestDeviceKind:
+    def test_other_is_involutive(self):
+        for kind in DeviceKind:
+            assert kind.other.other is kind
+
+    def test_other_values(self):
+        assert DeviceKind.CPU.other is DeviceKind.GPU
+        assert DeviceKind.GPU.other is DeviceKind.CPU
+
+
+class TestComputeSpeed:
+    def test_reference_speed_is_unity(self, cpu):
+        assert cpu.speed(cpu.domain.fmax) == pytest.approx(1.0)
+
+    def test_speed_proportional_to_frequency(self, cpu):
+        assert cpu.speed(1.8) == pytest.approx(0.5)
+
+    def test_compute_time_scales_inversely(self, cpu):
+        assert cpu.compute_time(10.0, 1.8) == pytest.approx(20.0)
+        assert cpu.compute_time(10.0, 3.6) == pytest.approx(10.0)
+
+    def test_nonpositive_frequency_rejected(self, cpu):
+        with pytest.raises(ValueError):
+            cpu.speed(0.0)
+
+
+class TestBandwidthLimit:
+    def test_max_at_top_frequency(self, cpu):
+        assert cpu.bw_limit(cpu.domain.fmax) == pytest.approx(
+            cpu.bw_limit_max_gbps
+        )
+
+    def test_floor_at_bottom_frequency(self, cpu):
+        expected = cpu.bw_limit_floor_frac * cpu.bw_limit_max_gbps
+        assert cpu.bw_limit(cpu.domain.fmin) == pytest.approx(expected)
+
+    def test_monotone_in_frequency(self, gpu):
+        limits = [gpu.bw_limit(f) for f in gpu.domain.levels]
+        assert all(a <= b for a, b in zip(limits, limits[1:]))
+
+    def test_clamped_outside_domain(self, cpu):
+        assert cpu.bw_limit(100.0) == pytest.approx(cpu.bw_limit_max_gbps)
+        assert cpu.bw_limit(0.1) == pytest.approx(
+            cpu.bw_limit_floor_frac * cpu.bw_limit_max_gbps
+        )
+
+
+class TestValidation:
+    def test_bad_unit_count(self):
+        with pytest.raises(ValueError):
+            ComputeDevice(
+                DeviceKind.CPU, "x", FrequencyDomain("d", (1.0, 2.0)),
+                n_units=0, bw_limit_max_gbps=10.0, bw_limit_floor_frac=0.5,
+            )
+
+    def test_bad_floor_fraction(self):
+        with pytest.raises(ValueError):
+            ComputeDevice(
+                DeviceKind.CPU, "x", FrequencyDomain("d", (1.0, 2.0)),
+                n_units=1, bw_limit_max_gbps=10.0, bw_limit_floor_frac=1.5,
+            )

@@ -1,0 +1,102 @@
+"""Tests for repro.hardware.frequency."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hardware.frequency import (
+    FrequencyDomain,
+    FrequencySetting,
+    enumerate_settings,
+    ivy_bridge_cpu_domain,
+    ivy_bridge_gpu_domain,
+)
+
+
+class TestFrequencyDomain:
+    def test_ivy_bridge_cpu_has_16_levels(self):
+        dom = ivy_bridge_cpu_domain()
+        assert dom.n_levels == 16
+        assert dom.fmin == pytest.approx(1.2)
+        assert dom.fmax == pytest.approx(3.6)
+
+    def test_ivy_bridge_gpu_has_10_levels(self):
+        dom = ivy_bridge_gpu_domain()
+        assert dom.n_levels == 10
+        assert dom.fmin == pytest.approx(0.35)
+        assert dom.fmax == pytest.approx(1.25)
+
+    def test_levels_must_ascend(self):
+        with pytest.raises(ValueError):
+            FrequencyDomain("bad", (2.0, 1.0))
+
+    def test_levels_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FrequencyDomain("bad", (0.0, 1.0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FrequencyDomain("bad", ())
+
+    def test_index_of_roundtrip(self):
+        dom = ivy_bridge_cpu_domain()
+        for i, f in enumerate(dom.levels):
+            assert dom.index_of(f) == i
+
+    def test_index_of_rejects_non_level(self):
+        with pytest.raises(ValueError):
+            ivy_bridge_cpu_domain().index_of(2.01)
+
+    def test_nearest_index(self):
+        dom = FrequencyDomain("d", (1.0, 2.0, 3.0))
+        assert dom.nearest_index(2.2) == 1
+        assert dom.nearest_index(0.1) == 0
+        assert dom.nearest_index(9.0) == 2
+
+    def test_contains(self):
+        dom = FrequencyDomain("d", (1.0, 2.0))
+        assert dom.contains(1.0)
+        assert not dom.contains(1.5)
+
+    def test_step_up_down(self):
+        dom = FrequencyDomain("d", (1.0, 2.0, 3.0))
+        assert dom.step_up(1.0) == 2.0
+        assert dom.step_down(2.0) == 1.0
+        assert dom.step_up(3.0) is None
+        assert dom.step_down(1.0) is None
+
+    def test_medium_level(self):
+        dom = FrequencyDomain("d", (1.0, 2.0, 3.0))
+        assert dom.medium == 2.0
+
+    def test_linspace_single_level(self):
+        dom = FrequencyDomain.linspace("d", 2.0, 2.0, 1)
+        assert dom.levels == (2.0,)
+        with pytest.raises(ValueError):
+            FrequencyDomain.linspace("d", 1.0, 2.0, 1)
+
+    @given(st.integers(2, 30))
+    def test_linspace_endpoints_and_count(self, n):
+        dom = FrequencyDomain.linspace("d", 0.5, 4.0, n)
+        assert dom.n_levels == n
+        assert dom.fmin == pytest.approx(0.5)
+        assert dom.fmax == pytest.approx(4.0)
+
+
+class TestFrequencySetting:
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            FrequencySetting(0.0, 1.0)
+
+    def test_ordering_is_total(self):
+        a = FrequencySetting(1.0, 2.0)
+        b = FrequencySetting(1.0, 3.0)
+        assert a < b
+
+
+def test_enumerate_settings_counts():
+    settings = list(
+        enumerate_settings(ivy_bridge_cpu_domain(), ivy_bridge_gpu_domain())
+    )
+    assert len(settings) == 160  # the paper's 16 x 10 space
+    assert len(set(settings)) == 160

@@ -1,0 +1,141 @@
+"""Tests for the shared-memory contention model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hardware.calibration import make_ivy_bridge
+from repro.hardware.device import DeviceKind
+from repro.hardware.memory import BandwidthDemand, ContentionParams, MemorySystem
+
+
+@pytest.fixture(scope="module")
+def memory():
+    return make_ivy_bridge().memory
+
+
+def _pair(memory, cpu_gbps, gpu_gbps):
+    return memory.stall_factors(
+        [
+            BandwidthDemand(DeviceKind.CPU, cpu_gbps),
+            BandwidthDemand(DeviceKind.GPU, gpu_gbps),
+        ]
+    )
+
+
+class TestStallFactors:
+    def test_no_demands(self, memory):
+        assert memory.stall_factors([]) == []
+
+    def test_single_requester_never_stalls(self, memory):
+        for kind in DeviceKind:
+            factors = memory.stall_factors([BandwidthDemand(kind, 10.0)])
+            assert factors == [1.0]
+
+    def test_zero_demand_side_unaffected(self, memory):
+        cpu, gpu = _pair(memory, 0.0, 10.0)
+        assert cpu == 1.0
+        assert gpu == 1.0  # nobody else is generating traffic
+
+    def test_factors_at_least_one(self, memory):
+        for c in (0.0, 3.0, 8.0, 11.0):
+            for g in (0.0, 3.0, 8.0, 11.0):
+                for f in _pair(memory, c, g):
+                    assert f >= 1.0
+
+    def test_calibration_targets_at_saturation(self, memory):
+        # Figures 5/6: ~65% worst CPU degradation vs ~45% for the GPU.
+        cpu, gpu = _pair(memory, 11.0, 11.0)
+        assert cpu == pytest.approx(1.65, abs=0.05)
+        assert gpu == pytest.approx(1.45, abs=0.05)
+        assert cpu > gpu
+
+    def test_gpu_more_sensitive_at_moderate_contention(self, memory):
+        # The paper: GPU suffers more at low/medium demand levels.
+        cpu, gpu = _pair(memory, 6.0, 6.0)
+        assert gpu > cpu
+
+    @given(st.floats(0.0, 11.0), st.floats(0.0, 11.0), st.floats(0.1, 3.0))
+    def test_monotone_in_partner_demand(self, cpu_d, gpu_d, bump):
+        memory = make_ivy_bridge().memory
+        base_cpu, _ = memory.pair_stall_factors(cpu_d, gpu_d)
+        more_cpu, _ = memory.pair_stall_factors(cpu_d, gpu_d + bump)
+        assert more_cpu >= base_cpu - 1e-9
+
+    def test_pair_helper_matches_list_api(self, memory):
+        assert memory.pair_stall_factors(4.0, 7.0) == tuple(_pair(memory, 4.0, 7.0))
+
+
+class TestAchievedBandwidth:
+    def test_achieved_equals_demand_without_contention(self, memory):
+        achieved = memory.achieved_bandwidths(
+            [BandwidthDemand(DeviceKind.CPU, 5.0)]
+        )
+        assert achieved == [5.0]
+
+    def test_total_achieved_bounded_by_peak_under_saturation(self, memory):
+        achieved = memory.achieved_bandwidths(
+            [
+                BandwidthDemand(DeviceKind.CPU, 11.0),
+                BandwidthDemand(DeviceKind.GPU, 11.0),
+            ]
+        )
+        assert sum(achieved) <= memory.peak_bw_gbps * 1.01
+
+    def test_achieved_never_exceeds_demand(self, memory):
+        demands = [
+            BandwidthDemand(DeviceKind.CPU, 7.0),
+            BandwidthDemand(DeviceKind.GPU, 9.0),
+        ]
+        for a, d in zip(memory.achieved_bandwidths(demands), demands):
+            assert a <= d.gbps + 1e-12
+
+
+class TestValidation:
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            BandwidthDemand(DeviceKind.CPU, -1.0)
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            ContentionParams(-0.1, 0.1, 0.5, 1.0)
+        with pytest.raises(ValueError):
+            ContentionParams(0.1, 0.1, 1.5, 1.0)
+        with pytest.raises(ValueError):
+            ContentionParams(0.1, 0.1, 0.5, 0.0)
+
+    def test_bad_peak_rejected(self):
+        params = ContentionParams(0.1, 0.1, 0.5, 1.0)
+        with pytest.raises(ValueError):
+            MemorySystem(0.0, params, params)
+
+
+class TestThreeWayContention:
+    """The Default baseline presents >2 requesters (time-shared CPU jobs)."""
+
+    def test_three_requesters_supported(self, memory):
+        factors = memory.stall_factors(
+            [
+                BandwidthDemand(DeviceKind.CPU, 4.0),
+                BandwidthDemand(DeviceKind.CPU, 4.0),
+                BandwidthDemand(DeviceKind.GPU, 6.0),
+            ]
+        )
+        assert len(factors) == 3
+        assert all(f >= 1.0 for f in factors)
+
+    def test_more_requesters_more_stall(self, memory):
+        two = memory.stall_factors(
+            [
+                BandwidthDemand(DeviceKind.CPU, 4.0),
+                BandwidthDemand(DeviceKind.GPU, 6.0),
+            ]
+        )[1]
+        three = memory.stall_factors(
+            [
+                BandwidthDemand(DeviceKind.CPU, 4.0),
+                BandwidthDemand(DeviceKind.CPU, 4.0),
+                BandwidthDemand(DeviceKind.GPU, 6.0),
+            ]
+        )[2]
+        assert three >= two

@@ -1,0 +1,98 @@
+"""Tests for repro.hardware.power."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hardware.power import ChipPowerModel, DevicePowerModel, UncorePowerModel
+from repro.hardware.voltage import VoltageCurve
+
+
+@pytest.fixture
+def device():
+    return DevicePowerModel(
+        name="dev",
+        leakage_w=1.0,
+        dyn_coeff=5.0,
+        curve=VoltageCurve(1.0, 3.0, 0.7, 1.1),
+        stall_power_fraction=0.5,
+        idle_util=0.02,
+    )
+
+
+class TestDevicePowerModel:
+    def test_dynamic_power_scales_with_util(self, device):
+        full = device.dynamic_power(2.0, 1.0)
+        half = device.dynamic_power(2.0, 0.5)
+        assert half == pytest.approx(full / 2)
+
+    def test_power_includes_leakage(self, device):
+        assert device.power(2.0, 0.0) == pytest.approx(1.0)
+
+    def test_active_exceeds_idle(self, device):
+        assert device.active_power(2.0) > device.idle_power(2.0)
+
+    def test_monotone_in_frequency(self, device):
+        powers = [device.active_power(f) for f in (1.0, 1.5, 2.0, 2.5, 3.0)]
+        assert all(a < b for a, b in zip(powers, powers[1:]))
+
+    def test_superlinear_in_frequency(self, device):
+        # f * V(f)^2 grows faster than f across the DVFS range.
+        ratio = device.dynamic_power(3.0) / device.dynamic_power(1.0)
+        assert ratio > 3.0
+
+    def test_effective_util_blends_stall_power(self, device):
+        assert device.effective_util(1.0) == pytest.approx(1.0)
+        assert device.effective_util(0.0) == pytest.approx(0.5)
+        assert device.effective_util(0.5) == pytest.approx(0.75)
+
+    def test_util_out_of_range_rejected(self, device):
+        with pytest.raises(ValueError):
+            device.power(2.0, 1.5)
+        with pytest.raises(ValueError):
+            device.effective_util(-0.1)
+
+    def test_bad_parameters_rejected(self):
+        curve = VoltageCurve(1.0, 3.0, 0.7, 1.1)
+        with pytest.raises(ValueError):
+            DevicePowerModel("d", -1.0, 5.0, curve)
+        with pytest.raises(ValueError):
+            DevicePowerModel("d", 1.0, 0.0, curve)
+        with pytest.raises(ValueError):
+            DevicePowerModel("d", 1.0, 5.0, curve, stall_power_fraction=1.5)
+
+    @given(st.floats(1.0, 3.0), st.floats(0.0, 1.0))
+    def test_power_at_least_leakage(self, f, util):
+        device = DevicePowerModel(
+            "d", 1.0, 5.0, VoltageCurve(1.0, 3.0, 0.7, 1.1)
+        )
+        assert device.power(f, util) >= 1.0
+
+
+class TestUncorePowerModel:
+    def test_base_plus_traffic(self):
+        uncore = UncorePowerModel(base_w=2.0, per_gbps_w=0.1)
+        assert uncore.power(0.0) == pytest.approx(2.0)
+        assert uncore.power(10.0) == pytest.approx(3.0)
+
+    def test_negative_traffic_rejected(self):
+        with pytest.raises(ValueError):
+            UncorePowerModel(2.0, 0.1).power(-1.0)
+
+
+class TestChipPowerModel:
+    def test_total_is_sum_of_parts(self, device):
+        chip = ChipPowerModel(
+            cpu=device, gpu=device, uncore=UncorePowerModel(2.0, 0.1)
+        )
+        total = chip.total(2.0, 2.0, 1.0, 0.5, 5.0)
+        expected = device.power(2.0, 1.0) + device.power(2.0, 0.5) + 2.5
+        assert total == pytest.approx(expected)
+
+    def test_max_power_uses_full_util(self, device):
+        chip = ChipPowerModel(
+            cpu=device, gpu=device, uncore=UncorePowerModel(2.0, 0.1)
+        )
+        assert chip.max_power(3.0, 3.0, 10.0) == pytest.approx(
+            chip.total(3.0, 3.0, 1.0, 1.0, 10.0)
+        )

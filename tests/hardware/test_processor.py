@@ -1,0 +1,49 @@
+"""Tests for repro.hardware.processor."""
+
+import pytest
+
+from repro.hardware.calibration import make_ivy_bridge
+from repro.hardware.device import DeviceKind
+from repro.hardware.frequency import FrequencySetting
+from repro.hardware.processor import IntegratedProcessor
+
+
+class TestIntegratedProcessor:
+    def test_device_lookup(self, processor):
+        assert processor.device(DeviceKind.CPU) is processor.cpu
+        assert processor.device(DeviceKind.GPU) is processor.gpu
+
+    def test_settings_space_size(self, processor):
+        assert processor.n_settings == 160
+        assert len(list(processor.settings())) == 160
+
+    def test_named_settings(self, processor):
+        assert processor.max_setting.cpu_ghz == processor.cpu.domain.fmax
+        assert processor.min_setting.gpu_ghz == processor.gpu.domain.fmin
+        assert (
+            processor.medium_setting.cpu_ghz == processor.cpu.domain.medium
+        )
+
+    def test_validate_setting_accepts_levels(self, processor):
+        processor.validate_setting(processor.max_setting)
+
+    def test_validate_setting_rejects_off_grid(self, processor):
+        with pytest.raises(ValueError):
+            processor.validate_setting(FrequencySetting(2.01, 1.25))
+        with pytest.raises(ValueError):
+            processor.validate_setting(FrequencySetting(3.6, 1.01))
+
+    def test_chip_power_delegates(self, processor):
+        s = processor.max_setting
+        direct = processor.power.total(s.cpu_ghz, s.gpu_ghz, 1.0, 1.0, 5.0)
+        assert processor.chip_power(s, 1.0, 1.0, 5.0) == pytest.approx(direct)
+
+    def test_wrong_device_slots_rejected(self, processor):
+        with pytest.raises(ValueError):
+            IntegratedProcessor(
+                name="bad",
+                cpu=processor.gpu,
+                gpu=processor.gpu,
+                memory=processor.memory,
+                power=processor.power,
+            )

@@ -1,0 +1,80 @@
+"""Tests for RAPL-style power sampling."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.rapl import PowerSample, PowerTrace, sample_power_trace
+
+
+class TestSamplePowerTrace:
+    def test_constant_power_sampled_exactly(self):
+        trace = sample_power_trace([(5.0, 10.0)], dt_s=1.0)
+        assert len(trace) == 5
+        assert np.allclose(trace.watts, 10.0)
+
+    def test_energy_conserved_across_segment_boundaries(self):
+        segments = [(1.5, 10.0), (2.5, 20.0)]
+        trace = sample_power_trace(segments, dt_s=1.0)
+        total_energy = sum(d * w for d, w in segments)
+        sampled_energy = 0.0
+        t = 0.0
+        total = sum(d for d, _ in segments)
+        for s in trace.samples:
+            window = min(1.0, total - s.time_s)
+            sampled_energy += s.watts * window
+            t += window
+        assert sampled_energy == pytest.approx(total_energy)
+
+    def test_window_straddling_segments_averages(self):
+        trace = sample_power_trace([(0.5, 10.0), (0.5, 30.0)], dt_s=1.0)
+        assert len(trace) == 1
+        assert trace.samples[0].watts == pytest.approx(20.0)
+
+    def test_partial_final_window_uses_true_length(self):
+        trace = sample_power_trace([(1.5, 10.0)], dt_s=1.0)
+        assert len(trace) == 2
+        assert trace.samples[1].watts == pytest.approx(10.0)
+
+    def test_empty_segments(self):
+        assert len(sample_power_trace([])) == 0
+
+    def test_jitter_is_reproducible(self):
+        a = sample_power_trace([(5.0, 10.0)], jitter_w=0.5, seed=3)
+        b = sample_power_trace([(5.0, 10.0)], jitter_w=0.5, seed=3)
+        assert np.allclose(a.watts, b.watts)
+        assert not np.allclose(a.watts, 10.0)
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            sample_power_trace([(1.0, 10.0)], dt_s=0.0)
+        with pytest.raises(ValueError):
+            sample_power_trace([(-1.0, 10.0)])
+        with pytest.raises(ValueError):
+            sample_power_trace([(1.0, -10.0)])
+
+
+class TestPowerTrace:
+    def _trace(self, watts):
+        return PowerTrace(
+            tuple(PowerSample(float(i), w) for i, w in enumerate(watts))
+        )
+
+    def test_mean_power(self):
+        assert self._trace([10.0, 20.0]).mean_power() == pytest.approx(15.0)
+
+    def test_mean_power_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PowerTrace(()).mean_power()
+
+    def test_max_overshoot(self):
+        trace = self._trace([14.0, 16.5, 15.5])
+        assert trace.max_overshoot(15.0) == pytest.approx(1.5)
+        assert trace.max_overshoot(20.0) == 0.0
+
+    def test_fraction_over(self):
+        trace = self._trace([14.0, 16.0, 15.5, 14.5])
+        assert trace.fraction_over(15.0) == pytest.approx(0.5)
+
+    def test_empty_trace_statistics(self):
+        assert PowerTrace(()).max_overshoot(15.0) == 0.0
+        assert PowerTrace(()).fraction_over(15.0) == 0.0

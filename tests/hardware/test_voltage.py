@@ -1,0 +1,43 @@
+"""Tests for repro.hardware.voltage."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hardware.voltage import VoltageCurve
+
+
+@pytest.fixture
+def curve():
+    return VoltageCurve(fmin_ghz=1.0, fmax_ghz=3.0, vmin=0.7, vmax=1.1)
+
+
+class TestVoltageCurve:
+    def test_endpoints(self, curve):
+        assert curve.voltage(1.0) == pytest.approx(0.7)
+        assert curve.voltage(3.0) == pytest.approx(1.1)
+
+    def test_midpoint_linear(self, curve):
+        assert curve.voltage(2.0) == pytest.approx(0.9)
+
+    def test_clamps_below_and_above(self, curve):
+        assert curve.voltage(0.5) == pytest.approx(0.7)
+        assert curve.voltage(9.0) == pytest.approx(1.1)
+
+    def test_rejects_inverted_frequencies(self):
+        with pytest.raises(ValueError):
+            VoltageCurve(2.0, 1.0, 0.7, 1.1)
+
+    def test_rejects_inverted_voltages(self):
+        with pytest.raises(ValueError):
+            VoltageCurve(1.0, 2.0, 1.1, 0.7)
+
+    def test_rejects_nonpositive_frequency_query(self, curve):
+        with pytest.raises(ValueError):
+            curve.voltage(0.0)
+
+    @given(st.floats(0.1, 10.0), st.floats(0.1, 10.0))
+    def test_monotone_nondecreasing(self, f1, f2):
+        curve = VoltageCurve(1.0, 3.0, 0.7, 1.1)
+        lo, hi = sorted((f1, f2))
+        assert curve.voltage(lo) <= curve.voltage(hi) + 1e-12

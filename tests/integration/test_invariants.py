@@ -1,0 +1,135 @@
+"""Property-based integration invariants over random workloads.
+
+Each property builds a full runtime (profiling + characterization +
+predictor) over a small random workload and checks an end-to-end invariant
+of the scheduling pipeline.  Example counts are kept modest: every example
+is a complete pipeline run.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.runtime import CoScheduleRuntime
+from repro.hardware.device import DeviceKind
+from repro.model.characterize import characterize_space
+from repro.workload.generator import random_workload
+
+_SETTINGS = dict(max_examples=6, deadline=None)
+
+_workload = st.builds(
+    random_workload,
+    st.integers(2, 5),
+    seed=st.integers(0, 10_000),
+)
+
+
+@pytest.fixture(scope="module")
+def shared_space(processor):
+    return characterize_space(processor)
+
+
+class TestSchedulingInvariants:
+    @settings(**_SETTINGS)
+    @given(jobs=_workload)
+    def test_every_policy_completes_every_job(self, jobs, shared_space):
+        runtime = CoScheduleRuntime(jobs, cap_w=15.0, space=shared_space)
+        for outcome in (
+            runtime.run_hcs(),
+            runtime.run_random(seed=0),
+            runtime.run_default(),
+        ):
+            finished = sorted(c.job for c in outcome.execution.completions)
+            assert finished == sorted(j.uid for j in jobs), outcome.policy
+
+    @settings(**_SETTINGS)
+    @given(jobs=_workload)
+    def test_lower_bound_below_all_policies(self, jobs, shared_space):
+        runtime = CoScheduleRuntime(jobs, cap_w=15.0, space=shared_space)
+        bound = runtime.lower_bound_s()
+        for outcome in (
+            runtime.run_hcs(refine=True),
+            runtime.run_random(seed=1),
+            runtime.run_default(),
+        ):
+            assert bound <= outcome.makespan_s * (1 + 1e-9), outcome.policy
+
+    @settings(**_SETTINGS)
+    @given(jobs=_workload)
+    def test_makespan_at_least_longest_solo_job(self, jobs, shared_space):
+        runtime = CoScheduleRuntime(jobs, cap_w=15.0, space=shared_space)
+        floor = max(
+            min(
+                runtime.predictor.best_solo(j.uid, kind, 15.0)[1]
+                for kind in DeviceKind
+            )
+            for j in jobs
+        )
+        outcome = runtime.run_hcs()
+        assert outcome.makespan_s >= floor * (1 - 1e-9)
+
+    @settings(**_SETTINGS)
+    @given(jobs=_workload)
+    def test_execution_accounting_consistent(self, jobs, shared_space):
+        runtime = CoScheduleRuntime(jobs, cap_w=15.0, space=shared_space)
+        ex = runtime.run_hcs().execution
+        assert 0 < ex.cpu_busy_s + ex.gpu_busy_s <= 2 * ex.makespan_s + 1e-9
+        assert ex.energy_j == pytest.approx(ex.mean_power_w * ex.makespan_s)
+        segment_time = sum(s.duration_s for s in ex.segments)
+        assert segment_time == pytest.approx(ex.makespan_s)
+
+    @settings(**_SETTINGS)
+    @given(jobs=_workload)
+    def test_intervals_well_formed_and_disjoint_per_device(
+        self, jobs, shared_space
+    ):
+        runtime = CoScheduleRuntime(jobs, cap_w=15.0, space=shared_space)
+        ex = runtime.run_hcs().execution
+        by_kind: dict[str, list] = {}
+        for c in ex.completions:
+            assert 0.0 <= c.start_s < c.finish_s <= ex.makespan_s + 1e-9
+            by_kind.setdefault(c.kind, []).append(c)
+        for kind, cs in by_kind.items():
+            cs.sort(key=lambda c: c.start_s)
+            for a, b in zip(cs, cs[1:]):
+                assert a.finish_s <= b.start_s + 1e-9, kind
+
+    @settings(**_SETTINGS)
+    @given(jobs=_workload)
+    def test_replay_is_deterministic(self, jobs, shared_space):
+        runtime = CoScheduleRuntime(jobs, cap_w=15.0, space=shared_space)
+        outcome = runtime.run_hcs()
+        replay = runtime.execute(outcome.schedule)
+        assert replay.makespan_s == pytest.approx(outcome.makespan_s)
+        assert replay.energy_j == pytest.approx(outcome.execution.energy_j)
+
+
+class TestPredictionInvariants:
+    @settings(**_SETTINGS)
+    @given(jobs=_workload, cap=st.sampled_from([13.0, 15.0, 18.0]))
+    def test_governor_choices_always_cap_feasible(self, jobs, cap, shared_space):
+        from repro.core.freqpolicy import ModelGovernor
+
+        runtime = CoScheduleRuntime(jobs, cap_w=cap, space=shared_space)
+        governor = ModelGovernor(runtime.predictor, cap)
+        for a in jobs:
+            for b in jobs:
+                if a.uid == b.uid:
+                    continue
+                s = governor(a, b)
+                assert runtime.predictor.pair_power_w(a.uid, b.uid, s) <= cap
+
+    @settings(**_SETTINGS)
+    @given(jobs=_workload)
+    def test_predicted_degradations_bounded(self, jobs, shared_space):
+        runtime = CoScheduleRuntime(jobs, cap_w=15.0, space=shared_space)
+        smax = runtime.processor.max_setting
+        for a in jobs:
+            for b in jobs:
+                if a.uid == b.uid:
+                    continue
+                d_c, d_g = runtime.predictor.degradations(a.uid, b.uid, smax)
+                assert 0.0 <= d_c <= shared_space.max_cpu_degradation + 1e-9
+                assert 0.0 <= d_g <= shared_space.max_gpu_degradation + 1e-9

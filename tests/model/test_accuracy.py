@@ -1,0 +1,82 @@
+"""Tests for the model-accuracy harness (Figures 7/8 infrastructure)."""
+
+import numpy as np
+import pytest
+
+from repro.model.accuracy import (
+    best_feasible_setting,
+    evaluate_performance_model,
+    evaluate_power_model,
+)
+
+
+class TestEvaluatePerformanceModel:
+    def test_covers_all_ordered_pairs(self, processor, predictor, table):
+        records = evaluate_performance_model(
+            processor, predictor, table.uids, processor.max_setting
+        )
+        assert len(records) == 64
+        pairs = {(r.cpu_job, r.gpu_job) for r in records}
+        assert len(pairs) == 64
+        assert ("lud", "lud") in pairs  # self-pairs included, as in the paper
+
+    def test_errors_nonnegative_and_finite(self, processor, predictor, table):
+        records = evaluate_performance_model(
+            processor, predictor, table.uids, processor.max_setting
+        )
+        errors = np.array([r.error for r in records])
+        assert np.all(errors >= 0)
+        assert np.all(np.isfinite(errors))
+
+    def test_paper_error_bands(self, processor, predictor, table):
+        """Figure 7 lock: ~15% mean at max frequency, ~11% at medium,
+        roughly half the pairs under 10% and >= 70% under 20%."""
+        hi = np.array([
+            r.error
+            for r in evaluate_performance_model(
+                processor, predictor, table.uids, processor.max_setting
+            )
+        ])
+        med = np.array([
+            r.error
+            for r in evaluate_performance_model(
+                processor, predictor, table.uids, processor.medium_setting
+            )
+        ])
+        assert 0.08 <= hi.mean() <= 0.20
+        assert 0.05 <= med.mean() <= 0.15
+        assert med.mean() < hi.mean()          # medium frequency is easier
+        assert 0.35 <= np.mean(hi < 0.10) <= 0.70
+        assert np.mean(hi < 0.20) >= 0.65
+
+
+class TestBestFeasibleSetting:
+    def test_respects_cap(self, predictor):
+        s = best_feasible_setting(predictor, "cfd", "srad", 16.0)
+        assert predictor.pair_power_w("cfd", "srad", s) <= 16.0
+
+    def test_optimal_among_feasible(self, predictor):
+        s = best_feasible_setting(predictor, "cfd", "srad", 16.0)
+        score = sum(predictor.corun_times("cfd", "srad", s))
+        for other in predictor.feasible_pair_settings("cfd", "srad", 16.0):
+            assert score <= sum(predictor.corun_times("cfd", "srad", other)) + 1e-9
+
+    def test_impossible_cap_raises(self, predictor):
+        with pytest.raises(ValueError):
+            best_feasible_setting(predictor, "cfd", "srad", 1.0)
+
+
+class TestEvaluatePowerModel:
+    def test_paper_error_bands(self, processor, predictor, table):
+        """Figure 8 lock: mean around 2%, no error above 8%."""
+        records = evaluate_power_model(processor, predictor, table.uids, 16.0)
+        errors = np.array([r.error for r in records])
+        assert len(records) == 64
+        assert errors.mean() <= 0.04
+        assert errors.max() < 0.08
+
+    def test_predictions_close_to_cap_scale(self, processor, predictor, table):
+        records = evaluate_power_model(processor, predictor, table.uids, 16.0)
+        for r in records[:8]:
+            assert 5.0 < r.predicted <= 16.0
+            assert 5.0 < r.actual < 18.0

@@ -1,0 +1,70 @@
+"""Tests for bilinear grid interpolation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.interpolation import BilinearGrid
+
+
+def _plane_grid(a=2.0, b=-1.0, c=0.5):
+    """Sample the plane f(x, y) = a*x + b*y + c on an irregular grid."""
+    xs = np.array([0.0, 1.0, 2.5, 4.0])
+    ys = np.array([0.0, 0.5, 2.0])
+    values = a * xs[:, None] + b * ys[None, :] + c
+    return BilinearGrid(xs, ys, values), (a, b, c)
+
+
+class TestBilinearGrid:
+    def test_exact_at_nodes(self):
+        grid, _ = _plane_grid()
+        for i, x in enumerate(grid.x_levels):
+            for j, y in enumerate(grid.y_levels):
+                assert grid(x, y) == pytest.approx(grid.values[i, j])
+
+    @given(st.floats(0.0, 4.0), st.floats(0.0, 2.0))
+    def test_reproduces_planes_exactly(self, x, y):
+        grid, (a, b, c) = _plane_grid()
+        assert grid(x, y) == pytest.approx(a * x + b * y + c, abs=1e-9)
+
+    def test_clamps_outside_range(self):
+        grid, (a, b, c) = _plane_grid()
+        assert grid(100.0, 0.0) == pytest.approx(a * 4.0 + c)
+        assert grid(-5.0, 2.0) == pytest.approx(b * 2.0 + c)
+
+    @given(st.floats(-10, 10), st.floats(-10, 10))
+    def test_bounded_by_grid_extremes(self, x, y):
+        grid, _ = _plane_grid()
+        assert grid.values.min() - 1e-9 <= grid(x, y) <= grid.values.max() + 1e-9
+
+    def test_max_value(self):
+        grid, _ = _plane_grid()
+        assert grid.max_value() == pytest.approx(grid.values.max())
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            BilinearGrid(np.array([0.0, 1.0]), np.array([0.0, 1.0]),
+                         np.zeros((3, 2)))
+
+    def test_unsorted_levels(self):
+        with pytest.raises(ValueError):
+            BilinearGrid(np.array([1.0, 0.0]), np.array([0.0, 1.0]),
+                         np.zeros((2, 2)))
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            BilinearGrid(np.array([0.0]), np.array([0.0, 1.0]), np.zeros((1, 2)))
+
+    def test_non_finite_values(self):
+        with pytest.raises(ValueError):
+            BilinearGrid(
+                np.array([0.0, 1.0]), np.array([0.0, 1.0]),
+                np.array([[0.0, np.nan], [0.0, 0.0]]),
+            )
+
+    def test_non_1d_levels(self):
+        with pytest.raises(ValueError):
+            BilinearGrid(np.zeros((2, 2)), np.array([0.0, 1.0]), np.zeros((2, 2)))

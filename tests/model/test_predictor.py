@@ -1,0 +1,107 @@
+"""Tests for the co-run predictor and the degradation oracle."""
+
+import pytest
+
+from repro.hardware.device import DeviceKind
+from repro.engine.corun import steady_degradation
+from repro.model.predictor import OracleDegradations
+
+
+class TestDegradationPrediction:
+    def test_degradations_nonnegative(self, predictor, processor):
+        for setting in (processor.max_setting, processor.medium_setting):
+            d_c, d_g = predictor.degradations("dwt2d", "streamcluster", setting)
+            assert d_c >= 0.0 and d_g >= 0.0
+
+    def test_single_side_accessor_consistent(self, predictor, processor):
+        s = processor.max_setting
+        d_c, d_g = predictor.degradations("dwt2d", "cfd", s)
+        assert predictor.degradation("dwt2d", DeviceKind.CPU, "cfd", s) == d_c
+        assert predictor.degradation("cfd", DeviceKind.GPU, "dwt2d", s) == d_g
+
+    def test_corun_times_at_least_solo(self, predictor, processor):
+        s = processor.max_setting
+        t_c, t_g = predictor.corun_times("lud", "srad", s)
+        assert t_c >= predictor.solo_time("lud", DeviceKind.CPU, s.cpu_ghz)
+        assert t_g >= predictor.solo_time("srad", DeviceKind.GPU, s.gpu_ghz)
+
+    def test_heavier_partner_predicts_more_degradation(self, predictor, processor):
+        s = processor.max_setting
+        vs_heavy = predictor.degradation(
+            "dwt2d", DeviceKind.CPU, "streamcluster", s
+        )
+        vs_light = predictor.degradation("dwt2d", DeviceKind.CPU, "leukocyte", s)
+        assert vs_heavy > vs_light
+
+
+class TestPowerPrediction:
+    def test_pair_power_structure(self, predictor, processor):
+        s = processor.max_setting
+        power = predictor.pair_power_w("cfd", "srad", s)
+        own_c = predictor.table.own_power_w("cfd", DeviceKind.CPU, s.cpu_ghz)
+        own_g = predictor.table.own_power_w("srad", DeviceKind.GPU, s.gpu_ghz)
+        assert power > own_c + own_g  # uncore counted on top
+
+    def test_pair_power_monotone_in_frequency(self, predictor, processor):
+        low = predictor.pair_power_w("cfd", "srad", processor.min_setting)
+        high = predictor.pair_power_w("cfd", "srad", processor.max_setting)
+        assert high > low
+
+    def test_solo_power_matches_table(self, predictor):
+        assert predictor.solo_power_w("lud", DeviceKind.GPU, 1.25) == (
+            predictor.table.chip_power_w("lud", DeviceKind.GPU, 1.25)
+        )
+
+
+class TestCapFeasibility:
+    def test_feasible_settings_respect_cap(self, predictor):
+        for s in predictor.feasible_pair_settings("cfd", "srad", 15.0):
+            assert predictor.pair_power_w("cfd", "srad", s) <= 15.0
+
+    def test_larger_cap_admits_more_settings(self, predictor):
+        small = predictor.feasible_pair_settings("cfd", "srad", 13.0)
+        large = predictor.feasible_pair_settings("cfd", "srad", 18.0)
+        assert set(small) <= set(large)
+        assert len(large) > len(small)
+
+    def test_floor_always_feasible_at_default_cap(self, predictor, processor):
+        feasible = predictor.feasible_pair_settings("cfd", "streamcluster", 15.0)
+        assert processor.min_setting in feasible
+
+    def test_best_solo_is_fastest_feasible(self, predictor, processor):
+        f, t = predictor.best_solo("hotspot", DeviceKind.GPU, 15.0)
+        for level in predictor.feasible_solo_levels("hotspot", DeviceKind.GPU, 15.0):
+            assert t <= predictor.table.time_s("hotspot", DeviceKind.GPU, level)
+
+    def test_impossible_cap_raises(self, predictor):
+        with pytest.raises(ValueError):
+            predictor.best_solo("hotspot", DeviceKind.GPU, 1.0)
+
+
+class TestOracleDegradations:
+    def test_matches_engine_ground_truth(self, processor, table):
+        oracle = OracleDegradations(processor, table)
+        s = processor.max_setting
+        d_c, d_g = oracle.degradations("dwt2d", "streamcluster", s)
+        want_c = steady_degradation(
+            processor, table.job("dwt2d").profile, DeviceKind.CPU,
+            table.job("streamcluster").profile, s,
+        )
+        assert d_c == pytest.approx(want_c)
+        assert d_g >= 0.0
+
+    def test_caching_returns_same_object(self, processor, table):
+        oracle = OracleDegradations(processor, table)
+        s = processor.max_setting
+        a = oracle.degradations("lud", "cfd", s)
+        b = oracle.degradations("lud", "cfd", s)
+        assert a is b
+
+    def test_corun_times_consistent(self, processor, table):
+        oracle = OracleDegradations(processor, table)
+        s = processor.max_setting
+        d_c, d_g = oracle.degradations("lud", "cfd", s)
+        t_c, t_g = oracle.corun_times("lud", "cfd", s)
+        assert t_c == pytest.approx(
+            table.time_s("lud", DeviceKind.CPU, s.cpu_ghz) * (1 + d_c)
+        )

@@ -1,0 +1,58 @@
+"""Tests for offline standalone profiling."""
+
+import pytest
+
+from repro.hardware.device import DeviceKind
+from repro.engine.standalone import standalone_run
+from repro.model.profiler import profile_workload
+from repro.workload.program import Job
+
+
+class TestProfileTable:
+    def test_times_match_engine(self, processor, table, rodinia):
+        for name in ("streamcluster", "dwt2d"):
+            for kind in DeviceKind:
+                device = processor.device(kind)
+                for f in (device.domain.fmin, device.domain.fmax):
+                    want = standalone_run(rodinia[name], device, f).time_s
+                    assert table.time_s(name, kind, f) == pytest.approx(want)
+
+    def test_times_decrease_with_frequency(self, processor, table):
+        for kind in DeviceKind:
+            levels = processor.device(kind).domain.levels
+            times = [table.time_s("cfd", kind, f) for f in levels]
+            assert all(a >= b for a, b in zip(times, times[1:]))
+
+    def test_demand_consistent_with_time(self, table, rodinia):
+        t = table.time_s("srad", DeviceKind.GPU, 1.25)
+        d = table.demand_gbps("srad", DeviceKind.GPU, 1.25)
+        assert d == pytest.approx(rodinia["srad"].bytes_gb / t)
+
+    def test_power_lookup_positive_and_ordered(self, table):
+        own = table.own_power_w("heartwall", DeviceKind.CPU, 3.6)
+        chip = table.chip_power_w("heartwall", DeviceKind.CPU, 3.6)
+        assert 0 < own < chip
+
+    def test_unknown_job_raises(self, table):
+        with pytest.raises(KeyError):
+            table.time_s("nope", DeviceKind.CPU, 3.6)
+        with pytest.raises(KeyError):
+            table.job("nope")
+
+    def test_off_grid_frequency_raises(self, table):
+        with pytest.raises(ValueError):
+            table.time_s("cfd", DeviceKind.CPU, 2.01)
+
+    def test_job_roundtrip(self, table):
+        job = table.job("lud")
+        assert job.uid == "lud"
+
+    def test_uids_order(self, table, rodinia_jobs):
+        assert table.uids == [j.uid for j in rodinia_jobs]
+
+
+class TestProfileWorkload:
+    def test_duplicate_uids_rejected(self, processor, rodinia):
+        job = Job(uid="x", profile=rodinia["lud"])
+        with pytest.raises(ValueError):
+            profile_workload(processor, [job, job])

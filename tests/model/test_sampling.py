@@ -1,0 +1,126 @@
+"""Tests for the online prefix-sampling profiler."""
+
+import pytest
+
+from repro.hardware.device import DeviceKind
+from repro.model.profiler import profile_workload
+from repro.model.sampling import (
+    SamplingConfig,
+    _sampled_profile,
+    _work_slice,
+    profile_estimation_errors,
+    sample_profile_table,
+)
+from repro.workload.phases import Phase
+from repro.workload.program import Job, ProgramProfile
+
+
+def _flat_program(name="flat"):
+    """A phase-uniform program: sampling should estimate it exactly."""
+    return ProgramProfile(
+        name=name,
+        compute_base_s={DeviceKind.CPU: 20.0, DeviceKind.GPU: 8.0},
+        bytes_gb=60.0,
+        mem_eff={DeviceKind.CPU: 0.8, DeviceKind.GPU: 0.9},
+        overlap=0.5,
+        sensitivity={DeviceKind.CPU: 1.0, DeviceKind.GPU: 1.0},
+    )
+
+
+class TestWorkSlice:
+    def test_slices_partition_the_program(self):
+        prog = _flat_program()
+        a = _work_slice(prog, 0.0, 0.5)
+        b = _work_slice(prog, 0.5, 1.0)
+        assert sum(p.weight for p in a + b) == pytest.approx(1.0)
+
+    def test_slice_across_phase_boundary(self):
+        prog = ProgramProfile(
+            name="two-phase",
+            compute_base_s={DeviceKind.CPU: 10.0, DeviceKind.GPU: 5.0},
+            bytes_gb=30.0,
+            mem_eff={DeviceKind.CPU: 0.8, DeviceKind.GPU: 0.9},
+            overlap=0.5,
+            sensitivity={DeviceKind.CPU: 1.0, DeviceKind.GPU: 1.0},
+            phases=(Phase(0.5, 1.5), Phase(0.5, 0.5)),
+        )
+        cut = _work_slice(prog, 0.4, 0.6)
+        assert len(cut) == 2
+        assert sum(p.weight for p in cut) == pytest.approx(0.2)
+
+
+class TestSampledProfile:
+    def test_coverage_matches_fraction(self):
+        sample, covered = _sampled_profile(_flat_program(), 0.2, 3)
+        assert covered == pytest.approx(0.2, rel=1e-6)
+        assert sample.bytes_gb == pytest.approx(0.2 * 60.0, rel=1e-6)
+
+    def test_single_slice_is_prefix(self):
+        prog = ProgramProfile(
+            name="bursty",
+            compute_base_s={DeviceKind.CPU: 10.0, DeviceKind.GPU: 5.0},
+            bytes_gb=30.0,
+            mem_eff={DeviceKind.CPU: 0.8, DeviceKind.GPU: 0.9},
+            overlap=0.5,
+            sensitivity={DeviceKind.CPU: 1.0, DeviceKind.GPU: 1.0},
+            phases=(Phase(0.3, 2.0), Phase(0.7, 4.0 / 7.0)),
+        )
+        sample, covered = _sampled_profile(prog, 0.1, 1)
+        # A 10% prefix sits wholly inside the leading burst phase.
+        assert covered == pytest.approx(0.1)
+        assert sample.bytes_gb == pytest.approx(0.1 * 2.0 * 30.0, rel=1e-6)
+
+
+class TestSampleProfileTable:
+    def test_flat_program_estimated_nearly_exactly(self, processor):
+        jobs = [Job("flat", _flat_program())]
+        exact = profile_workload(processor, jobs)
+        sampled = sample_profile_table(processor, jobs, SamplingConfig())
+        errors = profile_estimation_errors(exact, sampled)
+        assert errors["time_mean_error"] < 0.02
+        assert errors["demand_mean_error"] < 0.05
+
+    def test_rodinia_estimation_reasonable(self, processor, rodinia_jobs, table):
+        sampled = sample_profile_table(processor, list(rodinia_jobs))
+        errors = profile_estimation_errors(table, sampled)
+        # Realistic online-sampling accuracy: a few percent to ~20%.
+        assert errors["time_mean_error"] < 0.20
+        assert errors["demand_mean_error"] < 0.30
+
+    def test_more_slices_reduce_bias(self, processor, rodinia_jobs, table):
+        one = sample_profile_table(
+            processor, list(rodinia_jobs), SamplingConfig(n_slices=1)
+        )
+        many = sample_profile_table(
+            processor, list(rodinia_jobs), SamplingConfig(n_slices=4)
+        )
+        err_one = profile_estimation_errors(table, one)["time_mean_error"]
+        err_many = profile_estimation_errors(table, many)["time_mean_error"]
+        assert err_many < err_one
+
+    def test_table_is_drop_in(self, processor, rodinia_jobs, space):
+        """The sampled table must work inside the full predictor stack."""
+        from repro.model.predictor import CoRunPredictor
+
+        sampled = sample_profile_table(processor, list(rodinia_jobs))
+        predictor = CoRunPredictor(processor, sampled, space)
+        d_c, d_g = predictor.degradations(
+            "dwt2d", "streamcluster", processor.max_setting
+        )
+        assert d_c > 0 and d_g >= 0
+        f, t = predictor.best_solo("cfd", DeviceKind.GPU, 15.0)
+        assert t > 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SamplingConfig(sample_fraction=0.0)
+        with pytest.raises(ValueError):
+            SamplingConfig(n_anchor_levels=1)
+        with pytest.raises(ValueError):
+            SamplingConfig(n_slices=0)
+
+    def test_duplicate_jobs_rejected(self, processor, rodinia_jobs):
+        with pytest.raises(ValueError):
+            sample_profile_table(
+                processor, [rodinia_jobs[0], rodinia_jobs[0]]
+            )

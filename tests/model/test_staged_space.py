@@ -1,0 +1,97 @@
+"""Tests for the multi-anchor staged degradation space."""
+
+import pytest
+
+from repro.hardware.frequency import FrequencySetting
+from repro.model.characterize import characterize_space, characterize_staged_space
+from repro.model.space import StagedDegradationSpace
+
+
+@pytest.fixture(scope="module")
+def staged(processor):
+    return characterize_staged_space(processor, n_levels=5)
+
+
+class TestStagedSpace:
+    def test_default_anchor_count(self, staged):
+        assert len(staged.anchors) == 4
+
+    def test_exact_anchor_reproduces_that_anchor(self, processor, staged):
+        anchor = staged.anchors[0]
+        got = staged.predict_cpu_degradation(6.0, 6.0, anchor.setting)
+        want = anchor.predict_cpu_degradation(6.0, 6.0)
+        assert got == pytest.approx(want)
+
+    def test_no_setting_uses_first_anchor(self, staged):
+        got = staged.predict_cpu_degradation(6.0, 6.0, None)
+        want = staged.anchors[0].predict_cpu_degradation(6.0, 6.0)
+        assert got == pytest.approx(want)
+
+    def test_blend_bounded_by_anchor_extremes(self, processor, staged):
+        mid = processor.medium_setting
+        values = [
+            a.predict_cpu_degradation(8.0, 8.0) for a in staged.anchors
+        ]
+        blended = staged.predict_cpu_degradation(8.0, 8.0, mid)
+        assert min(values) - 1e-9 <= blended <= max(values) + 1e-9
+
+    def test_weights_sum_to_one(self, processor, staged):
+        w = staged._weights(processor.medium_setting)
+        assert w.sum() == pytest.approx(1.0)
+        assert (w >= 0).all()
+
+    def test_max_degradations_aggregate(self, staged):
+        assert staged.max_cpu_degradation == max(
+            a.max_cpu_degradation for a in staged.anchors
+        )
+
+    def test_empty_anchors_rejected(self):
+        with pytest.raises(ValueError):
+            StagedDegradationSpace(anchors=())
+
+    def test_custom_anchor_settings(self, processor):
+        anchors = [
+            processor.max_setting,
+            FrequencySetting(processor.cpu.domain.fmin, processor.gpu.domain.fmax),
+        ]
+        staged = characterize_staged_space(
+            processor, anchor_settings=anchors, n_levels=3
+        )
+        assert len(staged.anchors) == 2
+
+    def test_predictor_integration(self, processor, table, staged):
+        """The staged space is a drop-in for the single-anchor one."""
+        from repro.model.predictor import CoRunPredictor
+
+        predictor = CoRunPredictor(processor, table, staged)
+        d_c, d_g = predictor.degradations(
+            "dwt2d", "streamcluster", processor.medium_setting
+        )
+        assert d_c > 0 and d_g >= 0
+
+    def test_staged_no_worse_than_single_at_low_frequency(self, processor, table):
+        """The extra anchors must pay off where the single both-max anchor
+        is least representative."""
+        import numpy as np
+
+        from repro.model.accuracy import evaluate_performance_model
+        from repro.model.predictor import CoRunPredictor
+
+        single = CoRunPredictor(processor, table, characterize_space(processor))
+        staged = CoRunPredictor(
+            processor, table, characterize_staged_space(processor)
+        )
+        setting = processor.min_setting
+        e_single = np.mean([
+            r.error
+            for r in evaluate_performance_model(
+                processor, single, table.uids, setting
+            )
+        ])
+        e_staged = np.mean([
+            r.error
+            for r in evaluate_performance_model(
+                processor, staged, table.uids, setting
+            )
+        ])
+        assert e_staged <= e_single + 1e-9

@@ -1,0 +1,58 @@
+"""Tests for repro.util.asciiplot (rendering sanity, not aesthetics)."""
+
+import numpy as np
+import pytest
+
+from repro.util.asciiplot import bar_chart, histogram, line_trace, surface
+
+
+class TestBarChart:
+    def test_values_rendered(self):
+        text = bar_chart(["x", "y"], [1.0, 2.0])
+        assert "x" in text and "y" in text and "2" in text
+
+    def test_longest_bar_for_largest_value(self):
+        text = bar_chart(["small", "large"], [1.0, 10.0])
+        small, large = text.splitlines()
+        assert large.count("#") > small.count("#")
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert "empty" in bar_chart([], [])
+
+    def test_all_zero_values(self):
+        text = bar_chart(["a"], [0.0])
+        assert "#" not in text
+
+
+class TestHistogram:
+    def test_percent_labels(self):
+        text = histogram(["0-10%"], [0.5])
+        assert "50%" in text
+
+
+class TestSurface:
+    def test_shape_rendered(self):
+        grid = np.arange(12, dtype=float).reshape(3, 4)
+        text = surface(grid, x_label="gx", y_label="gy")
+        assert text.count("gy[") == 3
+        assert "min=0" in text and "max=11" in text
+
+    def test_constant_grid_does_not_crash(self):
+        surface(np.ones((2, 2)))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            surface(np.ones(3))
+
+
+class TestLineTrace:
+    def test_series_symbols_and_cap(self):
+        text = line_trace({"alpha": [1, 2, 3], "beta": [3, 2, 1]}, cap=2.5)
+        assert "A" in text and "B" in text and "---" in text.replace("-", "---")
+
+    def test_empty(self):
+        assert "no series" in line_trace({})

@@ -1,0 +1,61 @@
+"""Tests for the ASCII Gantt renderer."""
+
+import pytest
+
+from repro.engine.tracing import JobCompletion
+from repro.util.gantt import render_gantt
+
+
+def _c(job, kind, start, finish):
+    return JobCompletion(job=job, kind=kind, finish_s=finish, start_s=start)
+
+
+class TestRenderGantt:
+    def test_empty(self):
+        assert "no completions" in render_gantt([])
+
+    def test_rows_and_glyphs(self):
+        text = render_gantt(
+            [_c("a", "cpu", 0.0, 10.0), _c("b", "gpu", 0.0, 5.0)], width=20
+        )
+        lines = text.splitlines()
+        assert "a @cpu" in lines[0]
+        assert "=" in lines[0]
+        assert "b @gpu" in lines[1]
+        assert "#" in lines[1]
+
+    def test_bar_lengths_proportional(self):
+        text = render_gantt(
+            [_c("long", "cpu", 0.0, 10.0), _c("short", "cpu", 0.0, 5.0)],
+            width=40,
+        )
+        long_row, short_row = text.splitlines()[:2]
+        assert long_row.count("=") > short_row.count("=")
+
+    def test_late_start_indents_bar(self):
+        text = render_gantt(
+            [_c("first", "gpu", 0.0, 5.0), _c("second", "gpu", 5.0, 10.0)],
+            width=40,
+        )
+        second_row = text.splitlines()[1]
+        bar_area = second_row.split("|")[1]
+        assert bar_area.startswith(" " * 10)
+
+    def test_cpu_rows_come_first(self):
+        text = render_gantt(
+            [_c("g", "gpu", 0.0, 5.0), _c("c", "cpu", 2.0, 5.0)]
+        )
+        lines = text.splitlines()
+        assert "c @cpu" in lines[0]
+
+    def test_integration_with_real_execution(self, processor, rodinia_jobs):
+        from repro.core.runtime import CoScheduleRuntime
+
+        runtime = CoScheduleRuntime(rodinia_jobs[:4], cap_w=15.0)
+        outcome = runtime.run_hcs()
+        text = render_gantt(
+            outcome.execution.completions,
+            makespan_s=outcome.makespan_s,
+        )
+        for job in rodinia_jobs[:4]:
+            assert job.uid in text

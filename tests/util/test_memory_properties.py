@@ -1,0 +1,85 @@
+"""Extra property-based tests on the contention model.
+
+These complement tests/hardware/test_memory.py with invariants that the
+scheduling layers implicitly rely on: permutation equivariance, scale
+behaviour around the saturation knee, and the relationship between stall
+factors and achieved bandwidth.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hardware.calibration import make_ivy_bridge
+from repro.hardware.device import DeviceKind
+from repro.hardware.memory import BandwidthDemand
+
+_bw = st.floats(0.0, 11.0)
+
+
+@pytest.fixture(scope="module")
+def memory():
+    return make_ivy_bridge().memory
+
+
+class TestPermutationEquivariance:
+    @given(_bw, _bw, _bw)
+    def test_requester_order_does_not_matter(self, a, b, g):
+        memory = make_ivy_bridge().memory
+        demands = [
+            BandwidthDemand(DeviceKind.CPU, a),
+            BandwidthDemand(DeviceKind.CPU, b),
+            BandwidthDemand(DeviceKind.GPU, g),
+        ]
+        forward = memory.stall_factors(demands)
+        backward = memory.stall_factors(list(reversed(demands)))
+        assert forward == pytest.approx(list(reversed(backward)))
+
+
+class TestStallAchievedDuality:
+    @given(_bw, _bw)
+    def test_achieved_is_demand_over_stall(self, c, g):
+        memory = make_ivy_bridge().memory
+        demands = [
+            BandwidthDemand(DeviceKind.CPU, c),
+            BandwidthDemand(DeviceKind.GPU, g),
+        ]
+        stalls = memory.stall_factors(demands)
+        achieved = memory.achieved_bandwidths(demands)
+        for d, s, a in zip(demands, stalls, achieved):
+            assert a == pytest.approx(d.gbps / s)
+
+
+class TestSubSaturationRegime:
+    @given(st.floats(0.1, 3.0), st.floats(0.1, 3.0))
+    def test_light_traffic_barely_stalls(self, c, g):
+        """Well under the knee, stall factors stay near 1: light co-runners
+        must not be punished (the Co-Run Theorem depends on this)."""
+        memory = make_ivy_bridge().memory
+        cpu, gpu = memory.pair_stall_factors(c, g)
+        assert cpu < 1.15
+        assert gpu < 1.25
+
+    def test_saturated_regime_conserves_capacity(self, memory):
+        for c, g in ((11.0, 11.0), (9.0, 10.0), (11.0, 6.0)):
+            demands = [
+                BandwidthDemand(DeviceKind.CPU, c),
+                BandwidthDemand(DeviceKind.GPU, g),
+            ]
+            if c + g <= memory.peak_bw_gbps:
+                continue
+            achieved = memory.achieved_bandwidths(demands)
+            assert sum(achieved) <= memory.peak_bw_gbps * 1.01
+
+
+class TestKindSymmetryBreaking:
+    @given(st.floats(9.5, 11.0))
+    def test_cpu_suffers_more_at_deep_saturation(self, d):
+        """At deeply saturating equal demands (the paper's "over 8.5 GB/s"
+        corner) capacity sharing dominates and the GPU's deeper queues earn
+        it the larger share, so the CPU stalls more — the Figures 5/6
+        crossover.  (At mild saturation the GPU's latency sensitivity still
+        dominates; see TestSubSaturationRegime.)"""
+        memory = make_ivy_bridge().memory
+        cpu, gpu = memory.pair_stall_factors(d, d)
+        assert cpu >= gpu

@@ -1,0 +1,46 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import DEFAULT_SEED, default_rng, spawn_rng
+
+
+class TestDefaultRng:
+    def test_none_maps_to_fixed_seed(self):
+        a = default_rng(None).integers(0, 1_000_000, size=8)
+        b = default_rng(DEFAULT_SEED).integers(0, 1_000_000, size=8)
+        assert np.array_equal(a, b)
+
+    def test_same_seed_same_stream(self):
+        assert np.array_equal(
+            default_rng(42).random(16), default_rng(42).random(16)
+        )
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(
+            default_rng(1).random(16), default_rng(2).random(16)
+        )
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(7)
+        assert default_rng(rng) is rng
+
+
+class TestSpawnRng:
+    def test_children_are_independent_and_reproducible(self):
+        kids_a = spawn_rng(default_rng(5), 3)
+        kids_b = spawn_rng(default_rng(5), 3)
+        for a, b in zip(kids_a, kids_b):
+            assert np.array_equal(a.random(4), b.random(4))
+
+    def test_children_differ_from_each_other(self):
+        kids = spawn_rng(default_rng(5), 2)
+        assert not np.array_equal(kids[0].random(8), kids[1].random(8))
+
+    def test_zero_children(self):
+        assert spawn_rng(default_rng(0), 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rng(default_rng(0), -1)

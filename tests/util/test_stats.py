@@ -1,0 +1,103 @@
+"""Tests for repro.util.stats."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import (
+    geomean,
+    histogram_bins,
+    mean_abs_pct_error,
+    pct_error,
+    relative_error,
+    summarize,
+)
+
+
+class TestRelativeError:
+    def test_exact_prediction_is_zero(self):
+        assert relative_error(3.5, 3.5) == 0.0
+
+    def test_symmetric_in_magnitude(self):
+        assert relative_error(1.2, 1.0) == pytest.approx(0.2)
+        assert relative_error(0.8, 1.0) == pytest.approx(0.2)
+
+    def test_zero_actual_falls_back_to_absolute(self):
+        assert relative_error(0.05, 0.0) == pytest.approx(0.05)
+        assert relative_error(0.0, 0.0) == 0.0
+
+    def test_pct_error_scales_by_100(self):
+        assert pct_error(1.1, 1.0) == pytest.approx(10.0)
+
+    @given(
+        st.floats(0.01, 1e6), st.floats(0.01, 1e6)
+    )
+    def test_always_nonnegative(self, p, a):
+        assert relative_error(p, a) >= 0.0
+
+
+class TestMeanAbsPctError:
+    def test_simple_mean(self):
+        assert mean_abs_pct_error([1.1, 0.9], [1.0, 1.0]) == pytest.approx(10.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mean_abs_pct_error([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_abs_pct_error([], [])
+
+
+class TestGeomean:
+    def test_known_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    @given(st.lists(st.floats(0.1, 10.0), min_size=1, max_size=20))
+    def test_bounded_by_min_and_max(self, values):
+        g = geomean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+
+class TestHistogramBins:
+    def test_fractions_sum_to_one(self):
+        fracs = histogram_bins([0.05, 0.15, 0.25, 0.9], [0.0, 0.1, 0.2, 0.3, 10.0])
+        assert fracs.sum() == pytest.approx(1.0)
+
+    def test_open_right_tail(self):
+        # A value far beyond the last edge lands in the final bin.
+        fracs = histogram_bins([100.0], [0.0, 0.1, 1.0])
+        assert fracs[-1] == pytest.approx(1.0)
+
+    def test_empty_sample(self):
+        assert histogram_bins([], [0.0, 1.0]).tolist() == [0.0]
+
+    def test_bad_edges_rejected(self):
+        with pytest.raises(ValueError):
+            histogram_bins([1.0], [0.5])
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.n == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.median == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_str_smoke(self):
+        assert "n=2" in str(summarize([1.0, 2.0]))

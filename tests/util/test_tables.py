@@ -1,0 +1,38 @@
+"""Tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import format_kv, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(["name", "value"], [("a", 1.5), ("bb", 22.25)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.50" in text and "22.25" in text
+        # every row has the same rendered width
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [("only-one",)])
+
+    def test_ndigits(self):
+        text = format_table(["x"], [(1.23456,)], ndigits=4)
+        assert "1.2346" in text
+
+    def test_non_float_cells_pass_through(self):
+        text = format_table(["k", "v"], [("key", "value")])
+        assert "value" in text
+
+
+class TestFormatKv:
+    def test_alignment(self):
+        text = format_kv({"a": 1, "longer": 2.5})
+        lines = text.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_empty(self):
+        assert format_kv({}) == ""

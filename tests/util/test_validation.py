@@ -1,0 +1,43 @@
+"""Tests for repro.util.validation."""
+
+import math
+
+import pytest
+
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+)
+
+
+@pytest.mark.parametrize("value", [1e-9, 1.0, 1e9])
+def test_check_positive_accepts(value):
+    assert check_positive("x", value) == value
+
+
+@pytest.mark.parametrize("value", [0.0, -1.0, float("nan")])
+def test_check_positive_rejects(value):
+    with pytest.raises(ValueError, match="x"):
+        check_positive("x", value)
+
+
+def test_check_nonnegative_boundary():
+    assert check_nonnegative("x", 0.0) == 0.0
+    with pytest.raises(ValueError):
+        check_nonnegative("x", -1e-12)
+
+
+def test_check_in_range_inclusive():
+    assert check_in_range("x", 0.0, 0.0, 1.0) == 0.0
+    assert check_in_range("x", 1.0, 0.0, 1.0) == 1.0
+    with pytest.raises(ValueError):
+        check_in_range("x", 1.0001, 0.0, 1.0)
+
+
+def test_check_finite():
+    assert check_finite("x", 1.0) == 1.0
+    for bad in (math.inf, -math.inf, math.nan):
+        with pytest.raises(ValueError):
+            check_finite("x", bad)

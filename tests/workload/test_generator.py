@@ -1,0 +1,51 @@
+"""Tests for the random workload generator."""
+
+import pytest
+
+from repro.engine.standalone import standalone_run
+from repro.workload.generator import random_program, random_workload
+
+
+class TestRandomProgram:
+    def test_reproducible_by_seed(self):
+        a = random_program(seed=11)
+        b = random_program(seed=11)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert random_program(seed=1) != random_program(seed=2)
+
+    def test_times_within_requested_band(self, processor):
+        prog = random_program(seed=5, min_time_s=20.0, max_time_s=40.0)
+        cpu_t = standalone_run(prog, processor.cpu, processor.cpu.domain.fmax).time_s
+        assert 20.0 / 3 <= cpu_t <= 40.0 * 1.01  # gpu ratio spans [1/3, 3]
+
+    def test_gpu_cpu_ratio_within_sampled_range(self, processor):
+        for seed in range(12):
+            prog = random_program(seed=seed)
+            cpu_t = standalone_run(
+                prog, processor.cpu, processor.cpu.domain.fmax
+            ).time_s
+            gpu_t = standalone_run(
+                prog, processor.gpu, processor.gpu.domain.fmax
+            ).time_s
+            assert 1 / 3.5 <= cpu_t / gpu_t <= 3.5
+
+    def test_custom_name(self):
+        assert random_program(seed=0, name="myprog").name == "myprog"
+
+
+class TestRandomWorkload:
+    def test_job_count_and_unique_uids(self):
+        jobs = random_workload(6, seed=3)
+        assert len(jobs) == 6
+        assert len({j.uid for j in jobs}) == 6
+
+    def test_zero_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            random_workload(0)
+
+    def test_seeded_workloads_reproducible(self):
+        a = random_workload(4, seed=9)
+        b = random_workload(4, seed=9)
+        assert [j.profile for j in a] == [j.profile for j in b]

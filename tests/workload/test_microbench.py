@@ -1,0 +1,62 @@
+"""Tests for the Figure 4 micro-benchmark."""
+
+import numpy as np
+import pytest
+
+from repro.engine.standalone import standalone_run
+from repro.workload.microbench import (
+    MICRO_DURATION_S,
+    MICRO_MAX_GBPS,
+    micro_benchmark,
+    micro_grid_levels,
+)
+
+
+class TestMicroBenchmark:
+    @pytest.mark.parametrize("target", [0.0, 1.1, 5.5, 8.8, 11.0])
+    def test_demand_hits_target_on_both_devices(self, processor, target):
+        micro = micro_benchmark(target, processor.cpu, processor.gpu)
+        for device in (processor.cpu, processor.gpu):
+            run = standalone_run(micro, device, device.domain.fmax)
+            assert run.demand_gbps == pytest.approx(target, abs=1e-9)
+
+    def test_duration_at_max_frequency(self, processor):
+        micro = micro_benchmark(5.0, processor.cpu, processor.gpu)
+        run = standalone_run(micro, processor.cpu, processor.cpu.domain.fmax)
+        assert run.time_s == pytest.approx(MICRO_DURATION_S)
+
+    def test_zero_target_is_pure_compute(self, processor):
+        micro = micro_benchmark(0.0, processor.cpu, processor.gpu)
+        assert micro.bytes_gb == 0.0
+
+    def test_max_target_is_pure_memory(self, processor):
+        micro = micro_benchmark(MICRO_MAX_GBPS, processor.cpu, processor.gpu)
+        run = standalone_run(micro, processor.cpu, processor.cpu.domain.fmax)
+        assert run.compute_fraction == pytest.approx(0.0, abs=1e-6)
+
+    def test_sensitivity_is_exactly_one(self, processor):
+        """The micro-benchmark *defines* the unit of the degradation space."""
+        micro = micro_benchmark(5.0, processor.cpu, processor.gpu)
+        assert all(v == 1.0 for _, v in micro.sensitivity.items())
+
+    def test_target_beyond_range_rejected(self, processor):
+        with pytest.raises(ValueError):
+            micro_benchmark(MICRO_MAX_GBPS + 0.1, processor.cpu, processor.gpu)
+        with pytest.raises(ValueError):
+            micro_benchmark(-0.1, processor.cpu, processor.gpu)
+
+
+class TestMicroGridLevels:
+    def test_paper_grid(self):
+        levels = micro_grid_levels()
+        assert len(levels) == 11
+        assert levels[0] == 0.0
+        assert levels[-1] == pytest.approx(11.0)
+        assert np.all(np.diff(levels) > 0)
+
+    def test_custom_resolution(self):
+        assert len(micro_grid_levels(5)) == 5
+
+    def test_too_few_levels_rejected(self):
+        with pytest.raises(ValueError):
+            micro_grid_levels(1)

@@ -1,0 +1,51 @@
+"""Tests for the PerDevice immutable mapping."""
+
+import pytest
+
+from repro.hardware.device import DeviceKind
+from repro.workload.program import PerDevice
+
+
+class TestPerDevice:
+    def test_coerce_from_dict(self):
+        pd = PerDevice.coerce(
+            {DeviceKind.CPU: 1.0, DeviceKind.GPU: 2.0}, "field", "prog"
+        )
+        assert pd.cpu == 1.0 and pd.gpu == 2.0
+
+    def test_coerce_passthrough(self):
+        pd = PerDevice(1.0, 2.0)
+        assert PerDevice.coerce(pd, "field", "prog") is pd
+
+    def test_coerce_missing_key_rejected(self):
+        with pytest.raises(ValueError, match="prog.*field"):
+            PerDevice.coerce({DeviceKind.CPU: 1.0}, "field", "prog")
+
+    def test_getitem(self):
+        pd = PerDevice(1.5, 2.5)
+        assert pd[DeviceKind.CPU] == 1.5
+        assert pd[DeviceKind.GPU] == 2.5
+
+    def test_contains(self):
+        pd = PerDevice(1.0, 2.0)
+        assert DeviceKind.CPU in pd
+        assert "cpu" not in pd
+
+    def test_items_and_keys(self):
+        pd = PerDevice(1.0, 2.0)
+        assert dict(pd.items()) == {DeviceKind.CPU: 1.0, DeviceKind.GPU: 2.0}
+        assert set(pd.keys()) == set(DeviceKind)
+
+    def test_dict_unpacking(self):
+        pd = PerDevice(1.0, 2.0)
+        merged = {**pd, DeviceKind.CPU: 9.0}
+        assert merged[DeviceKind.CPU] == 9.0
+        assert merged[DeviceKind.GPU] == 2.0
+
+    def test_hashable(self):
+        assert hash(PerDevice(1.0, 2.0)) == hash(PerDevice(1.0, 2.0))
+        assert len({PerDevice(1.0, 2.0), PerDevice(1.0, 2.0)}) == 1
+
+    def test_equality(self):
+        assert PerDevice(1.0, 2.0) == PerDevice(1.0, 2.0)
+        assert PerDevice(1.0, 2.0) != PerDevice(2.0, 1.0)

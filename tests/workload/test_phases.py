@@ -1,0 +1,51 @@
+"""Tests for repro.workload.phases."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workload.phases import Phase, normalize_phases, uniform_phases
+
+
+class TestPhase:
+    def test_weight_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Phase(weight=0.0, intensity=1.0)
+
+    def test_intensity_may_be_zero(self):
+        Phase(weight=1.0, intensity=0.0)  # a pure-compute phase
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ValueError):
+            Phase(weight=1.0, intensity=-0.1)
+
+
+class TestNormalizePhases:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_phases([])
+
+    def test_all_zero_intensity_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_phases([Phase(1.0, 0.0)])
+
+    def test_uniform_is_fixed_point(self):
+        assert normalize_phases(uniform_phases()) == uniform_phases()
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.1, 10.0), st.floats(0.05, 5.0)),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_invariants(self, raw):
+        phases = normalize_phases([Phase(w, i) for w, i in raw])
+        total_weight = sum(p.weight for p in phases)
+        mean_intensity = sum(p.weight * p.intensity for p in phases)
+        assert total_weight == pytest.approx(1.0)
+        assert mean_intensity == pytest.approx(1.0)
+
+    def test_relative_intensities_preserved(self):
+        phases = normalize_phases([Phase(1.0, 2.0), Phase(1.0, 1.0)])
+        assert phases[0].intensity / phases[1].intensity == pytest.approx(2.0)

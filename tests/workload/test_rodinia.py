@@ -1,0 +1,64 @@
+"""Tests for the Table I-calibrated Rodinia-like programs."""
+
+import pytest
+
+from repro.engine.standalone import standalone_run
+from repro.workload.rodinia import (
+    RODINIA_NAMES,
+    TABLE1_STANDALONE,
+    rodinia_programs,
+)
+
+
+class TestCalibration:
+    def test_all_eight_programs_present(self, rodinia):
+        assert set(rodinia) == set(RODINIA_NAMES)
+        assert len(RODINIA_NAMES) == 8
+
+    @pytest.mark.parametrize("name", RODINIA_NAMES)
+    def test_standalone_times_match_table1(self, processor, rodinia, name):
+        prog = rodinia[name]
+        cpu_t = standalone_run(prog, processor.cpu, processor.cpu.domain.fmax).time_s
+        gpu_t = standalone_run(prog, processor.gpu, processor.gpu.domain.fmax).time_s
+        want_cpu, want_gpu = TABLE1_STANDALONE[name]
+        assert cpu_t == pytest.approx(want_cpu, rel=1e-3)
+        assert gpu_t == pytest.approx(want_gpu, rel=1e-3)
+
+    def test_dwt2d_is_cpu_preferred(self, processor, rodinia):
+        prog = rodinia["dwt2d"]
+        cpu_t = standalone_run(prog, processor.cpu, processor.cpu.domain.fmax).time_s
+        gpu_t = standalone_run(prog, processor.gpu, processor.gpu.domain.fmax).time_s
+        assert cpu_t < gpu_t / 2  # the paper's 2.5x
+
+    def test_lud_is_borderline(self, processor, rodinia):
+        prog = rodinia["lud"]
+        cpu_t = standalone_run(prog, processor.cpu, processor.cpu.domain.fmax).time_s
+        gpu_t = standalone_run(prog, processor.gpu, processor.gpu.domain.fmax).time_s
+        assert abs(cpu_t - gpu_t) / min(cpu_t, gpu_t) <= 0.20
+
+    def test_streamcluster_is_the_heaviest_gpu_streamer(self, processor, rodinia):
+        demands = {
+            name: standalone_run(
+                rodinia[name], processor.gpu, processor.gpu.domain.fmax
+            ).demand_gbps
+            for name in RODINIA_NAMES
+        }
+        assert max(demands, key=demands.get) == "streamcluster"
+        assert demands["streamcluster"] > 9.0
+
+    def test_default_result_is_cached(self):
+        a = rodinia_programs()
+        b = rodinia_programs()
+        assert a[0] is b[0]
+
+    def test_custom_processor_rebuilds(self, processor):
+        progs = rodinia_programs(processor)
+        assert progs[0] is not rodinia_programs()[0]
+        assert progs[0].name == "streamcluster"
+
+    def test_runtimes_exceed_20s(self, processor, rodinia):
+        """The paper sizes inputs so every run lasts at least 20 seconds."""
+        for name, prog in rodinia.items():
+            for device in (processor.cpu, processor.gpu):
+                t = standalone_run(prog, device, device.domain.fmax).time_s
+                assert t >= 20.0, name

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Calibration diagnostic: verify every paper anchor on the installed code.
+
+Run after touching repro.hardware.calibration or repro.workload.rodinia:
+
+    python tools/check_calibration.py
+
+Prints each calibration target (Table I, Section III, Figures 5-8) next to
+its current value and flags out-of-band drift.  The same facts are locked
+by the test suite; this script exists for fast iteration while tuning.
+"""
+import sys
+
+import numpy as np
+
+from repro import make_ivy_bridge, make_jobs, rodinia_programs
+from repro.hardware.device import DeviceKind
+from repro.engine.corun import steady_degradation
+from repro.engine.standalone import standalone_run
+from repro.model import characterize_space, profile_workload, CoRunPredictor
+from repro.model.accuracy import evaluate_performance_model, evaluate_power_model
+from repro.workload.rodinia import TABLE1_STANDALONE
+
+CHECKS = []
+
+
+def check(name, value, lo, hi):
+    ok = lo <= value <= hi
+    CHECKS.append(ok)
+    flag = "ok " if ok else "DRIFT"
+    print(f"[{flag}] {name:46s} {value:8.3f}  (band {lo}..{hi})")
+
+
+def main() -> int:
+    p = make_ivy_bridge()
+    progs = {x.name: x for x in rodinia_programs()}
+    smax = p.max_setting
+
+    print("== Table I standalone times ==")
+    for name, (want_cpu, want_gpu) in TABLE1_STANDALONE.items():
+        got_cpu = standalone_run(progs[name], p.cpu, 3.6).time_s
+        got_gpu = standalone_run(progs[name], p.gpu, 1.25).time_s
+        check(f"{name} cpu", got_cpu, want_cpu * 0.999, want_cpu * 1.001)
+        check(f"{name} gpu", got_gpu, want_gpu * 0.999, want_gpu * 1.001)
+
+    print("== Section III example ==")
+    check("dwt2d|streamcluster slowdown (paper 0.81)",
+          steady_degradation(p, progs["dwt2d"], DeviceKind.CPU,
+                             progs["streamcluster"], smax), 0.6, 1.1)
+    check("streamcluster|dwt2d slowdown (paper 0.05)",
+          steady_degradation(p, progs["streamcluster"], DeviceKind.GPU,
+                             progs["dwt2d"], smax), 0.0, 0.10)
+    check("dwt2d|hotspot slowdown (paper 0.17)",
+          steady_degradation(p, progs["dwt2d"], DeviceKind.CPU,
+                             progs["hotspot"], smax), 0.10, 0.30)
+
+    print("== Figures 5/6 ==")
+    space = characterize_space(p)
+    check("max cpu degradation (paper ~0.65)", space.max_cpu_degradation, 0.55, 0.75)
+    check("max gpu degradation (paper ~0.45)", space.max_gpu_degradation, 0.38, 0.52)
+
+    print("== Figures 7/8 ==")
+    table = profile_workload(p, make_jobs(rodinia_programs()))
+    pred = CoRunPredictor(p, table, space)
+    hi = np.array([r.error for r in
+                   evaluate_performance_model(p, pred, table.uids, smax)])
+    med = np.array([r.error for r in
+                    evaluate_performance_model(p, pred, table.uids, p.medium_setting)])
+    pw = np.array([r.error for r in
+                   evaluate_power_model(p, pred, table.uids, 16.0)])
+    check("perf error, max freq (paper 0.15)", float(hi.mean()), 0.08, 0.20)
+    check("perf error, medium (paper 0.11)", float(med.mean()), 0.05, 0.15)
+    check("power error mean (paper 0.0192)", float(pw.mean()), 0.005, 0.04)
+    check("power error max (paper < 0.08)", float(pw.max()), 0.0, 0.08)
+
+    failed = CHECKS.count(False)
+    print(f"\n{len(CHECKS)} checks, {failed} drifting")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
