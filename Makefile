@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test bench experiments report calibration examples clean
+.PHONY: install test bench bench-all experiments report calibration examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -12,6 +12,10 @@ test-fast:
 	pytest tests/ -m "not slow"
 
 bench:
+	pytest benchmarks/test_perf_layer.py --benchmark-only \
+		--benchmark-json=BENCH_perf.json
+
+bench-all:
 	pytest benchmarks/ --benchmark-only
 
 experiments:

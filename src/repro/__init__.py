@@ -54,9 +54,21 @@ from repro.core import (
     Bias,
     CoSchedule,
     CoScheduleRuntime,
+    InfeasibleCapError,
     ScheduleOutcome,
+    ScheduleResult,
     hcs_schedule,
     lower_bound,
+    register_scheduler,
+    schedule,
+    scheduler_names,
+)
+from repro.perf import (
+    CachingPredictor,
+    DiskCache,
+    EvalCache,
+    ScheduleEvaluator,
+    make_executor,
 )
 
 __version__ = "1.0.0"
@@ -84,5 +96,15 @@ __all__ = [
     "ScheduleOutcome",
     "hcs_schedule",
     "lower_bound",
+    "InfeasibleCapError",
+    "ScheduleResult",
+    "register_scheduler",
+    "schedule",
+    "scheduler_names",
+    "CachingPredictor",
+    "DiskCache",
+    "EvalCache",
+    "ScheduleEvaluator",
+    "make_executor",
     "__version__",
 ]

@@ -1,16 +1,25 @@
 """Command-line entry point: ``python -m repro <experiment> [...]``.
 
 Runs one or more of the paper's experiments and prints their text
-renderings.  ``all`` runs everything in paper order.
+renderings.  ``all`` runs everything in paper order.  Uniform overrides
+(``--seed``, ``--cap-w``, ``--executor``, ``--cache-dir``) apply to every
+selected experiment whose driver supports them (see
+:class:`repro.experiments.registry.ExperimentConfig`).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    ExperimentConfig,
+    run_experiment,
+)
+from repro.perf.diskcache import CACHE_DIR_ENV
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -30,7 +39,29 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--quiet", action="store_true", help="print only headline metrics"
     )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the RNG seed of seed-aware experiments",
+    )
+    parser.add_argument(
+        "--cap-w", type=float, default=None, dest="cap_w",
+        help="override the power cap (watts) of cap-aware experiments",
+    )
+    parser.add_argument(
+        "--executor", default=None, metavar="SPEC",
+        help="evaluation fan-out backend: serial, threads[:N], processes[:N]",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, dest="cache_dir", metavar="DIR",
+        help=f"persist characterization/profiles to DIR (sets {CACHE_DIR_ENV})",
+    )
     args = parser.parse_args(argv)
+
+    if args.cache_dir is not None:
+        os.environ[CACHE_DIR_ENV] = args.cache_dir
+    config = ExperimentConfig(
+        seed=args.seed, cap_w=args.cap_w, executor=args.executor
+    )
 
     names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     seen = set()
@@ -42,7 +73,7 @@ def main(argv: list[str] | None = None) -> int:
             seen.add(driver)
         try:
             t0 = time.perf_counter()
-            result = run_experiment(name)
+            result = run_experiment(name, config=config)
             elapsed = time.perf_counter() - t0
         except KeyError as exc:
             print(exc.args[0], file=sys.stderr)

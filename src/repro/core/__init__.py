@@ -40,7 +40,18 @@ from repro.core.genetic import GaConfig, GeneticScheduler, genetic_schedule
 from repro.core.objectives import EnergyAwareGovernor, Objective, score_execution
 from repro.core.online import FifoOnlinePolicy, HcsOnlinePolicy
 from repro.core.splitting import SplitOutcome, best_split
-from repro.core.runtime import CoScheduleRuntime, ScheduleOutcome
+from repro.core.runtime import CoScheduleRuntime, RandomAverage, ScheduleOutcome
+from repro.errors import InfeasibleCapError
+
+# NOTE: binding ``schedule`` here intentionally shadows the submodule
+# attribute ``repro.core.schedule`` on the package object; the submodule
+# stays importable (``from repro.core.schedule import ...``) via sys.modules.
+from repro.core.api import (
+    ScheduleResult,
+    register_scheduler,
+    schedule,
+    scheduler_names,
+)
 
 __all__ = [
     "corun_lengths",
@@ -78,5 +89,11 @@ __all__ = [
     "SplitOutcome",
     "best_split",
     "CoScheduleRuntime",
+    "RandomAverage",
     "ScheduleOutcome",
+    "InfeasibleCapError",
+    "ScheduleResult",
+    "register_scheduler",
+    "schedule",
+    "scheduler_names",
 ]

@@ -1,0 +1,296 @@
+"""One front door for every scheduler: ``schedule(jobs, method=...)``.
+
+The package grew six scheduler entry points with six different calling
+conventions (``hcs_schedule``, ``random_schedule``, ``default_partition``,
+``brute_force_best``, ``astar_schedule``, ``genetic_schedule``).  They all
+answer the same question — *given these jobs and this power cap, what
+co-schedule should run?* — so this module registers each behind a uniform
+signature::
+
+    from repro import schedule
+
+    result = schedule(jobs, method="hcs+", cap_w=15.0, seed=0)
+    result.schedule              # the CoSchedule
+    result.predicted_makespan_s  # its score under the shared model
+    result.details               # method-specific extras (HcsResult, ...)
+
+All methods share one predictor, one cap-aware governor, and one
+:mod:`repro.perf` evaluation cache, so cross-method comparisons are
+apples-to-apples and repeated calls on the same instance reuse work.  When
+``predictor`` is omitted, the workload is profiled and the degradation
+space characterized on the spot (optionally fanned out over ``executor``
+and persisted via ``disk_cache``).
+
+The historical per-method functions remain public and unchanged; this is a
+facade, not a replacement.  New schedulers plug in with
+:func:`register_scheduler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from collections.abc import Callable, Mapping, Sequence
+
+from repro.workload.program import Job
+from repro.core.baselines import default_partition, random_schedule
+from repro.core.bruteforce import brute_force_best
+from repro.core.freqpolicy import ModelGovernor
+from repro.core.schedule import CoSchedule
+from repro.model.characterize import characterize_space
+from repro.model.profiler import profile_workload
+from repro.model.predictor import CoRunPredictor
+from repro.perf.cache import EvalCache
+from repro.perf.evaluator import CachingPredictor, ScheduleEvaluator
+from repro.perf.executor import Executor, make_executor
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Uniform scheduler output: the schedule plus its model-predicted score.
+
+    ``details`` carries whatever the underlying method natively returns
+    (e.g. the full :class:`~repro.core.hcs.HcsResult`, A*'s node count, the
+    GA's fitness) without widening the common surface.
+    """
+
+    method: str
+    schedule: CoSchedule
+    predicted_makespan_s: float
+    details: Mapping[str, object] = field(
+        default_factory=lambda: MappingProxyType({})
+    )
+    cache_stats: dict[str, float] | None = None
+
+
+@dataclass(frozen=True)
+class _Context:
+    """Everything an adapter needs, resolved once per ``schedule()`` call."""
+
+    jobs: tuple[Job, ...]
+    cap_w: float
+    predictor: CoRunPredictor | CachingPredictor
+    evaluator: ScheduleEvaluator
+    executor: Executor
+    seed: object
+
+    @property
+    def governor(self) -> ModelGovernor:
+        return self.evaluator.governor
+
+
+_REGISTRY: dict[str, Callable[..., ScheduleResult]] = {}
+
+
+def register_scheduler(name: str):
+    """Register an adapter under ``name`` (decorator).
+
+    The adapter receives a :class:`_Context` plus the caller's extra
+    keyword options and must return a :class:`ScheduleResult`.
+    """
+
+    def decorate(fn: Callable[..., ScheduleResult]):
+        key = name.lower()
+        if key in _REGISTRY:
+            raise ValueError(f"scheduler {name!r} is already registered")
+        _REGISTRY[key] = fn
+        return fn
+
+    return decorate
+
+
+def scheduler_names() -> tuple[str, ...]:
+    """The registered method names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def schedule(
+    jobs: Sequence[Job],
+    method: str = "hcs",
+    *,
+    cap_w: float,
+    predictor: CoRunPredictor | CachingPredictor | None = None,
+    processor=None,
+    executor=None,
+    cache: EvalCache | None = None,
+    disk_cache=None,
+    seed=None,
+    **opts,
+) -> ScheduleResult:
+    """Compute a co-schedule for ``jobs`` under ``cap_w`` with ``method``.
+
+    Parameters common to every method:
+
+    ``predictor``
+        A fitted :class:`~repro.model.predictor.CoRunPredictor` (or a
+        caching wrapper).  Omit it to profile + characterize on the fly.
+    ``processor``
+        Hardware model used when building a predictor (default: the
+        calibrated Ivy Bridge).  Ignored when ``predictor`` is given.
+    ``executor``
+        ``None``/``"serial"``/``"threads"``/``"processes"`` (or an
+        executor instance) for the parallelizable stages.
+    ``cache`` / ``disk_cache``
+        Shared :class:`~repro.perf.cache.EvalCache` and optional on-disk
+        cache for the model-building stage.
+    ``seed``
+        Forwarded to stochastic methods (random, genetic, hcs+ refinement).
+
+    Remaining keyword options are method-specific and forwarded verbatim
+    (e.g. ``threshold=`` for hcs, ``node_budget=`` for astar,
+    ``config=`` for genetic).  Unknown methods raise ``ValueError`` listing
+    the registry; unknown options raise ``TypeError`` from the adapter.
+    """
+    if not jobs:
+        raise ValueError("cannot schedule an empty job set")
+    key = method.lower()
+    try:
+        adapter = _REGISTRY[key]
+    except KeyError:
+        known = ", ".join(scheduler_names())
+        raise ValueError(f"unknown scheduler {method!r}; known: {known}") from None
+
+    pool = make_executor(executor)
+    shared_cache = cache if cache is not None else EvalCache()
+    if predictor is None:
+        if processor is None:
+            from repro.hardware.calibration import make_ivy_bridge
+
+            processor = make_ivy_bridge()
+        table = profile_workload(
+            processor, jobs, executor=pool, disk_cache=disk_cache
+        )
+        space = characterize_space(
+            processor, executor=pool, disk_cache=disk_cache
+        )
+        predictor = CachingPredictor(
+            CoRunPredictor(processor, table, space), cache=shared_cache
+        )
+    elif cache is not None and not isinstance(predictor, CachingPredictor):
+        predictor = CachingPredictor(predictor, cache=shared_cache)
+
+    governor = ModelGovernor(predictor, cap_w)
+    evaluator = ScheduleEvaluator(predictor, governor, cache=shared_cache)
+    ctx = _Context(
+        jobs=tuple(jobs),
+        cap_w=cap_w,
+        predictor=predictor,
+        evaluator=evaluator,
+        executor=pool,
+        seed=seed,
+    )
+    result = adapter(ctx, **opts)
+    if result.cache_stats is None:
+        result = ScheduleResult(
+            method=result.method,
+            schedule=result.schedule,
+            predicted_makespan_s=result.predicted_makespan_s,
+            details=result.details,
+            cache_stats=shared_cache.snapshot(),
+        )
+    return result
+
+
+def _result(
+    ctx: _Context,
+    method: str,
+    sched: CoSchedule,
+    score: float | None = None,
+    **details,
+) -> ScheduleResult:
+    if score is None:
+        score = ctx.evaluator(sched)
+    return ScheduleResult(
+        method=method,
+        schedule=sched,
+        predicted_makespan_s=score,
+        details=MappingProxyType(details),
+    )
+
+
+# ----------------------------------------------------------------------
+# Built-in adapters
+# ----------------------------------------------------------------------
+@register_scheduler("hcs")
+def _hcs_adapter(ctx: _Context, **opts) -> ScheduleResult:
+    from repro.core.hcs import hcs_schedule
+
+    res = hcs_schedule(
+        ctx.predictor,
+        ctx.jobs,
+        ctx.cap_w,
+        refine=False,
+        seed=ctx.seed,
+        evaluator=ctx.evaluator,
+        **opts,
+    )
+    return _result(
+        ctx, "hcs", res.schedule, res.predicted_makespan_s, hcs=res
+    )
+
+
+@register_scheduler("hcs+")
+def _hcs_plus_adapter(ctx: _Context, **opts) -> ScheduleResult:
+    from repro.core.hcs import hcs_schedule
+
+    res = hcs_schedule(
+        ctx.predictor,
+        ctx.jobs,
+        ctx.cap_w,
+        refine=True,
+        seed=ctx.seed,
+        evaluator=ctx.evaluator,
+        **opts,
+    )
+    return _result(
+        ctx, "hcs+", res.schedule, res.predicted_makespan_s, hcs=res
+    )
+
+
+@register_scheduler("random")
+def _random_adapter(ctx: _Context, **opts) -> ScheduleResult:
+    sched = random_schedule(ctx.jobs, seed=ctx.seed, **opts)
+    return _result(ctx, "random", sched)
+
+
+@register_scheduler("default")
+def _default_adapter(ctx: _Context, **opts) -> ScheduleResult:
+    part = default_partition(ctx.predictor.table, ctx.jobs, **opts)
+    sched = CoSchedule(
+        cpu_queue=part.cpu_partition, gpu_queue=part.gpu_partition
+    )
+    return _result(ctx, "default", sched, partition=part)
+
+
+@register_scheduler("brute")
+def _brute_adapter(ctx: _Context, **opts) -> ScheduleResult:
+    sched, score = brute_force_best(
+        ctx.jobs, ctx.evaluator, executor=ctx.executor, **opts
+    )
+    return _result(ctx, "brute", sched, score)
+
+
+@register_scheduler("astar")
+def _astar_adapter(ctx: _Context, **opts) -> ScheduleResult:
+    from repro.core.astar import astar_schedule
+
+    sched, score, expanded = astar_schedule(
+        ctx.predictor, ctx.jobs, ctx.cap_w, **opts
+    )
+    return _result(ctx, "astar", sched, score, nodes_expanded=expanded)
+
+
+@register_scheduler("genetic")
+def _genetic_adapter(ctx: _Context, **opts) -> ScheduleResult:
+    from repro.core.genetic import genetic_schedule
+
+    sched, score = genetic_schedule(
+        ctx.predictor,
+        ctx.jobs,
+        ctx.cap_w,
+        seed=ctx.seed,
+        evaluator=ctx.evaluator,
+        executor=ctx.executor,
+        **opts,
+    )
+    return _result(ctx, "genetic", sched, score)

@@ -45,6 +45,8 @@ from repro.core.bounds import lower_bound
 from repro.core.freqpolicy import ModelGovernor
 from repro.core.schedule import CoSchedule
 from repro.model.predictor import CoRunPredictor
+from repro.perf.cache import EvalCache
+from repro.perf.evaluator import CachingPredictor
 
 _EPS = 1e-9
 
@@ -89,9 +91,16 @@ class AStarScheduler:
         *,
         use_heuristic: bool = True,
         node_budget: int = 200_000,
+        cache: EvalCache | None = None,
     ) -> None:
         if not jobs:
             raise ValueError("cannot schedule an empty job set")
+        # Expansion re-queries the same (pair, setting) degradations along
+        # every branch of the search tree; a caching wrapper collapses the
+        # cost.  Callers pass a shared EvalCache to reuse answers computed
+        # by HCS/GA/refinement on the same instance.
+        if cache is not None and not isinstance(predictor, CachingPredictor):
+            predictor = CachingPredictor(predictor, cache)
         self.predictor = predictor
         self.jobs = {j.uid: j for j in jobs}
         if len(self.jobs) != len(jobs):
@@ -327,6 +336,7 @@ def astar_schedule(
     *,
     use_heuristic: bool = True,
     node_budget: int = 200_000,
+    cache: EvalCache | None = None,
 ) -> tuple[CoSchedule, float, int]:
     """Convenience wrapper around :class:`AStarScheduler`."""
     return AStarScheduler(
@@ -335,4 +345,5 @@ def astar_schedule(
         cap_w,
         use_heuristic=use_heuristic,
         node_budget=node_budget,
+        cache=cache,
     ).search()

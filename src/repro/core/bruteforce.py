@@ -21,9 +21,13 @@ from collections.abc import Callable, Sequence
 from repro.hardware.device import DeviceKind
 from repro.workload.program import Job
 from repro.core.schedule import CoSchedule
+from repro.perf.executor import SerialExecutor, make_executor
 
 #: Enumerating beyond this many jobs is a bug, not a test.
 MAX_BRUTE_FORCE_JOBS = 7
+
+#: Schedules evaluated per executor task when the search fans out.
+_CHUNK = 256
 
 
 def enumerate_schedules(
@@ -63,21 +67,47 @@ def enumerate_schedules(
                     )
 
 
+def _chunks(iterable, size: int):
+    it = iter(iterable)
+    while True:
+        chunk = list(itertools.islice(it, size))
+        if not chunk:
+            return
+        yield chunk
+
+
 def brute_force_best(
     jobs: Sequence[Job],
     evaluate: Callable[[CoSchedule], float],
     *,
     include_solo: bool = True,
+    executor=None,
 ) -> tuple[CoSchedule, float]:
-    """Best schedule under ``evaluate`` (lower is better) and its score."""
+    """Best schedule under ``evaluate`` (lower is better) and its score.
+
+    With an ``executor`` (see :func:`repro.perf.make_executor`) the
+    enumeration is evaluated in fixed-size chunks fanned across workers.
+    Ties always resolve to the earliest schedule in enumeration order, so
+    the winner is independent of the backend.  The ``processes`` backend
+    requires a picklable ``evaluate`` (e.g. a
+    :class:`~repro.perf.evaluator.ScheduleEvaluator`, not a local closure).
+    """
     if not jobs:
         raise ValueError("cannot search over an empty job set")
     best_schedule: CoSchedule | None = None
     best_score = math.inf
-    for schedule in enumerate_schedules(jobs, include_solo=include_solo):
-        score = evaluate(schedule)
-        if score < best_score:
-            best_schedule, best_score = schedule, score
+    pool = make_executor(executor)
+    schedules = enumerate_schedules(jobs, include_solo=include_solo)
+    if isinstance(pool, SerialExecutor):
+        for schedule in schedules:
+            score = evaluate(schedule)
+            if score < best_score:
+                best_schedule, best_score = schedule, score
+    else:
+        for chunk in _chunks(schedules, _CHUNK):
+            for schedule, score in zip(chunk, pool.map(evaluate, chunk)):
+                if score < best_score:
+                    best_schedule, best_score = schedule, score
     if best_schedule is None:
         raise ValueError("no schedules enumerated (empty job set?)")
     return best_schedule, best_score

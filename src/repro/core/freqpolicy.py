@@ -21,6 +21,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.errors import InfeasibleCapError
 from repro.hardware.device import DeviceKind
 from repro.hardware.frequency import FrequencySetting
 from repro.workload.program import Job
@@ -88,9 +89,11 @@ class BiasedGovernor:
             if _predicted_power(self.predictor, cpu_job, gpu_job, setting) <= self.cap_w:
                 self._cache[key] = setting
                 return setting
-        raise RuntimeError(
+        raise InfeasibleCapError(
             f"no frequency setting satisfies the {self.cap_w} W cap for "
-            f"({key[0]}, {key[1]})"
+            f"({key[0]}, {key[1]})",
+            cap_w=self.cap_w,
+            jobs=tuple(uid for uid in key if uid is not None),
         )
 
 
@@ -129,9 +132,11 @@ class ModelGovernor:
                 cpu_job.uid, gpu_job.uid, self.cap_w
             )
             if not feasible:
-                raise RuntimeError(
+                raise InfeasibleCapError(
                     f"pair ({cpu_job.uid}, {gpu_job.uid}) infeasible under "
-                    f"{self.cap_w} W"
+                    f"{self.cap_w} W: no frequency setting fits the cap",
+                    cap_w=self.cap_w,
+                    jobs=(cpu_job.uid, gpu_job.uid),
                 )
             return min(
                 feasible,

@@ -21,8 +21,10 @@ import numpy as np
 
 from repro.workload.program import Job
 from repro.core.freqpolicy import ModelGovernor
-from repro.core.schedule import CoSchedule, predicted_makespan
+from repro.core.schedule import CoSchedule
 from repro.model.predictor import CoRunPredictor
+from repro.perf.evaluator import ScheduleEvaluator
+from repro.perf.executor import make_executor
 from repro.util.rng import default_rng
 
 
@@ -66,6 +68,8 @@ class GeneticScheduler:
         *,
         config: GaConfig | None = None,
         seed=None,
+        evaluator: ScheduleEvaluator | None = None,
+        executor=None,
     ) -> None:
         if not jobs:
             raise ValueError("cannot schedule an empty job set")
@@ -76,8 +80,12 @@ class GeneticScheduler:
         self.cap_w = cap_w
         self.config = config if config is not None else GaConfig()
         self.rng = default_rng(seed)
-        self.governor = ModelGovernor(predictor, cap_w)
-        self._fitness_cache: dict[tuple, float] = {}
+        if evaluator is None:
+            governor = ModelGovernor(predictor, cap_w)
+            evaluator = ScheduleEvaluator(predictor, governor)
+        self.evaluator = evaluator
+        self.governor = evaluator.governor
+        self.executor = make_executor(executor)
 
     # ------------------------------------------------------------------
     def _decode(self, genome: _Genome) -> CoSchedule:
@@ -87,13 +95,18 @@ class GeneticScheduler:
         return CoSchedule(cpu_queue=tuple(cpu), gpu_queue=tuple(gpu))
 
     def _fitness(self, genome: _Genome) -> float:
-        key = (genome.placement.tobytes(), genome.priority.tobytes())
-        if key not in self._fitness_cache:
-            schedule = self._decode(genome)
-            self._fitness_cache[key] = predicted_makespan(
-                schedule, self.predictor, self.governor
-            )
-        return self._fitness_cache[key]
+        return self.evaluator(self._decode(genome))
+
+    def _evaluate_population(self, population: list[_Genome]) -> None:
+        """Fill the evaluator's cache for a whole generation at once.
+
+        Uncached genomes fan out over the executor (the GA's evaluation is
+        embarrassingly parallel within a generation); results are identical
+        to serial evaluation because fitness is a pure function.
+        """
+        self.evaluator.evaluate_all(
+            [self._decode(g) for g in population], executor=self.executor
+        )
 
     def _random_genome(self) -> _Genome:
         n = len(self.jobs)
@@ -146,6 +159,7 @@ class GeneticScheduler:
             population[0] = self._encode(seed_schedule)
 
         for _ in range(cfg.generations):
+            self._evaluate_population(population)
             population.sort(key=self._fitness)
             next_gen = population[: cfg.elite]
             while len(next_gen) < cfg.population:
@@ -158,6 +172,7 @@ class GeneticScheduler:
                 next_gen.append(self._mutate(child))
             population = next_gen
 
+        self._evaluate_population(population)
         best = min(population, key=self._fitness)
         return self._decode(best), self._fitness(best)
 
@@ -193,8 +208,16 @@ def genetic_schedule(
     config: GaConfig | None = None,
     seed=None,
     seed_schedule: CoSchedule | None = None,
+    evaluator: ScheduleEvaluator | None = None,
+    executor=None,
 ) -> tuple[CoSchedule, float]:
     """Convenience wrapper around :class:`GeneticScheduler`."""
     return GeneticScheduler(
-        predictor, jobs, cap_w, config=config, seed=seed
+        predictor,
+        jobs,
+        cap_w,
+        config=config,
+        seed=seed,
+        evaluator=evaluator,
+        executor=executor,
     ).evolve(seed_schedule=seed_schedule)

@@ -20,6 +20,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.errors import InfeasibleCapError
 from repro.hardware.device import DeviceKind
 from repro.workload.program import Job
 from repro.core.categorize import DEFAULT_THRESHOLD, Categorized, categorize_jobs
@@ -27,8 +28,9 @@ from repro.core.freqpolicy import ModelGovernor
 from repro.core.greedy import greedy_schedule
 from repro.core.partition import Partition, partition_jobs
 from repro.core.refine import refine_schedule
-from repro.core.schedule import CoSchedule, predicted_makespan
+from repro.core.schedule import CoSchedule
 from repro.model.predictor import CoRunPredictor
+from repro.perf.evaluator import ScheduleEvaluator
 
 
 @dataclass(frozen=True)
@@ -51,10 +53,14 @@ def _best_solo_kind(
     for kind in DeviceKind:
         try:
             times[kind] = predictor.best_solo(job.uid, kind, cap_w)[1]
-        except ValueError:
+        except InfeasibleCapError:
             continue
     if not times:
-        raise ValueError(f"{job.uid} cannot run under the cap on either device")
+        raise InfeasibleCapError(
+            f"{job.uid} cannot run under the {cap_w} W cap on either device",
+            cap_w=cap_w,
+            jobs=(job.uid,),
+        )
     return min(times, key=times.get)
 
 
@@ -66,12 +72,19 @@ def hcs_schedule(
     refine: bool = False,
     threshold: float = DEFAULT_THRESHOLD,
     seed: int | np.random.Generator | None = None,
+    evaluator: ScheduleEvaluator | None = None,
 ) -> HcsResult:
-    """Compute an HCS (or, with ``refine=True``, HCS+) co-schedule."""
+    """Compute an HCS (or, with ``refine=True``, HCS+) co-schedule.
+
+    ``evaluator`` (optional) shares a memoized makespan evaluator with the
+    refinement passes and the final predicted-makespan report.
+    """
     if not jobs:
         raise ValueError("cannot schedule an empty job set")
     t0 = time.perf_counter()
     governor = ModelGovernor(predictor, cap_w)
+    if evaluator is None:
+        evaluator = ScheduleEvaluator(predictor, governor)
 
     part = partition_jobs(predictor, jobs, cap_w)
     cat = categorize_jobs(predictor, part.co, cap_w, threshold=threshold)
@@ -83,7 +96,9 @@ def hcs_schedule(
         cpu_queue=tuple(cpu_order), gpu_queue=tuple(gpu_order), solo_tail=solo
     )
     if refine:
-        schedule = refine_schedule(schedule, predictor, governor, seed=seed)
+        schedule = refine_schedule(
+            schedule, predictor, governor, seed=seed, evaluator=evaluator
+        )
     elapsed = time.perf_counter() - t0
 
     return HcsResult(
@@ -91,6 +106,6 @@ def hcs_schedule(
         partition=part,
         categorized=cat,
         governor=governor,
-        predicted_makespan_s=predicted_makespan(schedule, predictor, governor),
+        predicted_makespan_s=evaluator(schedule),
         scheduling_time_s=elapsed,
     )

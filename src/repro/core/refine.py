@@ -9,14 +9,18 @@ swap only when the *predicted* makespan improves:
 
 All passes are linear in the number of jobs or in the number of random
 samples, preserving the paper's "almost no time to run" property
-(Section VI-D).
+(Section VI-D).  Candidate makespans are evaluated through a memoized
+:class:`~repro.perf.evaluator.ScheduleEvaluator`: the random passes revisit
+candidates, and a caller-supplied evaluator shares its cache with whatever
+search produced the input schedule.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.schedule import CoSchedule, predicted_makespan
+from repro.core.schedule import CoSchedule
+from repro.perf.evaluator import ScheduleEvaluator
 from repro.util.rng import default_rng
 
 #: Random-sample count per stochastic pass, as a multiple of the job count.
@@ -33,7 +37,7 @@ RANDOM_MIN_GAIN = 0.002
 
 
 def _adjacent_pass(
-    schedule: CoSchedule, predictor, governor, best_makespan: float
+    schedule: CoSchedule, evaluate: ScheduleEvaluator, best_makespan: float
 ) -> tuple[CoSchedule, float]:
     for side in ("cpu", "gpu"):
         queue = list(schedule.cpu_queue if side == "cpu" else schedule.gpu_queue)
@@ -44,7 +48,7 @@ def _adjacent_pass(
                 if side == "cpu"
                 else schedule.with_queues(schedule.cpu_queue, queue)
             )
-            m = predicted_makespan(candidate, predictor, governor)
+            m = evaluate(candidate)
             if m < best_makespan * (1.0 - ADJACENT_MIN_GAIN):
                 schedule, best_makespan = candidate, m
             else:
@@ -54,8 +58,7 @@ def _adjacent_pass(
 
 def _random_intra_pass(
     schedule: CoSchedule,
-    predictor,
-    governor,
+    evaluate: ScheduleEvaluator,
     best_makespan: float,
     rng: np.random.Generator,
     n_samples: int,
@@ -77,7 +80,7 @@ def _random_intra_pass(
             if side == "cpu"
             else schedule.with_queues(schedule.cpu_queue, queue)
         )
-        m = predicted_makespan(candidate, predictor, governor)
+        m = evaluate(candidate)
         if m < best_makespan * (1.0 - RANDOM_MIN_GAIN):
             schedule, best_makespan = candidate, m
     return schedule, best_makespan
@@ -85,8 +88,7 @@ def _random_intra_pass(
 
 def _random_cross_pass(
     schedule: CoSchedule,
-    predictor,
-    governor,
+    evaluate: ScheduleEvaluator,
     best_makespan: float,
     rng: np.random.Generator,
     n_samples: int,
@@ -100,7 +102,7 @@ def _random_cross_pass(
         j = int(rng.integers(len(gpu)))
         cpu[i], gpu[j] = gpu[j], cpu[i]
         candidate = schedule.with_queues(cpu, gpu)
-        m = predicted_makespan(candidate, predictor, governor)
+        m = evaluate(candidate)
         if m < best_makespan * (1.0 - RANDOM_MIN_GAIN):
             schedule, best_makespan = candidate, m
     return schedule, best_makespan
@@ -113,17 +115,24 @@ def refine_schedule(
     *,
     seed: int | np.random.Generator | None = None,
     n_samples: int | None = None,
+    evaluator: ScheduleEvaluator | None = None,
 ) -> CoSchedule:
-    """Apply the three refinement passes; returns the improved schedule."""
+    """Apply the three refinement passes; returns the improved schedule.
+
+    ``evaluator`` (optional) supplies a shared memoized makespan evaluator;
+    when omitted a private one is created, which still de-duplicates
+    re-visited candidates within this call.
+    """
     rng = default_rng(seed)
     if n_samples is None:
         n_samples = max(1, SAMPLES_PER_JOB * schedule.n_jobs)
-    best = predicted_makespan(schedule, predictor, governor)
-    schedule, best = _adjacent_pass(schedule, predictor, governor, best)
-    schedule, best = _random_intra_pass(
-        schedule, predictor, governor, best, rng, n_samples
+    evaluate = (
+        evaluator
+        if evaluator is not None
+        else ScheduleEvaluator(predictor, governor)
     )
-    schedule, best = _random_cross_pass(
-        schedule, predictor, governor, best, rng, n_samples
-    )
+    best = evaluate(schedule)
+    schedule, best = _adjacent_pass(schedule, evaluate, best)
+    schedule, best = _random_intra_pass(schedule, evaluate, best, rng, n_samples)
+    schedule, best = _random_cross_pass(schedule, evaluate, best, rng, n_samples)
     return schedule

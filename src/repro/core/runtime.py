@@ -14,11 +14,18 @@ This is the main entry point for library users::
     hcs = runtime.run_hcs(refine=True)
     random_mean = runtime.random_average(n=20).mean_makespan_s
     print(random_mean / hcs.makespan_s)   # speedup over Random
+
+The runtime is wired through :mod:`repro.perf`: the predictor is wrapped in
+a shared evaluation cache (``cache``), profiling and characterization
+optionally persist to disk (``disk_cache`` / ``REPRO_CACHE_DIR``), and the
+parallelizable steps fan out over ``executor`` (``"serial"``, ``"threads"``,
+``"processes"``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from collections.abc import Sequence
 
 import numpy as np
@@ -45,17 +52,27 @@ from repro.core.bounds import lower_bound
 from repro.core.freqpolicy import Bias, BiasedGovernor, ModelGovernor
 from repro.core.hcs import HcsResult, hcs_schedule
 from repro.core.schedule import CoSchedule
+from repro.perf.cache import EvalCache
+from repro.perf.diskcache import resolve_disk_cache
+from repro.perf.evaluator import CachingPredictor
+from repro.perf.executor import make_executor
 from repro.util.rng import default_rng, spawn_rng
 
 
 @dataclass(frozen=True)
 class ScheduleOutcome:
-    """A schedule plus its measured (simulated ground-truth) execution."""
+    """A schedule plus its measured (simulated ground-truth) execution.
+
+    ``cache_stats`` is a snapshot of the runtime's shared evaluation-cache
+    counters taken when the outcome was produced (``None`` for outcomes
+    built outside a runtime).
+    """
 
     policy: str
     schedule: CoSchedule | None
     execution: ScheduleExecution
     scheduling_time_s: float = 0.0
+    cache_stats: dict[str, float] | None = None
 
     @property
     def makespan_s(self) -> float:
@@ -73,6 +90,11 @@ class RandomAverage:
         return float(np.mean([o.makespan_s for o in self.outcomes]))
 
 
+def _random_outcome_task(seed, runtime: "CoScheduleRuntime", bias: Bias):
+    """One Random-baseline sample (module-level for process-pool pickling)."""
+    return runtime.run_random(seed=seed, bias=bias)
+
+
 class CoScheduleRuntime:
     """End-to-end co-scheduling runtime over one processor and job set."""
 
@@ -83,17 +105,32 @@ class CoScheduleRuntime:
         processor: IntegratedProcessor | None = None,
         cap_w: float = DEFAULT_POWER_CAP_W,
         space: DegradationSpace | None = None,
+        executor=None,
+        cache: EvalCache | None = None,
+        disk_cache=None,
     ) -> None:
         if not jobs:
             raise ValueError("need at least one job")
         self.processor = processor if processor is not None else make_ivy_bridge()
         self.jobs = tuple(jobs)
         self.cap_w = cap_w
-        self.table = profile_workload(self.processor, self.jobs)
-        self.space = (
-            space if space is not None else characterize_space(self.processor)
+        self.executor = make_executor(executor)
+        self.cache = cache if cache is not None else EvalCache()
+        disk = resolve_disk_cache(disk_cache)
+        self.table = profile_workload(
+            self.processor, self.jobs, executor=self.executor, disk_cache=disk
         )
-        self.predictor = CoRunPredictor(self.processor, self.table, self.space)
+        self.space = (
+            space
+            if space is not None
+            else characterize_space(
+                self.processor, executor=self.executor, disk_cache=disk
+            )
+        )
+        self.predictor = CachingPredictor(
+            CoRunPredictor(self.processor, self.table, self.space),
+            cache=self.cache,
+        )
 
     # ------------------------------------------------------------------
     # Policies
@@ -120,6 +157,7 @@ class CoScheduleRuntime:
             schedule=result.schedule,
             execution=execution,
             scheduling_time_s=result.scheduling_time_s,
+            cache_stats=self.cache.snapshot(),
         )
 
     def run_random(self, *, seed=None, bias: Bias = Bias.GPU) -> ScheduleOutcome:
@@ -129,17 +167,29 @@ class CoScheduleRuntime:
         source = RandomOnlineSource(self.jobs, seed=seed)
         governor = BiasedGovernor(self.predictor, self.cap_w, bias)
         execution = execute_online(self.processor, source, governor)
-        return ScheduleOutcome(policy="random", schedule=None, execution=execution)
+        return ScheduleOutcome(
+            policy="random",
+            schedule=None,
+            execution=execution,
+            cache_stats=self.cache.snapshot(),
+        )
 
     def random_average(
-        self, *, n: int = 20, seed=None, bias: Bias = Bias.GPU
+        self, *, n: int = 20, seed=None, bias: Bias = Bias.GPU, executor=None
     ) -> RandomAverage:
-        """Average of ``n`` Random runs with independent seeds (paper: 20)."""
+        """Average of ``n`` Random runs with independent seeds (paper: 20).
+
+        The repetitions are independent and fan out over ``executor``
+        (default: the runtime's executor); results are identical across
+        backends because every repetition is seeded up front.
+        """
         rng = default_rng(seed)
-        outcomes = tuple(
-            self.run_random(seed=r, bias=bias) for r in spawn_rng(rng, n)
+        pool = self.executor if executor is None else make_executor(executor)
+        outcomes = pool.map(
+            partial(_random_outcome_task, runtime=self, bias=bias),
+            spawn_rng(rng, n),
         )
-        return RandomAverage(outcomes=outcomes)
+        return RandomAverage(outcomes=tuple(outcomes))
 
     def run_default(
         self,
@@ -158,7 +208,12 @@ class CoScheduleRuntime:
             cs_overhead=cs_overhead,
         )
         policy = "default_g" if bias is Bias.GPU else "default_c"
-        return ScheduleOutcome(policy=policy, schedule=None, execution=execution)
+        return ScheduleOutcome(
+            policy=policy,
+            schedule=None,
+            execution=execution,
+            cache_stats=self.cache.snapshot(),
+        )
 
     # ------------------------------------------------------------------
     # Analysis helpers
@@ -181,3 +236,7 @@ class CoScheduleRuntime:
             self.predictor, self.jobs, self.cap_w, deg_source=deg_source
         )
         return bound
+
+    def perf_stats(self) -> dict[str, float]:
+        """Evaluation-layer counters (cache hits/misses/entries, hit rate)."""
+        return self.cache.snapshot()

@@ -1,0 +1,29 @@
+"""Library-wide exception types.
+
+Kept dependency-free so every layer (hardware, model, core, perf) can raise
+them without import cycles.
+"""
+
+from __future__ import annotations
+
+
+class InfeasibleCapError(RuntimeError, ValueError):
+    """No frequency setting satisfies the power cap for the given job(s).
+
+    Raised by the governors and the predictor's cap-feasibility helpers at
+    the moment a frequency *choice* is required and the cap admits nothing —
+    instead of a silent fallback or an opaque downstream failure.  Subclasses
+    both ``RuntimeError`` and ``ValueError`` so callers written against the
+    historical error types keep working.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        cap_w: float | None = None,
+        jobs: tuple[str, ...] = (),
+    ) -> None:
+        super().__init__(message)
+        self.cap_w = cap_w
+        self.jobs = tuple(jobs)

@@ -32,10 +32,11 @@ def run(
     n_random: int = 20,
     name: str = "fig10",
     paper_speedups: dict[str, float] | None = None,
+    executor: str | None = None,
 ) -> ExperimentResult:
     if paper_speedups is None:
         paper_speedups = PAPER_SPEEDUPS
-    runtime = default_runtime(instances=instances, cap_w=cap_w)
+    runtime = default_runtime(instances=instances, cap_w=cap_w, executor=executor)
 
     random_mean = runtime.random_average(n=n_random).mean_makespan_s
     outcomes = {
@@ -70,6 +71,7 @@ def run(
         title=f"Speedup over Random ({8 * instances} instances, "
         f"TDP={cap_w:.0f} W)",
         headline=headline,
+        perf=runtime.perf_stats(),
     )
     result.add_section(
         "makespans and speedups",

@@ -15,11 +15,16 @@ from repro.experiments.common import ExperimentResult, default_runtime
 from repro.util.tables import format_table
 
 
-def run(cap_w: float = DEFAULT_POWER_CAP_W) -> ExperimentResult:
+def run(
+    cap_w: float = DEFAULT_POWER_CAP_W, *, executor: str | None = None
+) -> ExperimentResult:
     rows = []
     headline = {}
+    perf: dict[str, float] = {}
     for instances, label in ((1, "8 jobs"), (2, "16 jobs")):
-        runtime = default_runtime(instances=instances, cap_w=cap_w)
+        runtime = default_runtime(
+            instances=instances, cap_w=cap_w, executor=executor
+        )
         for refine, policy in ((False, "hcs"), (True, "hcs+")):
             outcome = runtime.run_hcs(refine=refine)
             frac = outcome.scheduling_time_s / outcome.makespan_s
@@ -28,11 +33,13 @@ def run(cap_w: float = DEFAULT_POWER_CAP_W) -> ExperimentResult:
                  outcome.makespan_s, 100 * frac)
             )
             headline[f"{policy}_{instances}x_overhead_frac"] = frac
+        perf = runtime.perf_stats()
 
     result = ExperimentResult(
         name="overhead",
         title="Scheduling overhead (paper: < 0.1% of the makespan)",
         headline=headline,
+        perf=perf,
     )
     result.add_section(
         "scheduling cost vs makespan",

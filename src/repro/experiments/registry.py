@@ -1,7 +1,17 @@
-"""Experiment registry: name -> driver, for the CLI and the benchmarks."""
+"""Experiment registry: name -> driver, for the CLI and the benchmarks.
+
+Drivers historically exposed heterogeneous keyword signatures (some take
+``cap_w``, some ``seed``, some neither).  :func:`run_experiment` now
+accepts one uniform set of overrides — ``seed``, ``cap_w``, ``executor``
+(or a bundled :class:`ExperimentConfig`) — and routes each override only
+to the drivers whose signature accepts it, so callers never need to know
+which experiment takes what.
+"""
 
 from __future__ import annotations
 
+import inspect
+from dataclasses import dataclass
 from collections.abc import Callable
 
 from repro.experiments import (
@@ -27,7 +37,7 @@ from repro.experiments import (
 from repro.experiments.common import ExperimentResult
 
 #: All experiment drivers, in the order they appear in the paper.
-EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig2": fig2.run,
     "sec3": sec3_example.run,
     "fig5": fig5_fig6.run,
@@ -50,7 +60,33 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
 }
 
 
-def get_experiment(name: str) -> Callable[[], ExperimentResult]:
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Uniform experiment overrides.
+
+    Every field defaults to "leave the driver's own default alone"; set a
+    field to override it for any driver that supports it.  ``executor`` is
+    a string spec (``"serial"``/``"threads"``/``"processes[:N]"``) so it
+    can flow through cached runtimes.
+    """
+
+    seed: int | None = None
+    cap_w: float | None = None
+    executor: str | None = None
+
+    def overrides(self) -> dict[str, object]:
+        """The non-default fields as a kwargs dict."""
+        out: dict[str, object] = {}
+        if self.seed is not None:
+            out["seed"] = self.seed
+        if self.cap_w is not None:
+            out["cap_w"] = self.cap_w
+        if self.executor is not None:
+            out["executor"] = self.executor
+        return out
+
+
+def get_experiment(name: str) -> Callable[..., ExperimentResult]:
     """Look up a driver; raises ``KeyError`` with the available names."""
     try:
         return EXPERIMENTS[name]
@@ -60,6 +96,48 @@ def get_experiment(name: str) -> Callable[[], ExperimentResult]:
         ) from None
 
 
-def run_experiment(name: str) -> ExperimentResult:
-    """Run one experiment by name."""
-    return get_experiment(name)()
+def _accepted(driver: Callable[..., ExperimentResult]) -> set[str] | None:
+    """Parameter names ``driver`` accepts (None = accepts anything)."""
+    params = inspect.signature(driver).parameters
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()):
+        return None
+    return {
+        name
+        for name, p in params.items()
+        if p.kind
+        in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        )
+    }
+
+
+def run_experiment(
+    name: str,
+    *,
+    seed: int | None = None,
+    cap_w: float | None = None,
+    executor: str | None = None,
+    config: ExperimentConfig | None = None,
+) -> ExperimentResult:
+    """Run one experiment by name, with optional uniform overrides.
+
+    ``seed``/``cap_w``/``executor`` (or an :class:`ExperimentConfig`
+    bundling them — explicit keywords win over the bundle) are forwarded
+    only to drivers whose signatures accept them; an override a driver
+    does not understand is silently skipped rather than raising, so the
+    same config can drive the whole suite.
+    """
+    driver = get_experiment(name)
+    merged = ExperimentConfig(
+        seed=seed if seed is not None else (config.seed if config else None),
+        cap_w=cap_w if cap_w is not None else (config.cap_w if config else None),
+        executor=executor
+        if executor is not None
+        else (config.executor if config else None),
+    )
+    kwargs = merged.overrides()
+    accepted = _accepted(driver)
+    if accepted is not None:
+        kwargs = {k: v for k, v in kwargs.items() if k in accepted}
+    return driver(**kwargs)

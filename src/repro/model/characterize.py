@@ -11,14 +11,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.hardware.device import DeviceKind
 from repro.hardware.frequency import FrequencySetting
 from repro.hardware.processor import IntegratedProcessor
 from repro.workload.microbench import micro_benchmark, micro_grid_levels
-from repro.engine.corun import steady_degradation
 from repro.engine.standalone import standalone_run
 from repro.model.interpolation import BilinearGrid
 from repro.model.space import DegradationSpace, StagedDegradationSpace
+from repro.perf.cache import EvalCache, fingerprint
+from repro.perf.diskcache import resolve_disk_cache
+from repro.perf.parallel import map_pair_degradations
 
 
 def characterize_space(
@@ -26,15 +27,62 @@ def characterize_space(
     *,
     setting: FrequencySetting | None = None,
     n_levels: int = 11,
+    executor=None,
+    cache: EvalCache | None = None,
+    disk_cache=None,
 ) -> DegradationSpace:
     """Build the degradation space by sweeping micro-benchmark co-runs.
 
     ``setting`` is the frequency pair the characterization runs at (default:
     both devices at maximum — the paper's choice); ``n_levels`` is the grid
     resolution per axis (paper: 11).
+
+    The sweep is a pure function of its inputs, so it is memoized: in memory
+    via ``cache`` (an :class:`~repro.perf.cache.EvalCache`), on disk via
+    ``disk_cache`` (a directory, a :class:`~repro.perf.diskcache.DiskCache`,
+    or the ``REPRO_CACHE_DIR`` environment variable).  The 121 co-runs fan
+    out over ``executor`` (see :func:`repro.perf.make_executor`).
     """
     if setting is None:
         setting = processor.max_setting
+    key = ("characterize", fingerprint(processor, setting, n_levels))
+    if cache is not None:
+        return cache.get_or_compute(
+            key,
+            lambda: _characterize_uncached(
+                processor, setting, n_levels, executor, key[1], disk_cache
+            ),
+        )
+    return _characterize_uncached(
+        processor, setting, n_levels, executor, key[1], disk_cache
+    )
+
+
+def _characterize_uncached(
+    processor: IntegratedProcessor,
+    setting: FrequencySetting,
+    n_levels: int,
+    executor,
+    digest: str,
+    disk_cache,
+) -> DegradationSpace:
+    disk = resolve_disk_cache(disk_cache)
+    if disk is not None:
+        hit = disk.load(digest)
+        if isinstance(hit, DegradationSpace):
+            return hit
+    space = _characterize_sweep(processor, setting, n_levels, executor)
+    if disk is not None:
+        disk.store(digest, space)
+    return space
+
+
+def _characterize_sweep(
+    processor: IntegratedProcessor,
+    setting: FrequencySetting,
+    n_levels: int,
+    executor,
+) -> DegradationSpace:
     # The sweep tops out at the platform's streaming capability: the paper's
     # 0-11 GB/s range is exactly its device limit.
     max_gbps = min(
@@ -61,16 +109,18 @@ def characterize_space(
         ]
     )
 
+    # The 121 co-runs are independent; fan them out over the executor.
+    pairs = [
+        (cpu_micro, gpu_micro) for cpu_micro in micros for gpu_micro in micros
+    ]
+    degradations = map_pair_degradations(executor, processor, setting, pairs)
+
     cpu_deg = np.zeros((n_levels, n_levels))
     gpu_deg = np.zeros((n_levels, n_levels))
-    for i, cpu_micro in enumerate(micros):
-        for j, gpu_micro in enumerate(micros):
-            cpu_deg[i, j] = steady_degradation(
-                processor, cpu_micro, DeviceKind.CPU, gpu_micro, setting
-            )
-            gpu_deg[i, j] = steady_degradation(
-                processor, gpu_micro, DeviceKind.GPU, cpu_micro, setting
-            )
+    for flat, (d_c, d_g) in enumerate(degradations):
+        i, j = divmod(flat, n_levels)
+        cpu_deg[i, j] = d_c
+        gpu_deg[i, j] = d_g
 
     return DegradationSpace(
         levels_gbps=levels,
@@ -85,6 +135,9 @@ def characterize_staged_space(
     *,
     anchor_settings: list[FrequencySetting] | None = None,
     n_levels: int = 11,
+    executor=None,
+    cache: EvalCache | None = None,
+    disk_cache=None,
 ) -> StagedDegradationSpace:
     """Characterize the space at several frequency anchors (full staging).
 
@@ -101,7 +154,14 @@ def characterize_staged_space(
             FrequencySetting(cpu_dom.fmin, gpu_dom.fmin),
         ]
     anchors = tuple(
-        characterize_space(processor, setting=s, n_levels=n_levels)
+        characterize_space(
+            processor,
+            setting=s,
+            n_levels=n_levels,
+            executor=executor,
+            cache=cache,
+            disk_cache=disk_cache,
+        )
         for s in anchor_settings
     )
     return StagedDegradationSpace(anchors=anchors)

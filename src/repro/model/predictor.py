@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import InfeasibleCapError
 from repro.hardware.device import DeviceKind
 from repro.hardware.frequency import FrequencySetting
 from repro.hardware.processor import IntegratedProcessor
@@ -119,18 +120,37 @@ class CoRunPredictor:
             f for f in domain.levels if self.solo_power_w(uid, kind, f) <= cap_w
         ]
 
+    def require_feasible_pair_settings(
+        self, cpu_uid: str, gpu_uid: str, cap_w: float
+    ) -> list[FrequencySetting]:
+        """Like :meth:`feasible_pair_settings`, but an empty result raises
+        :class:`~repro.errors.InfeasibleCapError` instead of returning an
+        empty list a caller might silently mishandle."""
+        feasible = self.feasible_pair_settings(cpu_uid, gpu_uid, cap_w)
+        if not feasible:
+            raise InfeasibleCapError(
+                f"no frequency setting keeps pair ({cpu_uid}, {gpu_uid}) "
+                f"within the {cap_w} W cap",
+                cap_w=cap_w,
+                jobs=(cpu_uid, gpu_uid),
+            )
+        return feasible
+
     def best_solo(
         self, uid: str, kind: DeviceKind, cap_w: float
     ) -> tuple[float, float]:
         """(frequency, time) of the fastest cap-feasible standalone run.
 
-        Raises ``ValueError`` when even the lowest level exceeds the cap —
-        the job cannot legally run on that device.
+        Raises :class:`~repro.errors.InfeasibleCapError` when even the
+        lowest level exceeds the cap — the job cannot legally run on that
+        device.
         """
         feasible = self.feasible_solo_levels(uid, kind, cap_w)
         if not feasible:
-            raise ValueError(
-                f"{uid} cannot run on {kind} under a {cap_w} W cap at any level"
+            raise InfeasibleCapError(
+                f"{uid} cannot run on {kind} under a {cap_w} W cap at any level",
+                cap_w=cap_w,
+                jobs=(uid,),
             )
         best_f = min(feasible, key=lambda f: self.table.time_s(uid, kind, f))
         return best_f, self.table.time_s(uid, kind, best_f)

@@ -13,6 +13,7 @@ exhaustive pair profiling.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from collections.abc import Sequence
 
 import numpy as np
@@ -21,6 +22,9 @@ from repro.hardware.device import DeviceKind
 from repro.hardware.processor import IntegratedProcessor
 from repro.workload.program import Job
 from repro.engine.standalone import standalone_power_w, standalone_run
+from repro.perf.cache import EvalCache, fingerprint
+from repro.perf.diskcache import resolve_disk_cache
+from repro.perf.executor import make_executor
 
 
 @dataclass(frozen=True)
@@ -85,30 +89,73 @@ class ProfileTable:
         return [j.uid for j in self.jobs]
 
 
+def _job_device_profile(task, processor: IntegratedProcessor):
+    """One job's standalone sweep on one device (a picklable executor task)."""
+    job, kind = task
+    device = processor.device(kind)
+    levels = device.domain.levels
+    times = np.empty(len(levels))
+    demands = np.empty(len(levels))
+    own = np.empty(len(levels))
+    chip = np.empty(len(levels))
+    for idx, f in enumerate(levels):
+        run = standalone_run(job.profile, device, f)
+        times[idx] = run.time_s
+        demands[idx] = run.demand_gbps
+        own[idx], chip[idx] = standalone_power_w(job.profile, processor, kind, f)
+    return _JobProfile(
+        time_s=times, demand_gbps=demands, own_power_w=own, chip_power_w=chip
+    )
+
+
 def profile_workload(
-    processor: IntegratedProcessor, jobs: Sequence[Job]
+    processor: IntegratedProcessor,
+    jobs: Sequence[Job],
+    *,
+    executor=None,
+    cache: EvalCache | None = None,
+    disk_cache=None,
 ) -> ProfileTable:
-    """Profile every job standalone on both devices at every frequency level."""
+    """Profile every job standalone on both devices at every frequency level.
+
+    Profiling is a pure function of (processor, jobs): ``cache`` memoizes
+    the whole table in memory, ``disk_cache`` persists it across runs (see
+    :mod:`repro.perf.diskcache`), and the N x 2 per-device sweeps fan out
+    over ``executor``.
+    """
     uids = [j.uid for j in jobs]
     if len(set(uids)) != len(uids):
         raise ValueError("job uids must be unique")
-    profiles: dict[tuple[str, DeviceKind], _JobProfile] = {}
-    for job in jobs:
-        for kind in DeviceKind:
-            device = processor.device(kind)
-            levels = device.domain.levels
-            times = np.empty(len(levels))
-            demands = np.empty(len(levels))
-            own = np.empty(len(levels))
-            chip = np.empty(len(levels))
-            for idx, f in enumerate(levels):
-                run = standalone_run(job.profile, device, f)
-                times[idx] = run.time_s
-                demands[idx] = run.demand_gbps
-                own[idx], chip[idx] = standalone_power_w(
-                    job.profile, processor, kind, f
-                )
-            profiles[(job.uid, kind)] = _JobProfile(
-                time_s=times, demand_gbps=demands, own_power_w=own, chip_power_w=chip
-            )
-    return ProfileTable(processor=processor, jobs=tuple(jobs), _profiles=profiles)
+    jobs = tuple(jobs)
+    key = ("profile", fingerprint(processor, jobs))
+    if cache is not None:
+        return cache.get_or_compute(
+            key,
+            lambda: _profile_uncached(processor, jobs, executor, key[1], disk_cache),
+        )
+    return _profile_uncached(processor, jobs, executor, key[1], disk_cache)
+
+
+def _profile_uncached(
+    processor: IntegratedProcessor,
+    jobs: tuple[Job, ...],
+    executor,
+    digest: str,
+    disk_cache,
+) -> ProfileTable:
+    disk = resolve_disk_cache(disk_cache)
+    if disk is not None:
+        hit = disk.load(digest)
+        if isinstance(hit, ProfileTable):
+            return hit
+    tasks = [(job, kind) for job in jobs for kind in DeviceKind]
+    results = make_executor(executor).map(
+        partial(_job_device_profile, processor=processor), tasks
+    )
+    profiles = {
+        (job.uid, kind): prof for (job, kind), prof in zip(tasks, results)
+    }
+    table = ProfileTable(processor=processor, jobs=jobs, _profiles=profiles)
+    if disk is not None:
+        disk.store(digest, table)
+    return table

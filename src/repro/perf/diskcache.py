@@ -1,0 +1,81 @@
+"""Optional on-disk cache for characterization surfaces and profile tables.
+
+Repeated CLI / experiment runs re-pay the two offline costs every time: the
+121-co-run characterization sweep and the per-job standalone profiling.
+Both are pure functions of their content-hashed inputs, so a warm run can
+skip them entirely.  Entries are pickles keyed by :func:`repro.perf.cache.
+fingerprint` digests; writes are atomic (tempfile + rename), and corrupt or
+unreadable entries degrade to a recompute rather than an error.
+
+Enable it by passing ``disk_cache=<dir>`` to the entry points, or globally
+via the ``REPRO_CACHE_DIR`` environment variable (the CLI's ``--cache-dir``
+flag sets the same knob).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+#: Environment variable naming the default on-disk cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+class DiskCache:
+    """A directory of pickled, content-addressed cache entries."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.loads = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def load(self, key: str):
+        """The cached object, or ``None`` on miss/corruption."""
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                value = pickle.load(fh)
+        except (OSError, pickle.PickleError, EOFError, AttributeError):
+            return None
+        self.loads += 1
+        return value
+
+    def store(self, key: str, value) -> None:
+        """Atomically persist ``value`` under ``key`` (best effort)."""
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._path(key))
+            self.stores += 1
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+
+def resolve_disk_cache(spec=None) -> DiskCache | None:
+    """Coerce a disk-cache spec into a :class:`DiskCache` (or ``None``).
+
+    ``None`` consults ``REPRO_CACHE_DIR``; ``False`` disables caching even
+    when the environment variable is set; a path or :class:`DiskCache`
+    passes through.
+    """
+    if spec is False:
+        return None
+    if spec is None:
+        env = os.environ.get(CACHE_DIR_ENV)
+        return DiskCache(env) if env else None
+    if isinstance(spec, DiskCache):
+        return spec
+    return DiskCache(spec)

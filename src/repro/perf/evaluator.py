@@ -1,0 +1,183 @@
+"""Memoized evaluation primitives shared by every scheduler.
+
+:class:`CachingPredictor` wraps any predictor-shaped object (the
+interpolation :class:`~repro.model.predictor.CoRunPredictor`, the oracle,
+the robustness studies' noisy variants) and memoizes its pure hot queries —
+degradations, co-run times, pair powers, cap feasibility — in a shared
+:class:`~repro.perf.cache.EvalCache`.  HCS's greedy pairing, the HCS+
+refinement passes, the GA fitness loop, A*, and brute force all re-ask the
+same (pair, setting) questions thousands of times; with one shared cache
+they each pay only once.
+
+:class:`ScheduleEvaluator` memoizes whole predicted makespans keyed by the
+schedule's uid signature — the quantity HCS+ refinement, GA fitness, and
+brute force minimize.
+
+Both wrappers are exact: a memoized answer is byte-identical to the wrapped
+computation, so cached and uncached searches produce identical schedules.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.perf.cache import EvalCache, ensure_cache
+
+
+class CachingPredictor:
+    """A drop-in predictor wrapper with content-keyed memoization.
+
+    Delegates attribute access (``processor``, ``table``, ``space``, any
+    extra methods) to the wrapped predictor, so it is substitutable wherever
+    a :class:`CoRunPredictor` is expected.
+    """
+
+    def __init__(self, predictor, cache: EvalCache | None = None) -> None:
+        self.inner = predictor
+        self.cache = ensure_cache(cache)
+
+    # -- delegated identity -------------------------------------------------
+    @property
+    def processor(self):
+        return self.inner.processor
+
+    @property
+    def table(self):
+        return self.inner.table
+
+    @property
+    def space(self):
+        return self.inner.space
+
+    def __getattr__(self, name: str):
+        if name.startswith("_") or "inner" not in self.__dict__:
+            raise AttributeError(name)
+        return getattr(self.inner, name)
+
+    # -- memoized hot queries ----------------------------------------------
+    def degradations(self, cpu_uid, gpu_uid, setting):
+        return self.cache.get_or_compute(
+            ("deg", cpu_uid, gpu_uid, setting),
+            lambda: self.inner.degradations(cpu_uid, gpu_uid, setting),
+        )
+
+    def degradation(self, uid, kind, partner_uid, setting):
+        from repro.hardware.device import DeviceKind
+
+        if kind is DeviceKind.CPU:
+            return self.degradations(uid, partner_uid, setting)[0]
+        return self.degradations(partner_uid, uid, setting)[1]
+
+    def corun_times(self, cpu_uid, gpu_uid, setting):
+        return self.cache.get_or_compute(
+            ("corun", cpu_uid, gpu_uid, setting),
+            lambda: self.inner.corun_times(cpu_uid, gpu_uid, setting),
+        )
+
+    def pair_power_w(self, cpu_uid, gpu_uid, setting):
+        return self.cache.get_or_compute(
+            ("power", cpu_uid, gpu_uid, setting),
+            lambda: self.inner.pair_power_w(cpu_uid, gpu_uid, setting),
+        )
+
+    def feasible_pair_settings(self, cpu_uid, gpu_uid, cap_w):
+        feasible = self.cache.get_or_compute(
+            ("feas", cpu_uid, gpu_uid, cap_w),
+            lambda: tuple(
+                self.inner.feasible_pair_settings(cpu_uid, gpu_uid, cap_w)
+            ),
+        )
+        return list(feasible)
+
+    def feasible_solo_levels(self, uid, kind, cap_w):
+        feasible = self.cache.get_or_compute(
+            ("feas_solo", uid, kind, cap_w),
+            lambda: tuple(self.inner.feasible_solo_levels(uid, kind, cap_w)),
+        )
+        return list(feasible)
+
+    def best_solo(self, uid, kind, cap_w):
+        return self.cache.get_or_compute(
+            ("best_solo", uid, kind, cap_w),
+            lambda: self.inner.best_solo(uid, kind, cap_w),
+        )
+
+    # -- cheap table lookups, delegated uncached ----------------------------
+    def solo_time(self, uid, kind, f_ghz):
+        return self.inner.solo_time(uid, kind, f_ghz)
+
+    def solo_power_w(self, uid, kind, f_ghz):
+        return self.inner.solo_power_w(uid, kind, f_ghz)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CachingPredictor({self.inner!r})"
+
+
+def schedule_key(schedule) -> tuple:
+    """The memoization signature of a co-schedule (uids + placements)."""
+    return (
+        "makespan",
+        tuple(j.uid for j in schedule.cpu_queue),
+        tuple(j.uid for j in schedule.gpu_queue),
+        tuple((j.uid, kind) for j, kind in schedule.solo_tail),
+    )
+
+
+class ScheduleEvaluator:
+    """Memoized ``predicted_makespan`` bound to one (predictor, governor).
+
+    The callable interface makes it a drop-in ``evaluate`` function for the
+    brute-force search; ``contains``/``prime`` support batch fan-out (a
+    caller maps uncached schedules across an executor, then primes the
+    results back in).
+    """
+
+    def __init__(self, predictor, governor, cache: EvalCache | None = None):
+        self.predictor = predictor
+        self.governor = governor
+        self.cache = ensure_cache(cache)
+
+    def _compute(self, schedule) -> float:
+        # Imported lazily: repro.core modules import this module at load
+        # time, so a top-level core import here would be circular.
+        from repro.core.schedule import predicted_makespan
+
+        return predicted_makespan(schedule, self.predictor, self.governor)
+
+    def __call__(self, schedule) -> float:
+        return self.cache.get_or_compute(
+            schedule_key(schedule), lambda: self._compute(schedule)
+        )
+
+    #: alias for readability at call sites
+    makespan = __call__
+
+    def contains(self, schedule) -> bool:
+        return schedule_key(schedule) in self.cache
+
+    def prime(self, schedule, value: float) -> None:
+        self.cache.prime(schedule_key(schedule), value)
+
+    def evaluate_all(self, schedules: Sequence, executor=None) -> list[float]:
+        """Evaluate many schedules, fanning uncached ones over ``executor``."""
+        from repro.perf.parallel import map_makespans
+
+        pending: dict[tuple, object] = {}
+        for s in schedules:
+            key = schedule_key(s)
+            if key not in self.cache and key not in pending:
+                pending[key] = s
+        if pending:
+            todo = list(pending.values())
+            values = map_makespans(
+                executor, self.predictor, self.governor, todo
+            )
+            for s, v in zip(todo, values):
+                self.prime(s, v)
+            # fan-out results count as evaluations, not hits
+            self.cache.stats.misses += len(todo)
+            self.cache.stats.hits -= len(todo)
+        return [self(s) for s in schedules]
+
+    def snapshot(self) -> dict[str, float]:
+        return self.cache.snapshot()

@@ -1,0 +1,120 @@
+"""The fan-out abstraction: serial, thread-pool, or process-pool mapping.
+
+Every parallelizable loop in the library (the 121-cell characterization
+sweep, per-job profiling, the Random-baseline repetitions, GA population
+fitness, brute-force enumeration) funnels through ``executor.map``, so one
+``--executor processes`` flag turns the whole pipeline parallel without any
+call site knowing how.
+
+Executors hold no live pools — a pool is opened per ``map`` call — which
+keeps them stateless, picklable (they ride inside ``CoScheduleRuntime``
+across process boundaries), and free of shutdown lifecycle.  ``map`` always
+preserves input order and propagates worker exceptions, so results are
+bitwise-identical across backends for deterministic tasks.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from collections.abc import Callable, Iterable, Sequence
+
+
+def _default_workers() -> int:
+    return max(1, min(8, (os.cpu_count() or 2) - 1))
+
+
+class SerialExecutor:
+    """In-process, in-order mapping (the default; zero overhead)."""
+
+    name = "serial"
+    workers = 1
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        return [fn(item) for item in items]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "SerialExecutor()"
+
+
+class ThreadExecutor:
+    """Thread-pool mapping — wins when tasks release the GIL (numpy)."""
+
+    name = "threads"
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = workers if workers is not None else _default_workers()
+        if self.workers < 1:
+            raise ValueError("need at least one worker")
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        items = list(items)
+        if len(items) <= 1 or self.workers == 1:
+            return [fn(item) for item in items]
+        with concurrent.futures.ThreadPoolExecutor(self.workers) as pool:
+            return list(pool.map(fn, items))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ThreadExecutor(workers={self.workers})"
+
+
+class ProcessExecutor:
+    """Process-pool mapping — true parallelism; tasks must be picklable."""
+
+    name = "processes"
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = workers if workers is not None else _default_workers()
+        if self.workers < 1:
+            raise ValueError("need at least one worker")
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        items = list(items)
+        if len(items) <= 1 or self.workers == 1:
+            return [fn(item) for item in items]
+        chunksize = max(1, len(items) // (self.workers * 4))
+        with concurrent.futures.ProcessPoolExecutor(self.workers) as pool:
+            return list(pool.map(fn, items, chunksize=chunksize))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcessExecutor(workers={self.workers})"
+
+
+#: Executor specs accepted everywhere an ``executor=`` argument appears.
+_BACKENDS = {
+    "serial": SerialExecutor,
+    "threads": ThreadExecutor,
+    "processes": ProcessExecutor,
+}
+
+Executor = SerialExecutor | ThreadExecutor | ProcessExecutor
+
+
+def executor_names() -> Sequence[str]:
+    """The accepted backend names (for CLI choices and error messages)."""
+    return tuple(_BACKENDS)
+
+
+def make_executor(spec=None) -> Executor:
+    """Coerce an executor spec into an executor.
+
+    Accepts ``None`` (serial), an existing executor, or a string spec:
+    ``"serial"``, ``"threads"``, ``"processes"``, optionally with a worker
+    count suffix (``"threads:4"``).
+    """
+    if spec is None:
+        return SerialExecutor()
+    if isinstance(spec, (SerialExecutor, ThreadExecutor, ProcessExecutor)):
+        return spec
+    if isinstance(spec, str):
+        name, _, count = spec.partition(":")
+        if name not in _BACKENDS:
+            raise ValueError(
+                f"unknown executor {name!r}; expected one of "
+                f"{', '.join(_BACKENDS)}"
+            )
+        if name == "serial":
+            return SerialExecutor()
+        workers = int(count) if count else None
+        return _BACKENDS[name](workers)
+    raise TypeError(f"cannot interpret executor spec {spec!r}")

@@ -1,0 +1,47 @@
+"""Picklable task functions for executor fan-out.
+
+Process pools pickle the task callable, so the functions the library maps
+across executors live here at module level (closures would break the
+``processes`` backend).  All tasks are pure functions of their arguments —
+that is what guarantees serial == threads == processes results.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from collections.abc import Sequence
+
+from repro.perf.executor import make_executor
+
+
+def _makespan_task(schedule, predictor, governor) -> float:
+    from repro.core.schedule import predicted_makespan
+
+    return predicted_makespan(schedule, predictor, governor)
+
+
+def map_makespans(executor, predictor, governor, schedules: Sequence) -> list[float]:
+    """Predicted makespans of many schedules, in input order."""
+    fn = partial(_makespan_task, predictor=predictor, governor=governor)
+    return make_executor(executor).map(fn, list(schedules))
+
+
+def _pair_degradation_task(pair, processor, setting):
+    """Both sides' steady degradations for one (cpu, gpu) profile pair."""
+    from repro.engine.corun import steady_degradation
+    from repro.hardware.device import DeviceKind
+
+    cpu_profile, gpu_profile = pair
+    d_c = steady_degradation(
+        processor, cpu_profile, DeviceKind.CPU, gpu_profile, setting
+    )
+    d_g = steady_degradation(
+        processor, gpu_profile, DeviceKind.GPU, cpu_profile, setting
+    )
+    return d_c, d_g
+
+
+def map_pair_degradations(executor, processor, setting, pairs: Sequence):
+    """Steady degradations for many profile pairs, in input order."""
+    fn = partial(_pair_degradation_task, processor=processor, setting=setting)
+    return make_executor(executor).map(fn, list(pairs))

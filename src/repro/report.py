@@ -13,7 +13,7 @@ import time
 from pathlib import Path
 
 from repro import __version__
-from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.registry import EXPERIMENTS, ExperimentConfig, run_experiment
 
 
 def generate_report(
@@ -21,11 +21,13 @@ def generate_report(
     *,
     names: list[str] | None = None,
     echo: bool = True,
+    config: ExperimentConfig | None = None,
 ) -> Path:
     """Run experiments and write their renderings to ``path``.
 
     ``names`` restricts the run (default: the full registry, deduplicated —
-    fig5/fig6 share a driver).
+    fig5/fig6 share a driver).  ``config`` applies uniform overrides
+    (seed, cap, executor) to every driver that supports them.
     """
     path = Path(path)
     chosen = names if names is not None else list(EXPERIMENTS)
@@ -44,7 +46,7 @@ def generate_report(
             continue
         seen_fns.add(fn)
         t0 = time.perf_counter()
-        result = fn()
+        result = run_experiment(name, config=config)
         elapsed = time.perf_counter() - t0
         if echo:
             print(f"[{result.name}] done in {elapsed:.1f}s")

@@ -1,0 +1,115 @@
+"""Unit tests for the fingerprinting and memoization layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.device import DeviceKind
+from repro.perf.cache import CacheStats, EvalCache, ensure_cache, fingerprint
+
+
+class TestFingerprint:
+    def test_deterministic(self, processor):
+        assert fingerprint(processor) == fingerprint(processor)
+
+    def test_distinguishes_values(self):
+        assert fingerprint(1) != fingerprint(2)
+        assert fingerprint(1.0) != fingerprint(1)  # type-tagged
+        assert fingerprint("1") != fingerprint(1)
+        assert fingerprint(True) != fingerprint(1)
+
+    def test_float_precision_preserved(self):
+        a = fingerprint(0.1 + 0.2)
+        b = fingerprint(0.3)
+        assert a != b  # repr() keeps the ULP difference
+
+    def test_containers(self):
+        # sequences canonicalize by content: list vs tuple is not a
+        # semantic difference for a value key
+        assert fingerprint([1, 2]) == fingerprint((1, 2))
+        assert fingerprint([1, 2]) != fingerprint([2, 1])
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+        assert fingerprint({1, 2, 3}) == fingerprint({3, 2, 1})
+
+    def test_enum(self):
+        assert fingerprint(DeviceKind.CPU) != fingerprint(DeviceKind.GPU)
+
+    def test_ndarray(self):
+        a = np.arange(6, dtype=np.float64)
+        b = a.reshape(2, 3)
+        assert fingerprint(a) != fingerprint(b)  # shape matters
+        assert fingerprint(a) != fingerprint(a.astype(np.float32))
+
+    def test_dataclass_sensitivity(self, processor):
+        import dataclasses
+
+        renamed = dataclasses.replace(processor, name=processor.name + "-x")
+        assert fingerprint(processor) != fingerprint(renamed)
+
+    def test_multiple_args_ordered(self):
+        assert fingerprint(1, 2) != fingerprint(2, 1)
+
+    def test_rejects_unhashable_exotics(self):
+        with pytest.raises(TypeError):
+            fingerprint(lambda x: x)
+
+
+class TestEvalCache:
+    def test_get_or_compute_memoizes(self):
+        cache = EvalCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 42
+
+        assert cache.get_or_compute(("k",), compute) == 42
+        assert cache.get_or_compute(("k",), compute) == 42
+        assert len(calls) == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.evaluations == 1
+
+    def test_contains_and_len(self):
+        cache = EvalCache()
+        cache.prime(("a",), 1)
+        assert ("a",) in cache
+        assert ("b",) not in cache
+        assert len(cache) == 1
+
+    def test_eviction_fifo(self):
+        cache = EvalCache(maxsize=2)
+        cache.prime(("a",), 1)
+        cache.prime(("b",), 2)
+        cache.prime(("c",), 3)
+        assert len(cache) == 2
+        assert ("a",) not in cache
+        assert ("c",) in cache
+
+    def test_clear(self):
+        cache = EvalCache()
+        cache.get_or_compute(("k",), lambda: 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 0 and cache.stats.misses == 0
+
+    def test_snapshot_keys(self):
+        snap = EvalCache().snapshot()
+        assert set(snap) == {
+            "cache_hits",
+            "cache_misses",
+            "cache_entries",
+            "cache_hit_rate",
+        }
+
+    def test_hit_rate(self):
+        stats = CacheStats()
+        assert stats.hit_rate == 0.0
+        stats.hits, stats.misses = 3, 1
+        assert stats.hit_rate == pytest.approx(0.75)
+
+    def test_ensure_cache(self):
+        cache = EvalCache()
+        assert ensure_cache(cache) is cache
+        assert isinstance(ensure_cache(None), EvalCache)

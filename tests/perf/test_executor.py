@@ -1,0 +1,72 @@
+"""Executor abstraction: backend parity, specs, and pickling constraints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    executor_names,
+    make_executor,
+)
+
+
+def _square(x):
+    return x * x
+
+
+class TestMakeExecutor:
+    def test_none_is_serial(self):
+        assert isinstance(make_executor(None), SerialExecutor)
+
+    def test_passthrough(self):
+        pool = ThreadExecutor(2)
+        assert make_executor(pool) is pool
+
+    def test_names(self):
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        assert isinstance(make_executor("threads"), ThreadExecutor)
+        assert isinstance(make_executor("processes"), ProcessExecutor)
+
+    def test_worker_suffix(self):
+        assert make_executor("threads:3").workers == 3
+        assert make_executor("processes:2").workers == 2
+
+    def test_unknown_spec(self):
+        with pytest.raises(ValueError):
+            make_executor("gpu-farm")
+        with pytest.raises(ValueError):
+            make_executor("threads:zero")
+
+    def test_registry(self):
+        assert set(executor_names()) == {"serial", "threads", "processes"}
+
+
+class TestMapParity:
+    @pytest.mark.parametrize(
+        "pool",
+        [SerialExecutor(), ThreadExecutor(4), ProcessExecutor(2)],
+        ids=["serial", "threads", "processes"],
+    )
+    def test_order_preserved(self, pool):
+        items = list(range(23))
+        assert pool.map(_square, items) == [x * x for x in items]
+
+    @pytest.mark.parametrize(
+        "pool",
+        [SerialExecutor(), ThreadExecutor(4), ProcessExecutor(2)],
+        ids=["serial", "threads", "processes"],
+    )
+    def test_empty(self, pool):
+        assert pool.map(_square, []) == []
+
+    def test_closure_works_in_threads(self):
+        captured = 10
+        assert ThreadExecutor(2).map(lambda x: x + captured, [1, 2]) == [11, 12]
+
+    def test_reusable_across_calls(self):
+        pool = ProcessExecutor(2)
+        assert pool.map(_square, [3]) == [9]
+        assert pool.map(_square, [4]) == [16]
