@@ -5,6 +5,13 @@ renderings.  ``all`` runs everything in paper order.  Uniform overrides
 (``--seed``, ``--cap-w``, ``--executor``, ``--cache-dir``) apply to every
 selected experiment whose driver supports them (see
 :class:`repro.experiments.registry.ExperimentConfig`).
+
+``python -m repro serve`` starts the online co-scheduling daemon instead
+(see :mod:`repro.service`): it listens for newline-delimited JSON job
+submissions, schedules them live, and reacts to power-cap events.
+
+Exit codes: 0 success, 2 usage/infeasibility (an unknown experiment, or a
+power cap no frequency setting can satisfy).
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ import os
 import sys
 import time
 
+from repro.errors import InfeasibleCapError
 from repro.experiments.registry import (
     EXPERIMENTS,
     ExperimentConfig,
@@ -22,19 +30,82 @@ from repro.experiments.registry import (
 from repro.perf.diskcache import CACHE_DIR_ENV
 
 
+def _serve_parser() -> argparse.ArgumentParser:
+    from repro.core.api import scheduler_names
+    from repro.hardware.calibration import DEFAULT_POWER_CAP_W
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Run the online co-scheduling daemon (newline-delimited JSON "
+            "protocol; see docs/API.md)."
+        ),
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port; 0 picks an ephemeral port (announced on stdout)",
+    )
+    parser.add_argument(
+        "--method", default="hcs", choices=scheduler_names(),
+        help="scheduler consulted when a processor idles (default: hcs)",
+    )
+    parser.add_argument(
+        "--cap-w", type=float, default=DEFAULT_POWER_CAP_W, dest="cap_w",
+        help="initial power cap in watts (changeable at runtime via set_cap)",
+    )
+    parser.add_argument(
+        "--queue-capacity", type=int, default=64, dest="queue_capacity",
+        help="bounded submission queue size (backpressure beyond it)",
+    )
+    parser.add_argument(
+        "--executor", default=None, metavar="SPEC",
+        help="profiling fan-out backend: serial, threads[:N], processes[:N]",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="seed forwarded to stochastic scheduling methods",
+    )
+    return parser
+
+
+def _serve(argv: list[str]) -> int:
+    from repro.service.server import serve
+
+    args = _serve_parser().parse_args(argv)
+    return serve(
+        args.host,
+        args.port,
+        method=args.method,
+        cap_w=args.cap_w,
+        queue_capacity=args.queue_capacity,
+        executor=args.executor,
+        seed=args.seed,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return _serve(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
             "Regenerate the tables and figures of 'Co-Run Scheduling with "
-            "Power Cap on Integrated CPU-GPU Systems' (IPDPS 2017)."
+            "Power Cap on Integrated CPU-GPU Systems' (IPDPS 2017), or run "
+            "the online co-scheduling daemon ('repro serve --help')."
         ),
     )
     parser.add_argument(
         "experiments",
         nargs="+",
         metavar="EXPERIMENT",
-        help=f"one or more of: {', '.join(EXPERIMENTS)}, or 'all'",
+        help=f"one or more of: {', '.join(EXPERIMENTS)}, or 'all'; "
+        "or the 'serve' subcommand",
     )
     parser.add_argument(
         "--quiet", action="store_true", help="print only headline metrics"
@@ -77,6 +148,10 @@ def main(argv: list[str] | None = None) -> int:
             elapsed = time.perf_counter() - t0
         except KeyError as exc:
             print(exc.args[0], file=sys.stderr)
+            return 2
+        except InfeasibleCapError as exc:
+            cap = f" (cap {exc.cap_w} W)" if exc.cap_w is not None else ""
+            print(f"{name}: infeasible power cap{cap}: {exc}", file=sys.stderr)
             return 2
         if args.quiet:
             print(f"[{result.name}] " + "  ".join(

@@ -48,6 +48,8 @@ from repro.errors import InfeasibleCapError
 # stays importable (``from repro.core.schedule import ...``) via sys.modules.
 from repro.core.api import (
     ScheduleResult,
+    Scheduler,
+    make_scheduler,
     register_scheduler,
     schedule,
     scheduler_names,
@@ -93,6 +95,8 @@ __all__ = [
     "ScheduleOutcome",
     "InfeasibleCapError",
     "ScheduleResult",
+    "Scheduler",
+    "make_scheduler",
     "register_scheduler",
     "schedule",
     "scheduler_names",

@@ -38,7 +38,7 @@ from repro.core.bruteforce import brute_force_best
 from repro.core.freqpolicy import ModelGovernor
 from repro.core.schedule import CoSchedule
 from repro.model.characterize import characterize_space
-from repro.model.profiler import profile_workload
+from repro.model.profiler import ProfileTable, extend_table, profile_workload
 from repro.model.predictor import CoRunPredictor
 from repro.perf.cache import EvalCache
 from repro.perf.evaluator import CachingPredictor, ScheduleEvaluator
@@ -189,6 +189,151 @@ def schedule(
             cache_stats=shared_cache.snapshot(),
         )
     return result
+
+
+class Scheduler:
+    """A reusable scheduling front end for repeated (online) calls.
+
+    :func:`schedule` resolves its predictor, governor, evaluator, and cache
+    afresh on every call, which is the right trade for one-shot batch use.
+    A long-running service consults a scheduler every time a processor goes
+    idle, over an ever-changing pending set; this wrapper resolves those
+    pieces once and reuses them across calls, and :meth:`set_cap` /
+    :meth:`set_predictor` rebuild only the cap-dependent pieces while the
+    shared :class:`~repro.perf.cache.EvalCache` stays warm.  Omit
+    ``predictor`` to let the scheduler manage its own model: the space is
+    characterized once and jobs are profiled incrementally the first time
+    a call mentions them.
+
+    Makespan memoization is segregated per cap value (the evaluator's keys
+    carry no cap), so flipping between caps never serves stale scores and
+    returning to a previous cap finds its cache warm.
+    """
+
+    def __init__(
+        self,
+        method: str = "hcs",
+        *,
+        cap_w: float,
+        predictor: CoRunPredictor | CachingPredictor | None = None,
+        processor=None,
+        cache: EvalCache | None = None,
+        executor=None,
+        seed=None,
+        disk_cache=None,
+        **opts,
+    ) -> None:
+        key = method.lower()
+        try:
+            self._adapter = _REGISTRY[key]
+        except KeyError:
+            known = ", ".join(scheduler_names())
+            raise ValueError(
+                f"unknown scheduler {method!r}; known: {known}"
+            ) from None
+        self.method = key
+        self.cache = cache if cache is not None else EvalCache()
+        self.executor = make_executor(executor)
+        self.seed = seed
+        self.opts = opts
+        self.cap_w = cap_w
+        self._eval_caches: dict[float, EvalCache] = {}
+        if predictor is not None:
+            self._table = None
+            if not isinstance(predictor, CachingPredictor):
+                predictor = CachingPredictor(predictor, cache=self.cache)
+            self.predictor = predictor
+        else:
+            # Self-managed model: characterize once, profile jobs lazily as
+            # they first appear in a call (content-cached, so repeats of a
+            # known program cost one lookup).
+            if processor is None:
+                from repro.hardware.calibration import make_ivy_bridge
+
+                processor = make_ivy_bridge()
+            self._processor = processor
+            self._space = characterize_space(
+                processor,
+                executor=self.executor,
+                cache=self.cache,
+                disk_cache=disk_cache,
+            )
+            self._table = ProfileTable(
+                processor=processor, jobs=(), _profiles={}
+            )
+            self.predictor = CachingPredictor(
+                CoRunPredictor(processor, self._table, self._space),
+                cache=self.cache,
+            )
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        self.governor = ModelGovernor(self.predictor, self.cap_w)
+        eval_cache = self._eval_caches.setdefault(self.cap_w, EvalCache())
+        self.evaluator = ScheduleEvaluator(
+            self.predictor, self.governor, cache=eval_cache
+        )
+
+    def set_cap(self, cap_w: float) -> None:
+        """Change the power cap; governor and evaluator are rebuilt."""
+        if cap_w != self.cap_w:
+            self.cap_w = cap_w
+            self._rebuild()
+
+    def set_predictor(
+        self, predictor: CoRunPredictor | CachingPredictor
+    ) -> None:
+        """Swap the predictor (e.g. after its profile table grew)."""
+        if not isinstance(predictor, CachingPredictor):
+            predictor = CachingPredictor(predictor, cache=self.cache)
+        self.predictor = predictor
+        self._table = None  # the caller's predictor owns the table now
+        # Uids are never re-bound to different profiles, so per-cap makespan
+        # memos stay valid across table growth; only the bindings refresh.
+        self._rebuild()
+
+    def _ensure_profiled(self, jobs: Sequence[Job]) -> None:
+        if self._table is None:  # caller-supplied predictor owns the table
+            return
+        missing = [job for job in jobs if job.uid not in self._table]
+        if missing:
+            self._table = extend_table(
+                self._table, missing, executor=self.executor, cache=self.cache
+            )
+            self.predictor = CachingPredictor(
+                CoRunPredictor(self._processor, self._table, self._space),
+                cache=self.cache,
+            )
+            self._rebuild()
+
+    def __call__(self, jobs: Sequence[Job], **opts) -> ScheduleResult:
+        """Compute a co-schedule for ``jobs`` under the current cap."""
+        if not jobs:
+            raise ValueError("cannot schedule an empty job set")
+        self._ensure_profiled(jobs)
+        ctx = _Context(
+            jobs=tuple(jobs),
+            cap_w=self.cap_w,
+            predictor=self.predictor,
+            evaluator=self.evaluator,
+            executor=self.executor,
+            seed=self.seed,
+        )
+        result = self._adapter(ctx, **{**self.opts, **opts})
+        if result.cache_stats is None:
+            result = ScheduleResult(
+                method=result.method,
+                schedule=result.schedule,
+                predicted_makespan_s=result.predicted_makespan_s,
+                details=result.details,
+                cache_stats=self.cache.snapshot(),
+            )
+        return result
+
+
+def make_scheduler(method: str = "hcs", **kwargs) -> Scheduler:
+    """Build a reusable :class:`Scheduler` (see its docstring)."""
+    return Scheduler(method, **kwargs)
 
 
 def _result(

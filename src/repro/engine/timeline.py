@@ -37,6 +37,10 @@ GovernorFn = Callable[[Job | None, Job | None], FrequencySetting]
 
 _MAX_EVENTS = 1_000_000
 
+#: Public alias of the per-advance event budget (used by the service layer
+#: to bound a single incremental step).
+MAX_EVENTS = _MAX_EVENTS
+
 
 @dataclass(frozen=True)
 class ScheduleExecution:
@@ -61,6 +65,13 @@ class ScheduleExecution:
         for c in self.completions:
             if c.job == job_uid:
                 return c.finish_s
+        raise KeyError(f"job {job_uid!r} not in execution record")
+
+    def start_of(self, job_uid: str) -> float:
+        """Launch time of a specific job."""
+        for c in self.completions:
+            if c.job == job_uid:
+                return c.start_s
         raise KeyError(f"job {job_uid!r} not in execution record")
 
 

@@ -77,6 +77,10 @@ class ProfileTable:
         prof, idx = self._lookup(uid, kind, f_ghz)
         return float(prof.chip_power_w[idx])
 
+    def __contains__(self, uid: object) -> bool:
+        """Whether ``uid`` has profiles (both devices are always swept)."""
+        return (uid, DeviceKind.CPU) in self._profiles
+
     def job(self, uid: str) -> Job:
         """The job object behind a uid."""
         for j in self.jobs:
@@ -134,6 +138,64 @@ def profile_workload(
             lambda: _profile_uncached(processor, jobs, executor, key[1], disk_cache),
         )
     return _profile_uncached(processor, jobs, executor, key[1], disk_cache)
+
+
+def extend_table(
+    table: ProfileTable,
+    jobs: Sequence[Job],
+    *,
+    executor=None,
+    cache: EvalCache | None = None,
+) -> ProfileTable:
+    """Profile additional jobs and merge them into a new table.
+
+    The incremental counterpart of :func:`profile_workload` for online use
+    (the :mod:`repro.service` daemon profiles each submission on arrival).
+    Per-(program, device) sweeps are keyed by *profile content* in
+    ``cache``, so repeated submissions of the same program and scale reuse
+    the sweep even though every submission carries a fresh uid.
+    """
+    existing = set(table.uids)
+    new_jobs: list[Job] = []
+    for job in jobs:
+        if job.uid in existing or any(j.uid == job.uid for j in new_jobs):
+            raise ValueError(f"job {job.uid!r} is already profiled")
+        new_jobs.append(job)
+    if not new_jobs:
+        return table
+
+    tasks = [(job, kind) for job in new_jobs for kind in DeviceKind]
+    worker = partial(_job_device_profile, processor=table.processor)
+    if cache is None:
+        results = make_executor(executor).map(worker, tasks)
+    else:
+        keys = [
+            ("solo-sweep", fingerprint(table.processor, job.profile), kind.name)
+            for job, kind in tasks
+        ]
+        missing: dict[tuple, tuple[Job, DeviceKind]] = {}
+        for task, key in zip(tasks, keys):
+            if key not in cache and key not in missing:
+                missing[key] = task
+        computed = dict(
+            zip(
+                missing,
+                make_executor(executor).map(worker, list(missing.values())),
+            )
+        )
+        results = [
+            cache.get_or_compute(key, lambda key=key: computed[key])
+            for key in keys
+        ]
+    profiles = dict(table._profiles)
+    profiles.update(
+        {(job.uid, kind): prof for (job, kind), prof in zip(tasks, results)}
+    )
+    return ProfileTable(
+        processor=table.processor,
+        jobs=table.jobs + tuple(new_jobs),
+        _profiles=profiles,
+    )
 
 
 def _profile_uncached(

@@ -1,0 +1,48 @@
+"""repro.service — the online co-scheduling daemon.
+
+Turns the batch reproduction into a running service: a long-lived daemon
+(:func:`~repro.service.server.serve`, ``repro serve`` on the command line)
+accepts job submissions over a newline-delimited JSON protocol, keeps a
+bounded admission queue with backpressure, schedules arrived jobs with any
+method from the ``repro.core`` registry whenever a processor idles, and
+reacts to live power-cap events mid-run.  See ``docs/API.md`` for the
+protocol schema and a walkthrough.
+"""
+
+from repro.service.client import ServiceClient, ServiceError, ServiceUnavailable
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_request,
+    decode_response,
+    encode,
+)
+from repro.service.queue import AdmissionDecision, JobState, SubmissionQueue
+from repro.service.server import CoScheduleServer, ServiceState, serve
+from repro.service.session import (
+    CompletionRecord,
+    LateRejection,
+    ServiceSession,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "decode_request",
+    "decode_response",
+    "encode",
+    "AdmissionDecision",
+    "JobState",
+    "SubmissionQueue",
+    "ServiceMetrics",
+    "CompletionRecord",
+    "LateRejection",
+    "ServiceSession",
+    "CoScheduleServer",
+    "ServiceState",
+    "serve",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceUnavailable",
+]

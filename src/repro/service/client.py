@@ -1,0 +1,109 @@
+"""Synchronous client for the co-scheduling daemon.
+
+One TCP connection, blocking request/response, no dependencies beyond the
+stdlib — intended for tests, scripts, and the CI smoke check.  Responses
+come back as the protocol dataclasses; transport-level problems raise
+:class:`ServiceUnavailable`, daemon-reported errors raise
+:class:`ServiceError` (structured *rejections* do not raise — they are an
+expected answer, carrying the admission-control verdict).
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.service import protocol
+
+
+class ServiceError(RuntimeError):
+    """The daemon answered with an ``error`` response."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+
+
+class ServiceUnavailable(ConnectionError):
+    """The daemon hung up or the connection could not be established."""
+
+
+class ServiceClient:
+    """Blocking line-protocol client (usable as a context manager)."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, *, timeout: float = 60.0
+    ) -> None:
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise ServiceUnavailable(
+                f"cannot connect to {host}:{port}: {exc}"
+            ) from exc
+        self._file = self._sock.makefile("rwb")
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    # ------------------------------------------------------------------
+    def _rpc(self, request):
+        self._file.write(protocol.encode(request))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServiceUnavailable("daemon closed the connection")
+        response = protocol.decode_response(line)
+        if isinstance(response, protocol.ErrorResponse):
+            raise ServiceError(response.code, response.message)
+        return response
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        program: str,
+        *,
+        scale: float = 1.0,
+        uid: str | None = None,
+        arrival_s: float | None = None,
+    ) -> protocol.SubmitResponse | protocol.RejectionResponse:
+        """Submit a job; returns the acceptance or a structured rejection."""
+        return self._rpc(
+            protocol.SubmitRequest(
+                program=program, scale=scale, uid=uid, arrival_s=arrival_s
+            )
+        )
+
+    def set_cap(
+        self, cap_w: float, at_s: float | None = None
+    ) -> protocol.CapResponse:
+        """Change the power cap, now or at a future virtual time."""
+        return self._rpc(protocol.SetCapRequest(cap_w=cap_w, at_s=at_s))
+
+    def advance(self, until_s: float) -> protocol.AdvanceResponse:
+        """Advance the daemon's virtual clock to ``until_s``."""
+        return self._rpc(protocol.AdvanceRequest(until_s=until_s))
+
+    def drain(self) -> protocol.DrainResponse:
+        """Run until every queued and running job has completed."""
+        return self._rpc(protocol.DrainRequest())
+
+    def status(self) -> protocol.StatusResponse:
+        return self._rpc(protocol.StatusRequest())
+
+    def metrics(self) -> dict[str, float]:
+        return self._rpc(protocol.MetricsRequest()).metrics
+
+    def jobs(self) -> list[dict]:
+        return self._rpc(protocol.JobsRequest()).jobs
+
+    def shutdown(self) -> protocol.ShutdownResponse:
+        """Drain in-flight jobs, then stop the daemon."""
+        return self._rpc(protocol.ShutdownRequest())

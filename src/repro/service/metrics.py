@@ -1,0 +1,94 @@
+"""Operational metrics of the co-scheduling daemon.
+
+Counters (monotonic) and gauges (sampled at snapshot time), plus streaming
+turnaround percentiles.  The snapshot merges the perf layer's
+:class:`~repro.perf.cache.EvalCache` counters so one scrape shows both
+service health (queue depth, rejections, cap violations) and evaluation
+efficiency (cache hit rate) — the service's hot path is predictor queries,
+so the hit rate is the single best "are we re-deriving work?" signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def percentile(values: list[float], p: float) -> float:
+    """Nearest-rank percentile (``p`` in [0, 100]) of an unsorted list."""
+    if not values:
+        return 0.0
+    if not 0.0 <= p <= 100.0:
+        raise ValueError("percentile must be within [0, 100]")
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, round(p / 100.0 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+@dataclass
+class ServiceMetrics:
+    """Counters, gauges, and latency aggregates of one daemon instance."""
+
+    submitted: int = 0
+    admitted: int = 0
+    completed: int = 0
+    rejected_backpressure: int = 0
+    rejected_infeasible: int = 0
+    rejected_invalid: int = 0
+    rejected_late: int = 0
+    cap_events: int = 0
+    cap_violations: int = 0
+    requests: int = 0
+    protocol_errors: int = 0
+    turnarounds_s: list[float] = field(default_factory=list)
+
+    @property
+    def rejected(self) -> int:
+        return (
+            self.rejected_backpressure
+            + self.rejected_infeasible
+            + self.rejected_invalid
+            + self.rejected_late
+        )
+
+    def observe_turnaround(self, seconds: float) -> None:
+        self.turnarounds_s.append(seconds)
+
+    def snapshot(
+        self,
+        *,
+        queue_depth: int,
+        running: int,
+        now_s: float,
+        cap_w: float,
+        cache: dict[str, float] | None = None,
+    ) -> dict[str, float]:
+        """One flat scrape of every counter, gauge, and percentile."""
+        out: dict[str, float] = {
+            "submitted": float(self.submitted),
+            "admitted": float(self.admitted),
+            "completed": float(self.completed),
+            "rejected": float(self.rejected),
+            "rejected_backpressure": float(self.rejected_backpressure),
+            "rejected_infeasible": float(self.rejected_infeasible),
+            "rejected_invalid": float(self.rejected_invalid),
+            "rejected_late": float(self.rejected_late),
+            "cap_events": float(self.cap_events),
+            "cap_violations": float(self.cap_violations),
+            "requests": float(self.requests),
+            "protocol_errors": float(self.protocol_errors),
+            "queue_depth": float(queue_depth),
+            "running": float(running),
+            "now_s": float(now_s),
+            "cap_w": float(cap_w),
+            "turnaround_p50_s": percentile(self.turnarounds_s, 50.0),
+            "turnaround_p90_s": percentile(self.turnarounds_s, 90.0),
+            "turnaround_p99_s": percentile(self.turnarounds_s, 99.0),
+            "turnaround_mean_s": (
+                sum(self.turnarounds_s) / len(self.turnarounds_s)
+                if self.turnarounds_s
+                else 0.0
+            ),
+        }
+        if cache is not None:
+            out.update(cache)
+        return out

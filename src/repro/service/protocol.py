@@ -1,0 +1,301 @@
+"""Wire protocol of the co-scheduling daemon.
+
+Newline-delimited JSON, one message per line, both directions.  Every
+message carries a protocol version (``"v"``) and a discriminator
+(``"type"``); the remaining keys map 1:1 onto the fields of the dataclass
+registered for that type.  The codec is strict — unknown types, unknown
+fields, missing required fields, and version mismatches all raise
+:class:`ProtocolError` — so incompatible clients fail loudly at the first
+message instead of mis-scheduling silently.
+
+Requests::
+
+    {"v": 1, "type": "submit", "program": "cfd", "scale": 1.0}
+    {"v": 1, "type": "set_cap", "cap_w": 12.0}
+    {"v": 1, "type": "advance", "until_s": 40.0}
+    {"v": 1, "type": "status"} | {"type": "metrics"} | {"type": "jobs"}
+    {"v": 1, "type": "drain"} | {"type": "shutdown"}
+
+Responses mirror the same envelope with types ``submitted``, ``rejected``,
+``cap``, ``advanced``, ``drained``, ``status``, ``metrics``, ``jobs``,
+``bye``, and ``error``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(ValueError):
+    """A malformed, unknown, or version-incompatible message."""
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SubmitRequest:
+    """Submit one job: a calibrated program name plus an input scale."""
+
+    program: str
+    scale: float = 1.0
+    uid: str | None = None
+    arrival_s: float | None = None
+
+
+@dataclass(frozen=True)
+class SetCapRequest:
+    """Change the power cap, now (``at_s=None``) or at a future time."""
+
+    cap_w: float
+    at_s: float | None = None
+
+
+@dataclass(frozen=True)
+class AdvanceRequest:
+    """Advance the virtual timeline to ``until_s``."""
+
+    until_s: float
+
+
+@dataclass(frozen=True)
+class StatusRequest:
+    pass
+
+
+@dataclass(frozen=True)
+class MetricsRequest:
+    pass
+
+
+@dataclass(frozen=True)
+class JobsRequest:
+    pass
+
+
+@dataclass(frozen=True)
+class DrainRequest:
+    """Run the timeline until every queued and running job completed."""
+
+
+@dataclass(frozen=True)
+class ShutdownRequest:
+    """Drain in-flight jobs, then stop the daemon."""
+
+
+# ----------------------------------------------------------------------
+# Responses
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SubmitResponse:
+    job_id: str
+    state: str
+    arrival_s: float
+    queue_depth: int
+
+
+@dataclass(frozen=True)
+class RejectionResponse:
+    """Structured admission rejection (backpressure, infeasible cap, ...)."""
+
+    code: str
+    message: str
+    job_id: str | None = None
+    cap_w: float | None = None
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    code: str
+    message: str
+
+
+@dataclass(frozen=True)
+class CapResponse:
+    cap_w: float
+    at_s: float
+
+
+@dataclass(frozen=True)
+class CompletionInfo:
+    """One finished job, as reported on the wire."""
+
+    job_id: str
+    program: str
+    kind: str
+    arrival_s: float
+    start_s: float
+    finish_s: float
+    turnaround_s: float
+    cap_at_start_w: float
+    cpu_ghz: float
+    gpu_ghz: float
+    power_at_start_w: float
+
+
+@dataclass(frozen=True)
+class AdvanceResponse:
+    now_s: float
+    completions: list[CompletionInfo] = field(default_factory=list)
+    rejections: list[RejectionResponse] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class DrainResponse:
+    now_s: float
+    completions: list[CompletionInfo] = field(default_factory=list)
+    rejections: list[RejectionResponse] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class StatusResponse:
+    now_s: float
+    cap_w: float
+    queue_depth: int
+    running: list[str]
+    completed: int
+    rejected: int
+    method: str
+
+
+@dataclass(frozen=True)
+class MetricsResponse:
+    metrics: dict[str, float]
+
+
+@dataclass(frozen=True)
+class JobsResponse:
+    jobs: list[dict]
+
+
+@dataclass(frozen=True)
+class ShutdownResponse:
+    now_s: float
+    completions: list[CompletionInfo] = field(default_factory=list)
+
+
+_REQUEST_TYPES = {
+    "submit": SubmitRequest,
+    "set_cap": SetCapRequest,
+    "advance": AdvanceRequest,
+    "status": StatusRequest,
+    "metrics": MetricsRequest,
+    "jobs": JobsRequest,
+    "drain": DrainRequest,
+    "shutdown": ShutdownRequest,
+}
+
+_RESPONSE_TYPES = {
+    "submitted": SubmitResponse,
+    "rejected": RejectionResponse,
+    "error": ErrorResponse,
+    "cap": CapResponse,
+    "advanced": AdvanceResponse,
+    "drained": DrainResponse,
+    "status": StatusResponse,
+    "metrics": MetricsResponse,
+    "jobs": JobsResponse,
+    "bye": ShutdownResponse,
+}
+
+# Class -> wire name.  Request and response namespaces overlap (e.g.
+# "status" names both a request and a response), so invert each table on
+# its own rather than merging by name first.
+_TYPE_OF = {
+    cls: name
+    for table in (_REQUEST_TYPES, _RESPONSE_TYPES)
+    for name, cls in table.items()
+}
+
+#: Fields that hold lists of nested message dataclasses, per class.
+_NESTED = {
+    AdvanceResponse: {
+        "completions": CompletionInfo, "rejections": RejectionResponse,
+    },
+    DrainResponse: {
+        "completions": CompletionInfo, "rejections": RejectionResponse,
+    },
+    ShutdownResponse: {"completions": CompletionInfo},
+}
+
+
+def encode(message) -> bytes:
+    """Serialize a request/response dataclass to one JSON line."""
+    try:
+        kind = _TYPE_OF[type(message)]
+    except KeyError:
+        raise ProtocolError(
+            f"{type(message).__name__} is not a protocol message"
+        ) from None
+    payload = {"v": PROTOCOL_VERSION, "type": kind}
+    payload.update(dataclasses.asdict(message))
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode()
+
+
+def _build(cls, fields: dict):
+    allowed = {f.name: f for f in dataclasses.fields(cls)}
+    unknown = set(fields) - set(allowed)
+    if unknown:
+        raise ProtocolError(
+            f"unknown field(s) for {cls.__name__}: {', '.join(sorted(unknown))}"
+        )
+    required = {
+        name
+        for name, f in allowed.items()
+        if f.default is dataclasses.MISSING
+        and f.default_factory is dataclasses.MISSING
+    }
+    missing = required - set(fields)
+    if missing:
+        raise ProtocolError(
+            f"missing field(s) for {cls.__name__}: {', '.join(sorted(missing))}"
+        )
+    nested = _NESTED.get(cls, {})
+    built = dict(fields)
+    for name, item_cls in nested.items():
+        if name in built:
+            built[name] = [_build(item_cls, item) for item in built[name]]
+    try:
+        return cls(**built)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad {cls.__name__}: {exc}") from None
+
+
+def _decode(line: str | bytes, table: dict):
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    line = line.strip()
+    if not line:
+        raise ProtocolError("empty message")
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError("message must be a JSON object")
+    version = payload.pop("v", None)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version!r} "
+            f"(this daemon speaks v{PROTOCOL_VERSION})"
+        )
+    kind = payload.pop("type", None)
+    try:
+        cls = table[kind]
+    except KeyError:
+        raise ProtocolError(f"unknown message type {kind!r}") from None
+    return _build(cls, payload)
+
+
+def decode_request(line: str | bytes):
+    """Parse one request line into its dataclass (or raise ProtocolError)."""
+    return _decode(line, _REQUEST_TYPES)
+
+
+def decode_response(line: str | bytes):
+    """Parse one response line into its dataclass (or raise ProtocolError)."""
+    return _decode(line, _RESPONSE_TYPES)

@@ -1,0 +1,199 @@
+"""Bounded submission queue, admission control, and the daemon's job table.
+
+Admission is decided *before* a job touches the scheduling session, in
+three checks, each with a structured rejection code the client can act on:
+
+``backpressure``
+    The bounded queue (jobs admitted but not yet started) is full.  The
+    client should retry later — the open-system analogue of a 429.
+``duplicate``
+    The submitted uid is already known.  Resubmitting under a fresh uid is
+    safe; silently double-scheduling is not.
+``infeasible_cap``
+    No frequency setting on either device admits the job under the power
+    cap in force — the structured counterpart of
+    :class:`~repro.errors.InfeasibleCapError` for the online setting,
+    where raising a server-side exception per doomed submission would tear
+    down the connection instead of informing the client.
+
+The queue also keeps the authoritative per-job lifecycle record
+(``queued -> running -> done``, or ``rejected``), which the status/jobs
+endpoints report.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from collections.abc import Callable
+
+from repro.workload.program import Job
+
+
+class JobState(enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    REJECTED = "rejected"
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    admitted: bool
+    code: str = "ok"
+    message: str = ""
+
+
+@dataclass
+class JobRecord:
+    """Lifecycle of one submission."""
+
+    job_id: str
+    program: str
+    scale: float
+    state: JobState
+    arrival_s: float
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "program": self.program,
+            "scale": self.scale,
+            "state": self.state.value,
+            "arrival_s": self.arrival_s,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class SubmissionQueue:
+    """Bounded admission queue plus the job lifecycle table.
+
+    ``capacity`` bounds the number of *queued* submissions (admitted, not
+    yet started); running and finished jobs do not count against it, so a
+    drained system always accepts new work.
+    """
+
+    capacity: int = 64
+    _records: dict[str, JobRecord] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def try_admit(
+        self,
+        job: Job,
+        *,
+        cap_w: float,
+        feasible: Callable[[Job], bool],
+    ) -> AdmissionDecision:
+        """Run the admission checks for ``job`` (no state change)."""
+        if job.uid in self._records:
+            return AdmissionDecision(
+                False,
+                code="duplicate",
+                message=f"job id {job.uid!r} was already submitted",
+            )
+        if self.depth >= self.capacity:
+            return AdmissionDecision(
+                False,
+                code="backpressure",
+                message=(
+                    f"submission queue is full ({self.depth}/{self.capacity});"
+                    " retry after some jobs start"
+                ),
+            )
+        if not feasible(job):
+            return AdmissionDecision(
+                False,
+                code="infeasible_cap",
+                message=(
+                    f"no frequency setting admits {job.uid!r} on either "
+                    f"device under the {cap_w} W cap"
+                ),
+            )
+        return AdmissionDecision(True)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def enqueue(
+        self, job_id: str, program: str, scale: float, arrival_s: float
+    ) -> JobRecord:
+        if job_id in self._records:
+            raise ValueError(f"job id {job_id!r} already recorded")
+        record = JobRecord(
+            job_id=job_id,
+            program=program,
+            scale=scale,
+            state=JobState.QUEUED,
+            arrival_s=arrival_s,
+        )
+        self._records[job_id] = record
+        return record
+
+    def record_rejection(
+        self, job_id: str, program: str, scale: float, arrival_s: float,
+        detail: str,
+    ) -> JobRecord:
+        """Keep an audit record of a rejected submission (uid stays burned)."""
+        record = JobRecord(
+            job_id=job_id,
+            program=program,
+            scale=scale,
+            state=JobState.REJECTED,
+            arrival_s=arrival_s,
+            detail=detail,
+        )
+        self._records.setdefault(job_id, record)
+        return self._records[job_id]
+
+    def _transition(self, job_id: str, state: JobState, detail: str = "") -> None:
+        try:
+            record = self._records[job_id]
+        except KeyError:
+            raise KeyError(f"unknown job {job_id!r}") from None
+        record.state = state
+        if detail:
+            record.detail = detail
+
+    def mark_running(self, job_id: str) -> None:
+        self._transition(job_id, JobState.RUNNING)
+
+    def mark_done(self, job_id: str) -> None:
+        self._transition(job_id, JobState.DONE)
+
+    def mark_rejected(self, job_id: str, detail: str) -> None:
+        self._transition(job_id, JobState.REJECTED, detail)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Admitted-but-not-started submissions (the bounded quantity)."""
+        return sum(
+            1 for r in self._records.values() if r.state is JobState.QUEUED
+        )
+
+    def count(self, state: JobState) -> int:
+        return sum(1 for r in self._records.values() if r.state is state)
+
+    def record(self, job_id: str) -> JobRecord:
+        return self._records[job_id]
+
+    def records(self) -> list[JobRecord]:
+        return list(self._records.values())
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)

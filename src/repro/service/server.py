@@ -1,0 +1,332 @@
+"""The co-scheduling daemon: socket listener, dispatch, graceful shutdown.
+
+A :class:`socketserver.ThreadingTCPServer` speaks the newline-delimited
+JSON protocol of :mod:`repro.service.protocol`.  Connections are cheap and
+long-lived — a client may hold one open and pipeline requests.  All state
+mutation funnels through :class:`ServiceState`, which serializes access
+with one lock: the simulation itself is strictly ordered virtual time, so
+a single writer is the correctness model, while profiling inside a request
+still fans out over the session's executor.
+
+Shutdown is graceful on SIGTERM/SIGINT and on a ``shutdown`` request:
+in-flight and queued jobs are drained through the simulator before the
+listener stops, so no admitted work is ever lost.
+"""
+
+from __future__ import annotations
+
+import signal
+import socketserver
+import sys
+import threading
+
+from repro.workload.program import Job
+from repro.workload.rodinia import rodinia_programs
+from repro.hardware.calibration import DEFAULT_POWER_CAP_W
+from repro.service import protocol
+from repro.service.metrics import ServiceMetrics
+from repro.service.queue import SubmissionQueue
+from repro.service.session import CompletionRecord, LateRejection, ServiceSession
+
+_BANNER = "repro-service listening on"
+
+
+def _completion_info(record: CompletionRecord) -> protocol.CompletionInfo:
+    return protocol.CompletionInfo(
+        job_id=record.job_id,
+        program=record.program,
+        kind=record.kind,
+        arrival_s=record.arrival_s,
+        start_s=record.start_s,
+        finish_s=record.finish_s,
+        turnaround_s=record.turnaround_s,
+        cap_at_start_w=record.cap_at_start_w,
+        cpu_ghz=record.setting.cpu_ghz,
+        gpu_ghz=record.setting.gpu_ghz,
+        power_at_start_w=record.power_at_start_w,
+    )
+
+
+def _rejection_info(rej: LateRejection) -> protocol.RejectionResponse:
+    return protocol.RejectionResponse(
+        code=rej.code, message=rej.message, job_id=rej.job_id, cap_w=rej.cap_w
+    )
+
+
+class ServiceState:
+    """Everything behind the socket: session, queue, metrics, one lock."""
+
+    def __init__(
+        self,
+        session: ServiceSession,
+        *,
+        queue_capacity: int = 64,
+    ) -> None:
+        self.session = session
+        self.queue = SubmissionQueue(capacity=queue_capacity)
+        self.metrics = ServiceMetrics()
+        self.lock = threading.RLock()
+        self.stopping = threading.Event()
+        self._programs = {p.name: p for p in rodinia_programs()}
+        self._auto_id = 0
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def handle(self, request):
+        with self.lock:
+            self.metrics.requests += 1
+            handler = self._HANDLERS[type(request)]
+            return handler(self, request)
+
+    def _absorb(
+        self,
+        completions: list[CompletionRecord],
+        rejections: list[LateRejection],
+    ) -> tuple[list[protocol.CompletionInfo], list[protocol.RejectionResponse]]:
+        """Fold a session step's outcome into queue records and metrics."""
+        for record in completions:
+            self.queue.mark_done(record.job_id)
+            self.metrics.completed += 1
+            self.metrics.observe_turnaround(record.turnaround_s)
+        for rej in rejections:
+            self.queue.mark_rejected(rej.job_id, rej.message)
+            self.metrics.rejected_late += 1
+        for job in self.session.running.values():
+            self.queue.mark_running(job.uid)
+        self.metrics.cap_violations = self.session.cap_violations
+        return (
+            [_completion_info(r) for r in completions],
+            [_rejection_info(r) for r in rejections],
+        )
+
+    # ------------------------------------------------------------------
+    # Request handlers
+    # ------------------------------------------------------------------
+    def _handle_submit(self, req: protocol.SubmitRequest):
+        self.metrics.submitted += 1
+        profile = self._programs.get(req.program)
+        if profile is None:
+            self.metrics.rejected_invalid += 1
+            return protocol.RejectionResponse(
+                code="unknown_program",
+                message=(
+                    f"unknown program {req.program!r}; calibrated programs: "
+                    + ", ".join(sorted(self._programs))
+                ),
+            )
+        if not req.scale > 0:
+            self.metrics.rejected_invalid += 1
+            return protocol.RejectionResponse(
+                code="invalid_scale",
+                message=f"scale must be positive, got {req.scale}",
+                job_id=req.uid,
+            )
+        if req.uid is not None:
+            job_id = req.uid
+        else:
+            self._auto_id += 1
+            job_id = f"{req.program}#{self._auto_id}"
+        if req.scale != 1.0:
+            profile = profile.scaled(req.scale)
+        job = Job(uid=job_id, profile=profile)
+        arrival = (
+            self.session.now if req.arrival_s is None
+            else max(req.arrival_s, self.session.now)
+        )
+        decision = self.queue.try_admit(
+            job, cap_w=self.session.cap_w, feasible=self.session.admissible
+        )
+        if not decision.admitted:
+            if decision.code == "backpressure":
+                self.metrics.rejected_backpressure += 1
+            elif decision.code == "infeasible_cap":
+                self.metrics.rejected_infeasible += 1
+                self.queue.record_rejection(
+                    job_id, req.program, req.scale, arrival, decision.message
+                )
+            else:
+                self.metrics.rejected_invalid += 1
+            return protocol.RejectionResponse(
+                code=decision.code,
+                message=decision.message,
+                job_id=job_id,
+                cap_w=self.session.cap_w,
+            )
+        self.session.submit(job, arrival)
+        self.queue.enqueue(job_id, req.program, req.scale, arrival)
+        self.metrics.admitted += 1
+        return protocol.SubmitResponse(
+            job_id=job_id,
+            state="queued",
+            arrival_s=arrival,
+            queue_depth=self.queue.depth,
+        )
+
+    def _handle_set_cap(self, req: protocol.SetCapRequest):
+        try:
+            at_s = self.session.set_cap(req.cap_w, req.at_s)
+        except ValueError as exc:
+            return protocol.ErrorResponse(code="bad_request", message=str(exc))
+        self.metrics.cap_events += 1
+        return protocol.CapResponse(cap_w=req.cap_w, at_s=at_s)
+
+    def _handle_advance(self, req: protocol.AdvanceRequest):
+        try:
+            completions, rejections = self.session.advance(req.until_s)
+        except ValueError as exc:
+            return protocol.ErrorResponse(code="bad_request", message=str(exc))
+        done, rejected = self._absorb(completions, rejections)
+        return protocol.AdvanceResponse(
+            now_s=self.session.now, completions=done, rejections=rejected
+        )
+
+    def _handle_drain(self, req: protocol.DrainRequest):
+        completions, rejections = self.session.drain()
+        done, rejected = self._absorb(completions, rejections)
+        return protocol.DrainResponse(
+            now_s=self.session.now, completions=done, rejections=rejected
+        )
+
+    def _handle_status(self, req: protocol.StatusRequest):
+        return protocol.StatusResponse(
+            now_s=self.session.now,
+            cap_w=self.session.cap_w,
+            queue_depth=self.queue.depth,
+            running=[job.uid for job in self.session.running.values()],
+            completed=self.metrics.completed,
+            rejected=self.metrics.rejected,
+            method=self.session.method,
+        )
+
+    def _handle_metrics(self, req: protocol.MetricsRequest):
+        return protocol.MetricsResponse(
+            metrics=self.metrics.snapshot(
+                queue_depth=self.queue.depth,
+                running=len(self.session.running),
+                now_s=self.session.now,
+                cap_w=self.session.cap_w,
+                cache=self.session.cache.snapshot(),
+            )
+        )
+
+    def _handle_jobs(self, req: protocol.JobsRequest):
+        return protocol.JobsResponse(
+            jobs=[r.as_dict() for r in self.queue.records()]
+        )
+
+    def _handle_shutdown(self, req: protocol.ShutdownRequest):
+        completions, rejections = self.session.drain()
+        done, _ = self._absorb(completions, rejections)
+        self.stopping.set()
+        return protocol.ShutdownResponse(
+            now_s=self.session.now, completions=done
+        )
+
+    _HANDLERS = {
+        protocol.SubmitRequest: _handle_submit,
+        protocol.SetCapRequest: _handle_set_cap,
+        protocol.AdvanceRequest: _handle_advance,
+        protocol.DrainRequest: _handle_drain,
+        protocol.StatusRequest: _handle_status,
+        protocol.MetricsRequest: _handle_metrics,
+        protocol.JobsRequest: _handle_jobs,
+        protocol.ShutdownRequest: _handle_shutdown,
+    }
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        state: ServiceState = self.server.state  # type: ignore[attr-defined]
+        for line in self.rfile:
+            if not line.strip():
+                continue
+            try:
+                request = protocol.decode_request(line)
+            except protocol.ProtocolError as exc:
+                with state.lock:
+                    state.metrics.protocol_errors += 1
+                response = protocol.ErrorResponse(
+                    code="protocol", message=str(exc)
+                )
+            else:
+                response = state.handle(request)
+            try:
+                self.wfile.write(protocol.encode(response))
+                self.wfile.flush()
+            except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+                return
+            if isinstance(response, protocol.ShutdownResponse):
+                # Stop the listener from a helper thread: shutdown() blocks
+                # until serve_forever() exits, so calling it inline here
+                # (or from a signal handler) would deadlock.
+                threading.Thread(
+                    target=self.server.shutdown, daemon=True
+                ).start()
+                return
+
+
+class CoScheduleServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address, state: ServiceState):
+        super().__init__(address, _Handler)
+        self.state = state
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    method: str = "hcs",
+    cap_w: float = DEFAULT_POWER_CAP_W,
+    queue_capacity: int = 64,
+    executor=None,
+    seed=None,
+    announce=None,
+    ready=None,
+) -> int:
+    """Run the co-scheduling daemon until shutdown; returns an exit code.
+
+    ``port=0`` binds an ephemeral port; the actual address is announced as
+    ``repro-service listening on HOST:PORT`` on stdout (or via the
+    ``announce`` callable), which is what the CLI smoke test and the
+    end-to-end suite parse.  ``ready``, when given, receives the bound
+    ``(host, port)`` tuple before the accept loop starts — for in-process
+    embedding in tests.
+    """
+    session = ServiceSession(
+        method=method, cap_w=cap_w, executor=executor, seed=seed
+    )
+    state = ServiceState(session, queue_capacity=queue_capacity)
+    server = CoScheduleServer((host, port), state)
+    bound_host, bound_port = server.server_address[:2]
+
+    def _graceful(signum, frame):  # pragma: no cover - signal path
+        state.stopping.set()
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _graceful)
+        signal.signal(signal.SIGINT, _graceful)
+    except ValueError:
+        pass  # not the main thread (embedded in tests)
+
+    message = f"{_BANNER} {bound_host}:{bound_port}"
+    if announce is not None:
+        announce(message)
+    else:
+        print(message, flush=True)
+    if ready is not None:
+        ready((bound_host, bound_port))
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        # Drain whatever was admitted before the listener stopped —
+        # graceful shutdown never abandons accepted work.
+        with state.lock:
+            if not state.session.idle:
+                state._absorb(*state.session.drain())
+        server.server_close()
+    return 0

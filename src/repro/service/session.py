@@ -1,0 +1,409 @@
+"""Incremental co-scheduling state: the daemon's simulation session.
+
+Bridges three layers that were previously only composable offline:
+
+* the open-system :class:`~repro.engine.arrivals.ArrivalSimulator` holds
+  the virtual timeline (running pair, pending pool, future arrivals);
+* the :class:`~repro.core.api.Scheduler` front end (any method in the
+  ``repro.core`` registry — HCS by default) is consulted whenever a
+  processor goes idle, over the *arrived* unstarted jobs;
+* the :mod:`repro.perf` layer supplies the shared
+  :class:`~repro.perf.cache.EvalCache` and the executor used to profile
+  submissions concurrently.
+
+Power-cap events may land mid-run (:meth:`set_cap`): the governor is
+rebuilt, the running pair's frequencies are re-evaluated at the event
+time, and pending jobs that no cap setting can admit any more are
+*withdrawn with a structured rejection* instead of raising
+:class:`~repro.errors.InfeasibleCapError` into the event loop.  If even
+the floor frequencies cannot hold the new cap for the already-running
+pair, the session clamps to the floor and counts a cap violation —
+in-flight work is never killed.
+
+Everything here is synchronous and socket-free; :mod:`repro.service.server`
+adds the wire protocol and locking on top.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+
+from repro.errors import InfeasibleCapError
+from repro.hardware.calibration import DEFAULT_POWER_CAP_W, make_ivy_bridge
+from repro.hardware.device import DeviceKind
+from repro.hardware.frequency import FrequencySetting
+from repro.hardware.processor import IntegratedProcessor
+from repro.workload.program import Job
+from repro.core.api import Scheduler, make_scheduler
+from repro.engine.arrivals import ArrivalSimulator
+from repro.engine.tracing import JobCompletion
+from repro.model.characterize import characterize_space
+from repro.model.predictor import CoRunPredictor
+from repro.model.profiler import ProfileTable, extend_table
+from repro.perf.cache import EvalCache
+from repro.perf.evaluator import CachingPredictor
+from repro.perf.executor import make_executor
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class CompletionRecord:
+    """One finished job with the conditions in force when it launched."""
+
+    job_id: str
+    program: str
+    kind: str
+    arrival_s: float
+    start_s: float
+    finish_s: float
+    cap_at_start_w: float
+    setting: FrequencySetting
+    power_at_start_w: float
+
+    @property
+    def turnaround_s(self) -> float:
+        return self.finish_s - self.arrival_s
+
+
+@dataclass(frozen=True)
+class LateRejection:
+    """A queued job withdrawn because a cap change made it unschedulable."""
+
+    job_id: str
+    cap_w: float
+    message: str
+    code: str = "infeasible_cap"
+
+
+class _SafeGovernor:
+    """Delegate to the scheduler's cap governor; never raise mid-run.
+
+    When a cap drop strands the *running* pair (no feasible setting), kill
+    nothing: clamp both devices to their floor frequencies and count a cap
+    violation, mirroring what a real power-capped chip does when the
+    budget cannot be met by DVFS alone.
+    """
+
+    def __init__(self, session: "ServiceSession") -> None:
+        self._session = session
+
+    def __call__(self, cpu_job: Job | None, gpu_job: Job | None):
+        try:
+            return self._session.scheduler.governor(cpu_job, gpu_job)
+        except InfeasibleCapError:
+            self._session.cap_violations += 1
+            proc = self._session.processor
+            return FrequencySetting(
+                proc.cpu.domain.fmin, proc.gpu.domain.fmin
+            )
+
+
+class ServiceSession:
+    """Live, incremental co-scheduling over virtual time."""
+
+    def __init__(
+        self,
+        processor: IntegratedProcessor | None = None,
+        *,
+        method: str = "hcs",
+        cap_w: float = DEFAULT_POWER_CAP_W,
+        executor=None,
+        seed=None,
+        **scheduler_opts,
+    ) -> None:
+        self.processor = processor if processor is not None else make_ivy_bridge()
+        self.cache = EvalCache()
+        self.executor = make_executor(executor)
+        self.method = method.lower()
+        self.cap_w = cap_w
+        self.space = characterize_space(
+            self.processor, executor=self.executor, cache=self.cache
+        )
+        self.table: ProfileTable = ProfileTable(
+            processor=self.processor, jobs=(), _profiles={}
+        )
+        self.predictor = CachingPredictor(
+            CoRunPredictor(self.processor, self.table, self.space),
+            cache=self.cache,
+        )
+        self.scheduler: Scheduler = make_scheduler(
+            method,
+            cap_w=cap_w,
+            predictor=self.predictor,
+            cache=self.cache,
+            executor=self.executor,
+            seed=seed,
+            **scheduler_opts,
+        )
+        self.sim = ArrivalSimulator(self.processor, _SafeGovernor(self))
+        self.cap_violations = 0
+        self._jobs: dict[str, Job] = {}
+        self._cap_at_start: dict[str, float] = {}
+        self._cap_events: list[tuple[float, int, float]] = []
+        self._cap_seq = 0
+        self._late_rejections: list[LateRejection] = []
+        self._schedule_memo: dict[tuple, object] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    @property
+    def queue_depth(self) -> int:
+        """Admitted jobs that have not started yet (pending + future)."""
+        return self.sim.queued
+
+    @property
+    def running(self) -> dict[DeviceKind, Job]:
+        return self.sim.running
+
+    @property
+    def idle(self) -> bool:
+        return self.sim.idle
+
+    def job(self, uid: str) -> Job:
+        return self._jobs[uid]
+
+    # ------------------------------------------------------------------
+    # Profiling and admission
+    # ------------------------------------------------------------------
+    def _ensure_profiled(self, job: Job) -> None:
+        if job.uid in self.table:
+            return
+        self.table = extend_table(
+            self.table, [job], executor=self.executor, cache=self.cache
+        )
+        self.predictor = CachingPredictor(
+            CoRunPredictor(self.processor, self.table, self.space),
+            cache=self.cache,
+        )
+        self.scheduler.set_predictor(self.predictor)
+
+    def _solo_feasible(self, uid: str) -> bool:
+        return any(
+            self.predictor.feasible_solo_levels(uid, kind, self.cap_w)
+            for kind in DeviceKind
+        )
+
+    def admissible(self, job: Job) -> bool:
+        """Can any cap-feasible setting run ``job`` on some device?
+
+        Profiles the job first (content-cached), since feasibility is a
+        property of its standalone power curve.
+        """
+        self._ensure_profiled(job)
+        return self._solo_feasible(job.uid)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def submit(self, job: Job, arrival_s: float | None = None) -> float:
+        """Inject ``job`` at ``arrival_s`` (clamped to >= now); returns it."""
+        arrival = self.sim.now if arrival_s is None else max(arrival_s, self.sim.now)
+        self._ensure_profiled(job)
+        self.sim.add_arrival(job, arrival)
+        self._jobs[job.uid] = job
+        return arrival
+
+    def set_cap(self, cap_w: float, at_s: float | None = None) -> float:
+        """Change the power cap now or at a future virtual time.
+
+        Returns the effective time.  A future event is applied exactly at
+        its timestamp during :meth:`advance`/:meth:`drain`, re-evaluating
+        the running pair's frequencies at that instant.
+        """
+        if cap_w <= 0:
+            raise ValueError("cap_w must be positive")
+        if at_s is not None and at_s > self.sim.now + _EPS:
+            heapq.heappush(self._cap_events, (at_s, self._cap_seq, cap_w))
+            self._cap_seq += 1
+            return at_s
+        self._apply_cap(cap_w)
+        return self.sim.now
+
+    def _apply_cap(self, cap_w: float) -> None:
+        self.cap_w = cap_w
+        self.scheduler.set_cap(cap_w)
+        self._schedule_memo.clear()
+        self.sim.invalidate_setting()
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+    def advance(
+        self, until_s: float
+    ) -> tuple[list[CompletionRecord], list[LateRejection]]:
+        """Advance the virtual clock to ``until_s``, applying cap events."""
+        if until_s < self.sim.now - _EPS:
+            raise ValueError(
+                f"cannot advance to {until_s}: clock is at {self.sim.now}"
+            )
+        completions: list[JobCompletion] = []
+        while True:
+            bound = until_s
+            if self._cap_events:
+                bound = min(bound, self._cap_events[0][0])
+            completions.extend(self.sim.advance(self._policy, bound))
+            if (
+                self._cap_events
+                and self.sim.now >= self._cap_events[0][0] - _EPS
+            ):
+                _, _, cap_w = heapq.heappop(self._cap_events)
+                self._apply_cap(cap_w)
+                if self.sim.now < until_s - _EPS:
+                    continue
+            break
+        return (
+            [self._completion_record(c) for c in completions],
+            self.pop_late_rejections(),
+        )
+
+    def drain(self) -> tuple[list[CompletionRecord], list[LateRejection]]:
+        """Run until every queued and running job has completed."""
+        completions: list[JobCompletion] = []
+        while not self.sim.idle:
+            bound = (
+                self._cap_events[0][0] if self._cap_events else math.inf
+            )
+            completions.extend(self.sim.advance(self._policy, bound))
+            if (
+                self._cap_events
+                and self.sim.now >= self._cap_events[0][0] - _EPS
+            ):
+                _, _, cap_w = heapq.heappop(self._cap_events)
+                self._apply_cap(cap_w)
+        return (
+            [self._completion_record(c) for c in completions],
+            self.pop_late_rejections(),
+        )
+
+    def pop_late_rejections(self) -> list[LateRejection]:
+        out, self._late_rejections = self._late_rejections, []
+        return out
+
+    # ------------------------------------------------------------------
+    # The scheduling policy (engine callback)
+    # ------------------------------------------------------------------
+    def _candidates(self, available: list[Job]) -> list[Job]:
+        """Filter the arrived pool; late-reject cap-stranded jobs."""
+        keep = []
+        for job in available:
+            if self._solo_feasible(job.uid):
+                keep.append(job)
+            else:
+                self.sim.withdraw(job.uid)
+                self._late_rejections.append(
+                    LateRejection(
+                        job_id=job.uid,
+                        cap_w=self.cap_w,
+                        message=(
+                            f"cap change to {self.cap_w} W left no feasible "
+                            f"frequency for queued job {job.uid!r}"
+                        ),
+                    )
+                )
+        return keep
+
+    def _batch_schedule(self, candidates: list[Job]):
+        ordered = sorted(candidates, key=lambda j: j.uid)
+        key = (self.cap_w, tuple(j.uid for j in ordered))
+        hit = self._schedule_memo.get(key)
+        if hit is None:
+            hit = self.scheduler(ordered).schedule
+            self._schedule_memo[key] = hit
+        return hit
+
+    def _pair_feasible(self, job: Job, kind: DeviceKind, other: Job) -> bool:
+        cpu_uid, gpu_uid = (
+            (job.uid, other.uid)
+            if kind is DeviceKind.CPU
+            else (other.uid, job.uid)
+        )
+        return bool(
+            self.predictor.feasible_pair_settings(cpu_uid, gpu_uid, self.cap_w)
+        )
+
+    def _fifo_fallback(
+        self, kind: DeviceKind, candidates: list[Job], other: Job | None
+    ) -> Job | None:
+        for job in candidates:
+            if not self.predictor.feasible_solo_levels(job.uid, kind, self.cap_w):
+                continue
+            if other is not None and not self._pair_feasible(job, kind, other):
+                continue
+            return self._issue(job)
+        return None
+
+    def _issue(self, job: Job) -> Job:
+        # The cap in force when a job is handed to the engine is the cap
+        # its start-time frequency setting is chosen under — record it
+        # here, where both facts are simultaneously true.
+        self._cap_at_start[job.uid] = self.cap_w
+        return job
+
+    def _policy(
+        self, kind: DeviceKind, available: list[Job], other: Job | None,
+        now: float,
+    ) -> Job | None:
+        candidates = self._candidates(available)
+        if not candidates:
+            return None
+        try:
+            sched = self._batch_schedule(candidates)
+        except InfeasibleCapError:
+            # Defensive: a registry method rejected the whole batch even
+            # though each job is solo-feasible; degrade to FIFO placement.
+            return self._fifo_fallback(kind, candidates, other)
+        queue = sched.cpu_queue if kind is DeviceKind.CPU else sched.gpu_queue
+        if queue:
+            head = queue[0]
+            if other is not None and not self._pair_feasible(head, kind, other):
+                # The batch plan assumed a fresh machine; next to the job
+                # actually running this pairing busts the cap, so wait.
+                return None
+            return self._issue(head)
+        if other is None:
+            # Nothing planned for this device: the solo tail may still hold
+            # work that must run alone, which "alone" now is.
+            for job, tail_kind in sched.solo_tail:
+                if tail_kind is kind:
+                    return self._issue(job)
+        return None
+
+    # ------------------------------------------------------------------
+    # Records
+    # ------------------------------------------------------------------
+    def _completion_record(self, c: JobCompletion) -> CompletionRecord:
+        start = self.sim.starts[c.job]
+        setting = start.setting
+        if start.partner is not None:
+            cpu_uid, gpu_uid = (
+                (c.job, start.partner)
+                if start.kind is DeviceKind.CPU
+                else (start.partner, c.job)
+            )
+            power = self.predictor.pair_power_w(cpu_uid, gpu_uid, setting)
+        else:
+            f = (
+                setting.cpu_ghz
+                if start.kind is DeviceKind.CPU
+                else setting.gpu_ghz
+            )
+            power = self.predictor.solo_power_w(c.job, start.kind, f)
+        return CompletionRecord(
+            job_id=c.job,
+            program=self._jobs[c.job].program_name,
+            kind=c.kind,
+            arrival_s=self.sim.arrivals[c.job],
+            start_s=c.start_s,
+            finish_s=c.finish_s,
+            cap_at_start_w=self._cap_at_start.get(c.job, self.cap_w),
+            setting=setting,
+            power_at_start_w=power,
+        )

@@ -1,9 +1,12 @@
 """Tests for the open-system (arrival-driven) executor."""
 
+import math
+
 import pytest
 
 from repro.hardware.device import DeviceKind
-from repro.engine.arrivals import execute_with_arrivals
+from repro.hardware.frequency import FrequencySetting
+from repro.engine.arrivals import ArrivalSimulator, execute_with_arrivals
 from repro.engine.standalone import standalone_run
 from repro.workload.program import Job, ProgramProfile
 
@@ -111,3 +114,121 @@ class TestExecuteWithArrivals:
             execute_with_arrivals(
                 processor, [(_job("a"), 0.0)], never, _max_governor(processor)
             )
+
+    def test_simultaneous_arrivals_start_as_a_pair(self, processor):
+        # Two jobs landing on the same timestamp must both be visible to
+        # the policy at that instant — one per device, same start time.
+        arrivals = [(_job("a"), 5.0), (_job("b"), 5.0)]
+        result = execute_with_arrivals(
+            processor, arrivals, _any_policy, _max_governor(processor)
+        )
+        assert result.starts["a"].start_s == pytest.approx(5.0)
+        assert result.starts["b"].start_s == pytest.approx(5.0)
+        assert {result.starts["a"].kind, result.starts["b"].kind} == {
+            DeviceKind.CPU, DeviceKind.GPU,
+        }
+        assert result.starts["a"].partner == "b"
+        assert result.starts["b"].partner == "a"
+
+    def test_arrival_exactly_at_idle_instant(self, processor):
+        # The second job arrives at the precise moment the first finishes
+        # and both processors go idle: the time-jump path must admit it at
+        # that boundary with no dead time in between.
+        first = _job("first")
+        solo = execute_with_arrivals(
+            processor, [(first, 0.0)], _any_policy, _max_governor(processor)
+        )
+        t_idle = solo.execution.finish_of("first")
+        second = _job("second")
+        result = execute_with_arrivals(
+            processor,
+            [(_job("first"), 0.0), (second, t_idle)],
+            _any_policy,
+            _max_governor(processor),
+        )
+        assert result.starts["second"].start_s == pytest.approx(t_idle)
+        assert result.makespan_s == pytest.approx(
+            t_idle + (solo.makespan_s - solo.starts["first"].start_s)
+        )
+
+
+class TestArrivalSimulator:
+    """The resumable executor underneath the service session."""
+
+    def test_incremental_arrivals_between_advances(self, processor):
+        sim = ArrivalSimulator(processor, _max_governor(processor))
+        sim.add_arrival(_job("a"), 0.0)
+        sim.advance(_any_policy, 1.0)
+        assert sim.now == pytest.approx(1.0)
+        assert DeviceKind.CPU in sim.running or DeviceKind.GPU in sim.running
+        # Injecting work mid-flight is the whole point of the simulator.
+        sim.add_arrival(_job("b"), 2.0)
+        sim.advance(_any_policy)
+        assert {c.job for c in sim.completions} == {"a", "b"}
+        assert sim.idle
+
+    def test_bounded_advance_lands_exactly_on_the_boundary(self, processor):
+        sim = ArrivalSimulator(processor, _max_governor(processor))
+        sim.add_arrival(_job("a"), 0.0)
+        sim.advance(_any_policy, math.inf)  # drain
+        sim.advance(_any_policy, 500.0)
+        assert sim.now == pytest.approx(500.0)
+        assert sim.idle
+
+    def test_record_matches_closed_form_execution(self, processor):
+        arrivals = [(_job("a"), 0.0), (_job("b"), 3.0)]
+        closed = execute_with_arrivals(
+            processor, arrivals, _any_policy, _max_governor(processor)
+        )
+        sim = ArrivalSimulator(processor, _max_governor(processor))
+        for job, at_s in arrivals:
+            sim.add_arrival(job, at_s)
+        # Stepping in small bounded increments must reproduce the one-shot
+        # execution exactly (same events, same power accounting).
+        while not sim.idle:
+            sim.advance(_any_policy, sim.now + 2.0)
+        record = sim.record()
+        assert record.makespan_s >= closed.makespan_s  # boundary overshoot
+        stepped = {c.job: c.finish_s for c in record.completions}
+        oneshot = {c.job: c.finish_s for c in closed.execution.completions}
+        assert stepped == pytest.approx(oneshot)
+        assert record.cpu_busy_s == pytest.approx(closed.execution.cpu_busy_s)
+        assert record.gpu_busy_s == pytest.approx(closed.execution.gpu_busy_s)
+
+    def test_withdraw_pending_and_future(self, processor):
+        sim = ArrivalSimulator(processor, _max_governor(processor))
+        sim.add_arrival(_job("now"), 0.0)
+        sim.add_arrival(_job("later"), 50.0)
+        withdrawn = sim.withdraw("later")
+        assert withdrawn.uid == "later"
+        assert sim.queued == 1
+        with pytest.raises(KeyError):
+            sim.withdraw("later")
+        sim.advance(_any_policy)
+        assert {c.job for c in sim.completions} == {"now"}
+
+    def test_withdraw_started_job_refused(self, processor):
+        sim = ArrivalSimulator(processor, _max_governor(processor))
+        sim.add_arrival(_job("a"), 0.0)
+        sim.advance(_any_policy, 1.0)
+        with pytest.raises(KeyError, match="already started"):
+            sim.withdraw("a")
+
+    def test_arrival_in_the_past_rejected(self, processor):
+        sim = ArrivalSimulator(processor, _max_governor(processor))
+        sim.add_arrival(_job("a"), 0.0)
+        sim.advance(_any_policy, 10.0)
+        with pytest.raises(ValueError, match="past"):
+            sim.add_arrival(_job("b"), 5.0)
+
+    def test_governor_swap_retunes_the_running_job(self, processor):
+        sim = ArrivalSimulator(processor, _max_governor(processor))
+        sim.add_arrival(_job("a"), 0.0)
+        sim.advance(_any_policy, 1.0)
+        assert sim.current_setting == processor.max_setting
+        floor = FrequencySetting(
+            processor.cpu.domain.fmin, processor.gpu.domain.fmin
+        )
+        sim.set_governor(lambda c, g: floor)
+        sim.advance(_any_policy, 2.0)
+        assert sim.current_setting == floor

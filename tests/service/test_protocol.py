@@ -1,0 +1,175 @@
+"""Codec tests for the daemon's newline-delimited JSON protocol."""
+
+import json
+
+import pytest
+
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    AdvanceRequest,
+    AdvanceResponse,
+    CapResponse,
+    CompletionInfo,
+    DrainRequest,
+    ErrorResponse,
+    JobsRequest,
+    JobsResponse,
+    MetricsRequest,
+    MetricsResponse,
+    ProtocolError,
+    RejectionResponse,
+    SetCapRequest,
+    ShutdownRequest,
+    ShutdownResponse,
+    StatusRequest,
+    StatusResponse,
+    SubmitRequest,
+    SubmitResponse,
+    decode_request,
+    decode_response,
+    encode,
+)
+
+_COMPLETION = CompletionInfo(
+    job_id="cfd#1",
+    program="cfd",
+    kind="gpu",
+    arrival_s=0.0,
+    start_s=1.0,
+    finish_s=21.5,
+    turnaround_s=21.5,
+    cap_at_start_w=15.0,
+    cpu_ghz=2.2,
+    gpu_ghz=0.75,
+    power_at_start_w=14.2,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "request_",
+        [
+            SubmitRequest(program="cfd"),
+            SubmitRequest(program="lud", scale=2.0, uid="lud-a", arrival_s=3.5),
+            SetCapRequest(cap_w=12.0),
+            SetCapRequest(cap_w=12.0, at_s=40.0),
+            AdvanceRequest(until_s=10.0),
+            StatusRequest(),
+            MetricsRequest(),
+            JobsRequest(),
+            DrainRequest(),
+            ShutdownRequest(),
+        ],
+    )
+    def test_requests(self, request_):
+        assert decode_request(encode(request_)) == request_
+
+    @pytest.mark.parametrize(
+        "response",
+        [
+            SubmitResponse(job_id="cfd#1", state="queued", arrival_s=0.0,
+                           queue_depth=3),
+            RejectionResponse(code="backpressure", message="queue full"),
+            RejectionResponse(code="infeasible_cap", message="no setting",
+                              job_id="lud#2", cap_w=1.0),
+            ErrorResponse(code="protocol", message="bad line"),
+            CapResponse(cap_w=12.0, at_s=40.0),
+            AdvanceResponse(now_s=10.0),
+            AdvanceResponse(
+                now_s=10.0,
+                completions=[_COMPLETION],
+                rejections=[RejectionResponse(code="infeasible_cap",
+                                              message="stranded")],
+            ),
+            StatusResponse(now_s=5.0, cap_w=15.0, queue_depth=2,
+                           running=["a", "b"], completed=4, rejected=1,
+                           method="hcs"),
+            MetricsResponse(metrics={"completed": 4.0, "queue_depth": 2.0}),
+            JobsResponse(jobs=[{"job_id": "a", "state": "done"}]),
+            ShutdownResponse(now_s=60.0, completions=[_COMPLETION]),
+        ],
+    )
+    def test_responses(self, response):
+        assert decode_response(encode(response)) == response
+
+    def test_wire_format_is_one_json_line(self):
+        line = encode(SubmitRequest(program="cfd"))
+        assert line.endswith(b"\n")
+        assert b"\n" not in line[:-1]
+        payload = json.loads(line)
+        assert payload["v"] == PROTOCOL_VERSION
+        assert payload["type"] == "submit"
+
+    def test_nested_completions_decode_to_dataclasses(self):
+        wire = encode(ShutdownResponse(now_s=1.0, completions=[_COMPLETION]))
+        decoded = decode_response(wire)
+        assert decoded.completions[0] == _COMPLETION
+        assert isinstance(decoded.completions[0], CompletionInfo)
+
+
+class TestOverlappingTypeNames:
+    """'status', 'metrics', and 'jobs' name both a request and a response."""
+
+    @pytest.mark.parametrize(
+        "request_, response",
+        [
+            (StatusRequest(),
+             StatusResponse(now_s=0.0, cap_w=15.0, queue_depth=0, running=[],
+                            completed=0, rejected=0, method="hcs")),
+            (MetricsRequest(), MetricsResponse(metrics={})),
+            (JobsRequest(), JobsResponse(jobs=[])),
+        ],
+    )
+    def test_both_directions_encode_and_decode(self, request_, response):
+        assert type(decode_request(encode(request_))) is type(request_)
+        assert type(decode_response(encode(response))) is type(response)
+
+
+class TestStrictness:
+    def test_empty_line(self):
+        with pytest.raises(ProtocolError, match="empty"):
+            decode_request(b"\n")
+
+    def test_not_json(self):
+        with pytest.raises(ProtocolError, match="JSON"):
+            decode_request(b"hello there\n")
+
+    def test_not_an_object(self):
+        with pytest.raises(ProtocolError, match="object"):
+            decode_request(b"[1, 2]\n")
+
+    def test_version_mismatch(self):
+        line = json.dumps({"v": 99, "type": "status"}).encode()
+        with pytest.raises(ProtocolError, match="version"):
+            decode_request(line)
+
+    def test_missing_version(self):
+        line = json.dumps({"type": "status"}).encode()
+        with pytest.raises(ProtocolError, match="version"):
+            decode_request(line)
+
+    def test_unknown_type(self):
+        line = json.dumps({"v": PROTOCOL_VERSION, "type": "warp"}).encode()
+        with pytest.raises(ProtocolError, match="unknown message type"):
+            decode_request(line)
+
+    def test_unknown_field(self):
+        line = json.dumps(
+            {"v": PROTOCOL_VERSION, "type": "submit", "program": "cfd",
+             "nice": True}
+        ).encode()
+        with pytest.raises(ProtocolError, match="unknown field"):
+            decode_request(line)
+
+    def test_missing_required_field(self):
+        line = json.dumps({"v": PROTOCOL_VERSION, "type": "submit"}).encode()
+        with pytest.raises(ProtocolError, match="missing field"):
+            decode_request(line)
+
+    def test_requests_do_not_decode_as_responses(self):
+        with pytest.raises(ProtocolError, match="unknown message type"):
+            decode_response(encode(SubmitRequest(program="cfd")))
+
+    def test_encode_rejects_foreign_objects(self):
+        with pytest.raises(ProtocolError, match="not a protocol message"):
+            encode({"type": "submit"})

@@ -1,0 +1,139 @@
+"""Admission control and job lifecycle tests for the submission queue."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.service.queue import JobState, SubmissionQueue
+
+
+def _job(uid):
+    # try_admit only reads .uid and forwards the object to the feasibility
+    # callback, so a stub stands in for a full workload Job.
+    return SimpleNamespace(uid=uid)
+
+
+def _feasible(job):
+    return True
+
+
+def _infeasible(job):
+    return False
+
+
+class TestAdmission:
+    def test_admits_fresh_feasible_job(self):
+        queue = SubmissionQueue(capacity=2)
+        decision = queue.try_admit(_job("a"), cap_w=15.0, feasible=_feasible)
+        assert decision.admitted
+        assert decision.code == "ok"
+
+    def test_admission_check_does_not_mutate(self):
+        queue = SubmissionQueue(capacity=2)
+        queue.try_admit(_job("a"), cap_w=15.0, feasible=_feasible)
+        assert len(queue) == 0
+        assert queue.depth == 0
+
+    def test_duplicate_uid(self):
+        queue = SubmissionQueue(capacity=2)
+        queue.enqueue("a", "cfd", 1.0, 0.0)
+        decision = queue.try_admit(_job("a"), cap_w=15.0, feasible=_feasible)
+        assert not decision.admitted
+        assert decision.code == "duplicate"
+
+    def test_backpressure_at_capacity(self):
+        queue = SubmissionQueue(capacity=1)
+        queue.enqueue("a", "cfd", 1.0, 0.0)
+        decision = queue.try_admit(_job("b"), cap_w=15.0, feasible=_feasible)
+        assert not decision.admitted
+        assert decision.code == "backpressure"
+
+    def test_started_jobs_free_capacity(self):
+        queue = SubmissionQueue(capacity=1)
+        queue.enqueue("a", "cfd", 1.0, 0.0)
+        queue.mark_running("a")
+        decision = queue.try_admit(_job("b"), cap_w=15.0, feasible=_feasible)
+        assert decision.admitted
+
+    def test_infeasible_cap(self):
+        queue = SubmissionQueue(capacity=2)
+        decision = queue.try_admit(_job("a"), cap_w=1.0, feasible=_infeasible)
+        assert not decision.admitted
+        assert decision.code == "infeasible_cap"
+        assert "1.0 W" in decision.message
+
+    def test_backpressure_checked_before_feasibility(self):
+        # A full queue must not pay for profiling: the cheap check wins.
+        queue = SubmissionQueue(capacity=1)
+        queue.enqueue("a", "cfd", 1.0, 0.0)
+
+        def explode(job):
+            raise AssertionError("feasibility must not run under backpressure")
+
+        decision = queue.try_admit(_job("b"), cap_w=15.0, feasible=explode)
+        assert decision.code == "backpressure"
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            SubmissionQueue(capacity=0)
+
+
+class TestLifecycle:
+    def test_enqueue_to_done(self):
+        queue = SubmissionQueue()
+        record = queue.enqueue("a", "cfd", 1.0, arrival_s=2.5)
+        assert record.state is JobState.QUEUED
+        assert queue.depth == 1
+        queue.mark_running("a")
+        assert queue.depth == 0
+        assert queue.count(JobState.RUNNING) == 1
+        queue.mark_done("a")
+        assert queue.record("a").state is JobState.DONE
+
+    def test_enqueue_duplicate_raises(self):
+        queue = SubmissionQueue()
+        queue.enqueue("a", "cfd", 1.0, 0.0)
+        with pytest.raises(ValueError, match="already recorded"):
+            queue.enqueue("a", "cfd", 1.0, 0.0)
+
+    def test_rejection_burns_the_uid(self):
+        queue = SubmissionQueue()
+        queue.record_rejection("a", "cfd", 1.0, 0.0, "no feasible setting")
+        assert queue.record("a").state is JobState.REJECTED
+        decision = queue.try_admit(_job("a"), cap_w=15.0, feasible=_feasible)
+        assert decision.code == "duplicate"
+
+    def test_late_rejection_of_queued_job(self):
+        queue = SubmissionQueue()
+        queue.enqueue("a", "cfd", 1.0, 0.0)
+        queue.mark_rejected("a", "cap change stranded it")
+        record = queue.record("a")
+        assert record.state is JobState.REJECTED
+        assert "stranded" in record.detail
+        assert queue.depth == 0
+
+    def test_unknown_job_raises(self):
+        queue = SubmissionQueue()
+        with pytest.raises(KeyError, match="ghost"):
+            queue.mark_done("ghost")
+
+    def test_as_dict_is_wire_ready(self):
+        queue = SubmissionQueue()
+        queue.enqueue("a", "cfd", 2.0, arrival_s=1.0)
+        payload = queue.record("a").as_dict()
+        assert payload == {
+            "job_id": "a",
+            "program": "cfd",
+            "scale": 2.0,
+            "state": "queued",
+            "arrival_s": 1.0,
+            "detail": "",
+        }
+
+    def test_container_protocol(self):
+        queue = SubmissionQueue()
+        queue.enqueue("a", "cfd", 1.0, 0.0)
+        queue.enqueue("b", "lud", 1.0, 0.0)
+        assert "a" in queue and "c" not in queue
+        assert len(queue) == 2
+        assert {r.job_id for r in queue.records()} == {"a", "b"}

@@ -1,0 +1,151 @@
+"""End-to-end acceptance: the daemon as a subprocess over a real socket.
+
+Covers the full lifecycle from ISSUE acceptance: boot on an ephemeral
+port, submit a workload with staggered arrivals, change the power cap
+mid-run, verify every completion ran under the cap in force at its start,
+and check both shutdown paths (protocol request and SIGTERM) drain
+in-flight work.
+"""
+
+import contextlib
+import re
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.hardware.calibration import DEFAULT_POWER_CAP_W
+from repro.service.client import ServiceClient
+
+_BANNER_RE = re.compile(r"repro-service listening on ([\d.]+):(\d+)")
+_TOL = 1e-6
+
+_PROGRAMS = [
+    "streamcluster", "cfd", "dwt2d", "hotspot",
+    "srad", "lud", "leukocyte", "heartwall",
+]
+
+
+@contextlib.contextmanager
+def _daemon(*extra_args):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", *extra_args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        banner = proc.stdout.readline()
+        match = _BANNER_RE.search(banner)
+        if match is None:
+            proc.kill()
+            raise AssertionError(
+                f"daemon did not announce a port: {banner!r}\n"
+                + proc.stderr.read()
+            )
+        yield proc, match.group(1), int(match.group(2))
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait(timeout=30)
+
+
+class TestServiceEndToEnd:
+    def test_acceptance_staggered_jobs_with_mid_run_cap_change(self):
+        with _daemon() as (proc, host, port):
+            with ServiceClient(host, port) as client:
+                ids = []
+                for i, program in enumerate(_PROGRAMS):
+                    accepted = client.submit(program, arrival_s=i * 2.0)
+                    assert accepted.state == "queued", accepted
+                    ids.append(accepted.job_id)
+
+                # Run the front of the workload, then drop the cap while
+                # later arrivals are still queued or in flight.
+                first = client.advance(6.0)
+                assert first.now_s == pytest.approx(6.0)
+                cap = client.set_cap(12.0)
+                assert cap.cap_w == 12.0
+
+                done = client.drain()
+                completions = list(first.completions) + list(done.completions)
+                assert sorted(c.job_id for c in completions) == sorted(ids)
+
+                # Every job's frequency setting respects the cap that was
+                # active when it started (15 W before t=6, 12 W after).
+                for c in completions:
+                    assert c.power_at_start_w <= c.cap_at_start_w + _TOL
+                    if c.start_s < 6.0:
+                        assert c.cap_at_start_w == DEFAULT_POWER_CAP_W
+                    elif c.start_s > 6.0:
+                        assert c.cap_at_start_w == 12.0
+                    assert c.turnaround_s == pytest.approx(
+                        c.finish_s - c.arrival_s
+                    )
+                caps = [c.cap_at_start_w for c in
+                        sorted(completions, key=lambda c: c.start_s)]
+                assert caps == sorted(caps, reverse=True)  # one transition
+
+                status = client.status()
+                assert status.queue_depth == 0
+                assert status.completed == len(_PROGRAMS)
+                assert status.running == []
+
+                metrics = client.metrics()
+                assert metrics["queue_depth"] == 0.0
+                assert metrics["completed"] == float(len(_PROGRAMS))
+                assert metrics["cap_violations"] == 0.0
+                assert metrics["cap_events"] == 1.0
+                assert metrics["turnaround_p99_s"] >= metrics["turnaround_p50_s"]
+                assert 0.0 < metrics["cache_hit_rate"] <= 1.0
+
+                jobs = client.jobs()
+                assert {j["state"] for j in jobs} == {"done"}
+
+                bye = client.shutdown()
+                assert bye.now_s == pytest.approx(done.now_s)
+            assert proc.wait(timeout=30) == 0
+
+    def test_shutdown_request_drains_in_flight_jobs(self):
+        with _daemon() as (proc, host, port):
+            with ServiceClient(host, port) as client:
+                a = client.submit("cfd", arrival_s=0.0)
+                b = client.submit("lud", arrival_s=5.0)
+                # No advance/drain: both jobs are still pending when the
+                # shutdown lands; graceful exit must finish them anyway.
+                bye = client.shutdown()
+                assert sorted(c.job_id for c in bye.completions) == sorted(
+                    [a.job_id, b.job_id]
+                )
+            assert proc.wait(timeout=30) == 0
+
+    def test_sigterm_exits_cleanly(self):
+        with _daemon() as (proc, host, port):
+            with ServiceClient(host, port) as client:
+                accepted = client.submit("hotspot")
+                assert accepted.state == "queued"
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+            assert "Traceback" not in proc.stderr.read()
+
+    def test_backpressure_and_structured_rejections(self):
+        with _daemon("--queue-capacity", "1") as (proc, host, port):
+            with ServiceClient(host, port) as client:
+                held = client.submit("cfd", arrival_s=100.0)
+                assert held.state == "queued"
+                bounced = client.submit("srad")
+                assert bounced.code == "backpressure"
+
+                unknown = client.submit("quake3")
+                assert unknown.code == "unknown_program"
+
+                bad_scale = client.submit("cfd", scale=-1.0)
+                assert bad_scale.code == "invalid_scale"
+
+                metrics = client.metrics()
+                assert metrics["rejected_backpressure"] == 1.0
+                assert metrics["rejected_invalid"] == 2.0
+
+                client.shutdown()  # drains the held job (virtual time)
+            assert proc.wait(timeout=30) == 0

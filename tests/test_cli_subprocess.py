@@ -31,6 +31,22 @@ class TestCliSubprocess:
         assert result.returncode == 0
         assert "Regenerate" in result.stdout
 
+    def test_infeasible_cap_exits_2_with_one_liner(self):
+        # 1 W is below what any frequency setting can hold, so the run
+        # must fail with the documented exit code and a single-line
+        # diagnostic instead of a traceback.
+        result = _run("arrivals", "--cap-w", "1")
+        assert result.returncode == 2
+        assert "infeasible power cap" in result.stderr
+        assert "cap 1.0 W" in result.stderr
+        assert "Traceback" not in result.stderr
+        assert len(result.stderr.strip().splitlines()) == 1
+
+    def test_serve_help(self):
+        result = _run("serve", "--help")
+        assert result.returncode == 0
+        assert "daemon" in result.stdout
+
     @pytest.mark.slow
     def test_report_module(self, tmp_path):
         out = tmp_path / "R.md"

@@ -1,0 +1,70 @@
+"""CI smoke check for the co-scheduling daemon.
+
+Boots ``repro serve`` on an ephemeral port, submits one job through
+:class:`repro.service.client.ServiceClient`, drains the timeline, and
+asserts the job completed and the daemon shut down cleanly.  Exits
+non-zero on any deviation, printing the daemon's stderr for diagnosis.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+
+from repro.service.client import ServiceClient
+
+_BANNER_RE = re.compile(r"repro-service listening on ([\d.]+):(\d+)")
+
+
+def main() -> int:
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        banner = proc.stdout.readline()
+        match = _BANNER_RE.search(banner)
+        if match is None:
+            print(f"no banner in {banner!r}", file=sys.stderr)
+            print(proc.stderr.read(), file=sys.stderr)
+            return 1
+        host, port = match.group(1), int(match.group(2))
+
+        with ServiceClient(host, port) as client:
+            accepted = client.submit("streamcluster")
+            if accepted.state != "queued":
+                print(f"submission not queued: {accepted}", file=sys.stderr)
+                return 1
+            drained = client.drain()
+            finished = [c.job_id for c in drained.completions]
+            if finished != [accepted.job_id]:
+                print(f"expected {accepted.job_id} done, got {finished}",
+                      file=sys.stderr)
+                return 1
+            status = client.status()
+            if status.queue_depth != 0 or status.completed != 1:
+                print(f"bad final status: {status}", file=sys.stderr)
+                return 1
+            client.shutdown()
+
+        code = proc.wait(timeout=60)
+        if code != 0:
+            print(f"daemon exited {code}", file=sys.stderr)
+            print(proc.stderr.read(), file=sys.stderr)
+            return 1
+        print(
+            f"service smoke OK: {accepted.job_id} completed at "
+            f"t={drained.now_s:.2f}s (virtual)"
+        )
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
