@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test bench bench-all experiments report calibration examples clean
+.PHONY: install test lint bench bench-all experiments report calibration examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -10,6 +10,10 @@ test:
 
 test-fast:
 	pytest tests/ -m "not slow"
+
+lint:
+	ruff check src tests benchmarks tools
+	mypy src/repro
 
 bench:
 	pytest benchmarks/test_perf_layer.py --benchmark-only \

@@ -55,8 +55,10 @@ from repro.core import (
     CoSchedule,
     CoScheduleRuntime,
     InfeasibleCapError,
+    Objective,
     ScheduleOutcome,
     ScheduleResult,
+    SchedulingContext,
     hcs_schedule,
     lower_bound,
     register_scheduler,
@@ -97,7 +99,9 @@ __all__ = [
     "hcs_schedule",
     "lower_bound",
     "InfeasibleCapError",
+    "Objective",
     "ScheduleResult",
+    "SchedulingContext",
     "register_scheduler",
     "schedule",
     "scheduler_names",

@@ -10,6 +10,10 @@ selected experiment whose driver supports them (see
 (see :mod:`repro.service`): it listens for newline-delimited JSON job
 submissions, schedules them live, and reacts to power-cap events.
 
+``python -m repro schedule`` computes one co-schedule from the command
+line — any registry method, any objective (``--objective
+makespan|energy|edp``) — and prints the queues plus predicted scores.
+
 Exit codes: 0 success, 2 usage/infeasibility (an unknown experiment, or a
 power cap no frequency setting can satisfy).
 """
@@ -65,6 +69,11 @@ def _serve_parser() -> argparse.ArgumentParser:
         help="profiling fan-out backend: serial, threads[:N], processes[:N]",
     )
     parser.add_argument(
+        "--objective", default="makespan",
+        choices=("makespan", "energy", "edp"),
+        help="what the daemon's scheduler optimizes (default: makespan)",
+    )
+    parser.add_argument(
         "--seed", type=int, default=None,
         help="seed forwarded to stochastic scheduling methods",
     )
@@ -80,10 +89,107 @@ def _serve(argv: list[str]) -> int:
         args.port,
         method=args.method,
         cap_w=args.cap_w,
+        objective=args.objective,
         queue_capacity=args.queue_capacity,
         executor=args.executor,
         seed=args.seed,
     )
+
+
+def _schedule_parser() -> argparse.ArgumentParser:
+    from repro.core.api import scheduler_names
+    from repro.hardware.calibration import DEFAULT_POWER_CAP_W
+
+    parser = argparse.ArgumentParser(
+        prog="repro schedule",
+        description=(
+            "Compute one co-schedule for a set of calibrated programs and "
+            "print the processor queues plus predicted scores."
+        ),
+    )
+    parser.add_argument(
+        "--method", default="hcs", choices=scheduler_names(),
+        help="scheduling method from the registry (default: hcs)",
+    )
+    parser.add_argument(
+        "--cap-w", type=float, default=DEFAULT_POWER_CAP_W, dest="cap_w",
+        help="power cap in watts",
+    )
+    parser.add_argument(
+        "--objective", default="makespan",
+        choices=("makespan", "energy", "edp"),
+        help="what the method optimizes (default: makespan)",
+    )
+    parser.add_argument(
+        "--programs", default=None, metavar="NAMES",
+        help="comma-separated calibrated program names (default: all eight)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="seed forwarded to stochastic methods",
+    )
+    parser.add_argument(
+        "--executor", default=None, metavar="SPEC",
+        help="evaluation fan-out backend: serial, threads[:N], processes[:N]",
+    )
+    return parser
+
+
+def _schedule(argv: list[str]) -> int:
+    from repro.core.api import schedule
+    from repro.workload import make_jobs, rodinia_programs
+
+    args = _schedule_parser().parse_args(argv)
+    programs = {p.name: p for p in rodinia_programs()}
+    if args.programs is not None:
+        names = [n.strip() for n in args.programs.split(",") if n.strip()]
+        unknown = sorted(set(names) - set(programs))
+        if unknown:
+            print(
+                f"unknown program(s): {', '.join(unknown)}; calibrated: "
+                + ", ".join(sorted(programs)),
+                file=sys.stderr,
+            )
+            return 2
+        chosen = [programs[n] for n in names]
+    else:
+        chosen = list(programs.values())
+    jobs = make_jobs(chosen)
+    try:
+        result = schedule(
+            jobs,
+            method=args.method,
+            cap_w=args.cap_w,
+            objective=args.objective,
+            seed=args.seed,
+            executor=args.executor,
+        )
+    except InfeasibleCapError as exc:
+        cap = f" (cap {exc.cap_w} W)" if exc.cap_w is not None else ""
+        print(f"infeasible power cap{cap}: {exc}", file=sys.stderr)
+        return 2
+    sched = result.schedule
+    print(f"method    : {result.method}")
+    print(f"objective : {result.objective.value}")
+    print(f"cap_w     : {args.cap_w:g}")
+    print("cpu queue : " + (
+        " -> ".join(j.uid for j in sched.cpu_queue) or "(empty)"
+    ))
+    print("gpu queue : " + (
+        " -> ".join(j.uid for j in sched.gpu_queue) or "(empty)"
+    ))
+    if sched.solo_tail:
+        print("solo tail : " + ", ".join(
+            f"{j.uid}@{k.name.lower()}" for j, k in sched.solo_tail
+        ))
+    print(f"predicted makespan_s : {result.predicted_makespan_s:.4f}")
+    if result.objective.value != "makespan":
+        unit = "J" if result.objective.value == "energy" else "J*s"
+        print(
+            f"predicted {result.objective.value}"
+            f" : {result.predicted_score:.4f} {unit}"
+        )
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -91,6 +197,8 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "serve":
         return _serve(argv[1:])
+    if argv and argv[0] == "schedule":
+        return _schedule(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -105,7 +213,7 @@ def main(argv: list[str] | None = None) -> int:
         nargs="+",
         metavar="EXPERIMENT",
         help=f"one or more of: {', '.join(EXPERIMENTS)}, or 'all'; "
-        "or the 'serve' subcommand",
+        "or the 'serve' / 'schedule' subcommands",
     )
     parser.add_argument(
         "--quiet", action="store_true", help="print only headline metrics"
@@ -123,6 +231,12 @@ def main(argv: list[str] | None = None) -> int:
         help="evaluation fan-out backend: serial, threads[:N], processes[:N]",
     )
     parser.add_argument(
+        "--objective", default=None,
+        choices=("makespan", "energy", "edp"),
+        help="override the scheduling objective of objective-aware "
+        "experiments",
+    )
+    parser.add_argument(
         "--cache-dir", default=None, dest="cache_dir", metavar="DIR",
         help=f"persist characterization/profiles to DIR (sets {CACHE_DIR_ENV})",
     )
@@ -131,7 +245,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.cache_dir is not None:
         os.environ[CACHE_DIR_ENV] = args.cache_dir
     config = ExperimentConfig(
-        seed=args.seed, cap_w=args.cap_w, executor=args.executor
+        seed=args.seed,
+        cap_w=args.cap_w,
+        executor=args.executor,
+        objective=args.objective,
     )
 
     names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments

@@ -25,7 +25,20 @@ from repro.core.theorem import (
     corun_beneficial_theorem,
     corun_beneficial_exact,
 )
-from repro.core.schedule import CoSchedule, predicted_makespan
+from repro.core.schedule import (
+    CoSchedule,
+    PredictedMetrics,
+    predicted_makespan,
+    predicted_metrics,
+)
+from repro.core.context import SchedulingContext
+from repro.core.feasibility import (
+    pair_energy_j,
+    pair_settings_under_cap,
+    predicted_power,
+    solo_energy_j,
+    solo_levels_under_cap,
+)
 from repro.core.freqpolicy import Bias, BiasedGovernor, ModelGovernor
 from repro.core.partition import partition_jobs
 from repro.core.categorize import Preference, categorize_jobs
@@ -37,7 +50,12 @@ from repro.core.baselines import default_partition, default_schedule, random_sch
 from repro.core.bruteforce import brute_force_best
 from repro.core.astar import AStarScheduler, astar_schedule
 from repro.core.genetic import GaConfig, GeneticScheduler, genetic_schedule
-from repro.core.objectives import EnergyAwareGovernor, Objective, score_execution
+from repro.core.objectives import (
+    EnergyAwareGovernor,
+    Objective,
+    governor_for,
+    score_execution,
+)
 from repro.core.online import FifoOnlinePolicy, HcsOnlinePolicy
 from repro.core.splitting import SplitOutcome, best_split
 from repro.core.runtime import CoScheduleRuntime, RandomAverage, ScheduleOutcome
@@ -61,7 +79,15 @@ __all__ = [
     "corun_beneficial_theorem",
     "corun_beneficial_exact",
     "CoSchedule",
+    "PredictedMetrics",
     "predicted_makespan",
+    "predicted_metrics",
+    "SchedulingContext",
+    "pair_energy_j",
+    "pair_settings_under_cap",
+    "predicted_power",
+    "solo_energy_j",
+    "solo_levels_under_cap",
     "Bias",
     "BiasedGovernor",
     "ModelGovernor",
@@ -85,6 +111,7 @@ __all__ = [
     "genetic_schedule",
     "EnergyAwareGovernor",
     "Objective",
+    "governor_for",
     "score_execution",
     "FifoOnlinePolicy",
     "HcsOnlinePolicy",

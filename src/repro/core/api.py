@@ -3,27 +3,31 @@
 The package grew six scheduler entry points with six different calling
 conventions (``hcs_schedule``, ``random_schedule``, ``default_partition``,
 ``brute_force_best``, ``astar_schedule``, ``genetic_schedule``).  They all
-answer the same question — *given these jobs and this power cap, what
-co-schedule should run?* — so this module registers each behind a uniform
-signature::
+answer the same question — *given these jobs, this power cap, and this
+objective, what co-schedule should run?* — so this module registers each
+behind a uniform signature::
 
     from repro import schedule
 
     result = schedule(jobs, method="hcs+", cap_w=15.0, seed=0)
     result.schedule              # the CoSchedule
-    result.predicted_makespan_s  # its score under the shared model
+    result.predicted_makespan_s  # its makespan under the shared model
     result.details               # method-specific extras (HcsResult, ...)
 
-All methods share one predictor, one cap-aware governor, and one
-:mod:`repro.perf` evaluation cache, so cross-method comparisons are
-apples-to-apples and repeated calls on the same instance reuse work.  When
-``predictor`` is omitted, the workload is profiled and the degradation
-space characterized on the spot (optionally fanned out over ``executor``
-and persisted via ``disk_cache``).
+    energy = schedule(jobs, method="hcs+", cap_w=15.0, objective="energy")
+    energy.predicted_score       # predicted energy (J) — what was minimized
+
+All methods share one :class:`~repro.core.context.SchedulingContext` — one
+predictor, one objective-aware governor, one :mod:`repro.perf` evaluation
+cache — so cross-method comparisons are apples-to-apples and repeated calls
+on the same instance reuse work.  When ``predictor`` is omitted, the
+workload is profiled and the degradation space characterized on the spot
+(optionally fanned out over ``executor`` and persisted via ``disk_cache``).
 
 The historical per-method functions remain public and unchanged; this is a
 facade, not a replacement.  New schedulers plug in with
-:func:`register_scheduler`.
+:func:`register_scheduler`; adapters receive the context plus the caller's
+method-specific options.
 """
 
 from __future__ import annotations
@@ -35,23 +39,29 @@ from collections.abc import Callable, Mapping, Sequence
 from repro.workload.program import Job
 from repro.core.baselines import default_partition, random_schedule
 from repro.core.bruteforce import brute_force_best
-from repro.core.freqpolicy import ModelGovernor
+from repro.core.context import SchedulingContext
+from repro.core.objectives import Objective, governor_for
 from repro.core.schedule import CoSchedule
 from repro.model.characterize import characterize_space
-from repro.model.profiler import ProfileTable, extend_table, profile_workload
+from repro.model.profiler import ProfileTable, extend_table
 from repro.model.predictor import CoRunPredictor
 from repro.perf.cache import EvalCache
 from repro.perf.evaluator import CachingPredictor, ScheduleEvaluator
-from repro.perf.executor import Executor, make_executor
+from repro.perf.executor import make_executor
 
 
 @dataclass(frozen=True)
 class ScheduleResult:
-    """Uniform scheduler output: the schedule plus its model-predicted score.
+    """Uniform scheduler output: the schedule plus its model-predicted scores.
 
+    ``predicted_makespan_s`` is always the predicted makespan;
+    ``predicted_score`` is the predicted value of the objective the method
+    optimized (identical to the makespan for the default objective).
     ``details`` carries whatever the underlying method natively returns
     (e.g. the full :class:`~repro.core.hcs.HcsResult`, A*'s node count, the
-    GA's fitness) without widening the common surface.
+    GA's fitness) without widening the common surface.  ``governor`` is the
+    cap-aware frequency policy the scores were computed under — hand it to
+    the execution engine to measure the schedule consistently.
     """
 
     method: str
@@ -61,22 +71,15 @@ class ScheduleResult:
         default_factory=lambda: MappingProxyType({})
     )
     cache_stats: dict[str, float] | None = None
+    objective: Objective = Objective.MAKESPAN
+    predicted_score: float | None = None
+    governor: object | None = None
 
-
-@dataclass(frozen=True)
-class _Context:
-    """Everything an adapter needs, resolved once per ``schedule()`` call."""
-
-    jobs: tuple[Job, ...]
-    cap_w: float
-    predictor: CoRunPredictor | CachingPredictor
-    evaluator: ScheduleEvaluator
-    executor: Executor
-    seed: object
-
-    @property
-    def governor(self) -> ModelGovernor:
-        return self.evaluator.governor
+    def __post_init__(self) -> None:
+        if self.predicted_score is None:
+            object.__setattr__(
+                self, "predicted_score", self.predicted_makespan_s
+            )
 
 
 _REGISTRY: dict[str, Callable[..., ScheduleResult]] = {}
@@ -85,8 +88,9 @@ _REGISTRY: dict[str, Callable[..., ScheduleResult]] = {}
 def register_scheduler(name: str):
     """Register an adapter under ``name`` (decorator).
 
-    The adapter receives a :class:`_Context` plus the caller's extra
-    keyword options and must return a :class:`ScheduleResult`.
+    The adapter receives a :class:`~repro.core.context.SchedulingContext`
+    plus the caller's extra keyword options and must return a
+    :class:`ScheduleResult`.
     """
 
     def decorate(fn: Callable[..., ScheduleResult]):
@@ -104,11 +108,32 @@ def scheduler_names() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
+def _finalize(result: ScheduleResult, ctx: SchedulingContext) -> ScheduleResult:
+    """Fill result fields only the caller-side context knows."""
+    if result.cache_stats is None or result.governor is None:
+        result = ScheduleResult(
+            method=result.method,
+            schedule=result.schedule,
+            predicted_makespan_s=result.predicted_makespan_s,
+            details=result.details,
+            cache_stats=(
+                result.cache_stats
+                if result.cache_stats is not None
+                else ctx.cache.snapshot()
+            ),
+            objective=result.objective,
+            predicted_score=result.predicted_score,
+            governor=result.governor if result.governor is not None else ctx.governor,
+        )
+    return result
+
+
 def schedule(
     jobs: Sequence[Job],
     method: str = "hcs",
     *,
     cap_w: float,
+    objective: Objective | str = Objective.MAKESPAN,
     predictor: CoRunPredictor | CachingPredictor | None = None,
     processor=None,
     executor=None,
@@ -121,6 +146,13 @@ def schedule(
 
     Parameters common to every method:
 
+    ``objective``
+        What the method optimizes: ``"makespan"`` (default, Definition
+        2.1), ``"energy"``, or ``"edp"`` — an
+        :class:`~repro.core.objectives.Objective` or its string value.
+        Every registered method honors it: the context's governor picks
+        objective-optimal frequencies and the evaluator scores candidates
+        on the objective.
     ``predictor``
         A fitted :class:`~repro.model.predictor.CoRunPredictor` (or a
         caching wrapper).  Omit it to profile + characterize on the fly.
@@ -150,45 +182,18 @@ def schedule(
         known = ", ".join(scheduler_names())
         raise ValueError(f"unknown scheduler {method!r}; known: {known}") from None
 
-    pool = make_executor(executor)
-    shared_cache = cache if cache is not None else EvalCache()
-    if predictor is None:
-        if processor is None:
-            from repro.hardware.calibration import make_ivy_bridge
-
-            processor = make_ivy_bridge()
-        table = profile_workload(
-            processor, jobs, executor=pool, disk_cache=disk_cache
-        )
-        space = characterize_space(
-            processor, executor=pool, disk_cache=disk_cache
-        )
-        predictor = CachingPredictor(
-            CoRunPredictor(processor, table, space), cache=shared_cache
-        )
-    elif cache is not None and not isinstance(predictor, CachingPredictor):
-        predictor = CachingPredictor(predictor, cache=shared_cache)
-
-    governor = ModelGovernor(predictor, cap_w)
-    evaluator = ScheduleEvaluator(predictor, governor, cache=shared_cache)
-    ctx = _Context(
-        jobs=tuple(jobs),
+    ctx = SchedulingContext.build(
+        jobs,
         cap_w=cap_w,
+        objective=objective,
         predictor=predictor,
-        evaluator=evaluator,
-        executor=pool,
+        processor=processor,
+        executor=executor,
+        cache=cache,
+        disk_cache=disk_cache,
         seed=seed,
     )
-    result = adapter(ctx, **opts)
-    if result.cache_stats is None:
-        result = ScheduleResult(
-            method=result.method,
-            schedule=result.schedule,
-            predicted_makespan_s=result.predicted_makespan_s,
-            details=result.details,
-            cache_stats=shared_cache.snapshot(),
-        )
-    return result
+    return _finalize(adapter(ctx, **opts), ctx)
 
 
 class Scheduler:
@@ -205,9 +210,9 @@ class Scheduler:
     characterized once and jobs are profiled incrementally the first time
     a call mentions them.
 
-    Makespan memoization is segregated per cap value (the evaluator's keys
-    carry no cap), so flipping between caps never serves stale scores and
-    returning to a previous cap finds its cache warm.
+    Score memoization is segregated per cap value (the evaluator's keys
+    carry the objective but no cap), so flipping between caps never serves
+    stale scores and returning to a previous cap finds its cache warm.
     """
 
     def __init__(
@@ -215,6 +220,7 @@ class Scheduler:
         method: str = "hcs",
         *,
         cap_w: float,
+        objective: Objective | str = Objective.MAKESPAN,
         predictor: CoRunPredictor | CachingPredictor | None = None,
         processor=None,
         cache: EvalCache | None = None,
@@ -232,6 +238,7 @@ class Scheduler:
                 f"unknown scheduler {method!r}; known: {known}"
             ) from None
         self.method = key
+        self.objective = Objective.coerce(objective)
         self.cache = cache if cache is not None else EvalCache()
         self.executor = make_executor(executor)
         self.seed = seed
@@ -268,10 +275,13 @@ class Scheduler:
         self._rebuild()
 
     def _rebuild(self) -> None:
-        self.governor = ModelGovernor(self.predictor, self.cap_w)
+        self.governor = governor_for(self.predictor, self.cap_w, self.objective)
         eval_cache = self._eval_caches.setdefault(self.cap_w, EvalCache())
         self.evaluator = ScheduleEvaluator(
-            self.predictor, self.governor, cache=eval_cache
+            self.predictor,
+            self.governor,
+            cache=eval_cache,
+            objective=self.objective,
         )
 
     def set_cap(self, cap_w: float) -> None:
@@ -288,7 +298,7 @@ class Scheduler:
             predictor = CachingPredictor(predictor, cache=self.cache)
         self.predictor = predictor
         self._table = None  # the caller's predictor owns the table now
-        # Uids are never re-bound to different profiles, so per-cap makespan
+        # Uids are never re-bound to different profiles, so per-cap score
         # memos stay valid across table growth; only the bindings refresh.
         self._rebuild()
 
@@ -306,27 +316,39 @@ class Scheduler:
             )
             self._rebuild()
 
+    def context(self, jobs: Sequence[Job]) -> SchedulingContext:
+        """The frozen context one call would run under (jobs pre-profiled)."""
+        self._ensure_profiled(jobs)
+        return SchedulingContext(
+            jobs=tuple(jobs),
+            cap_w=self.cap_w,
+            predictor=self.predictor,
+            objective=self.objective,
+            governor=self.governor,
+            evaluator=self.evaluator,
+            executor=self.executor,
+            cache=self.evaluator.cache,
+            seed=self.seed,
+        )
+
     def __call__(self, jobs: Sequence[Job], **opts) -> ScheduleResult:
         """Compute a co-schedule for ``jobs`` under the current cap."""
         if not jobs:
             raise ValueError("cannot schedule an empty job set")
-        self._ensure_profiled(jobs)
-        ctx = _Context(
-            jobs=tuple(jobs),
-            cap_w=self.cap_w,
-            predictor=self.predictor,
-            evaluator=self.evaluator,
-            executor=self.executor,
-            seed=self.seed,
-        )
+        ctx = self.context(jobs)
         result = self._adapter(ctx, **{**self.opts, **opts})
         if result.cache_stats is None:
+            # Report the model-wide shared cache (profiling + predictor
+            # queries), not the per-cap evaluator cache.
             result = ScheduleResult(
                 method=result.method,
                 schedule=result.schedule,
                 predicted_makespan_s=result.predicted_makespan_s,
                 details=result.details,
                 cache_stats=self.cache.snapshot(),
+                objective=result.objective,
+                predicted_score=result.predicted_score,
+                governor=ctx.governor,
             )
         return result
 
@@ -337,19 +359,33 @@ def make_scheduler(method: str = "hcs", **kwargs) -> Scheduler:
 
 
 def _result(
-    ctx: _Context,
+    ctx: SchedulingContext,
     method: str,
     sched: CoSchedule,
     score: float | None = None,
     **details,
 ) -> ScheduleResult:
+    """Assemble a :class:`ScheduleResult` from an adapter's raw output.
+
+    ``score`` is the predicted *objective* score when the adapter already
+    computed it (it equals the makespan under the default objective);
+    ``None`` asks the context's evaluator, which memoizes.
+    """
     if score is None:
         score = ctx.evaluator(sched)
+    makespan = (
+        score
+        if ctx.objective is Objective.MAKESPAN
+        else ctx.predicted_makespan(sched)
+    )
     return ScheduleResult(
         method=method,
         schedule=sched,
-        predicted_makespan_s=score,
+        predicted_makespan_s=makespan,
         details=MappingProxyType(details),
+        objective=ctx.objective,
+        predicted_score=score,
+        governor=ctx.governor,
     )
 
 
@@ -357,50 +393,40 @@ def _result(
 # Built-in adapters
 # ----------------------------------------------------------------------
 @register_scheduler("hcs")
-def _hcs_adapter(ctx: _Context, **opts) -> ScheduleResult:
+def _hcs_adapter(ctx: SchedulingContext, **opts) -> ScheduleResult:
     from repro.core.hcs import hcs_schedule
 
-    res = hcs_schedule(
-        ctx.predictor,
-        ctx.jobs,
-        ctx.cap_w,
-        refine=False,
-        seed=ctx.seed,
-        evaluator=ctx.evaluator,
-        **opts,
+    res = hcs_schedule(ctx, refine=False, **opts)
+    score = (
+        res.predicted_makespan_s
+        if ctx.objective is Objective.MAKESPAN
+        else None
     )
-    return _result(
-        ctx, "hcs", res.schedule, res.predicted_makespan_s, hcs=res
-    )
+    return _result(ctx, "hcs", res.schedule, score, hcs=res)
 
 
 @register_scheduler("hcs+")
-def _hcs_plus_adapter(ctx: _Context, **opts) -> ScheduleResult:
+def _hcs_plus_adapter(ctx: SchedulingContext, **opts) -> ScheduleResult:
     from repro.core.hcs import hcs_schedule
 
-    res = hcs_schedule(
-        ctx.predictor,
-        ctx.jobs,
-        ctx.cap_w,
-        refine=True,
-        seed=ctx.seed,
-        evaluator=ctx.evaluator,
-        **opts,
+    res = hcs_schedule(ctx, refine=True, **opts)
+    score = (
+        res.predicted_makespan_s
+        if ctx.objective is Objective.MAKESPAN
+        else None
     )
-    return _result(
-        ctx, "hcs+", res.schedule, res.predicted_makespan_s, hcs=res
-    )
+    return _result(ctx, "hcs+", res.schedule, score, hcs=res)
 
 
 @register_scheduler("random")
-def _random_adapter(ctx: _Context, **opts) -> ScheduleResult:
-    sched = random_schedule(ctx.jobs, seed=ctx.seed, **opts)
+def _random_adapter(ctx: SchedulingContext, **opts) -> ScheduleResult:
+    sched = random_schedule(ctx, **opts)
     return _result(ctx, "random", sched)
 
 
 @register_scheduler("default")
-def _default_adapter(ctx: _Context, **opts) -> ScheduleResult:
-    part = default_partition(ctx.predictor.table, ctx.jobs, **opts)
+def _default_adapter(ctx: SchedulingContext, **opts) -> ScheduleResult:
+    part = default_partition(ctx, **opts)
     sched = CoSchedule(
         cpu_queue=part.cpu_partition, gpu_queue=part.gpu_partition
     )
@@ -408,7 +434,7 @@ def _default_adapter(ctx: _Context, **opts) -> ScheduleResult:
 
 
 @register_scheduler("brute")
-def _brute_adapter(ctx: _Context, **opts) -> ScheduleResult:
+def _brute_adapter(ctx: SchedulingContext, **opts) -> ScheduleResult:
     sched, score = brute_force_best(
         ctx.jobs, ctx.evaluator, executor=ctx.executor, **opts
     )
@@ -416,26 +442,19 @@ def _brute_adapter(ctx: _Context, **opts) -> ScheduleResult:
 
 
 @register_scheduler("astar")
-def _astar_adapter(ctx: _Context, **opts) -> ScheduleResult:
+def _astar_adapter(ctx: SchedulingContext, **opts) -> ScheduleResult:
     from repro.core.astar import astar_schedule
 
-    sched, score, expanded = astar_schedule(
-        ctx.predictor, ctx.jobs, ctx.cap_w, **opts
-    )
+    sched, elapsed, expanded = astar_schedule(ctx, **opts)
+    # A*'s g-cost is elapsed predicted time; under a non-makespan objective
+    # the reported score is re-derived from the evaluator instead.
+    score = elapsed if ctx.objective is Objective.MAKESPAN else None
     return _result(ctx, "astar", sched, score, nodes_expanded=expanded)
 
 
 @register_scheduler("genetic")
-def _genetic_adapter(ctx: _Context, **opts) -> ScheduleResult:
+def _genetic_adapter(ctx: SchedulingContext, **opts) -> ScheduleResult:
     from repro.core.genetic import genetic_schedule
 
-    sched, score = genetic_schedule(
-        ctx.predictor,
-        ctx.jobs,
-        ctx.cap_w,
-        seed=ctx.seed,
-        evaluator=ctx.evaluator,
-        executor=ctx.executor,
-        **opts,
-    )
+    sched, score = genetic_schedule(ctx, **opts)
     return _result(ctx, "genetic", sched, score)

@@ -42,7 +42,7 @@ from collections.abc import Sequence
 from repro.hardware.device import DeviceKind
 from repro.workload.program import Job
 from repro.core.bounds import lower_bound
-from repro.core.freqpolicy import ModelGovernor
+from repro.core.context import SchedulingContext
 from repro.core.schedule import CoSchedule
 from repro.model.predictor import CoRunPredictor
 from repro.perf.cache import EvalCache
@@ -85,28 +85,34 @@ class AStarScheduler:
 
     def __init__(
         self,
-        predictor: CoRunPredictor,
-        jobs: Sequence[Job],
-        cap_w: float,
+        predictor: CoRunPredictor | SchedulingContext,
+        jobs: Sequence[Job] | None = None,
+        cap_w: float | None = None,
         *,
         use_heuristic: bool = True,
         node_budget: int = 200_000,
         cache: EvalCache | None = None,
     ) -> None:
-        if not jobs:
-            raise ValueError("cannot schedule an empty job set")
         # Expansion re-queries the same (pair, setting) degradations along
         # every branch of the search tree; a caching wrapper collapses the
-        # cost.  Callers pass a shared EvalCache to reuse answers computed
-        # by HCS/GA/refinement on the same instance.
-        if cache is not None and not isinstance(predictor, CachingPredictor):
+        # cost.  Callers pass a shared EvalCache (or a context) to reuse
+        # answers computed by HCS/GA/refinement on the same instance.
+        if (
+            cache is not None
+            and not isinstance(predictor, SchedulingContext)
+            and not isinstance(predictor, CachingPredictor)
+        ):
             predictor = CachingPredictor(predictor, cache)
+        ctx = SchedulingContext.coerce(predictor, jobs, cap_w, cache=cache)
+        predictor, jobs = ctx.predictor, ctx.jobs
         self.predictor = predictor
         self.jobs = {j.uid: j for j in jobs}
         if len(self.jobs) != len(jobs):
             raise ValueError("job uids must be unique")
-        self.cap_w = cap_w
-        self.governor = ModelGovernor(predictor, cap_w)
+        self.cap_w = ctx.cap_w
+        # g is always the elapsed predicted time; a non-makespan context
+        # still steers the search through its governor's frequency picks.
+        self.governor = ctx.governor
         self.use_heuristic = use_heuristic
         self.node_budget = node_budget
         self._h_cache: dict[frozenset, float] = {}
@@ -330,9 +336,9 @@ class AStarScheduler:
 
 
 def astar_schedule(
-    predictor: CoRunPredictor,
-    jobs: Sequence[Job],
-    cap_w: float,
+    predictor: CoRunPredictor | SchedulingContext,
+    jobs: Sequence[Job] | None = None,
+    cap_w: float | None = None,
     *,
     use_heuristic: bool = True,
     node_budget: int = 200_000,

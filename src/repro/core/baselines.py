@@ -32,17 +32,26 @@ DEFAULT_SOLO_PROB = 0.1
 
 
 def random_schedule(
-    jobs: Sequence[Job],
+    jobs,
     *,
     seed: int | np.random.Generator | None = None,
     solo_prob: float = DEFAULT_SOLO_PROB,
 ) -> CoSchedule:
     """One sample of the Random baseline.
 
-    Jobs are visited in random order; each lands on a uniformly random
-    processor queue, except that with probability ``solo_prob`` it is set
-    aside to run alone (on a random processor) after the queues drain.
+    ``jobs`` may be a job sequence or a
+    :class:`~repro.core.context.SchedulingContext` (whose jobs and seed are
+    used; an explicit ``seed`` wins).  Jobs are visited in random order;
+    each lands on a uniformly random processor queue, except that with
+    probability ``solo_prob`` it is set aside to run alone (on a random
+    processor) after the queues drain.
     """
+    from repro.core.context import SchedulingContext
+
+    if isinstance(jobs, SchedulingContext):
+        if seed is None:
+            seed = jobs.seed
+        jobs = jobs.jobs
     if not 0.0 <= solo_prob <= 1.0:
         raise ValueError("solo_prob must be a probability")
     rng = default_rng(seed)
@@ -72,15 +81,27 @@ class DefaultPartition:
     cpu_partition: tuple[Job, ...]
 
 
-def default_partition(table: ProfileTable, jobs: Sequence[Job]) -> DefaultPartition:
+def default_partition(
+    table: ProfileTable, jobs: Sequence[Job] | None = None
+) -> DefaultPartition:
     """Rank-and-split placement (Section VI-A, "Default").
 
-    Ranking key: standalone CPU time over GPU time at the highest frequency
-    (higher ratio = stronger GPU preference).  The split point minimizes the
-    larger of the two partitions' summed standalone times — the paper's
+    ``table`` may be a :class:`~repro.core.context.SchedulingContext`
+    (whose predictor's profile table and jobs are used).  Ranking key:
+    standalone CPU time over GPU time at the highest frequency (higher
+    ratio = stronger GPU preference).  The split point minimizes the larger
+    of the two partitions' summed standalone times — the paper's
     "partitioning minimizes the sum of execution times of the longer
     partition".
     """
+    from repro.core.context import SchedulingContext
+
+    if isinstance(table, SchedulingContext):
+        if jobs is None:
+            jobs = table.jobs
+        table = table.predictor.table
+    elif jobs is None:
+        raise TypeError("jobs are required without a SchedulingContext")
     proc = table.processor
     fc, fg = proc.cpu.domain.fmax, proc.gpu.domain.fmax
 

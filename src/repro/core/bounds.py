@@ -28,6 +28,7 @@ from collections.abc import Sequence
 
 from repro.hardware.device import DeviceKind
 from repro.workload.program import Job
+from repro.core.feasibility import pair_settings_under_cap
 from repro.model.predictor import CoRunPredictor
 
 
@@ -43,17 +44,30 @@ class LowerBoundDetail:
 
 def lower_bound(
     predictor: CoRunPredictor,
-    jobs: Sequence[Job],
-    cap_w: float,
+    jobs: Sequence[Job] | None = None,
+    cap_w: float | None = None,
     *,
     deg_source=None,
 ) -> tuple[float, list[LowerBoundDetail]]:
     """Compute ``T_low`` and its per-job breakdown.
 
-    ``deg_source`` overrides where degradations come from (e.g. an
+    The first argument may be a
+    :class:`~repro.core.context.SchedulingContext`, in which case ``jobs``
+    and ``cap_w`` come from the context and must be omitted.  ``deg_source``
+    overrides where degradations come from (e.g. an
     :class:`~repro.model.predictor.OracleDegradations` for a ground-truth
     bound); it defaults to the predictor itself.
     """
+    from repro.core.context import SchedulingContext
+
+    if isinstance(predictor, SchedulingContext):
+        if jobs is not None or cap_w is not None:
+            raise TypeError(
+                "jobs/cap_w must be omitted when a SchedulingContext is given"
+            )
+        predictor, jobs, cap_w = predictor.predictor, predictor.jobs, predictor.cap_w
+    elif jobs is None or cap_w is None:
+        raise TypeError("jobs and cap_w are required without a SchedulingContext")
     if deg_source is None:
         deg_source = predictor
     details: list[LowerBoundDetail] = []
@@ -74,7 +88,7 @@ def lower_bound(
                     pair = (job.uid, other.uid)
                 else:
                     pair = (other.uid, job.uid)
-                for setting in predictor.feasible_pair_settings(*pair, cap_w):
+                for setting in pair_settings_under_cap(predictor, *pair, cap_w):
                     f = (
                         setting.cpu_ghz
                         if kind is DeviceKind.CPU

@@ -1,0 +1,284 @@
+"""The shared scheduling context: one bundle, every scheduler.
+
+Before this module each scheduler entry point re-plumbed its own
+``(predictor, jobs, cap_w, seed, evaluator, executor, ...)`` signature and
+re-built its own governor.  A :class:`SchedulingContext` freezes that whole
+bundle once — jobs, predictor, cap, :class:`~repro.core.objectives.Objective`,
+governor (via a pluggable factory), memoized evaluator, executor, eval
+cache, and seed — and every scheduler in the registry plus ``refine``,
+``online``, ``bounds``, and ``baselines`` accepts it in place of its legacy
+first arguments::
+
+    ctx = SchedulingContext.build(jobs, cap_w=15.0, objective="energy")
+    hcs = hcs_schedule(ctx, refine=True)
+    ga = genetic_schedule(ctx)              # same model, governor, cache
+    bound, _ = lower_bound(ctx)
+
+The objective travels inside the context: the governor factory resolves a
+makespan context to the paper's :class:`~repro.core.freqpolicy.ModelGovernor`
+and an energy/EDP context to the
+:class:`~repro.core.objectives.EnergyAwareGovernor`, and the evaluator's
+cache keys are tagged with the objective so scores can never leak between
+objectives sharing one cache.
+
+Legacy call shapes (``hcs_schedule(predictor, jobs, cap_w, ...)``) remain
+supported through :meth:`SchedulingContext.coerce`, which wraps them in an
+equivalent context on the fly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.workload.program import Job
+from repro.core.objectives import Objective, governor_for
+from repro.perf.cache import EvalCache
+from repro.perf.evaluator import CachingPredictor, ScheduleEvaluator
+from repro.perf.executor import Executor, make_executor
+from repro.util.rng import default_rng
+
+
+@dataclass(frozen=True)
+class SchedulingContext:
+    """Frozen bundle of everything a scheduler needs for one problem.
+
+    Only ``jobs``, ``cap_w``, and ``predictor`` are required; the governor,
+    evaluator, executor, and cache are resolved consistently on
+    construction (the governor from ``governor_factory`` and the objective,
+    the evaluator bound to that governor with objective-tagged cache keys).
+    Stochastic schedulers draw their randomness from :meth:`rng`, so two
+    contexts with equal seeds replay identically.
+    """
+
+    jobs: tuple[Job, ...]
+    cap_w: float
+    predictor: object
+    objective: Objective = Objective.MAKESPAN
+    governor: object | None = None
+    evaluator: ScheduleEvaluator | None = None
+    executor: Executor | object | None = None
+    cache: EvalCache | None = None
+    seed: int | np.random.Generator | None = None
+    governor_factory: Callable[..., object] = governor_for
+
+    def __post_init__(self) -> None:
+        if not self.jobs:
+            raise ValueError("cannot schedule an empty job set")
+        set_ = object.__setattr__
+        set_(self, "jobs", tuple(self.jobs))
+        set_(self, "objective", Objective.coerce(self.objective))
+        set_(self, "executor", make_executor(self.executor))
+        if self.cache is None:
+            set_(
+                self,
+                "cache",
+                self.evaluator.cache if self.evaluator is not None else EvalCache(),
+            )
+        if self.governor is None:
+            governor = (
+                self.evaluator.governor
+                if self.evaluator is not None
+                else self.governor_factory(self.predictor, self.cap_w, self.objective)
+            )
+            set_(self, "governor", governor)
+        if self.evaluator is None:
+            set_(
+                self,
+                "evaluator",
+                ScheduleEvaluator(
+                    self.predictor,
+                    self.governor,
+                    cache=self.cache,
+                    objective=self.objective,
+                ),
+            )
+        elif self.evaluator.objective != self.objective.value:
+            raise ValueError(
+                f"evaluator scores {self.evaluator.objective!r} but the "
+                f"context objective is {self.objective.value!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        jobs: Sequence[Job],
+        *,
+        cap_w: float,
+        objective: Objective | str = Objective.MAKESPAN,
+        predictor=None,
+        processor=None,
+        executor=None,
+        cache: EvalCache | None = None,
+        disk_cache=None,
+        seed=None,
+        governor=None,
+        governor_factory: Callable[..., object] | None = None,
+    ) -> "SchedulingContext":
+        """Resolve a full context, building the model on the fly if needed.
+
+        When ``predictor`` is omitted, the workload is profiled and the
+        degradation space characterized (optionally fanned out over
+        ``executor`` and persisted via ``disk_cache``) — the same behavior
+        the ``schedule()`` facade always had.
+        """
+        if not jobs:
+            raise ValueError("cannot schedule an empty job set")
+        pool = make_executor(executor)
+        shared_cache = cache if cache is not None else EvalCache()
+        if predictor is None:
+            from repro.model.characterize import characterize_space
+            from repro.model.predictor import CoRunPredictor
+            from repro.model.profiler import profile_workload
+
+            if processor is None:
+                from repro.hardware.calibration import make_ivy_bridge
+
+                processor = make_ivy_bridge()
+            table = profile_workload(
+                processor, jobs, executor=pool, disk_cache=disk_cache
+            )
+            space = characterize_space(
+                processor, executor=pool, disk_cache=disk_cache
+            )
+            predictor = CachingPredictor(
+                CoRunPredictor(processor, table, space), cache=shared_cache
+            )
+        elif cache is not None and not isinstance(predictor, CachingPredictor):
+            predictor = CachingPredictor(predictor, cache=shared_cache)
+        return cls(
+            jobs=tuple(jobs),
+            cap_w=cap_w,
+            predictor=predictor,
+            objective=objective,
+            governor=governor,
+            executor=pool,
+            cache=shared_cache,
+            seed=seed,
+            governor_factory=(
+                governor_factory if governor_factory is not None else governor_for
+            ),
+        )
+
+    @classmethod
+    def coerce(
+        cls,
+        context,
+        jobs: Sequence[Job] | None = None,
+        cap_w: float | None = None,
+        *,
+        objective: Objective | str | None = None,
+        governor=None,
+        evaluator: ScheduleEvaluator | None = None,
+        executor=None,
+        cache: EvalCache | None = None,
+        seed=None,
+    ) -> "SchedulingContext":
+        """Adapt a legacy ``(predictor, jobs, cap_w, ...)`` call to a context.
+
+        ``context`` may already be a :class:`SchedulingContext`, in which
+        case ``jobs``/``cap_w`` must be omitted and only ``seed`` /
+        ``objective`` may override the bundled values; anything else is the
+        scheduler's legacy first argument (a predictor), and the remaining
+        pieces are resolved exactly as the legacy entry point did.
+        """
+        if isinstance(context, cls):
+            if jobs is not None or cap_w is not None:
+                raise TypeError(
+                    "jobs/cap_w must be omitted when a SchedulingContext is given"
+                )
+            ctx = context
+            if seed is not None:
+                ctx = ctx.with_seed(seed)
+            if objective is not None:
+                objective = Objective.coerce(objective)
+                if objective is not ctx.objective:
+                    ctx = ctx.with_objective(objective)
+            return ctx
+        if jobs is None or cap_w is None:
+            raise TypeError(
+                "jobs and cap_w are required without a SchedulingContext"
+            )
+        return cls(
+            jobs=tuple(jobs),
+            cap_w=cap_w,
+            predictor=context,
+            objective=Objective.MAKESPAN if objective is None else objective,
+            governor=governor,
+            evaluator=evaluator,
+            executor=executor,
+            cache=cache,
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def with_jobs(self, jobs: Sequence[Job]) -> "SchedulingContext":
+        """Same model and policies over a different job set."""
+        return replace(self, jobs=tuple(jobs))
+
+    def with_seed(self, seed) -> "SchedulingContext":
+        """Same context with a different random seed."""
+        return replace(self, seed=seed)
+
+    def with_objective(self, objective: Objective | str) -> "SchedulingContext":
+        """Re-target the objective; governor and evaluator are rebuilt.
+
+        The eval cache is shared — objective-tagged keys keep the scores
+        apart — so model queries stay warm across objectives.
+        """
+        return SchedulingContext(
+            jobs=self.jobs,
+            cap_w=self.cap_w,
+            predictor=self.predictor,
+            objective=objective,
+            executor=self.executor,
+            cache=self.cache,
+            seed=self.seed,
+            governor_factory=self.governor_factory,
+        )
+
+    def with_cap(self, cap_w: float) -> "SchedulingContext":
+        """Re-target the power cap; governor and evaluator are rebuilt.
+
+        The evaluator gets a *fresh* cache: schedule-score keys carry no
+        cap, so sharing one across caps would serve stale scores.
+        """
+        return SchedulingContext(
+            jobs=self.jobs,
+            cap_w=cap_w,
+            predictor=self.predictor,
+            objective=self.objective,
+            executor=self.executor,
+            seed=self.seed,
+            governor_factory=self.governor_factory,
+        )
+
+    # ------------------------------------------------------------------
+    # Shared services
+    # ------------------------------------------------------------------
+    def rng(self) -> np.random.Generator:
+        """A generator seeded from the context (fresh on every call)."""
+        return default_rng(self.seed)
+
+    def score(self, schedule) -> float:
+        """Predicted objective score of a schedule (memoized)."""
+        return self.evaluator(schedule)
+
+    def predicted_makespan(self, schedule) -> float:
+        """Predicted makespan regardless of the objective (memoized)."""
+        return self.evaluator.makespan_of(schedule)
+
+    def metrics(self, schedule):
+        """Predicted makespan+energy metrics of a schedule (memoized)."""
+        return self.evaluator.metrics(schedule)
+
+    def perf_stats(self) -> dict[str, float]:
+        """Shared eval-cache counters."""
+        return self.cache.snapshot()

@@ -1,0 +1,133 @@
+"""Cap-feasibility arithmetic: the one home for frequency enumeration.
+
+Every governor and scheduler has to answer the same three questions about
+the power cap:
+
+* what would the chip draw for this running combination at this setting?
+* which settings keep that draw at or below the cap?
+* what does it cost (in energy) to finish the running work at a setting?
+
+Historically those answers were re-implemented in ``freqpolicy.py``, in
+``objectives.py``, and inline in per-scheduler loops.  This module is the
+single consumer of the predictor's enumeration queries inside
+``repro.core``; everything else (ModelGovernor, BiasedGovernor,
+EnergyAwareGovernor, partitioning, the lower bound) goes through it, so a
+cap-feasibility fix lands everywhere at once.
+
+All helpers take job *uids* (``None`` for an idle side), matching the
+predictor's own vocabulary, and raise
+:class:`~repro.errors.InfeasibleCapError` from the ``require_*`` variants
+when no setting fits — the exception the CLI maps to exit code 2.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import InfeasibleCapError
+from repro.hardware.device import DeviceKind
+from repro.hardware.frequency import FrequencySetting
+
+
+def predicted_power(
+    predictor,
+    cpu_uid: str | None,
+    gpu_uid: str | None,
+    setting: FrequencySetting,
+) -> float:
+    """Predicted chip power for an arbitrary running combination."""
+    if cpu_uid is not None and gpu_uid is not None:
+        return predictor.pair_power_w(cpu_uid, gpu_uid, setting)
+    if cpu_uid is not None:
+        return predictor.solo_power_w(cpu_uid, DeviceKind.CPU, setting.cpu_ghz)
+    if gpu_uid is not None:
+        return predictor.solo_power_w(gpu_uid, DeviceKind.GPU, setting.gpu_ghz)
+    raise ValueError("no running job: chip power is undefined")
+
+
+def pair_settings_under_cap(
+    predictor, cpu_uid: str, gpu_uid: str, cap_w: float
+) -> list[FrequencySetting]:
+    """Frequency settings whose predicted pair power fits the cap."""
+    return list(predictor.feasible_pair_settings(cpu_uid, gpu_uid, cap_w))
+
+
+def solo_levels_under_cap(
+    predictor, uid: str, kind: DeviceKind, cap_w: float
+) -> list[float]:
+    """Device frequency levels whose predicted solo power fits the cap."""
+    return list(predictor.feasible_solo_levels(uid, kind, cap_w))
+
+
+def require_pair_settings(
+    predictor, cpu_uid: str, gpu_uid: str, cap_w: float
+) -> list[FrequencySetting]:
+    """Cap-feasible pair settings, raising when there are none."""
+    feasible = pair_settings_under_cap(predictor, cpu_uid, gpu_uid, cap_w)
+    if not feasible:
+        raise InfeasibleCapError(
+            f"pair ({cpu_uid}, {gpu_uid}) infeasible under "
+            f"{cap_w} W: no frequency setting fits the cap",
+            cap_w=cap_w,
+            jobs=(cpu_uid, gpu_uid),
+        )
+    return feasible
+
+
+def require_solo_levels(
+    predictor, uid: str, kind: DeviceKind, cap_w: float
+) -> list[float]:
+    """Cap-feasible solo levels, raising when there are none."""
+    levels = solo_levels_under_cap(predictor, uid, kind, cap_w)
+    if not levels:
+        raise InfeasibleCapError(
+            f"{uid} infeasible under {cap_w} W on {kind.value}: "
+            "no frequency level fits the cap",
+            cap_w=cap_w,
+            jobs=(uid,),
+        )
+    return levels
+
+
+def first_setting_under_cap(
+    predictor,
+    cpu_uid: str | None,
+    gpu_uid: str | None,
+    cap_w: float,
+    candidates: Iterable[FrequencySetting],
+) -> FrequencySetting:
+    """First candidate whose predicted power fits the cap, in given order.
+
+    This is the biased governors' decision procedure: the caller encodes
+    its bias purely in the candidate order.
+    """
+    for setting in candidates:
+        if predicted_power(predictor, cpu_uid, gpu_uid, setting) <= cap_w:
+            return setting
+    raise InfeasibleCapError(
+        f"no frequency setting satisfies the {cap_w} W cap for "
+        f"({cpu_uid}, {gpu_uid})",
+        cap_w=cap_w,
+        jobs=tuple(uid for uid in (cpu_uid, gpu_uid) if uid is not None),
+    )
+
+
+def pair_energy_j(
+    predictor, cpu_uid: str, gpu_uid: str, setting: FrequencySetting
+) -> float:
+    """Predicted energy to complete a co-running pair at ``setting``.
+
+    Approximated as the predicted chip power times the summed predicted
+    co-run times (both jobs must finish; power is roughly constant while
+    they overlap).
+    """
+    power = predictor.pair_power_w(cpu_uid, gpu_uid, setting)
+    t_c, t_g = predictor.corun_times(cpu_uid, gpu_uid, setting)
+    return power * (t_c + t_g)
+
+
+def solo_energy_j(predictor, uid: str, kind: DeviceKind, f_ghz: float) -> float:
+    """Predicted energy to complete a solo job at level ``f_ghz``."""
+    return predictor.solo_power_w(uid, kind, f_ghz) * predictor.solo_time(
+        uid, kind, f_ghz
+    )

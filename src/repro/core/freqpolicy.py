@@ -13,7 +13,8 @@ should the chip use?*  Three policies appear in the paper:
 All three consult only the *predicted* power model — exactly the paper's
 setup, where the runtime cannot measure a co-run before launching it.  The
 small prediction error is why measured power occasionally overshoots the cap
-(Figure 9).
+(Figure 9).  Cap-feasibility arithmetic lives in
+:mod:`repro.core.feasibility`, shared with the energy-aware governor.
 """
 
 from __future__ import annotations
@@ -21,10 +22,14 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-from repro.errors import InfeasibleCapError
 from repro.hardware.device import DeviceKind
 from repro.hardware.frequency import FrequencySetting
 from repro.workload.program import Job
+from repro.core.feasibility import (
+    first_setting_under_cap,
+    pair_settings_under_cap,
+    require_pair_settings,
+)
 from repro.model.predictor import CoRunPredictor
 
 
@@ -35,22 +40,6 @@ class Bias(enum.Enum):
     CPU = "cpu"
 
 
-def _predicted_power(
-    predictor: CoRunPredictor,
-    cpu_job: Job | None,
-    gpu_job: Job | None,
-    setting: FrequencySetting,
-) -> float:
-    """Predicted chip power for an arbitrary running combination."""
-    if cpu_job is not None and gpu_job is not None:
-        return predictor.pair_power_w(cpu_job.uid, gpu_job.uid, setting)
-    if cpu_job is not None:
-        return predictor.solo_power_w(cpu_job.uid, DeviceKind.CPU, setting.cpu_ghz)
-    if gpu_job is not None:
-        return predictor.solo_power_w(gpu_job.uid, DeviceKind.GPU, setting.gpu_ghz)
-    raise ValueError("governor consulted with no running job")
-
-
 @dataclass
 class BiasedGovernor:
     """GPU-biased or CPU-biased cap enforcement.
@@ -59,8 +48,9 @@ class BiasedGovernor:
     the predicted power staying at or below the cap.  Equivalent to the
     paper's iterative lower/raise description, but solved directly.
 
-    Raises ``RuntimeError`` when even the lowest levels exceed the cap; the
-    default calibration's caps (15/16 W) always admit the floor setting.
+    Raises :class:`~repro.errors.InfeasibleCapError` when even the lowest
+    levels exceed the cap; the default calibration's caps (15/16 W) always
+    admit the floor setting.
     """
 
     predictor: CoRunPredictor
@@ -85,16 +75,11 @@ class BiasedGovernor:
         else:
             outer = [FrequencySetting(fc, fg) for fc in reversed(cpu_levels)
                      for fg in reversed(gpu_levels)]
-        for setting in outer:
-            if _predicted_power(self.predictor, cpu_job, gpu_job, setting) <= self.cap_w:
-                self._cache[key] = setting
-                return setting
-        raise InfeasibleCapError(
-            f"no frequency setting satisfies the {self.cap_w} W cap for "
-            f"({key[0]}, {key[1]})",
-            cap_w=self.cap_w,
-            jobs=tuple(uid for uid in key if uid is not None),
+        setting = first_setting_under_cap(
+            self.predictor, key[0], key[1], self.cap_w, outer
         )
+        self._cache[key] = setting
+        return setting
 
 
 @dataclass
@@ -128,16 +113,9 @@ class ModelGovernor:
     def _choose(self, cpu_job: Job | None, gpu_job: Job | None) -> FrequencySetting:
         proc = self.predictor.processor
         if cpu_job is not None and gpu_job is not None:
-            feasible = self.predictor.feasible_pair_settings(
-                cpu_job.uid, gpu_job.uid, self.cap_w
+            feasible = require_pair_settings(
+                self.predictor, cpu_job.uid, gpu_job.uid, self.cap_w
             )
-            if not feasible:
-                raise InfeasibleCapError(
-                    f"pair ({cpu_job.uid}, {gpu_job.uid}) infeasible under "
-                    f"{self.cap_w} W: no frequency setting fits the cap",
-                    cap_w=self.cap_w,
-                    jobs=(cpu_job.uid, gpu_job.uid),
-                )
             return min(
                 feasible,
                 key=lambda s: sum(
@@ -162,7 +140,9 @@ class ModelGovernor:
         minimal degradation").  Returns ``None`` when no setting fits the
         cap.
         """
-        feasible = self.predictor.feasible_pair_settings(cpu_uid, gpu_uid, self.cap_w)
+        feasible = pair_settings_under_cap(
+            self.predictor, cpu_uid, gpu_uid, self.cap_w
+        )
         if not feasible:
             return None
         best_s = min(

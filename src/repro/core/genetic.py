@@ -20,12 +20,10 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.workload.program import Job
-from repro.core.freqpolicy import ModelGovernor
+from repro.core.context import SchedulingContext
 from repro.core.schedule import CoSchedule
 from repro.model.predictor import CoRunPredictor
 from repro.perf.evaluator import ScheduleEvaluator
-from repro.perf.executor import make_executor
-from repro.util.rng import default_rng
 
 
 @dataclass(frozen=True)
@@ -62,30 +60,30 @@ class GeneticScheduler:
 
     def __init__(
         self,
-        predictor: CoRunPredictor,
-        jobs: Sequence[Job],
-        cap_w: float,
+        predictor: CoRunPredictor | SchedulingContext,
+        jobs: Sequence[Job] | None = None,
+        cap_w: float | None = None,
         *,
         config: GaConfig | None = None,
         seed=None,
         evaluator: ScheduleEvaluator | None = None,
         executor=None,
     ) -> None:
-        if not jobs:
-            raise ValueError("cannot schedule an empty job set")
-        self.jobs = list(jobs)
+        ctx = SchedulingContext.coerce(
+            predictor, jobs, cap_w, evaluator=evaluator, executor=executor, seed=seed
+        )
+        self.jobs = list(ctx.jobs)
         if len({j.uid for j in self.jobs}) != len(self.jobs):
             raise ValueError("job uids must be unique")
-        self.predictor = predictor
-        self.cap_w = cap_w
+        self.predictor = ctx.predictor
+        self.cap_w = ctx.cap_w
         self.config = config if config is not None else GaConfig()
-        self.rng = default_rng(seed)
-        if evaluator is None:
-            governor = ModelGovernor(predictor, cap_w)
-            evaluator = ScheduleEvaluator(predictor, governor)
-        self.evaluator = evaluator
-        self.governor = evaluator.governor
-        self.executor = make_executor(executor)
+        self.rng = ctx.rng()
+        # Fitness is the context's objective score — a GA over an energy
+        # context genuinely evolves low-energy schedules.
+        self.evaluator = ctx.evaluator
+        self.governor = ctx.governor
+        self.executor = ctx.executor
 
     # ------------------------------------------------------------------
     def _decode(self, genome: _Genome) -> CoSchedule:
@@ -201,9 +199,9 @@ class GeneticScheduler:
 
 
 def genetic_schedule(
-    predictor: CoRunPredictor,
-    jobs: Sequence[Job],
-    cap_w: float,
+    predictor: CoRunPredictor | SchedulingContext,
+    jobs: Sequence[Job] | None = None,
+    cap_w: float | None = None,
     *,
     config: GaConfig | None = None,
     seed=None,

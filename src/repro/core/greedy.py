@@ -20,7 +20,6 @@ is the one the runtime expects to happen.
 from __future__ import annotations
 
 import math
-from collections.abc import Sequence
 
 from repro.hardware.device import DeviceKind
 from repro.workload.program import Job

@@ -24,8 +24,9 @@ from repro.errors import InfeasibleCapError
 from repro.hardware.device import DeviceKind
 from repro.workload.program import Job
 from repro.core.categorize import DEFAULT_THRESHOLD, Categorized, categorize_jobs
-from repro.core.freqpolicy import ModelGovernor
+from repro.core.context import SchedulingContext
 from repro.core.greedy import greedy_schedule
+from repro.core.objectives import Objective
 from repro.core.partition import Partition, partition_jobs
 from repro.core.refine import refine_schedule
 from repro.core.schedule import CoSchedule
@@ -40,7 +41,7 @@ class HcsResult:
     schedule: CoSchedule
     partition: Partition
     categorized: Categorized
-    governor: ModelGovernor
+    governor: object
     predicted_makespan_s: float
     scheduling_time_s: float
 
@@ -65,40 +66,49 @@ def _best_solo_kind(
 
 
 def hcs_schedule(
-    predictor: CoRunPredictor,
-    jobs: Sequence[Job],
-    cap_w: float,
+    predictor: CoRunPredictor | SchedulingContext,
+    jobs: Sequence[Job] | None = None,
+    cap_w: float | None = None,
     *,
     refine: bool = False,
     threshold: float = DEFAULT_THRESHOLD,
     seed: int | np.random.Generator | None = None,
     evaluator: ScheduleEvaluator | None = None,
+    objective: Objective | str | None = None,
 ) -> HcsResult:
     """Compute an HCS (or, with ``refine=True``, HCS+) co-schedule.
 
-    ``evaluator`` (optional) shares a memoized makespan evaluator with the
-    refinement passes and the final predicted-makespan report.
+    The first argument may be a
+    :class:`~repro.core.context.SchedulingContext`, which supplies jobs,
+    cap, governor, evaluator, objective, and seed in one bundle (the legacy
+    ``(predictor, jobs, cap_w)`` shape is coerced into one).  Under an
+    energy/EDP context the greedy pairing and the refinement passes rank
+    candidates by the context governor's objective cost.  ``evaluator``
+    (optional) shares a memoized evaluator with the refinement passes and
+    the final predicted-makespan report.
     """
-    if not jobs:
-        raise ValueError("cannot schedule an empty job set")
     t0 = time.perf_counter()
-    governor = ModelGovernor(predictor, cap_w)
-    if evaluator is None:
-        evaluator = ScheduleEvaluator(predictor, governor)
+    ctx = SchedulingContext.coerce(
+        predictor,
+        jobs,
+        cap_w,
+        objective=objective,
+        evaluator=evaluator,
+        seed=seed,
+    )
+    predictor, governor, evaluator = ctx.predictor, ctx.governor, ctx.evaluator
 
-    part = partition_jobs(predictor, jobs, cap_w)
-    cat = categorize_jobs(predictor, part.co, cap_w, threshold=threshold)
-    cpu_order, gpu_order = greedy_schedule(predictor, cat, cap_w, governor)
+    part = partition_jobs(predictor, ctx.jobs, ctx.cap_w)
+    cat = categorize_jobs(predictor, part.co, ctx.cap_w, threshold=threshold)
+    cpu_order, gpu_order = greedy_schedule(predictor, cat, ctx.cap_w, governor)
     solo = tuple(
-        (job, _best_solo_kind(predictor, job, cap_w)) for job in part.seq
+        (job, _best_solo_kind(predictor, job, ctx.cap_w)) for job in part.seq
     )
     schedule = CoSchedule(
         cpu_queue=tuple(cpu_order), gpu_queue=tuple(gpu_order), solo_tail=solo
     )
     if refine:
-        schedule = refine_schedule(
-            schedule, predictor, governor, seed=seed, evaluator=evaluator
-        )
+        schedule = refine_schedule(schedule, ctx)
     elapsed = time.perf_counter() - t0
 
     return HcsResult(
@@ -106,6 +116,6 @@ def hcs_schedule(
         partition=part,
         categorized=cat,
         governor=governor,
-        predicted_makespan_s=evaluator(schedule),
+        predicted_makespan_s=ctx.predicted_makespan(schedule),
         scheduling_time_s=elapsed,
     )

@@ -1,64 +1,121 @@
-"""Alternative scheduling objectives: energy and energy-delay product.
+"""Pluggable scheduling objectives: makespan, energy, energy-delay product.
 
 Definition 2.1 minimizes the makespan, but the power-cap setting naturally
 raises the energy question (the related work's co-scheduling-for-energy line
-[18, 22]).  This module adds:
+[18, 22]).  This module makes the objective a first-class axis:
 
-* objective evaluators over measured executions (makespan, energy, EDP);
+* :class:`Objective` — the enum every layer shares, with string coercion
+  (``"makespan"`` / ``"energy"`` / ``"edp"``) so wire protocols and CLI
+  flags round-trip losslessly;
+* objective evaluators over measured executions and predicted metrics
+  (lower is always better);
 * :class:`EnergyAwareGovernor` — a drop-in replacement for the HCS
   governor that picks, among cap-feasible frequency settings, the one
-  minimizing the *predicted energy to complete the running pair* instead of
-  the predicted completion time.
+  minimizing the *predicted objective cost to complete the running pair*
+  (energy, or energy x time for EDP) instead of the predicted completion
+  time;
+* :func:`governor_for` — the default governor factory used by
+  :class:`~repro.core.context.SchedulingContext`.
 
 Low frequencies are disproportionately energy-efficient (dynamic power
 falls with ``f * V(f)^2`` while run time grows only with ``1/f``), so the
 energy-optimal operating point sits well below the cap — the experiment in
 ``repro.experiments.energy`` quantifies the throughput/energy trade the
-two governors span.
+governors span.
+
+All cap-feasibility enumeration goes through :mod:`repro.core.feasibility`;
+in particular an infeasible pair raises
+:class:`~repro.errors.InfeasibleCapError` (not a bare ``RuntimeError``), so
+the CLI's exit-code-2 contract holds for energy runs too.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.hardware.device import DeviceKind
 from repro.hardware.frequency import FrequencySetting
 from repro.workload.program import Job
-from repro.engine.timeline import ScheduleExecution
+from repro.core.feasibility import (
+    pair_energy_j,
+    pair_settings_under_cap,
+    require_pair_settings,
+    require_solo_levels,
+    solo_energy_j,
+)
 from repro.model.predictor import CoRunPredictor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.timeline import ScheduleExecution
 
 
 class Objective(enum.Enum):
-    """What a schedule is scored on."""
+    """What a schedule is scored on (lower is better)."""
 
     MAKESPAN = "makespan"
     ENERGY = "energy"
     EDP = "edp"
 
+    @classmethod
+    def coerce(cls, value: "Objective | str") -> "Objective":
+        """Accept an :class:`Objective` or its string value."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            try:
+                return cls(value.lower())
+            except ValueError:
+                known = ", ".join(o.value for o in cls)
+                raise ValueError(
+                    f"unknown objective {value!r}; known: {known}"
+                ) from None
+        raise TypeError(
+            f"objective must be an Objective or str, got {type(value).__name__}"
+        )
 
-def score_execution(execution: ScheduleExecution, objective: Objective) -> float:
+    def score(self, makespan_s: float, energy_j: float) -> float:
+        """Combine the two base metrics into this objective's scalar."""
+        if self is Objective.MAKESPAN:
+            return makespan_s
+        if self is Objective.ENERGY:
+            return energy_j
+        return energy_j * makespan_s
+
+
+def score_execution(
+    execution: "ScheduleExecution", objective: Objective | str
+) -> float:
     """Score a measured execution under an objective (lower is better)."""
-    if objective is Objective.MAKESPAN:
-        return execution.makespan_s
-    if objective is Objective.ENERGY:
-        return execution.energy_j
-    return execution.energy_j * execution.makespan_s
+    objective = Objective.coerce(objective)
+    return objective.score(execution.makespan_s, execution.energy_j)
 
 
 @dataclass
 class EnergyAwareGovernor:
-    """Cap-feasible frequency choice minimizing predicted pair energy.
+    """Cap-feasible frequency choice minimizing a predicted objective cost.
 
-    The predicted energy to complete a co-running pair is approximated as
-    the predicted chip power times the summed predicted co-run times (both
-    jobs must finish; power is roughly constant while they overlap).  Solo
-    jobs minimize ``chip power x standalone time``.
+    For a co-running pair the cost is the predicted energy to complete the
+    pair (chip power times summed co-run times — both jobs must finish, and
+    power is roughly constant while they overlap), optionally multiplied by
+    the pair's predicted span for the EDP objective.  Solo jobs minimize
+    the analogous standalone quantity.  Infeasible combinations raise
+    :class:`~repro.errors.InfeasibleCapError`.
     """
 
     predictor: CoRunPredictor
     cap_w: float
+    objective: Objective = Objective.ENERGY
     _cache: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.objective = Objective.coerce(self.objective)
+        if self.objective is Objective.MAKESPAN:
+            raise ValueError(
+                "EnergyAwareGovernor optimizes energy/EDP; use ModelGovernor "
+                "for the makespan objective"
+            )
 
     def __call__(self, cpu_job: Job | None, gpu_job: Job | None) -> FrequencySetting:
         key = (
@@ -72,47 +129,86 @@ class EnergyAwareGovernor:
         return setting
 
     def _pair_energy(self, cpu_uid: str, gpu_uid: str, s: FrequencySetting) -> float:
-        power = self.predictor.pair_power_w(cpu_uid, gpu_uid, s)
+        return pair_energy_j(self.predictor, cpu_uid, gpu_uid, s)
+
+    def _pair_cost(self, cpu_uid: str, gpu_uid: str, s: FrequencySetting) -> float:
+        energy = self._pair_energy(cpu_uid, gpu_uid, s)
+        if self.objective is Objective.ENERGY:
+            return energy
         t_c, t_g = self.predictor.corun_times(cpu_uid, gpu_uid, s)
-        return power * (t_c + t_g)
+        return energy * max(t_c, t_g)
+
+    def _solo_cost(self, uid: str, kind: DeviceKind, f_ghz: float) -> float:
+        energy = solo_energy_j(self.predictor, uid, kind, f_ghz)
+        if self.objective is Objective.ENERGY:
+            return energy
+        return energy * self.predictor.solo_time(uid, kind, f_ghz)
 
     def _choose(self, cpu_job: Job | None, gpu_job: Job | None) -> FrequencySetting:
         proc = self.predictor.processor
         if cpu_job is not None and gpu_job is not None:
-            feasible = self.predictor.feasible_pair_settings(
-                cpu_job.uid, gpu_job.uid, self.cap_w
+            feasible = require_pair_settings(
+                self.predictor, cpu_job.uid, gpu_job.uid, self.cap_w
             )
-            if not feasible:
-                raise RuntimeError(
-                    f"pair ({cpu_job.uid}, {gpu_job.uid}) infeasible under "
-                    f"{self.cap_w} W"
-                )
             return min(
                 feasible,
-                key=lambda s: self._pair_energy(cpu_job.uid, gpu_job.uid, s),
+                key=lambda s: self._pair_cost(cpu_job.uid, gpu_job.uid, s),
             )
         if cpu_job is not None:
-            levels = self.predictor.feasible_solo_levels(
-                cpu_job.uid, DeviceKind.CPU, self.cap_w
+            levels = require_solo_levels(
+                self.predictor, cpu_job.uid, DeviceKind.CPU, self.cap_w
             )
             best = min(
                 levels,
-                key=lambda f: self.predictor.solo_power_w(
-                    cpu_job.uid, DeviceKind.CPU, f
-                )
-                * self.predictor.solo_time(cpu_job.uid, DeviceKind.CPU, f),
+                key=lambda f: self._solo_cost(cpu_job.uid, DeviceKind.CPU, f),
             )
             return FrequencySetting(best, proc.gpu.domain.fmin)
         if gpu_job is not None:
-            levels = self.predictor.feasible_solo_levels(
-                gpu_job.uid, DeviceKind.GPU, self.cap_w
+            levels = require_solo_levels(
+                self.predictor, gpu_job.uid, DeviceKind.GPU, self.cap_w
             )
             best = min(
                 levels,
-                key=lambda f: self.predictor.solo_power_w(
-                    gpu_job.uid, DeviceKind.GPU, f
-                )
-                * self.predictor.solo_time(gpu_job.uid, DeviceKind.GPU, f),
+                key=lambda f: self._solo_cost(gpu_job.uid, DeviceKind.GPU, f),
             )
             return FrequencySetting(proc.cpu.domain.fmin, best)
         raise ValueError("governor consulted with no running job")
+
+    def min_pair_interference(
+        self, cpu_uid: str, gpu_uid: str
+    ) -> tuple[float, FrequencySetting] | None:
+        """Minimal predicted objective cost over cap-feasible settings.
+
+        The greedy pairing rule ranks candidate co-runners by this quantity
+        (see :meth:`ModelGovernor.min_pair_interference
+        <repro.core.freqpolicy.ModelGovernor.min_pair_interference>`); here
+        the ranking currency is the objective cost rather than the summed
+        degradations, so an energy context pairs jobs that are cheap to run
+        *together*.  Returns ``None`` when no setting fits the cap.
+        """
+        feasible = pair_settings_under_cap(
+            self.predictor, cpu_uid, gpu_uid, self.cap_w
+        )
+        if not feasible:
+            return None
+        best_s = min(
+            feasible, key=lambda s: self._pair_cost(cpu_uid, gpu_uid, s)
+        )
+        return self._pair_cost(cpu_uid, gpu_uid, best_s), best_s
+
+
+def governor_for(
+    predictor, cap_w: float, objective: Objective | str = Objective.MAKESPAN
+):
+    """The default governor for an objective.
+
+    Makespan keeps the paper's :class:`~repro.core.freqpolicy.ModelGovernor`
+    (best predicted performance under the cap); energy and EDP swap in the
+    :class:`EnergyAwareGovernor` parameterized by the objective.
+    """
+    objective = Objective.coerce(objective)
+    if objective is Objective.MAKESPAN:
+        from repro.core.freqpolicy import ModelGovernor
+
+        return ModelGovernor(predictor, cap_w)
+    return EnergyAwareGovernor(predictor, cap_w, objective)

@@ -37,6 +37,11 @@ class FifoOnlinePolicy:
 class HcsOnlinePolicy:
     """The heuristic's Step 2+3 rules applied to the arrived-job pool.
 
+    ``predictor`` may be a
+    :class:`~repro.core.context.SchedulingContext`, which supplies the
+    predictor, cap, and governor (so an energy context ranks co-runner
+    candidates by objective cost); ``cap_w`` is then optional.
+
     ``steal_ratio_limit`` bounds how much slower than its preferred
     processor a job may run when placed on the other one; with unknown
     future arrivals there is no horizon to compare against, so a fixed
@@ -44,13 +49,26 @@ class HcsOnlinePolicy:
     """
 
     predictor: CoRunPredictor
-    cap_w: float
+    cap_w: float | None = None
     threshold: float = DEFAULT_THRESHOLD
     steal_ratio_limit: float = 2.0
-    _governor: ModelGovernor = field(init=False)
+    _governor: object = field(init=False)
 
     def __post_init__(self) -> None:
-        self._governor = ModelGovernor(self.predictor, self.cap_w)
+        from repro.core.context import SchedulingContext
+
+        if isinstance(self.predictor, SchedulingContext):
+            ctx = self.predictor
+            self.predictor = ctx.predictor
+            if self.cap_w is None:
+                self.cap_w = ctx.cap_w
+            self._governor = ctx.governor
+        else:
+            if self.cap_w is None:
+                raise TypeError(
+                    "cap_w is required without a SchedulingContext"
+                )
+            self._governor = ModelGovernor(self.predictor, self.cap_w)
 
     def _best_time(self, job: Job, kind: DeviceKind) -> float:
         try:

@@ -14,6 +14,7 @@ from collections.abc import Sequence
 
 from repro.hardware.device import DeviceKind
 from repro.workload.program import Job
+from repro.core.feasibility import pair_settings_under_cap
 from repro.core.theorem import corun_beneficial_theorem
 from repro.model.predictor import CoRunPredictor
 
@@ -33,7 +34,9 @@ def _pair_ever_beneficial(
     cap_w: float,
 ) -> bool:
     """Does any cap-feasible setting make this placement's co-run beneficial?"""
-    for setting in predictor.feasible_pair_settings(cpu_job.uid, gpu_job.uid, cap_w):
+    for setting in pair_settings_under_cap(
+        predictor, cpu_job.uid, gpu_job.uid, cap_w
+    ):
         l_c = predictor.solo_time(cpu_job.uid, DeviceKind.CPU, setting.cpu_ghz)
         l_g = predictor.solo_time(gpu_job.uid, DeviceKind.GPU, setting.gpu_ghz)
         d_c, d_g = predictor.degradations(cpu_job.uid, gpu_job.uid, setting)

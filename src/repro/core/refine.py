@@ -13,12 +13,17 @@ samples, preserving the paper's "almost no time to run" property
 :class:`~repro.perf.evaluator.ScheduleEvaluator`: the random passes revisit
 candidates, and a caller-supplied evaluator shares its cache with whatever
 search produced the input schedule.
+
+Driven through a non-makespan :class:`~repro.core.context.SchedulingContext`
+the identical passes minimize the context's objective (energy or EDP)
+instead — the evaluator is the only place a score is ever computed.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core.context import SchedulingContext
 from repro.core.schedule import CoSchedule
 from repro.perf.evaluator import ScheduleEvaluator
 from repro.util.rng import default_rng
@@ -111,7 +116,7 @@ def _random_cross_pass(
 def refine_schedule(
     schedule: CoSchedule,
     predictor,
-    governor,
+    governor=None,
     *,
     seed: int | np.random.Generator | None = None,
     n_samples: int | None = None,
@@ -119,18 +124,31 @@ def refine_schedule(
 ) -> CoSchedule:
     """Apply the three refinement passes; returns the improved schedule.
 
-    ``evaluator`` (optional) supplies a shared memoized makespan evaluator;
-    when omitted a private one is created, which still de-duplicates
-    re-visited candidates within this call.
+    ``predictor`` may be a :class:`~repro.core.context.SchedulingContext`,
+    in which case the context's evaluator (and seed, unless ``seed`` is
+    given) drive the passes — the swaps then minimize the context's
+    *objective*, not necessarily the makespan.  With the legacy
+    ``(predictor, governor)`` arguments, ``evaluator`` (optional) supplies
+    a shared memoized evaluator; when omitted a private one is created,
+    which still de-duplicates re-visited candidates within this call.
     """
-    rng = default_rng(seed)
+    if isinstance(predictor, SchedulingContext):
+        ctx = predictor
+        if governor is not None:
+            raise TypeError(
+                "governor must be omitted when a SchedulingContext is given"
+            )
+        evaluate = evaluator if evaluator is not None else ctx.evaluator
+        rng = default_rng(ctx.seed if seed is None else seed)
+    else:
+        evaluate = (
+            evaluator
+            if evaluator is not None
+            else ScheduleEvaluator(predictor, governor)
+        )
+        rng = default_rng(seed)
     if n_samples is None:
         n_samples = max(1, SAMPLES_PER_JOB * schedule.n_jobs)
-    evaluate = (
-        evaluator
-        if evaluator is not None
-        else ScheduleEvaluator(predictor, governor)
-    )
     best = evaluate(schedule)
     schedule, best = _adjacent_pass(schedule, evaluate, best)
     schedule, best = _random_intra_pass(schedule, evaluate, best, rng, n_samples)

@@ -43,14 +43,12 @@ from repro.model.characterize import characterize_space
 from repro.model.predictor import CoRunPredictor
 from repro.model.profiler import profile_workload
 from repro.model.space import DegradationSpace
-from repro.core.baselines import (
-    RandomOnlineSource,
-    default_partition,
-    random_schedule,
-)
+from repro.core.baselines import RandomOnlineSource, default_partition
 from repro.core.bounds import lower_bound
-from repro.core.freqpolicy import Bias, BiasedGovernor, ModelGovernor
+from repro.core.context import SchedulingContext
+from repro.core.freqpolicy import Bias, BiasedGovernor
 from repro.core.hcs import HcsResult, hcs_schedule
+from repro.core.objectives import Objective, governor_for
 from repro.core.schedule import CoSchedule
 from repro.perf.cache import EvalCache
 from repro.perf.diskcache import resolve_disk_cache
@@ -104,6 +102,7 @@ class CoScheduleRuntime:
         *,
         processor: IntegratedProcessor | None = None,
         cap_w: float = DEFAULT_POWER_CAP_W,
+        objective: Objective | str = Objective.MAKESPAN,
         space: DegradationSpace | None = None,
         executor=None,
         cache: EvalCache | None = None,
@@ -114,6 +113,7 @@ class CoScheduleRuntime:
         self.processor = processor if processor is not None else make_ivy_bridge()
         self.jobs = tuple(jobs)
         self.cap_w = cap_w
+        self.objective = Objective.coerce(objective)
         self.executor = make_executor(executor)
         self.cache = cache if cache is not None else EvalCache()
         disk = resolve_disk_cache(disk_cache)
@@ -133,6 +133,29 @@ class CoScheduleRuntime:
         )
 
     # ------------------------------------------------------------------
+    # Context
+    # ------------------------------------------------------------------
+    def context(
+        self, *, objective: Objective | str | None = None, seed=None
+    ) -> SchedulingContext:
+        """The frozen :class:`SchedulingContext` the policies run under.
+
+        ``objective`` defaults to the runtime's objective; pass one to
+        derive a one-off context (e.g. compute an energy-optimal schedule
+        from a runtime otherwise used for makespan studies).
+        """
+        return SchedulingContext(
+            jobs=self.jobs,
+            cap_w=self.cap_w,
+            predictor=self.predictor,
+            objective=(
+                self.objective if objective is None else Objective.coerce(objective)
+            ),
+            executor=self.executor,
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------
     # Policies
     # ------------------------------------------------------------------
     def run_hcs(
@@ -143,7 +166,7 @@ class CoScheduleRuntime:
         if threshold is not None:
             kwargs["threshold"] = threshold
         result: HcsResult = hcs_schedule(
-            self.predictor, self.jobs, self.cap_w, refine=refine, seed=seed, **kwargs
+            self.context(seed=seed), refine=refine, **kwargs
         )
         execution = execute_schedule(
             self.processor,
@@ -219,9 +242,12 @@ class CoScheduleRuntime:
     # Analysis helpers
     # ------------------------------------------------------------------
     def execute(self, schedule: CoSchedule, governor=None) -> ScheduleExecution:
-        """Execute an arbitrary schedule (defaults to the HCS governor)."""
+        """Execute an arbitrary schedule.
+
+        The default governor follows the runtime's objective (the HCS
+        ModelGovernor for makespan, the energy-aware one otherwise)."""
         if governor is None:
-            governor = ModelGovernor(self.predictor, self.cap_w)
+            governor = governor_for(self.predictor, self.cap_w, self.objective)
         return execute_schedule(
             self.processor,
             schedule.cpu_queue,

@@ -11,7 +11,7 @@ touches the machine while searching.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from collections.abc import Sequence
 
 from repro.hardware.device import DeviceKind
@@ -67,6 +67,29 @@ class CoSchedule:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class PredictedMetrics:
+    """Model-predicted makespan and energy of one schedule replay."""
+
+    makespan_s: float
+    energy_j: float
+
+    @property
+    def edp_js(self) -> float:
+        return self.energy_j * self.makespan_s
+
+    def score(self, objective) -> float:
+        """Objective scalar (duck-typed: an Objective or its string value)."""
+        name = getattr(objective, "value", objective)
+        if name == "makespan":
+            return self.makespan_s
+        if name == "energy":
+            return self.energy_j
+        if name == "edp":
+            return self.edp_js
+        raise ValueError(f"unknown objective {objective!r}")
+
+
 def predicted_makespan(schedule: CoSchedule, predictor, governor) -> float:
     """Makespan of ``schedule`` under the *predicted* performance model.
 
@@ -82,6 +105,27 @@ def predicted_makespan(schedule: CoSchedule, predictor, governor) -> float:
     (cpu job, gpu job) pair to the frequency setting (see
     :mod:`repro.core.freqpolicy`).
     """
+    return _replay(schedule, predictor, governor, track_energy=False)[0]
+
+
+def predicted_metrics(schedule: CoSchedule, predictor, governor) -> PredictedMetrics:
+    """Makespan *and* energy of ``schedule`` under the predicted model.
+
+    The same mean-field replay as :func:`predicted_makespan` (the makespan
+    it reports is bit-identical), additionally integrating the predicted
+    chip power over each steady segment.  This is what non-makespan
+    objectives minimize while searching — the model-side analogue of
+    :attr:`repro.engine.timeline.ScheduleExecution.energy_j`.
+    """
+    t, energy = _replay(schedule, predictor, governor, track_energy=True)
+    return PredictedMetrics(makespan_s=t, energy_j=energy)
+
+
+def _replay(
+    schedule: CoSchedule, predictor, governor, *, track_energy: bool
+) -> tuple[float, float]:
+    from repro.core.feasibility import predicted_power
+
     cpu = list(schedule.cpu_queue)
     gpu = list(schedule.gpu_queue)
 
@@ -89,6 +133,7 @@ def predicted_makespan(schedule: CoSchedule, predictor, governor) -> float:
     cur_c: tuple[Job, float] | None = None
     cur_g: tuple[Job, float] | None = None
     t = 0.0
+    energy = 0.0
 
     while True:
         if cur_c is None and cpu:
@@ -115,6 +160,13 @@ def predicted_makespan(schedule: CoSchedule, predictor, governor) -> float:
         if cur_g is not None:
             dt_candidates.append(cur_g[1] * t_g)
         dt = min(dt_candidates)
+        if track_energy:
+            energy += dt * predicted_power(
+                predictor,
+                cur_c[0].uid if cur_c else None,
+                cur_g[0].uid if cur_g else None,
+                setting,
+            )
 
         if cur_c is not None:
             rem = cur_c[1] - dt / t_c
@@ -130,6 +182,9 @@ def predicted_makespan(schedule: CoSchedule, predictor, governor) -> float:
             job if kind is DeviceKind.GPU else None,
         )
         f = setting.cpu_ghz if kind is DeviceKind.CPU else setting.gpu_ghz
-        t += predictor.solo_time(job.uid, kind, f)
+        solo_s = predictor.solo_time(job.uid, kind, f)
+        t += solo_s
+        if track_energy:
+            energy += solo_s * predictor.solo_power_w(job.uid, kind, f)
 
-    return t
+    return t, energy

@@ -60,6 +60,27 @@ class ScheduleExecution:
     def energy_j(self) -> float:
         return segments_energy_j(self.segments)
 
+    @property
+    def edp_js(self) -> float:
+        """Energy-delay product (J x s) of the whole execution."""
+        return self.energy_j * self.makespan_s
+
+    def score(self, objective="makespan") -> float:
+        """Scalar score under an objective (lower is better).
+
+        ``objective`` is duck-typed — a ``repro.core.objectives.Objective``
+        or its string value — because the engine layer must not import the
+        scheduling layer.
+        """
+        name = getattr(objective, "value", objective)
+        if name == "makespan":
+            return self.makespan_s
+        if name == "energy":
+            return self.energy_j
+        if name == "edp":
+            return self.edp_js
+        raise ValueError(f"unknown objective {objective!r}")
+
     def finish_of(self, job_uid: str) -> float:
         """Completion time of a specific job."""
         for c in self.completions:

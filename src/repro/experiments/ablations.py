@@ -19,20 +19,18 @@ import numpy as np
 from repro.hardware.calibration import DEFAULT_POWER_CAP_W
 from repro.workload.program import make_jobs
 from repro.workload.rodinia import rodinia_programs
-from repro.core.freqpolicy import ModelGovernor
 from repro.core.hcs import hcs_schedule
 from repro.core.refine import (
+    SAMPLES_PER_JOB,
     _adjacent_pass,
     _random_cross_pass,
     _random_intra_pass,
 )
 from repro.core.runtime import CoScheduleRuntime
-from repro.core.schedule import predicted_makespan
 from repro.model.accuracy import evaluate_performance_model
 from repro.model.characterize import characterize_space
 from repro.model.predictor import CoRunPredictor, OracleDegradations
 from repro.experiments.common import ExperimentResult, default_runtime
-from repro.util.rng import default_rng
 from repro.util.tables import format_table
 
 
@@ -77,22 +75,34 @@ def cap_sweep(caps=(12.0, 15.0, 18.0, 21.0, 25.0)):
     return rows
 
 
-def refine_ablation(cap_w: float = DEFAULT_POWER_CAP_W, instances: int = 2):
-    """Predicted-makespan gain of each refinement pass in isolation."""
+def refine_ablation(
+    cap_w: float = DEFAULT_POWER_CAP_W,
+    instances: int = 2,
+    objective: str = "makespan",
+    seed: int | None = None,
+):
+    """Predicted-score gain of each refinement pass in isolation.
+
+    Each pass restarts from the unrefined HCS schedule so the rows report
+    independent contributions, not a cumulative pipeline.  Under a
+    non-makespan ``objective`` the same passes minimize that objective's
+    predicted score (the evaluator is the only scorer).
+    """
     runtime = default_runtime(instances=instances, cap_w=cap_w)
-    result = hcs_schedule(runtime.predictor, runtime.jobs, cap_w)
-    governor = ModelGovernor(runtime.predictor, cap_w)
-    base = predicted_makespan(result.schedule, runtime.predictor, governor)
-    rng = default_rng()
-    n_samples = 2 * result.schedule.n_jobs
+    ctx = runtime.context(objective=objective, seed=seed)
+    result = hcs_schedule(ctx)
+    evaluate = ctx.evaluator
+    base = evaluate(result.schedule)
+    rng = ctx.rng()
+    n_samples = SAMPLES_PER_JOB * result.schedule.n_jobs
 
     rows = [("no refinement", base, 0.0)]
     for label, pass_fn in (
-        ("adjacent swaps", lambda s, m: _adjacent_pass(s, runtime.predictor, governor, m)),
+        ("adjacent swaps", lambda s, b: _adjacent_pass(s, evaluate, b)),
         ("random intra-processor swaps",
-         lambda s, m: _random_intra_pass(s, runtime.predictor, governor, m, rng, n_samples)),
+         lambda s, b: _random_intra_pass(s, evaluate, b, rng, n_samples)),
         ("random cross-processor swaps",
-         lambda s, m: _random_cross_pass(s, runtime.predictor, governor, m, rng, n_samples)),
+         lambda s, b: _random_cross_pass(s, evaluate, b, rng, n_samples)),
     ):
         _, refined = pass_fn(result.schedule, base)
         rows.append((label, refined, 100 * (base - refined) / base))
@@ -164,7 +174,7 @@ def oracle_gap(cap_w: float = DEFAULT_POWER_CAP_W):
     ]
 
 
-def run() -> ExperimentResult:
+def run(objective: str = "makespan") -> ExperimentResult:
     result = ExperimentResult(name="ablations", title="Design-choice ablations")
     result.add_section(
         "preference threshold D (paper default 0.2)",
@@ -182,9 +192,9 @@ def run() -> ExperimentResult:
                      cap_sweep(), ndigits=3),
     )
     result.add_section(
-        "refinement passes (16 jobs, predicted makespan)",
-        format_table(["pass", "predicted makespan (s)", "gain %"],
-                     refine_ablation(), ndigits=3),
+        f"refinement passes (16 jobs, predicted {objective} score)",
+        format_table(["pass", f"predicted {objective}", "gain %"],
+                     refine_ablation(objective=objective), ndigits=3),
     )
     result.add_section(
         "model-error cost (8 jobs, measured makespan)",

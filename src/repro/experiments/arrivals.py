@@ -10,7 +10,6 @@ both makespan and mean turnaround.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.hardware.calibration import DEFAULT_POWER_CAP_W
 from repro.core.freqpolicy import Bias, BiasedGovernor, ModelGovernor

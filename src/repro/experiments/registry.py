@@ -73,6 +73,9 @@ class ExperimentConfig:
     seed: int | None = None
     cap_w: float | None = None
     executor: str | None = None
+    #: scheduling objective ("makespan"/"energy"/"edp") for drivers that
+    #: construct schedules through the unified entry point
+    objective: str | None = None
 
     def overrides(self) -> dict[str, object]:
         """The non-default fields as a kwargs dict."""
@@ -83,6 +86,8 @@ class ExperimentConfig:
             out["cap_w"] = self.cap_w
         if self.executor is not None:
             out["executor"] = self.executor
+        if self.objective is not None:
+            out["objective"] = self.objective
         return out
 
 
@@ -118,15 +123,16 @@ def run_experiment(
     seed: int | None = None,
     cap_w: float | None = None,
     executor: str | None = None,
+    objective: str | None = None,
     config: ExperimentConfig | None = None,
 ) -> ExperimentResult:
     """Run one experiment by name, with optional uniform overrides.
 
-    ``seed``/``cap_w``/``executor`` (or an :class:`ExperimentConfig`
-    bundling them — explicit keywords win over the bundle) are forwarded
-    only to drivers whose signatures accept them; an override a driver
-    does not understand is silently skipped rather than raising, so the
-    same config can drive the whole suite.
+    ``seed``/``cap_w``/``executor``/``objective`` (or an
+    :class:`ExperimentConfig` bundling them — explicit keywords win over
+    the bundle) are forwarded only to drivers whose signatures accept
+    them; an override a driver does not understand is silently skipped
+    rather than raising, so the same config can drive the whole suite.
     """
     driver = get_experiment(name)
     merged = ExperimentConfig(
@@ -135,6 +141,9 @@ def run_experiment(
         executor=executor
         if executor is not None
         else (config.executor if config else None),
+        objective=objective
+        if objective is not None
+        else (config.objective if config else None),
     )
     kwargs = merged.overrides()
     accepted = _accepted(driver)

@@ -15,7 +15,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from collections.abc import Sequence
 
-import numpy as np
 
 from repro.hardware.device import DeviceKind
 from repro.hardware.frequency import FrequencySetting

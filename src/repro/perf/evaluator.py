@@ -113,10 +113,20 @@ class CachingPredictor:
         return f"CachingPredictor({self.inner!r})"
 
 
-def schedule_key(schedule) -> tuple:
-    """The memoization signature of a co-schedule (uids + placements)."""
+#: Objective tags a ScheduleEvaluator accepts (duck-typed string values of
+#: ``repro.core.objectives.Objective`` — perf must not import core at load
+#: time).
+OBJECTIVE_TAGS = ("makespan", "energy", "edp")
+
+
+def schedule_key(schedule, objective: str = "makespan") -> tuple:
+    """The memoization signature of a co-schedule (uids + placements).
+
+    The leading tag carries the objective, so scores for different
+    objectives can never collide in a shared cache.
+    """
     return (
-        "makespan",
+        objective,
         tuple(j.uid for j in schedule.cpu_queue),
         tuple(j.uid for j in schedule.gpu_queue),
         tuple((j.uid, kind) for j, kind in schedule.solo_tail),
@@ -124,56 +134,102 @@ def schedule_key(schedule) -> tuple:
 
 
 class ScheduleEvaluator:
-    """Memoized ``predicted_makespan`` bound to one (predictor, governor).
+    """Memoized predicted-score evaluation bound to one (predictor, governor).
 
     The callable interface makes it a drop-in ``evaluate`` function for the
-    brute-force search; ``contains``/``prime`` support batch fan-out (a
-    caller maps uncached schedules across an executor, then primes the
-    results back in).
+    search-based schedulers: it returns the predicted score under
+    ``objective`` (``"makespan"`` by default, or ``"energy"`` / ``"edp"``).
+    Cache keys are tagged with the objective, so one shared
+    :class:`~repro.perf.cache.EvalCache` can serve evaluators with
+    different objectives without ever leaking a score across them.
+    ``contains``/``prime`` support batch fan-out (a caller maps uncached
+    schedules across an executor, then primes the results back in).
     """
 
-    def __init__(self, predictor, governor, cache: EvalCache | None = None):
+    def __init__(
+        self,
+        predictor,
+        governor,
+        cache: EvalCache | None = None,
+        objective: object = "makespan",
+    ):
         self.predictor = predictor
         self.governor = governor
         self.cache = ensure_cache(cache)
+        # Duck-typed: accepts an Objective enum member or its string value.
+        self.objective: str = getattr(objective, "value", objective)
+        if self.objective not in OBJECTIVE_TAGS:
+            raise ValueError(
+                f"unknown objective {objective!r}; known: "
+                + ", ".join(OBJECTIVE_TAGS)
+            )
+
+    def _key(self, schedule) -> tuple:
+        return schedule_key(schedule, self.objective)
 
     def _compute(self, schedule) -> float:
         # Imported lazily: repro.core modules import this module at load
         # time, so a top-level core import here would be circular.
-        from repro.core.schedule import predicted_makespan
+        if self.objective == "makespan":
+            from repro.core.schedule import predicted_makespan
 
-        return predicted_makespan(schedule, self.predictor, self.governor)
+            return predicted_makespan(schedule, self.predictor, self.governor)
+        return self.metrics(schedule).score(self.objective)
 
     def __call__(self, schedule) -> float:
         return self.cache.get_or_compute(
-            schedule_key(schedule), lambda: self._compute(schedule)
+            self._key(schedule), lambda: self._compute(schedule)
         )
 
-    #: alias for readability at call sites
+    #: alias for readability at call sites (the historical name; it returns
+    #: the objective score, which is the makespan for the default objective)
     makespan = __call__
 
+    def metrics(self, schedule):
+        """Memoized :class:`~repro.core.schedule.PredictedMetrics`."""
+        from repro.core.schedule import predicted_metrics
+
+        return self.cache.get_or_compute(
+            schedule_key(schedule, "metrics"),
+            lambda: predicted_metrics(schedule, self.predictor, self.governor),
+        )
+
+    def makespan_of(self, schedule) -> float:
+        """The predicted makespan regardless of this evaluator's objective."""
+        if self.objective == "makespan":
+            return self(schedule)
+        return self.metrics(schedule).makespan_s
+
     def contains(self, schedule) -> bool:
-        return schedule_key(schedule) in self.cache
+        return self._key(schedule) in self.cache
 
     def prime(self, schedule, value: float) -> None:
-        self.cache.prime(schedule_key(schedule), value)
+        self.cache.prime(self._key(schedule), value)
 
     def evaluate_all(self, schedules: Sequence, executor=None) -> list[float]:
         """Evaluate many schedules, fanning uncached ones over ``executor``."""
-        from repro.perf.parallel import map_makespans
+        from repro.perf.parallel import map_makespans, map_predicted_metrics
 
         pending: dict[tuple, object] = {}
         for s in schedules:
-            key = schedule_key(s)
+            key = self._key(s)
             if key not in self.cache and key not in pending:
                 pending[key] = s
         if pending:
             todo = list(pending.values())
-            values = map_makespans(
-                executor, self.predictor, self.governor, todo
-            )
-            for s, v in zip(todo, values):
-                self.prime(s, v)
+            if self.objective == "makespan":
+                values = map_makespans(
+                    executor, self.predictor, self.governor, todo
+                )
+                for s, v in zip(todo, values):
+                    self.prime(s, v)
+            else:
+                metrics = map_predicted_metrics(
+                    executor, self.predictor, self.governor, todo
+                )
+                for s, m in zip(todo, metrics):
+                    self.cache.prime(schedule_key(s, "metrics"), m)
+                    self.prime(s, m.score(self.objective))
             # fan-out results count as evaluations, not hits
             self.cache.stats.misses += len(todo)
             self.cache.stats.hits -= len(todo)

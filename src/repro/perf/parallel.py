@@ -26,6 +26,18 @@ def map_makespans(executor, predictor, governor, schedules: Sequence) -> list[fl
     return make_executor(executor).map(fn, list(schedules))
 
 
+def _metrics_task(schedule, predictor, governor):
+    from repro.core.schedule import predicted_metrics
+
+    return predicted_metrics(schedule, predictor, governor)
+
+
+def map_predicted_metrics(executor, predictor, governor, schedules: Sequence):
+    """Predicted makespan+energy metrics of many schedules, in input order."""
+    fn = partial(_metrics_task, predictor=predictor, governor=governor)
+    return make_executor(executor).map(fn, list(schedules))
+
+
 def _pair_degradation_task(pair, processor, setting):
     """Both sides' steady degradations for one (cpu, gpu) profile pair."""
     from repro.engine.corun import steady_degradation

@@ -73,11 +73,21 @@ class ServiceClient:
         scale: float = 1.0,
         uid: str | None = None,
         arrival_s: float | None = None,
+        objective: str | None = None,
     ) -> protocol.SubmitResponse | protocol.RejectionResponse:
-        """Submit a job; returns the acceptance or a structured rejection."""
+        """Submit a job; returns the acceptance or a structured rejection.
+
+        ``objective`` pins the scheduling objective the caller expects; a
+        daemon serving a different one answers with an
+        ``objective_mismatch`` rejection instead of admitting the job.
+        """
         return self._rpc(
             protocol.SubmitRequest(
-                program=program, scale=scale, uid=uid, arrival_s=arrival_s
+                program=program,
+                scale=scale,
+                uid=uid,
+                arrival_s=arrival_s,
+                objective=objective,
             )
         )
 

@@ -35,11 +35,16 @@ class ServiceMetrics:
     rejected_infeasible: int = 0
     rejected_invalid: int = 0
     rejected_late: int = 0
+    rejected_objective: int = 0
     cap_events: int = 0
     cap_violations: int = 0
     requests: int = 0
     protocol_errors: int = 0
     turnarounds_s: list[float] = field(default_factory=list)
+    #: per-objective accounting over completed jobs: busy seconds and the
+    #: start-power × wall-time energy estimate (J)
+    busy_s: float = 0.0
+    energy_est_j: float = 0.0
 
     @property
     def rejected(self) -> int:
@@ -48,10 +53,19 @@ class ServiceMetrics:
             + self.rejected_infeasible
             + self.rejected_invalid
             + self.rejected_late
+            + self.rejected_objective
         )
 
     def observe_turnaround(self, seconds: float) -> None:
         self.turnarounds_s.append(seconds)
+
+    def observe_completion(
+        self, *, turnaround_s: float, duration_s: float, energy_est_j: float
+    ) -> None:
+        """Fold one finished job into the latency and objective aggregates."""
+        self.observe_turnaround(turnaround_s)
+        self.busy_s += duration_s
+        self.energy_est_j += energy_est_j
 
     def snapshot(
         self,
@@ -72,6 +86,7 @@ class ServiceMetrics:
             "rejected_infeasible": float(self.rejected_infeasible),
             "rejected_invalid": float(self.rejected_invalid),
             "rejected_late": float(self.rejected_late),
+            "rejected_objective": float(self.rejected_objective),
             "cap_events": float(self.cap_events),
             "cap_violations": float(self.cap_violations),
             "requests": float(self.requests),
@@ -88,6 +103,14 @@ class ServiceMetrics:
                 if self.turnarounds_s
                 else 0.0
             ),
+            # Per-objective views of the same completed work: wall-clock
+            # progress (makespan), estimated joules (energy), and their
+            # product (edp) — whichever the daemon optimizes, all three
+            # are scraped so experiments can compare objectives.
+            "objective_makespan_s": float(now_s),
+            "objective_energy_est_j": float(self.energy_est_j),
+            "objective_edp_est_js": float(now_s) * float(self.energy_est_j),
+            "busy_s": float(self.busy_s),
         }
         if cache is not None:
             out.update(cache)

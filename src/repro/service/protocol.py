@@ -11,6 +11,7 @@ message instead of mis-scheduling silently.
 Requests::
 
     {"v": 1, "type": "submit", "program": "cfd", "scale": 1.0}
+    {"v": 1, "type": "submit", "program": "cfd", "objective": "energy"}
     {"v": 1, "type": "set_cap", "cap_w": 12.0}
     {"v": 1, "type": "advance", "until_s": 40.0}
     {"v": 1, "type": "status"} | {"type": "metrics"} | {"type": "jobs"}
@@ -39,12 +40,20 @@ class ProtocolError(ValueError):
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class SubmitRequest:
-    """Submit one job: a calibrated program name plus an input scale."""
+    """Submit one job: a calibrated program name plus an input scale.
+
+    ``objective`` (``"makespan"``/``"energy"``/``"edp"``), when given, pins
+    the scheduling objective the client expects the daemon to optimize; a
+    daemon serving a different objective rejects the submission with code
+    ``objective_mismatch`` rather than silently scheduling the job under
+    different semantics.
+    """
 
     program: str
     scale: float = 1.0
     uid: str | None = None
     arrival_s: float | None = None
+    objective: str | None = None
 
 
 @dataclass(frozen=True)
@@ -135,6 +144,9 @@ class CompletionInfo:
     cpu_ghz: float
     gpu_ghz: float
     power_at_start_w: float
+    #: start-power × wall-time energy estimate (J) — the per-objective
+    #: accounting the daemon aggregates in its metrics scrape.
+    energy_est_j: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -160,6 +172,7 @@ class StatusResponse:
     completed: int
     rejected: int
     method: str
+    objective: str = "makespan"
 
 
 @dataclass(frozen=True)

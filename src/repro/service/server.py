@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import signal
 import socketserver
-import sys
 import threading
 
 from repro.workload.program import Job
@@ -44,6 +43,7 @@ def _completion_info(record: CompletionRecord) -> protocol.CompletionInfo:
         cpu_ghz=record.setting.cpu_ghz,
         gpu_ghz=record.setting.gpu_ghz,
         power_at_start_w=record.power_at_start_w,
+        energy_est_j=record.energy_est_j,
     )
 
 
@@ -88,7 +88,11 @@ class ServiceState:
         for record in completions:
             self.queue.mark_done(record.job_id)
             self.metrics.completed += 1
-            self.metrics.observe_turnaround(record.turnaround_s)
+            self.metrics.observe_completion(
+                turnaround_s=record.turnaround_s,
+                duration_s=record.duration_s,
+                energy_est_j=record.energy_est_j,
+            )
         for rej in rejections:
             self.queue.mark_rejected(rej.job_id, rej.message)
             self.metrics.rejected_late += 1
@@ -105,6 +109,18 @@ class ServiceState:
     # ------------------------------------------------------------------
     def _handle_submit(self, req: protocol.SubmitRequest):
         self.metrics.submitted += 1
+        served = self.session.objective.value
+        if req.objective is not None and req.objective != served:
+            self.metrics.rejected_objective += 1
+            return protocol.RejectionResponse(
+                code="objective_mismatch",
+                message=(
+                    f"this daemon optimizes {served!r}, not "
+                    f"{req.objective!r}; resubmit without an objective or "
+                    f"start a daemon with --objective {req.objective}"
+                ),
+                job_id=req.uid,
+            )
         profile = self._programs.get(req.program)
         if profile is None:
             self.metrics.rejected_invalid += 1
@@ -197,6 +213,7 @@ class ServiceState:
             completed=self.metrics.completed,
             rejected=self.metrics.rejected,
             method=self.session.method,
+            objective=self.session.objective.value,
         )
 
     def _handle_metrics(self, req: protocol.MetricsRequest):
@@ -281,6 +298,7 @@ def serve(
     *,
     method: str = "hcs",
     cap_w: float = DEFAULT_POWER_CAP_W,
+    objective="makespan",
     queue_capacity: int = 64,
     executor=None,
     seed=None,
@@ -297,7 +315,11 @@ def serve(
     embedding in tests.
     """
     session = ServiceSession(
-        method=method, cap_w=cap_w, executor=executor, seed=seed
+        method=method,
+        cap_w=cap_w,
+        objective=objective,
+        executor=executor,
+        seed=seed,
     )
     state = ServiceState(session, queue_capacity=queue_capacity)
     server = CoScheduleServer((host, port), state)

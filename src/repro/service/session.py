@@ -67,6 +67,19 @@ class CompletionRecord:
     def turnaround_s(self) -> float:
         return self.finish_s - self.arrival_s
 
+    @property
+    def duration_s(self) -> float:
+        return self.finish_s - self.start_s
+
+    @property
+    def energy_est_j(self) -> float:
+        """Start-power × wall-time energy estimate.
+
+        Mid-run partner and cap changes are not re-sampled, so this is an
+        accounting estimate (the quantity energy-objective scheduling
+        steers), not a ground-truth integration."""
+        return self.power_at_start_w * self.duration_s
+
 
 @dataclass(frozen=True)
 class LateRejection:
@@ -110,14 +123,18 @@ class ServiceSession:
         *,
         method: str = "hcs",
         cap_w: float = DEFAULT_POWER_CAP_W,
+        objective="makespan",
         executor=None,
         seed=None,
         **scheduler_opts,
     ) -> None:
+        from repro.core.objectives import Objective
+
         self.processor = processor if processor is not None else make_ivy_bridge()
         self.cache = EvalCache()
         self.executor = make_executor(executor)
         self.method = method.lower()
+        self.objective = Objective.coerce(objective)
         self.cap_w = cap_w
         self.space = characterize_space(
             self.processor, executor=self.executor, cache=self.cache
@@ -132,6 +149,7 @@ class ServiceSession:
         self.scheduler: Scheduler = make_scheduler(
             method,
             cap_w=cap_w,
+            objective=self.objective,
             predictor=self.predictor,
             cache=self.cache,
             executor=self.executor,

@@ -1,0 +1,141 @@
+"""Tests for the SchedulingContext bundle."""
+
+import numpy as np
+import pytest
+
+from repro.core.context import SchedulingContext
+from repro.core.freqpolicy import ModelGovernor
+from repro.core.hcs import hcs_schedule
+from repro.core.objectives import EnergyAwareGovernor, Objective
+from repro.perf.cache import EvalCache
+from repro.perf.evaluator import ScheduleEvaluator
+
+
+@pytest.fixture(scope="module")
+def ctx(predictor, rodinia_jobs):
+    return SchedulingContext(
+        jobs=tuple(rodinia_jobs), cap_w=15.0, predictor=predictor, seed=3
+    )
+
+
+class TestConstruction:
+    def test_empty_jobs_rejected(self, predictor):
+        with pytest.raises(ValueError):
+            SchedulingContext(jobs=(), cap_w=15.0, predictor=predictor)
+
+    def test_objective_coerced_from_string(self, predictor, rodinia_jobs):
+        c = SchedulingContext(
+            jobs=tuple(rodinia_jobs),
+            cap_w=15.0,
+            predictor=predictor,
+            objective="energy",
+        )
+        assert c.objective is Objective.ENERGY
+
+    def test_governor_follows_objective(self, ctx):
+        assert isinstance(ctx.governor, ModelGovernor)
+        assert isinstance(
+            ctx.with_objective("energy").governor, EnergyAwareGovernor
+        )
+
+    def test_evaluator_bound_to_objective_and_cache(self, ctx):
+        assert ctx.evaluator.objective == "makespan"
+        assert ctx.evaluator.cache is ctx.cache
+
+    def test_mismatched_evaluator_rejected(self, predictor, rodinia_jobs):
+        evaluator = ScheduleEvaluator(
+            predictor,
+            ModelGovernor(predictor, 15.0),
+            objective="energy",
+        )
+        with pytest.raises(ValueError, match="objective"):
+            SchedulingContext(
+                jobs=tuple(rodinia_jobs),
+                cap_w=15.0,
+                predictor=predictor,
+                objective="makespan",
+                evaluator=evaluator,
+            )
+
+    def test_build_profiles_on_the_fly(self, rodinia_jobs):
+        c = SchedulingContext.build(rodinia_jobs[:2], cap_w=15.0)
+        assert c.predicted_makespan(
+            hcs_schedule(c).schedule
+        ) > 0.0
+
+
+class TestCoerce:
+    def test_legacy_arguments(self, predictor, rodinia_jobs):
+        c = SchedulingContext.coerce(predictor, rodinia_jobs, 15.0)
+        assert c.predictor is predictor
+        assert c.objective is Objective.MAKESPAN
+
+    def test_context_passthrough_is_identity(self, ctx):
+        assert SchedulingContext.coerce(ctx) is ctx
+
+    def test_context_plus_jobs_rejected(self, ctx, rodinia_jobs):
+        with pytest.raises(TypeError):
+            SchedulingContext.coerce(ctx, rodinia_jobs, 15.0)
+
+    def test_missing_jobs_rejected(self, predictor):
+        with pytest.raises(TypeError):
+            SchedulingContext.coerce(predictor, None, 15.0)
+
+    def test_seed_override_derives_new_context(self, ctx):
+        derived = SchedulingContext.coerce(ctx, seed=99)
+        assert derived is not ctx
+        assert derived.seed == 99
+        assert derived.evaluator is ctx.evaluator
+
+
+class TestDerivation:
+    def test_with_objective_shares_the_cache(self, ctx):
+        energy = ctx.with_objective("energy")
+        assert energy.cache is ctx.cache
+        assert energy.evaluator is not ctx.evaluator
+        assert energy.evaluator.objective == "energy"
+
+    def test_with_cap_gets_a_fresh_cache(self, ctx):
+        other = ctx.with_cap(12.0)
+        assert other.cap_w == 12.0
+        assert other.cache is not ctx.cache
+
+    def test_with_jobs_keeps_policies(self, ctx, rodinia_jobs):
+        sub = ctx.with_jobs(rodinia_jobs[:3])
+        assert len(sub.jobs) == 3
+        assert sub.evaluator is ctx.evaluator
+
+
+class TestServices:
+    def test_rng_is_reproducible(self, ctx):
+        a = ctx.rng().random(4)
+        b = ctx.rng().random(4)
+        assert np.array_equal(a, b)
+
+    def test_score_equals_makespan_under_default_objective(self, ctx):
+        schedule = hcs_schedule(ctx).schedule
+        assert ctx.score(schedule) == ctx.predicted_makespan(schedule)
+
+    def test_metrics_are_objective_consistent(self, ctx):
+        schedule = hcs_schedule(ctx).schedule
+        m = ctx.metrics(schedule)
+        assert m.makespan_s == pytest.approx(ctx.predicted_makespan(schedule))
+        assert m.edp_js == pytest.approx(m.makespan_s * m.energy_j)
+        energy_ctx = ctx.with_objective("energy")
+        assert energy_ctx.score(schedule) == pytest.approx(m.energy_j)
+
+    def test_objective_scores_never_leak_across_objectives(
+        self, predictor, rodinia_jobs
+    ):
+        cache = EvalCache()
+        base = SchedulingContext(
+            jobs=tuple(rodinia_jobs),
+            cap_w=15.0,
+            predictor=predictor,
+            cache=cache,
+        )
+        schedule = hcs_schedule(base).schedule
+        makespan = base.score(schedule)
+        edp = base.with_objective("edp").score(schedule)
+        assert base.score(schedule) == makespan  # still the cached makespan
+        assert edp != makespan

@@ -1,0 +1,144 @@
+"""Tests for the single cap-feasibility/enumeration module.
+
+``repro.core.feasibility`` is the only place in ``repro.core`` allowed to
+consume the predictor's raw enumeration API — these tests pin its
+semantics (power dispatch, cap filtering, error contracts, energy math)
+and the regression that the energy-aware governor reports infeasible caps
+through :class:`~repro.errors.InfeasibleCapError` like every other
+governor.
+"""
+
+import pytest
+
+from repro.errors import InfeasibleCapError
+from repro.hardware.device import DeviceKind
+from repro.core.feasibility import (
+    first_setting_under_cap,
+    pair_energy_j,
+    pair_settings_under_cap,
+    predicted_power,
+    require_pair_settings,
+    require_solo_levels,
+    solo_energy_j,
+    solo_levels_under_cap,
+)
+from repro.core.objectives import EnergyAwareGovernor
+
+BIG_CAP = 1e9
+
+
+@pytest.fixture(scope="module")
+def pair_min_power(predictor):
+    """The lowest predicted chip power of any (cfd, srad) pair setting."""
+    settings = predictor.feasible_pair_settings("cfd", "srad", BIG_CAP)
+    return min(
+        predictor.pair_power_w("cfd", "srad", s) for s in settings
+    )
+
+
+class TestPredictedPower:
+    def test_pair_dispatches_to_pair_power(self, predictor):
+        s = predictor.feasible_pair_settings("cfd", "srad", BIG_CAP)[0]
+        assert predicted_power(predictor, "cfd", "srad", s) == pytest.approx(
+            predictor.pair_power_w("cfd", "srad", s)
+        )
+
+    @pytest.mark.parametrize("kind", list(DeviceKind))
+    def test_solo_dispatches_to_solo_power(self, predictor, kind):
+        uid = "cfd"
+        cpu_uid, gpu_uid = (
+            (uid, None) if kind is DeviceKind.CPU else (None, uid)
+        )
+        s = predictor.feasible_pair_settings("cfd", "srad", BIG_CAP)[0]
+        f = s.cpu_ghz if kind is DeviceKind.CPU else s.gpu_ghz
+        assert predicted_power(
+            predictor, cpu_uid, gpu_uid, s
+        ) == pytest.approx(predictor.solo_power_w(uid, kind, f))
+
+    def test_both_idle_is_undefined(self, predictor):
+        s = predictor.feasible_pair_settings("cfd", "srad", BIG_CAP)[0]
+        with pytest.raises(ValueError):
+            predicted_power(predictor, None, None, s)
+
+
+class TestEnumeration:
+    def test_pair_settings_respect_the_cap(self, predictor):
+        for s in pair_settings_under_cap(predictor, "cfd", "srad", 15.0):
+            assert predictor.pair_power_w("cfd", "srad", s) <= 15.0
+
+    def test_matches_the_predictor_enumeration(self, predictor):
+        assert pair_settings_under_cap(
+            predictor, "cfd", "srad", 15.0
+        ) == predictor.feasible_pair_settings("cfd", "srad", 15.0)
+        assert solo_levels_under_cap(
+            predictor, "cfd", DeviceKind.CPU, 15.0
+        ) == predictor.feasible_solo_levels("cfd", DeviceKind.CPU, 15.0)
+
+    def test_require_pair_raises_structured_error(
+        self, predictor, pair_min_power
+    ):
+        cap = pair_min_power - 0.1
+        with pytest.raises(InfeasibleCapError) as exc:
+            require_pair_settings(predictor, "cfd", "srad", cap)
+        assert exc.value.cap_w == cap
+        assert exc.value.jobs == ("cfd", "srad")
+
+    def test_require_solo_raises_structured_error(self, predictor):
+        with pytest.raises(InfeasibleCapError) as exc:
+            require_solo_levels(predictor, "cfd", DeviceKind.CPU, 0.01)
+        assert exc.value.jobs == ("cfd",)
+
+    def test_first_setting_under_cap_prefers_candidate_order(self, predictor):
+        candidates = predictor.feasible_pair_settings("cfd", "srad", 15.0)
+        chosen = first_setting_under_cap(
+            predictor, "cfd", "srad", 15.0, candidates
+        )
+        assert chosen == candidates[0]
+
+    def test_first_setting_under_cap_raises_when_nothing_fits(
+        self, predictor, pair_min_power
+    ):
+        candidates = predictor.feasible_pair_settings("cfd", "srad", BIG_CAP)
+        with pytest.raises(InfeasibleCapError):
+            first_setting_under_cap(
+                predictor, "cfd", "srad", pair_min_power - 0.1, candidates
+            )
+
+
+class TestEnergy:
+    def test_pair_energy_is_power_times_total_time(self, predictor):
+        s = predictor.feasible_pair_settings("cfd", "srad", 15.0)[0]
+        t_c, t_g = predictor.corun_times("cfd", "srad", s)
+        assert pair_energy_j(predictor, "cfd", "srad", s) == pytest.approx(
+            predictor.pair_power_w("cfd", "srad", s) * (t_c + t_g)
+        )
+
+    def test_solo_energy_is_power_times_time(self, predictor):
+        f = predictor.feasible_solo_levels("cfd", DeviceKind.GPU, 15.0)[0]
+        assert solo_energy_j(
+            predictor, "cfd", DeviceKind.GPU, f
+        ) == pytest.approx(
+            predictor.solo_power_w("cfd", DeviceKind.GPU, f)
+            * predictor.solo_time("cfd", DeviceKind.GPU, f)
+        )
+
+
+class TestEnergyGovernorInfeasibleCap:
+    """Regression: the energy governor used to raise a bare RuntimeError
+    on cap-infeasible pairs, breaking the CLI's exit-code-2 contract."""
+
+    def test_infeasible_pair_raises_infeasible_cap_error(
+        self, predictor, rodinia_jobs, pair_min_power
+    ):
+        jobs = {j.uid: j for j in rodinia_jobs}
+        gov = EnergyAwareGovernor(predictor, pair_min_power - 0.1)
+        with pytest.raises(InfeasibleCapError):
+            gov(jobs["cfd"], jobs["srad"])
+
+    def test_infeasible_solo_raises_infeasible_cap_error(
+        self, predictor, rodinia_jobs
+    ):
+        jobs = {j.uid: j for j in rodinia_jobs}
+        gov = EnergyAwareGovernor(predictor, 0.01)
+        with pytest.raises(InfeasibleCapError):
+            gov(jobs["cfd"], None)

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.hardware.device import DeviceKind
-from repro.hardware.frequency import FrequencySetting
 from repro.engine.standalone import standalone_run
 from repro.engine.timeline import execute_online, execute_schedule
 from repro.workload.program import Job, ProgramProfile

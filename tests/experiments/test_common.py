@@ -1,6 +1,5 @@
 """Tests for the experiment-infrastructure helpers."""
 
-import pytest
 
 from repro.experiments.common import (
     INSTANCE_SCALES,

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.hardware.calibration import make_ivy_bridge
 from repro.hardware.device import DeviceKind
 from repro.hardware.frequency import FrequencySetting
 from repro.hardware.processor import IntegratedProcessor

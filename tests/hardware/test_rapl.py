@@ -17,12 +17,10 @@ class TestSamplePowerTrace:
         trace = sample_power_trace(segments, dt_s=1.0)
         total_energy = sum(d * w for d, w in segments)
         sampled_energy = 0.0
-        t = 0.0
         total = sum(d for d, _ in segments)
         for s in trace.samples:
             window = min(1.0, total - s.time_s)
             sampled_energy += s.watts * window
-            t += window
         assert sampled_energy == pytest.approx(total_energy)
 
     def test_window_straddling_segments_averages(self):

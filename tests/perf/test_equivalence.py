@@ -92,7 +92,6 @@ class TestCachedSearchesIdentical:
     """Cached vs uncached runs of every search produce identical schedules."""
 
     def test_hcs_plus(self, predictor, rodinia_jobs):
-        governor = ModelGovernor(predictor, CAP_W)
         shared = EvalCache()
         wrapped = CachingPredictor(predictor, cache=shared)
         evaluator = ScheduleEvaluator(wrapped, ModelGovernor(wrapped, CAP_W), shared)

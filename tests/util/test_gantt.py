@@ -1,6 +1,5 @@
 """Tests for the ASCII Gantt renderer."""
 
-import pytest
 
 from repro.engine.tracing import JobCompletion
 from repro.util.gantt import render_gantt
