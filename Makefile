@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test lint bench bench-all experiments report calibration examples clean
+.PHONY: install test lint analyze bench bench-all experiments report calibration examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -11,9 +11,14 @@ test:
 test-fast:
 	pytest tests/ -m "not slow"
 
-lint:
+lint: analyze
 	ruff check src tests benchmarks tools
 	mypy src/repro
+	python tools/check_calibration.py
+
+# Repo-specific REP001-REP006 AST rules (same gate as `repro analyze` in CI).
+analyze:
+	python -m repro.analysis.lint src tests tools
 
 bench:
 	pytest benchmarks/test_perf_layer.py --benchmark-only \

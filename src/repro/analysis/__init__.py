@@ -1,0 +1,52 @@
+"""Static and dynamic correctness analysis for the reproduction.
+
+Two halves, both independent of the code they check:
+
+* :mod:`repro.analysis.invariants` — a paper-invariant **schedule
+  verifier**: :func:`verify_schedule` re-derives every Definition 2.1
+  requirement (job partition, frequency domains, power cap, makespan
+  consistency, the ``T_low`` lower bound) on any
+  :class:`~repro.core.schedule.CoSchedule`, and the ``REPRO_SANITIZE=1`` /
+  ``ctx.with_sanitizer()`` sanitizer mode re-runs it after every registry
+  scheduler, refinement pass, and service batch.
+* :mod:`repro.analysis.lint` — a repo-specific **AST lint pack**
+  (``python -m repro.analysis.lint src tests tools``; rules REP001-REP006)
+  enforcing the architectural conventions that keep the above true:
+  contexts instead of raw plumbing, seeded RNGs, tolerance-based float
+  comparisons, cache-respecting evaluation, locked service state, and a
+  wall-clock-free engine.
+"""
+
+from repro.analysis.invariants import (
+    ALL_INVARIANTS,
+    INVARIANT_FREQUENCY,
+    INVARIANT_LOWER_BOUND,
+    INVARIANT_MAKESPAN,
+    INVARIANT_PARTITION,
+    INVARIANT_POWER_CAP,
+    SANITIZE_ENV,
+    Violation,
+    check_schedule,
+    env_sanitizer_enabled,
+    maybe_check_schedule,
+    sanitizer_enabled,
+    verify_schedule,
+)
+from repro.errors import ScheduleInvariantError
+
+__all__ = [
+    "ALL_INVARIANTS",
+    "INVARIANT_FREQUENCY",
+    "INVARIANT_LOWER_BOUND",
+    "INVARIANT_MAKESPAN",
+    "INVARIANT_PARTITION",
+    "INVARIANT_POWER_CAP",
+    "SANITIZE_ENV",
+    "ScheduleInvariantError",
+    "Violation",
+    "check_schedule",
+    "env_sanitizer_enabled",
+    "maybe_check_schedule",
+    "sanitizer_enabled",
+    "verify_schedule",
+]

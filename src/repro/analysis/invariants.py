@@ -1,0 +1,401 @@
+"""Independent verification of the paper's Definition 2.1 invariants.
+
+A valid co-schedule is a formal object: a true partition of the jobs into
+the CPU queue, the GPU queue, and the solo tail; one frequency level per
+device drawn from its discrete DVFS domain whenever work is running;
+predicted chip power at or below the cap over every co-run interval; and a
+makespan consistent with the degradation model and bounded below by the
+paper's ``T_low``.  The schedulers in :mod:`repro.core` are *supposed* to
+guarantee all of that — this module checks it without trusting any of
+them.
+
+:func:`verify_schedule` re-derives every invariant from first principles:
+it replays the schedule's timeline with its own mean-field walker (not
+:func:`repro.core.schedule.predicted_makespan`, and not the
+:mod:`repro.core.feasibility` fast path), queries the predictor directly
+for segment powers, and checks each governor-chosen frequency against the
+processor's level sets.  Violations come back as structured
+:class:`Violation` records rather than exceptions, so callers can report
+all problems at once.
+
+The **sanitizer** turns the verifier into a tripwire: with
+``REPRO_SANITIZE=1`` in the environment (or a context derived via
+``ctx.with_sanitizer()``), every registry scheduler result, every
+``refine`` pass, and every service-session batch is verified on the spot,
+and any violation raises :class:`~repro.errors.ScheduleInvariantError`
+carrying the full violation list.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from collections import Counter
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from collections.abc import Iterator, Mapping
+
+from repro.errors import InfeasibleCapError, ScheduleInvariantError
+from repro.hardware.device import DeviceKind
+from repro.hardware.frequency import FrequencySetting
+
+#: Environment flag that arms the sanitizer globally.
+SANITIZE_ENV = "REPRO_SANITIZE"
+
+#: Invariant identifiers (the ``Violation.invariant`` vocabulary).
+INVARIANT_PARTITION = "partition"
+INVARIANT_FREQUENCY = "frequency-domain"
+INVARIANT_POWER_CAP = "power-cap"
+INVARIANT_MAKESPAN = "makespan-consistency"
+INVARIANT_LOWER_BOUND = "lower-bound"
+
+ALL_INVARIANTS = (
+    INVARIANT_PARTITION,
+    INVARIANT_FREQUENCY,
+    INVARIANT_POWER_CAP,
+    INVARIANT_MAKESPAN,
+    INVARIANT_LOWER_BOUND,
+)
+
+#: Relative tolerance for power/makespan/bound comparisons.  The verifier
+#: replays the same *model* the schedulers used, so disagreements beyond
+#: floating-point noise are real bugs; 1e-6 absorbs summation-order drift.
+DEFAULT_REL_TOL = 1e-6
+
+#: Remaining-work fraction below which a job counts as finished during the
+#: replay (mirrors the scheduler-side replay's epsilon).
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant, with enough detail to debug it."""
+
+    invariant: str
+    message: str
+    details: Mapping[str, object] = field(
+        default_factory=lambda: MappingProxyType({})
+    )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.invariant}] {self.message}"
+
+
+@dataclass(frozen=True)
+class _Segment:
+    """One steady interval of the independent replay."""
+
+    t0: float
+    dt: float
+    cpu_uid: str | None
+    gpu_uid: str | None
+    setting: FrequencySetting
+
+
+def env_sanitizer_enabled() -> bool:
+    """Is the process-wide ``REPRO_SANITIZE`` flag armed?"""
+    value = os.environ.get(SANITIZE_ENV, "").strip().lower()
+    return value not in ("", "0", "false", "no", "off")
+
+
+def sanitizer_enabled(ctx=None) -> bool:
+    """Is the sanitizer active for ``ctx`` (or globally, when ``ctx=None``)?"""
+    if ctx is not None and getattr(ctx, "sanitize", False):
+        return True
+    return env_sanitizer_enabled()
+
+
+# ----------------------------------------------------------------------
+# The independent timeline replay
+# ----------------------------------------------------------------------
+def _replay_segments(schedule, predictor, governor) -> Iterator[_Segment]:
+    """Walk the schedule's timeline from scratch.
+
+    Same mean-field semantics as the scheduler-side replay (rates are
+    re-evaluated whenever a co-runner finishes; the solo tail runs alone at
+    the end) but implemented independently, so a bug in
+    ``core/schedule.py`` cannot vouch for itself.
+    """
+    cpu = list(schedule.cpu_queue)
+    gpu = list(schedule.gpu_queue)
+    on_cpu: tuple[object, float] | None = None
+    on_gpu: tuple[object, float] | None = None
+    t = 0.0
+
+    while True:
+        if on_cpu is None and cpu:
+            on_cpu = (cpu.pop(0), 1.0)
+        if on_gpu is None and gpu:
+            on_gpu = (gpu.pop(0), 1.0)
+        if on_cpu is None and on_gpu is None:
+            break
+
+        cpu_job = on_cpu[0] if on_cpu else None
+        gpu_job = on_gpu[0] if on_gpu else None
+        setting = governor(cpu_job, gpu_job)
+        t_c = t_g = None
+        if cpu_job is not None and gpu_job is not None:
+            t_c, t_g = predictor.corun_times(cpu_job.uid, gpu_job.uid, setting)
+        elif cpu_job is not None:
+            t_c = predictor.solo_time(cpu_job.uid, DeviceKind.CPU, setting.cpu_ghz)
+        else:
+            t_g = predictor.solo_time(gpu_job.uid, DeviceKind.GPU, setting.gpu_ghz)
+
+        candidates = []
+        if on_cpu is not None:
+            candidates.append(on_cpu[1] * t_c)
+        if on_gpu is not None:
+            candidates.append(on_gpu[1] * t_g)
+        dt = min(candidates)
+        yield _Segment(
+            t0=t,
+            dt=dt,
+            cpu_uid=cpu_job.uid if cpu_job is not None else None,
+            gpu_uid=gpu_job.uid if gpu_job is not None else None,
+            setting=setting,
+        )
+
+        if on_cpu is not None:
+            rem = on_cpu[1] - dt / t_c
+            on_cpu = None if rem <= _EPS else (on_cpu[0], rem)
+        if on_gpu is not None:
+            rem = on_gpu[1] - dt / t_g
+            on_gpu = None if rem <= _EPS else (on_gpu[0], rem)
+        t += dt
+
+    for job, kind in schedule.solo_tail:
+        setting = governor(
+            job if kind is DeviceKind.CPU else None,
+            job if kind is DeviceKind.GPU else None,
+        )
+        f = setting.cpu_ghz if kind is DeviceKind.CPU else setting.gpu_ghz
+        dt = predictor.solo_time(job.uid, kind, f)
+        yield _Segment(
+            t0=t,
+            dt=dt,
+            cpu_uid=job.uid if kind is DeviceKind.CPU else None,
+            gpu_uid=job.uid if kind is DeviceKind.GPU else None,
+            setting=setting,
+        )
+        t += dt
+
+
+def _segment_power_w(predictor, seg: _Segment) -> float:
+    """Predicted chip power over a segment, asked of the predictor directly."""
+    if seg.cpu_uid is not None and seg.gpu_uid is not None:
+        return predictor.pair_power_w(seg.cpu_uid, seg.gpu_uid, seg.setting)
+    if seg.cpu_uid is not None:
+        return predictor.solo_power_w(
+            seg.cpu_uid, DeviceKind.CPU, seg.setting.cpu_ghz
+        )
+    return predictor.solo_power_w(
+        seg.gpu_uid, DeviceKind.GPU, seg.setting.gpu_ghz
+    )
+
+
+def _level_in_domain(f_ghz: float, levels: tuple[float, ...]) -> bool:
+    return any(math.isclose(f_ghz, level, abs_tol=1e-9) for level in levels)
+
+
+# ----------------------------------------------------------------------
+# Invariant checks
+# ----------------------------------------------------------------------
+def _check_partition(ctx, schedule) -> list[Violation]:
+    scheduled = schedule.all_uids()
+    expected = [j.uid for j in ctx.jobs]
+    out: list[Violation] = []
+    duplicates = sorted(u for u, n in Counter(scheduled).items() if n > 1)
+    if duplicates:
+        out.append(
+            Violation(
+                INVARIANT_PARTITION,
+                "job(s) appear more than once across the queues: "
+                + ", ".join(duplicates),
+                MappingProxyType({"duplicates": tuple(duplicates)}),
+            )
+        )
+    missing = sorted(set(expected) - set(scheduled))
+    if missing:
+        out.append(
+            Violation(
+                INVARIANT_PARTITION,
+                "job(s) from the problem are missing from the schedule: "
+                + ", ".join(missing),
+                MappingProxyType({"missing": tuple(missing)}),
+            )
+        )
+    extra = sorted(set(scheduled) - set(expected))
+    if extra:
+        out.append(
+            Violation(
+                INVARIANT_PARTITION,
+                "schedule contains job(s) not in the problem: "
+                + ", ".join(extra),
+                MappingProxyType({"extra": tuple(extra)}),
+            )
+        )
+    return out
+
+
+def _check_timeline(
+    ctx, schedule, rel_tol: float
+) -> tuple[list[Violation], float | None]:
+    """Frequency-domain and power-cap checks; returns the replayed makespan.
+
+    Returns ``None`` for the makespan when the replay itself could not
+    finish (e.g. the governor found no feasible setting mid-replay — which
+    is itself reported as a power-cap violation).
+    """
+    processor = getattr(ctx.predictor, "processor", None)
+    cpu_levels = processor.cpu.domain.levels if processor is not None else None
+    gpu_levels = processor.gpu.domain.levels if processor is not None else None
+    out: list[Violation] = []
+    seen_settings: set[tuple] = set()
+    makespan = 0.0
+    try:
+        for seg in _replay_segments(schedule, ctx.predictor, ctx.governor):
+            makespan = seg.t0 + seg.dt
+            pair = (seg.cpu_uid, seg.gpu_uid)
+            key = (pair, seg.setting)
+            if key in seen_settings:
+                continue
+            seen_settings.add(key)
+            if cpu_levels is not None and not _level_in_domain(
+                seg.setting.cpu_ghz, cpu_levels
+            ):
+                out.append(
+                    Violation(
+                        INVARIANT_FREQUENCY,
+                        f"CPU frequency {seg.setting.cpu_ghz} GHz for "
+                        f"{pair} is not a level of the CPU DVFS domain",
+                        MappingProxyType(
+                            {"pair": pair, "f_ghz": seg.setting.cpu_ghz}
+                        ),
+                    )
+                )
+            if gpu_levels is not None and not _level_in_domain(
+                seg.setting.gpu_ghz, gpu_levels
+            ):
+                out.append(
+                    Violation(
+                        INVARIANT_FREQUENCY,
+                        f"GPU frequency {seg.setting.gpu_ghz} GHz for "
+                        f"{pair} is not a level of the GPU DVFS domain",
+                        MappingProxyType(
+                            {"pair": pair, "f_ghz": seg.setting.gpu_ghz}
+                        ),
+                    )
+                )
+            power = _segment_power_w(ctx.predictor, seg)
+            if power > ctx.cap_w * (1.0 + rel_tol):
+                out.append(
+                    Violation(
+                        INVARIANT_POWER_CAP,
+                        f"predicted chip power {power:.3f} W for {pair} at "
+                        f"{seg.setting} exceeds the {ctx.cap_w:g} W cap "
+                        f"(co-run interval starting at t={seg.t0:.3f}s)",
+                        MappingProxyType(
+                            {
+                                "pair": pair,
+                                "setting": seg.setting,
+                                "power_w": power,
+                                "cap_w": ctx.cap_w,
+                                "t0_s": seg.t0,
+                            }
+                        ),
+                    )
+                )
+    except InfeasibleCapError as exc:
+        out.append(
+            Violation(
+                INVARIANT_POWER_CAP,
+                "governor found no cap-feasible frequency setting while "
+                f"replaying the schedule: {exc}",
+                MappingProxyType({"cap_w": ctx.cap_w, "jobs": exc.jobs}),
+            )
+        )
+        return out, None
+    return out, makespan
+
+
+def _check_makespan(ctx, schedule, replayed: float, rel_tol: float) -> list[Violation]:
+    reported = ctx.predicted_makespan(schedule)
+    if not math.isclose(replayed, reported, rel_tol=rel_tol, abs_tol=1e-9):
+        return [
+            Violation(
+                INVARIANT_MAKESPAN,
+                f"predicted makespan {reported:.6f}s disagrees with the "
+                f"independent timeline replay ({replayed:.6f}s)",
+                MappingProxyType(
+                    {"reported_s": reported, "replayed_s": replayed}
+                ),
+            )
+        ]
+    return []
+
+
+def _check_lower_bound(ctx, replayed: float, rel_tol: float) -> list[Violation]:
+    from repro.core.bounds import lower_bound
+
+    try:
+        # Pieces passed explicitly so duck-typed contexts work too.
+        t_low, _ = lower_bound(ctx.predictor, ctx.jobs, ctx.cap_w)
+    except (InfeasibleCapError, ValueError) as exc:
+        return [
+            Violation(
+                INVARIANT_LOWER_BOUND,
+                f"T_low could not be derived under the {ctx.cap_w:g} W cap: "
+                f"{exc}",
+                MappingProxyType({"cap_w": ctx.cap_w}),
+            )
+        ]
+    if replayed < t_low * (1.0 - rel_tol) - 1e-9:
+        return [
+            Violation(
+                INVARIANT_LOWER_BOUND,
+                f"replayed makespan {replayed:.6f}s is below the T_low "
+                f"lower bound {t_low:.6f}s — the degradation model and the "
+                "schedule disagree",
+                MappingProxyType({"t_low_s": t_low, "replayed_s": replayed}),
+            )
+        ]
+    return []
+
+
+def verify_schedule(ctx, schedule, *, rel_tol: float = DEFAULT_REL_TOL) -> list[Violation]:
+    """Check every Definition 2.1 invariant of ``schedule`` under ``ctx``.
+
+    ``ctx`` is a :class:`~repro.core.context.SchedulingContext` (or any
+    object exposing ``jobs``, ``cap_w``, ``predictor``, ``governor``, and
+    ``predicted_makespan``).  Returns the (possibly empty) list of
+    violations; never raises for an invalid schedule — use
+    :func:`check_schedule` for the raising variant.
+    """
+    violations = _check_partition(ctx, schedule)
+    timeline_violations, replayed = _check_timeline(ctx, schedule, rel_tol)
+    violations.extend(timeline_violations)
+    if replayed is not None:
+        violations.extend(_check_makespan(ctx, schedule, replayed, rel_tol))
+        # T_low is a bound over the *full* job set; a partial schedule
+        # (already reported above) would trip it spuriously.
+        if not any(v.invariant == INVARIANT_PARTITION for v in violations):
+            violations.extend(_check_lower_bound(ctx, replayed, rel_tol))
+    return violations
+
+
+def check_schedule(ctx, schedule, *, where: str = "schedule", rel_tol: float = DEFAULT_REL_TOL) -> None:
+    """Verify ``schedule`` and raise on any violation (the sanitizer's hook)."""
+    violations = verify_schedule(ctx, schedule, rel_tol=rel_tol)
+    if violations:
+        summary = "; ".join(str(v) for v in violations)
+        raise ScheduleInvariantError(
+            f"invalid co-schedule from {where}: {summary}",
+            violations=tuple(violations),
+            where=where,
+        )
+
+
+def maybe_check_schedule(ctx, schedule, *, where: str = "schedule") -> None:
+    """Run :func:`check_schedule` only when the sanitizer is armed."""
+    if sanitizer_enabled(ctx):
+        check_schedule(ctx, schedule, where=where)

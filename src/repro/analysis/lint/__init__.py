@@ -1,0 +1,46 @@
+"""Repo-specific AST lint pack: ``python -m repro.analysis.lint src tests tools``.
+
+The rule engine lives in :mod:`repro.analysis.lint.engine`, the REP001-REP006
+catalog in :mod:`repro.analysis.lint.rules`; :func:`run_lint` is the
+programmatic entry point the CLI (``repro analyze``) and the tests share.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.analysis.lint.engine import (
+    Finding,
+    LintRule,
+    LintViolation,
+    iter_source_files,
+    parse_suppressions,
+    run_rules,
+)
+from repro.analysis.lint.rules import ALL_RULES
+
+#: Default lint surface when no paths are given.
+DEFAULT_PATHS = ("src", "tests", "tools")
+
+
+def run_lint(
+    paths: Sequence[str | Path] = DEFAULT_PATHS,
+    *,
+    select: Iterable[str] | None = None,
+) -> list[LintViolation]:
+    """Run the full shipped rule set over ``paths``."""
+    return run_rules(paths, ALL_RULES, select=select)
+
+
+__all__ = [
+    "ALL_RULES",
+    "DEFAULT_PATHS",
+    "Finding",
+    "LintRule",
+    "LintViolation",
+    "iter_source_files",
+    "parse_suppressions",
+    "run_lint",
+    "run_rules",
+]

@@ -1,0 +1,68 @@
+"""CLI for the lint pack: ``python -m repro.analysis.lint [paths ...]``.
+
+Exit codes: 0 clean, 1 violations found, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.analysis.lint import ALL_RULES, DEFAULT_PATHS, run_lint
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description=(
+            "Run the repro-specific AST lint rules (REP001-REP006) over "
+            "source trees. See docs/ANALYSIS.md for the rule catalog and "
+            "the '# repro: noqa REPxxx' suppression syntax."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=list(DEFAULT_PATHS), metavar="PATH",
+        help="files or directories to lint (default: src tests tools)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.title}")
+        return 0
+    select = (
+        [c.strip() for c in args.select.split(",") if c.strip()]
+        if args.select is not None
+        else None
+    )
+    try:
+        violations = run_lint(args.paths, select=select)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        print(
+            f"\n{len(violations)} violation(s) across "
+            f"{len({v.path for v in violations})} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,208 @@
+"""AST-visitor rule engine for the repo-specific lint pack.
+
+Rules are small classes: a ``code`` (``REPxxx``), a one-line ``title``, a
+``rationale``, an optional path scope (:meth:`LintRule.applies_to`), and a
+:meth:`LintRule.findings` generator over a parsed module.  The engine owns
+everything else — file discovery, parsing, suppression handling, ordering.
+
+Suppression syntax (part of the engine, honoured by every rule)::
+
+    something_suspect()  # repro: noqa REP003 -- why this is intentional
+    another_case()       # repro: noqa
+
+    # repro: noqa REP002 -- a standalone comment suppresses the next line
+    third_case()
+
+A bare ``# repro: noqa`` silences every rule on that statement; listing
+codes (comma- or space-separated) silences only those.  The comment may sit
+on any physical line of the flagged statement, so multi-line constructs
+don't force awkward placement; a comment-only line applies to the line
+below it, keeping long justifications off the code line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path, PurePath
+from collections.abc import Iterable, Iterator, Sequence
+
+#: Matches the engine's suppression comment; group 1 holds the rule codes
+#: (empty for a blanket suppression).
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\b[ \t]*((?:REP\d{3}[,\s]*)*)", re.IGNORECASE
+)
+
+#: Directory names never descended into during file discovery.
+_SKIP_DIRS = {
+    "__pycache__",
+    ".git",
+    ".hypothesis",
+    ".mypy_cache",
+    ".pytest_cache",
+    ".ruff_cache",
+    "build",
+    "dist",
+}
+
+#: Suppression marker meaning "all rules".
+_ALL = "*"
+
+
+@dataclass(frozen=True, order=True)
+class LintViolation:
+    """One rule hit at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col} {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """A rule's raw hit, before suppression filtering."""
+
+    node: ast.AST
+    message: str
+
+
+class LintRule:
+    """Base class for one REPxxx rule."""
+
+    code: str = "REP000"
+    title: str = ""
+    rationale: str = ""
+
+    def applies_to(self, path: PurePath) -> bool:
+        """Path scope; override to restrict a rule to one layer."""
+        return True
+
+    def findings(self, tree: ast.Module, path: PurePath) -> Iterator[Finding]:
+        """Yield hits for one parsed module."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+def _has_part_run(path: PurePath, *run: str) -> bool:
+    """Do ``run`` appear as consecutive components of ``path``?"""
+    parts = path.parts
+    n = len(run)
+    return any(parts[i : i + n] == run for i in range(len(parts) - n + 1))
+
+
+def path_in_layer(path: PurePath, layer: str) -> bool:
+    """Is ``path`` inside ``src/repro/<layer>/`` (tests/<layer> is not)?"""
+    return _has_part_run(path, "repro", layer)
+
+
+def is_test_path(path: PurePath) -> bool:
+    """Is ``path`` test code (under ``tests/`` or a ``test_*.py`` file)?"""
+    return "tests" in path.parts or path.name.startswith("test_")
+
+
+def iter_source_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand file/directory arguments into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_file() and p.suffix == ".py":
+            out.add(p)
+        elif p.is_dir():
+            for f in p.rglob("*.py"):
+                if not any(part in _SKIP_DIRS for part in f.parts):
+                    out.add(f)
+    return sorted(out)
+
+
+def parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Per-line suppressed rule codes (``{"*"}`` for a bare noqa).
+
+    A trailing noqa applies to its own line; a comment-*only* noqa line
+    applies to the following line instead (so justifications can live
+    above the code they excuse).
+    """
+    table: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _NOQA_RE.search(line)
+        if m is None:
+            continue
+        codes = {c.upper() for c in re.findall(r"REP\d{3}", m.group(1))}
+        target = lineno + 1 if line.lstrip().startswith("#") else lineno
+        table.setdefault(target, set()).update(codes if codes else {_ALL})
+    return table
+
+
+def _suppressed(
+    node: ast.AST, code: str, suppressions: dict[int, set[str]]
+) -> bool:
+    start = getattr(node, "lineno", None)
+    if start is None:
+        return False
+    end = getattr(node, "end_lineno", None) or start
+    for lineno in range(start, end + 1):
+        codes = suppressions.get(lineno)
+        if codes is not None and (_ALL in codes or code in codes):
+            return True
+    return False
+
+
+def run_rules(
+    paths: Sequence[str | Path],
+    rules: Iterable[LintRule],
+    *,
+    select: Iterable[str] | None = None,
+) -> list[LintViolation]:
+    """Run ``rules`` over every Python file under ``paths``.
+
+    ``select`` restricts to the given rule codes.  Unparseable files are
+    reported as ``REP000`` violations rather than crashing the run.
+    """
+    chosen = list(rules)
+    if select is not None:
+        wanted = {c.upper() for c in select}
+        unknown = wanted - {r.code for r in chosen}
+        if unknown:
+            raise ValueError(
+                "unknown rule code(s): " + ", ".join(sorted(unknown))
+            )
+        chosen = [r for r in chosen if r.code in wanted]
+    violations: list[LintViolation] = []
+    for file in iter_source_files(paths):
+        applicable = [r for r in chosen if r.applies_to(file)]
+        if not applicable:
+            continue
+        source = file.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(file))
+        except SyntaxError as exc:
+            violations.append(
+                LintViolation(
+                    path=str(file),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    rule="REP000",
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        suppressions = parse_suppressions(source)
+        for rule in applicable:
+            for finding in rule.findings(tree, file):
+                if _suppressed(finding.node, rule.code, suppressions):
+                    continue
+                violations.append(
+                    LintViolation(
+                        path=str(file),
+                        line=getattr(finding.node, "lineno", 1),
+                        col=getattr(finding.node, "col_offset", 0),
+                        rule=rule.code,
+                        message=finding.message,
+                    )
+                )
+    return sorted(violations)

@@ -1,0 +1,389 @@
+"""The REP001-REP006 rule catalog (see docs/ANALYSIS.md for the rationale).
+
+Each rule enforces a convention this codebase relies on for correctness but
+that nothing machine-checked before:
+
+* REP001 — schedulers accept a ``SchedulingContext``, not raw
+  ``(predictor, jobs, cap_w)`` plumbing (outside ``repro.core`` itself).
+* REP002 — randomness flows through ``repro.util.rng`` / ``ctx.rng()``,
+  never the process-global ``random`` / ``numpy.random`` state.
+* REP003 — no float ``==`` / ``!=`` on makespan/energy/power expressions;
+  compare with a tolerance (exact-zero and identity-vs-string compares are
+  exempt; byte-identical memoization checks carry a ``noqa``).
+* REP004 — production code evaluates schedules through the memoizing
+  evaluator (``ctx.score`` / ``ctx.metrics``), not the raw replay
+  functions, so the EvalCache sees every query.
+* REP005 — public methods of lock-owning service classes mutate shared
+  state only under ``with <lock>:``.
+* REP006 — ``repro.engine`` runs on the simulated timeline; wall-clock
+  calls are banned there.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import PurePath
+from collections.abc import Iterator
+
+from repro.analysis.lint.engine import (
+    Finding,
+    LintRule,
+    is_test_path,
+    path_in_layer,
+)
+
+#: Identifier substrings that mark an expression as a physical metric.
+_METRIC_RE = re.compile(r"makespan|energy|power|edp")
+
+#: Wall-clock callables banned from the engine layer.
+_WALL_CLOCK_TIME_FNS = {"time", "monotonic", "perf_counter", "process_time"}
+_WALL_CLOCK_DT_FNS = {"now", "utcnow", "today"}
+
+#: Lock-like constructors that mark an attribute as a lock.
+_LOCK_CTORS = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+
+
+def _dotted(node: ast.expr) -> tuple[str, ...]:
+    """The dotted-name chain of a Name/Attribute expression (else empty)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+def _param_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    a = fn.args
+    return {p.arg for p in (*a.posonlyargs, *a.args, *a.kwonlyargs)}
+
+
+class RawPlumbingRule(LintRule):
+    code = "REP001"
+    title = "raw (predictor, jobs, cap_w) plumbing outside repro.core"
+    rationale = (
+        "PR 3 unified every scheduler behind SchedulingContext; a function "
+        "re-growing the legacy triple re-opens the drift the context closed "
+        "(mismatched governors, unshared caches, unseeded RNGs)."
+    )
+
+    _TRIPLE = {"predictor", "jobs", "cap_w"}
+
+    def applies_to(self, path: PurePath) -> bool:
+        return not (
+            path_in_layer(path, "core") or path_in_layer(path, "analysis")
+        )
+
+    def findings(self, tree: ast.Module, path: PurePath) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if self._TRIPLE <= _param_names(node):
+                    yield Finding(
+                        node,
+                        f"function {node.name!r} takes raw (predictor, jobs,"
+                        " cap_w) plumbing; accept a SchedulingContext",
+                    )
+
+
+class DefaultRngRule(LintRule):
+    code = "REP002"
+    title = "process-global RNG use"
+    rationale = (
+        "Reproducibility is a headline property of the reproduction: every "
+        "stochastic path must draw from util.rng.default_rng / ctx.rng() so "
+        "a seed replays the identical schedule."
+    )
+
+    def findings(self, tree: ast.Module, path: PurePath) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        yield Finding(
+                            node,
+                            "stdlib 'random' is process-global and unseeded"
+                            " here; use repro.util.rng.default_rng",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield Finding(
+                        node,
+                        "stdlib 'random' is process-global and unseeded"
+                        " here; use repro.util.rng.default_rng",
+                    )
+            elif isinstance(node, ast.Call):
+                chain = _dotted(node.func)
+                if (
+                    len(chain) >= 3
+                    and chain[0] in ("np", "numpy")
+                    and chain[1] == "random"
+                ):
+                    yield Finding(
+                        node,
+                        f"direct {'.'.join(chain)}() call; route randomness"
+                        " through repro.util.rng (default_rng / spawn_rng)"
+                        " or ctx.rng()",
+                    )
+
+
+class FloatEqualityRule(LintRule):
+    code = "REP003"
+    title = "float ==/!= on a makespan/energy/power expression"
+    rationale = (
+        "Predicted metrics are floats built from long reduction chains;"
+        " exact comparison encodes an accident of summation order. Compare"
+        " with pytest.approx / math.isclose, except for exact-zero and"
+        " deliberately byte-identical memoization contracts."
+    )
+
+    @staticmethod
+    def _is_tolerant_call(node: ast.expr) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        chain = _dotted(node.func)
+        return bool(chain) and chain[-1] in ("approx", "isclose")
+
+    @staticmethod
+    def _is_exempt_constant(node: ast.expr) -> bool:
+        return isinstance(node, ast.Constant) and (
+            isinstance(node.value, (str, bytes))
+            or node.value is None
+            or (
+                isinstance(node.value, (int, float))
+                and not isinstance(node.value, bool)
+                and node.value == 0
+            )
+        )
+
+    @classmethod
+    def _mentions_metric(cls, node: ast.expr) -> bool:
+        """Is the *value* of this operand a metric quantity?
+
+        Looks at the operand's head — the final attribute, name, or called
+        function — not at receivers along the way, so
+        ``energy_state.metrics.rejected == 1`` (an int counter on an
+        energy-objective fixture) is not a metric comparison while
+        ``execution.energy_j == x`` is.  Boolean-valued operands
+        (comparisons, ``and``/``or``/``not``) are never metrics.
+        """
+        if isinstance(node, (ast.Compare, ast.BoolOp)):
+            return False
+        if isinstance(node, ast.UnaryOp):
+            if isinstance(node.op, ast.Not):
+                return False
+            return cls._mentions_metric(node.operand)
+        if isinstance(node, ast.BinOp):
+            return cls._mentions_metric(node.left) or cls._mentions_metric(
+                node.right
+            )
+        if isinstance(node, ast.Call):
+            chain = _dotted(node.func)
+            return bool(chain) and bool(_METRIC_RE.search(chain[-1]))
+        if isinstance(node, ast.Attribute):
+            return bool(_METRIC_RE.search(node.attr))
+        if isinstance(node, ast.Name):
+            return bool(_METRIC_RE.search(node.id))
+        return False
+
+    def findings(self, tree: ast.Module, path: PurePath) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            if any(self._is_tolerant_call(o) for o in operands):
+                continue
+            if any(self._is_exempt_constant(o) for o in operands):
+                continue
+            if any(self._mentions_metric(o) for o in operands):
+                yield Finding(
+                    node,
+                    "exact float comparison on a makespan/energy/power"
+                    " expression; use pytest.approx or math.isclose",
+                )
+
+
+class RawReplayRule(LintRule):
+    code = "REP004"
+    title = "raw schedule replay outside the perf evaluator layer"
+    rationale = (
+        "predicted_makespan/predicted_metrics bypass the EvalCache; calling"
+        " them directly in production code forfeits memoization and lets"
+        " scores drift from what the schedulers actually minimized. Use"
+        " ctx.score/ctx.metrics or a ScheduleEvaluator."
+    )
+
+    _RAW = {"predicted_makespan", "predicted_metrics"}
+
+    def applies_to(self, path: PurePath) -> bool:
+        if is_test_path(path):
+            return False  # spec tests pin the raw replay on purpose
+        if path_in_layer(path, "perf") or path_in_layer(path, "analysis"):
+            return False
+        return not (path_in_layer(path, "core") and path.name == "schedule.py")
+
+    def findings(self, tree: ast.Module, path: PurePath) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in self._RAW
+            ):
+                yield Finding(
+                    node,
+                    f"direct {node.func.id}() call bypasses the EvalCache;"
+                    " use ctx.score()/ctx.metrics() or a ScheduleEvaluator",
+                )
+
+
+class UnlockedServiceStateRule(LintRule):
+    code = "REP005"
+    title = "service-layer shared state mutated outside a lock"
+    rationale = (
+        "The daemon's correctness model is a single writer: public methods"
+        " of lock-owning classes must take the lock before touching shared"
+        " attributes (private helpers are assumed to be called under it)."
+    )
+
+    def applies_to(self, path: PurePath) -> bool:
+        return path_in_layer(path, "service")
+
+    @staticmethod
+    def _lock_attrs(cls: ast.ClassDef) -> set[str]:
+        names: set[str] = set()
+        for node in ast.walk(cls):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                chain = _dotted(node.value.func)
+                if chain and chain[-1] in _LOCK_CTORS:
+                    for target in node.targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            names.add(target.attr)
+        return names
+
+    @classmethod
+    def _with_takes_lock(cls, node: ast.With, locks: set[str]) -> bool:
+        for item in node.items:
+            for sub in ast.walk(item.context_expr):
+                if isinstance(sub, ast.Attribute) and sub.attr in locks:
+                    return True
+        return False
+
+    def _scan(
+        self, body: list[ast.stmt], locks: set[str], locked: bool
+    ) -> Iterator[Finding]:
+        for stmt in body:
+            if isinstance(stmt, ast.With) and self._with_takes_lock(stmt, locks):
+                continue  # everything inside holds the lock
+            targets: list[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+                targets = [stmt.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and not locked
+                ):
+                    yield Finding(
+                        stmt,
+                        f"'self.{target.attr}' mutated outside a 'with"
+                        " <lock>:' block in a public method of a"
+                        " lock-owning class",
+                    )
+            # Recurse into nested statement lists (if/for/try/while bodies).
+            for field_body in (
+                getattr(stmt, "body", None),
+                getattr(stmt, "orelse", None),
+                getattr(stmt, "finalbody", None),
+            ):
+                if isinstance(field_body, list):
+                    yield from self._scan(field_body, locks, locked)
+            for handler in getattr(stmt, "handlers", []) or []:
+                yield from self._scan(handler.body, locks, locked)
+
+    def findings(self, tree: ast.Module, path: PurePath) -> Iterator[Finding]:
+        for cls in ast.walk(tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            locks = self._lock_attrs(cls)
+            if not locks:
+                continue
+            for method in cls.body:
+                if not isinstance(
+                    method, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                if method.name.startswith("_"):
+                    continue  # private helpers run under the caller's lock
+                yield from self._scan(method.body, locks, locked=False)
+
+
+class EngineWallClockRule(LintRule):
+    code = "REP006"
+    title = "wall-clock time inside repro.engine"
+    rationale = (
+        "The engine is a deterministic virtual-time simulator; a wall-clock"
+        " read makes results machine- and load-dependent. Thread the"
+        " simulated timeline instead."
+    )
+
+    def applies_to(self, path: PurePath) -> bool:
+        return path_in_layer(path, "engine")
+
+    def findings(self, tree: ast.Module, path: PurePath) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                bad = sorted(
+                    a.name
+                    for a in node.names
+                    if a.name in _WALL_CLOCK_TIME_FNS
+                )
+                if bad:
+                    yield Finding(
+                        node,
+                        f"wall-clock import ({', '.join(bad)}) in engine"
+                        " code; use the simulated timeline",
+                    )
+            elif isinstance(node, ast.Call):
+                chain = _dotted(node.func)
+                if (
+                    len(chain) == 2
+                    and chain[0] == "time"
+                    and chain[1] in _WALL_CLOCK_TIME_FNS
+                ):
+                    yield Finding(
+                        node,
+                        f"wall-clock call {'.'.join(chain)}() in engine"
+                        " code; use the simulated timeline",
+                    )
+                elif (
+                    len(chain) >= 2
+                    and "datetime" in chain
+                    and chain[-1] in _WALL_CLOCK_DT_FNS
+                ):
+                    yield Finding(
+                        node,
+                        f"wall-clock call {'.'.join(chain)}() in engine"
+                        " code; use the simulated timeline",
+                    )
+
+
+#: The shipped rule set, in catalog order.
+ALL_RULES: tuple[LintRule, ...] = (
+    RawPlumbingRule(),
+    DefaultRngRule(),
+    FloatEqualityRule(),
+    RawReplayRule(),
+    UnlockedServiceStateRule(),
+    EngineWallClockRule(),
+)

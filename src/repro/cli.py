@@ -14,8 +14,13 @@ submissions, schedules them live, and reacts to power-cap events.
 line — any registry method, any objective (``--objective
 makespan|energy|edp``) — and prints the queues plus predicted scores.
 
-Exit codes: 0 success, 2 usage/infeasibility (an unknown experiment, or a
-power cap no frequency setting can satisfy).
+``python -m repro analyze`` runs the repo's static-analysis pack (the
+REP001-REP006 AST lint rules of :mod:`repro.analysis.lint`) over source
+trees and exits non-zero on violations — the same gate CI runs.
+
+Exit codes: 0 success, 1 lint violations (``analyze``), 2
+usage/infeasibility (an unknown experiment, or a power cap no frequency
+setting can satisfy).
 """
 
 from __future__ import annotations
@@ -192,6 +197,12 @@ def _schedule(argv: list[str]) -> int:
     return 0
 
 
+def _analyze(argv: list[str]) -> int:
+    from repro.analysis.lint.__main__ import main as lint_main
+
+    return lint_main(argv)
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -199,6 +210,8 @@ def main(argv: list[str] | None = None) -> int:
         return _serve(argv[1:])
     if argv and argv[0] == "schedule":
         return _schedule(argv[1:])
+    if argv and argv[0] == "analyze":
+        return _analyze(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -213,7 +226,7 @@ def main(argv: list[str] | None = None) -> int:
         nargs="+",
         metavar="EXPERIMENT",
         help=f"one or more of: {', '.join(EXPERIMENTS)}, or 'all'; "
-        "or the 'serve' / 'schedule' subcommands",
+        "or the 'serve' / 'schedule' / 'analyze' subcommands",
     )
     parser.add_argument(
         "--quiet", action="store_true", help="print only headline metrics"

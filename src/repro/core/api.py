@@ -108,6 +108,20 @@ def scheduler_names() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
+def _maybe_sanitize(ctx: SchedulingContext, result: ScheduleResult) -> None:
+    """Verify the result's invariants when the sanitizer is armed.
+
+    Raises :class:`~repro.errors.ScheduleInvariantError` (with the
+    structured violation list) if the schedule breaks any Definition 2.1
+    invariant.  Active under ``REPRO_SANITIZE=1`` or for contexts derived
+    via :meth:`~repro.core.context.SchedulingContext.with_sanitizer`.
+    """
+    if ctx.sanitizing:
+        from repro.analysis.invariants import check_schedule
+
+        check_schedule(ctx, result.schedule, where=f"registry:{result.method}")
+
+
 def _finalize(result: ScheduleResult, ctx: SchedulingContext) -> ScheduleResult:
     """Fill result fields only the caller-side context knows."""
     if result.cache_stats is None or result.governor is None:
@@ -125,6 +139,7 @@ def _finalize(result: ScheduleResult, ctx: SchedulingContext) -> ScheduleResult:
             predicted_score=result.predicted_score,
             governor=result.governor if result.governor is not None else ctx.governor,
         )
+    _maybe_sanitize(ctx, result)
     return result
 
 
@@ -140,6 +155,7 @@ def schedule(
     cache: EvalCache | None = None,
     disk_cache=None,
     seed=None,
+    governor=None,
     **opts,
 ) -> ScheduleResult:
     """Compute a co-schedule for ``jobs`` under ``cap_w`` with ``method``.
@@ -167,6 +183,12 @@ def schedule(
         cache for the model-building stage.
     ``seed``
         Forwarded to stochastic methods (random, genetic, hcs+ refinement).
+    ``governor``
+        Override the cap-enforcing frequency policy (default: the
+        objective's governor from
+        :func:`~repro.core.objectives.governor_for`).  Under
+        ``REPRO_SANITIZE=1`` the result is still verified against the cap,
+        so a governor that ignores it is caught, not trusted.
 
     Remaining keyword options are method-specific and forwarded verbatim
     (e.g. ``threshold=`` for hcs, ``node_budget=`` for astar,
@@ -192,6 +214,7 @@ def schedule(
         cache=cache,
         disk_cache=disk_cache,
         seed=seed,
+        governor=governor,
     )
     return _finalize(adapter(ctx, **opts), ctx)
 
@@ -350,6 +373,7 @@ class Scheduler:
                 predicted_score=result.predicted_score,
                 governor=ctx.governor,
             )
+        _maybe_sanitize(ctx, result)
         return result
 
 

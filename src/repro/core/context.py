@@ -63,6 +63,7 @@ class SchedulingContext:
     cache: EvalCache | None = None
     seed: int | np.random.Generator | None = None
     governor_factory: Callable[..., object] = governor_for
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if not self.jobs:
@@ -242,7 +243,28 @@ class SchedulingContext:
             cache=self.cache,
             seed=self.seed,
             governor_factory=self.governor_factory,
+            sanitize=self.sanitize,
         )
+
+    def with_sanitizer(self, enabled: bool = True) -> "SchedulingContext":
+        """Same context with the invariant sanitizer armed (or disarmed).
+
+        A sanitizing context makes every registry scheduler, refinement
+        pass, and service batch verify its output against the paper's
+        Definition 2.1 invariants (see :mod:`repro.analysis.invariants`),
+        raising :class:`~repro.errors.ScheduleInvariantError` on violation.
+        ``REPRO_SANITIZE=1`` in the environment arms every context at once.
+        """
+        return replace(self, sanitize=enabled)
+
+    @property
+    def sanitizing(self) -> bool:
+        """Is invariant verification active for this context?"""
+        if self.sanitize:
+            return True
+        from repro.analysis.invariants import env_sanitizer_enabled
+
+        return env_sanitizer_enabled()
 
     def with_cap(self, cap_w: float) -> "SchedulingContext":
         """Re-target the power cap; governor and evaluator are rebuilt.
@@ -258,6 +280,7 @@ class SchedulingContext:
             executor=self.executor,
             seed=self.seed,
             governor_factory=self.governor_factory,
+            sanitize=self.sanitize,
         )
 
     # ------------------------------------------------------------------

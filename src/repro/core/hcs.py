@@ -62,7 +62,7 @@ def _best_solo_kind(
             cap_w=cap_w,
             jobs=(job.uid,),
         )
-    return min(times, key=times.get)
+    return min(times, key=lambda kind: times[kind])
 
 
 def hcs_schedule(

@@ -141,6 +141,7 @@ def refine_schedule(
         evaluate = evaluator if evaluator is not None else ctx.evaluator
         rng = default_rng(ctx.seed if seed is None else seed)
     else:
+        ctx = None
         evaluate = (
             evaluator
             if evaluator is not None
@@ -153,4 +154,43 @@ def refine_schedule(
     schedule, best = _adjacent_pass(schedule, evaluate, best)
     schedule, best = _random_intra_pass(schedule, evaluate, best, rng, n_samples)
     schedule, best = _random_cross_pass(schedule, evaluate, best, rng, n_samples)
+    _maybe_sanitize(schedule, ctx, predictor, governor, evaluate)
     return schedule
+
+
+def _maybe_sanitize(schedule, ctx, predictor, governor, evaluator) -> None:
+    """Verify the refined schedule when the invariant sanitizer is armed.
+
+    With a :class:`SchedulingContext` the check runs against it directly;
+    for the legacy ``(predictor, governor)`` shape an equivalent context is
+    reconstructed from the schedule's own jobs and the governor's cap (a
+    governor without a ``cap_w`` cannot be cap-checked and is skipped).
+    """
+    from repro.analysis.invariants import check_schedule, sanitizer_enabled
+
+    if ctx is not None:
+        if ctx.sanitizing:
+            check_schedule(ctx, schedule, where="refine")
+        return
+    if not sanitizer_enabled() or schedule.n_jobs == 0:
+        return
+    cap_w = getattr(governor, "cap_w", None)
+    if cap_w is None:
+        return
+    jobs = (
+        *schedule.cpu_queue,
+        *schedule.gpu_queue,
+        *(job for job, _ in schedule.solo_tail),
+    )
+    check_schedule(
+        SchedulingContext(
+            jobs=jobs,
+            cap_w=cap_w,
+            predictor=predictor,
+            objective=evaluator.objective,
+            governor=governor,
+            evaluator=evaluator,
+        ),
+        schedule,
+        where="refine",
+    )

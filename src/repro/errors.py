@@ -7,6 +7,34 @@ them without import cycles.
 from __future__ import annotations
 
 
+class ScheduleInvariantError(RuntimeError):
+    """A produced co-schedule violates a Definition 2.1 invariant.
+
+    Raised by the :mod:`repro.analysis` sanitizer (``REPRO_SANITIZE=1`` or
+    ``ctx.with_sanitizer()``) when the independent verifier finds that a
+    scheduler emitted a schedule breaking one of the paper's formal
+    requirements — a malformed job partition, a frequency outside the
+    device's level set, predicted chip power above the cap, an inconsistent
+    predicted makespan, or a makespan below the ``T_low`` lower bound.
+
+    ``violations`` carries the structured
+    :class:`repro.analysis.invariants.Violation` records; ``where`` names
+    the pipeline stage that produced the schedule (``registry:hcs+``,
+    ``refine``, ``service:session``, ...).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        violations: tuple = (),
+        where: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.violations = tuple(violations)
+        self.where = where
+
+
 class InfeasibleCapError(RuntimeError, ValueError):
     """No frequency setting satisfies the power cap for the given job(s).
 

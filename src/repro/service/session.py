@@ -30,6 +30,7 @@ import heapq
 import math
 from dataclasses import dataclass
 
+from repro.analysis.invariants import check_schedule, env_sanitizer_enabled
 from repro.errors import InfeasibleCapError
 from repro.hardware.calibration import DEFAULT_POWER_CAP_W, make_ivy_bridge
 from repro.hardware.device import DeviceKind
@@ -126,6 +127,7 @@ class ServiceSession:
         objective="makespan",
         executor=None,
         seed=None,
+        sanitize: bool | None = None,
         **scheduler_opts,
     ) -> None:
         from repro.core.objectives import Objective
@@ -157,6 +159,8 @@ class ServiceSession:
             **scheduler_opts,
         )
         self.sim = ArrivalSimulator(self.processor, _SafeGovernor(self))
+        # None defers to the process-wide REPRO_SANITIZE flag at check time.
+        self._sanitize_override = sanitize
         self.cap_violations = 0
         self._jobs: dict[str, Job] = {}
         self._cap_at_start: dict[str, float] = {}
@@ -296,6 +300,10 @@ class ServiceSession:
             ):
                 _, _, cap_w = heapq.heappop(self._cap_events)
                 self._apply_cap(cap_w)
+        if self._sanitizing():
+            # Session completion: every batch plan that drove this run must
+            # still satisfy the Definition 2.1 invariants under the cap.
+            self._verify_memoized("service:session")
         return (
             [self._completion_record(c) for c in completions],
             self.pop_late_rejections(),
@@ -328,12 +336,27 @@ class ServiceSession:
                 )
         return keep
 
+    def _sanitizing(self) -> bool:
+        if self._sanitize_override is not None:
+            return self._sanitize_override
+        return env_sanitizer_enabled()
+
+    def _verify_memoized(self, where: str) -> None:
+        """Re-verify every batch plan of the current cap (sanitizer mode)."""
+        for (_, uids), sched in list(self._schedule_memo.items()):
+            jobs = [self._jobs[uid] for uid in uids]
+            check_schedule(self.scheduler.context(jobs), sched, where=where)
+
     def _batch_schedule(self, candidates: list[Job]):
         ordered = sorted(candidates, key=lambda j: j.uid)
         key = (self.cap_w, tuple(j.uid for j in ordered))
         hit = self._schedule_memo.get(key)
         if hit is None:
             hit = self.scheduler(ordered).schedule
+            if self._sanitizing():
+                check_schedule(
+                    self.scheduler.context(ordered), hit, where="service:batch"
+                )
             self._schedule_memo[key] = hit
         return hit
 

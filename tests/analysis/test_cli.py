@@ -1,0 +1,141 @@
+"""The ``python -m repro.analysis.lint`` / ``repro analyze`` entry points.
+
+Builds a fixture tree carrying exactly one violation of each REP rule and
+checks the command exits non-zero naming every rule with a file:line
+location, exits zero on a clean tree, and honours ``--select`` /
+``--list-rules``.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis.lint.__main__ import main as lint_main
+from repro.cli import main as repro_main
+
+#: rel-path -> (source, expected rule code); one violation per rule.
+FIXTURES = {
+    "src/repro/service/plumbing.py": (
+        """
+        def plan(predictor, jobs, cap_w):
+            return None
+        """,
+        "REP001",
+    ),
+    "src/repro/model/randomness.py": (
+        """
+        import random
+        """,
+        "REP002",
+    ),
+    "src/repro/model/compare.py": (
+        """
+        def same(a, b):
+            return a.makespan_s == b.makespan_s
+        """,
+        "REP003",
+    ),
+    "src/repro/engine/replay.py": (
+        """
+        from repro.core.schedule import predicted_makespan
+
+        def score(sched, p, g):
+            return predicted_makespan(sched, p, g)
+        """,
+        "REP004",
+    ),
+    "src/repro/service/shared.py": (
+        """
+        import threading
+
+        class State:
+            def __init__(self):
+                self.lock = threading.RLock()
+                self.count = 0
+
+            def bump(self):
+                self.count += 1
+        """,
+        "REP005",
+    ),
+    "src/repro/engine/clock.py": (
+        """
+        import time
+
+        def now():
+            return time.time()
+        """,
+        "REP006",
+    ),
+}
+
+
+@pytest.fixture
+def violation_tree(tmp_path):
+    for rel, (source, _) in FIXTURES.items():
+        f = tmp_path / rel
+        f.parent.mkdir(parents=True, exist_ok=True)
+        f.write_text(textwrap.dedent(source))
+    return tmp_path
+
+
+@pytest.fixture
+def clean_tree(tmp_path):
+    f = tmp_path / "src/repro/model/clean.py"
+    f.parent.mkdir(parents=True)
+    f.write_text("def identity(x):\n    return x\n")
+    return tmp_path
+
+
+class TestLintMain:
+    def test_exits_nonzero_naming_every_rule(self, violation_tree, capsys):
+        assert lint_main([str(violation_tree)]) == 1
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        for rel, (_, code) in FIXTURES.items():
+            matching = [ln for ln in lines if code in ln]
+            assert matching, f"{code} not reported"
+            # Location is file:line:col.
+            assert any(rel in ln and ":" in ln for ln in matching)
+
+    def test_exits_zero_on_clean_tree(self, clean_tree, capsys):
+        assert lint_main([str(clean_tree)]) == 0
+        assert capsys.readouterr().out.strip() == ""
+
+    def test_select_narrows_the_run(self, violation_tree, capsys):
+        assert lint_main(["--select", "REP002", str(violation_tree)]) == 1
+        out = capsys.readouterr().out
+        assert "REP002" in out
+        assert "REP005" not in out
+
+    def test_unknown_select_is_usage_error(self, violation_tree, capsys):
+        assert lint_main(["--select", "REP999", str(violation_tree)]) == 2
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
+            assert code in out
+
+    def test_missing_paths_lint_nothing(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path / "nope")]) == 0
+
+
+class TestReproAnalyze:
+    def test_analyze_subcommand_fails_on_violations(self, violation_tree, capsys):
+        assert repro_main(["analyze", str(violation_tree)]) == 1
+        assert "REP001" in capsys.readouterr().out
+
+    def test_analyze_subcommand_passes_clean_tree(self, clean_tree):
+        assert repro_main(["analyze", str(clean_tree)]) == 0
+
+
+class TestRepoIsClean:
+    def test_shipped_tree_has_no_violations(self, capsys):
+        # The repo lints itself: src, tests, and tools must be REP-clean
+        # (the same invocation CI and `make analyze` run).
+        assert lint_main(["src", "tests", "tools"]) == 0, (
+            capsys.readouterr().out
+        )

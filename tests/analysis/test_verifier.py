@@ -1,0 +1,283 @@
+"""The invariant verifier flags exactly what was broken — and nothing else.
+
+Property tests forge invalid :class:`~repro.core.schedule.CoSchedule`
+objects from valid HCS output (bypassing ``__post_init__`` with
+``object.__setattr__``, the only way to materialize e.g. a duplicated uid)
+and assert :func:`repro.analysis.invariants.verify_schedule` reports the
+injected violation class.  Stub-predictor unit tests isolate the
+frequency-domain, makespan-consistency, and lower-bound checks.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.analysis.invariants import (
+    INVARIANT_FREQUENCY,
+    INVARIANT_LOWER_BOUND,
+    INVARIANT_MAKESPAN,
+    INVARIANT_PARTITION,
+    INVARIANT_POWER_CAP,
+    check_schedule,
+    verify_schedule,
+)
+from repro.core.context import SchedulingContext
+from repro.core.freqpolicy import ModelGovernor
+from repro.core.hcs import hcs_schedule
+from repro.core.schedule import CoSchedule, predicted_makespan
+from repro.errors import ScheduleInvariantError
+from repro.hardware.frequency import FrequencySetting
+
+CAP_W = 15.0
+
+
+def _forge(cpu, gpu, tail=()) -> CoSchedule:
+    """Build a CoSchedule without its validation (to inject violations)."""
+    sched = object.__new__(CoSchedule)
+    object.__setattr__(sched, "cpu_queue", tuple(cpu))
+    object.__setattr__(sched, "gpu_queue", tuple(gpu))
+    object.__setattr__(sched, "solo_tail", tuple(tail))
+    return sched
+
+
+def _classes(violations) -> set[str]:
+    return {v.invariant for v in violations}
+
+
+class CapIgnoringGovernor(ModelGovernor):
+    """Always answers with the chip's maximum frequencies — cap be damned."""
+
+    def _choose(self, cpu_job, gpu_job):
+        return self.predictor.processor.max_setting
+
+
+@st.composite
+def _instances(draw):
+    size = draw(st.integers(min_value=2, max_value=5))
+    start = draw(st.integers(min_value=0, max_value=7))
+    pos = draw(st.integers(min_value=0, max_value=size - 1))
+    return size, start, pos
+
+
+class TestMutatedSchedules:
+    def _setup(self, predictor, rodinia_jobs, size, start):
+        jobs = [rodinia_jobs[(start + i) % len(rodinia_jobs)] for i in range(size)]
+        ctx = SchedulingContext.build(jobs, cap_w=CAP_W, predictor=predictor)
+        return ctx, hcs_schedule(ctx).schedule
+
+    @staticmethod
+    def _flat(schedule):
+        return (
+            [("cpu", j) for j in schedule.cpu_queue]
+            + [("gpu", j) for j in schedule.gpu_queue]
+            + [("tail", j) for j, _ in schedule.solo_tail]
+        )
+
+    @staticmethod
+    def _without(schedule, victim):
+        return _forge(
+            [j for j in schedule.cpu_queue if j.uid != victim.uid],
+            [j for j in schedule.gpu_queue if j.uid != victim.uid],
+            [(j, k) for j, k in schedule.solo_tail if j.uid != victim.uid],
+        )
+
+    @settings(max_examples=8, deadline=None)
+    @given(_instances())
+    def test_valid_schedule_has_no_violations(
+        self, predictor, rodinia_jobs, instance
+    ):
+        size, start, _ = instance
+        ctx, sched = self._setup(predictor, rodinia_jobs, size, start)
+        assert verify_schedule(ctx, sched) == []
+
+    @settings(max_examples=8, deadline=None)
+    @given(_instances())
+    def test_dropped_job_flags_partition(self, predictor, rodinia_jobs, instance):
+        size, start, pos = instance
+        ctx, sched = self._setup(predictor, rodinia_jobs, size, start)
+        _, victim = self._flat(sched)[pos]
+        violations = verify_schedule(ctx, self._without(sched, victim))
+        assert _classes(violations) == {INVARIANT_PARTITION}
+        assert any(
+            victim.uid in v.details.get("missing", ()) for v in violations
+        )
+
+    @settings(max_examples=8, deadline=None)
+    @given(_instances())
+    def test_duplicated_uid_flags_partition(
+        self, predictor, rodinia_jobs, instance
+    ):
+        size, start, pos = instance
+        ctx, sched = self._setup(predictor, rodinia_jobs, size, start)
+        _, victim = self._flat(sched)[pos]
+        mutated = _forge(
+            [*sched.cpu_queue, victim], sched.gpu_queue, sched.solo_tail
+        )
+        violations = verify_schedule(ctx, mutated)
+        assert _classes(violations) == {INVARIANT_PARTITION}
+        assert any(
+            victim.uid in v.details.get("duplicates", ()) for v in violations
+        )
+
+    @settings(max_examples=8, deadline=None)
+    @given(_instances())
+    def test_foreign_job_flags_partition(self, predictor, rodinia_jobs, instance):
+        size, start, pos = instance
+        ctx, sched = self._setup(predictor, rodinia_jobs, size, start)
+        where, victim = self._flat(sched)[pos]
+        foreign = rodinia_jobs[(start + size) % len(rodinia_jobs)]
+        swap = lambda js: [foreign if j.uid == victim.uid else j for j in js]
+        mutated = _forge(
+            swap(sched.cpu_queue),
+            swap(sched.gpu_queue),
+            [
+                ((foreign, k) if j.uid == victim.uid else (j, k))
+                for j, k in sched.solo_tail
+            ],
+        )
+        violations = verify_schedule(ctx, mutated)
+        assert _classes(violations) == {INVARIANT_PARTITION}
+        assert any(victim.uid in v.details.get("missing", ()) for v in violations)
+        assert any(foreign.uid in v.details.get("extra", ()) for v in violations)
+
+    @settings(max_examples=8, deadline=None)
+    @given(_instances())
+    def test_cap_ignoring_governor_flags_power_cap(
+        self, predictor, rodinia_jobs, instance
+    ):
+        size, start, _ = instance
+        jobs = [rodinia_jobs[(start + i) % len(rodinia_jobs)] for i in range(size)]
+        ctx = SchedulingContext.build(
+            jobs,
+            cap_w=CAP_W,
+            predictor=predictor,
+            governor=CapIgnoringGovernor(predictor, CAP_W),
+        )
+        sched = hcs_schedule(ctx).schedule
+        # A GPU-only schedule never co-runs, and the GPU alone can stay
+        # under the cap even at max frequency — the rig only bites when
+        # the two queues overlap (every co-run pair busts 15 W at max).
+        assume(sched.cpu_queue and sched.gpu_queue)
+        classes = _classes(verify_schedule(ctx, sched))
+        assert INVARIANT_POWER_CAP in classes
+        # The rigged frequencies are real domain levels and the schedule is
+        # still a true partition — only the cap (and possibly its T_low
+        # cascade) may be reported.
+        assert INVARIANT_PARTITION not in classes
+        assert INVARIANT_FREQUENCY not in classes
+
+
+# ----------------------------------------------------------------------
+# Stub-model unit tests for the remaining invariants
+# ----------------------------------------------------------------------
+class _StubPredictor:
+    """Constant-rate model over the real processor's frequency grid."""
+
+    def __init__(self, processor, *, power_w=10.0, solo_s=10.0, deg=0.25,
+                 reported_solo_s=None):
+        self.processor = processor
+        self._power = power_w
+        self._solo = solo_s
+        self._deg = deg
+        # What best_solo() *claims*; lets a test make T_low inconsistent.
+        self._reported = reported_solo_s if reported_solo_s is not None else solo_s
+
+    def solo_time(self, uid, kind, f_ghz):
+        return self._solo
+
+    def corun_times(self, cpu_uid, gpu_uid, setting):
+        t = self._solo * (1.0 + self._deg)
+        return (t, t)
+
+    def pair_power_w(self, cpu_uid, gpu_uid, setting):
+        return self._power
+
+    def solo_power_w(self, uid, kind, f_ghz):
+        return self._power
+
+    def best_solo(self, uid, kind, cap_w):
+        if self._power > cap_w:
+            raise ValueError(f"{uid} infeasible under {cap_w} W")
+        kind_domain = (
+            self.processor.cpu.domain
+            if kind.name == "CPU"
+            else self.processor.gpu.domain
+        )
+        return kind_domain.fmax, self._reported
+
+    def feasible_pair_settings(self, cpu_uid, gpu_uid, cap_w):
+        return [self.processor.max_setting] if self._power <= cap_w else []
+
+    def degradation(self, uid, kind, other_uid, setting):
+        return self._deg
+
+
+class _StubCtx:
+    """The duck-typed context shape verify_schedule documents."""
+
+    # repro: noqa REP001 -- this stub intentionally embodies the raw triple
+    def __init__(self, jobs, predictor, governor, cap_w=CAP_W, lie=1.0):
+        self.jobs = tuple(jobs)
+        self.predictor = predictor
+        self.governor = governor
+        self.cap_w = cap_w
+        self._lie = lie
+
+    def predicted_makespan(self, schedule):
+        return self._lie * predicted_makespan(
+            schedule, self.predictor, self.governor
+        )
+
+
+def _pair_schedule(rodinia_jobs):
+    return CoSchedule(cpu_queue=(rodinia_jobs[0],), gpu_queue=(rodinia_jobs[1],))
+
+
+class TestStubInvariants:
+    def test_off_grid_frequency_flags_frequency_domain(
+        self, processor, rodinia_jobs
+    ):
+        stub = _StubPredictor(processor)
+        governor = lambda cpu_job, gpu_job: FrequencySetting(1.9, 0.9)
+        ctx = _StubCtx(rodinia_jobs[:2], stub, governor)
+        violations = verify_schedule(ctx, _pair_schedule(rodinia_jobs))
+        assert _classes(violations) == {INVARIANT_FREQUENCY}
+        # Both devices were parked off-grid.
+        assert len(violations) == 2
+
+    def test_lying_makespan_flags_consistency(self, processor, rodinia_jobs):
+        stub = _StubPredictor(processor)
+        governor = lambda cpu_job, gpu_job: processor.max_setting
+        ctx = _StubCtx(rodinia_jobs[:2], stub, governor, lie=1.5)
+        violations = verify_schedule(ctx, _pair_schedule(rodinia_jobs))
+        assert _classes(violations) == {INVARIANT_MAKESPAN}
+
+    def test_inconsistent_model_flags_lower_bound(self, processor, rodinia_jobs):
+        # The predictor tells T_low that solo runs take 100 s but replays
+        # them in 10 s: the replayed makespan undercuts the bound.
+        stub = _StubPredictor(processor, reported_solo_s=100.0)
+        governor = lambda cpu_job, gpu_job: processor.max_setting
+        ctx = _StubCtx(rodinia_jobs[:1], stub, governor)
+        sched = CoSchedule(cpu_queue=(rodinia_jobs[0],))
+        violations = verify_schedule(ctx, sched)
+        assert _classes(violations) == {INVARIANT_LOWER_BOUND}
+
+    def test_check_schedule_raises_with_structured_violations(
+        self, processor, rodinia_jobs
+    ):
+        stub = _StubPredictor(processor, power_w=40.0)
+        governor = lambda cpu_job, gpu_job: processor.max_setting
+        ctx = _StubCtx(rodinia_jobs[:2], stub, governor)
+        with pytest.raises(ScheduleInvariantError) as exc_info:
+            check_schedule(ctx, _pair_schedule(rodinia_jobs), where="unit")
+        err = exc_info.value
+        assert err.where == "unit"
+        assert INVARIANT_POWER_CAP in {v.invariant for v in err.violations}
+        assert "power-cap" in str(err)
+
+    def test_check_schedule_passes_valid(self, processor, rodinia_jobs):
+        stub = _StubPredictor(processor)
+        governor = lambda cpu_job, gpu_job: processor.max_setting
+        ctx = _StubCtx(rodinia_jobs[:2], stub, governor)
+        check_schedule(ctx, _pair_schedule(rodinia_jobs))  # does not raise

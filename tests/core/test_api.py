@@ -69,6 +69,7 @@ class TestUniformSurface:
         native = hcs_schedule(predictor, rodinia_jobs, CAP_W)
         unified = schedule(rodinia_jobs, "hcs", cap_w=CAP_W, predictor=predictor)
         assert unified.schedule == native.schedule
+        # repro: noqa REP003 -- byte-identical facade/native contract, not a tolerance check
         assert unified.predicted_makespan_s == native.predicted_makespan_s
         assert isinstance(unified.details["hcs"], HcsResult)
 

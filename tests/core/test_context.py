@@ -114,6 +114,7 @@ class TestServices:
 
     def test_score_equals_makespan_under_default_objective(self, ctx):
         schedule = hcs_schedule(ctx).schedule
+        # repro: noqa REP003 -- identity contract: score IS the memoized makespan
         assert ctx.score(schedule) == ctx.predicted_makespan(schedule)
 
     def test_metrics_are_objective_consistent(self, ctx):
@@ -137,5 +138,6 @@ class TestServices:
         schedule = hcs_schedule(base).schedule
         makespan = base.score(schedule)
         edp = base.with_objective("edp").score(schedule)
+        # repro: noqa REP003 -- cache-identity contract plus exact cross-objective inequality
         assert base.score(schedule) == makespan  # still the cached makespan
-        assert edp != makespan
+        assert edp != makespan  # repro: noqa REP003 -- objectives must differ exactly

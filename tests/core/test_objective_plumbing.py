@@ -63,6 +63,7 @@ class TestEveryMethodEveryObjective:
         assert result.predicted_makespan_s > 0.0
         assert result.predicted_score > 0.0
         if objective == "makespan":
+            # repro: noqa REP003 -- identity contract: score IS the makespan
             assert result.predicted_score == result.predicted_makespan_s
         # The governor the schedule was scored under respects the cap for
         # the head co-run pair (the setting every queue starts at).
@@ -183,4 +184,5 @@ class TestMakespanBehaviorPreserved:
             seed=5,
         )
         assert explicit.schedule == default.schedule
+        # repro: noqa REP003 -- byte-identical default-objective contract
         assert explicit.predicted_makespan_s == default.predicted_makespan_s

@@ -48,6 +48,7 @@ class TestPowerPrediction:
         assert high > low
 
     def test_solo_power_matches_table(self, predictor):
+        # repro: noqa REP003 -- exact-delegation contract against the table
         assert predictor.solo_power_w("lud", DeviceKind.GPU, 1.25) == (
             predictor.table.chip_power_w("lud", DeviceKind.GPU, 1.25)
         )

@@ -43,6 +43,7 @@ class TestCachingPredictorExact:
     def test_pair_power_identical(self, predictor, cached_predictor, rodinia_jobs):
         setting = predictor.processor.medium_setting
         a, b = rodinia_jobs[2].uid, rodinia_jobs[3].uid
+        # repro: noqa REP003 -- byte-identical memoization contract
         assert cached_predictor.pair_power_w(a, b, setting) == \
             predictor.pair_power_w(a, b, setting)
 
@@ -101,6 +102,7 @@ class TestCachedSearchesIdentical:
             wrapped, rodinia_jobs, CAP_W, refine=True, seed=11, evaluator=evaluator
         )
         assert plain.schedule == cached.schedule
+        # repro: noqa REP003 -- byte-identical memoization contract
         assert plain.predicted_makespan_s == cached.predicted_makespan_s
         assert shared.stats.hits > 0
 
@@ -189,7 +191,9 @@ class TestExecutorDeterminism:
         serial = runtime.random_average(n=3, seed=21)
         threads = runtime.random_average(n=3, seed=21, executor="threads:2")
         procs = runtime.random_average(n=3, seed=21, executor="processes:2")
+        # repro: noqa REP003 -- executor-determinism contract, byte-identical
         assert serial.mean_makespan_s == threads.mean_makespan_s
+        # repro: noqa REP003 -- executor-determinism contract, byte-identical
         assert serial.mean_makespan_s == procs.mean_makespan_s
 
 

@@ -23,7 +23,7 @@ class TestDefaultRng:
         )
 
     def test_generator_passthrough(self):
-        rng = np.random.default_rng(7)
+        rng = np.random.default_rng(7)  # repro: noqa REP002 -- passthrough test needs a raw generator
         assert default_rng(rng) is rng
 
 
