@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test lint analyze bench bench-all experiments report calibration examples clean
+.PHONY: install test lint analyze bench bench-backend bench-all experiments report calibration examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -23,6 +23,11 @@ analyze:
 bench:
 	pytest benchmarks/test_perf_layer.py --benchmark-only \
 		--benchmark-json=BENCH_perf.json
+
+# The CI speedup gate: backend benchmark -> BENCH_results.json -> check.
+bench-backend:
+	pytest benchmarks/test_tensor_backend.py -q
+	python tools/check_bench.py --min-speedup 2.0
 
 bench-all:
 	pytest benchmarks/ --benchmark-only

@@ -4,20 +4,60 @@ Each benchmark regenerates one of the paper's tables/figures via its
 experiment driver, times it with pytest-benchmark, asserts the shape
 criteria, and prints the headline rows so a ``--benchmark-only -s`` run
 reproduces the paper's evaluation section end to end.
+
+Every benchmark session also writes ``BENCH_results.json`` at the repo
+root: per-benchmark wall times plus whatever structured fields the tests
+register through the ``bench_record`` fixture (backend speedups, cache and
+batch-replay statistics).  CI uploads the file as an artifact and gates on
+the tensor-backend speedup recorded in it (``tools/check_bench.py``).
 """
 
 from __future__ import annotations
 
+import json
+import time
+from pathlib import Path
+
 import pytest
+
+RESULTS_BASENAME = "BENCH_results.json"
+
+#: Session-wide registry: benchmark name -> structured result fields.
+_RESULTS: dict[str, dict] = {}
+
+
+def record_result(name: str, **fields) -> None:
+    """Merge ``fields`` into the session entry for ``name``."""
+    _RESULTS.setdefault(name, {}).update(fields)
 
 
 @pytest.fixture
-def run_experiment(benchmark):
+def bench_record(request):
+    """Record structured fields for this test into ``BENCH_results.json``.
+
+    Call it as ``bench_record(wall_s=1.2, speedup=3.4, ...)``; repeated
+    calls merge.  An explicit ``name=`` overrides the node name.
+    """
+
+    def _record(name: str | None = None, **fields):
+        record_result(name or request.node.name, **fields)
+
+    return _record
+
+
+@pytest.fixture
+def run_experiment(benchmark, request):
     """Time an experiment driver once and return its result."""
 
     def _run(fn, **kwargs):
+        t0 = time.perf_counter()
         result = benchmark.pedantic(
             lambda: fn(**kwargs), rounds=1, iterations=1, warmup_rounds=0
+        )
+        record_result(
+            request.node.name,
+            experiment=result.name,
+            wall_s=time.perf_counter() - t0,
         )
         print(f"\n[{result.name}] " + "  ".join(
             f"{k}={v:.4g}" for k, v in result.headline.items()
@@ -25,3 +65,15 @@ def run_experiment(benchmark):
         return result
 
     return _run
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Dump everything the session recorded, even when empty (CI artifact)."""
+    payload = {
+        "schema": 1,
+        "exit_status": int(exitstatus),
+        "n_benchmarks": len(_RESULTS),
+        "benchmarks": _RESULTS,
+    }
+    path = Path(session.config.rootpath) / RESULTS_BASENAME
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -137,6 +137,11 @@ def _schedule_parser() -> argparse.ArgumentParser:
         "--executor", default=None, metavar="SPEC",
         help="evaluation fan-out backend: serial, threads[:N], processes[:N]",
     )
+    parser.add_argument(
+        "--backend", default="tensor", choices=("tensor", "scalar"),
+        help="evaluation backend: precomputed tensors (default) or the "
+        "scalar reference path; both give byte-identical results",
+    )
     return parser
 
 
@@ -168,6 +173,7 @@ def _schedule(argv: list[str]) -> int:
             objective=args.objective,
             seed=args.seed,
             executor=args.executor,
+            backend=args.backend,
         )
     except InfeasibleCapError as exc:
         cap = f" (cap {exc.cap_w} W)" if exc.cap_w is not None else ""

@@ -156,6 +156,7 @@ def schedule(
     disk_cache=None,
     seed=None,
     governor=None,
+    backend: str = "tensor",
     **opts,
 ) -> ScheduleResult:
     """Compute a co-schedule for ``jobs`` under ``cap_w`` with ``method``.
@@ -189,6 +190,12 @@ def schedule(
         :func:`~repro.core.objectives.governor_for`).  Under
         ``REPRO_SANITIZE=1`` the result is still verified against the cap,
         so a governor that ignores it is caught, not trusted.
+    ``backend``
+        Evaluation backend: ``"tensor"`` (default — precomputed NumPy
+        tensors with batched/delta replay, see :mod:`repro.perf.tensor`)
+        or ``"scalar"`` (the per-query reference path).  Both produce
+        byte-identical schedules and scores; models the tensors cannot
+        represent exactly fall back to scalar automatically.
 
     Remaining keyword options are method-specific and forwarded verbatim
     (e.g. ``threshold=`` for hcs, ``node_budget=`` for astar,
@@ -215,6 +222,7 @@ def schedule(
         disk_cache=disk_cache,
         seed=seed,
         governor=governor,
+        backend=backend,
     )
     return _finalize(adapter(ctx, **opts), ctx)
 
@@ -250,6 +258,7 @@ class Scheduler:
         executor=None,
         seed=None,
         disk_cache=None,
+        backend: str = "tensor",
         **opts,
     ) -> None:
         key = method.lower()
@@ -262,6 +271,11 @@ class Scheduler:
             ) from None
         self.method = key
         self.objective = Objective.coerce(objective)
+        if backend not in ("tensor", "scalar"):
+            raise ValueError(
+                f"unknown backend {backend!r}; known: tensor, scalar"
+            )
+        self.backend = backend
         self.cache = cache if cache is not None else EvalCache()
         self.executor = make_executor(executor)
         self.seed = seed
@@ -306,6 +320,11 @@ class Scheduler:
             cache=eval_cache,
             objective=self.objective,
         )
+        # Remember the stock policy pieces: the tensor fast path applies
+        # only while they are untouched, so a caller that swaps or mutates
+        # the governor/evaluator is always honored (via the scalar path).
+        self._stock_governor = self.governor
+        self._stock_evaluator = self.evaluator
 
     def set_cap(self, cap_w: float) -> None:
         """Change the power cap; governor and evaluator are rebuilt."""
@@ -342,6 +361,26 @@ class Scheduler:
     def context(self, jobs: Sequence[Job]) -> SchedulingContext:
         """The frozen context one call would run under (jobs pre-profiled)."""
         self._ensure_profiled(jobs)
+        untouched = (
+            self.governor is self._stock_governor
+            and self.evaluator is self._stock_evaluator
+            and self.evaluator.governor is self.governor
+        )
+        if self.backend == "tensor" and untouched:
+            # Leave governor/evaluator unset so the context runs the tensor
+            # pipeline over the per-cap cache; ``self.governor`` /
+            # ``self.evaluator`` stay the scalar reference pieces for
+            # callers that consult the policy directly (e.g. the engine).
+            return SchedulingContext(
+                jobs=tuple(jobs),
+                cap_w=self.cap_w,
+                predictor=self.predictor,
+                objective=self.objective,
+                executor=self.executor,
+                cache=self.evaluator.cache,
+                seed=self.seed,
+                backend="tensor",
+            )
         return SchedulingContext(
             jobs=tuple(jobs),
             cap_w=self.cap_w,
@@ -352,6 +391,7 @@ class Scheduler:
             executor=self.executor,
             cache=self.evaluator.cache,
             seed=self.seed,
+            backend="scalar",
         )
 
     def __call__(self, jobs: Sequence[Job], **opts) -> ScheduleResult:

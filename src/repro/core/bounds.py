@@ -70,6 +70,10 @@ def lower_bound(
         raise TypeError("jobs and cap_w are required without a SchedulingContext")
     if deg_source is None:
         deg_source = predictor
+    if deg_source is predictor:
+        fast = _tensor_lower_bound(predictor, jobs, cap_w)
+        if fast is not None:
+            return fast
     details: list[LowerBoundDetail] = []
     total = 0.0
     for job in jobs:
@@ -97,6 +101,60 @@ def lower_bound(
                     l = predictor.solo_time(job.uid, kind, f)
                     d = deg_source.degradation(job.uid, kind, other.uid, setting)
                     best_corun = min(best_corun, l * (1.0 + d))
+        if best_solo == float("inf"):
+            raise ValueError(f"{job.uid} cannot run under the cap at all")
+        contribution = min(best_corun, 2.0 * best_solo)
+        details.append(
+            LowerBoundDetail(
+                job=job.uid,
+                best_corun_s=best_corun,
+                best_solo_s=best_solo,
+                contribution_s=contribution,
+            )
+        )
+        total += contribution
+    return 0.5 * total, details
+
+
+def _tensor_lower_bound(
+    predictor, jobs: Sequence[Job], cap_w: float
+) -> tuple[float, list[LowerBoundDetail]] | None:
+    """Vectorized ``T_low`` over a tensor-backed predictor, or ``None``.
+
+    Every minimum reduces the same candidate sets the scalar loops walk:
+    ``t_corun_c[i, j, s]`` is computed with the identical arithmetic as the
+    scalar ``l * (1.0 + d)``, and minima over float64 candidates are
+    order-independent, so the result is bitwise equal.
+    """
+    tensor = getattr(predictor, "tensor", None)
+    if tensor is None:
+        return None
+    if any(job.uid not in tensor.index for job in jobs):
+        return None
+    masks = tensor.masks(cap_w)
+    details: list[LowerBoundDetail] = []
+    total = 0.0
+    for job in jobs:
+        i = tensor.index[job.uid]
+        partners = [tensor.index[o.uid] for o in jobs if o.uid != job.uid]
+        best_corun = float("inf")
+        best_solo = float("inf")
+        for kind in DeviceKind:
+            # The scalar loop skips the whole kind — co-run scan included —
+            # when the job has no cap-feasible solo level on it.
+            if not masks.best_solo_valid[kind][i]:
+                continue
+            best_solo = min(best_solo, float(masks.best_solo_time[kind][i]))
+            if not partners:
+                continue
+            if kind is DeviceKind.CPU:
+                times = tensor.t_corun_c[i, partners, :]
+                ok = masks.pair_ok[i, partners, :]
+            else:
+                times = tensor.t_corun_g[partners, i, :]
+                ok = masks.pair_ok[partners, i, :]
+            if ok.any():
+                best_corun = min(best_corun, float(times[ok].min()))
         if best_solo == float("inf"):
             raise ValueError(f"{job.uid} cannot run under the cap at all")
         contribution = min(best_corun, 2.0 * best_solo)

@@ -99,10 +99,19 @@ def brute_force_best(
     pool = make_executor(executor)
     schedules = enumerate_schedules(jobs, include_solo=include_solo)
     if isinstance(pool, SerialExecutor):
-        for schedule in schedules:
-            score = evaluate(schedule)
-            if score < best_score:
-                best_schedule, best_score = schedule, score
+        batch = getattr(evaluate, "evaluate_batch", None)
+        if batch is not None:
+            # Tensor-backed evaluators score a whole chunk in one lockstep
+            # sweep; strict ``<`` keeps the earliest-in-order tie winner.
+            for chunk in _chunks(schedules, _CHUNK):
+                for schedule, score in zip(chunk, batch(chunk)):
+                    if score < best_score:
+                        best_schedule, best_score = schedule, score
+        else:
+            for schedule in schedules:
+                score = evaluate(schedule)
+                if score < best_score:
+                    best_schedule, best_score = schedule, score
     else:
         for chunk in _chunks(schedules, _CHUNK):
             for schedule, score in zip(chunk, pool.map(evaluate, chunk)):

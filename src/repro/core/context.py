@@ -64,10 +64,15 @@ class SchedulingContext:
     seed: int | np.random.Generator | None = None
     governor_factory: Callable[..., object] = governor_for
     sanitize: bool = False
+    backend: str = "tensor"
 
     def __post_init__(self) -> None:
         if not self.jobs:
             raise ValueError("cannot schedule an empty job set")
+        if self.backend not in ("tensor", "scalar"):
+            raise ValueError(
+                f"unknown backend {self.backend!r}; known: tensor, scalar"
+            )
         set_ = object.__setattr__
         set_(self, "jobs", tuple(self.jobs))
         set_(self, "objective", Objective.coerce(self.objective))
@@ -78,6 +83,48 @@ class SchedulingContext:
                 "cache",
                 self.evaluator.cache if self.evaluator is not None else EvalCache(),
             )
+        if self.backend == "scalar":
+            # A predictor carried over from a tensor context keeps serving
+            # tensor answers unless unwrapped; scalar means scalar.
+            from repro.perf.tensor import TensorBackedPredictor
+
+            predictor = self.predictor
+            while isinstance(predictor, TensorBackedPredictor):
+                predictor = predictor.inner
+            set_(self, "predictor", predictor)
+        elif self.governor is None and self.evaluator is None:
+            # Tensor pipeline: precompute (memoized per model), rebuild the
+            # governor over the tensor-served predictor, and reduce the
+            # governor's choices into replay tables for the batch evaluator.
+            # Any piece that cannot be tensorized exactly degrades to the
+            # scalar path below.
+            from repro.perf.tensor import (
+                BatchScheduleEvaluator,
+                PairTables,
+                tensorize,
+            )
+
+            wrapped = tensorize(self.predictor, [j.uid for j in self.jobs])
+            if wrapped is not None:
+                set_(self, "predictor", wrapped)
+                governor = self.governor_factory(
+                    wrapped, self.cap_w, self.objective
+                )
+                set_(self, "governor", governor)
+                tables = PairTables.build(wrapped.tensor, governor, self.cap_w)
+                if tables is not None:
+                    set_(
+                        self,
+                        "evaluator",
+                        BatchScheduleEvaluator(
+                            wrapped,
+                            governor,
+                            cache=self.cache,
+                            objective=self.objective,
+                            tensor=wrapped.tensor,
+                            tables=tables,
+                        ),
+                    )
         if self.governor is None:
             governor = (
                 self.evaluator.governor
@@ -120,6 +167,7 @@ class SchedulingContext:
         seed=None,
         governor=None,
         governor_factory: Callable[..., object] | None = None,
+        backend: str = "tensor",
     ) -> "SchedulingContext":
         """Resolve a full context, building the model on the fly if needed.
 
@@ -164,6 +212,7 @@ class SchedulingContext:
             governor_factory=(
                 governor_factory if governor_factory is not None else governor_for
             ),
+            backend=backend,
         )
 
     @classmethod
@@ -244,6 +293,29 @@ class SchedulingContext:
             seed=self.seed,
             governor_factory=self.governor_factory,
             sanitize=self.sanitize,
+            backend=self.backend,
+        )
+
+    def with_backend(self, backend: str) -> "SchedulingContext":
+        """Same problem on a different evaluation backend.
+
+        Governor and evaluator are rebuilt from scratch (the tensor
+        pipeline runs for ``"tensor"``, the plain scalar stack for
+        ``"scalar"``); the eval cache is shared — backend-tagged schedule
+        keys keep the scores apart, and the model-query keys are
+        value-identical across backends by construction.
+        """
+        return SchedulingContext(
+            jobs=self.jobs,
+            cap_w=self.cap_w,
+            predictor=self.predictor,
+            objective=self.objective,
+            executor=self.executor,
+            cache=self.cache,
+            seed=self.seed,
+            governor_factory=self.governor_factory,
+            sanitize=self.sanitize,
+            backend=backend,
         )
 
     def with_sanitizer(self, enabled: bool = True) -> "SchedulingContext":
@@ -281,6 +353,7 @@ class SchedulingContext:
             seed=self.seed,
             governor_factory=self.governor_factory,
             sanitize=self.sanitize,
+            backend=self.backend,
         )
 
     # ------------------------------------------------------------------

@@ -107,6 +107,7 @@ class CoScheduleRuntime:
         executor=None,
         cache: EvalCache | None = None,
         disk_cache=None,
+        backend: str = "tensor",
     ) -> None:
         if not jobs:
             raise ValueError("need at least one job")
@@ -114,6 +115,7 @@ class CoScheduleRuntime:
         self.jobs = tuple(jobs)
         self.cap_w = cap_w
         self.objective = Objective.coerce(objective)
+        self.backend = backend
         self.executor = make_executor(executor)
         self.cache = cache if cache is not None else EvalCache()
         disk = resolve_disk_cache(disk_cache)
@@ -142,7 +144,8 @@ class CoScheduleRuntime:
 
         ``objective`` defaults to the runtime's objective; pass one to
         derive a one-off context (e.g. compute an energy-optimal schedule
-        from a runtime otherwise used for makespan studies).
+        from a runtime otherwise used for makespan studies).  The context
+        inherits the runtime's evaluation ``backend``.
         """
         return SchedulingContext(
             jobs=self.jobs,
@@ -153,6 +156,7 @@ class CoScheduleRuntime:
             ),
             executor=self.executor,
             seed=seed,
+            backend=self.backend,
         )
 
     # ------------------------------------------------------------------

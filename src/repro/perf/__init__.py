@@ -10,10 +10,15 @@ predicted makespans — funnels through this package:
   through the characterization sweep, workload profiling, the Random
   baseline, GA population evaluation, and brute-force enumeration;
 * an optional on-disk cache (:class:`DiskCache`, ``REPRO_CACHE_DIR``) so
-  repeated CLI / experiment runs start warm.
+  repeated CLI / experiment runs start warm;
+* a vectorized tensor backend (:mod:`repro.perf.tensor`) that precomputes
+  the whole ``(cpu_job, gpu_job, setting)`` question space as dense NumPy
+  tensors and answers scheduler queries — single, batched, or delta — with
+  array lookups instead of interpolation chains.
 
 All memoization is exact: cached and uncached evaluation produce identical
-schedules and makespans.
+schedules and makespans, and the tensor backend is bit-for-bit equal to the
+scalar reference path.
 """
 
 from repro.perf.cache import CacheStats, EvalCache, ensure_cache, fingerprint
@@ -28,6 +33,15 @@ from repro.perf.executor import (
     make_executor,
 )
 from repro.perf.parallel import map_makespans, map_pair_degradations
+
+# Imported last: repro.perf.tensor imports from the submodules above.
+from repro.perf.tensor import (
+    BatchScheduleEvaluator,
+    PairTables,
+    TensorBackedPredictor,
+    TensorModel,
+    tensorize,
+)
 
 __all__ = [
     "CacheStats",
@@ -48,4 +62,9 @@ __all__ = [
     "make_executor",
     "map_makespans",
     "map_pair_degradations",
+    "BatchScheduleEvaluator",
+    "PairTables",
+    "TensorBackedPredictor",
+    "TensorModel",
+    "tensorize",
 ]

@@ -119,14 +119,19 @@ class CachingPredictor:
 OBJECTIVE_TAGS = ("makespan", "energy", "edp")
 
 
-def schedule_key(schedule, objective: str = "makespan") -> tuple:
+def schedule_key(
+    schedule, objective: str = "makespan", backend: str = "scalar"
+) -> tuple:
     """The memoization signature of a co-schedule (uids + placements).
 
-    The leading tag carries the objective, so scores for different
-    objectives can never collide in a shared cache.
+    The leading tags carry the objective and the evaluation backend
+    (``"scalar"`` or ``"tensor"``), so scores for different objectives —
+    or computed by different backends in one process — can never collide
+    in a shared cache.
     """
     return (
         objective,
+        backend,
         tuple(j.uid for j in schedule.cpu_queue),
         tuple(j.uid for j in schedule.gpu_queue),
         tuple((j.uid, kind) for j, kind in schedule.solo_tail),
@@ -145,6 +150,12 @@ class ScheduleEvaluator:
     ``contains``/``prime`` support batch fan-out (a caller maps uncached
     schedules across an executor, then primes the results back in).
     """
+
+    #: Cache-key tag identifying how scores are computed.  Subclasses with a
+    #: different evaluation strategy (see
+    #: :class:`repro.perf.tensor.BatchScheduleEvaluator`) override it so
+    #: their entries never mix with scalar ones in a shared cache.
+    backend = "scalar"
 
     def __init__(
         self,
@@ -165,7 +176,7 @@ class ScheduleEvaluator:
             )
 
     def _key(self, schedule) -> tuple:
-        return schedule_key(schedule, self.objective)
+        return schedule_key(schedule, self.objective, self.backend)
 
     def _compute(self, schedule) -> float:
         # Imported lazily: repro.core modules import this module at load
@@ -190,7 +201,7 @@ class ScheduleEvaluator:
         from repro.core.schedule import predicted_metrics
 
         return self.cache.get_or_compute(
-            schedule_key(schedule, "metrics"),
+            schedule_key(schedule, "metrics", self.backend),
             lambda: predicted_metrics(schedule, self.predictor, self.governor),
         )
 
@@ -228,7 +239,7 @@ class ScheduleEvaluator:
                     executor, self.predictor, self.governor, todo
                 )
                 for s, m in zip(todo, metrics):
-                    self.cache.prime(schedule_key(s, "metrics"), m)
+                    self.cache.prime(schedule_key(s, "metrics", self.backend), m)
                     self.prime(s, m.score(self.objective))
             # fan-out results count as evaluations, not hits
             self.cache.stats.misses += len(todo)

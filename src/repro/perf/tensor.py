@@ -1,0 +1,1081 @@
+"""Vectorized tensor evaluation backend: batched + delta makespan evaluation.
+
+PR 1's :class:`~repro.perf.cache.EvalCache` deduplicates repeated model
+queries but leaves every *cold* query on the scalar Python call chain
+(``CoRunPredictor.degradations`` -> ``ProfileTable.demand_gbps`` -> staged
+bilinear interpolation), one ``(pair, setting)`` at a time.  This module
+precomputes the whole question space once per model and answers everything
+afterwards with O(1) array lookups:
+
+:class:`TensorModel`
+    Dense ``float64`` tensors over the full cross-product
+    ``(cpu_job x gpu_job x frequency_setting)`` — degradation pair, co-run
+    time pair, pair power, per-cap boolean feasibility masks — plus
+    per-``(job, device)`` solo time/power vectors.  Built by vectorizing
+    the :class:`~repro.model.interpolation.BilinearGrid` evaluation and the
+    :class:`~repro.model.profiler.ProfileTable` lookups over arrays,
+    operation for operation, so every element is *bitwise identical* to the
+    scalar chain's answer.
+
+:class:`TensorBackedPredictor`
+    A drop-in predictor wrapper that serves the hot queries from the tensor
+    through the same :class:`~repro.perf.cache.EvalCache` keys the scalar
+    :class:`~repro.perf.evaluator.CachingPredictor` uses — identical cache
+    hit/miss behavior, but a miss costs an array lookup instead of an
+    interpolation chain.  Queries outside the tensor's coverage (unknown
+    uids, off-grid frequencies) delegate to the wrapped predictor.
+
+:class:`PairTables`
+    Per-(governor, cap) reduction of the tensors: for every (cpu job, gpu
+    job) pair the governor's chosen setting and the resulting co-run
+    times/power, and for every (job, device) the chosen solo level — the
+    complete set of constants a timeline replay consumes.  Argmin ties
+    resolve to the first feasible setting in enumeration order, exactly as
+    the governors' ``min()`` does.
+
+:class:`BatchScheduleEvaluator`
+    A :class:`~repro.perf.evaluator.ScheduleEvaluator` whose replay is an
+    O(1)-per-event loop over :class:`PairTables` with
+
+    * **delta re-evaluation**: loop-top replay states are snapshotted, and a
+      later schedule sharing queue prefixes (the HCS+ adjacent/random/cross
+      refinement moves) resumes from the deepest matching snapshot instead
+      of replaying from t=0;
+    * **batched lockstep evaluation**: ``evaluate_all`` scores an entire GA
+      population / brute-force chunk in one vectorized sweep, advancing all
+      schedules event-by-event with masked NumPy updates.
+
+    Scores are bitwise identical to the scalar evaluator's; cache keys are
+    tagged with the backend so mixed backends can never serve each other's
+    entries.
+
+Anything the tensors cannot represent exactly — oracle or noisy predictors,
+subclassed spaces, jobs missing from the profile table — makes
+:func:`tensorize` return ``None`` and the caller falls back to the scalar
+path.  Exactness is enforced by ``tests/perf/test_tensor_model.py`` /
+``test_tensor_equivalence.py`` and the ``REPRO_SANITIZE=1`` verifier.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InfeasibleCapError
+from repro.hardware.device import DeviceKind
+from repro.perf.cache import EvalCache, ensure_cache
+from repro.perf.evaluator import CachingPredictor, ScheduleEvaluator, schedule_key
+
+#: Refuse to materialize pair tensors larger than this many elements each
+#: (n_jobs^2 x n_settings).  Beyond it the precompute no longer amortizes
+#: and the memory cost stops being negligible; callers fall back to scalar.
+MAX_TENSOR_ELEMENTS = 2_000_000
+
+#: Completion tolerance of the mean-field replay (must equal
+#: ``repro.core.schedule._EPS``; asserted by the equivalence tests).
+_EPS = 1e-12
+
+
+def _grid_eval(grid, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Vectorized :meth:`BilinearGrid.__call__`, operation for operation.
+
+    Every step mirrors the scalar implementation exactly (same clip,
+    ``searchsorted`` side, index clamp, and left-to-right sum order), so
+    each output element is bitwise equal to the scalar call at the same
+    coordinates.
+    """
+    xs, ys, v = grid.x_levels, grid.y_levels, grid.values
+    x = np.clip(x, xs[0], xs[-1])
+    y = np.clip(y, ys[0], ys[-1])
+
+    i = np.searchsorted(xs, x, side="right") - 1
+    j = np.searchsorted(ys, y, side="right") - 1
+    i = np.clip(i, 0, xs.size - 2)
+    j = np.clip(j, 0, ys.size - 2)
+
+    tx = (x - xs[i]) / (xs[i + 1] - xs[i])
+    ty = (y - ys[j]) / (ys[j + 1] - ys[j])
+    v00 = v[i, j]
+    v01 = v[i, j + 1]
+    v10 = v[i + 1, j]
+    v11 = v[i + 1, j + 1]
+    return (
+        v00 * (1 - tx) * (1 - ty)
+        + v10 * tx * (1 - ty)
+        + v01 * (1 - tx) * ty
+        + v11 * tx * ty
+    )
+
+
+@dataclass(frozen=True)
+class _CapMasks:
+    """Cap-dependent feasibility masks and best-solo reductions."""
+
+    cap_w: float
+    pair_ok: np.ndarray               # (n, n, S) bool
+    solo_ok: dict                      # kind -> (n, L) bool
+    best_solo_idx: dict                # kind -> (n,) int (argmin time over feasible)
+    best_solo_time: dict               # kind -> (n,) float (inf when infeasible)
+    best_solo_valid: dict              # kind -> (n,) bool
+
+
+class TensorModel:
+    """Precomputed dense model tensors for one (predictor, job set).
+
+    ``base`` must be a plain :class:`~repro.model.predictor.CoRunPredictor`
+    (exact type — subclasses may override the arithmetic) over an exact
+    :class:`~repro.model.profiler.ProfileTable` and a
+    :class:`~repro.model.space.DegradationSpace` /
+    :class:`~repro.model.space.StagedDegradationSpace`.  Use
+    :func:`tensorize`, which performs those checks and memoizes models.
+    """
+
+    def __init__(self, base, uids: Sequence[str]) -> None:
+        self.base = base
+        self.processor = base.processor
+        self.uids = tuple(uids)
+        self.index = {uid: i for i, uid in enumerate(self.uids)}
+        n = len(self.uids)
+
+        cpu_domain = self.processor.cpu.domain
+        gpu_domain = self.processor.gpu.domain
+        self.cpu_levels = tuple(cpu_domain.levels)
+        self.gpu_levels = tuple(gpu_domain.levels)
+        n_cpu, n_gpu = len(self.cpu_levels), len(self.gpu_levels)
+        self.n_gpu_levels = n_gpu
+        # Exact-value level lookup; an off-grid frequency misses and the
+        # wrapper delegates to the scalar predictor.
+        self._cpu_level_idx = {f: i for i, f in enumerate(self.cpu_levels)}
+        self._gpu_level_idx = {f: i for i, f in enumerate(self.gpu_levels)}
+
+        # Settings in processor.settings() enumeration order: cpu-major.
+        self.settings = list(self.processor.settings())
+        S = len(self.settings)
+        lc = np.repeat(np.arange(n_cpu), n_gpu)   # cpu level index of setting s
+        lg = np.tile(np.arange(n_gpu), n_cpu)     # gpu level index of setting s
+
+        # Per-(job, device) level vectors, straight from the profile table.
+        table = base.table
+        shapes = {DeviceKind.CPU: (n, n_cpu), DeviceKind.GPU: (n, n_gpu)}
+        self.solo_time = {k: np.empty(s) for k, s in shapes.items()}
+        self.solo_chip_power = {k: np.empty(s) for k, s in shapes.items()}
+        self._demand = {k: np.empty(s) for k, s in shapes.items()}
+        self._own_power = {k: np.empty(s) for k, s in shapes.items()}
+        for kind in DeviceKind:
+            for i, uid in enumerate(self.uids):
+                prof = table._profiles[(uid, kind)]
+                self.solo_time[kind][i] = prof.time_s
+                self.solo_chip_power[kind][i] = prof.chip_power_w
+                self._demand[kind][i] = prof.demand_gbps
+                self._own_power[kind][i] = prof.own_power_w
+
+        # Broadcast coordinates over the (cpu_job i, gpu_job j, setting s) cube.
+        bw_c = np.broadcast_to(
+            self._demand[DeviceKind.CPU][:, lc][:, None, :], (n, n, S)
+        )
+        bw_g = np.broadcast_to(
+            self._demand[DeviceKind.GPU][:, lg][None, :, :], (n, n, S)
+        )
+
+        space = base.space
+        self.deg_c, self.deg_g = _degradation_tensors(space, bw_c, bw_g, self.settings)
+
+        time_c = self._demand[DeviceKind.CPU]  # placeholder to appease linters
+        del time_c
+        t_solo_c = self.solo_time[DeviceKind.CPU][:, lc][:, None, :]
+        t_solo_g = self.solo_time[DeviceKind.GPU][:, lg][None, :, :]
+        # Same binary-op order as CoRunPredictor.corun_times: t * (1.0 + d).
+        self.t_corun_c = t_solo_c * (1.0 + self.deg_c)
+        self.t_corun_g = t_solo_g * (1.0 + self.deg_g)
+
+        # Same op order as CoRunPredictor.pair_power_w:
+        # own_c + own_g + (base + per_gbps * (bw_c + bw_g)).
+        uncore = self.processor.power.uncore
+        own_c = self._own_power[DeviceKind.CPU][:, lc][:, None, :]
+        own_g = self._own_power[DeviceKind.GPU][:, lg][None, :, :]
+        self.pair_power = own_c + own_g + (
+            uncore.base_w + uncore.per_gbps_w * (bw_c + bw_g)
+        )
+
+        self._cap_masks: dict[float, _CapMasks] = {}
+        self._pair_tables: dict[tuple, object] = {}
+
+    # ------------------------------------------------------------------
+    # Coverage
+    # ------------------------------------------------------------------
+    def covers(self, uid: str) -> bool:
+        return uid in self.index
+
+    def setting_index(self, setting) -> int | None:
+        """Index of ``setting`` in enumeration order, or ``None`` off-grid."""
+        i = self._cpu_level_idx.get(setting.cpu_ghz)
+        j = self._gpu_level_idx.get(setting.gpu_ghz)
+        if i is None or j is None:
+            return None
+        return i * self.n_gpu_levels + j
+
+    def level_index(self, kind: DeviceKind, f_ghz: float) -> int | None:
+        levels = (
+            self._cpu_level_idx if kind is DeviceKind.CPU else self._gpu_level_idx
+        )
+        return levels.get(f_ghz)
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate precompute footprint (the five pair tensors)."""
+        return int(
+            self.deg_c.nbytes
+            + self.deg_g.nbytes
+            + self.t_corun_c.nbytes
+            + self.t_corun_g.nbytes
+            + self.pair_power.nbytes
+        )
+
+    # ------------------------------------------------------------------
+    # Cap masks
+    # ------------------------------------------------------------------
+    def masks(self, cap_w: float) -> _CapMasks:
+        """Feasibility masks and best-solo reductions for one cap (memoized)."""
+        cached = self._cap_masks.get(cap_w)
+        if cached is not None:
+            return cached
+        pair_ok = self.pair_power <= cap_w
+        solo_ok, best_idx, best_time, best_valid = {}, {}, {}, {}
+        for kind in DeviceKind:
+            ok = self.solo_chip_power[kind] <= cap_w
+            masked = np.where(ok, self.solo_time[kind], np.inf)
+            idx = np.argmin(masked, axis=1)
+            solo_ok[kind] = ok
+            best_idx[kind] = idx
+            best_time[kind] = masked[np.arange(masked.shape[0]), idx]
+            best_valid[kind] = ok.any(axis=1)
+        masks = _CapMasks(
+            cap_w=cap_w,
+            pair_ok=pair_ok,
+            solo_ok=solo_ok,
+            best_solo_idx=best_idx,
+            best_solo_time=best_time,
+            best_solo_valid=best_valid,
+        )
+        if len(self._cap_masks) >= 16:
+            self._cap_masks.pop(next(iter(self._cap_masks)))
+        self._cap_masks[cap_w] = masks
+        return masks
+
+    # ------------------------------------------------------------------
+    # Predictor-equivalent queries (bitwise identical to the scalar chain)
+    # ------------------------------------------------------------------
+    def degradations(self, cpu_uid, gpu_uid, s: int) -> tuple[float, float]:
+        i, j = self.index[cpu_uid], self.index[gpu_uid]
+        return (float(self.deg_c[i, j, s]), float(self.deg_g[i, j, s]))
+
+    def corun_times(self, cpu_uid, gpu_uid, s: int) -> tuple[float, float]:
+        i, j = self.index[cpu_uid], self.index[gpu_uid]
+        return (float(self.t_corun_c[i, j, s]), float(self.t_corun_g[i, j, s]))
+
+    def pair_power_w(self, cpu_uid, gpu_uid, s: int) -> float:
+        i, j = self.index[cpu_uid], self.index[gpu_uid]
+        return float(self.pair_power[i, j, s])
+
+    def feasible_pair_settings(self, cpu_uid, gpu_uid, cap_w: float) -> tuple:
+        i, j = self.index[cpu_uid], self.index[gpu_uid]
+        flags = self.masks(cap_w).pair_ok[i, j]
+        return tuple(self.settings[s] for s in np.flatnonzero(flags))
+
+    def feasible_solo_levels(self, uid, kind: DeviceKind, cap_w: float) -> tuple:
+        i = self.index[uid]
+        flags = self.masks(cap_w).solo_ok[kind][i]
+        levels = self.cpu_levels if kind is DeviceKind.CPU else self.gpu_levels
+        return tuple(levels[int(k)] for k in np.flatnonzero(flags))
+
+    def best_solo(self, uid, kind: DeviceKind, cap_w: float) -> tuple[float, float]:
+        i = self.index[uid]
+        masks = self.masks(cap_w)
+        if not masks.best_solo_valid[kind][i]:
+            # Identical message/fields to CoRunPredictor.best_solo.
+            raise InfeasibleCapError(
+                f"{uid} cannot run on {kind} under a {cap_w} W cap at any level",
+                cap_w=cap_w,
+                jobs=(uid,),
+            )
+        levels = self.cpu_levels if kind is DeviceKind.CPU else self.gpu_levels
+        idx = int(masks.best_solo_idx[kind][i])
+        return levels[idx], float(self.solo_time[kind][i, idx])
+
+    def solo_time_at(self, uid, kind: DeviceKind, f_ghz: float):
+        """Solo time at an exact level, or ``None`` when off-grid/unknown."""
+        if uid not in self.index:
+            return None
+        li = self.level_index(kind, f_ghz)
+        if li is None:
+            return None
+        return float(self.solo_time[kind][self.index[uid], li])
+
+    def solo_power_at(self, uid, kind: DeviceKind, f_ghz: float):
+        if uid not in self.index:
+            return None
+        li = self.level_index(kind, f_ghz)
+        if li is None:
+            return None
+        return float(self.solo_chip_power[kind][self.index[uid], li])
+
+
+def _degradation_tensors(space, bw_c, bw_g, settings):
+    """(deg_c, deg_g) over the job-pair/setting cube, exact to the space."""
+    from repro.model.space import DegradationSpace, StagedDegradationSpace
+
+    if type(space) is DegradationSpace:
+        # Scalar: max(0.0, grid(bw_c, bw_g)); the setting is ignored.
+        deg_c = np.maximum(_grid_eval(space.cpu_grid, bw_c, bw_g), 0.0)
+        deg_g = np.maximum(_grid_eval(space.gpu_grid, bw_c, bw_g), 0.0)
+        return deg_c, deg_g
+
+    assert type(space) is StagedDegradationSpace
+    # Scalar: sum(w_a * grid_a(bw_c, bw_g)) accumulated in anchor order from
+    # int 0, then max(0.0, float(value)).  0.0 + x and in-order adds keep the
+    # accumulation bitwise identical.
+    S = bw_c.shape[2]
+    weights = np.empty((len(space.anchors), S))
+    for s, setting in enumerate(settings):
+        weights[:, s] = space._weights(setting)
+    acc_c = np.zeros(bw_c.shape)
+    acc_g = np.zeros(bw_c.shape)
+    for a, anchor in enumerate(space.anchors):
+        w = weights[a][None, None, :]
+        acc_c = acc_c + w * _grid_eval(anchor.cpu_grid, bw_c, bw_g)
+        acc_g = acc_g + w * _grid_eval(anchor.gpu_grid, bw_c, bw_g)
+    return np.maximum(acc_c, 0.0), np.maximum(acc_g, 0.0)
+
+
+# ----------------------------------------------------------------------
+# Model memo: one TensorModel per (base predictor, job set)
+# ----------------------------------------------------------------------
+_MODEL_MEMO: OrderedDict = OrderedDict()
+_MODEL_MEMO_LIMIT = 8
+
+
+def tensorize(predictor, uids: Sequence[str] | None = None):
+    """Wrap ``predictor`` in a :class:`TensorBackedPredictor`, or ``None``.
+
+    Returns ``None`` whenever exactness cannot be guaranteed by the tensor
+    arithmetic — the base predictor is not *exactly* a
+    :class:`~repro.model.predictor.CoRunPredictor` (oracle or noisy
+    variants subclass or replace it), the space/table/power models are
+    subclassed, requested uids are missing from the table, or the tensors
+    would exceed :data:`MAX_TENSOR_ELEMENTS`.  Callers treat ``None`` as
+    "use the scalar path".
+
+    Models are memoized per (base predictor identity, uid set), so every
+    :class:`~repro.core.context.SchedulingContext` built over the same
+    model reuses one precompute.
+    """
+    from repro.hardware.power import UncorePowerModel
+    from repro.model.interpolation import BilinearGrid
+    from repro.model.predictor import CoRunPredictor
+    from repro.model.profiler import ProfileTable
+    from repro.model.space import DegradationSpace, StagedDegradationSpace
+
+    inner = predictor
+    while isinstance(inner, TensorBackedPredictor):
+        inner = inner.inner
+    base = inner.inner if isinstance(inner, CachingPredictor) else inner
+    if type(base) is not CoRunPredictor:
+        return None
+    if type(base.table) is not ProfileTable:
+        return None
+    if type(base.processor.power.uncore) is not UncorePowerModel:
+        return None
+    space = base.space
+    if type(space) is DegradationSpace:
+        grids = (space.cpu_grid, space.gpu_grid)
+    elif type(space) is StagedDegradationSpace:
+        if any(type(a) is not DegradationSpace for a in space.anchors):
+            return None
+        grids = tuple(g for a in space.anchors for g in (a.cpu_grid, a.gpu_grid))
+    else:
+        return None
+    if any(type(g) is not BilinearGrid for g in grids):
+        return None
+
+    table_uids = tuple(sorted(base.table.uids))
+    if uids is not None:
+        need = tuple(sorted(set(uids)))
+        if any(uid not in base.table for uid in need):
+            return None
+    else:
+        need = table_uids
+    n_settings = base.processor.n_settings
+
+    def fits(us: tuple) -> bool:
+        return len(us) * len(us) * n_settings <= MAX_TENSOR_ELEMENTS
+
+    # Prefer a table-wide model (shared across job subsets); fall back to
+    # the requested subset when the full table is too large.
+    if fits(table_uids):
+        chosen = table_uids
+    elif fits(need):
+        chosen = need
+    else:
+        return None
+
+    key = (id(base), chosen)
+    model = _MODEL_MEMO.get(key)
+    if model is None or model.base is not base:
+        model = TensorModel(base, chosen)
+        while len(_MODEL_MEMO) >= _MODEL_MEMO_LIMIT:
+            _MODEL_MEMO.popitem(last=False)
+        _MODEL_MEMO[key] = model
+    else:
+        _MODEL_MEMO.move_to_end(key)
+    return TensorBackedPredictor(inner, model)
+
+
+class TensorBackedPredictor:
+    """Predictor facade answering hot queries from a :class:`TensorModel`.
+
+    Uses the *same* cache keys as
+    :class:`~repro.perf.evaluator.CachingPredictor` (sharing its cache when
+    wrapping one), so hit/miss accounting and warm-cache behavior are
+    indistinguishable from the scalar stack — only the cost of a miss
+    changes.  Queries the tensor cannot answer exactly delegate to the
+    wrapped predictor.
+    """
+
+    def __init__(self, inner, tensor: TensorModel) -> None:
+        self.inner = inner
+        self.tensor = tensor
+        cache = getattr(inner, "cache", None)
+        self.cache = cache if isinstance(cache, EvalCache) else ensure_cache(None)
+
+    # -- delegated identity -------------------------------------------------
+    @property
+    def processor(self):
+        return self.inner.processor
+
+    @property
+    def table(self):
+        return self.inner.table
+
+    @property
+    def space(self):
+        return self.inner.space
+
+    def __getattr__(self, name: str):
+        if name.startswith("_") or "inner" not in self.__dict__:
+            raise AttributeError(name)
+        return getattr(self.inner, name)
+
+    # -- tensor-served hot queries ------------------------------------------
+    def _pair_s(self, cpu_uid, gpu_uid, setting) -> int | None:
+        t = self.tensor
+        if cpu_uid not in t.index or gpu_uid not in t.index:
+            return None
+        return t.setting_index(setting)
+
+    def degradations(self, cpu_uid, gpu_uid, setting):
+        s = self._pair_s(cpu_uid, gpu_uid, setting)
+        if s is None:
+            return self.inner.degradations(cpu_uid, gpu_uid, setting)
+        return self.cache.get_or_compute(
+            ("deg", cpu_uid, gpu_uid, setting),
+            lambda: self.tensor.degradations(cpu_uid, gpu_uid, s),
+        )
+
+    def degradation(self, uid, kind, partner_uid, setting):
+        if kind is DeviceKind.CPU:
+            return self.degradations(uid, partner_uid, setting)[0]
+        return self.degradations(partner_uid, uid, setting)[1]
+
+    def corun_times(self, cpu_uid, gpu_uid, setting):
+        s = self._pair_s(cpu_uid, gpu_uid, setting)
+        if s is None:
+            return self.inner.corun_times(cpu_uid, gpu_uid, setting)
+        return self.cache.get_or_compute(
+            ("corun", cpu_uid, gpu_uid, setting),
+            lambda: self.tensor.corun_times(cpu_uid, gpu_uid, s),
+        )
+
+    def pair_power_w(self, cpu_uid, gpu_uid, setting):
+        s = self._pair_s(cpu_uid, gpu_uid, setting)
+        if s is None:
+            return self.inner.pair_power_w(cpu_uid, gpu_uid, setting)
+        return self.cache.get_or_compute(
+            ("power", cpu_uid, gpu_uid, setting),
+            lambda: self.tensor.pair_power_w(cpu_uid, gpu_uid, s),
+        )
+
+    def feasible_pair_settings(self, cpu_uid, gpu_uid, cap_w):
+        t = self.tensor
+        if cpu_uid not in t.index or gpu_uid not in t.index:
+            return self.inner.feasible_pair_settings(cpu_uid, gpu_uid, cap_w)
+        feasible = self.cache.get_or_compute(
+            ("feas", cpu_uid, gpu_uid, cap_w),
+            lambda: t.feasible_pair_settings(cpu_uid, gpu_uid, cap_w),
+        )
+        return list(feasible)
+
+    def require_feasible_pair_settings(self, cpu_uid, gpu_uid, cap_w):
+        feasible = self.feasible_pair_settings(cpu_uid, gpu_uid, cap_w)
+        if not feasible:
+            raise InfeasibleCapError(
+                f"no frequency setting keeps pair ({cpu_uid}, {gpu_uid}) "
+                f"within the {cap_w} W cap",
+                cap_w=cap_w,
+                jobs=(cpu_uid, gpu_uid),
+            )
+        return feasible
+
+    def feasible_solo_levels(self, uid, kind, cap_w):
+        if uid not in self.tensor.index:
+            return self.inner.feasible_solo_levels(uid, kind, cap_w)
+        feasible = self.cache.get_or_compute(
+            ("feas_solo", uid, kind, cap_w),
+            lambda: self.tensor.feasible_solo_levels(uid, kind, cap_w),
+        )
+        return list(feasible)
+
+    def best_solo(self, uid, kind, cap_w):
+        if uid not in self.tensor.index:
+            return self.inner.best_solo(uid, kind, cap_w)
+        return self.cache.get_or_compute(
+            ("best_solo", uid, kind, cap_w),
+            lambda: self.tensor.best_solo(uid, kind, cap_w),
+        )
+
+    # -- cheap lookups, uncached like CachingPredictor ----------------------
+    def solo_time(self, uid, kind, f_ghz):
+        t = self.tensor.solo_time_at(uid, kind, f_ghz)
+        return t if t is not None else self.inner.solo_time(uid, kind, f_ghz)
+
+    def solo_power_w(self, uid, kind, f_ghz):
+        p = self.tensor.solo_power_at(uid, kind, f_ghz)
+        return p if p is not None else self.inner.solo_power_w(uid, kind, f_ghz)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TensorBackedPredictor({self.inner!r})"
+
+
+class PairTables:
+    """Governor-resolved replay constants for one (tensor, governor, cap).
+
+    For every (cpu job, gpu job) pair: the governor's chosen setting index
+    and the resulting co-run times and pair power; for every (job, device):
+    the chosen solo level's time and chip power.  These are exactly the
+    quantities the mean-field replay consumes, so a replay over the tables
+    is bitwise identical to one over (governor, predictor) — with the
+    single exception of infeasible combinations, which are flagged invalid
+    here and re-raised through the scalar path for identical errors.
+    """
+
+    def __init__(self, tensor, cap_w, pair_valid, pair_t_c, pair_t_g,
+                 pair_power, solo_valid, solo_t, solo_power):
+        self.tensor = tensor
+        self.cap_w = cap_w
+        self.pair_valid = pair_valid
+        self.pair_t_c = pair_t_c
+        self.pair_t_g = pair_t_g
+        self.pair_power = pair_power
+        self.solo_valid = solo_valid      # kind -> (n,) bool
+        self.solo_t = solo_t              # kind -> (n,) float
+        self.solo_power = solo_power      # kind -> (n,) float
+
+    @classmethod
+    def build(cls, tensor: TensorModel, governor, cap_w: float):
+        """Tables for a recognized governor, or ``None``.
+
+        Only the two stock governors are reducible: the exact types
+        :class:`~repro.core.freqpolicy.ModelGovernor` (minimum summed
+        co-run time / fastest feasible solo level) and
+        :class:`~repro.core.objectives.EnergyAwareGovernor` (minimum pair
+        energy or EDP).  A subclassed or custom governor returns ``None``
+        and the evaluator stays on the scalar replay.
+        """
+        from repro.core.freqpolicy import ModelGovernor
+        from repro.core.objectives import EnergyAwareGovernor, Objective
+
+        if getattr(governor, "cap_w", None) != cap_w:
+            return None
+        memo_key = (
+            type(governor).__qualname__,
+            getattr(governor, "objective", None),
+            cap_w,
+        )
+        cached = tensor._pair_tables.get(memo_key)
+        if cached is not None:
+            return cached
+        masks = tensor.masks(cap_w)
+        if type(governor) is ModelGovernor:
+            # min over feasible settings of sum(corun_times) == t_c + t_g.
+            pair_cost = tensor.t_corun_c + tensor.t_corun_g
+            solo_cost = None
+        elif type(governor) is EnergyAwareGovernor:
+            # pair_energy_j: power * (t_c + t_g); EDP: energy * max(t_c, t_g).
+            energy = tensor.pair_power * (tensor.t_corun_c + tensor.t_corun_g)
+            if governor.objective is Objective.ENERGY:
+                pair_cost = energy
+            else:
+                pair_cost = energy * np.maximum(tensor.t_corun_c, tensor.t_corun_g)
+            solo_cost = {}
+            for kind in DeviceKind:
+                # solo_energy_j: chip_power * solo_time; EDP multiplies by
+                # solo_time again (EnergyAwareGovernor._solo_cost order).
+                e = tensor.solo_chip_power[kind] * tensor.solo_time[kind]
+                solo_cost[kind] = (
+                    e if governor.objective is Objective.ENERGY
+                    else e * tensor.solo_time[kind]
+                )
+        else:
+            return None
+
+        with np.errstate(invalid="ignore"):
+            masked = np.where(masks.pair_ok, pair_cost, np.inf)
+        sidx = np.argmin(masked, axis=2)
+        pair_valid = masks.pair_ok.any(axis=2)
+        take = np.take_along_axis
+        pair_t_c = take(tensor.t_corun_c, sidx[..., None], axis=2)[..., 0]
+        pair_t_g = take(tensor.t_corun_g, sidx[..., None], axis=2)[..., 0]
+        pair_power = take(tensor.pair_power, sidx[..., None], axis=2)[..., 0]
+
+        solo_valid, solo_t, solo_power = {}, {}, {}
+        n = len(tensor.uids)
+        rows = np.arange(n)
+        for kind in DeviceKind:
+            if solo_cost is None:
+                idx = masks.best_solo_idx[kind]
+            else:
+                with np.errstate(invalid="ignore"):
+                    c = np.where(masks.solo_ok[kind], solo_cost[kind], np.inf)
+                idx = np.argmin(c, axis=1)
+            solo_valid[kind] = masks.best_solo_valid[kind]
+            solo_t[kind] = tensor.solo_time[kind][rows, idx]
+            solo_power[kind] = tensor.solo_chip_power[kind][rows, idx]
+        tables = cls(
+            tensor, cap_w, pair_valid, pair_t_c, pair_t_g, pair_power,
+            solo_valid, solo_t, solo_power,
+        )
+        if len(tensor._pair_tables) >= 16:
+            tensor._pair_tables.pop(next(iter(tensor._pair_tables)))
+        tensor._pair_tables[memo_key] = tables
+        return tables
+
+
+class _ReplayTrace:
+    """Loop-top snapshots of one indexed replay, for delta resumption.
+
+    ``snaps`` holds ``(cp, gp, cur_c, frac_c, cur_g, frac_g, t, energy)``
+    tuples, one per event-loop iteration from the initial state onward,
+    where ``cp``/``gp`` count consumed queue entries and ``cur_*`` are job
+    indices (-1 when idle).  A trace always records its replay's *complete*
+    state history — resumed replays copy the validated prefix of the trace
+    they resumed from — so :func:`_deepest_valid_snap` can see every pop
+    decision when deciding how far a different schedule may fast-forward.
+    """
+
+    __slots__ = ("cpu", "gpu", "snaps")
+
+    def __init__(self, cpu, gpu, snaps):
+        self.cpu = cpu
+        self.gpu = gpu
+        self.snaps = snaps
+
+
+def _common_prefix_len(a, b) -> int:
+    n = min(len(a), len(b))
+    k = 0
+    while k < n and a[k] == b[k]:
+        k += 1
+    return k
+
+
+def _deepest_valid_snap(trace: _ReplayTrace, cpu: tuple, gpu: tuple):
+    """Deepest snapshot of ``trace`` that a replay of (cpu, gpu) passes
+    through, as ``(index, snap)``; ``None`` if even the initial state
+    diverges.
+
+    A snapshot is valid while every pop decision made so far coincides
+    between the traced replay and a fresh replay of the new queues: at each
+    loop top an idle device pops when its queue has entries left, so the
+    replays stay in lockstep only while (a) both pop the *same* job, or
+    (b) neither has anything to pop.  The first loop top where the traced
+    replay idled but the new queues still hold a job (or vice versa, or the
+    jobs differ) is the last shared state — later snapshots belong to a
+    different timeline.
+    """
+    cc = _common_prefix_len(trace.cpu, cpu)
+    cg = _common_prefix_len(trace.gpu, gpu)
+    lc_t, lg_t = len(trace.cpu), len(trace.gpu)
+    lc_n, lg_n = len(cpu), len(gpu)
+    best = None
+    for k, snap in enumerate(trace.snaps):
+        cp, gp, cur_c, _, cur_g, _, _, _ = snap
+        if cp > cc or gp > cg:
+            break
+        best = (k, snap)
+        diverge_c = cur_c < 0 and not (
+            cp < cc or (cp >= lc_t and cp >= lc_n)
+        )
+        diverge_g = cur_g < 0 and not (
+            gp < cg or (gp >= lg_t and gp >= lg_n)
+        )
+        if diverge_c or diverge_g:
+            break
+    return best
+
+
+class BatchScheduleEvaluator(ScheduleEvaluator):
+    """A :class:`ScheduleEvaluator` replaying over :class:`PairTables`.
+
+    Drop-in compatible (same cache, same governor, same scores to the bit)
+    but with three fast paths:
+
+    * single-schedule scoring replays with O(1) table lookups per event;
+    * repeated scoring of neighboring schedules (the refinement passes)
+      resumes from snapshotted replay states — O(changed suffix) per move;
+    * ``evaluate_all`` advances a whole population in one masked-NumPy
+      lockstep sweep.
+
+    Schedules the tables cannot replay (uncovered uids, infeasible
+    pair/solo combinations, no tables for the governor) fall back to the
+    scalar path, preserving exact error behavior.
+    """
+
+    backend = "tensor"
+
+    def __init__(self, predictor, governor, cache=None, objective="makespan",
+                 *, tensor: TensorModel, tables: PairTables | None):
+        super().__init__(predictor, governor, cache, objective)
+        self.tensor = tensor
+        self.tables = tables
+        self._traces: deque = deque(maxlen=8)
+        self.batch_stats = {
+            "delta_resumes": 0,
+            "full_replays": 0,
+            "batch_calls": 0,
+            "batch_schedules": 0,
+            "scalar_fallbacks": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Indexed (single-schedule) replay with delta resumption
+    # ------------------------------------------------------------------
+    def _indexable(self, schedule) -> bool:
+        if self.tables is None:
+            return False
+        index = self.tensor.index
+        return all(uid in index for uid in schedule.all_uids())
+
+    def _try_indexed(self, schedule):
+        """(makespan, energy) via the tables, or ``None`` for fallback."""
+        if not self._indexable(schedule):
+            self.batch_stats["scalar_fallbacks"] += 1
+            return None
+        result = self._indexed_replay(schedule)
+        if result is None:
+            self.batch_stats["scalar_fallbacks"] += 1
+        return result
+
+    def _indexed_replay(self, schedule):
+        tb = self.tables
+        index = self.tensor.index
+        cpu = tuple(index[j.uid] for j in schedule.cpu_queue)
+        gpu = tuple(index[j.uid] for j in schedule.gpu_queue)
+
+        # Resume from the deepest recorded state this schedule's replay is
+        # guaranteed to pass through (deepest = largest elapsed time t).
+        start = (0, 0, -1, 0.0, -1, 0.0, 0.0, 0.0)
+        prefix = None
+        for trace in reversed(self._traces):
+            got = _deepest_valid_snap(trace, cpu, gpu)
+            if got is not None and got[1][6] > start[6]:
+                start = got[1]
+                prefix = trace.snaps[: got[0] + 1]
+        if prefix is not None:
+            self.batch_stats["delta_resumes"] += 1
+        else:
+            self.batch_stats["full_replays"] += 1
+
+        cp, gp, cur_c, frac_c, cur_g, frac_g, t, energy = start
+        # Keep the full state history so later delta matches can see every
+        # pop decision, including those made before the resume point.
+        snaps = list(prefix) if prefix is not None else [start]
+        solo_tail = schedule.solo_tail
+        kinds = DeviceKind
+        while True:
+            if cur_c < 0 and cp < len(cpu):
+                cur_c, frac_c = cpu[cp], 1.0
+                cp += 1
+            if cur_g < 0 and gp < len(gpu):
+                cur_g, frac_g = gpu[gp], 1.0
+                gp += 1
+            if cur_c < 0 and cur_g < 0:
+                break
+
+            if cur_c >= 0 and cur_g >= 0:
+                if not tb.pair_valid[cur_c, cur_g]:
+                    return None
+                t_c = float(tb.pair_t_c[cur_c, cur_g])
+                t_g = float(tb.pair_t_g[cur_c, cur_g])
+                power = float(tb.pair_power[cur_c, cur_g])
+                dt = min(frac_c * t_c, frac_g * t_g)
+            elif cur_c >= 0:
+                if not tb.solo_valid[kinds.CPU][cur_c]:
+                    return None
+                t_c = float(tb.solo_t[kinds.CPU][cur_c])
+                power = float(tb.solo_power[kinds.CPU][cur_c])
+                dt = frac_c * t_c
+            else:
+                if not tb.solo_valid[kinds.GPU][cur_g]:
+                    return None
+                t_g = float(tb.solo_t[kinds.GPU][cur_g])
+                power = float(tb.solo_power[kinds.GPU][cur_g])
+                dt = frac_g * t_g
+            energy += dt * power
+
+            if cur_c >= 0:
+                rem = frac_c - dt / t_c
+                if rem <= _EPS:
+                    cur_c, frac_c = -1, 0.0
+                else:
+                    frac_c = rem
+            if cur_g >= 0:
+                rem = frac_g - dt / t_g
+                if rem <= _EPS:
+                    cur_g, frac_g = -1, 0.0
+                else:
+                    frac_g = rem
+            t += dt
+            snaps.append((cp, gp, cur_c, frac_c, cur_g, frac_g, t, energy))
+
+        self._traces.append(_ReplayTrace(cpu, gpu, snaps))
+
+        for job, kind in solo_tail:
+            i = index[job.uid]
+            if not tb.solo_valid[kind][i]:
+                return None
+            solo_s = float(tb.solo_t[kind][i])
+            t += solo_s
+            energy += solo_s * float(tb.solo_power[kind][i])
+        return t, energy
+
+    # ------------------------------------------------------------------
+    # ScheduleEvaluator overrides
+    # ------------------------------------------------------------------
+    def _compute(self, schedule) -> float:
+        if self.objective == "makespan":
+            result = self._try_indexed(schedule)
+            if result is not None:
+                return result[0]
+            return super()._compute(schedule)
+        # Energy/EDP route through metrics() below, which is table-backed.
+        return self.metrics(schedule).score(self.objective)
+
+    def metrics(self, schedule):
+        def compute():
+            result = self._try_indexed(schedule)
+            if result is not None:
+                from repro.core.schedule import PredictedMetrics
+
+                return PredictedMetrics(makespan_s=result[0], energy_j=result[1])
+            from repro.core.schedule import predicted_metrics
+
+            return predicted_metrics(schedule, self.predictor, self.governor)
+
+        return self.cache.get_or_compute(
+            schedule_key(schedule, "metrics", self.backend), compute
+        )
+
+    # ------------------------------------------------------------------
+    # Batched lockstep evaluation
+    # ------------------------------------------------------------------
+    def evaluate_batch(self, schedules: Sequence) -> list[float]:
+        """Score a batch in one vectorized sweep (scores also memoized)."""
+        return self.evaluate_all(schedules, executor=None)
+
+    def evaluate_all(self, schedules: Sequence, executor=None) -> list[float]:
+        from repro.perf.parallel import map_makespans, map_predicted_metrics
+
+        pending: dict[tuple, object] = {}
+        for s in schedules:
+            key = self._key(s)
+            if key not in self.cache and key not in pending:
+                pending[key] = s
+        if pending:
+            todo = list(pending.values())
+            covered = [s for s in todo if self._indexable(s)]
+            rest = [s for s in todo if not self._indexable(s)]
+            if covered:
+                batch = self._batch_replay(covered)
+                if batch is None:
+                    # An infeasible schedule is in the batch: re-run the
+                    # whole todo set through the scalar path so the first
+                    # infeasible schedule (in todo order) raises exactly as
+                    # a serial evaluation would.
+                    return super().evaluate_all(schedules, executor)
+                from repro.core.schedule import PredictedMetrics
+
+                for s, (mk, en) in zip(covered, batch):
+                    if self.objective == "makespan":
+                        self.prime(s, mk)
+                    else:
+                        m = PredictedMetrics(makespan_s=mk, energy_j=en)
+                        self.cache.prime(
+                            schedule_key(s, "metrics", self.backend), m
+                        )
+                        self.prime(s, m.score(self.objective))
+            if rest:
+                if self.objective == "makespan":
+                    values = map_makespans(
+                        executor, self.predictor, self.governor, rest
+                    )
+                    for s, v in zip(rest, values):
+                        self.prime(s, v)
+                else:
+                    metrics = map_predicted_metrics(
+                        executor, self.predictor, self.governor, rest
+                    )
+                    for s, m in zip(rest, metrics):
+                        self.cache.prime(
+                            schedule_key(s, "metrics", self.backend), m
+                        )
+                        self.prime(s, m.score(self.objective))
+            # Fan-out/batch results count as evaluations, not hits.
+            self.cache.stats.misses += len(todo)
+            self.cache.stats.hits -= len(todo)
+        return [self(s) for s in schedules]
+
+    def _batch_replay(self, schedules):
+        """Lockstep replay of many schedules; ``None`` if any is infeasible.
+
+        Every schedule's arithmetic follows the exact scalar event
+        sequence; ``np.where`` freezes finished lanes bitwise, so lane k's
+        result equals an isolated replay of schedule k.
+        """
+        self.batch_stats["batch_calls"] += 1
+        self.batch_stats["batch_schedules"] += len(schedules)
+        if len(schedules) <= 4:
+            out = []
+            for s in schedules:
+                result = self._indexed_replay(s)
+                if result is None:
+                    return None
+                out.append(result)
+            return out
+
+        tb = self.tables
+        index = self.tensor.index
+        K = len(schedules)
+        cpu_lists = [[index[j.uid] for j in s.cpu_queue] for s in schedules]
+        gpu_lists = [[index[j.uid] for j in s.gpu_queue] for s in schedules]
+        len_c = np.array([len(q) for q in cpu_lists])
+        len_g = np.array([len(q) for q in gpu_lists])
+        wc = max(1, int(len_c.max()) if K else 1)
+        wg = max(1, int(len_g.max()) if K else 1)
+        Qc = np.full((K, wc), -1, dtype=np.int64)
+        Qg = np.full((K, wg), -1, dtype=np.int64)
+        for k, q in enumerate(cpu_lists):
+            Qc[k, : len(q)] = q
+        for k, q in enumerate(gpu_lists):
+            Qg[k, : len(q)] = q
+
+        pc = np.zeros(K, dtype=np.int64)
+        pg = np.zeros(K, dtype=np.int64)
+        cur_c = np.full(K, -1, dtype=np.int64)
+        cur_g = np.full(K, -1, dtype=np.int64)
+        frac_c = np.zeros(K)
+        frac_g = np.zeros(K)
+        t = np.zeros(K)
+        energy = np.zeros(K)
+        active = np.ones(K, dtype=bool)
+        bad = np.zeros(K, dtype=bool)
+        CPU, GPU = DeviceKind.CPU, DeviceKind.GPU
+
+        with np.errstate(invalid="ignore", divide="ignore"):
+            while True:
+                need_c = active & (cur_c < 0) & (pc < len_c)
+                if need_c.any():
+                    rows = np.nonzero(need_c)[0]
+                    cur_c[rows] = Qc[rows, pc[rows]]
+                    frac_c[rows] = 1.0
+                    pc[rows] += 1
+                need_g = active & (cur_g < 0) & (pg < len_g)
+                if need_g.any():
+                    rows = np.nonzero(need_g)[0]
+                    cur_g[rows] = Qg[rows, pg[rows]]
+                    frac_g[rows] = 1.0
+                    pg[rows] += 1
+                active &= ~((cur_c < 0) & (cur_g < 0))
+                if not active.any():
+                    break
+
+                ic = np.where(cur_c >= 0, cur_c, 0)
+                ig = np.where(cur_g >= 0, cur_g, 0)
+                run_c = active & (cur_c >= 0)
+                run_g = active & (cur_g >= 0)
+                pair = run_c & run_g
+                only_c = run_c & ~run_g
+                only_g = run_g & ~run_c
+                newbad = (
+                    (pair & ~tb.pair_valid[ic, ig])
+                    | (only_c & ~tb.solo_valid[CPU][ic])
+                    | (only_g & ~tb.solo_valid[GPU][ig])
+                )
+                if newbad.any():
+                    bad |= newbad
+                    active &= ~newbad
+                    pair &= ~newbad
+                    only_c &= ~newbad
+                    only_g &= ~newbad
+                    run_c &= active
+                    run_g &= active
+                    if not active.any():
+                        break
+
+                t_c = np.where(pair, tb.pair_t_c[ic, ig], tb.solo_t[CPU][ic])
+                t_g = np.where(pair, tb.pair_t_g[ic, ig], tb.solo_t[GPU][ig])
+                power = np.where(
+                    pair,
+                    tb.pair_power[ic, ig],
+                    np.where(only_c, tb.solo_power[CPU][ic], tb.solo_power[GPU][ig]),
+                )
+                dt_c = frac_c * t_c
+                dt_g = frac_g * t_g
+                dt = np.where(
+                    pair, np.minimum(dt_c, dt_g), np.where(only_c, dt_c, dt_g)
+                )
+                energy = np.where(active, energy + dt * power, energy)
+
+                rem_c = frac_c - dt / t_c
+                done_c = run_c & (rem_c <= _EPS)
+                frac_c = np.where(run_c, rem_c, frac_c)
+                frac_c = np.where(done_c, 0.0, frac_c)
+                cur_c = np.where(done_c, -1, cur_c)
+                rem_g = frac_g - dt / t_g
+                done_g = run_g & (rem_g <= _EPS)
+                frac_g = np.where(run_g, rem_g, frac_g)
+                frac_g = np.where(done_g, 0.0, frac_g)
+                cur_g = np.where(done_g, -1, cur_g)
+                t = np.where(active, t + dt, t)
+
+        if bad.any():
+            return None
+        out = []
+        for k, s in enumerate(schedules):
+            tk = float(t[k])
+            ek = float(energy[k])
+            for job, kind in s.solo_tail:
+                i = index[job.uid]
+                if not tb.solo_valid[kind][i]:
+                    return None
+                solo_s = float(tb.solo_t[kind][i])
+                tk += solo_s
+                ek += solo_s * float(tb.solo_power[kind][i])
+            out.append((tk, ek))
+        return out
+
+    def snapshot(self) -> dict[str, float]:
+        snap = dict(self.cache.snapshot())
+        snap.update({f"tensor_{k}": float(v) for k, v in self.batch_stats.items()})
+        return snap

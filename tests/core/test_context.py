@@ -67,6 +67,16 @@ class TestConstruction:
 class TestCoerce:
     def test_legacy_arguments(self, predictor, rodinia_jobs):
         c = SchedulingContext.coerce(predictor, rodinia_jobs, 15.0)
+        # The default tensor backend wraps the predictor; the original is
+        # still the one underneath answering anything off-tensor.
+        assert c.backend == "tensor"
+        assert c.predictor.inner is predictor
+        assert c.objective is Objective.MAKESPAN
+
+    def test_legacy_arguments_scalar_backend(self, predictor, rodinia_jobs):
+        c = SchedulingContext.coerce(
+            predictor, rodinia_jobs, 15.0
+        ).with_backend("scalar")
         assert c.predictor is predictor
         assert c.objective is Objective.MAKESPAN
 

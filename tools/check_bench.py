@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Gate CI on the benchmark results file.
+
+Reads ``BENCH_results.json`` (written by ``benchmarks/conftest.py`` at the
+end of every benchmark session) and fails when the tensor backend's
+recorded speedup over the cold-cache scalar baseline falls below the
+threshold, when the backend had to fall back to scalar scoring, or when
+the file is missing/malformed.
+
+Usage::
+
+    python tools/check_bench.py [RESULTS.json] [--min-speedup X]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_RESULTS = "BENCH_results.json"
+DEFAULT_MIN_SPEEDUP = 2.0
+TENSOR_ENTRY = "tensor_backend_ga_refine"
+
+
+def check(path: Path, min_speedup: float) -> list[str]:
+    """Return a list of failure messages (empty == pass)."""
+    if not path.exists():
+        return [f"{path}: not found (did the benchmark session run?)"]
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        return [f"{path}: invalid JSON ({exc})"]
+
+    failures: list[str] = []
+    benchmarks = payload.get("benchmarks")
+    if not isinstance(benchmarks, dict):
+        return [f"{path}: no 'benchmarks' mapping"]
+
+    entry = benchmarks.get(TENSOR_ENTRY)
+    if entry is None:
+        return [f"{path}: missing the {TENSOR_ENTRY!r} entry"]
+
+    speedup = entry.get("speedup")
+    if not isinstance(speedup, (int, float)):
+        failures.append(f"{TENSOR_ENTRY}: no numeric 'speedup' recorded")
+    elif speedup < min_speedup:
+        failures.append(
+            f"{TENSOR_ENTRY}: tensor speedup {speedup:.2f}x is below the "
+            f"{min_speedup:g}x gate"
+        )
+
+    stats = entry.get("tensor_stats", {})
+    fallbacks = stats.get("tensor_scalar_fallbacks")
+    if fallbacks not in (None, 0, 0.0):
+        failures.append(
+            f"{TENSOR_ENTRY}: {fallbacks:g} scalar fallbacks on a fully "
+            "tensorizable workload"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "results", nargs="?", default=DEFAULT_RESULTS,
+        help=f"results file (default: {DEFAULT_RESULTS})",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=DEFAULT_MIN_SPEEDUP,
+        help=f"minimum tensor-vs-scalar speedup (default: "
+        f"{DEFAULT_MIN_SPEEDUP:g}x)",
+    )
+    args = parser.parse_args(argv)
+    failures = check(Path(args.results), args.min_speedup)
+    for message in failures:
+        print(f"FAIL: {message}", file=sys.stderr)
+    if not failures:
+        payload = json.loads(Path(args.results).read_text())
+        entry = payload["benchmarks"][TENSOR_ENTRY]
+        print(
+            f"ok: tensor backend {entry['speedup']:.2f}x >= "
+            f"{args.min_speedup:g}x "
+            f"(scalar {entry['scalar_s']:.3f}s, tensor {entry['tensor_s']:.3f}s)"
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
