@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test lint analyze bench bench-backend bench-all experiments report calibration examples clean
+.PHONY: install test lint analyze bench bench-backend bench-sim bench-all experiments report calibration examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -16,7 +16,7 @@ lint: analyze
 	mypy src/repro
 	python tools/check_calibration.py
 
-# Repo-specific REP001-REP006 AST rules (same gate as `repro analyze` in CI).
+# Repo-specific REP001-REP007 AST rules (same gate as `repro analyze` in CI).
 analyze:
 	python -m repro.analysis.lint src tests tools
 
@@ -28,6 +28,11 @@ bench:
 bench-backend:
 	pytest benchmarks/test_tensor_backend.py -q
 	python tools/check_bench.py --min-speedup 2.0
+
+# The event-core gate: >=100k-event preemptive trace at the minimum rate.
+bench-sim:
+	pytest benchmarks/test_sim_core.py -q
+	python tools/check_bench.py --sim-only
 
 bench-all:
 	pytest benchmarks/ --benchmark-only

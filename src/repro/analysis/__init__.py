@@ -6,11 +6,15 @@ Two halves, both independent of the code they check:
   verifier**: :func:`verify_schedule` re-derives every Definition 2.1
   requirement (job partition, frequency domains, power cap, makespan
   consistency, the ``T_low`` lower bound) on any
-  :class:`~repro.core.schedule.CoSchedule`, and the ``REPRO_SANITIZE=1`` /
-  ``ctx.with_sanitizer()`` sanitizer mode re-runs it after every registry
-  scheduler, refinement pass, and service batch.
+  :class:`~repro.core.schedule.CoSchedule`, plus the engine-side
+  :func:`verify_execution` refereeing event-driven
+  :class:`~repro.engine.sim.ExecutionResult` records (occupancy timeline,
+  preemption/migration chains, busy and deadline accounting); the
+  ``REPRO_SANITIZE=1`` / ``ctx.with_sanitizer()`` sanitizer mode re-runs
+  them after every registry scheduler, refinement pass, ``engine.run()``
+  execution, and service batch.
 * :mod:`repro.analysis.lint` — a repo-specific **AST lint pack**
-  (``python -m repro.analysis.lint src tests tools``; rules REP001-REP006)
+  (``python -m repro.analysis.lint src tests tools``; rules REP001-REP007)
   enforcing the architectural conventions that keep the above true:
   contexts instead of raw plumbing, seeded RNGs, tolerance-based float
   comparisons, cache-respecting evaluation, locked service state, and a
@@ -19,6 +23,11 @@ Two halves, both independent of the code they check:
 
 from repro.analysis.invariants import (
     ALL_INVARIANTS,
+    EXECUTION_INVARIANTS,
+    INVARIANT_EXEC_BUSY,
+    INVARIANT_EXEC_COMPLETION,
+    INVARIANT_EXEC_DEADLINE,
+    INVARIANT_EXEC_TIMELINE,
     INVARIANT_FREQUENCY,
     INVARIANT_LOWER_BOUND,
     INVARIANT_MAKESPAN,
@@ -26,16 +35,24 @@ from repro.analysis.invariants import (
     INVARIANT_POWER_CAP,
     SANITIZE_ENV,
     Violation,
+    check_execution,
     check_schedule,
     env_sanitizer_enabled,
+    maybe_check_execution,
     maybe_check_schedule,
     sanitizer_enabled,
+    verify_execution,
     verify_schedule,
 )
 from repro.errors import ScheduleInvariantError
 
 __all__ = [
     "ALL_INVARIANTS",
+    "EXECUTION_INVARIANTS",
+    "INVARIANT_EXEC_BUSY",
+    "INVARIANT_EXEC_COMPLETION",
+    "INVARIANT_EXEC_DEADLINE",
+    "INVARIANT_EXEC_TIMELINE",
     "INVARIANT_FREQUENCY",
     "INVARIANT_LOWER_BOUND",
     "INVARIANT_MAKESPAN",
@@ -44,9 +61,12 @@ __all__ = [
     "SANITIZE_ENV",
     "ScheduleInvariantError",
     "Violation",
+    "check_execution",
     "check_schedule",
     "env_sanitizer_enabled",
+    "maybe_check_execution",
     "maybe_check_schedule",
     "sanitizer_enabled",
+    "verify_execution",
     "verify_schedule",
 ]

@@ -18,12 +18,21 @@ processor's level sets.  Violations come back as structured
 :class:`Violation` records rather than exceptions, so callers can report
 all problems at once.
 
-The **sanitizer** turns the verifier into a tripwire: with
+:func:`verify_execution` is the engine-side counterpart: it referees the
+:class:`~repro.engine.sim.ExecutionResult` the event-driven core says
+happened — per-device occupancy intervals that never overlap, completion
+records consistent with each job's launch/resume chain (device changes
+only where a migration record vouches for them), busy-time counters that
+equal the summed timeline, and deadline-miss accounting that survives an
+independent recount.
+
+The **sanitizer** turns the verifiers into a tripwire: with
 ``REPRO_SANITIZE=1`` in the environment (or a context derived via
 ``ctx.with_sanitizer()``), every registry scheduler result, every
-``refine`` pass, and every service-session batch is verified on the spot,
-and any violation raises :class:`~repro.errors.ScheduleInvariantError`
-carrying the full violation list.
+``refine`` pass, every ``engine.run()`` execution, and every
+service-session batch is verified on the spot, and any violation raises
+:class:`~repro.errors.ScheduleInvariantError` carrying the full violation
+list.
 """
 
 from __future__ import annotations
@@ -55,6 +64,22 @@ ALL_INVARIANTS = (
     INVARIANT_POWER_CAP,
     INVARIANT_MAKESPAN,
     INVARIANT_LOWER_BOUND,
+)
+
+#: Execution-record invariants (the :func:`verify_execution` vocabulary) —
+#: structural properties of an :class:`~repro.engine.sim.ExecutionResult`,
+#: including preempted and migrated timelines the schedule-level verifier
+#: cannot replay.
+INVARIANT_EXEC_TIMELINE = "execution-timeline"
+INVARIANT_EXEC_COMPLETION = "completion-consistency"
+INVARIANT_EXEC_BUSY = "busy-accounting"
+INVARIANT_EXEC_DEADLINE = "deadline-accounting"
+
+EXECUTION_INVARIANTS = (
+    INVARIANT_EXEC_TIMELINE,
+    INVARIANT_EXEC_COMPLETION,
+    INVARIANT_EXEC_BUSY,
+    INVARIANT_EXEC_DEADLINE,
 )
 
 #: Relative tolerance for power/makespan/bound comparisons.  The verifier
@@ -399,3 +424,308 @@ def maybe_check_schedule(ctx, schedule, *, where: str = "schedule") -> None:
     """Run :func:`check_schedule` only when the sanitizer is armed."""
     if sanitizer_enabled(ctx):
         check_schedule(ctx, schedule, where=where)
+
+
+# ----------------------------------------------------------------------
+# Execution-record invariants (the engine.run() sanitizer hook)
+# ----------------------------------------------------------------------
+#: Absolute slack for timeline ordering comparisons; matches the engine's
+#: deadline-accounting epsilon so the verifier never flags float noise the
+#: simulator itself tolerates.
+_T_EPS = 1e-9
+
+
+def _check_exec_timeline(result, rel_tol: float) -> list[Violation]:
+    """Per-device occupancy: sorted, non-overlapping, within the run."""
+    out: list[Violation] = []
+    horizon = result.makespan_s * (1.0 + rel_tol) + _T_EPS
+    by_device: dict[str, list] = {}
+    for iv in result.timeline:
+        if iv.t1_s < iv.t0_s - _T_EPS:
+            out.append(
+                Violation(
+                    INVARIANT_EXEC_TIMELINE,
+                    f"interval of {iv.job!r} on {iv.device} ends before it "
+                    f"starts ({iv.t0_s:.6f}s .. {iv.t1_s:.6f}s)",
+                    MappingProxyType({"job": iv.job, "device": iv.device}),
+                )
+            )
+        if iv.t0_s < -_T_EPS or iv.t1_s > horizon:
+            out.append(
+                Violation(
+                    INVARIANT_EXEC_TIMELINE,
+                    f"interval of {iv.job!r} on {iv.device} "
+                    f"({iv.t0_s:.6f}s .. {iv.t1_s:.6f}s) falls outside the "
+                    f"execution window [0, {result.makespan_s:.6f}s]",
+                    MappingProxyType(
+                        {"job": iv.job, "device": iv.device,
+                         "makespan_s": result.makespan_s}
+                    ),
+                )
+            )
+        by_device.setdefault(iv.device, []).append(iv)
+    for device, intervals in by_device.items():
+        intervals.sort(key=lambda iv: (iv.t0_s, iv.t1_s))
+        for prev, cur in zip(intervals, intervals[1:]):
+            if cur.t0_s < prev.t1_s - _T_EPS:
+                out.append(
+                    Violation(
+                        INVARIANT_EXEC_TIMELINE,
+                        f"{device} serves {prev.job!r} and {cur.job!r} at "
+                        f"once (overlap {prev.t1_s - cur.t0_s:.6f}s at "
+                        f"t={cur.t0_s:.6f}s)",
+                        MappingProxyType(
+                            {"device": device, "jobs": (prev.job, cur.job)}
+                        ),
+                    )
+                )
+    return out
+
+
+def _check_exec_completions(result, rel_tol: float) -> list[Violation]:
+    """Each completed job's records must tell one consistent story.
+
+    The occupancy chain must span exactly launch..finish, contain one
+    interval per launch-or-resume, change devices only where a migrated
+    preemption record says so, and never put the job on two devices at
+    once; arrivals must precede starts and the makespan must cover the
+    last finish.
+    """
+    out: list[Violation] = []
+    resumed: dict[str, list] = {}
+    for p in result.preemptions:
+        if p.resumed_s is not None:
+            resumed.setdefault(p.job, []).append(p)
+        if p.resumed_device is not None:
+            migrated = p.resumed_device != p.from_device
+            if migrated != p.migrated:
+                out.append(
+                    Violation(
+                        INVARIANT_EXEC_COMPLETION,
+                        f"preemption of {p.job!r} resumed on "
+                        f"{p.resumed_device} from {p.from_device} but is "
+                        f"marked migrated={p.migrated}",
+                        MappingProxyType({"job": p.job}),
+                    )
+                )
+    for c in result.completions:
+        if c.finish_s > result.makespan_s * (1.0 + rel_tol) + _T_EPS:
+            out.append(
+                Violation(
+                    INVARIANT_EXEC_COMPLETION,
+                    f"{c.job!r} finishes at {c.finish_s:.6f}s, after the "
+                    f"reported makespan {result.makespan_s:.6f}s",
+                    MappingProxyType(
+                        {"job": c.job, "finish_s": c.finish_s,
+                         "makespan_s": result.makespan_s}
+                    ),
+                )
+            )
+        arrival = result.arrivals.get(c.job)
+        if arrival is not None and c.start_s < arrival - _T_EPS:
+            out.append(
+                Violation(
+                    INVARIANT_EXEC_COMPLETION,
+                    f"{c.job!r} starts at {c.start_s:.6f}s, before its "
+                    f"arrival at {arrival:.6f}s",
+                    MappingProxyType(
+                        {"job": c.job, "start_s": c.start_s,
+                         "arrival_s": arrival}
+                    ),
+                )
+            )
+        chain = sorted(result.intervals_of(c.job), key=lambda iv: iv.t0_s)
+        if not chain:
+            out.append(
+                Violation(
+                    INVARIANT_EXEC_COMPLETION,
+                    f"{c.job!r} completed but has no occupancy intervals",
+                    MappingProxyType({"job": c.job}),
+                )
+            )
+            continue
+        expected_n = 1 + len(resumed.get(c.job, ()))
+        if len(chain) != expected_n:
+            out.append(
+                Violation(
+                    INVARIANT_EXEC_COMPLETION,
+                    f"{c.job!r} has {len(chain)} occupancy interval(s) but "
+                    f"{expected_n} launch-or-resume record(s)",
+                    MappingProxyType(
+                        {"job": c.job, "intervals": len(chain),
+                         "expected": expected_n}
+                    ),
+                )
+            )
+        if not math.isclose(
+            chain[0].t0_s, c.start_s, rel_tol=rel_tol, abs_tol=_T_EPS
+        ):
+            out.append(
+                Violation(
+                    INVARIANT_EXEC_COMPLETION,
+                    f"{c.job!r} launch record says {c.start_s:.6f}s but its "
+                    f"first interval opens at {chain[0].t0_s:.6f}s",
+                    MappingProxyType({"job": c.job}),
+                )
+            )
+        if not math.isclose(
+            chain[-1].t1_s, c.finish_s, rel_tol=rel_tol, abs_tol=_T_EPS
+        ):
+            out.append(
+                Violation(
+                    INVARIANT_EXEC_COMPLETION,
+                    f"{c.job!r} completion record says {c.finish_s:.6f}s "
+                    f"but its last interval closes at {chain[-1].t1_s:.6f}s",
+                    MappingProxyType({"job": c.job}),
+                )
+            )
+        for prev, cur in zip(chain, chain[1:]):
+            if cur.t0_s < prev.t1_s - _T_EPS:
+                out.append(
+                    Violation(
+                        INVARIANT_EXEC_COMPLETION,
+                        f"{c.job!r} occupies {prev.device} and {cur.device} "
+                        f"at once around t={cur.t0_s:.6f}s",
+                        MappingProxyType({"job": c.job}),
+                    )
+                )
+        start = result.starts.get(c.job)
+        if start is not None and len(chain) == expected_n:
+            devices = [str(start.kind)] + [
+                p.resumed_device
+                for p in sorted(resumed.get(c.job, ()), key=lambda p: p.resumed_s)
+            ]
+            observed = [iv.device for iv in chain]
+            if observed != devices:
+                out.append(
+                    Violation(
+                        INVARIANT_EXEC_COMPLETION,
+                        f"{c.job!r} device chain {observed} disagrees with "
+                        f"its launch/resume records {devices} — a device "
+                        "change without a migration record",
+                        MappingProxyType(
+                            {"job": c.job, "observed": tuple(observed),
+                             "expected": tuple(devices)}
+                        ),
+                    )
+                )
+    return out
+
+
+def _check_exec_busy(result, rel_tol: float) -> list[Violation]:
+    """Busy-time counters must equal the summed occupancy timeline."""
+    out: list[Violation] = []
+    sums = {"cpu": 0.0, "gpu": 0.0}
+    for iv in result.timeline:
+        sums[iv.device] = sums.get(iv.device, 0.0) + iv.duration_s
+    for device, reported in (
+        ("cpu", result.cpu_busy_s),
+        ("gpu", result.gpu_busy_s),
+    ):
+        summed = sums.get(device, 0.0)
+        if not math.isclose(summed, reported, rel_tol=rel_tol, abs_tol=1e-9):
+            out.append(
+                Violation(
+                    INVARIANT_EXEC_BUSY,
+                    f"{device} busy time {reported:.6f}s disagrees with the "
+                    f"summed occupancy timeline ({summed:.6f}s)",
+                    MappingProxyType(
+                        {"device": device, "reported_s": reported,
+                         "summed_s": summed}
+                    ),
+                )
+            )
+    return out
+
+
+def _check_exec_deadlines(result, rel_tol: float) -> list[Violation]:
+    """Deadline-miss accounting must match an independent recount."""
+    out: list[Violation] = []
+    finish = {c.job: c.finish_s for c in result.completions}
+    expected: dict[str, float] = {}
+    for uid, dl in result.deadlines.items():
+        end = finish.get(uid)
+        if end is None:
+            if result.makespan_s > dl + _T_EPS:
+                expected[uid] = result.makespan_s - dl
+        elif end > dl + _T_EPS:
+            expected[uid] = end - dl
+    reported = {v.job: v.lateness_s for v in result.violations}
+    for uid in sorted(set(expected) | set(reported)):
+        if uid not in reported:
+            out.append(
+                Violation(
+                    INVARIANT_EXEC_DEADLINE,
+                    f"{uid!r} missed its deadline by {expected[uid]:.6f}s "
+                    "but the execution reports no violation",
+                    MappingProxyType(
+                        {"job": uid, "lateness_s": expected[uid]}
+                    ),
+                )
+            )
+        elif uid not in expected:
+            out.append(
+                Violation(
+                    INVARIANT_EXEC_DEADLINE,
+                    f"{uid!r} is reported late by {reported[uid]:.6f}s but "
+                    "met its deadline on recount",
+                    MappingProxyType(
+                        {"job": uid, "lateness_s": reported[uid]}
+                    ),
+                )
+            )
+        elif not math.isclose(
+            expected[uid], reported[uid], rel_tol=rel_tol, abs_tol=1e-6
+        ):
+            out.append(
+                Violation(
+                    INVARIANT_EXEC_DEADLINE,
+                    f"{uid!r} lateness {reported[uid]:.6f}s disagrees with "
+                    f"the recount ({expected[uid]:.6f}s)",
+                    MappingProxyType(
+                        {"job": uid, "reported_s": reported[uid],
+                         "recount_s": expected[uid]}
+                    ),
+                )
+            )
+    return out
+
+
+def verify_execution(result, *, rel_tol: float = DEFAULT_REL_TOL) -> list[Violation]:
+    """Check the structural invariants of an execution record.
+
+    ``result`` is an :class:`~repro.engine.sim.ExecutionResult` (duck-typed
+    — anything exposing its fields works).  Unlike :func:`verify_schedule`,
+    which replays a *plan*, this referees what the event-driven engine says
+    *happened*, so it stays meaningful on preempted and migrated timelines
+    the mean-field replay cannot express.  Time-shared executions carry no
+    occupancy timeline (several jobs share the CPU at once); their
+    interval-dependent checks are skipped.  Returns the (possibly empty)
+    violation list; use :func:`check_execution` for the raising variant.
+    """
+    violations = list(_check_exec_deadlines(result, rel_tol))
+    if result.timeline:
+        violations.extend(_check_exec_timeline(result, rel_tol))
+        violations.extend(_check_exec_completions(result, rel_tol))
+        violations.extend(_check_exec_busy(result, rel_tol))
+    return violations
+
+
+def check_execution(
+    result, *, where: str = "engine.run", rel_tol: float = DEFAULT_REL_TOL
+) -> None:
+    """Verify an execution record and raise on any violation."""
+    violations = verify_execution(result, rel_tol=rel_tol)
+    if violations:
+        summary = "; ".join(str(v) for v in violations)
+        raise ScheduleInvariantError(
+            f"invalid execution from {where}: {summary}",
+            violations=tuple(violations),
+            where=where,
+        )
+
+
+def maybe_check_execution(result, *, where: str = "engine.run", ctx=None) -> None:
+    """Run :func:`check_execution` only when the sanitizer is armed."""
+    if sanitizer_enabled(ctx):
+        check_execution(result, where=where)

@@ -1,6 +1,6 @@
 """Repo-specific AST lint pack: ``python -m repro.analysis.lint src tests tools``.
 
-The rule engine lives in :mod:`repro.analysis.lint.engine`, the REP001-REP006
+The rule engine lives in :mod:`repro.analysis.lint.engine`, the REP001-REP007
 catalog in :mod:`repro.analysis.lint.rules`; :func:`run_lint` is the
 programmatic entry point the CLI (``repro analyze``) and the tests share.
 """

@@ -16,7 +16,7 @@ def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
         description=(
-            "Run the repro-specific AST lint rules (REP001-REP006) over "
+            "Run the repro-specific AST lint rules (REP001-REP007) over "
             "source trees. See docs/ANALYSIS.md for the rule catalog and "
             "the '# repro: noqa REPxxx' suppression syntax."
         ),

@@ -1,4 +1,4 @@
-"""The REP001-REP006 rule catalog (see docs/ANALYSIS.md for the rationale).
+"""The REP001-REP007 rule catalog (see docs/ANALYSIS.md for the rationale).
 
 Each rule enforces a convention this codebase relies on for correctness but
 that nothing machine-checked before:
@@ -17,6 +17,9 @@ that nothing machine-checked before:
   state only under ``with <lock>:``.
 * REP006 — ``repro.engine`` runs on the simulated timeline; wall-clock
   calls are banned there.
+* REP007 — executions go through the unified ``engine.run()`` entry
+  point; the deprecated ``execute_*`` shims are for their own modules
+  (and the tests that pin them) only.
 """
 
 from __future__ import annotations
@@ -378,6 +381,44 @@ class EngineWallClockRule(LintRule):
                     )
 
 
+class DeprecatedExecutorRule(LintRule):
+    code = "REP007"
+    title = "call to a deprecated execute_* engine shim"
+    rationale = (
+        "engine.run() replaced execute_schedule/execute_online/"
+        "execute_with_arrivals/execute_default_schedule; the shims only"
+        " warn and forward, will be removed next release, and skip the"
+        " Scenario features (deadlines, cap traces, penalties) the unified"
+        " entry point carries. Build a Scenario and call engine.run()."
+    )
+
+    _SHIMS = {
+        "execute_schedule",
+        "execute_online",
+        "execute_with_arrivals",
+        "execute_default_schedule",
+    }
+    #: The shims' home modules — the forwarding definitions themselves (and
+    #: the engine package re-exporting them) are not call sites.
+    _HOMES = {"timeline.py", "arrivals.py", "multiprog.py", "__init__.py"}
+
+    def applies_to(self, path: PurePath) -> bool:
+        if is_test_path(path):
+            return False  # the shim contract itself is pinned by tests
+        return not (path_in_layer(path, "engine") and path.name in self._HOMES)
+
+    def findings(self, tree: ast.Module, path: PurePath) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                chain = _dotted(node.func)
+                if chain and chain[-1] in self._SHIMS:
+                    yield Finding(
+                        node,
+                        f"deprecated {chain[-1]}() shim called; build a"
+                        " Scenario and call repro.engine.run()",
+                    )
+
+
 #: The shipped rule set, in catalog order.
 ALL_RULES: tuple[LintRule, ...] = (
     RawPlumbingRule(),
@@ -386,4 +427,5 @@ ALL_RULES: tuple[LintRule, ...] = (
     RawReplayRule(),
     UnlockedServiceStateRule(),
     EngineWallClockRule(),
+    DeprecatedExecutorRule(),
 )

@@ -14,8 +14,14 @@ submissions, schedules them live, and reacts to power-cap events.
 line — any registry method, any objective (``--objective
 makespan|energy|edp``) — and prints the queues plus predicted scores.
 
+``python -m repro simulate`` schedules a job set and *executes* it on the
+event-driven engine (:func:`repro.engine.run`) — fixed replay or an
+open-system arrival trace with an online policy — printing measured
+makespan, energy, and deadline misses (``--json`` emits the full
+:class:`~repro.engine.sim.ExecutionResult` record).
+
 ``python -m repro analyze`` runs the repo's static-analysis pack (the
-REP001-REP006 AST lint rules of :mod:`repro.analysis.lint`) over source
+REP001-REP007 AST lint rules of :mod:`repro.analysis.lint`) over source
 trees and exits non-zero on violations — the same gate CI runs.
 
 Exit codes: 0 success, 1 lint violations (``analyze``), 2
@@ -145,25 +151,33 @@ def _schedule_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _chosen_programs(spec: str | None):
+    """Resolve a comma-separated program list (``None`` = all calibrated)."""
+    from repro.workload import rodinia_programs
+
+    programs = {p.name: p for p in rodinia_programs()}
+    if spec is None:
+        return list(programs.values())
+    names = [n.strip() for n in spec.split(",") if n.strip()]
+    unknown = sorted(set(names) - set(programs))
+    if unknown:
+        print(
+            f"unknown program(s): {', '.join(unknown)}; calibrated: "
+            + ", ".join(sorted(programs)),
+            file=sys.stderr,
+        )
+        return None
+    return [programs[n] for n in names]
+
+
 def _schedule(argv: list[str]) -> int:
     from repro.core.api import schedule
-    from repro.workload import make_jobs, rodinia_programs
+    from repro.workload import make_jobs
 
     args = _schedule_parser().parse_args(argv)
-    programs = {p.name: p for p in rodinia_programs()}
-    if args.programs is not None:
-        names = [n.strip() for n in args.programs.split(",") if n.strip()]
-        unknown = sorted(set(names) - set(programs))
-        if unknown:
-            print(
-                f"unknown program(s): {', '.join(unknown)}; calibrated: "
-                + ", ".join(sorted(programs)),
-                file=sys.stderr,
-            )
-            return 2
-        chosen = [programs[n] for n in names]
-    else:
-        chosen = list(programs.values())
+    chosen = _chosen_programs(args.programs)
+    if chosen is None:
+        return 2
     jobs = make_jobs(chosen)
     try:
         result = schedule(
@@ -203,6 +217,170 @@ def _schedule(argv: list[str]) -> int:
     return 0
 
 
+def _simulate_parser() -> argparse.ArgumentParser:
+    from repro.core.api import scheduler_names
+    from repro.hardware.calibration import DEFAULT_POWER_CAP_W
+
+    parser = argparse.ArgumentParser(
+        prog="repro simulate",
+        description=(
+            "Schedule a job set and execute it on the event-driven engine "
+            "(engine.run()): fixed co-schedule replay, or an open-system "
+            "arrival trace placed by an online policy."
+        ),
+    )
+    parser.add_argument(
+        "--mode", default="fixed", choices=("fixed", "arrivals"),
+        help="fixed: compute a co-schedule with --method and replay it; "
+        "arrivals: jobs arrive every --arrive-every seconds and --policy "
+        "places them (default: fixed)",
+    )
+    parser.add_argument(
+        "--method", default="hcs", choices=scheduler_names(),
+        help="scheduling method for fixed mode (default: hcs)",
+    )
+    parser.add_argument(
+        "--policy", default="fifo", choices=("fifo", "hcs"),
+        help="online placement policy for arrivals mode (default: fifo)",
+    )
+    parser.add_argument(
+        "--cap-w", type=float, default=DEFAULT_POWER_CAP_W, dest="cap_w",
+        help="power cap in watts",
+    )
+    parser.add_argument(
+        "--objective", default="makespan",
+        choices=("makespan", "energy", "edp"),
+        help="scheduling objective (default: makespan)",
+    )
+    parser.add_argument(
+        "--programs", default=None, metavar="NAMES",
+        help="comma-separated calibrated program names (default: all eight)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="seed forwarded to stochastic methods",
+    )
+    parser.add_argument(
+        "--backend", default="tensor", choices=("tensor", "scalar"),
+        help="evaluation backend for the scheduling stage",
+    )
+    parser.add_argument(
+        "--arrive-every", type=float, default=10.0, dest="arrive_every",
+        metavar="S", help="inter-arrival gap in arrivals mode (default: 10)",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="S",
+        help="per-job relative deadline: each job must finish within S "
+        "seconds of its arrival (misses are counted, not enforced)",
+    )
+    parser.add_argument(
+        "--until-s", type=float, default=None, dest="until_s", metavar="S",
+        help="stop the simulation at this virtual time (default: run to "
+        "completion)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the full ExecutionResult record as JSON",
+    )
+    return parser
+
+
+def _simulate(argv: list[str]) -> int:
+    import json
+    import math
+
+    from repro.core.api import schedule
+    from repro.core.context import SchedulingContext
+    from repro.core.online import FifoOnlinePolicy, HcsOnlinePolicy
+    from repro.engine.sim import JobSpec, Scenario, run
+    from repro.workload import make_jobs
+
+    args = _simulate_parser().parse_args(argv)
+    chosen = _chosen_programs(args.programs)
+    if chosen is None:
+        return 2
+    jobs = make_jobs(chosen)
+    until_s = math.inf if args.until_s is None else args.until_s
+
+    try:
+        ctx = SchedulingContext.build(
+            jobs,
+            cap_w=args.cap_w,
+            objective=args.objective,
+            seed=args.seed,
+            backend=args.backend,
+        )
+        if args.mode == "fixed":
+            planned = schedule(
+                jobs,
+                method=args.method,
+                cap_w=args.cap_w,
+                objective=args.objective,
+                predictor=ctx.predictor,
+                seed=args.seed,
+                backend=args.backend,
+            )
+            specs = tuple(
+                JobSpec(job=j, arrival_s=0.0, deadline_s=args.deadline)
+                for j in jobs
+            ) if args.deadline is not None else ()
+            scenario = Scenario.from_schedule(
+                planned.schedule, jobs=specs, until_s=until_s
+            )
+            execution = run(ctx, scenario, governor=planned.governor)
+        else:
+            specs = tuple(
+                JobSpec(
+                    job=j,
+                    arrival_s=i * args.arrive_every,
+                    deadline_s=(
+                        None
+                        if args.deadline is None
+                        else i * args.arrive_every + args.deadline
+                    ),
+                )
+                for i, j in enumerate(jobs)
+            )
+            policy = (
+                FifoOnlinePolicy()
+                if args.policy == "fifo"
+                else HcsOnlinePolicy(ctx.predictor, args.cap_w)
+            )
+            scenario = Scenario(jobs=specs, until_s=until_s)
+            execution = run(ctx, scenario, policy=policy)
+    except InfeasibleCapError as exc:
+        cap = f" (cap {exc.cap_w} W)" if exc.cap_w is not None else ""
+        print(f"infeasible power cap{cap}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json.dumps(execution.to_dict(), indent=2, sort_keys=True))
+        return 0
+
+    label = args.method if args.mode == "fixed" else f"online:{args.policy}"
+    print(f"mode      : {args.mode} ({label})")
+    print(f"cap_w     : {args.cap_w:g}")
+    print(f"jobs      : {len(jobs)} ({len(execution.completions)} completed)")
+    print(f"makespan_s    : {execution.makespan_s:.4f}")
+    print(f"energy_j      : {execution.energy_j:.2f}")
+    print(f"mean_power_w  : {execution.mean_power_w:.3f}")
+    print(f"cpu_busy_s    : {execution.cpu_busy_s:.4f}")
+    print(f"gpu_busy_s    : {execution.gpu_busy_s:.4f}")
+    if args.deadline is not None:
+        print(f"deadline miss : {execution.deadline_misses}")
+        for miss in execution.violations:
+            state = (
+                "unfinished"
+                if miss.finish_s is None
+                else f"finished {miss.finish_s:.2f}s"
+            )
+            print(
+                f"  {miss.job}: {state}, {miss.lateness_s:.2f}s late "
+                f"(deadline {miss.deadline_s:g}s)"
+            )
+    return 0
+
+
 def _analyze(argv: list[str]) -> int:
     from repro.analysis.lint.__main__ import main as lint_main
 
@@ -216,6 +394,8 @@ def main(argv: list[str] | None = None) -> int:
         return _serve(argv[1:])
     if argv and argv[0] == "schedule":
         return _schedule(argv[1:])
+    if argv and argv[0] == "simulate":
+        return _simulate(argv[1:])
     if argv and argv[0] == "analyze":
         return _analyze(argv[1:])
 
@@ -232,7 +412,7 @@ def main(argv: list[str] | None = None) -> int:
         nargs="+",
         metavar="EXPERIMENT",
         help=f"one or more of: {', '.join(EXPERIMENTS)}, or 'all'; "
-        "or the 'serve' / 'schedule' / 'analyze' subcommands",
+        "or the 'serve' / 'schedule' / 'simulate' / 'analyze' subcommands",
     )
     parser.add_argument(
         "--quiet", action="store_true", help="print only headline metrics"

@@ -359,6 +359,37 @@ class SchedulingContext:
     # ------------------------------------------------------------------
     # Shared services
     # ------------------------------------------------------------------
+    @property
+    def processor(self):
+        """The ground-truth machine the predictor was built against."""
+        return self.predictor.processor
+
+    def simulate(
+        self,
+        scenario,
+        *,
+        policy=None,
+        governor=None,
+        record_events: bool = False,
+    ):
+        """Execute a :class:`~repro.engine.sim.Scenario` on this context.
+
+        Plumbs the context into the unified engine entry point: the
+        processor comes from the predictor, the governor defaults to the
+        context's, the result is labelled with the context's objective,
+        and the invariant verifier referees it when the context
+        sanitizes.  Returns an :class:`~repro.engine.sim.ExecutionResult`.
+        """
+        from repro.engine.sim import run as engine_run
+
+        return engine_run(
+            self,
+            scenario,
+            policy=policy,
+            governor=governor,
+            record_events=record_events,
+        )
+
     def rng(self) -> np.random.Generator:
         """A generator seeded from the context (fresh on every call)."""
         return default_rng(self.seed)

@@ -132,16 +132,14 @@ def refine_schedule(
     a shared memoized evaluator; when omitted a private one is created,
     which still de-duplicates re-visited candidates within this call.
     """
-    if isinstance(predictor, SchedulingContext):
-        ctx = predictor
-        if governor is not None:
-            raise TypeError(
-                "governor must be omitted when a SchedulingContext is given"
-            )
+    ctx = _coerce_context(schedule, predictor, governor, evaluator)
+    if ctx is not None:
         evaluate = evaluator if evaluator is not None else ctx.evaluator
         rng = default_rng(ctx.seed if seed is None else seed)
     else:
-        ctx = None
+        # No equivalent context exists (empty schedule, or a governor that
+        # carries no cap to check against) — refine with a private
+        # evaluator; there is nothing the sanitizer could verify.
         evaluate = (
             evaluator
             if evaluator is not None
@@ -154,43 +152,44 @@ def refine_schedule(
     schedule, best = _adjacent_pass(schedule, evaluate, best)
     schedule, best = _random_intra_pass(schedule, evaluate, best, rng, n_samples)
     schedule, best = _random_cross_pass(schedule, evaluate, best, rng, n_samples)
-    _maybe_sanitize(schedule, ctx, predictor, governor, evaluate)
+    if ctx is not None:
+        from repro.analysis.invariants import maybe_check_schedule
+
+        maybe_check_schedule(ctx, schedule, where="refine")
     return schedule
 
 
-def _maybe_sanitize(schedule, ctx, predictor, governor, evaluator) -> None:
-    """Verify the refined schedule when the invariant sanitizer is armed.
+def _coerce_context(
+    schedule: CoSchedule, predictor, governor, evaluator
+) -> SchedulingContext | None:
+    """Adapt ``refine_schedule``'s first arguments to one context.
 
-    With a :class:`SchedulingContext` the check runs against it directly;
-    for the legacy ``(predictor, governor)`` shape an equivalent context is
-    reconstructed from the schedule's own jobs and the governor's cap (a
-    governor without a ``cap_w`` cannot be cap-checked and is skipped).
+    A :class:`SchedulingContext` passes through unchanged; the legacy
+    ``(predictor, governor)`` shape is coerced via
+    :meth:`SchedulingContext.coerce` with the schedule's own jobs and the
+    governor's cap.  Returns ``None`` when no equivalent context exists —
+    an empty schedule, or a governor without a ``cap_w`` (nothing to
+    cap-check).
     """
-    from repro.analysis.invariants import check_schedule, sanitizer_enabled
-
-    if ctx is not None:
-        if ctx.sanitizing:
-            check_schedule(ctx, schedule, where="refine")
-        return
-    if not sanitizer_enabled() or schedule.n_jobs == 0:
-        return
+    if isinstance(predictor, SchedulingContext):
+        if governor is not None:
+            raise TypeError(
+                "governor must be omitted when a SchedulingContext is given"
+            )
+        return predictor
     cap_w = getattr(governor, "cap_w", None)
-    if cap_w is None:
-        return
+    if cap_w is None or schedule.n_jobs == 0:
+        return None
     jobs = (
         *schedule.cpu_queue,
         *schedule.gpu_queue,
         *(job for job, _ in schedule.solo_tail),
     )
-    check_schedule(
-        SchedulingContext(
-            jobs=jobs,
-            cap_w=cap_w,
-            predictor=predictor,
-            objective=evaluator.objective,
-            governor=governor,
-            evaluator=evaluator,
-        ),
-        schedule,
-        where="refine",
+    return SchedulingContext.coerce(
+        predictor,
+        jobs,
+        cap_w,
+        objective=evaluator.objective if evaluator is not None else None,
+        governor=governor,
+        evaluator=evaluator,
     )

@@ -33,12 +33,9 @@ import numpy as np
 from repro.hardware.calibration import DEFAULT_POWER_CAP_W, make_ivy_bridge
 from repro.hardware.processor import IntegratedProcessor
 from repro.workload.program import Job
-from repro.engine.multiprog import DEFAULT_CS_OVERHEAD, execute_default_schedule
-from repro.engine.timeline import (
-    ScheduleExecution,
-    execute_online,
-    execute_schedule,
-)
+from repro.engine.multiprog import DEFAULT_CS_OVERHEAD
+from repro.engine.sim import ExecutionResult, Scenario, run as engine_run
+from repro.engine.timeline import ScheduleExecution
 from repro.model.characterize import characterize_space
 from repro.model.predictor import CoRunPredictor
 from repro.model.profiler import profile_workload
@@ -172,12 +169,10 @@ class CoScheduleRuntime:
         result: HcsResult = hcs_schedule(
             self.context(seed=seed), refine=refine, **kwargs
         )
-        execution = execute_schedule(
+        execution = engine_run(
             self.processor,
-            result.schedule.cpu_queue,
-            result.schedule.gpu_queue,
-            result.governor,
-            solo_tail=result.schedule.solo_tail,
+            Scenario.from_schedule(result.schedule),
+            governor=result.governor,
         )
         return ScheduleOutcome(
             policy="hcs+" if refine else "hcs",
@@ -193,7 +188,9 @@ class CoScheduleRuntime:
         remaining job, or is occasionally left idle)."""
         source = RandomOnlineSource(self.jobs, seed=seed)
         governor = BiasedGovernor(self.predictor, self.cap_w, bias)
-        execution = execute_online(self.processor, source, governor)
+        execution = engine_run(
+            self.processor, Scenario(), policy=source, governor=governor
+        )
         return ScheduleOutcome(
             policy="random",
             schedule=None,
@@ -227,12 +224,12 @@ class CoScheduleRuntime:
         """Default baseline (Default_G / Default_C by ``bias``)."""
         part = default_partition(self.table, self.jobs)
         governor = BiasedGovernor(self.predictor, self.cap_w, bias)
-        execution = execute_default_schedule(
+        execution = engine_run(
             self.processor,
-            part.cpu_partition,
-            part.gpu_partition,
-            governor,
-            cs_overhead=cs_overhead,
+            Scenario.timeshare(
+                part.cpu_partition, part.gpu_partition, cs_overhead=cs_overhead
+            ),
+            governor=governor,
         )
         policy = "default_g" if bias is Bias.GPU else "default_c"
         return ScheduleOutcome(
@@ -245,19 +242,17 @@ class CoScheduleRuntime:
     # ------------------------------------------------------------------
     # Analysis helpers
     # ------------------------------------------------------------------
-    def execute(self, schedule: CoSchedule, governor=None) -> ScheduleExecution:
+    def execute(self, schedule: CoSchedule, governor=None) -> ExecutionResult:
         """Execute an arbitrary schedule.
 
         The default governor follows the runtime's objective (the HCS
         ModelGovernor for makespan, the energy-aware one otherwise)."""
         if governor is None:
             governor = governor_for(self.predictor, self.cap_w, self.objective)
-        return execute_schedule(
+        return engine_run(
             self.processor,
-            schedule.cpu_queue,
-            schedule.gpu_queue,
-            governor,
-            solo_tail=schedule.solo_tail,
+            Scenario.from_schedule(schedule),
+            governor=governor,
         )
 
     def lower_bound_s(self, *, deg_source=None) -> float:

@@ -8,10 +8,13 @@ bandwidth demands, and powers.
 * :mod:`repro.engine.corun` — steady-state co-run simulation of a CPU/GPU
   pair with event-driven phase overlap; produces the measured degradations
   and powers that the paper's model is judged against.
-* :mod:`repro.engine.timeline` — executes a complete co-schedule (two job
-  queues + a frequency governor) and reports makespan and power trace.
-* :mod:`repro.engine.multiprog` — CPU time-sharing semantics used by the
-  Default (Linux-like) baseline.
+* :mod:`repro.engine.sim` — the discrete-event simulation core behind the
+  unified :func:`run` entry point: arrival/completion/cap-change/deadline
+  events, preemption and CPU<->GPU migration with penalty models, and a
+  pluggable rescheduling policy hook.
+* :mod:`repro.engine.timeline` / :mod:`repro.engine.arrivals` /
+  :mod:`repro.engine.multiprog` — deprecated entry points kept as thin
+  shims over :func:`run` (one release; see each module's docstring).
 
 The engine is *the machine*: scheduler-side code must never peek at profile
 internals (phases, sensitivities); it may only call the engine the way the
@@ -27,6 +30,19 @@ from repro.engine.standalone import (
     standalone_run,
 )
 from repro.engine.corun import CoRunResult, corun_pair, steady_degradation
+from repro.engine.events import EventKind, SimEvent
+from repro.engine.sim import (
+    DeadlineMiss,
+    DeviceInterval,
+    ExecutionResult,
+    JobSpec,
+    OnlineJobSource,
+    PenaltyModel,
+    PreemptionRecord,
+    Scenario,
+    SimCore,
+    run,
+)
 from repro.engine.timeline import ScheduleExecution, execute_schedule
 from repro.engine.multiprog import execute_default_schedule
 from repro.engine.arrivals import ArrivalExecution, execute_with_arrivals
@@ -42,6 +58,18 @@ __all__ = [
     "CoRunResult",
     "corun_pair",
     "steady_degradation",
+    "EventKind",
+    "SimEvent",
+    "DeadlineMiss",
+    "DeviceInterval",
+    "ExecutionResult",
+    "JobSpec",
+    "OnlineJobSource",
+    "PenaltyModel",
+    "PreemptionRecord",
+    "Scenario",
+    "SimCore",
+    "run",
     "ScheduleExecution",
     "execute_schedule",
     "execute_default_schedule",

@@ -1,361 +1,69 @@
-"""Execution with job arrivals over time (open-system semantics).
+"""Deprecated open-system executors (thin shims over the simulation core).
 
-The paper schedules a closed batch: every job is available at time zero.
-A shared workstation is an *open* system — jobs arrive while others run.
-:class:`ArrivalSimulator` generalizes the online timeline *incrementally*:
-a scheduling policy is consulted whenever a processor is idle, but it may
-only choose among jobs that have **arrived**; when both processors idle
-with nothing available, time jumps to the next arrival.  The simulator is
-resumable — arrivals can be injected, the governor swapped (e.g. on a
-power-cap change), and the timeline advanced to an arbitrary virtual time
-— which is what the :mod:`repro.service` daemon drives.
+The resumable arrival-driven executor is now the discrete-event core
+itself: :class:`~repro.engine.sim.SimCore` carries the full legacy
+``ArrivalSimulator`` interface (``add_arrival`` / ``advance`` /
+``withdraw`` / ``record`` / governor swapping) plus the new event paths
+(preemption, migration, deadlines, scheduled cap changes).  This module
+keeps the historic names as deprecation shims:
 
-:func:`execute_with_arrivals` is the closed-form wrapper: feed a full
-arrival sequence, run to completion, get the execution record.  Per-job
-latency metrics (turnaround = finish − arrival) come with the record,
-since an open system is judged on responsiveness, not only makespan.
+* :class:`ArrivalSimulator` — subclass of ``SimCore`` that warns on
+  construction; prefer ``SimCore`` directly.
+* :func:`execute_with_arrivals` — builds an arrival
+  :class:`~repro.engine.sim.Scenario` and delegates to
+  :func:`repro.engine.sim.run`.
+* ``ArrivalExecution`` — alias of the unified
+  :class:`~repro.engine.sim.ExecutionResult` (which carries the arrival
+  metadata and turnaround metrics natively).
+
+All shims will be removed in the next release.
 """
 
 from __future__ import annotations
 
-import heapq
-import math
-from dataclasses import dataclass, field
+import warnings
 from collections.abc import Callable, Sequence
 
 from repro.hardware.device import DeviceKind
-from repro.hardware.frequency import FrequencySetting
 from repro.hardware.processor import IntegratedProcessor
 from repro.workload.program import Job
-from repro.engine.corun import PhasedRunner, _pair_stalls, _segment_power
-from repro.engine.timeline import _MAX_EVENTS, GovernorFn, ScheduleExecution
-from repro.engine.tracing import JobCompletion, PowerSegment
+from repro.engine.sim import (
+    ExecutionResult,
+    GovernorFn,
+    JobStart,
+    Scenario,
+    SimCore,
+    run,
+)
+
+__all__ = [
+    "ArrivalExecution",
+    "ArrivalPolicy",
+    "ArrivalSimulator",
+    "JobStart",
+    "execute_with_arrivals",
+]
 
 #: Policy signature: (kind being filled, arrived unstarted jobs, job running
 #: on the other processor or None, now) -> job to start or None (stay idle).
 ArrivalPolicy = Callable[[DeviceKind, list[Job], Job | None, float], Job | None]
 
-_EPS = 1e-12
+#: Legacy name for the unified execution record (the arrival metadata and
+#: turnaround metrics are native ``ExecutionResult`` fields now).
+ArrivalExecution = ExecutionResult
 
 
-@dataclass(frozen=True)
-class JobStart:
-    """Launch record: where a job started and under what conditions."""
-
-    job: str
-    kind: DeviceKind
-    start_s: float
-    setting: FrequencySetting
-    partner: str | None
-
-
-@dataclass(frozen=True)
-class ArrivalExecution:
-    """Execution record plus open-system latency metrics."""
-
-    execution: ScheduleExecution
-    arrivals: dict[str, float]
-    starts: dict[str, JobStart] = field(default_factory=dict)
-
-    @property
-    def makespan_s(self) -> float:
-        return self.execution.makespan_s
-
-    def turnaround_s(self, uid: str) -> float:
-        return self.execution.finish_of(uid) - self.arrivals[uid]
-
-    @property
-    def mean_turnaround_s(self) -> float:
-        return sum(self.turnaround_s(uid) for uid in self.arrivals) / len(
-            self.arrivals
-        )
-
-    @property
-    def max_turnaround_s(self) -> float:
-        return max(self.turnaround_s(uid) for uid in self.arrivals)
-
-
-class ArrivalSimulator:
-    """Resumable open-system executor.
-
-    State machine over virtual time: :meth:`add_arrival` injects future (or
-    immediate) jobs, :meth:`advance` moves the timeline forward under a
-    policy, consulting the governor whenever the running pair changes.
-    Unlike :func:`execute_with_arrivals`, callers may interleave arrivals,
-    governor swaps, and partial advances — the basis of the live service
-    session.
-    """
+class ArrivalSimulator(SimCore):
+    """Deprecated alias of :class:`~repro.engine.sim.SimCore`."""
 
     def __init__(self, processor: IntegratedProcessor, governor: GovernorFn):
-        self.processor = processor
-        self.governor = governor
-        self.now = 0.0
-        self._future: list[tuple[float, int, Job]] = []
-        self._seq = 0
-        self._pending: list[Job] = []
-        self._uids: set[str] = set()
-        self._arrivals: dict[str, float] = {}
-        self._completions: list[JobCompletion] = []
-        self._segments: list[PowerSegment] = []
-        self._starts: dict[str, JobStart] = {}
-        self._cpu_busy = 0.0
-        self._gpu_busy = 0.0
-        self._cpu_run: PhasedRunner | None = None
-        self._gpu_run: PhasedRunner | None = None
-        self._cpu_job: Job | None = None
-        self._gpu_job: Job | None = None
-        self._setting: FrequencySetting | None = None
-        self._pair_changed = True
-
-    # ------------------------------------------------------------------
-    # Mutation
-    # ------------------------------------------------------------------
-    def add_arrival(self, job: Job, at_s: float) -> None:
-        """Register ``job`` to arrive at virtual time ``at_s`` (>= now)."""
-        if at_s < 0:
-            raise ValueError(f"{job.uid}: negative arrival time")
-        if at_s < self.now - _EPS:
-            raise ValueError(
-                f"{job.uid}: arrival at {at_s} is in the past (now={self.now})"
-            )
-        if job.uid in self._uids:
-            raise ValueError("job uids must be unique")
-        self._uids.add(job.uid)
-        self._arrivals[job.uid] = at_s
-        heapq.heappush(self._future, (at_s, self._seq, job))
-        self._seq += 1
-
-    def set_governor(self, governor: GovernorFn) -> None:
-        """Swap the frequency governor; the running pair is re-evaluated."""
-        self.governor = governor
-        self.invalidate_setting()
-
-    def invalidate_setting(self) -> None:
-        """Force a governor consult at the next step (e.g. cap changed)."""
-        self._pair_changed = True
-
-    def withdraw(self, uid: str) -> Job:
-        """Remove a not-yet-started job from the pending pool or the future."""
-        for i, job in enumerate(self._pending):
-            if job.uid == uid:
-                del self._pending[i]
-                self._uids.discard(uid)
-                del self._arrivals[uid]
-                return job
-        for i, (_, _, job) in enumerate(self._future):
-            if job.uid == uid:
-                del self._future[i]
-                heapq.heapify(self._future)
-                self._uids.discard(uid)
-                del self._arrivals[uid]
-                return job
-        raise KeyError(f"job {uid!r} is not pending (already started or unknown)")
-
-    # ------------------------------------------------------------------
-    # Introspection
-    # ------------------------------------------------------------------
-    @property
-    def pending(self) -> tuple[Job, ...]:
-        """Arrived but not yet started jobs."""
-        return tuple(self._pending)
-
-    @property
-    def queued(self) -> int:
-        """Jobs not yet started (arrived or future)."""
-        return len(self._pending) + len(self._future)
-
-    @property
-    def running(self) -> dict[DeviceKind, Job]:
-        out = {}
-        if self._cpu_run is not None:
-            out[DeviceKind.CPU] = self._cpu_job
-        if self._gpu_run is not None:
-            out[DeviceKind.GPU] = self._gpu_job
-        return out
-
-    @property
-    def idle(self) -> bool:
-        """True when nothing is running and nothing can ever start."""
-        return (
-            self._cpu_run is None
-            and self._gpu_run is None
-            and not self._pending
-            and not self._future
+        warnings.warn(
+            "ArrivalSimulator is deprecated and will be removed in the next "
+            "release; use repro.engine.sim.SimCore",
+            DeprecationWarning,
+            stacklevel=2,
         )
-
-    @property
-    def current_setting(self) -> FrequencySetting | None:
-        return self._setting
-
-    @property
-    def arrivals(self) -> dict[str, float]:
-        return dict(self._arrivals)
-
-    @property
-    def starts(self) -> dict[str, JobStart]:
-        return dict(self._starts)
-
-    @property
-    def completions(self) -> tuple[JobCompletion, ...]:
-        return tuple(self._completions)
-
-    def record(self) -> ScheduleExecution:
-        """The execution so far as a standard record."""
-        return ScheduleExecution(
-            makespan_s=self.now,
-            completions=tuple(self._completions),
-            segments=tuple(self._segments),
-            cpu_busy_s=self._cpu_busy,
-            gpu_busy_s=self._gpu_busy,
-        )
-
-    # ------------------------------------------------------------------
-    # Stepping
-    # ------------------------------------------------------------------
-    def _admit(self) -> None:
-        while self._future and self._future[0][0] <= self.now + _EPS:
-            _, _, job = heapq.heappop(self._future)
-            self._pending.append(job)
-
-    def _try_start(self, policy: ArrivalPolicy) -> list[tuple[Job, DeviceKind]]:
-        started: list[tuple[Job, DeviceKind]] = []
-        if self._cpu_run is None and self._pending:
-            job = policy(
-                DeviceKind.CPU, list(self._pending), self._gpu_job, self.now
-            )
-            if job is not None:
-                self._pending.remove(job)
-                self._cpu_job = job
-                self._cpu_run = PhasedRunner(
-                    job.profile, self.processor, DeviceKind.CPU,
-                    self.processor.cpu.domain.fmax,
-                )
-                self._pair_changed = True
-                started.append((job, DeviceKind.CPU))
-        if self._gpu_run is None and self._pending:
-            job = policy(
-                DeviceKind.GPU, list(self._pending), self._cpu_job, self.now
-            )
-            if job is not None:
-                self._pending.remove(job)
-                self._gpu_job = job
-                self._gpu_run = PhasedRunner(
-                    job.profile, self.processor, DeviceKind.GPU,
-                    self.processor.gpu.domain.fmax,
-                )
-                self._pair_changed = True
-                started.append((job, DeviceKind.GPU))
-        return started
-
-    def _consult_governor(self) -> None:
-        self._setting = self.governor(
-            self._cpu_job if self._cpu_run else None,
-            self._gpu_job if self._gpu_run else None,
-        )
-        self.processor.validate_setting(self._setting)
-        if self._cpu_run is not None:
-            self._cpu_run.set_frequency(self._setting.cpu_ghz)
-        if self._gpu_run is not None:
-            self._gpu_run.set_frequency(self._setting.gpu_ghz)
-        self._pair_changed = False
-
-    def advance(
-        self, policy: ArrivalPolicy, until_s: float = math.inf
-    ) -> list[JobCompletion]:
-        """Advance the timeline under ``policy`` to ``until_s`` (or idle).
-
-        Returns the completions that happened during this call.  With a
-        finite ``until_s`` the clock lands exactly on the boundary even if
-        the system idles earlier, so later arrivals keep a consistent
-        virtual "now"; jobs arriving exactly at the boundary are admitted
-        and may start, but no further time passes.
-        """
-        new: list[JobCompletion] = []
-        for _ in range(_MAX_EVENTS):
-            self._admit()
-            started = self._try_start(policy)
-
-            if self._cpu_run is None and self._gpu_run is None:
-                if not self._pending and not self._future:
-                    if math.isfinite(until_s) and self.now < until_s:
-                        self.now = until_s
-                    break
-                if not self._pending:
-                    # Idle gap: jump to the next arrival (or the boundary).
-                    t_next = self._future[0][0]
-                    if t_next > until_s:
-                        self.now = until_s
-                        break
-                    self.now = t_next
-                    continue
-                raise RuntimeError(
-                    "policy declined to issue a job with both processors idle"
-                )
-
-            if self._pair_changed or self._setting is None:
-                self._consult_governor()
-            for job, kind in started:
-                partner = self._gpu_job if kind is DeviceKind.CPU else self._cpu_job
-                self._starts[job.uid] = JobStart(
-                    job=job.uid,
-                    kind=kind,
-                    start_s=self.now,
-                    setting=self._setting,
-                    partner=partner.uid if partner is not None else None,
-                )
-
-            remaining = until_s - self.now
-            if remaining <= _EPS:
-                break
-
-            stalls = _pair_stalls(self.processor, self._cpu_run, self._gpu_run)
-            dts = []
-            if self._cpu_run is not None:
-                dts.append(self._cpu_run.time_to_phase_end(stalls[0]))
-            if self._gpu_run is not None:
-                dts.append(self._gpu_run.time_to_phase_end(stalls[1]))
-            if self._future:
-                dts.append(max(self._future[0][0] - self.now, _EPS))
-            if math.isfinite(remaining):
-                dts.append(remaining)
-            dt = min(dts)
-
-            watts = _segment_power(
-                self.processor, self._setting, self._cpu_run, self._gpu_run,
-                stalls,
-            )
-            if dt > 0:
-                self._segments.append(PowerSegment(duration_s=dt, watts=watts))
-                if self._cpu_run is not None:
-                    self._cpu_busy += dt
-                if self._gpu_run is not None:
-                    self._gpu_busy += dt
-            if self._cpu_run is not None:
-                self._cpu_run.advance(dt, stalls[0])
-                if self._cpu_run.done:
-                    done = JobCompletion(
-                        self._cpu_job.uid, "cpu", self.now + dt,
-                        self._starts[self._cpu_job.uid].start_s,
-                    )
-                    self._completions.append(done)
-                    new.append(done)
-                    self._cpu_run, self._cpu_job = None, None
-                    self._pair_changed = True
-            if self._gpu_run is not None:
-                self._gpu_run.advance(dt, stalls[1])
-                if self._gpu_run.done:
-                    done = JobCompletion(
-                        self._gpu_job.uid, "gpu", self.now + dt,
-                        self._starts[self._gpu_job.uid].start_s,
-                    )
-                    self._completions.append(done)
-                    new.append(done)
-                    self._gpu_run, self._gpu_job = None, None
-                    self._pair_changed = True
-            self.now += dt
-        else:  # pragma: no cover - defensive
-            raise RuntimeError("arrival execution exceeded the event budget")
-        return new
+        super().__init__(processor, governor)
 
 
 def execute_with_arrivals(
@@ -363,20 +71,17 @@ def execute_with_arrivals(
     arrivals: Sequence[tuple[Job, float]],
     policy: ArrivalPolicy,
     governor: GovernorFn,
-) -> ArrivalExecution:
-    """Run a complete arrival sequence under an online policy."""
-    if not arrivals:
-        raise ValueError("need at least one arriving job")
-    uids = [job.uid for job, _ in arrivals]
-    if len(set(uids)) != len(uids):
-        raise ValueError("job uids must be unique")
-
-    sim = ArrivalSimulator(processor, governor)
-    for job, t_arr in arrivals:
-        sim.add_arrival(job, t_arr)
-    sim.advance(policy)
-    return ArrivalExecution(
-        execution=sim.record(),
-        arrivals={job.uid: t_arr for job, t_arr in arrivals},
-        starts=sim.starts,
+) -> ExecutionResult:
+    """Deprecated: use ``run(processor, Scenario.from_arrivals(...), ...)``."""
+    warnings.warn(
+        "execute_with_arrivals() is deprecated and will be removed in the "
+        "next release; call repro.engine.run() with a Scenario instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run(
+        processor,
+        Scenario.from_arrivals(arrivals),
+        policy=policy,
+        governor=governor,
     )

@@ -68,6 +68,19 @@ class PhasedRunner:
         )
         self._skip_empty_phases()
 
+    def seek(self, phase_idx: int, phase_frac: float) -> None:
+        """Jump to a stored progress point (phase index + completed fraction).
+
+        Used to restore a checkpointed job after preemption or migration:
+        progress is device-independent work fractions, so a runner built
+        for the *other* device kind can resume the same logical position.
+        """
+        if phase_idx < 0 or phase_frac < 0.0:
+            raise ValueError("seek target must be non-negative")
+        self.phase_idx = phase_idx
+        self.phase_frac = phase_frac
+        self._skip_empty_phases()
+
     def _skip_empty_phases(self) -> None:
         while not self.done and self.phases[self.phase_idx].duration_s <= 0.0:
             self._next_phase()
@@ -119,7 +132,17 @@ class PhasedRunner:
         """Progress by ``dt`` seconds of wall time under ``stall``."""
         if self.done:
             raise RuntimeError(f"{self.profile.name} already finished")
-        dur = self.contended_duration(stall)
+        self.advance_in(dt, self.contended_duration(stall))
+
+    def advance_in(self, dt: float, dur: float) -> None:
+        """Progress by ``dt`` given the phase's contended duration ``dur``.
+
+        Callers that already hold ``contended_duration(stall)`` (e.g. the
+        event core's memoized physics) skip recomputing it; the arithmetic
+        is identical to :meth:`advance`.
+        """
+        if self.done:
+            raise RuntimeError(f"{self.profile.name} already finished")
         self.phase_frac += dt / dur if dur > 0 else 1.0
         if self.phase_frac >= 1.0 - _EPS:
             self._next_phase()

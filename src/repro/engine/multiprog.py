@@ -12,10 +12,17 @@ Because the jobs time-slice, the memory demand the CPU side presents to the
 GPU co-runner is the *average* of the residents' current-phase demands, and
 each resident suffers the stall factor computed from that aggregate.
 The GPU partition runs sequentially (the GPU driver serializes kernels).
+
+The public entry point is ``engine.run()`` with a
+``Scenario.timeshare(...)``; :func:`execute_default_schedule` remains as a
+deprecation shim over it.  The time-sharing loop itself
+(:func:`_timeshare_run`) stays here because its n-resident progress model
+does not fit the one-runner-per-device simulation core.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from collections.abc import Sequence
 
@@ -24,7 +31,7 @@ from repro.hardware.processor import IntegratedProcessor
 from repro.workload.program import Job
 from repro.engine.corun import PhasedRunner
 from repro.engine.tracing import JobCompletion, PowerSegment
-from repro.engine.timeline import GovernorFn, ScheduleExecution, _MAX_EVENTS
+from repro.engine.sim import ExecutionResult, GovernorFn, Scenario, _MAX_EVENTS, run
 
 #: Default per-extra-resident context-switch/locality overhead.  At 3
 #: resident jobs (the 8-program study) the penalty is a mild 1.26x; at 6
@@ -40,7 +47,30 @@ def execute_default_schedule(
     governor: GovernorFn,
     *,
     cs_overhead: float = DEFAULT_CS_OVERHEAD,
-) -> ScheduleExecution:
+) -> ExecutionResult:
+    """Deprecated: use ``run(processor, Scenario.timeshare(...), ...)``."""
+    warnings.warn(
+        "execute_default_schedule() is deprecated and will be removed in "
+        "the next release; call repro.engine.run() with Scenario.timeshare()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run(
+        processor,
+        Scenario.timeshare(cpu_jobs, gpu_queue, cs_overhead=cs_overhead),
+        governor=governor,
+    )
+
+
+def _timeshare_run(
+    processor: IntegratedProcessor,
+    cpu_jobs: Sequence[Job],
+    gpu_queue: Sequence[Job],
+    governor: GovernorFn,
+    *,
+    cs_overhead: float = DEFAULT_CS_OVERHEAD,
+    objective: str = "makespan",
+) -> ExecutionResult:
     """Execute the Default baseline: time-shared CPU side, sequential GPU side.
 
     The governor is consulted with a representative running pair (the CPU
@@ -152,10 +182,13 @@ def execute_default_schedule(
     else:  # pragma: no cover - defensive
         raise RuntimeError("default-schedule execution exceeded the event budget")
 
-    return ScheduleExecution(
+    return ExecutionResult(
         makespan_s=t,
         completions=tuple(completions),
         segments=tuple(segments),
         cpu_busy_s=cpu_busy,
         gpu_busy_s=gpu_busy,
+        arrivals={uid: 0.0 for uid in all_uids},
+        objective=objective,
+        backend="engine.timeshare",
     )

@@ -1,99 +1,60 @@
-"""Event-driven execution of a complete co-schedule.
+"""Deprecated queue-replay executors (thin shims over ``engine.run()``).
 
-A co-schedule (Definition 2.1) is two ordered job queues — one per processor
-— plus an optional *solo tail* of jobs that must run alone (the heuristic
-algorithm's S_seq set).  Whenever the pair of running jobs changes, a
-*governor* callback picks the chip frequency setting; that is where the
-power-cap policies (GPU-biased, CPU-biased, or HCS's per-pair choices) plug
-in without the engine knowing anything about scheduling.
+The phase-resolved schedule executor now lives in the discrete-event core
+(:mod:`repro.engine.sim`); this module keeps the historic entry points —
+:func:`execute_schedule` and :func:`execute_online` — as deprecation shims
+that build the equivalent :class:`~repro.engine.sim.Scenario` and delegate
+to :func:`repro.engine.sim.run`.  Results are byte-identical: the core
+replays non-preemptive scenarios with the exact same stall/power
+arithmetic.
 
-The executor is phase-resolved: it reuses the same
-:class:`~repro.engine.corun.PhasedRunner` machinery as the pairwise
-simulator, so a schedule's measured makespan is exactly consistent with the
-pairwise ground truth the predictor is judged against.
+Both shims emit :class:`DeprecationWarning` and will be removed in the
+next release — call ``engine.run()`` directly instead::
+
+    run(processor, Scenario.from_queues(cpu_q, gpu_q, solo_tail=tail),
+        governor=governor)                  # was execute_schedule(...)
+    run(processor, Scenario(), policy=source, governor=governor)
+                                            # was execute_online(...)
+
+``ScheduleExecution`` is now an alias of the unified
+:class:`~repro.engine.sim.ExecutionResult` (same five leading fields, so
+existing constructors and field access keep working).
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass
-from collections.abc import Callable, Sequence
+import warnings
+from collections.abc import Sequence
 
 from repro.hardware.device import DeviceKind
-from repro.hardware.frequency import FrequencySetting
 from repro.hardware.processor import IntegratedProcessor
 from repro.workload.program import Job
-from repro.engine.corun import PhasedRunner, _pair_stalls, _segment_power
-from repro.engine.tracing import (
-    JobCompletion,
-    PowerSegment,
-    segments_energy_j,
-    segments_mean_power_w,
+from repro.engine.sim import (
+    _MAX_EVENTS,
+    MAX_EVENTS,
+    ExecutionResult,
+    GovernorFn,
+    OnlineJobSource,
+    Scenario,
+    run,
 )
 
-#: Governor signature: (running CPU job or None, running GPU job or None) ->
-#: chip frequency setting.  Consulted every time the running pair changes.
-GovernorFn = Callable[[Job | None, Job | None], FrequencySetting]
+__all__ = [
+    "GovernorFn",
+    "MAX_EVENTS",
+    "OnlineJobSource",
+    "ScheduleExecution",
+    "execute_online",
+    "execute_schedule",
+]
 
-_MAX_EVENTS = 1_000_000
+#: Legacy name for the unified execution record.
+ScheduleExecution = ExecutionResult
 
-#: Public alias of the per-advance event budget (used by the service layer
-#: to bound a single incremental step).
-MAX_EVENTS = _MAX_EVENTS
-
-
-@dataclass(frozen=True)
-class ScheduleExecution:
-    """Measured outcome of executing a co-schedule on the simulator."""
-
-    makespan_s: float
-    completions: tuple[JobCompletion, ...]
-    segments: tuple[PowerSegment, ...]
-    cpu_busy_s: float
-    gpu_busy_s: float
-
-    @property
-    def mean_power_w(self) -> float:
-        return segments_mean_power_w(self.segments)
-
-    @property
-    def energy_j(self) -> float:
-        return segments_energy_j(self.segments)
-
-    @property
-    def edp_js(self) -> float:
-        """Energy-delay product (J x s) of the whole execution."""
-        return self.energy_j * self.makespan_s
-
-    def score(self, objective="makespan") -> float:
-        """Scalar score under an objective (lower is better).
-
-        ``objective`` is duck-typed — a ``repro.core.objectives.Objective``
-        or its string value — because the engine layer must not import the
-        scheduling layer.
-        """
-        name = getattr(objective, "value", objective)
-        if name == "makespan":
-            return self.makespan_s
-        if name == "energy":
-            return self.energy_j
-        if name == "edp":
-            return self.edp_js
-        raise ValueError(f"unknown objective {objective!r}")
-
-    def finish_of(self, job_uid: str) -> float:
-        """Completion time of a specific job."""
-        for c in self.completions:
-            if c.job == job_uid:
-                return c.finish_s
-        raise KeyError(f"job {job_uid!r} not in execution record")
-
-    def start_of(self, job_uid: str) -> float:
-        """Launch time of a specific job."""
-        for c in self.completions:
-            if c.job == job_uid:
-                return c.start_s
-        raise KeyError(f"job {job_uid!r} not in execution record")
+_REMOVAL_NOTE = (
+    "is deprecated and will be removed in the next release; call "
+    "repro.engine.run() with a Scenario instead"
+)
 
 
 def execute_schedule(
@@ -103,248 +64,25 @@ def execute_schedule(
     governor: GovernorFn,
     *,
     solo_tail: Sequence[tuple[Job, DeviceKind]] = (),
-) -> ScheduleExecution:
-    """Run the co-phase queues concurrently, then the solo tail one by one."""
-    all_jobs = [j.uid for j in cpu_queue] + [j.uid for j in gpu_queue] + [
-        j.uid for j, _ in solo_tail
-    ]
-    if len(set(all_jobs)) != len(all_jobs):
-        raise ValueError("a job appears more than once in the schedule")
-
-    cpu_pending = deque(cpu_queue)
-    gpu_pending = deque(gpu_queue)
-    t = 0.0
-    completions: list[JobCompletion] = []
-    segments: list[PowerSegment] = []
-    cpu_busy = gpu_busy = 0.0
-
-    cpu_run: PhasedRunner | None = None
-    gpu_run: PhasedRunner | None = None
-    cpu_job: Job | None = None
-    gpu_job: Job | None = None
-    cpu_start = gpu_start = 0.0
-    pair_changed = False
-
-    for _ in range(_MAX_EVENTS):
-        if cpu_run is None and cpu_pending:
-            cpu_job = cpu_pending.popleft()
-            cpu_run = PhasedRunner(
-                cpu_job.profile, processor, DeviceKind.CPU, processor.cpu.domain.fmax
-            )
-            cpu_start = t
-            pair_changed = True
-        if gpu_run is None and gpu_pending:
-            gpu_job = gpu_pending.popleft()
-            gpu_run = PhasedRunner(
-                gpu_job.profile, processor, DeviceKind.GPU, processor.gpu.domain.fmax
-            )
-            gpu_start = t
-            pair_changed = True
-        if cpu_run is None and gpu_run is None:
-            break
-        if pair_changed:
-            setting = governor(cpu_job if cpu_run else None, gpu_job if gpu_run else None)
-            processor.validate_setting(setting)
-            if cpu_run is not None:
-                cpu_run.set_frequency(setting.cpu_ghz)
-            if gpu_run is not None:
-                gpu_run.set_frequency(setting.gpu_ghz)
-            pair_changed = False
-
-        stalls = _pair_stalls(processor, cpu_run, gpu_run)
-        dts = []
-        if cpu_run is not None:
-            dts.append(cpu_run.time_to_phase_end(stalls[0]))
-        if gpu_run is not None:
-            dts.append(gpu_run.time_to_phase_end(stalls[1]))
-        dt = min(dts)
-        watts = _segment_power(processor, setting, cpu_run, gpu_run, stalls)
-        if dt > 0:
-            segments.append(PowerSegment(duration_s=dt, watts=watts))
-            if cpu_run is not None:
-                cpu_busy += dt
-            if gpu_run is not None:
-                gpu_busy += dt
-        if cpu_run is not None:
-            cpu_run.advance(dt, stalls[0])
-            if cpu_run.done:
-                completions.append(
-                    JobCompletion(cpu_job.uid, "cpu", t + dt, cpu_start)
-                )
-                cpu_run, cpu_job = None, None
-                pair_changed = True
-        if gpu_run is not None:
-            gpu_run.advance(dt, stalls[1])
-            if gpu_run.done:
-                completions.append(
-                    JobCompletion(gpu_job.uid, "gpu", t + dt, gpu_start)
-                )
-                gpu_run, gpu_job = None, None
-                pair_changed = True
-        t += dt
-    else:  # pragma: no cover - defensive
-        raise RuntimeError("schedule execution exceeded the event budget")
-
-    # Solo tail: jobs that must run with the other processor left idle.
-    for job, kind in solo_tail:
-        solo_start = t
-        setting = governor(job if kind is DeviceKind.CPU else None,
-                           job if kind is DeviceKind.GPU else None)
-        processor.validate_setting(setting)
-        f = setting.cpu_ghz if kind is DeviceKind.CPU else setting.gpu_ghz
-        runner = PhasedRunner(job.profile, processor, kind, f)
-        cpu_r = runner if kind is DeviceKind.CPU else None
-        gpu_r = runner if kind is DeviceKind.GPU else None
-        for _ in range(_MAX_EVENTS):
-            if runner.done:
-                break
-            stalls = _pair_stalls(processor, cpu_r, gpu_r)
-            stall = stalls[0] if kind is DeviceKind.CPU else stalls[1]
-            dt = runner.time_to_phase_end(stall)
-            watts = _segment_power(processor, setting, cpu_r, gpu_r, stalls)
-            if dt > 0:
-                segments.append(PowerSegment(duration_s=dt, watts=watts))
-                if kind is DeviceKind.CPU:
-                    cpu_busy += dt
-                else:
-                    gpu_busy += dt
-            runner.advance(dt, stall)
-            t += dt
-        else:  # pragma: no cover - defensive
-            raise RuntimeError("solo-tail execution exceeded the event budget")
-        completions.append(JobCompletion(job.uid, str(kind), t, solo_start))
-
-    return ScheduleExecution(
-        makespan_s=t,
-        completions=tuple(completions),
-        segments=tuple(segments),
-        cpu_busy_s=cpu_busy,
-        gpu_busy_s=gpu_busy,
+) -> ExecutionResult:
+    """Deprecated: use ``run(processor, Scenario.from_queues(...), ...)``."""
+    warnings.warn(
+        f"execute_schedule() {_REMOVAL_NOTE}", DeprecationWarning, stacklevel=2
     )
-
-
-class OnlineJobSource:
-    """Protocol for online (work-conserving-ish) scheduling policies.
-
-    ``next_job`` is consulted whenever a processor goes idle.  It may return
-    ``None`` to leave the processor idle until the next event, but only while
-    the other processor is busy (``other_busy=True``); with both processors
-    idle and jobs remaining, a job must be issued or the execution cannot
-    make progress.
-    """
-
-    def next_job(
-        self, kind: DeviceKind, other_job: Job | None, other_busy: bool, now_s: float
-    ) -> Job | None:  # pragma: no cover - interface
-        raise NotImplementedError
-
-    def remaining(self) -> int:  # pragma: no cover - interface
-        raise NotImplementedError
+    return run(
+        processor,
+        Scenario.from_queues(cpu_queue, gpu_queue, solo_tail=solo_tail),
+        governor=governor,
+    )
 
 
 def execute_online(
     processor: IntegratedProcessor,
     source: OnlineJobSource,
     governor: GovernorFn,
-) -> ScheduleExecution:
-    """Execute jobs drawn on-the-fly from an online policy.
-
-    This is how the paper's Random baseline operates: "whenever a processor
-    becomes idle, it randomly picks a new job to occupy that processor, or
-    it just leaves the idle processor idle".
-    """
-    t = 0.0
-    completions: list[JobCompletion] = []
-    segments: list[PowerSegment] = []
-    cpu_busy = gpu_busy = 0.0
-
-    cpu_run: PhasedRunner | None = None
-    gpu_run: PhasedRunner | None = None
-    cpu_job: Job | None = None
-    gpu_job: Job | None = None
-    cpu_start = gpu_start = 0.0
-    pair_changed = False
-    setting = None
-
-    for _ in range(_MAX_EVENTS):
-        if cpu_run is None and source.remaining() > 0:
-            job = source.next_job(
-                DeviceKind.CPU, gpu_job, gpu_run is not None, t
-            )
-            if job is not None:
-                cpu_job = job
-                cpu_run = PhasedRunner(
-                    job.profile, processor, DeviceKind.CPU, processor.cpu.domain.fmax
-                )
-                cpu_start = t
-                pair_changed = True
-        if gpu_run is None and source.remaining() > 0:
-            job = source.next_job(
-                DeviceKind.GPU, cpu_job, cpu_run is not None, t
-            )
-            if job is not None:
-                gpu_job = job
-                gpu_run = PhasedRunner(
-                    job.profile, processor, DeviceKind.GPU, processor.gpu.domain.fmax
-                )
-                gpu_start = t
-                pair_changed = True
-        if cpu_run is None and gpu_run is None:
-            if source.remaining() > 0:
-                raise RuntimeError(
-                    "online source declined to issue a job with both "
-                    "processors idle"
-                )
-            break
-        if pair_changed or setting is None:
-            setting = governor(
-                cpu_job if cpu_run else None, gpu_job if gpu_run else None
-            )
-            processor.validate_setting(setting)
-            if cpu_run is not None:
-                cpu_run.set_frequency(setting.cpu_ghz)
-            if gpu_run is not None:
-                gpu_run.set_frequency(setting.gpu_ghz)
-            pair_changed = False
-
-        stalls = _pair_stalls(processor, cpu_run, gpu_run)
-        dts = []
-        if cpu_run is not None:
-            dts.append(cpu_run.time_to_phase_end(stalls[0]))
-        if gpu_run is not None:
-            dts.append(gpu_run.time_to_phase_end(stalls[1]))
-        dt = min(dts)
-        watts = _segment_power(processor, setting, cpu_run, gpu_run, stalls)
-        if dt > 0:
-            segments.append(PowerSegment(duration_s=dt, watts=watts))
-            if cpu_run is not None:
-                cpu_busy += dt
-            if gpu_run is not None:
-                gpu_busy += dt
-        if cpu_run is not None:
-            cpu_run.advance(dt, stalls[0])
-            if cpu_run.done:
-                completions.append(
-                    JobCompletion(cpu_job.uid, "cpu", t + dt, cpu_start)
-                )
-                cpu_run, cpu_job = None, None
-                pair_changed = True
-        if gpu_run is not None:
-            gpu_run.advance(dt, stalls[1])
-            if gpu_run.done:
-                completions.append(
-                    JobCompletion(gpu_job.uid, "gpu", t + dt, gpu_start)
-                )
-                gpu_run, gpu_job = None, None
-                pair_changed = True
-        t += dt
-    else:  # pragma: no cover - defensive
-        raise RuntimeError("online execution exceeded the event budget")
-
-    return ScheduleExecution(
-        makespan_s=t,
-        completions=tuple(completions),
-        segments=tuple(segments),
-        cpu_busy_s=cpu_busy,
-        gpu_busy_s=gpu_busy,
+) -> ExecutionResult:
+    """Deprecated: use ``run(processor, Scenario(), policy=source, ...)``."""
+    warnings.warn(
+        f"execute_online() {_REMOVAL_NOTE}", DeprecationWarning, stacklevel=2
     )
+    return run(processor, Scenario(), policy=source, governor=governor)

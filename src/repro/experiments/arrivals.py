@@ -14,7 +14,7 @@ from __future__ import annotations
 from repro.hardware.calibration import DEFAULT_POWER_CAP_W
 from repro.core.freqpolicy import Bias, BiasedGovernor, ModelGovernor
 from repro.core.online import FifoOnlinePolicy, HcsOnlinePolicy
-from repro.engine.arrivals import execute_with_arrivals
+from repro.engine.sim import Scenario, run as engine_run
 from repro.workload.program import make_jobs
 from repro.workload.rodinia import rodinia_programs
 from repro.experiments.common import ExperimentResult, default_runtime
@@ -47,17 +47,18 @@ def run(
         rng = default_rng(seed)
         sequence = _arrival_sequence(jobs, gap, rng)
 
-        fifo = execute_with_arrivals(
+        scenario = Scenario.from_arrivals(sequence)
+        fifo = engine_run(
             runtime.processor,
-            sequence,
-            FifoOnlinePolicy(),
-            BiasedGovernor(runtime.predictor, cap_w, Bias.GPU),
+            scenario,
+            policy=FifoOnlinePolicy(),
+            governor=BiasedGovernor(runtime.predictor, cap_w, Bias.GPU),
         )
-        hcs = execute_with_arrivals(
+        hcs = engine_run(
             runtime.processor,
-            sequence,
-            HcsOnlinePolicy(runtime.predictor, cap_w),
-            ModelGovernor(runtime.predictor, cap_w),
+            scenario,
+            policy=HcsOnlinePolicy(runtime.predictor, cap_w),
+            governor=ModelGovernor(runtime.predictor, cap_w),
         )
         label = "batch (gap 0)" if gap == 0 else f"mean gap {gap:.0f}s"
         rows.append(

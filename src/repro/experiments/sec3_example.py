@@ -19,7 +19,7 @@ from repro.hardware.device import DeviceKind
 from repro.workload.program import make_jobs
 from repro.workload.rodinia import rodinia_programs
 from repro.engine.corun import steady_degradation
-from repro.engine.timeline import execute_schedule
+from repro.engine.sim import Scenario, run as engine_run
 from repro.model.characterize import characterize_space
 from repro.model.predictor import CoRunPredictor
 from repro.model.profiler import profile_workload
@@ -104,11 +104,13 @@ def _best_worst_schedules(cap_w: float) -> tuple[float, float, float]:
                         return s
                 return processor.min_setting
 
-            execution = execute_schedule(
+            execution = engine_run(
                 processor,
-                [jobs[slots[0][0]], jobs[slots[1][0]]],
-                [jobs[slots[0][1]], jobs[slots[1][1]]],
-                governor,
+                Scenario.from_queues(
+                    [jobs[slots[0][0]], jobs[slots[1][0]]],
+                    [jobs[slots[0][1]], jobs[slots[1][1]]],
+                ),
+                governor=governor,
             )
             if choose == "best":
                 best = min(best, execution.makespan_s)

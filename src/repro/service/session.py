@@ -2,8 +2,8 @@
 
 Bridges three layers that were previously only composable offline:
 
-* the open-system :class:`~repro.engine.arrivals.ArrivalSimulator` holds
-  the virtual timeline (running pair, pending pool, future arrivals);
+* the discrete-event :class:`~repro.engine.sim.SimCore` holds the virtual
+  timeline (running pair, pending pool, future arrivals);
 * the :class:`~repro.core.api.Scheduler` front end (any method in the
   ``repro.core`` registry — HCS by default) is consulted whenever a
   processor goes idle, over the *arrived* unstarted jobs;
@@ -38,7 +38,7 @@ from repro.hardware.frequency import FrequencySetting
 from repro.hardware.processor import IntegratedProcessor
 from repro.workload.program import Job
 from repro.core.api import Scheduler, make_scheduler
-from repro.engine.arrivals import ArrivalSimulator
+from repro.engine.sim import SimCore
 from repro.engine.tracing import JobCompletion
 from repro.model.characterize import characterize_space
 from repro.model.predictor import CoRunPredictor
@@ -158,7 +158,7 @@ class ServiceSession:
             seed=seed,
             **scheduler_opts,
         )
-        self.sim = ArrivalSimulator(self.processor, _SafeGovernor(self))
+        self.sim = SimCore(self.processor, _SafeGovernor(self))
         # None defers to the process-wide REPRO_SANITIZE flag at check time.
         self._sanitize_override = sanitize
         self.cap_violations = 0

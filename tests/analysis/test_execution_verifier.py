@@ -1,0 +1,130 @@
+"""Forged-execution tests for the engine-side invariant verifier.
+
+Mirrors ``test_verifier.py``'s philosophy for :class:`ExecutionResult`:
+take a genuinely valid execution from the event core, tamper with one
+aspect, and assert the verifier flags exactly the injected violation
+class — so each invariant is shown to be live, not vacuously true.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.invariants import (
+    INVARIANT_EXEC_BUSY,
+    INVARIANT_EXEC_COMPLETION,
+    INVARIANT_EXEC_DEADLINE,
+    INVARIANT_EXEC_TIMELINE,
+    check_execution,
+    verify_execution,
+)
+from repro.core.freqpolicy import ModelGovernor
+from repro.engine.sim import DeviceInterval, PenaltyModel, Scenario, SimCore, run
+from repro.errors import ScheduleInvariantError
+from repro.hardware.device import DeviceKind
+
+CAP_W = 15.0
+
+
+def fifo(kind, pending, other, now):
+    return pending[0] if pending else None
+
+
+@pytest.fixture
+def governor(predictor):
+    return ModelGovernor(predictor, CAP_W)
+
+
+@pytest.fixture
+def execution(processor, governor, rodinia_jobs):
+    """A verifier-clean execution that exercises preemption *and* migration."""
+    sim = SimCore(
+        processor,
+        governor,
+        penalties=PenaltyModel(checkpoint_s=0.5, restart_s=0.5, migrate_s=1.0),
+    )
+    sim.add_arrival(rodinia_jobs[0], 0.0, deadline_s=10.0)
+    sim.add_arrival(rodinia_jobs[1], 40.0)
+    sim.advance(fifo, until_s=5.0)
+    sim.migrate(DeviceKind.CPU)
+    sim.advance(fifo)
+    return sim.record()
+
+
+def invariants(violations):
+    return sorted({v.invariant for v in violations})
+
+
+class TestForgedExecutions:
+    def test_genuine_execution_is_clean(self, execution):
+        assert execution.preemptions and execution.violations
+        assert verify_execution(execution) == []
+
+    def test_overlapping_intervals_flag_timeline(self, execution):
+        iv = execution.timeline[0]
+        clone = DeviceInterval(
+            job="forged", device=iv.device, t0_s=iv.t0_s, t1_s=iv.t1_s
+        )
+        forged = replace(execution, timeline=execution.timeline + (clone,))
+        assert INVARIANT_EXEC_TIMELINE in invariants(verify_execution(forged))
+
+    def test_interval_beyond_makespan_flags_timeline(self, execution):
+        forged = replace(execution, makespan_s=execution.makespan_s / 2)
+        assert INVARIANT_EXEC_TIMELINE in invariants(verify_execution(forged))
+
+    def test_dropped_interval_flags_completion_chain(self, execution):
+        preempted = execution.preempted_jobs[0]
+        keep = tuple(
+            iv for iv in execution.timeline if iv.job != preempted
+        ) + execution.intervals_of(preempted)[:1]
+        forged = replace(execution, timeline=keep)
+        assert INVARIANT_EXEC_COMPLETION in invariants(verify_execution(forged))
+
+    def test_flipped_migration_flag_flags_completion_chain(self, execution):
+        rec = execution.preemptions[0]
+        forged = replace(
+            execution,
+            preemptions=(replace(rec, migrated=not rec.migrated),)
+            + execution.preemptions[1:],
+        )
+        assert INVARIANT_EXEC_COMPLETION in invariants(verify_execution(forged))
+
+    def test_tampered_busy_time_flags_accounting(self, execution):
+        forged = replace(execution, cpu_busy_s=execution.cpu_busy_s + 1.0)
+        assert invariants(verify_execution(forged)) == [INVARIANT_EXEC_BUSY]
+
+    def test_suppressed_miss_flags_deadline_accounting(self, execution):
+        forged = replace(execution, violations=())
+        assert invariants(verify_execution(forged)) == [INVARIANT_EXEC_DEADLINE]
+
+    def test_invented_miss_flags_deadline_accounting(self, execution):
+        miss = execution.violations[0]
+        forged = replace(
+            execution,
+            violations=execution.violations
+            + (replace(miss, job="never-submitted"),),
+        )
+        assert invariants(verify_execution(forged)) == [INVARIANT_EXEC_DEADLINE]
+
+    def test_check_execution_raises_structured(self, execution):
+        forged = replace(execution, cpu_busy_s=-1.0)
+        with pytest.raises(ScheduleInvariantError) as exc:
+            check_execution(forged, where="unit-test")
+        assert exc.value.where == "unit-test"
+        assert exc.value.violations
+        assert "unit-test" in str(exc.value)
+
+
+class TestTimeshareRecords:
+    def test_interval_checks_skip_empty_timelines(
+        self, processor, governor, rodinia_jobs
+    ):
+        result = run(
+            processor,
+            Scenario.timeshare(rodinia_jobs[:2], rodinia_jobs[2:4]),
+            governor=governor,
+        )
+        assert result.timeline == ()
+        assert verify_execution(result) == []

@@ -332,6 +332,73 @@ class TestRep006EngineWallClock:
         assert vs == []
 
 
+class TestRep007DeprecatedExecutors:
+    SNIPPET = """
+        from repro.engine import execute_schedule
+
+        def plan(processor, cpu_q, gpu_q, governor):
+            return execute_schedule(processor, cpu_q, gpu_q, governor)
+    """
+
+    def test_flags_shim_call(self, tmp_path):
+        vs = lint_snippet(tmp_path, "src/repro/experiments/old.py", self.SNIPPET)
+        assert codes(vs) == ["REP007"]
+        assert "engine.run()" in vs[0].message
+
+    def test_flags_attribute_call(self, tmp_path):
+        vs = lint_snippet(
+            tmp_path,
+            "src/repro/service/old.py",
+            """
+            import repro.engine as engine
+
+            def plan(processor, source, governor):
+                return engine.execute_online(processor, source, governor)
+            """,
+        )
+        assert codes(vs) == ["REP007"]
+
+    @pytest.mark.parametrize(
+        "home",
+        [
+            "src/repro/engine/timeline.py",
+            "src/repro/engine/arrivals.py",
+            "src/repro/engine/multiprog.py",
+            "src/repro/engine/__init__.py",
+        ],
+    )
+    def test_shim_home_modules_are_exempt(self, tmp_path, home):
+        assert lint_snippet(tmp_path, home, self.SNIPPET) == []
+
+    def test_tests_are_exempt(self, tmp_path):
+        assert (
+            lint_snippet(tmp_path, "tests/engine/test_old.py", self.SNIPPET) == []
+        )
+
+    def test_reference_without_call_is_fine(self, tmp_path):
+        vs = lint_snippet(
+            tmp_path,
+            "src/repro/experiments/doc.py",
+            """
+            from repro.engine import execute_schedule
+
+            LEGACY = {"fixed": execute_schedule}
+            """,
+        )
+        assert vs == []
+
+    def test_unrelated_call_is_fine(self, tmp_path):
+        vs = lint_snippet(
+            tmp_path,
+            "src/repro/experiments/ok.py",
+            """
+            def drive(engine, scenario):
+                return engine.run(scenario)
+            """,
+        )
+        assert vs == []
+
+
 class TestEngine:
     def test_trailing_noqa_suppresses(self, tmp_path):
         vs = lint_snippet(

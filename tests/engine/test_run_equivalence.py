@@ -1,0 +1,186 @@
+"""Byte-identity of ``engine.run()`` against the frozen legacy executors.
+
+The unified event core replaced four divergent executors; its contract is
+that every *non-preemptive* scenario replays **byte-identically** — same
+makespan bits, same completion records, same power-segment sequence — so
+every number published by earlier PRs survives the migration unchanged.
+The comparisons here are exact ``==`` on purpose, against the verbatim
+legacy copies in ``_reference.py`` (comparing against the deprecation
+shims would be vacuous: they forward to ``run()``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.invariants import SANITIZE_ENV
+from repro.core.api import schedule, scheduler_names
+from repro.core.baselines import RandomOnlineSource
+from repro.core.freqpolicy import ModelGovernor
+from repro.core.online import FifoOnlinePolicy, HcsOnlinePolicy
+from repro.engine.sim import Scenario, run
+from tests.engine._reference import (
+    reference_execute_default_schedule,
+    reference_execute_online,
+    reference_execute_schedule,
+    reference_execute_with_arrivals,
+)
+
+CAP_W = 15.0
+
+
+def assert_identical(execution, ref) -> None:
+    """Exact equality on the legacy ``ScheduleExecution`` field set."""
+    assert execution.makespan_s == ref.makespan_s  # repro: noqa REP003 -- byte-identity contract of the unified core
+    assert execution.completions == ref.completions
+    assert execution.segments == ref.segments
+    assert execution.cpu_busy_s == ref.cpu_busy_s
+    assert execution.gpu_busy_s == ref.gpu_busy_s
+
+
+class TestRegistryByteIdentity:
+    """All seven registry methods x both backends, sanitized."""
+
+    @pytest.mark.parametrize("backend", ["tensor", "scalar"])
+    @pytest.mark.parametrize("method", scheduler_names())
+    def test_every_method_replays_identically(
+        self, monkeypatch, processor, predictor, rodinia_jobs, method, backend
+    ):
+        monkeypatch.setenv(SANITIZE_ENV, "1")
+        result = schedule(
+            rodinia_jobs[:4],
+            method,
+            cap_w=CAP_W,
+            predictor=predictor,
+            seed=7,
+            backend=backend,
+        )
+        execution = run(
+            processor,
+            Scenario.from_schedule(result.schedule),
+            governor=result.governor,
+        )
+        ref = reference_execute_schedule(
+            processor,
+            list(result.schedule.cpu_queue),
+            list(result.schedule.gpu_queue),
+            result.governor,
+            solo_tail=list(result.schedule.solo_tail),
+        )
+        assert_identical(execution, ref)
+
+
+class TestScenarioByteIdentity:
+    def test_fixed_queues_with_solo_tail(self, processor, predictor, rodinia_jobs):
+        from repro.hardware.device import DeviceKind
+
+        cpu_q, gpu_q = rodinia_jobs[:2], rodinia_jobs[2:4]
+        tail = [(rodinia_jobs[4], DeviceKind.GPU), (rodinia_jobs[5], DeviceKind.CPU)]
+        execution = run(
+            processor,
+            Scenario.from_queues(cpu_q, gpu_q, solo_tail=tail),
+            governor=ModelGovernor(predictor, CAP_W),
+        )
+        ref = reference_execute_schedule(
+            processor, cpu_q, gpu_q, ModelGovernor(predictor, CAP_W),
+            solo_tail=tail,
+        )
+        assert_identical(execution, ref)
+
+    @pytest.mark.parametrize("policy_cls", [FifoOnlinePolicy, None])
+    def test_arrival_sequences_replay_identically(
+        self, processor, predictor, rodinia_jobs, policy_cls
+    ):
+        def make_policy():
+            if policy_cls is None:
+                return HcsOnlinePolicy(predictor, CAP_W)
+            return policy_cls()
+
+        arrivals = [(job, 11.0 * i) for i, job in enumerate(rodinia_jobs[:6])]
+        execution = run(
+            processor,
+            Scenario.from_arrivals(arrivals),
+            policy=make_policy(),
+            governor=ModelGovernor(predictor, CAP_W),
+        )
+        ref_sim = reference_execute_with_arrivals(
+            processor, arrivals, make_policy(), ModelGovernor(predictor, CAP_W)
+        )
+        assert_identical(execution, ref_sim.record())
+        assert execution.arrivals == ref_sim.arrivals
+        assert set(execution.starts) == set(ref_sim.starts)
+        for uid, ref_start in ref_sim.starts.items():
+            s = execution.starts[uid]
+            assert (s.job, s.kind, s.start_s, s.setting, s.partner) == (
+                ref_start.job,
+                ref_start.kind,
+                ref_start.start_s,
+                ref_start.setting,
+                ref_start.partner,
+            )
+
+    def test_online_source_replays_identically(
+        self, processor, predictor, rodinia_jobs
+    ):
+        execution = run(
+            processor,
+            Scenario(),
+            policy=RandomOnlineSource(rodinia_jobs, seed=11),
+            governor=ModelGovernor(predictor, CAP_W),
+        )
+        ref = reference_execute_online(
+            processor,
+            RandomOnlineSource(rodinia_jobs, seed=11),
+            ModelGovernor(predictor, CAP_W),
+        )
+        assert_identical(execution, ref)
+
+    def test_timeshare_replays_identically(
+        self, processor, predictor, rodinia_jobs
+    ):
+        execution = run(
+            processor,
+            Scenario.timeshare(rodinia_jobs[:3], rodinia_jobs[3:6]),
+            governor=ModelGovernor(predictor, CAP_W),
+        )
+        ref = reference_execute_default_schedule(
+            processor,
+            rodinia_jobs[:3],
+            rodinia_jobs[3:6],
+            ModelGovernor(predictor, CAP_W),
+        )
+        assert_identical(execution, ref)
+        assert execution.backend == "engine.timeshare"
+
+
+class TestEventDeterminism:
+    def test_event_order_is_deterministic_under_a_fixed_seed(
+        self, processor, predictor, rodinia_jobs
+    ):
+        def go():
+            return run(
+                processor,
+                Scenario(),
+                policy=RandomOnlineSource(rodinia_jobs, seed=5),
+                governor=ModelGovernor(predictor, CAP_W),
+                record_events=True,
+            )
+
+        a, b = go(), go()
+        assert a.events  # start + completion per job at minimum
+        assert a.events == b.events
+        assert a.events_processed == b.events_processed
+        stamps = [e.at_s for e in a.events]
+        assert stamps == sorted(stamps)
+
+    def test_different_seeds_can_diverge(self, processor, predictor, rodinia_jobs):
+        runs = {
+            run(
+                processor,
+                Scenario(),
+                policy=RandomOnlineSource(rodinia_jobs, seed=seed),
+                governor=ModelGovernor(predictor, CAP_W),
+            ).makespan_s
+            for seed in range(4)
+        }
+        assert len(runs) > 1

@@ -1,0 +1,424 @@
+"""Unit tests for the event core's new capabilities.
+
+The byte-identity of non-preemptive replays is pinned in
+``test_run_equivalence.py``; this file covers what the legacy executors
+could not do at all — mid-run preemption, CPU<->GPU migration, the
+``PenaltyModel`` accounting (checkpoint/restart, migration, warm-up
+degradation), deadlines, scheduled cap changes — plus the
+``ExecutionResult`` record and :func:`run`'s error surface.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.analysis.invariants import (
+    SANITIZE_ENV,
+    check_execution,
+    verify_execution,
+)
+from repro.core.freqpolicy import ModelGovernor
+from repro.engine.sim import (
+    EventKind,
+    JobSpec,
+    PenaltyModel,
+    Scenario,
+    SimCore,
+    run,
+)
+from repro.hardware.device import DeviceKind
+
+CAP_W = 15.0
+
+
+def cpu_only_policy(kind, pending, other, now):
+    """Serve the pool FIFO, CPU only; leave the GPU idle forever."""
+    if kind is DeviceKind.CPU and pending:
+        return pending[0]
+    return None
+
+
+def fifo_policy(kind, pending, other, now):
+    return pending[0] if pending else None
+
+
+@pytest.fixture
+def governor(predictor):
+    return ModelGovernor(predictor, CAP_W)
+
+
+def solo_cpu_makespan(processor, governor, job, penalties=None) -> float:
+    sim = SimCore(processor, governor, penalties=penalties)
+    sim.add_arrival(job, 0.0)
+    sim.advance(cpu_only_policy)
+    return sim.now
+
+
+class TestPreemption:
+    def test_preempt_moves_job_back_to_pending(
+        self, processor, governor, rodinia_jobs
+    ):
+        job = rodinia_jobs[0]
+        sim = SimCore(processor, governor)
+        sim.add_arrival(job, 0.0)
+        sim.advance(cpu_only_policy, until_s=5.0)
+        assert sim.running == {DeviceKind.CPU: job}
+        preempted = sim.preempt(DeviceKind.CPU)
+        assert preempted is job
+        assert sim.running == {}
+        assert sim.pending == (job,)
+
+    def test_preempt_idle_device_raises(self, processor, governor):
+        sim = SimCore(processor, governor)
+        with pytest.raises(RuntimeError, match="nothing to preempt"):
+            sim.preempt(DeviceKind.CPU)
+
+    def test_resume_pays_checkpoint_plus_restart(
+        self, processor, governor, rodinia_jobs
+    ):
+        job = rodinia_jobs[0]
+        baseline = solo_cpu_makespan(processor, governor, job)
+        penalties = PenaltyModel(checkpoint_s=1.0, restart_s=2.0)
+        sim = SimCore(processor, governor, penalties=penalties)
+        sim.add_arrival(job, 0.0)
+        sim.advance(cpu_only_policy, until_s=5.0)
+        sim.preempt(DeviceKind.CPU)
+        sim.advance(cpu_only_policy)
+        assert sim.now == pytest.approx(baseline + penalties.resume_cost_s)
+        (rec,) = sim.record().preemptions
+        assert rec.job == job.uid
+        assert not rec.migrated
+        assert rec.resumed_device == "cpu"
+        assert rec.penalty_s == pytest.approx(3.0)
+
+    def test_resumed_completion_keeps_first_launch_start(
+        self, processor, governor, rodinia_jobs
+    ):
+        job = rodinia_jobs[0]
+        sim = SimCore(processor, governor)
+        sim.add_arrival(job, 0.0)
+        sim.advance(cpu_only_policy, until_s=5.0)
+        sim.preempt(DeviceKind.CPU)
+        sim.advance(cpu_only_policy)
+        (completion,) = sim.completions
+        assert completion.start_s == 0.0
+        result = sim.record()
+        assert len(result.intervals_of(job.uid)) == 2
+        assert result.preempted_jobs == (job.uid,)
+
+    def test_warmup_degradation_stretches_the_run(
+        self, processor, governor, rodinia_jobs
+    ):
+        job = rodinia_jobs[0]
+        baseline = solo_cpu_makespan(processor, governor, job)
+        penalties = PenaltyModel(warmup_s=4.0, warmup_factor=2.0)
+        sim = SimCore(processor, governor, penalties=penalties)
+        sim.add_arrival(job, 0.0)
+        sim.advance(cpu_only_policy, until_s=5.0)
+        sim.preempt(DeviceKind.CPU)
+        sim.advance(cpu_only_policy)
+        # During the 4 s warm-up window the job progresses at half speed:
+        # it loses warmup_s * (1 - 1/warmup_factor) = 2 s of progress.
+        assert sim.now == pytest.approx(baseline + 2.0)
+
+    def test_preempted_replay_passes_the_verifier(
+        self, processor, governor, rodinia_jobs
+    ):
+        penalties = PenaltyModel(checkpoint_s=0.5, restart_s=0.5)
+        sim = SimCore(processor, governor, penalties=penalties)
+        for i, job in enumerate(rodinia_jobs[:4]):
+            sim.add_arrival(job, 3.0 * i)
+        sim.advance(fifo_policy, until_s=20.0)
+        for kind in (DeviceKind.CPU, DeviceKind.GPU):
+            if kind in sim.running:
+                sim.preempt(kind)
+        sim.advance(fifo_policy)
+        result = sim.record()
+        assert result.preemptions
+        assert verify_execution(result) == []
+        check_execution(result)  # raising variant agrees
+
+
+class TestMigration:
+    def test_migrate_resumes_on_the_other_device(
+        self, processor, governor, rodinia_jobs
+    ):
+        job = rodinia_jobs[0]
+        penalties = PenaltyModel(checkpoint_s=1.0, restart_s=1.0, migrate_s=2.5)
+        sim = SimCore(processor, governor, penalties=penalties)
+        sim.add_arrival(job, 0.0)
+        sim.advance(cpu_only_policy, until_s=5.0)
+        moved = sim.migrate(DeviceKind.CPU)
+        assert moved is job
+        assert sim.running == {DeviceKind.GPU: job}
+        sim.advance(cpu_only_policy)
+        result = sim.record()
+        (rec,) = result.preemptions
+        assert rec.migrated
+        assert rec.from_device == "cpu"
+        assert rec.resumed_device == "gpu"
+        assert rec.resumed_s == pytest.approx(5.0)
+        assert rec.penalty_s == pytest.approx(penalties.resume_cost_s + 2.5)
+        devices = [iv.device for iv in result.intervals_of(job.uid)]
+        assert devices == ["cpu", "gpu"]
+        assert verify_execution(result) == []
+        (completion,) = result.completions
+        assert completion.kind == "gpu"
+
+    def test_migrate_onto_busy_device_raises(
+        self, processor, governor, rodinia_jobs
+    ):
+        sim = SimCore(processor, governor)
+        sim.add_arrival(rodinia_jobs[0], 0.0)
+        sim.add_arrival(rodinia_jobs[1], 0.0)
+        sim.advance(fifo_policy, until_s=2.0)
+        assert len(sim.running) == 2
+        with pytest.raises(RuntimeError, match="busy"):
+            sim.migrate(DeviceKind.CPU)
+
+
+class TestDeadlines:
+    def test_finished_late_and_on_time(self, processor, governor, rodinia_jobs):
+        jobs = rodinia_jobs[:2]
+        scenario = Scenario(
+            jobs=(
+                JobSpec(job=jobs[0], arrival_s=0.0, deadline_s=1.0),
+                JobSpec(job=jobs[1], arrival_s=0.0, deadline_s=10_000.0),
+            )
+        )
+        result = run(processor, scenario, policy=fifo_policy, governor=governor)
+        assert result.deadline_misses == 1
+        (miss,) = result.violations
+        assert miss.job == jobs[0].uid
+        assert miss.finish_s is not None
+        assert miss.lateness_s == pytest.approx(miss.finish_s - 1.0)
+        assert verify_execution(result) == []
+
+    def test_unfinished_job_counts_as_missed(
+        self, processor, governor, rodinia_jobs
+    ):
+        job = rodinia_jobs[0]
+        scenario = Scenario(
+            jobs=(JobSpec(job=job, arrival_s=0.0, deadline_s=2.0),),
+            until_s=5.0,
+        )
+        result = run(processor, scenario, policy=fifo_policy, governor=governor)
+        assert result.completions == ()
+        (miss,) = result.violations
+        assert miss.finish_s is None
+        assert miss.lateness_s == pytest.approx(3.0)
+        assert verify_execution(result) == []
+
+    def test_deadline_tampering_is_flagged(
+        self, processor, governor, rodinia_jobs
+    ):
+        from dataclasses import replace
+
+        job = rodinia_jobs[0]
+        scenario = Scenario(
+            jobs=(JobSpec(job=job, arrival_s=0.0, deadline_s=1.0),)
+        )
+        result = run(processor, scenario, policy=fifo_policy, governor=governor)
+        forged = replace(result, violations=())
+        violations = verify_execution(forged)
+        assert [v.invariant for v in violations] == ["deadline-accounting"]
+
+    def test_deadline_must_follow_arrival(self, rodinia_jobs):
+        with pytest.raises(ValueError, match="deadline precedes arrival"):
+            JobSpec(job=rodinia_jobs[0], arrival_s=5.0, deadline_s=1.0)
+
+
+class TestCapChanges:
+    def test_scheduled_governor_swap_applies_mid_run(
+        self, processor, rodinia_jobs
+    ):
+        from repro.hardware.frequency import FrequencySetting
+
+        fast_setting = FrequencySetting(
+            cpu_ghz=processor.cpu.domain.fmax, gpu_ghz=processor.gpu.domain.fmax
+        )
+        slow_setting = FrequencySetting(
+            cpu_ghz=processor.cpu.domain.fmin, gpu_ghz=processor.gpu.domain.fmin
+        )
+        fast = lambda cpu_job, gpu_job: fast_setting  # noqa: E731
+        slow = lambda cpu_job, gpu_job: slow_setting  # noqa: E731
+        scenario = Scenario.from_queues(
+            [rodinia_jobs[0]], [rodinia_jobs[1]], cap_changes=((4.0, slow),)
+        )
+        swapped = run(processor, scenario, governor=fast, record_events=True)
+        steady = run(
+            processor,
+            Scenario.from_queues([rodinia_jobs[0]], [rodinia_jobs[1]]),
+            governor=fast,
+        )
+        assert any(e.kind is EventKind.CAP_CHANGE for e in swapped.events)
+        assert swapped.makespan_s > steady.makespan_s
+        assert verify_execution(swapped) == []
+
+
+class PreemptEveryArrival:
+    """FIFO placement that preempts the CPU job at each new arrival."""
+
+    stuck_message = "preempting policy declined to place a job"
+
+    def __init__(self, limit: int = 3):
+        self.limit = limit
+
+    def __call__(self, kind, pending, other, now):
+        return pending[0] if pending else None
+
+    def on_event(self, sim, event):
+        if (
+            event.kind is EventKind.ARRIVAL
+            and self.limit > 0
+            and DeviceKind.CPU in sim.running
+        ):
+            self.limit -= 1
+            sim.preempt(DeviceKind.CPU)
+
+
+class TestRunWithPreemption:
+    def test_sanitized_preemptive_run_is_verifier_clean(
+        self, monkeypatch, processor, governor, rodinia_jobs
+    ):
+        monkeypatch.setenv(SANITIZE_ENV, "1")
+        scenario = Scenario.from_arrivals(
+            [(job, 7.0 * i) for i, job in enumerate(rodinia_jobs[:5])],
+            penalties=PenaltyModel(
+                checkpoint_s=0.5,
+                restart_s=0.5,
+                migrate_s=1.0,
+                warmup_s=2.0,
+                warmup_factor=1.5,
+            ),
+        )
+        # run() sanitizes internally (REPRO_SANITIZE=1) — it would raise
+        # on any inconsistent timeline the preemptions produced.
+        result = run(
+            processor,
+            scenario,
+            policy=PreemptEveryArrival(),
+            governor=governor,
+        )
+        assert result.preemptions
+        assert len(result.completions) == 5
+        assert verify_execution(result) == []
+
+
+class TestExecutionRecord:
+    def test_to_dict_is_json_stable(self, processor, governor, rodinia_jobs):
+        scenario = Scenario(
+            jobs=(
+                JobSpec(job=rodinia_jobs[0], arrival_s=0.0, deadline_s=1.0),
+                JobSpec(job=rodinia_jobs[1], arrival_s=2.0),
+            )
+        )
+        result = run(
+            processor, scenario, policy=fifo_policy, governor=governor,
+            record_events=True,
+        )
+        payload = result.to_dict()
+        assert payload["schema"] == 1
+        for key in (
+            "makespan_s",
+            "completions",
+            "segments_n",
+            "energy_j",
+            "timeline",
+            "preemptions",
+            "violations",
+            "deadlines",
+            "arrivals",
+            "starts",
+            "objective",
+            "backend",
+            "events_processed",
+        ):
+            assert key in payload
+        round_tripped = json.loads(json.dumps(payload))
+        assert round_tripped["backend"] == "engine.sim"
+
+    def test_events_recorded_only_on_request(
+        self, processor, governor, rodinia_jobs
+    ):
+        scenario = Scenario.from_arrivals([(rodinia_jobs[0], 0.0)])
+        quiet = run(processor, scenario, policy=fifo_policy, governor=governor)
+        chatty = run(
+            processor, scenario, policy=fifo_policy, governor=governor,
+            record_events=True,
+        )
+        assert quiet.events == ()
+        assert chatty.events
+        assert quiet.events_processed == chatty.events_processed
+        assert chatty.events_processed > len(chatty.completions)
+
+
+class TestPenaltyModelValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"checkpoint_s": -1.0},
+            {"restart_s": -0.1},
+            {"migrate_s": -2.0},
+            {"warmup_s": -0.5},
+        ],
+    )
+    def test_negative_costs_rejected(self, kwargs):
+        with pytest.raises(ValueError, match="non-negative"):
+            PenaltyModel(**kwargs)
+
+    def test_warmup_factor_must_degrade(self):
+        with pytest.raises(ValueError, match="warmup_factor"):
+            PenaltyModel(warmup_factor=0.5)
+
+
+class TestRunErrors:
+    def test_fixed_scenario_rejects_policy(
+        self, processor, governor, rodinia_jobs
+    ):
+        scenario = Scenario.from_queues([rodinia_jobs[0]], [])
+        with pytest.raises(ValueError, match="fixed scenarios"):
+            run(processor, scenario, policy=fifo_policy, governor=governor)
+
+    def test_arrival_scenario_needs_policy(
+        self, processor, governor, rodinia_jobs
+    ):
+        scenario = Scenario.from_arrivals([(rodinia_jobs[0], 0.0)])
+        with pytest.raises(ValueError, match="needs a policy"):
+            run(processor, scenario, governor=governor)
+
+    def test_duplicate_jobs_rejected(self, processor, governor, rodinia_jobs):
+        job = rodinia_jobs[0]
+        scenario = Scenario.from_queues([job], [job])
+        with pytest.raises(ValueError, match="more than once"):
+            run(processor, scenario, governor=governor)
+
+    def test_governor_required(self, processor, rodinia_jobs):
+        scenario = Scenario.from_queues([rodinia_jobs[0]], [])
+        with pytest.raises(TypeError, match="governor"):
+            run(processor, scenario)
+
+    def test_until_bound_lands_on_the_boundary(
+        self, processor, governor, rodinia_jobs
+    ):
+        scenario = Scenario.from_arrivals(
+            [(rodinia_jobs[0], 0.0)], until_s=3.0
+        )
+        result = run(processor, scenario, policy=fifo_policy, governor=governor)
+        assert result.makespan_s == pytest.approx(3.0)
+        assert result.completions == ()
+
+    def test_withdraw_unstarted_job(self, processor, governor, rodinia_jobs):
+        sim = SimCore(processor, governor)
+        sim.add_arrival(rodinia_jobs[0], 0.0)
+        sim.add_arrival(rodinia_jobs[1], 50.0)
+        taken = sim.withdraw(rodinia_jobs[1].uid)
+        assert taken is rodinia_jobs[1]
+        sim.advance(fifo_policy)
+        assert math.isfinite(sim.now)
+        assert len(sim.completions) == 1
+        with pytest.raises(KeyError):
+            sim.withdraw(rodinia_jobs[0].uid)
