@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test lint analyze bench bench-backend bench-sim bench-all experiments report calibration examples clean
+.PHONY: install test lint analyze bench bench-backend bench-sim bench-service bench-all experiments report calibration examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -16,7 +16,7 @@ lint: analyze
 	mypy src/repro
 	python tools/check_calibration.py
 
-# Repo-specific REP001-REP007 AST rules (same gate as `repro analyze` in CI).
+# Repo-specific REP001-REP008 AST rules (same gate as `repro analyze` in CI).
 analyze:
 	python -m repro.analysis.lint src tests tools
 
@@ -33,6 +33,12 @@ bench-backend:
 bench-sim:
 	pytest benchmarks/test_sim_core.py -q
 	python tools/check_bench.py --sim-only
+
+# The service-tier gate: 10k+ submissions/s through the async front end,
+# p99 turnaround recorded, graceful backpressure under 2x overload.
+bench-service:
+	pytest benchmarks/test_service_throughput.py -q
+	python tools/check_bench.py --service-only
 
 bench-all:
 	pytest benchmarks/ --benchmark-only

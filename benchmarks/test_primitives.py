@@ -11,7 +11,7 @@ import pytest
 from repro.hardware.calibration import make_ivy_bridge
 from repro.hardware.device import DeviceKind
 from repro.engine.corun import steady_degradation
-from repro.engine.timeline import execute_schedule
+from repro.engine.sim import Scenario, run
 from repro.model.characterize import characterize_space
 from repro.model.predictor import CoRunPredictor
 from repro.model.profiler import profile_workload
@@ -75,12 +75,10 @@ def test_bench_schedule_execution(benchmark, env):
     processor, jobs, _, _, predictor = env
     hcs = hcs_schedule(predictor, jobs, 15.0)
     governor = ModelGovernor(predictor, 15.0)
-    execution = benchmark(
-        execute_schedule,
-        processor,
+    scenario = Scenario.from_queues(
         hcs.schedule.cpu_queue,
         hcs.schedule.gpu_queue,
-        governor,
         solo_tail=hcs.schedule.solo_tail,
     )
+    execution = benchmark(run, processor, scenario, governor=governor)
     assert execution.makespan_s > 0

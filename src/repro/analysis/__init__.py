@@ -13,12 +13,19 @@ Two halves, both independent of the code they check:
   ``REPRO_SANITIZE=1`` / ``ctx.with_sanitizer()`` sanitizer mode re-runs
   them after every registry scheduler, refinement pass, ``engine.run()``
   execution, and service batch.
+* :mod:`repro.analysis.storecheck` — a **store-log verifier**:
+  :func:`verify_store_log` refolds a durable shard's event log from
+  scratch and checks that snapshot-plus-suffix recovery reproduces it
+  exactly, with no double completions, contested idempotency keys, or
+  orphan events — the referee the durability e2e suite calls after
+  ``kill -9``.
 * :mod:`repro.analysis.lint` — a repo-specific **AST lint pack**
-  (``python -m repro.analysis.lint src tests tools``; rules REP001-REP007)
+  (``python -m repro.analysis.lint src tests tools``; rules REP001-REP008)
   enforcing the architectural conventions that keep the above true:
   contexts instead of raw plumbing, seeded RNGs, tolerance-based float
-  comparisons, cache-respecting evaluation, locked service state, and a
-  wall-clock-free engine.
+  comparisons, cache-respecting evaluation, locked service state, a
+  wall-clock-free engine, no removed-shim reintroduction, and
+  event-log-only store mutation.
 """
 
 from repro.analysis.invariants import (
@@ -44,6 +51,13 @@ from repro.analysis.invariants import (
     verify_execution,
     verify_schedule,
 )
+from repro.analysis.storecheck import (
+    STORE_INVARIANTS,
+    check_store_log,
+    verify_store,
+    verify_store_dir,
+    verify_store_log,
+)
 from repro.errors import ScheduleInvariantError
 
 __all__ = [
@@ -59,14 +73,19 @@ __all__ = [
     "INVARIANT_PARTITION",
     "INVARIANT_POWER_CAP",
     "SANITIZE_ENV",
+    "STORE_INVARIANTS",
     "ScheduleInvariantError",
     "Violation",
     "check_execution",
     "check_schedule",
+    "check_store_log",
     "env_sanitizer_enabled",
     "maybe_check_execution",
     "maybe_check_schedule",
     "sanitizer_enabled",
     "verify_execution",
     "verify_schedule",
+    "verify_store",
+    "verify_store_dir",
+    "verify_store_log",
 ]

@@ -1,4 +1,4 @@
-"""The REP001-REP007 rule catalog (see docs/ANALYSIS.md for the rationale).
+"""The REP001-REP008 rule catalog (see docs/ANALYSIS.md for the rationale).
 
 Each rule enforces a convention this codebase relies on for correctness but
 that nothing machine-checked before:
@@ -18,8 +18,10 @@ that nothing machine-checked before:
 * REP006 — ``repro.engine`` runs on the simulated timeline; wall-clock
   calls are banned there.
 * REP007 — executions go through the unified ``engine.run()`` entry
-  point; the deprecated ``execute_*`` shims are for their own modules
-  (and the tests that pin them) only.
+  point; the removed ``execute_*`` shims must not be reintroduced.
+* REP008 — durable job-store state changes flow through the event-log
+  API (``commit``/``flush``/``fold``); no other store/service module may
+  reach into a store's ``_state`` / ``_log`` internals directly.
 """
 
 from __future__ import annotations
@@ -383,13 +385,14 @@ class EngineWallClockRule(LintRule):
 
 class DeprecatedExecutorRule(LintRule):
     code = "REP007"
-    title = "call to a deprecated execute_* engine shim"
+    title = "call to a removed execute_* engine shim"
     rationale = (
         "engine.run() replaced execute_schedule/execute_online/"
-        "execute_with_arrivals/execute_default_schedule; the shims only"
-        " warn and forward, will be removed next release, and skip the"
-        " Scenario features (deadlines, cap traces, penalties) the unified"
-        " entry point carries. Build a Scenario and call engine.run()."
+        "execute_with_arrivals/execute_default_schedule; the deprecation"
+        " shims have completed their one-release grace period and are"
+        " gone, so a call site is either dead code or a reintroduction of"
+        " the pre-Scenario surface. Build a Scenario and call"
+        " engine.run()."
     )
 
     _SHIMS = {
@@ -398,14 +401,12 @@ class DeprecatedExecutorRule(LintRule):
         "execute_with_arrivals",
         "execute_default_schedule",
     }
-    #: The shims' home modules — the forwarding definitions themselves (and
-    #: the engine package re-exporting them) are not call sites.
-    _HOMES = {"timeline.py", "arrivals.py", "multiprog.py", "__init__.py"}
 
     def applies_to(self, path: PurePath) -> bool:
-        if is_test_path(path):
-            return False  # the shim contract itself is pinned by tests
-        return not (path_in_layer(path, "engine") and path.name in self._HOMES)
+        # The shims no longer exist anywhere in src/, so no module is
+        # exempt; tests stay out because the legacy reference copies
+        # (tests/engine/_reference.py) deliberately keep the old names.
+        return not is_test_path(path)
 
     def findings(self, tree: ast.Module, path: PurePath) -> Iterator[Finding]:
         for node in ast.walk(tree):
@@ -414,9 +415,57 @@ class DeprecatedExecutorRule(LintRule):
                 if chain and chain[-1] in self._SHIMS:
                     yield Finding(
                         node,
-                        f"deprecated {chain[-1]}() shim called; build a"
+                        f"removed {chain[-1]}() shim called; build a"
                         " Scenario and call repro.engine.run()",
                     )
+
+
+class StoreBypassRule(LintRule):
+    code = "REP008"
+    title = "job-store internals touched outside the event-log API"
+    rationale = (
+        "Crash recovery replays the event log into a fresh fold; any state"
+        " reached by mutating a store's '_state' or '_log' directly never"
+        " hits the log, so it silently evaporates on restart and breaks"
+        " the snapshot+suffix == full-replay invariant. Emit an event and"
+        " commit()/flush() it instead."
+    )
+
+    #: Internals of :class:`repro.store.store.JobStore` (and its event
+    #: logs) that only the store's own module may touch.
+    _INTERNALS = {"_state", "_log"}
+    #: The event-log API's home modules: the only place the internals are
+    #: legitimately the receiver's own representation.
+    _HOMES = {"store.py", "log.py"}
+
+    def applies_to(self, path: PurePath) -> bool:
+        if is_test_path(path):
+            return False
+        if path_in_layer(path, "store"):
+            return path.name not in self._HOMES
+        return path_in_layer(path, "service")
+
+    def findings(self, tree: ast.Module, path: PurePath) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in self._INTERNALS
+            ):
+                # A class touching its *own* private attribute is fine
+                # (that is just normal encapsulation); reaching through
+                # another object — `store._state`, `self.store._log` — is
+                # the bypass this rule exists for.
+                if (
+                    isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                ):
+                    continue
+                yield Finding(
+                    node,
+                    f"'{node.attr}' of another object accessed directly;"
+                    " job-store state changes must go through the"
+                    " event-log API (commit an event and flush)",
+                )
 
 
 #: The shipped rule set, in catalog order.
@@ -428,4 +477,5 @@ ALL_RULES: tuple[LintRule, ...] = (
     UnlockedServiceStateRule(),
     EngineWallClockRule(),
     DeprecatedExecutorRule(),
+    StoreBypassRule(),
 )

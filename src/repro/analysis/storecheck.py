@@ -1,0 +1,342 @@
+"""Independent verification of the durable job store's event log.
+
+The store's contract (:mod:`repro.store`) is that in-memory state is
+*nothing but* a fold over the append-only event log: recovery loads the
+last snapshot and replays the suffix, and the result must be
+indistinguishable from refolding the whole log from scratch.  This module
+checks that contract without trusting the store's own recovery path:
+
+* :func:`verify_store_log` refolds the complete log independently and
+  compares it against the snapshot-plus-suffix state the store would
+  recover, then audits the raw event stream for lifecycle violations the
+  fold's own validation could mask after a partial replay — a second
+  ``JobCompleted`` for the same job, two ``JobSubmitted`` events claiming
+  one idempotency key, admission/scheduling events for jobs the log never
+  submitted, and completed/rejected counters that do not match a recount.
+* :func:`verify_store` referees a live :class:`~repro.store.JobStore`:
+  its in-memory state must equal the fold of its own flushed log plus the
+  staged-but-unflushed suffix.  Divergence means something mutated store
+  state outside the event API — the dynamic counterpart of the REP008
+  lint rule.
+
+Violations come back as the same structured
+:class:`~repro.analysis.invariants.Violation` records the schedule and
+execution verifiers use, so callers can report all problems at once;
+:func:`check_store_log` raises
+:class:`~repro.errors.ScheduleInvariantError` when any are found.
+
+The store is imported lazily inside the verifier bodies so importing
+:mod:`repro.analysis` (which the engine's sanitizer hooks do) never drags
+in the service tier's persistence stack.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from pathlib import Path
+
+from repro.errors import ScheduleInvariantError
+from repro.analysis.invariants import Violation
+
+#: Store-log invariant identifiers (the ``Violation.invariant`` vocabulary).
+INVARIANT_STORE_REPLAY = "store-replay"
+INVARIANT_STORE_TRANSITION = "store-transition"
+INVARIANT_STORE_COMPLETION = "store-completion"
+INVARIANT_STORE_IDEMPOTENCY = "store-idempotency"
+INVARIANT_STORE_ACCOUNTING = "store-accounting"
+
+STORE_INVARIANTS = (
+    INVARIANT_STORE_REPLAY,
+    INVARIANT_STORE_TRANSITION,
+    INVARIANT_STORE_COMPLETION,
+    INVARIANT_STORE_IDEMPOTENCY,
+    INVARIANT_STORE_ACCOUNTING,
+)
+
+
+def _fold_all(log) -> tuple[object | None, int, list[Violation]]:
+    """Refold the whole log from seq 0, reporting any illegal transition."""
+    from repro.store import StoreIntegrityError
+    from repro.store.store import StoreState
+
+    state = StoreState()
+    last_seq = 0
+    for seq, event in log.replay(0):
+        try:
+            state.apply(event)
+        except StoreIntegrityError as exc:
+            return None, last_seq, [
+                Violation(
+                    INVARIANT_STORE_TRANSITION,
+                    f"event {seq} does not fold onto the preceding log: {exc}",
+                    {"seq": seq, "event": type(event).__name__},
+                )
+            ]
+        last_seq = seq
+    return state, last_seq, []
+
+
+def _fold_recovered(log) -> tuple[object | None, list[Violation]]:
+    """Fold the way recovery does: last snapshot plus the log suffix."""
+    from repro.store import StoreIntegrityError
+    from repro.store.store import StoreState
+
+    loaded = log.load_snapshot()
+    if loaded is None:
+        state, after = StoreState(), 0
+    else:
+        after, payload = loaded
+        if after > log.last_seq:
+            return None, [
+                Violation(
+                    INVARIANT_STORE_REPLAY,
+                    f"snapshot covers seq {after} but the log ends at "
+                    f"{log.last_seq} — snapshot ahead of its own log",
+                    {"snapshot_seq": after, "last_seq": log.last_seq},
+                )
+            ]
+        state = StoreState.from_dict(payload)
+    for seq, event in log.replay(after):
+        try:
+            state.apply(event)
+        except StoreIntegrityError as exc:
+            return None, [
+                Violation(
+                    INVARIANT_STORE_REPLAY,
+                    f"log suffix does not fold onto the snapshot at event "
+                    f"{seq}: {exc}",
+                    {"seq": seq, "event": type(event).__name__},
+                )
+            ]
+    return state, []
+
+
+def _audit_stream(log) -> list[Violation]:
+    """Recount lifecycle facts straight from the raw event stream."""
+    from repro.store import JobCompleted, JobSubmitted
+
+    out: list[Violation] = []
+    submitted: set[str] = set()
+    completions: Counter[str] = Counter()
+    key_owners: dict[str, str] = {}
+    for seq, event in log.replay(0):
+        if isinstance(event, JobSubmitted):
+            submitted.add(event.job_id)
+            key = event.idempotency_key
+            if key is not None:
+                owner = key_owners.setdefault(key, event.job_id)
+                if owner != event.job_id:
+                    out.append(
+                        Violation(
+                            INVARIANT_STORE_IDEMPOTENCY,
+                            f"idempotency key {key!r} claimed by both "
+                            f"{owner!r} and {event.job_id!r}",
+                            {"seq": seq, "key": key},
+                        )
+                    )
+        elif isinstance(event, JobCompleted):
+            completions[event.job_id] += 1
+        job_id = getattr(event, "job_id", None)
+        if job_id is not None and job_id not in submitted:
+            out.append(
+                Violation(
+                    INVARIANT_STORE_TRANSITION,
+                    f"event {seq} ({type(event).__name__}) references job "
+                    f"{job_id!r} before any JobSubmitted",
+                    {"seq": seq, "job_id": job_id},
+                )
+            )
+    for job_id, count in sorted(completions.items()):
+        if count > 1:
+            out.append(
+                Violation(
+                    INVARIANT_STORE_COMPLETION,
+                    f"job {job_id!r} completed {count} times — an "
+                    f"acknowledged result was re-delivered",
+                    {"job_id": job_id, "completions": count},
+                )
+            )
+    return out
+
+
+def _diff_states(full, recovered) -> list[Violation]:
+    """Field-by-field comparison of two folds, reported per divergence."""
+    out: list[Violation] = []
+    full_d, rec_d = full.to_dict(), recovered.to_dict()
+    for field in ("cap_w", "now_s", "completed", "rejected"):
+        if full_d[field] != rec_d[field]:
+            out.append(
+                Violation(
+                    INVARIANT_STORE_REPLAY,
+                    f"snapshot+suffix recovery disagrees with a full refold "
+                    f"on {field}: {rec_d[field]!r} != {full_d[field]!r}",
+                    {"field": field},
+                )
+            )
+    if full_d["idempotency"] != rec_d["idempotency"]:
+        out.append(
+            Violation(
+                INVARIANT_STORE_REPLAY,
+                "snapshot+suffix recovery disagrees with a full refold on "
+                "the idempotency index",
+                {"field": "idempotency"},
+            )
+        )
+    all_ids = set(full_d["jobs"]) | set(rec_d["jobs"])
+    for job_id in sorted(all_ids):
+        if full_d["jobs"].get(job_id) != rec_d["jobs"].get(job_id):
+            out.append(
+                Violation(
+                    INVARIANT_STORE_REPLAY,
+                    f"snapshot+suffix recovery disagrees with a full refold "
+                    f"on job {job_id!r}",
+                    {
+                        "job_id": job_id,
+                        "full": full_d["jobs"].get(job_id),
+                        "recovered": rec_d["jobs"].get(job_id),
+                    },
+                )
+            )
+    return out
+
+
+def _audit_counters(state) -> list[Violation]:
+    """The fold's running counters must survive an independent recount."""
+    from repro.store.store import DONE, REJECTED
+
+    out: list[Violation] = []
+    done = sum(1 for j in state.jobs.values() if j.state == DONE)
+    rejected = sum(1 for j in state.jobs.values() if j.state == REJECTED)
+    if state.completed != done:
+        out.append(
+            Violation(
+                INVARIANT_STORE_ACCOUNTING,
+                f"completed counter says {state.completed} but "
+                f"{done} jobs are in state 'done'",
+                {"counter": state.completed, "recount": done},
+            )
+        )
+    if state.rejected != rejected:
+        out.append(
+            Violation(
+                INVARIANT_STORE_ACCOUNTING,
+                f"rejected counter says {state.rejected} but "
+                f"{rejected} jobs are in state 'rejected'",
+                {"counter": state.rejected, "recount": rejected},
+            )
+        )
+    for key, job_id in sorted(state.idempotency.items()):
+        if job_id not in state.jobs:
+            out.append(
+                Violation(
+                    INVARIANT_STORE_IDEMPOTENCY,
+                    f"idempotency key {key!r} points at unknown job "
+                    f"{job_id!r}",
+                    {"key": key, "job_id": job_id},
+                )
+            )
+    return out
+
+
+def verify_store_log(log) -> list[Violation]:
+    """Verify one shard's event log end to end.
+
+    ``log`` is any :class:`~repro.store.EventLog`.  Returns every broken
+    invariant (empty list = the log is sound): the full refold must
+    succeed, snapshot+suffix recovery must reproduce it exactly, the raw
+    stream must contain no double completions, no contested idempotency
+    keys, and no events for never-submitted jobs, and the fold's counters
+    must survive a recount.
+    """
+    full, _, violations = _fold_all(log)
+    if violations:
+        # The log itself is corrupt; the stream audit still runs so the
+        # caller sees every independent problem, but state comparisons
+        # are meaningless without a clean fold.
+        return violations + _audit_stream(log)
+    recovered, rec_violations = _fold_recovered(log)
+    out = list(rec_violations)
+    if recovered is not None:
+        out.extend(_diff_states(full, recovered))
+    out.extend(_audit_stream(log))
+    out.extend(_audit_counters(full))
+    return out
+
+
+def verify_store_dir(durable_dir: str | Path, shards: int = 1) -> list[Violation]:
+    """Open and verify every shard log under ``durable_dir``.
+
+    Convenience wrapper for the durability e2e suite: violations from
+    shard *n* carry ``{"shard": n}`` in their details.
+    """
+    from repro.store import open_log
+
+    out: list[Violation] = []
+    for shard in range(shards):
+        log = open_log(durable_dir, shard)
+        try:
+            for v in verify_store_log(log):
+                out.append(
+                    Violation(
+                        v.invariant, f"shard {shard}: {v.message}",
+                        {**dict(v.details), "shard": shard},
+                    )
+                )
+        finally:
+            log.close()
+    return out
+
+
+def verify_store(store) -> list[Violation]:
+    """Referee a live :class:`~repro.store.JobStore`.
+
+    On top of the log checks, the store's in-memory state must equal the
+    fold of its flushed log plus the staged (committed-but-unflushed)
+    suffix.  Any divergence means state was mutated outside the event
+    API — the dynamic counterpart of the REP008 lint rule.
+    """
+    out = verify_store_log(store.log)
+    full, _, fold_violations = _fold_all(store.log)
+    if full is not None and not fold_violations:
+        from repro.store import StoreIntegrityError
+
+        try:
+            for event in store._pending:
+                full.apply(event)
+        except StoreIntegrityError as exc:
+            out.append(
+                Violation(
+                    INVARIANT_STORE_TRANSITION,
+                    f"staged (unflushed) events do not fold onto the "
+                    f"durable log: {exc}",
+                    {},
+                )
+            )
+        else:
+            for v in _diff_states(full, store.state):
+                out.append(
+                    Violation(
+                        v.invariant,
+                        v.message.replace(
+                            "snapshot+suffix recovery",
+                            "the store's in-memory state",
+                        ),
+                        v.details,
+                    )
+                )
+    return out
+
+
+def check_store_log(log, *, where: str = "store") -> None:
+    """Raise :class:`ScheduleInvariantError` if ``log`` breaks an invariant."""
+    violations = verify_store_log(log)
+    if violations:
+        summary = "; ".join(str(v) for v in violations[:5])
+        if len(violations) > 5:
+            summary += f"; ... {len(violations) - 5} more"
+        raise ScheduleInvariantError(
+            f"store log at {where} breaks {len(violations)} invariant(s): "
+            f"{summary}",
+            where=where,
+            violations=tuple(violations),
+        )

@@ -7,8 +7,11 @@ selected experiment whose driver supports them (see
 :class:`repro.experiments.registry.ExperimentConfig`).
 
 ``python -m repro serve`` starts the online co-scheduling daemon instead
-(see :mod:`repro.service`): it listens for newline-delimited JSON job
-submissions, schedules them live, and reacts to power-cap events.
+(see :mod:`repro.service` and ``docs/SERVICE.md``): an asyncio front end
+over tenant-sharded workers that listens for newline-delimited JSON job
+submissions, schedules them live, reacts to power-cap events, and — with
+``--durable`` — journals every transition through :mod:`repro.store` so
+acknowledged work survives a crash.
 
 ``python -m repro schedule`` computes one co-schedule from the command
 line — any registry method, any objective (``--objective
@@ -21,7 +24,7 @@ makespan, energy, and deadline misses (``--json`` emits the full
 :class:`~repro.engine.sim.ExecutionResult` record).
 
 ``python -m repro analyze`` runs the repo's static-analysis pack (the
-REP001-REP007 AST lint rules of :mod:`repro.analysis.lint`) over source
+REP001-REP008 AST lint rules of :mod:`repro.analysis.lint`) over source
 trees and exits non-zero on violations — the same gate CI runs.
 
 Exit codes: 0 success, 1 lint violations (``analyze``), 2
@@ -88,14 +91,78 @@ def _serve_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None,
         help="seed forwarded to stochastic scheduling methods",
     )
+    parser.add_argument(
+        "--durable", default=None, metavar="DIR", dest="durable",
+        help=(
+            "directory for the durable job store (one SQLite event log per "
+            "shard); acknowledged submissions survive a crash and are "
+            "requeued on restart"
+        ),
+    )
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="independent scheduling shards; sessions route by tenant",
+    )
+    parser.add_argument(
+        "--worker-mode", default="inline", choices=("inline", "process"),
+        dest="worker_mode",
+        help="run shards in the listener process or in worker processes",
+    )
+    parser.add_argument(
+        "--backlog", type=int, default=0,
+        help=(
+            "per-tenant backlog capacity: acknowledged submissions held "
+            "past queue capacity instead of backpressured (default: 0, off)"
+        ),
+    )
+    parser.add_argument(
+        "--tenant-quota", type=int, default=None, dest="tenant_quota",
+        help="max live (queued+held+running) jobs per tenant (default: none)",
+    )
+    parser.add_argument(
+        "--legacy-server", action="store_true", dest="legacy_server",
+        help=(
+            "use the deprecated thread-per-connection server (single shard, "
+            "no durability; removed in the next release)"
+        ),
+    )
     return parser
 
 
 def _serve(argv: list[str]) -> int:
-    from repro.service.server import serve
-
     args = _serve_parser().parse_args(argv)
-    return serve(
+    if args.legacy_server:
+        if args.shards != 1 or args.worker_mode != "inline":
+            print(
+                "repro serve: --legacy-server is single-shard "
+                "(drop --shards/--worker-mode)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.service.admission import TenantPolicy
+        from repro.service.server import serve
+        from repro.store.store import JobStore
+
+        store = (
+            JobStore.open(args.durable, 0) if args.durable is not None else None
+        )
+        return serve(
+            args.host,
+            args.port,
+            method=args.method,
+            cap_w=args.cap_w,
+            objective=args.objective,
+            queue_capacity=args.queue_capacity,
+            executor=args.executor,
+            seed=args.seed,
+            store=store,
+            tenant_policy=TenantPolicy(
+                quota=args.tenant_quota, backlog_capacity=args.backlog
+            ),
+        )
+    from repro.service.async_server import serve_async
+
+    return serve_async(
         args.host,
         args.port,
         method=args.method,
@@ -104,6 +171,11 @@ def _serve(argv: list[str]) -> int:
         queue_capacity=args.queue_capacity,
         executor=args.executor,
         seed=args.seed,
+        shards=args.shards,
+        worker_mode=args.worker_mode,
+        durable_dir=args.durable,
+        tenant_quota=args.tenant_quota,
+        backlog_capacity=args.backlog,
     )
 
 

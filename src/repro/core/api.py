@@ -340,9 +340,17 @@ class Scheduler:
             predictor = CachingPredictor(predictor, cache=self.cache)
         self.predictor = predictor
         self._table = None  # the caller's predictor owns the table now
+        # A caller-swapped governor must survive the rebuild — table growth
+        # is invisible to the policy, unlike a cap change.
+        swapped = (
+            self.governor if self.governor is not self._stock_governor else None
+        )
         # Uids are never re-bound to different profiles, so per-cap score
         # memos stay valid across table growth; only the bindings refresh.
         self._rebuild()
+        if swapped is not None:
+            self.governor = swapped
+            self.evaluator.governor = swapped
 
     def _ensure_profiled(self, jobs: Sequence[Job]) -> None:
         if self._table is None:  # caller-supplied predictor owns the table

@@ -48,7 +48,7 @@ from repro.core.feasibility import (
 from repro.model.predictor import CoRunPredictor
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.engine.timeline import ScheduleExecution
+    from repro.engine.sim import ExecutionResult
 
 
 class Objective(enum.Enum):
@@ -85,7 +85,7 @@ class Objective(enum.Enum):
 
 
 def score_execution(
-    execution: "ScheduleExecution", objective: Objective | str
+    execution: "ExecutionResult", objective: Objective | str
 ) -> float:
     """Score a measured execution under an objective (lower is better)."""
     objective = Objective.coerce(objective)

@@ -1,6 +1,7 @@
 """Online scheduling policies for open (arrival-driven) systems.
 
-Two policies for :func:`repro.engine.arrivals.execute_with_arrivals`:
+Two policies for arrival-driven :func:`repro.engine.sim.run`
+(``Scenario.from_arrivals``):
 
 * :class:`FifoOnlinePolicy` — arrival order, placed on whichever processor
   asks (the naive work-conserving server);

@@ -35,7 +35,6 @@ from repro.hardware.processor import IntegratedProcessor
 from repro.workload.program import Job
 from repro.engine.multiprog import DEFAULT_CS_OVERHEAD
 from repro.engine.sim import ExecutionResult, Scenario, run as engine_run
-from repro.engine.timeline import ScheduleExecution
 from repro.model.characterize import characterize_space
 from repro.model.predictor import CoRunPredictor
 from repro.model.profiler import profile_workload
@@ -65,7 +64,7 @@ class ScheduleOutcome:
 
     policy: str
     schedule: CoSchedule | None
-    execution: ScheduleExecution
+    execution: ExecutionResult
     scheduling_time_s: float = 0.0
     cache_stats: dict[str, float] | None = None
 

@@ -3,7 +3,7 @@
 A :class:`CoSchedule` is the object every scheduling algorithm produces: an
 ordered CPU queue, an ordered GPU queue, and a *solo tail* of jobs that run
 alone at the end (the heuristic's S_seq).  The ground-truth engine executes
-it via :func:`repro.engine.timeline.execute_schedule`; the scheduler itself
+it via :func:`repro.engine.sim.run`; the scheduler itself
 evaluates candidates with :func:`predicted_makespan`, which replays the same
 queue semantics using *predicted* degradations — the paper's runtime never
 touches the machine while searching.
@@ -115,7 +115,7 @@ def predicted_metrics(schedule: CoSchedule, predictor, governor) -> PredictedMet
     it reports is bit-identical), additionally integrating the predicted
     chip power over each steady segment.  This is what non-makespan
     objectives minimize while searching — the model-side analogue of
-    :attr:`repro.engine.timeline.ScheduleExecution.energy_j`.
+    :attr:`repro.engine.sim.ExecutionResult.energy_j`.
     """
     t, energy = _replay(schedule, predictor, governor, track_energy=True)
     return PredictedMetrics(makespan_s=t, energy_j=energy)

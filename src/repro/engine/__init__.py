@@ -12,9 +12,14 @@ bandwidth demands, and powers.
   unified :func:`run` entry point: arrival/completion/cap-change/deadline
   events, preemption and CPU<->GPU migration with penalty models, and a
   pluggable rescheduling policy hook.
-* :mod:`repro.engine.timeline` / :mod:`repro.engine.arrivals` /
-  :mod:`repro.engine.multiprog` — deprecated entry points kept as thin
-  shims over :func:`run` (one release; see each module's docstring).
+* :mod:`repro.engine.multiprog` — the n-resident time-sharing loop behind
+  ``Scenario.timeshare`` (the Default baseline's progress model).
+
+The deprecated shim entry points (``execute_schedule``, ``execute_online``,
+``execute_with_arrivals``, ``execute_default_schedule``) have been removed
+after their one-release grace period; :func:`run` with the matching
+:class:`~repro.engine.sim.Scenario` constructor is the only entry point
+(the REP007 lint rule flags any reintroduction).
 
 The engine is *the machine*: scheduler-side code must never peek at profile
 internals (phases, sensitivities); it may only call the engine the way the
@@ -43,9 +48,6 @@ from repro.engine.sim import (
     SimCore,
     run,
 )
-from repro.engine.timeline import ScheduleExecution, execute_schedule
-from repro.engine.multiprog import execute_default_schedule
-from repro.engine.arrivals import ArrivalExecution, execute_with_arrivals
 from repro.engine.feedback import ReactiveCapController, execute_with_reactive_cap
 
 __all__ = [
@@ -70,11 +72,6 @@ __all__ = [
     "Scenario",
     "SimCore",
     "run",
-    "ScheduleExecution",
-    "execute_schedule",
-    "execute_default_schedule",
-    "ArrivalExecution",
-    "execute_with_arrivals",
     "ReactiveCapController",
     "execute_with_reactive_cap",
 ]

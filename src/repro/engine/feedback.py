@@ -16,8 +16,8 @@ chip power against the cap and steps one frequency level:
   then the other.
 
 The executor is the standard phase-resolved timeline with control-boundary
-events added, so its results are directly comparable with
-:func:`repro.engine.timeline.execute_schedule`.
+events added, so its results are directly comparable with a fixed-replay
+:func:`repro.engine.sim.run` (``Scenario.from_queues``).
 """
 
 from __future__ import annotations
@@ -31,7 +31,7 @@ from repro.hardware.frequency import FrequencySetting
 from repro.hardware.processor import IntegratedProcessor
 from repro.workload.program import Job
 from repro.engine.corun import PhasedRunner, _pair_stalls, _segment_power
-from repro.engine.timeline import _MAX_EVENTS, ScheduleExecution
+from repro.engine.sim import _MAX_EVENTS, ExecutionResult
 from repro.engine.tracing import JobCompletion, PowerSegment
 from repro.util.validation import check_nonnegative, check_positive
 
@@ -107,7 +107,7 @@ def execute_with_reactive_cap(
     gpu_biased: bool = True,
     control_interval_s: float = 1.0,
     headroom_w: float = 1.0,
-) -> tuple[ScheduleExecution, list[FrequencySetting]]:
+) -> tuple[ExecutionResult, list[FrequencySetting]]:
     """Execute two queues under closed-loop cap control.
 
     Returns the execution record plus the per-interval setting trace.
@@ -200,7 +200,7 @@ def execute_with_reactive_cap(
     else:  # pragma: no cover - defensive
         raise RuntimeError("reactive execution exceeded the event budget")
 
-    execution = ScheduleExecution(
+    execution = ExecutionResult(
         makespan_s=t,
         completions=tuple(completions),
         segments=tuple(segments),

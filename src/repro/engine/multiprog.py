@@ -14,15 +14,13 @@ each resident suffers the stall factor computed from that aggregate.
 The GPU partition runs sequentially (the GPU driver serializes kernels).
 
 The public entry point is ``engine.run()`` with a
-``Scenario.timeshare(...)``; :func:`execute_default_schedule` remains as a
-deprecation shim over it.  The time-sharing loop itself
+``Scenario.timeshare(...)``.  The time-sharing loop itself
 (:func:`_timeshare_run`) stays here because its n-resident progress model
 does not fit the one-runner-per-device simulation core.
 """
 
 from __future__ import annotations
 
-import warnings
 from collections import deque
 from collections.abc import Sequence
 
@@ -31,35 +29,13 @@ from repro.hardware.processor import IntegratedProcessor
 from repro.workload.program import Job
 from repro.engine.corun import PhasedRunner
 from repro.engine.tracing import JobCompletion, PowerSegment
-from repro.engine.sim import ExecutionResult, GovernorFn, Scenario, _MAX_EVENTS, run
+from repro.engine.sim import ExecutionResult, GovernorFn, _MAX_EVENTS
 
 #: Default per-extra-resident context-switch/locality overhead.  At 3
 #: resident jobs (the 8-program study) the penalty is a mild 1.26x; at 6
 #: residents (the 16-program study) it reaches 1.65x — the regime where the
 #: paper observed Default falling behind even Random.
 DEFAULT_CS_OVERHEAD = 0.13
-
-
-def execute_default_schedule(
-    processor: IntegratedProcessor,
-    cpu_jobs: Sequence[Job],
-    gpu_queue: Sequence[Job],
-    governor: GovernorFn,
-    *,
-    cs_overhead: float = DEFAULT_CS_OVERHEAD,
-) -> ExecutionResult:
-    """Deprecated: use ``run(processor, Scenario.timeshare(...), ...)``."""
-    warnings.warn(
-        "execute_default_schedule() is deprecated and will be removed in "
-        "the next release; call repro.engine.run() with Scenario.timeshare()",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return run(
-        processor,
-        Scenario.timeshare(cpu_jobs, gpu_queue, cs_overhead=cs_overhead),
-        governor=governor,
-    )
 
 
 def _timeshare_run(

@@ -750,6 +750,15 @@ class SimCore:
         return dict(self._starts)
 
     @property
+    def preemptions(self) -> tuple[PreemptionRecord, ...]:
+        """Frozen view of every preemption so far (resumed or not).
+
+        The service tier reads this incrementally to mirror preempt and
+        migrate transitions into its durable event log.
+        """
+        return tuple(rec.freeze() for rec in self._preempt_log)
+
+    @property
     def completions(self) -> tuple[JobCompletion, ...]:
         return tuple(self._completions)
 

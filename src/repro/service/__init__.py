@@ -1,14 +1,23 @@
 """repro.service — the online co-scheduling daemon.
 
 Turns the batch reproduction into a running service: a long-lived daemon
-(:func:`~repro.service.server.serve`, ``repro serve`` on the command line)
-accepts job submissions over a newline-delimited JSON protocol, keeps a
-bounded admission queue with backpressure, schedules arrived jobs with any
-method from the ``repro.core`` registry whenever a processor idles, and
-reacts to live power-cap events mid-run.  See ``docs/API.md`` for the
-protocol schema and a walkthrough.
+(:func:`~repro.service.async_server.serve_async`, ``repro serve`` on the
+command line) accepts job submissions over a newline-delimited JSON
+protocol, keeps a bounded multi-tenant admission queue with backpressure
+and per-tenant quotas, schedules arrived jobs with any method from the
+``repro.core`` registry whenever a processor idles, reacts to live
+power-cap events mid-run, shards independent sessions across workers,
+and — with a durable directory — journals every job state transition
+through :mod:`repro.store` so acknowledged work survives ``kill -9``.
+See ``docs/API.md`` for the protocol schema and ``docs/SERVICE.md`` for
+the architecture (store, shards, admission, recovery).
+
+The threaded listener (:func:`~repro.service.server.serve`) is
+deprecated in favor of the asyncio front end and kept for one release
+behind ``repro serve --legacy-server``.
 """
 
+from repro.service.async_server import serve_async
 from repro.service.client import ServiceClient, ServiceError, ServiceUnavailable
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
@@ -42,6 +51,7 @@ __all__ = [
     "CoScheduleServer",
     "ServiceState",
     "serve",
+    "serve_async",
     "ServiceClient",
     "ServiceError",
     "ServiceUnavailable",

@@ -74,12 +74,19 @@ class ServiceClient:
         uid: str | None = None,
         arrival_s: float | None = None,
         objective: str | None = None,
+        tenant: str = "default",
+        priority: int = 0,
+        idempotency_key: str | None = None,
     ) -> protocol.SubmitResponse | protocol.RejectionResponse:
         """Submit a job; returns the acceptance or a structured rejection.
 
         ``objective`` pins the scheduling objective the caller expects; a
         daemon serving a different one answers with an
         ``objective_mismatch`` rejection instead of admitting the job.
+        ``tenant``/``priority`` feed quota accounting and backlog order;
+        ``idempotency_key`` makes the submission retry-safe (a duplicate
+        key returns the original acknowledgement with
+        ``deduplicated=True``).
         """
         return self._rpc(
             protocol.SubmitRequest(
@@ -88,6 +95,9 @@ class ServiceClient:
                 uid=uid,
                 arrival_s=arrival_s,
                 objective=objective,
+                tenant=tenant,
+                priority=priority,
+                idempotency_key=idempotency_key,
             )
         )
 

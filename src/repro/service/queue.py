@@ -31,6 +31,8 @@ from repro.workload.program import Job
 
 
 class JobState(enum.Enum):
+    #: Acknowledged but waiting in the tenant backlog for queue headroom.
+    HELD = "held"
     QUEUED = "queued"
     RUNNING = "running"
     DONE = "done"
@@ -79,6 +81,9 @@ class SubmissionQueue:
 
     capacity: int = 64
     _records: dict[str, JobRecord] = field(default_factory=dict)
+    _counts: dict[JobState, int] = field(
+        default_factory=lambda: {state: 0 for state in JobState}
+    )
 
     def __post_init__(self) -> None:
         if self.capacity < 1:
@@ -137,6 +142,7 @@ class SubmissionQueue:
             arrival_s=arrival_s,
         )
         self._records[job_id] = record
+        self._counts[JobState.QUEUED] += 1
         return record
 
     def record_rejection(
@@ -152,17 +158,54 @@ class SubmissionQueue:
             arrival_s=arrival_s,
             detail=detail,
         )
-        self._records.setdefault(job_id, record)
+        if job_id not in self._records:
+            self._records[job_id] = record
+            self._counts[JobState.REJECTED] += 1
         return self._records[job_id]
+
+    def restore_record(self, record: JobRecord) -> JobRecord:
+        """Reinstate a recovered job's lifecycle row (crash recovery).
+
+        Unlike :meth:`enqueue`, the record may arrive in any state — the
+        durable store, not this table, is authoritative across restarts.
+        """
+        if record.job_id in self._records:
+            raise ValueError(f"job id {record.job_id!r} already recorded")
+        self._records[record.job_id] = record
+        self._counts[record.state] += 1
+        return record
 
     def _transition(self, job_id: str, state: JobState, detail: str = "") -> None:
         try:
             record = self._records[job_id]
         except KeyError:
             raise KeyError(f"unknown job {job_id!r}") from None
+        if record.state is not state:
+            self._counts[record.state] -= 1
+            self._counts[state] += 1
         record.state = state
         if detail:
             record.detail = detail
+
+    def hold(
+        self, job_id: str, program: str, scale: float, arrival_s: float
+    ) -> JobRecord:
+        """Record an acknowledged submission parked in the tenant backlog."""
+        if job_id in self._records:
+            raise ValueError(f"job id {job_id!r} already recorded")
+        record = JobRecord(
+            job_id=job_id,
+            program=program,
+            scale=scale,
+            state=JobState.HELD,
+            arrival_s=arrival_s,
+        )
+        self._records[job_id] = record
+        self._counts[JobState.HELD] += 1
+        return record
+
+    def mark_queued(self, job_id: str) -> None:
+        self._transition(job_id, JobState.QUEUED)
 
     def mark_running(self, job_id: str) -> None:
         self._transition(job_id, JobState.RUNNING)
@@ -179,12 +222,15 @@ class SubmissionQueue:
     @property
     def depth(self) -> int:
         """Admitted-but-not-started submissions (the bounded quantity)."""
-        return sum(
-            1 for r in self._records.values() if r.state is JobState.QUEUED
-        )
+        return self._counts[JobState.QUEUED]
+
+    @property
+    def headroom(self) -> int:
+        """Remaining admission budget before backpressure kicks in."""
+        return max(0, self.capacity - self.depth)
 
     def count(self, state: JobState) -> int:
-        return sum(1 for r in self._records.values() if r.state is state)
+        return self._counts[state]
 
     def record(self, job_id: str) -> JobRecord:
         return self._records[job_id]

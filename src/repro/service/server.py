@@ -1,12 +1,21 @@
-"""The co-scheduling daemon: socket listener, dispatch, graceful shutdown.
+"""Shared service state + the legacy threaded socket listener.
 
-A :class:`socketserver.ThreadingTCPServer` speaks the newline-delimited
-JSON protocol of :mod:`repro.service.protocol`.  Connections are cheap and
-long-lived — a client may hold one open and pipeline requests.  All state
-mutation funnels through :class:`ServiceState`, which serializes access
-with one lock: the simulation itself is strictly ordered virtual time, so
-a single writer is the correctness model, while profiling inside a request
-still fans out over the session's executor.
+:class:`ServiceState` is everything behind a listener: the scheduling
+session, the bounded queue, multi-tenant admission (quotas + priority
+backlog), metrics, and the durable :class:`~repro.store.JobStore`.  Every
+job state transition is committed to the store's event log *before* the
+response that acknowledges it is returned, so an acknowledgement implies
+durability (group commit: batches flush once per request batch).  Both
+listeners — the asyncio front end in :mod:`repro.service.async_server`
+and the threaded server here — drive the same state, so the protocol
+behaves identically regardless of transport.
+
+.. deprecated::
+    The :class:`socketserver.ThreadingTCPServer` entry point
+    (:func:`serve`) is superseded by
+    :func:`repro.service.async_server.serve_async` and will be removed
+    one release after the async front end ships; ``repro serve
+    --legacy-server`` keeps it reachable until then.
 
 Shutdown is graceful on SIGTERM/SIGINT and on a ``shutdown`` request:
 in-flight and queued jobs are drained through the simulator before the
@@ -23,11 +32,29 @@ from repro.workload.program import Job
 from repro.workload.rodinia import rodinia_programs
 from repro.hardware.calibration import DEFAULT_POWER_CAP_W
 from repro.service import protocol
+from repro.service.admission import (
+    HeldSubmission,
+    TenantBacklog,
+    TenantLedger,
+    TenantPolicy,
+)
 from repro.service.metrics import ServiceMetrics
-from repro.service.queue import SubmissionQueue
+from repro.service.queue import JobRecord, JobState, SubmissionQueue
 from repro.service.session import CompletionRecord, LateRejection, ServiceSession
+from repro.store import events as ev
+from repro.store.store import DONE, JobStore, LIVE_STATES, PREEMPTED, QUEUED
 
 _BANNER = "repro-service listening on"
+
+#: Store lifecycle -> wire-level job state.
+_WIRE_STATE = {
+    "submitted": "queued",
+    "queued": "queued",
+    "running": "running",
+    "preempted": "queued",
+    "done": "done",
+    "rejected": "rejected",
+}
 
 
 def _completion_info(record: CompletionRecord) -> protocol.CompletionInfo:
@@ -54,21 +81,123 @@ def _rejection_info(rej: LateRejection) -> protocol.RejectionResponse:
 
 
 class ServiceState:
-    """Everything behind the socket: session, queue, metrics, one lock."""
+    """Everything behind the socket: session, queue, store, one lock."""
 
     def __init__(
         self,
         session: ServiceSession,
         *,
         queue_capacity: int = 64,
+        store: JobStore | None = None,
+        tenant_policy: TenantPolicy | None = None,
+        shard_id: int = 0,
     ) -> None:
         self.session = session
         self.queue = SubmissionQueue(capacity=queue_capacity)
         self.metrics = ServiceMetrics()
         self.lock = threading.RLock()
         self.stopping = threading.Event()
+        self.shard_id = shard_id
+        self.store = store if store is not None else JobStore()
+        self.tenant_policy = tenant_policy if tenant_policy is not None else TenantPolicy()
+        self.backlog = TenantBacklog(self.tenant_policy.backlog_capacity)
+        self.ledger = TenantLedger()
         self._programs = {p.name: p for p in rodinia_programs()}
+        self._scaled: dict[tuple[str, float], object] = {}
+        #: (program, scale, cap_w) -> solo-feasible?  One profiling pass
+        #: per distinct shape; every later identical submission is O(1).
+        self._feasible_memo: dict[tuple[str, float, float], bool] = {}
         self._auto_id = 0
+        self._preempts_seen = 0
+        self.recovered_jobs = 0
+        self._recover()
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        """Resume from whatever the store's log says happened.
+
+        Completed/rejected jobs stay terminal (never re-run); interrupted
+        live jobs — including ones that were *running* when the process
+        died — are re-queued into a fresh session via ``JobRequeued``
+        events, and the virtual clock and cap are restored, so the
+        recovered daemon continues the same timeline.
+        """
+        state = self.store.state
+        if state.cap_w is not None:
+            self.session.set_cap(state.cap_w)
+        if state.now_s > self.session.now:
+            self.session.advance(state.now_s)
+        self._auto_id = len(state.jobs)
+        live = sorted(
+            state.live_jobs(), key=lambda j: (j.arrival_s, j.job_id)
+        )
+        requeues: list[ev.Event] = []
+        for stored in live:
+            profile = self._profile_for(stored.program, stored.scale)
+            if profile is None:
+                requeues.append(ev.JobRejected(
+                    job_id=stored.job_id,
+                    code="unknown_program",
+                    message=(
+                        f"program {stored.program!r} is no longer calibrated"
+                    ),
+                ))
+                self.queue.restore_record(JobRecord(
+                    job_id=stored.job_id,
+                    program=stored.program,
+                    scale=stored.scale,
+                    state=JobState.REJECTED,
+                    arrival_s=stored.arrival_s,
+                    detail="unknown program after recovery",
+                ))
+                continue
+            if stored.state != QUEUED:
+                requeues.append(ev.JobRequeued(job_id=stored.job_id))
+            job = Job(uid=stored.job_id, profile=profile)
+            arrival = self.session.submit(
+                job, max(stored.arrival_s, self.session.now)
+            )
+            self.queue.restore_record(JobRecord(
+                job_id=stored.job_id,
+                program=stored.program,
+                scale=stored.scale,
+                state=JobState.QUEUED,
+                arrival_s=arrival,
+            ))
+            self.ledger.admit(stored.tenant)
+            self.recovered_jobs += 1
+        for stored in state.jobs.values():
+            if stored.state in LIVE_STATES:
+                continue
+            self.queue.restore_record(JobRecord(
+                job_id=stored.job_id,
+                program=stored.program,
+                scale=stored.scale,
+                state=(
+                    JobState.DONE if stored.state == DONE
+                    else JobState.REJECTED
+                ),
+                arrival_s=stored.arrival_s,
+                detail=stored.detail,
+            ))
+        self.metrics.completed = state.completed
+        if requeues:
+            self.store.commit(*requeues)
+            self.store.flush()
+
+    def _profile_for(self, program: str, scale: float):
+        base = self._programs.get(program)
+        if base is None or scale <= 0:
+            return None
+        if scale == 1.0:
+            return base
+        key = (program, scale)
+        hit = self._scaled.get(key)
+        if hit is None:
+            hit = self._scaled[key] = base.scaled(scale)
+        return hit
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -77,14 +206,41 @@ class ServiceState:
         with self.lock:
             self.metrics.requests += 1
             handler = self._HANDLERS[type(request)]
-            return handler(self, request)
+            response = handler(self, request)
+            self.store.flush()
+            return response
 
+    def handle_batch(self, requests: list) -> list:
+        """Handle pipelined requests under one lock and one group commit.
+
+        Durability cost is amortized: the store's log is flushed once for
+        the whole batch, and every response is acknowledged only after
+        that flush covers its events.
+        """
+        with self.lock:
+            out = []
+            for request in requests:
+                self.metrics.requests += 1
+                handler = self._HANDLERS[type(request)]
+                out.append(handler(self, request))
+            self.store.flush()
+            return out
+
+    def close(self) -> None:
+        """Flush and snapshot the store (graceful shutdown path)."""
+        with self.lock:
+            self.store.close()
+
+    # ------------------------------------------------------------------
+    # Session-outcome bookkeeping
+    # ------------------------------------------------------------------
     def _absorb(
         self,
         completions: list[CompletionRecord],
         rejections: list[LateRejection],
     ) -> tuple[list[protocol.CompletionInfo], list[protocol.RejectionResponse]]:
-        """Fold a session step's outcome into queue records and metrics."""
+        """Fold a session step's outcome into queue, store, and metrics."""
+        events: list[ev.Event] = []
         for record in completions:
             self.queue.mark_done(record.job_id)
             self.metrics.completed += 1
@@ -93,16 +249,113 @@ class ServiceState:
                 duration_s=record.duration_s,
                 energy_est_j=record.energy_est_j,
             )
+            stored = self.store.job(record.job_id)
+            if stored is not None:
+                if stored.state in (QUEUED, PREEMPTED):
+                    events.append(ev.JobScheduled(
+                        job_id=record.job_id,
+                        device=record.kind,
+                        start_s=record.start_s,
+                    ))
+                events.append(ev.JobCompleted(
+                    job_id=record.job_id,
+                    device=record.kind,
+                    start_s=record.start_s,
+                    finish_s=record.finish_s,
+                    energy_est_j=record.energy_est_j,
+                ))
+                self.ledger.finish(stored.tenant)
         for rej in rejections:
             self.queue.mark_rejected(rej.job_id, rej.message)
             self.metrics.rejected_late += 1
-        for job in self.session.running.values():
+            stored = self.store.job(rej.job_id)
+            if stored is not None:
+                events.append(ev.JobRejected(
+                    job_id=rej.job_id, code=rej.code, message=rej.message
+                ))
+                self.ledger.finish(stored.tenant)
+        for kind, job in self.session.running.items():
             self.queue.mark_running(job.uid)
+            stored = self.store.job(job.uid)
+            if stored is not None and stored.state in (QUEUED, PREEMPTED):
+                start = self.session.sim.starts.get(job.uid)
+                events.append(ev.JobScheduled(
+                    job_id=job.uid,
+                    device=kind.name.lower(),
+                    start_s=(
+                        start.start_s if start is not None
+                        else self.session.now
+                    ),
+                ))
+        for rec in self.session.sim.preemptions[self._preempts_seen:]:
+            self._preempts_seen += 1
+            stored = self.store.job(rec.job)
+            if stored is None or stored.state != "running":
+                continue
+            events.append(ev.JobPreempted(
+                job_id=rec.job, device=rec.from_device, at_s=rec.at_s
+            ))
+            if rec.migrated and rec.resumed_device is not None:
+                events.append(ev.JobMigrated(
+                    job_id=rec.job,
+                    src=rec.from_device,
+                    dst=rec.resumed_device,
+                    at_s=rec.resumed_s if rec.resumed_s is not None else rec.at_s,
+                ))
+        if events:
+            self.store.commit(*events)
         self.metrics.cap_violations = self.session.cap_violations
+        self._refill()
         return (
             [_completion_info(r) for r in completions],
             [_rejection_info(r) for r in rejections],
         )
+
+    def _refill(self) -> None:
+        """Admit held submissions into freed queue slots (priority order)."""
+        while self.backlog.depth and self.queue.depth < self.queue.capacity:
+            held = self.backlog.pop()
+            if held is None:  # pragma: no cover - depth said otherwise
+                break
+            arrival = self.session.submit(
+                held.job, max(held.arrival_s, self.session.now)
+            )
+            record = self.queue.record(held.job.uid)
+            record.arrival_s = arrival
+            self.queue.mark_queued(held.job.uid)
+
+    # ------------------------------------------------------------------
+    # Admission helpers
+    # ------------------------------------------------------------------
+    def _feasible(self, job: Job, program: str, scale: float) -> bool:
+        key = (program, scale, self.session.cap_w)
+        hit = self._feasible_memo.get(key)
+        if hit is None:
+            hit = self.session.admissible(job)
+            self._feasible_memo[key] = hit
+        return hit
+
+    def _log_rejection(
+        self, req: protocol.SubmitRequest, job_id: str, arrival: float,
+        code: str, message: str,
+    ) -> None:
+        """Durably record a refused (but validated) submission."""
+        if job_id in self.store:
+            return
+        self.store.commit(
+            ev.JobSubmitted(
+                job_id=job_id,
+                program=req.program,
+                scale=req.scale,
+                arrival_s=arrival,
+                tenant=req.tenant,
+                priority=req.priority,
+                idempotency_key=req.idempotency_key,
+                objective=req.objective,
+            ),
+            ev.JobRejected(job_id=job_id, code=code, message=message),
+        )
+        self.ledger.reject(req.tenant)
 
     # ------------------------------------------------------------------
     # Request handlers
@@ -120,6 +373,16 @@ class ServiceState:
                     f"start a daemon with --objective {req.objective}"
                 ),
                 job_id=req.uid,
+            )
+        hit = self.store.idempotency_hit(req.idempotency_key)
+        if hit is not None:
+            self.metrics.deduplicated += 1
+            return protocol.SubmitResponse(
+                job_id=hit.job_id,
+                state=_WIRE_STATE[hit.state],
+                arrival_s=hit.arrival_s,
+                queue_depth=self.queue.depth,
+                deduplicated=True,
             )
         profile = self._programs.get(req.program)
         if profile is None:
@@ -142,39 +405,106 @@ class ServiceState:
             job_id = req.uid
         else:
             self._auto_id += 1
-            job_id = f"{req.program}#{self._auto_id}"
-        if req.scale != 1.0:
-            profile = profile.scaled(req.scale)
-        job = Job(uid=job_id, profile=profile)
+            # Qualify generated ids with the shard so ids stay unique
+            # daemon-wide when several shards number independently (shard
+            # 0 keeps the legacy single-shard format).
+            job_id = (
+                f"{req.program}#{self.shard_id}.{self._auto_id}"
+                if self.shard_id
+                else f"{req.program}#{self._auto_id}"
+            )
         arrival = (
             self.session.now if req.arrival_s is None
             else max(req.arrival_s, self.session.now)
         )
-        decision = self.queue.try_admit(
-            job, cap_w=self.session.cap_w, feasible=self.session.admissible
-        )
-        if not decision.admitted:
-            if decision.code == "backpressure":
-                self.metrics.rejected_backpressure += 1
-            elif decision.code == "infeasible_cap":
-                self.metrics.rejected_infeasible += 1
-                self.queue.record_rejection(
-                    job_id, req.program, req.scale, arrival, decision.message
-                )
-            else:
-                self.metrics.rejected_invalid += 1
+        if job_id in self.queue or job_id in self.store:
+            self.metrics.rejected_invalid += 1
             return protocol.RejectionResponse(
-                code=decision.code,
-                message=decision.message,
+                code="duplicate",
+                message=f"job id {job_id!r} was already submitted",
                 job_id=job_id,
                 cap_w=self.session.cap_w,
             )
-        self.session.submit(job, arrival)
-        self.queue.enqueue(job_id, req.program, req.scale, arrival)
+        room = self.queue.depth < self.queue.capacity
+        if not room and self.backlog.full:
+            # Transient refusal: not logged to the store, so the client
+            # may retry the same uid once the queue drains.
+            self.metrics.rejected_backpressure += 1
+            return protocol.RejectionResponse(
+                code="backpressure",
+                message=(
+                    f"submission queue is full "
+                    f"({self.queue.depth}/{self.queue.capacity});"
+                    " retry after some jobs start"
+                ),
+                job_id=job_id,
+                cap_w=self.session.cap_w,
+            )
+        job = Job(uid=job_id, profile=self._profile_for(req.program, req.scale))
+        if not self._feasible(job, req.program, req.scale):
+            self.metrics.rejected_infeasible += 1
+            message = (
+                f"no frequency setting admits {job_id!r} on either "
+                f"device under the {self.session.cap_w} W cap"
+            )
+            self._log_rejection(req, job_id, arrival, "infeasible_cap", message)
+            self.queue.record_rejection(
+                job_id, req.program, req.scale, arrival, message
+            )
+            return protocol.RejectionResponse(
+                code="infeasible_cap",
+                message=message,
+                job_id=job_id,
+                cap_w=self.session.cap_w,
+            )
+        if self.ledger.over_quota(req.tenant, self.tenant_policy.quota):
+            # Transient, like backpressure: the uid stays reusable once
+            # the tenant's live jobs finish.
+            self.metrics.rejected_quota += 1
+            self.ledger.reject(req.tenant)
+            message = (
+                f"tenant {req.tenant!r} is at its quota of "
+                f"{self.tenant_policy.quota} live jobs"
+            )
+            return protocol.RejectionResponse(
+                code="tenant_quota",
+                message=message,
+                job_id=job_id,
+                cap_w=self.session.cap_w,
+            )
+        self.store.commit(
+            ev.JobSubmitted(
+                job_id=job_id,
+                program=req.program,
+                scale=req.scale,
+                arrival_s=arrival,
+                tenant=req.tenant,
+                priority=req.priority,
+                idempotency_key=req.idempotency_key,
+                objective=req.objective,
+            ),
+            ev.JobAdmitted(job_id=job_id, cap_w=self.session.cap_w),
+        )
+        self.ledger.admit(req.tenant)
         self.metrics.admitted += 1
+        if room:
+            arrival = self.session.submit(job, arrival)
+            self.queue.enqueue(job_id, req.program, req.scale, arrival)
+            state = "queued"
+        else:
+            self.backlog.push(HeldSubmission(
+                job=job,
+                arrival_s=arrival,
+                tenant=req.tenant,
+                priority=req.priority,
+                program=req.program,
+                scale=req.scale,
+            ))
+            self.queue.hold(job_id, req.program, req.scale, arrival)
+            state = "held"
         return protocol.SubmitResponse(
             job_id=job_id,
-            state="queued",
+            state=state,
             arrival_s=arrival,
             queue_depth=self.queue.depth,
         )
@@ -185,7 +515,12 @@ class ServiceState:
         except ValueError as exc:
             return protocol.ErrorResponse(code="bad_request", message=str(exc))
         self.metrics.cap_events += 1
+        self.store.commit(ev.CapChanged(cap_w=req.cap_w, at_s=at_s))
         return protocol.CapResponse(cap_w=req.cap_w, at_s=at_s)
+
+    def _advance_clock_event(self) -> None:
+        if self.session.now > self.store.state.now_s:
+            self.store.commit(ev.ClockAdvanced(now_s=self.session.now))
 
     def _handle_advance(self, req: protocol.AdvanceRequest):
         try:
@@ -193,13 +528,27 @@ class ServiceState:
         except ValueError as exc:
             return protocol.ErrorResponse(code="bad_request", message=str(exc))
         done, rejected = self._absorb(completions, rejections)
+        self._advance_clock_event()
         return protocol.AdvanceResponse(
             now_s=self.session.now, completions=done, rejections=rejected
         )
 
+    def _drain_all(self) -> tuple[list, list]:
+        """Drain the session *and* the backlog to completion."""
+        done: list[protocol.CompletionInfo] = []
+        rejected: list[protocol.RejectionResponse] = []
+        while True:
+            completions, rejections = self.session.drain()
+            d, r = self._absorb(completions, rejections)
+            done.extend(d)
+            rejected.extend(r)
+            if not self.backlog.depth and self.session.idle:
+                break
+        self._advance_clock_event()
+        return done, rejected
+
     def _handle_drain(self, req: protocol.DrainRequest):
-        completions, rejections = self.session.drain()
-        done, rejected = self._absorb(completions, rejections)
+        done, rejected = self._drain_all()
         return protocol.DrainResponse(
             now_s=self.session.now, completions=done, rejections=rejected
         )
@@ -217,6 +566,17 @@ class ServiceState:
         )
 
     def _handle_metrics(self, req: protocol.MetricsRequest):
+        extra: dict[str, float] = {
+            "backlog_depth": float(self.backlog.depth),
+            "recovered_jobs": float(self.recovered_jobs),
+            "store_jobs": float(len(self.store)),
+            "store_completed": float(self.store.state.completed),
+            "store_rejected": float(self.store.state.rejected),
+        }
+        for tenant, n in sorted(self.ledger.live.items()):
+            extra[f"tenant_live_{tenant}"] = float(n)
+        for tenant, n in sorted(self.backlog.depths().items()):
+            extra[f"tenant_backlog_{tenant}"] = float(n)
         return protocol.MetricsResponse(
             metrics=self.metrics.snapshot(
                 queue_depth=self.queue.depth,
@@ -224,6 +584,8 @@ class ServiceState:
                 now_s=self.session.now,
                 cap_w=self.session.cap_w,
                 cache=self.session.cache.snapshot(),
+                headroom=self.queue.headroom,
+                extra=extra,
             )
         )
 
@@ -233,8 +595,7 @@ class ServiceState:
         )
 
     def _handle_shutdown(self, req: protocol.ShutdownRequest):
-        completions, rejections = self.session.drain()
-        done, _ = self._absorb(completions, rejections)
+        done, _ = self._drain_all()
         self.stopping.set()
         return protocol.ShutdownResponse(
             now_s=self.session.now, completions=done
@@ -304,8 +665,15 @@ def serve(
     seed=None,
     announce=None,
     ready=None,
+    store: JobStore | None = None,
+    tenant_policy: TenantPolicy | None = None,
 ) -> int:
-    """Run the co-scheduling daemon until shutdown; returns an exit code.
+    """Run the threaded daemon until shutdown; returns an exit code.
+
+    .. deprecated::
+        Superseded by :func:`repro.service.async_server.serve_async` (the
+        ``repro serve`` default); kept for one release behind
+        ``--legacy-server``.
 
     ``port=0`` binds an ephemeral port; the actual address is announced as
     ``repro-service listening on HOST:PORT`` on stdout (or via the
@@ -321,7 +689,12 @@ def serve(
         executor=executor,
         seed=seed,
     )
-    state = ServiceState(session, queue_capacity=queue_capacity)
+    state = ServiceState(
+        session,
+        queue_capacity=queue_capacity,
+        store=store,
+        tenant_policy=tenant_policy,
+    )
     server = CoScheduleServer((host, port), state)
     bound_host, bound_port = server.server_address[:2]
 
@@ -348,7 +721,9 @@ def serve(
         # Drain whatever was admitted before the listener stopped —
         # graceful shutdown never abandons accepted work.
         with state.lock:
-            if not state.session.idle:
-                state._absorb(*state.session.drain())
+            if not state.session.idle or state.backlog.depth:
+                state._drain_all()
+                state.store.flush()
+        state.close()
         server.server_close()
     return 0

@@ -168,6 +168,7 @@ class ServiceSession:
         self._cap_seq = 0
         self._late_rejections: list[LateRejection] = []
         self._schedule_memo: dict[tuple, object] = {}
+        self._unprofiled: list[Job] = []
 
     # ------------------------------------------------------------------
     # Introspection
@@ -198,14 +199,35 @@ class ServiceSession:
     def _ensure_profiled(self, job: Job) -> None:
         if job.uid in self.table:
             return
+        self._unprofiled.append(job)
+        self._flush_profiles()
+
+    def _flush_profiles(self) -> None:
+        """Profile every deferred submission in one table extension.
+
+        :meth:`submit` defers profiling so a burst of N submissions costs
+        one batched :func:`~repro.model.profiler.extend_table` call at the
+        next clock movement, not N copies of an ever-growing table — the
+        difference between O(N) and O(N²) on the service's hot path.
+
+        The grown table is installed by swapping the *inner* predictor of
+        the session's one shared :class:`CachingPredictor`: the scheduler,
+        its governor and evaluator (including any the caller swapped in,
+        e.g. the sanitizer tests' rigged governors) all hold that object,
+        so they see the new jobs with no policy rebuild at all.
+        """
+        if not self._unprofiled:
+            return
+        batch = [j for j in self._unprofiled if j.uid not in self.table]
+        self._unprofiled.clear()
+        if not batch:
+            return
         self.table = extend_table(
-            self.table, [job], executor=self.executor, cache=self.cache
+            self.table, batch, executor=self.executor, cache=self.cache
         )
-        self.predictor = CachingPredictor(
-            CoRunPredictor(self.processor, self.table, self.space),
-            cache=self.cache,
+        self.predictor.inner = CoRunPredictor(
+            self.processor, self.table, self.space
         )
-        self.scheduler.set_predictor(self.predictor)
 
     def _solo_feasible(self, uid: str) -> bool:
         return any(
@@ -226,10 +248,16 @@ class ServiceSession:
     # Mutation
     # ------------------------------------------------------------------
     def submit(self, job: Job, arrival_s: float | None = None) -> float:
-        """Inject ``job`` at ``arrival_s`` (clamped to >= now); returns it."""
+        """Inject ``job`` at ``arrival_s`` (clamped to >= now); returns it.
+
+        Profiling is deferred to the next :meth:`advance`/:meth:`drain`
+        (see :meth:`_flush_profiles`), so submission itself is O(log n) —
+        an arrival-heap push — no matter how large the session grows.
+        """
         arrival = self.sim.now if arrival_s is None else max(arrival_s, self.sim.now)
-        self._ensure_profiled(job)
-        self.sim.add_arrival(job, arrival)
+        self.sim.add_arrival(job, arrival)  # raises first on duplicate uid
+        if job.uid not in self.table:
+            self._unprofiled.append(job)
         self._jobs[job.uid] = job
         return arrival
 
@@ -266,6 +294,7 @@ class ServiceSession:
             raise ValueError(
                 f"cannot advance to {until_s}: clock is at {self.sim.now}"
             )
+        self._flush_profiles()
         completions: list[JobCompletion] = []
         while True:
             bound = until_s
@@ -288,6 +317,7 @@ class ServiceSession:
 
     def drain(self) -> tuple[list[CompletionRecord], list[LateRejection]]:
         """Run until every queued and running job has completed."""
+        self._flush_profiles()
         completions: list[JobCompletion] = []
         while not self.sim.idle:
             bound = (

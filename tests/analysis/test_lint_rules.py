@@ -361,14 +361,14 @@ class TestRep007DeprecatedExecutors:
     @pytest.mark.parametrize(
         "home",
         [
-            "src/repro/engine/timeline.py",
-            "src/repro/engine/arrivals.py",
             "src/repro/engine/multiprog.py",
             "src/repro/engine/__init__.py",
         ],
     )
-    def test_shim_home_modules_are_exempt(self, tmp_path, home):
-        assert lint_snippet(tmp_path, home, self.SNIPPET) == []
+    def test_engine_modules_no_longer_exempt(self, tmp_path, home):
+        # The shims are gone, so even their former home modules may not
+        # reintroduce call sites.
+        assert codes(lint_snippet(tmp_path, home, self.SNIPPET)) == ["REP007"]
 
     def test_tests_are_exempt(self, tmp_path):
         assert (
@@ -394,6 +394,91 @@ class TestRep007DeprecatedExecutors:
             """
             def drive(engine, scenario):
                 return engine.run(scenario)
+            """,
+        )
+        assert vs == []
+
+
+class TestRep008StoreBypass:
+    def test_flags_foreign_state_mutation(self, tmp_path):
+        vs = lint_snippet(
+            tmp_path,
+            "src/repro/service/patch.py",
+            """
+            def force_done(store, job_id):
+                store._state.jobs[job_id].state = "done"
+            """,
+        )
+        assert codes(vs) == ["REP008"]
+        assert "event-log API" in vs[0].message
+
+    def test_flags_direct_log_append(self, tmp_path):
+        vs = lint_snippet(
+            tmp_path,
+            "src/repro/service/patch.py",
+            """
+            def sneak(self, event):
+                self.store._log.append(event)
+            """,
+        )
+        assert codes(vs) == ["REP008"]
+
+    def test_flags_reads_too(self, tmp_path):
+        # Reading the fold directly couples callers to the in-memory
+        # representation; the store exposes job()/jobs for that.
+        vs = lint_snippet(
+            tmp_path,
+            "src/repro/store/extras.py",
+            """
+            def peek(store):
+                return store._state.now_s
+            """,
+        )
+        assert codes(vs) == ["REP008"]
+
+    def test_own_private_attribute_is_fine(self, tmp_path):
+        vs = lint_snippet(
+            tmp_path,
+            "src/repro/service/ownstate.py",
+            """
+            class Tracker:
+                def __init__(self):
+                    self._state = {}
+
+                def bump(self, key):
+                    self._state[key] = self._state.get(key, 0) + 1
+            """,
+        )
+        assert vs == []
+
+    def test_store_and_log_modules_are_exempt(self, tmp_path):
+        snippet = """
+            class JobStore:
+                def commit(self, store, event):
+                    store._state = store._state.apply(event)
+        """
+        assert lint_snippet(tmp_path, "src/repro/store/store.py", snippet) == []
+        assert lint_snippet(tmp_path, "src/repro/store/log.py", snippet) == []
+
+    def test_commit_flush_api_is_fine(self, tmp_path):
+        vs = lint_snippet(
+            tmp_path,
+            "src/repro/service/good.py",
+            """
+            def record(store, event):
+                store.commit(event)
+                store.flush()
+            """,
+        )
+        assert vs == []
+
+    def test_other_layers_are_exempt(self, tmp_path):
+        vs = lint_snippet(
+            tmp_path,
+            "src/repro/experiments/probe.py",
+            """
+            def peek(store):
+                return store._state
             """,
         )
         assert vs == []

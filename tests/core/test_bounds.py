@@ -6,7 +6,7 @@ from repro.core.bounds import lower_bound
 from repro.core.bruteforce import brute_force_best
 from repro.core.freqpolicy import ModelGovernor
 from repro.core.hcs import hcs_schedule
-from repro.engine.timeline import execute_schedule
+from repro.engine.sim import Scenario, run
 from repro.model.characterize import characterize_space
 from repro.model.predictor import CoRunPredictor, OracleDegradations
 from repro.model.profiler import profile_workload
@@ -49,12 +49,14 @@ class TestLowerBoundValidity:
         governor = ModelGovernor(predictor, 15.0)
 
         def evaluate(schedule):
-            return execute_schedule(
+            return run(
                 processor,
-                schedule.cpu_queue,
-                schedule.gpu_queue,
-                governor,
-                solo_tail=schedule.solo_tail,
+                Scenario.from_queues(
+                    schedule.cpu_queue,
+                    schedule.gpu_queue,
+                    solo_tail=schedule.solo_tail,
+                ),
+                governor=governor,
             ).makespan_s
 
         _, best = brute_force_best(jobs, evaluate, include_solo=False)

@@ -5,7 +5,7 @@ import pytest
 from repro.hardware.device import DeviceKind
 from repro.core.freqpolicy import Bias, BiasedGovernor, ModelGovernor
 from repro.core.online import FifoOnlinePolicy, HcsOnlinePolicy
-from repro.engine.arrivals import execute_with_arrivals
+from repro.engine.sim import Scenario, run
 
 
 @pytest.fixture(scope="module")
@@ -57,23 +57,25 @@ class TestHcsOnlinePolicy:
         self, processor, predictor, rodinia_jobs
     ):
         arrivals = [(job, 3.0 * i) for i, job in enumerate(rodinia_jobs)]
-        result = execute_with_arrivals(
+        result = run(
             processor,
-            arrivals,
-            HcsOnlinePolicy(predictor, 15.0),
-            ModelGovernor(predictor, 15.0),
+            Scenario.from_arrivals(arrivals),
+            policy=HcsOnlinePolicy(predictor, 15.0),
+            governor=ModelGovernor(predictor, 15.0),
         )
         assert len(result.execution.completions) == len(rodinia_jobs)
 
     def test_beats_fifo_on_the_batch_case(self, processor, predictor, rodinia_jobs):
         arrivals = [(job, 0.0) for job in rodinia_jobs]
-        fifo = execute_with_arrivals(
-            processor, arrivals, FifoOnlinePolicy(),
-            BiasedGovernor(predictor, 15.0, Bias.GPU),
+        fifo = run(
+            processor, Scenario.from_arrivals(arrivals),
+            policy=FifoOnlinePolicy(),
+            governor=BiasedGovernor(predictor, 15.0, Bias.GPU),
         )
-        hcs = execute_with_arrivals(
-            processor, arrivals, HcsOnlinePolicy(predictor, 15.0),
-            ModelGovernor(predictor, 15.0),
+        hcs = run(
+            processor, Scenario.from_arrivals(arrivals),
+            policy=HcsOnlinePolicy(predictor, 15.0),
+            governor=ModelGovernor(predictor, 15.0),
         )
         assert hcs.makespan_s < fifo.makespan_s
         assert hcs.mean_turnaround_s < fifo.mean_turnaround_s

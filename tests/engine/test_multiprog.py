@@ -3,9 +3,8 @@
 import pytest
 
 from repro.hardware.device import DeviceKind
-from repro.engine.multiprog import execute_default_schedule
+from repro.engine.sim import Scenario, run
 from repro.engine.standalone import standalone_run
-from repro.engine.timeline import execute_schedule
 from repro.workload.program import Job, ProgramProfile
 
 
@@ -29,13 +28,15 @@ def _max_governor(processor):
     return governor
 
 
-class TestExecuteDefaultSchedule:
+class TestTimeshareScenario:
     def test_single_resident_matches_sequential_executor(self, processor):
-        ex_default = execute_default_schedule(
-            processor, [_job("a")], [], _max_governor(processor), cs_overhead=0.0
+        ex_default = run(
+            processor, Scenario.timeshare([_job("a")], [], cs_overhead=0.0),
+            governor=_max_governor(processor),
         )
-        ex_seq = execute_schedule(
-            processor, [_job("a")], [], _max_governor(processor)
+        ex_seq = run(
+            processor, Scenario.from_queues([_job("a")], []),
+            governor=_max_governor(processor),
         )
         assert ex_default.makespan_s == pytest.approx(ex_seq.makespan_s)
 
@@ -43,21 +44,25 @@ class TestExecuteDefaultSchedule:
         """Time-sharing with overhead must cost more than running the jobs
         one after the other."""
         jobs = [_job("a"), _job("b")]
-        shared = execute_default_schedule(
-            processor, jobs, [], _max_governor(processor), cs_overhead=0.1
+        shared = run(
+            processor, Scenario.timeshare(jobs, [], cs_overhead=0.1),
+            governor=_max_governor(processor),
         )
-        seq = execute_schedule(
-            processor, [_job("a"), _job("b")], [], _max_governor(processor)
+        seq = run(
+            processor, Scenario.from_queues([_job("a"), _job("b")], []),
+            governor=_max_governor(processor),
         )
         assert shared.makespan_s > seq.makespan_s
 
     def test_overhead_is_monotone(self, processor):
         jobs = lambda: [_job("a"), _job("b"), _job("c")]
-        low = execute_default_schedule(
-            processor, jobs(), [], _max_governor(processor), cs_overhead=0.0
+        low = run(
+            processor, Scenario.timeshare(jobs(), [], cs_overhead=0.0),
+            governor=_max_governor(processor),
         )
-        high = execute_default_schedule(
-            processor, jobs(), [], _max_governor(processor), cs_overhead=0.3
+        high = run(
+            processor, Scenario.timeshare(jobs(), [], cs_overhead=0.3),
+            governor=_max_governor(processor),
         )
         assert high.makespan_s > low.makespan_s
 
@@ -65,8 +70,9 @@ class TestExecuteDefaultSchedule:
         """Two identical residents without overhead finish together at 2x
         their standalone time."""
         jobs = [_job("a"), _job("b")]
-        ex = execute_default_schedule(
-            processor, jobs, [], _max_governor(processor), cs_overhead=0.0
+        ex = run(
+            processor, Scenario.timeshare(jobs, [], cs_overhead=0.0),
+            governor=_max_governor(processor),
         )
         alone = standalone_run(jobs[0].profile, processor.cpu, 3.6).time_s
         assert ex.makespan_s == pytest.approx(2 * alone, rel=1e-6)
@@ -74,8 +80,9 @@ class TestExecuteDefaultSchedule:
         assert finishes[0] == pytest.approx(finishes[1])
 
     def test_gpu_queue_runs_sequentially(self, processor):
-        ex = execute_default_schedule(
-            processor, [], [_job("g1"), _job("g2")], _max_governor(processor)
+        ex = run(
+            processor, Scenario.timeshare([], [_job("g1"), _job("g2")]),
+            governor=_max_governor(processor),
         )
         f1 = ex.finish_of("g1")
         f2 = ex.finish_of("g2")
@@ -84,20 +91,23 @@ class TestExecuteDefaultSchedule:
     def test_all_jobs_complete(self, processor):
         cpu_jobs = [_job(f"c{i}") for i in range(3)]
         gpu_jobs = [_job(f"g{i}") for i in range(2)]
-        ex = execute_default_schedule(
-            processor, cpu_jobs, gpu_jobs, _max_governor(processor)
+        ex = run(
+            processor, Scenario.timeshare(cpu_jobs, gpu_jobs),
+            governor=_max_governor(processor),
         )
         assert len(ex.completions) == 5
 
     def test_duplicate_rejected(self, processor):
         with pytest.raises(ValueError):
-            execute_default_schedule(
-                processor, [_job("a")], [_job("a")], _max_governor(processor)
+            run(
+                processor, Scenario.timeshare([_job("a")], [_job("a")]),
+                governor=_max_governor(processor),
             )
 
     def test_negative_overhead_rejected(self, processor):
         with pytest.raises(ValueError):
-            execute_default_schedule(
-                processor, [_job("a")], [], _max_governor(processor),
-                cs_overhead=-0.1,
+            run(
+                processor,
+                Scenario.timeshare([_job("a")], [], cs_overhead=-0.1),
+                governor=_max_governor(processor),
             )

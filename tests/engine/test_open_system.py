@@ -1,4 +1,4 @@
-"""Tests for the open-system (arrival-driven) executor."""
+"""Tests for open-system (arrival-driven) execution and ``SimCore``."""
 
 import math
 
@@ -6,7 +6,7 @@ import pytest
 
 from repro.hardware.device import DeviceKind
 from repro.hardware.frequency import FrequencySetting
-from repro.engine.arrivals import ArrivalSimulator, execute_with_arrivals
+from repro.engine.sim import Scenario, SimCore, run
 from repro.engine.standalone import standalone_run
 from repro.workload.program import Job, ProgramProfile
 
@@ -38,11 +38,12 @@ def _max_governor(processor):
     return lambda c, g: processor.max_setting
 
 
-class TestExecuteWithArrivals:
+class TestArrivalScenarios:
     def test_all_jobs_finish_with_arrival_metadata(self, processor):
         arrivals = [(_job("a"), 0.0), (_job("b"), 5.0)]
-        result = execute_with_arrivals(
-            processor, arrivals, _any_policy, _max_governor(processor)
+        result = run(
+            processor, Scenario.from_arrivals(arrivals),
+            policy=_any_policy, governor=_max_governor(processor),
         )
         assert len(result.execution.completions) == 2
         assert result.turnaround_s("a") > 0
@@ -51,8 +52,9 @@ class TestExecuteWithArrivals:
 
     def test_job_never_starts_before_arrival(self, processor):
         arrivals = [(_job("late"), 50.0)]
-        result = execute_with_arrivals(
-            processor, arrivals, _any_policy, _max_governor(processor)
+        result = run(
+            processor, Scenario.from_arrivals(arrivals),
+            policy=_any_policy, governor=_max_governor(processor),
         )
         completion = result.execution.completions[0]
         assert completion.start_s >= 50.0
@@ -61,8 +63,9 @@ class TestExecuteWithArrivals:
         job = _job("solo")
         solo_time = standalone_run(job.profile, processor.cpu, 3.6).time_s
         arrivals = [(job, 100.0)]
-        result = execute_with_arrivals(
-            processor, arrivals, _any_policy, _max_governor(processor)
+        result = run(
+            processor, Scenario.from_arrivals(arrivals),
+            policy=_any_policy, governor=_max_governor(processor),
         )
         assert result.makespan_s == pytest.approx(100.0 + solo_time, rel=1e-6)
         # Idle time carries no power segments.
@@ -71,8 +74,9 @@ class TestExecuteWithArrivals:
 
     def test_declining_policy_leaves_cpu_idle(self, processor):
         arrivals = [(_job("a"), 0.0), (_job("b"), 0.0)]
-        result = execute_with_arrivals(
-            processor, arrivals, _gpu_first_policy, _max_governor(processor)
+        result = run(
+            processor, Scenario.from_arrivals(arrivals),
+            policy=_gpu_first_policy, governor=_max_governor(processor),
         )
         kinds = {c.job: c.kind for c in result.execution.completions}
         assert set(kinds.values()) == {"gpu"}
@@ -81,8 +85,9 @@ class TestExecuteWithArrivals:
         # Two jobs arrive together; one must wait for the other under the
         # GPU-only policy.
         arrivals = [(_job("a"), 0.0), (_job("b"), 0.0)]
-        result = execute_with_arrivals(
-            processor, arrivals, _gpu_first_policy, _max_governor(processor)
+        result = run(
+            processor, Scenario.from_arrivals(arrivals),
+            policy=_gpu_first_policy, governor=_max_governor(processor),
         )
         turnarounds = sorted(
             result.turnaround_s(uid) for uid in ("a", "b")
@@ -91,36 +96,39 @@ class TestExecuteWithArrivals:
 
     def test_validation(self, processor):
         with pytest.raises(ValueError):
-            execute_with_arrivals(
-                processor, [], _any_policy, _max_governor(processor)
-            )
+            run(
+            processor, Scenario.from_arrivals([]),
+            policy=_any_policy, governor=_max_governor(processor),
+        )
         with pytest.raises(ValueError):
-            execute_with_arrivals(
-                processor, [(_job("a"), -1.0)], _any_policy,
-                _max_governor(processor),
+            run(
+                processor, Scenario.from_arrivals([(_job("a"), -1.0)]),
+                policy=_any_policy, governor=_max_governor(processor),
             )
         job = _job("a")
         with pytest.raises(ValueError):
-            execute_with_arrivals(
-                processor, [(job, 0.0), (job, 1.0)], _any_policy,
-                _max_governor(processor),
-            )
+            run(
+            processor, Scenario.from_arrivals([(job, 0.0), (job, 1.0)]),
+            policy=_any_policy, governor=_max_governor(processor),
+        )
 
     def test_stuck_policy_raises(self, processor):
         def never(kind, available, other, now):
             return None
 
         with pytest.raises(RuntimeError, match="declined"):
-            execute_with_arrivals(
-                processor, [(_job("a"), 0.0)], never, _max_governor(processor)
+            run(
+                processor, Scenario.from_arrivals([(_job("a"), 0.0)]),
+                policy=never, governor=_max_governor(processor),
             )
 
     def test_simultaneous_arrivals_start_as_a_pair(self, processor):
         # Two jobs landing on the same timestamp must both be visible to
         # the policy at that instant — one per device, same start time.
         arrivals = [(_job("a"), 5.0), (_job("b"), 5.0)]
-        result = execute_with_arrivals(
-            processor, arrivals, _any_policy, _max_governor(processor)
+        result = run(
+            processor, Scenario.from_arrivals(arrivals),
+            policy=_any_policy, governor=_max_governor(processor),
         )
         assert result.starts["a"].start_s == pytest.approx(5.0)
         assert result.starts["b"].start_s == pytest.approx(5.0)
@@ -135,16 +143,17 @@ class TestExecuteWithArrivals:
         # and both processors go idle: the time-jump path must admit it at
         # that boundary with no dead time in between.
         first = _job("first")
-        solo = execute_with_arrivals(
-            processor, [(first, 0.0)], _any_policy, _max_governor(processor)
+        solo = run(
+            processor, Scenario.from_arrivals([(first, 0.0)]),
+            policy=_any_policy, governor=_max_governor(processor),
         )
         t_idle = solo.execution.finish_of("first")
         second = _job("second")
-        result = execute_with_arrivals(
+        result = run(
             processor,
-            [(_job("first"), 0.0), (second, t_idle)],
-            _any_policy,
-            _max_governor(processor),
+            Scenario.from_arrivals([(_job("first"), 0.0), (second, t_idle)]),
+            policy=_any_policy,
+            governor=_max_governor(processor),
         )
         assert result.starts["second"].start_s == pytest.approx(t_idle)
         assert result.makespan_s == pytest.approx(
@@ -152,11 +161,11 @@ class TestExecuteWithArrivals:
         )
 
 
-class TestArrivalSimulator:
+class TestSimCoreIncremental:
     """The resumable executor underneath the service session."""
 
     def test_incremental_arrivals_between_advances(self, processor):
-        sim = ArrivalSimulator(processor, _max_governor(processor))
+        sim = SimCore(processor, _max_governor(processor))
         sim.add_arrival(_job("a"), 0.0)
         sim.advance(_any_policy, 1.0)
         assert sim.now == pytest.approx(1.0)
@@ -168,7 +177,7 @@ class TestArrivalSimulator:
         assert sim.idle
 
     def test_bounded_advance_lands_exactly_on_the_boundary(self, processor):
-        sim = ArrivalSimulator(processor, _max_governor(processor))
+        sim = SimCore(processor, _max_governor(processor))
         sim.add_arrival(_job("a"), 0.0)
         sim.advance(_any_policy, math.inf)  # drain
         sim.advance(_any_policy, 500.0)
@@ -177,10 +186,11 @@ class TestArrivalSimulator:
 
     def test_record_matches_closed_form_execution(self, processor):
         arrivals = [(_job("a"), 0.0), (_job("b"), 3.0)]
-        closed = execute_with_arrivals(
-            processor, arrivals, _any_policy, _max_governor(processor)
+        closed = run(
+            processor, Scenario.from_arrivals(arrivals),
+            policy=_any_policy, governor=_max_governor(processor),
         )
-        sim = ArrivalSimulator(processor, _max_governor(processor))
+        sim = SimCore(processor, _max_governor(processor))
         for job, at_s in arrivals:
             sim.add_arrival(job, at_s)
         # Stepping in small bounded increments must reproduce the one-shot
@@ -196,7 +206,7 @@ class TestArrivalSimulator:
         assert record.gpu_busy_s == pytest.approx(closed.execution.gpu_busy_s)
 
     def test_withdraw_pending_and_future(self, processor):
-        sim = ArrivalSimulator(processor, _max_governor(processor))
+        sim = SimCore(processor, _max_governor(processor))
         sim.add_arrival(_job("now"), 0.0)
         sim.add_arrival(_job("later"), 50.0)
         withdrawn = sim.withdraw("later")
@@ -208,21 +218,21 @@ class TestArrivalSimulator:
         assert {c.job for c in sim.completions} == {"now"}
 
     def test_withdraw_started_job_refused(self, processor):
-        sim = ArrivalSimulator(processor, _max_governor(processor))
+        sim = SimCore(processor, _max_governor(processor))
         sim.add_arrival(_job("a"), 0.0)
         sim.advance(_any_policy, 1.0)
         with pytest.raises(KeyError, match="already started"):
             sim.withdraw("a")
 
     def test_arrival_in_the_past_rejected(self, processor):
-        sim = ArrivalSimulator(processor, _max_governor(processor))
+        sim = SimCore(processor, _max_governor(processor))
         sim.add_arrival(_job("a"), 0.0)
         sim.advance(_any_policy, 10.0)
         with pytest.raises(ValueError, match="past"):
             sim.add_arrival(_job("b"), 5.0)
 
     def test_governor_swap_retunes_the_running_job(self, processor):
-        sim = ArrivalSimulator(processor, _max_governor(processor))
+        sim = SimCore(processor, _max_governor(processor))
         sim.add_arrival(_job("a"), 0.0)
         sim.advance(_any_policy, 1.0)
         assert sim.current_setting == processor.max_setting

@@ -1,10 +1,10 @@
-"""Tests for the schedule executor (queue replay and online modes)."""
+"""Tests for fixed-replay and online execution via ``engine.run()``."""
 
 import pytest
 
 from repro.hardware.device import DeviceKind
 from repro.engine.standalone import standalone_run
-from repro.engine.timeline import execute_online, execute_schedule
+from repro.engine.sim import Scenario, run
 from repro.workload.program import Job, ProgramProfile
 
 
@@ -28,24 +28,27 @@ def _max_governor(processor):
     return governor
 
 
-class TestExecuteSchedule:
+class TestQueueReplay:
     def test_empty_schedule(self, processor):
-        ex = execute_schedule(processor, [], [], _max_governor(processor))
+        ex = run(processor, Scenario.from_queues([], []),
+                 governor=_max_governor(processor))
         assert ex.makespan_s == 0.0
         assert ex.completions == ()
 
     def test_single_cpu_job_equals_standalone(self, processor):
         job = _job("a")
-        ex = execute_schedule(processor, [job], [], _max_governor(processor))
+        ex = run(processor, Scenario.from_queues([job], []),
+                 governor=_max_governor(processor))
         expected = standalone_run(job.profile, processor.cpu, 3.6).time_s
         assert ex.makespan_s == pytest.approx(expected)
         assert ex.completions[0].job == "a"
 
     def test_solo_tail_equals_standalone(self, processor):
         job = _job("a")
-        ex = execute_schedule(
-            processor, [], [], _max_governor(processor),
-            solo_tail=[(job, DeviceKind.GPU)],
+        ex = run(
+            processor,
+            Scenario.from_queues([], [], solo_tail=[(job, DeviceKind.GPU)]),
+            governor=_max_governor(processor),
         )
         expected = standalone_run(job.profile, processor.gpu, 1.25).time_s
         assert ex.makespan_s == pytest.approx(expected)
@@ -53,9 +56,12 @@ class TestExecuteSchedule:
     def test_solo_tail_runs_after_queues(self, processor):
         queue_job = _job("q")
         solo_job = _job("s")
-        ex = execute_schedule(
-            processor, [queue_job], [], _max_governor(processor),
-            solo_tail=[(solo_job, DeviceKind.CPU)],
+        ex = run(
+            processor,
+            Scenario.from_queues(
+                [queue_job], [], solo_tail=[(solo_job, DeviceKind.CPU)]
+            ),
+            governor=_max_governor(processor),
         )
         finish_q = ex.finish_of("q")
         finish_s = ex.finish_of("s")
@@ -63,7 +69,8 @@ class TestExecuteSchedule:
 
     def test_coscheduled_jobs_overlap(self, processor):
         a, b = _job("a"), _job("b")
-        ex = execute_schedule(processor, [a], [b], _max_governor(processor))
+        ex = run(processor, Scenario.from_queues([a], [b]),
+                 governor=_max_governor(processor))
         solo_sum = (
             standalone_run(a.profile, processor.cpu, 3.6).time_s
             + standalone_run(b.profile, processor.gpu, 1.25).time_s
@@ -72,7 +79,8 @@ class TestExecuteSchedule:
 
     def test_contention_slows_corun(self, processor):
         a, b = _job("a", bytes_gb=120.0), _job("b", bytes_gb=120.0)
-        ex = execute_schedule(processor, [a], [b], _max_governor(processor))
+        ex = run(processor, Scenario.from_queues([a], [b]),
+                 governor=_max_governor(processor))
         alone_a = standalone_run(a.profile, processor.cpu, 3.6).time_s
         alone_b = standalone_run(b.profile, processor.gpu, 1.25).time_s
         assert ex.makespan_s > max(alone_a, alone_b)
@@ -80,11 +88,13 @@ class TestExecuteSchedule:
     def test_duplicate_job_rejected(self, processor):
         job = _job("a")
         with pytest.raises(ValueError):
-            execute_schedule(processor, [job], [job], _max_governor(processor))
+            run(processor, Scenario.from_queues([job], [job]),
+                governor=_max_governor(processor))
 
     def test_busy_accounting(self, processor):
         a, b = _job("a"), _job("b")
-        ex = execute_schedule(processor, [a], [b], _max_governor(processor))
+        ex = run(processor, Scenario.from_queues([a], [b]),
+                 governor=_max_governor(processor))
         assert 0 < ex.cpu_busy_s <= ex.makespan_s + 1e-9
         assert 0 < ex.gpu_busy_s <= ex.makespan_s + 1e-9
 
@@ -96,20 +106,24 @@ class TestExecuteSchedule:
                           gpu_job.uid if gpu_job else None))
             return processor.max_setting
 
-        execute_schedule(
-            processor, [_job("a"), _job("b")], [_job("c")], governor
+        run(
+            processor,
+            Scenario.from_queues([_job("a"), _job("b")], [_job("c")]),
+            governor=governor,
         )
         assert ("a", "c") in calls
         # after c finishes the survivor pair is re-consulted
         assert any(pair[1] is None for pair in calls)
 
     def test_finish_of_unknown_job_raises(self, processor):
-        ex = execute_schedule(processor, [_job("a")], [], _max_governor(processor))
+        ex = run(processor, Scenario.from_queues([_job("a")], []),
+                 governor=_max_governor(processor))
         with pytest.raises(KeyError):
             ex.finish_of("nope")
 
     def test_energy_and_mean_power(self, processor):
-        ex = execute_schedule(processor, [_job("a")], [], _max_governor(processor))
+        ex = run(processor, Scenario.from_queues([_job("a")], []),
+                 governor=_max_governor(processor))
         assert ex.energy_j == pytest.approx(ex.mean_power_w * ex.makespan_s)
 
 
@@ -128,14 +142,16 @@ class _ScriptedSource:
         return None
 
 
-class TestExecuteOnline:
+class TestOnlinePolicy:
     def test_matches_queue_replay(self, processor):
         a, b = _job("a"), _job("b")
-        online = execute_online(
-            processor, _ScriptedSource([a], [b]), _max_governor(processor)
+        online = run(
+            processor, Scenario(), policy=_ScriptedSource([a], [b]),
+            governor=_max_governor(processor),
         )
-        replay = execute_schedule(
-            processor, [_job("a")], [_job("b")], _max_governor(processor)
+        replay = run(
+            processor, Scenario.from_queues([_job("a")], [_job("b")]),
+            governor=_max_governor(processor),
         )
         assert online.makespan_s == pytest.approx(replay.makespan_s)
 
@@ -148,10 +164,12 @@ class TestExecuteOnline:
                 return None
 
         with pytest.raises(RuntimeError, match="declined"):
-            execute_online(processor, Stubborn(), _max_governor(processor))
+            run(processor, Scenario(), policy=Stubborn(),
+                governor=_max_governor(processor))
 
     def test_all_jobs_complete(self, processor):
         jobs = [_job(f"j{i}") for i in range(5)]
         source = _ScriptedSource(jobs[:2], jobs[2:])
-        ex = execute_online(processor, source, _max_governor(processor))
+        ex = run(processor, Scenario(), policy=source,
+                 governor=_max_governor(processor))
         assert {c.job for c in ex.completions} == {j.uid for j in jobs}

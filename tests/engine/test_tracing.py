@@ -51,14 +51,15 @@ class TestPairTimelineConsistency:
         the pairwise co-run simulator at the same frequencies — the two
         code paths share the phase engine and must not drift apart."""
         from repro.engine.corun import corun_pair
-        from repro.engine.timeline import execute_schedule
+        from repro.engine.sim import Scenario, run
         from repro.workload.program import Job
 
         a = Job("a", rodinia["dwt2d"])
         b = Job("b", rodinia["streamcluster"])
         setting = processor.max_setting
-        execution = execute_schedule(
-            processor, [a], [b], lambda c, g: setting
+        execution = run(
+            processor, Scenario.from_queues([a], [b]),
+            governor=lambda c, g: setting,
         )
         pair = corun_pair(
             processor, rodinia["dwt2d"], rodinia["streamcluster"], setting

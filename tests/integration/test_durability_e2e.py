@@ -1,0 +1,163 @@
+"""Durability acceptance: SIGKILL the daemon mid-burst, restart, lose nothing.
+
+The contract under test is the store's group-commit acknowledgement rule:
+a client that has *read* an acceptance for a submission holds a durable
+promise — after a ``kill -9`` at any instant and a restart over the same
+``--durable`` directory, every such job is still known, drains to exactly
+one completion, and the recovered event logs satisfy every store-log
+invariant (checked by the independent :mod:`repro.analysis.storecheck`
+verifier, with ``REPRO_SANITIZE=1`` arming the schedule sanitizer on the
+recovered session as well).
+
+The burst is 1000 pipelined submissions; admission capacity is kept small
+so the recovered working set drains in test time (the queue answers
+``backpressure`` for the excess in O(1), which is itself part of the
+overload contract — rejections are transient and carry no durability
+promise).
+"""
+
+import contextlib
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis import verify_store_dir
+from repro.service import protocol
+from repro.service.client import ServiceClient
+
+_BANNER_RE = re.compile(r"repro-service listening on ([\d.]+):(\d+)")
+
+_PROGRAMS = [
+    "streamcluster", "cfd", "dwt2d", "hotspot",
+    "srad", "lud", "leukocyte", "heartwall",
+]
+
+_BURST = 1000
+_SHARDS = 2
+_CAPACITY = 24  # per shard; bounds the post-restart drain
+
+
+def _spawn(durable_dir):
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--durable", str(durable_dir),
+            "--shards", str(_SHARDS),
+            "--queue-capacity", str(_CAPACITY),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env={**os.environ, "REPRO_SANITIZE": "1"},
+    )
+    banner = proc.stdout.readline().decode()
+    match = _BANNER_RE.search(banner)
+    if match is None:
+        proc.kill()
+        raise AssertionError(
+            f"daemon did not announce a port: {banner!r}\n"
+            + proc.stderr.read().decode()
+        )
+    return proc, match.group(1), int(match.group(2))
+
+
+@pytest.mark.slow
+class TestSigkillRecovery:
+    def test_acknowledged_jobs_survive_kill_dash_nine(self, tmp_path):
+        durable = tmp_path / "store"
+        proc, host, port = _spawn(durable)
+        acked_live: dict[str, str] = {}  # uid -> idempotency key
+        acked_rejected = 0
+        try:
+            sock = socket.create_connection((host, port))
+            rf = sock.makefile("rb")
+            sent = 0
+            # Chunked pipelining: read every response the server has
+            # acknowledged so far, then kill it mid-burst with the
+            # connection (and its WAL) hot.
+            for chunk_start in range(0, _BURST, 100):
+                chunk = b"".join(
+                    protocol.encode(
+                        protocol.SubmitRequest(
+                            program=_PROGRAMS[i % len(_PROGRAMS)],
+                            uid=f"burst-{i}",
+                            tenant=f"tenant-{i % 16}",
+                            idempotency_key=f"key-{i}",
+                        )
+                    )
+                    for i in range(chunk_start, chunk_start + 100)
+                )
+                sock.sendall(chunk)
+                for i in range(chunk_start, chunk_start + 100):
+                    reply = protocol.decode_response(rf.readline())
+                    sent += 1
+                    if isinstance(reply, protocol.SubmitResponse):
+                        acked_live[reply.job_id] = f"key-{i}"
+                    else:
+                        assert isinstance(reply, protocol.RejectionResponse)
+                        assert reply.code == "backpressure"
+                        acked_rejected += 1
+                if chunk_start >= 300:
+                    break  # kill mid-burst, well before the 1000th reply
+            assert sent < _BURST
+            assert acked_live, "no submission was admitted before the kill"
+            assert acked_rejected, "overload never produced backpressure"
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+            rf.close()
+            sock.close()
+
+            # ----------------------------------------------------------
+            # Restart over the same directory: zero acknowledged-job loss.
+            # ----------------------------------------------------------
+            proc, host, port = _spawn(durable)
+            with ServiceClient(host, port) as client:
+                recovered = {j["job_id"]: j for j in client.jobs()}
+                missing = set(acked_live) - set(recovered)
+                assert not missing, (
+                    f"{len(missing)} acknowledged job(s) lost in the crash: "
+                    f"{sorted(missing)[:5]}..."
+                )
+                # Interrupted work came back live, not stuck mid-run.
+                for uid in acked_live:
+                    assert recovered[uid]["state"] in (
+                        "queued", "held", "submitted",
+                    ), recovered[uid]
+
+                # Idempotency keys survive recovery: a client retrying a
+                # pre-crash submission gets its original job back.
+                retry_uid = next(iter(acked_live))
+                again = client.submit(
+                    "lud", idempotency_key=acked_live[retry_uid]
+                )
+                assert again.deduplicated and again.job_id == retry_uid
+
+                # Every recovered job completes exactly once.
+                done = client.drain()
+                finished = [c.job_id for c in done.completions]
+                assert len(finished) == len(set(finished)), (
+                    "duplicate completions after recovery"
+                )
+                assert set(acked_live) <= set(finished)
+                for job in client.jobs():
+                    if job["job_id"] in acked_live:
+                        assert job["state"] == "done"
+                client.shutdown()
+            proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+            with contextlib.suppress(Exception):
+                rf.close()
+                sock.close()
+
+        # ------------------------------------------------------------------
+        # The independent verifier referees both shard logs end to end.
+        # ------------------------------------------------------------------
+        assert verify_store_dir(durable, _SHARDS) == []

@@ -1,0 +1,144 @@
+"""Tests for the shard layer: routing, inline and process workers."""
+
+import zlib
+
+import pytest
+
+from repro.service import protocol
+from repro.service.shard import (
+    InlineShard,
+    ProcessShard,
+    ShardConfig,
+    ShardSet,
+)
+
+
+def _submit(program="lud", tenant="default", **kw):
+    return protocol.SubmitRequest(program=program, tenant=tenant, **kw)
+
+
+class TestRouting:
+    def test_route_is_stable_and_unsalted(self):
+        shards = ShardSet(ShardConfig(), shards=4)
+        try:
+            for tenant in ("acme", "umbrella", "default", "tenant-99"):
+                expected = zlib.crc32(tenant.encode()) % 4
+                assert shards.route(tenant) == expected
+                assert shards.route(tenant) == shards.route(tenant)
+        finally:
+            shards.close()
+
+    def test_single_shard_routes_everything_to_zero(self):
+        shards = ShardSet(ShardConfig(), shards=1)
+        try:
+            assert all(
+                shards.route(f"tenant-{i}") == 0 for i in range(20)
+            )
+        finally:
+            shards.close()
+
+    def test_many_tenants_spread_across_shards(self):
+        shards = ShardSet(ShardConfig(), shards=4)
+        try:
+            hit = {shards.route(f"tenant-{i}") for i in range(64)}
+            assert hit == {0, 1, 2, 3}
+        finally:
+            shards.close()
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError, match="shards"):
+            ShardSet(ShardConfig(), shards=0)
+        with pytest.raises(ValueError, match="worker mode"):
+            ShardSet(ShardConfig(), worker_mode="threads")
+
+
+class TestShardConfigFanout:
+    def test_shard_ids_and_seeds_are_distinct(self):
+        shards = ShardSet(ShardConfig(seed=100), shards=3)
+        try:
+            configs = [s.config for s in shards.shards]
+            assert [c.shard_id for c in configs] == [0, 1, 2]
+            assert [c.seed for c in configs] == [100, 101, 102]
+        finally:
+            shards.close()
+
+    def test_unseeded_config_stays_unseeded(self):
+        shards = ShardSet(ShardConfig(), shards=2)
+        try:
+            assert [s.config.seed for s in shards.shards] == [None, None]
+        finally:
+            shards.close()
+
+    def test_inline_mode_has_no_dispatch_pools(self):
+        shards = ShardSet(ShardConfig(), shards=2)
+        try:
+            assert shards.pool(0) is None and shards.pool(1) is None
+        finally:
+            shards.close()
+
+
+class TestInlineShard:
+    def test_submit_then_drain_round_trip(self):
+        shard = InlineShard(ShardConfig())
+        try:
+            submit, status = shard.call_batch(
+                [_submit(), protocol.StatusRequest()]
+            )
+            assert isinstance(submit, protocol.SubmitResponse)
+            assert submit.state == "queued"
+            assert status.queue_depth == 1
+            (drained,) = shard.call_batch([protocol.DrainRequest()])
+            assert [c.job_id for c in drained.completions] == [submit.job_id]
+        finally:
+            shard.close()
+
+    def test_durable_shard_writes_its_own_file(self, tmp_path):
+        shard = InlineShard(
+            ShardConfig(shard_id=3, durable_dir=tmp_path.as_posix())
+        )
+        try:
+            shard.call_batch([_submit()])
+        finally:
+            shard.close()
+        assert (tmp_path / "shard-3.sqlite").exists()
+
+
+class TestProcessShard:
+    def test_round_trip_across_the_pipe(self):
+        shards = ShardSet(ShardConfig(), shards=2, worker_mode="process")
+        try:
+            assert shards.pool(0) is not None
+            submit, drained = shards.call_batch(
+                0, [_submit(), protocol.DrainRequest()]
+            )
+            assert isinstance(submit, protocol.SubmitResponse)
+            assert [c.job_id for c in drained.completions] == [submit.job_id]
+            # The sibling shard is independent: nothing completed there.
+            (status,) = shards.call_batch(1, [protocol.StatusRequest()])
+            assert status.completed == 0
+        finally:
+            shards.close()
+
+    def test_workers_exit_on_close(self):
+        shards = ShardSet(ShardConfig(), shards=1, worker_mode="process")
+        worker = shards.shards[0].process
+        assert worker.is_alive()
+        shards.close()
+        assert not worker.is_alive()
+
+    def test_batch_exception_answers_structured_errors(self):
+        shard = ProcessShard(ShardConfig())
+        try:
+            # An unknown request type has no handler: the worker answers
+            # one internal error per request instead of dying.
+            replies = shard.call_batch(["not-a-request", "also-bad"])
+            assert len(replies) == 2
+            assert all(
+                isinstance(r, protocol.ErrorResponse) and r.code == "internal"
+                for r in replies
+            )
+            # ... and the worker is still serving afterwards.
+            (submit,) = shard.call_batch([_submit()])
+            assert isinstance(submit, protocol.SubmitResponse)
+        finally:
+            shard.close()

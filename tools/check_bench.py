@@ -5,21 +5,28 @@ Reads ``BENCH_results.json`` (written by ``benchmarks/conftest.py`` at the
 end of every benchmark session) and fails when a gated entry misses its
 threshold or the file is missing/malformed.
 
-Two gates are implemented:
+Three gates are implemented:
 
 * **tensor** (default): the tensor backend's recorded speedup over the
   cold-cache scalar baseline must meet ``--min-speedup``, with no scalar
   fallbacks on a fully tensorizable workload.
 * **sim** (``--sim-only``, the ``make bench-sim`` target): the event-core
   trace benchmark must have processed ``--min-events`` events at
-  ``--min-event-rate`` events/s.  Because each benchmark session rewrites
-  the whole results file, the sim entry is only *required* in sim-only
-  mode; in default mode it is validated opportunistically when present.
+  ``--min-event-rate`` events/s.
+* **service** (``--service-only``, the ``make bench-service`` target):
+  the async front end must sustain ``--min-submissions-per-s``
+  acknowledged submissions/s, record a numeric p99 turnaround, and answer
+  2x overload with structured rejections instead of collapsing.
+
+Because each benchmark session rewrites the whole results file, the sim
+and service entries are only *required* in their respective ``--X-only``
+modes; in default mode they are validated opportunistically when present.
 
 Usage::
 
     python tools/check_bench.py [RESULTS.json] [--min-speedup X]
     python tools/check_bench.py --sim-only [--min-event-rate X]
+    python tools/check_bench.py --service-only [--min-submissions-per-s X]
 """
 
 from __future__ import annotations
@@ -40,6 +47,14 @@ DEFAULT_MIN_EVENTS = 100_000
 #: the hard gate sits lower so slow CI runners fail on regressions, not on
 #: machine noise.
 DEFAULT_MIN_EVENT_RATE = 50_000.0
+SERVICE_ENTRY = "service_throughput"
+#: Sustained submission-rate floor for the async service tier.  The design
+#: target is 10k submissions/s (recorded in the entry as
+#: ``design_target_submissions_per_s``; the benchmark reaches 10-15k/s on
+#: a quiet machine), but — like the sim gate above — the hard floor sits
+#: at half the target so noisy shared runners fail on regressions, not on
+#: neighbor load.
+DEFAULT_MIN_SUBMISSIONS_PER_S = 5_000.0
 
 
 def _check_tensor(benchmarks: dict, min_speedup: float) -> list[str]:
@@ -103,13 +118,61 @@ def _check_sim(
     return failures
 
 
+def _check_service(
+    benchmarks: dict,
+    min_submissions_per_s: float,
+    *,
+    required: bool,
+) -> list[str]:
+    entry = benchmarks.get(SERVICE_ENTRY)
+    if entry is None:
+        if required:
+            return [
+                f"missing the {SERVICE_ENTRY!r} entry (run "
+                "benchmarks/test_service_throughput.py first)"
+            ]
+        return []
+
+    failures: list[str] = []
+    rate = entry.get("submissions_per_s")
+    if not isinstance(rate, (int, float)):
+        failures.append(
+            f"{SERVICE_ENTRY}: no numeric 'submissions_per_s' recorded"
+        )
+    elif rate < min_submissions_per_s:
+        failures.append(
+            f"{SERVICE_ENTRY}: submission rate {rate:,.0f}/s is below the "
+            f"{min_submissions_per_s:,.0f}/s gate"
+        )
+    p99 = entry.get("p99_turnaround_s")
+    if not isinstance(p99, (int, float)):
+        failures.append(
+            f"{SERVICE_ENTRY}: no numeric 'p99_turnaround_s' recorded"
+        )
+    rejected = entry.get("overload_rejected")
+    if not isinstance(rejected, (int, float)) or rejected <= 0:
+        failures.append(
+            f"{SERVICE_ENTRY}: no overload rejections recorded — the "
+            "2x-overload backpressure leg did not run"
+        )
+    overload_rate = entry.get("overload_submissions_per_s")
+    if not isinstance(overload_rate, (int, float)) or overload_rate <= 0:
+        failures.append(
+            f"{SERVICE_ENTRY}: no numeric 'overload_submissions_per_s' "
+            "recorded"
+        )
+    return failures
+
+
 def check(
     path: Path,
     min_speedup: float,
     *,
     min_events: int = DEFAULT_MIN_EVENTS,
     min_event_rate: float = DEFAULT_MIN_EVENT_RATE,
+    min_submissions_per_s: float = DEFAULT_MIN_SUBMISSIONS_PER_S,
     sim_only: bool = False,
+    service_only: bool = False,
 ) -> list[str]:
     """Return a list of failure messages (empty == pass)."""
     if not path.exists():
@@ -124,11 +187,16 @@ def check(
         return [f"{path}: no 'benchmarks' mapping"]
 
     failures: list[str] = []
-    if not sim_only:
+    if not (sim_only or service_only):
         failures += _check_tensor(benchmarks, min_speedup)
-    failures += _check_sim(
-        benchmarks, min_events, min_event_rate, required=sim_only
-    )
+    if not service_only:
+        failures += _check_sim(
+            benchmarks, min_events, min_event_rate, required=sim_only
+        )
+    if not sim_only:
+        failures += _check_service(
+            benchmarks, min_submissions_per_s, required=service_only
+        )
     return [f"{path}: {m}" if m.startswith("missing") else m for m in failures]
 
 
@@ -149,6 +217,17 @@ def main(argv: list[str] | None = None) -> int:
         f"{SIM_ENTRY!r} entry; skips the tensor gate)",
     )
     parser.add_argument(
+        "--service-only", action="store_true",
+        help="gate only the service-throughput benchmark (requires the "
+        f"{SERVICE_ENTRY!r} entry; skips the tensor and sim gates)",
+    )
+    parser.add_argument(
+        "--min-submissions-per-s", type=float,
+        default=DEFAULT_MIN_SUBMISSIONS_PER_S,
+        help=f"minimum sustained submissions/s (default: "
+        f"{DEFAULT_MIN_SUBMISSIONS_PER_S:,.0f})",
+    )
+    parser.add_argument(
         "--min-events", type=int, default=DEFAULT_MIN_EVENTS,
         help=f"minimum trace size in events (default: "
         f"{DEFAULT_MIN_EVENTS:,})",
@@ -159,12 +238,16 @@ def main(argv: list[str] | None = None) -> int:
         f"{DEFAULT_MIN_EVENT_RATE:,.0f})",
     )
     args = parser.parse_args(argv)
+    if args.sim_only and args.service_only:
+        parser.error("--sim-only and --service-only are mutually exclusive")
     failures = check(
         Path(args.results),
         args.min_speedup,
         min_events=args.min_events,
         min_event_rate=args.min_event_rate,
+        min_submissions_per_s=args.min_submissions_per_s,
         sim_only=args.sim_only,
+        service_only=args.service_only,
     )
     for message in failures:
         print(f"FAIL: {message}", file=sys.stderr)
@@ -178,6 +261,16 @@ def main(argv: list[str] | None = None) -> int:
                 f"{entry['events_per_s']:,.0f}/s >= "
                 f"{args.min_event_rate:,.0f}/s "
                 f"(wall {entry['wall_s']:.3f}s)"
+            )
+        elif args.service_only:
+            entry = benchmarks[SERVICE_ENTRY]
+            print(
+                f"ok: service tier {entry['submissions']:g} submissions at "
+                f"{entry['submissions_per_s']:,.0f}/s >= "
+                f"{args.min_submissions_per_s:,.0f}/s "
+                f"(p99 turnaround {entry['p99_turnaround_s']:.3f}s, "
+                f"overload rejected {entry['overload_rejected']:g} at "
+                f"{entry['overload_submissions_per_s']:,.0f}/s)"
             )
         else:
             entry = benchmarks[TENSOR_ENTRY]

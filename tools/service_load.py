@@ -1,0 +1,288 @@
+#!/usr/bin/env python
+"""Pipelined load generator for the co-scheduling daemon.
+
+Drives one (or more) raw connections against a running ``repro serve``
+instance at full pipeline depth: submissions are encoded in chunks,
+written back-to-back, and acknowledgements are read in order — so the
+measured rate is the daemon's decode -> route -> admit -> group-commit ->
+encode pipeline, not the client's round-trip latency.
+
+Importable (``run_load`` / ``run_overload``) for the service-throughput
+benchmark, and runnable standalone against a live daemon::
+
+    python tools/service_load.py --port 4242 --submissions 10000
+    python tools/service_load.py --spawn --submissions 10000 --shards 2
+
+``--spawn`` boots a throwaway daemon on an ephemeral port first (and
+shuts it down after), so the tool works with no setup at all.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+sys.path.insert(0, _SRC)
+
+from repro.service import protocol  # noqa: E402
+
+_BANNER_RE = re.compile(r"repro-service listening on ([\d.]+):(\d+)")
+
+PROGRAMS = (
+    "streamcluster", "cfd", "dwt2d", "hotspot",
+    "srad", "lud", "leukocyte", "heartwall",
+)
+
+DEFAULT_CHUNK = 500
+
+
+def spawn_daemon(
+    *,
+    shards: int = 1,
+    worker_mode: str = "inline",
+    queue_capacity: int | None = None,
+    durable_dir: str | None = None,
+) -> tuple[subprocess.Popen, str, int]:
+    """Boot a throwaway ``repro serve`` daemon on an ephemeral port.
+
+    Returns ``(proc, host, port)`` once the daemon announces its address.
+    The caller owns the process; a daemon holding thousands of queued
+    jobs should be killed (``proc.kill()``), not shut down gracefully —
+    graceful shutdown drains every queued job first.
+    """
+    argv = [
+        sys.executable, "-m", "repro", "serve", "--port", "0",
+        "--shards", str(shards),
+        "--worker-mode", worker_mode,
+    ]
+    if queue_capacity is not None:
+        argv += ["--queue-capacity", str(queue_capacity)]
+    if durable_dir is not None:
+        argv += ["--durable", durable_dir]
+    proc = subprocess.Popen(
+        argv,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env={
+            **os.environ,
+            "PYTHONPATH": os.pathsep.join(
+                p for p in (_SRC, os.environ.get("PYTHONPATH")) if p
+            ),
+        },
+    )
+    match = _BANNER_RE.search(proc.stdout.readline())
+    if match is None:
+        proc.kill()
+        raise RuntimeError("daemon did not announce a port")
+    return proc, match.group(1), int(match.group(2))
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, int(q * (len(sorted_values) - 1) + 0.5)
+    )
+    return sorted_values[index]
+
+
+def run_load(
+    host: str,
+    port: int,
+    *,
+    submissions: int,
+    tenants: int = 16,
+    chunk: int = DEFAULT_CHUNK,
+    uid_prefix: str = "load",
+) -> dict:
+    """Pipeline ``submissions`` submit requests; return throughput stats.
+
+    Every request carries a distinct uid and tenant (round-robin over
+    ``tenants``), so sharded daemons spread the load across shards the
+    same way production traffic would.  The returned dict reports wall
+    time, accepted/held/rejected counts, the sustained submissions/s, and
+    per-chunk round-trip percentiles.
+    """
+    # Pre-encode every chunk so the timed window measures the daemon's
+    # pipeline, not this client's request building.
+    chunks: list[tuple[int, bytes]] = []
+    for base in range(0, submissions, chunk):
+        n = min(chunk, submissions - base)
+        chunks.append((n, b"".join(
+            protocol.encode(
+                protocol.SubmitRequest(
+                    program=PROGRAMS[i % len(PROGRAMS)],
+                    uid=f"{uid_prefix}-{i}",
+                    tenant=f"tenant-{i % tenants}",
+                )
+            )
+            for i in range(base, base + n)
+        )))
+
+    sock = socket.create_connection((host, port))
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    accepted = held = rejected = 0
+    chunk_s: list[float] = []
+    t0 = time.perf_counter()
+    try:
+        for n, payload in chunks:
+            c0 = time.perf_counter()
+            sock.sendall(payload)
+            # Account acks wrk-style — count newline-framed replies and
+            # their outcome tokens with C-speed bytes.count over each
+            # recv block — because this client shares its single CPU with
+            # the daemon it is measuring: parsing every ack as JSON would
+            # bill the daemon for the client's own decode time.  The
+            # carry keeps partial trailing lines intact so no token is
+            # ever split across blocks.
+            seen = 0
+            carry = b""
+            while seen < n:
+                block = sock.recv(1 << 16)
+                if not block:
+                    raise RuntimeError("daemon closed mid-chunk")
+                buf = carry + block
+                whole, sep, carry = buf.rpartition(b"\n")
+                if not sep:
+                    carry = buf
+                    continue
+                whole += b"\n"
+                lines = whole.count(b"\n")
+                seen += lines
+                submitted = whole.count(b'"type":"submitted"')
+                was_held = whole.count(b'"state":"held"')
+                was_rejected = whole.count(b'"type":"rejected"')
+                if submitted + was_rejected != lines:
+                    raise RuntimeError(
+                        f"unexpected reply among: {whole[:200]!r}"
+                    )
+                accepted += submitted - was_held
+                held += was_held
+                rejected += was_rejected
+            if seen != n or carry:
+                raise RuntimeError(f"reply framing drifted ({seen}/{n})")
+            chunk_s.append(time.perf_counter() - c0)
+    finally:
+        sock.close()
+    wall_s = time.perf_counter() - t0
+    chunk_s.sort()
+    return {
+        "submissions": submissions,
+        "accepted": accepted,
+        "held": held,
+        "rejected": rejected,
+        "wall_s": wall_s,
+        "submissions_per_s": submissions / wall_s if wall_s > 0 else 0.0,
+        "chunk": chunk,
+        "chunk_p50_s": _percentile(chunk_s, 0.50),
+        "chunk_p99_s": _percentile(chunk_s, 0.99),
+    }
+
+
+def run_overload(
+    host: str,
+    port: int,
+    *,
+    capacity: int,
+    factor: float = 2.0,
+    chunk: int = DEFAULT_CHUNK,
+    uid_prefix: str = "overload",
+) -> dict:
+    """Submit ``factor * capacity`` jobs against a ``capacity``-job queue.
+
+    Graceful backpressure means the daemon answers the excess with
+    structured O(1) rejections instead of slowing down: the stats report
+    the rejection rate and the sustained rate *during* overload.
+    """
+    stats = run_load(
+        host,
+        port,
+        submissions=int(capacity * factor),
+        tenants=1,  # one session: all load lands on one shard's queue
+        chunk=chunk,
+        uid_prefix=uid_prefix,
+    )
+    stats["capacity"] = capacity
+    stats["overload_factor"] = factor
+    return stats
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=None)
+    parser.add_argument(
+        "--spawn", action="store_true",
+        help="boot a temporary daemon instead of targeting --port",
+    )
+    parser.add_argument("--submissions", type=int, default=10_000)
+    parser.add_argument("--tenants", type=int, default=16)
+    parser.add_argument("--chunk", type=int, default=DEFAULT_CHUNK)
+    parser.add_argument(
+        "--shards", type=int, default=1, help="shards for --spawn"
+    )
+    parser.add_argument(
+        "--worker-mode", default="inline", choices=("inline", "process"),
+        dest="worker_mode", help="shard worker mode for --spawn",
+    )
+    parser.add_argument(
+        "--queue-capacity", type=int, default=None,
+        help="queue capacity for --spawn (default: fit the whole load)",
+    )
+    args = parser.parse_args(argv)
+    if args.spawn == (args.port is not None):
+        parser.error("exactly one of --port or --spawn is required")
+
+    proc = None
+    host, port = args.host, args.port
+    if args.spawn:
+        try:
+            proc, host, port = spawn_daemon(
+                shards=args.shards,
+                worker_mode=args.worker_mode,
+                queue_capacity=(
+                    args.queue_capacity
+                    if args.queue_capacity is not None
+                    else args.submissions
+                ),
+            )
+        except RuntimeError as exc:
+            print(exc, file=sys.stderr)
+            return 1
+
+    try:
+        stats = run_load(
+            host,
+            port,
+            submissions=args.submissions,
+            tenants=args.tenants,
+            chunk=args.chunk,
+        )
+    finally:
+        if proc is not None:
+            # A graceful shutdown would drain every queued job first; the
+            # throwaway daemon holds thousands of them, so just kill it.
+            proc.kill()
+            proc.wait(timeout=60)
+
+    print(
+        f"{stats['submissions']} submissions in {stats['wall_s']:.3f}s = "
+        f"{stats['submissions_per_s']:,.0f}/s "
+        f"(accepted {stats['accepted']}, held {stats['held']}, "
+        f"rejected {stats['rejected']}; "
+        f"chunk p50 {stats['chunk_p50_s'] * 1e3:.1f}ms, "
+        f"p99 {stats['chunk_p99_s'] * 1e3:.1f}ms)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

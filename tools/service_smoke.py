@@ -1,9 +1,18 @@
 """CI smoke check for the co-scheduling daemon.
 
-Boots ``repro serve`` on an ephemeral port, submits one job through
-:class:`repro.service.client.ServiceClient`, drains the timeline, and
-asserts the job completed and the daemon shut down cleanly.  Exits
-non-zero on any deviation, printing the daemon's stderr for diagnosis.
+Three scenarios, each against a freshly booted ``repro serve`` on an
+ephemeral port:
+
+* **basic** — submit one job, drain, assert it completed and the daemon
+  shut down cleanly;
+* **durable** — submit against ``--durable``, kill the daemon without
+  shutdown, restart over the same directory, and assert the job was
+  recovered (same id, idempotency key deduplicates) and still completes;
+* **multi-tenant** — sharded daemon with a per-tenant quota: one tenant's
+  burst hits ``tenant_quota`` while another tenant still gets in.
+
+Exits non-zero on any deviation, printing the daemon's stderr for
+diagnosis.
 """
 
 from __future__ import annotations
@@ -11,59 +20,158 @@ from __future__ import annotations
 import re
 import subprocess
 import sys
+import tempfile
 
 from repro.service.client import ServiceClient
 
 _BANNER_RE = re.compile(r"repro-service listening on ([\d.]+):(\d+)")
 
 
-def main() -> int:
+class SmokeFailure(RuntimeError):
+    """One smoke scenario deviated from the contract."""
+
+
+def _spawn(*extra_args: str) -> tuple[subprocess.Popen, str, int]:
     proc = subprocess.Popen(
-        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        [sys.executable, "-m", "repro", "serve", "--port", "0", *extra_args],
         stdout=subprocess.PIPE,
         stderr=subprocess.PIPE,
         text=True,
     )
-    try:
-        banner = proc.stdout.readline()
-        match = _BANNER_RE.search(banner)
-        if match is None:
-            print(f"no banner in {banner!r}", file=sys.stderr)
-            print(proc.stderr.read(), file=sys.stderr)
-            return 1
-        host, port = match.group(1), int(match.group(2))
+    banner = proc.stdout.readline()
+    match = _BANNER_RE.search(banner)
+    if match is None:
+        stderr = proc.stderr.read()
+        proc.kill()
+        raise SmokeFailure(f"no banner in {banner!r}; stderr: {stderr}")
+    return proc, match.group(1), int(match.group(2))
 
+
+def _finish(proc: subprocess.Popen) -> None:
+    """Wait for a daemon that was asked to shut down; fail on a bad exit."""
+    code = proc.wait(timeout=60)
+    if code != 0:
+        raise SmokeFailure(f"daemon exited {code}: {proc.stderr.read()}")
+
+
+def _smoke_basic() -> str:
+    proc, host, port = _spawn()
+    try:
         with ServiceClient(host, port) as client:
             accepted = client.submit("streamcluster")
             if accepted.state != "queued":
-                print(f"submission not queued: {accepted}", file=sys.stderr)
-                return 1
+                raise SmokeFailure(f"submission not queued: {accepted}")
             drained = client.drain()
             finished = [c.job_id for c in drained.completions]
             if finished != [accepted.job_id]:
-                print(f"expected {accepted.job_id} done, got {finished}",
-                      file=sys.stderr)
-                return 1
+                raise SmokeFailure(
+                    f"expected {accepted.job_id} done, got {finished}"
+                )
             status = client.status()
             if status.queue_depth != 0 or status.completed != 1:
-                print(f"bad final status: {status}", file=sys.stderr)
-                return 1
+                raise SmokeFailure(f"bad final status: {status}")
             client.shutdown()
-
-        code = proc.wait(timeout=60)
-        if code != 0:
-            print(f"daemon exited {code}", file=sys.stderr)
-            print(proc.stderr.read(), file=sys.stderr)
-            return 1
-        print(
-            f"service smoke OK: {accepted.job_id} completed at "
+        _finish(proc)
+        return (
+            f"basic: {accepted.job_id} completed at "
             f"t={drained.now_s:.2f}s (virtual)"
         )
-        return 0
     finally:
         if proc.poll() is None:
             proc.kill()
             proc.wait(timeout=30)
+
+
+def _smoke_durable() -> str:
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as durable:
+        proc, host, port = _spawn("--durable", durable)
+        try:
+            with ServiceClient(host, port) as client:
+                accepted = client.submit(
+                    "cfd", uid="smoke-durable", idempotency_key="smoke-key"
+                )
+                if accepted.state != "queued":
+                    raise SmokeFailure(f"submission not queued: {accepted}")
+        finally:
+            # Hard kill: the acknowledged job must survive in the log.
+            proc.kill()
+            proc.wait(timeout=30)
+
+        proc, host, port = _spawn("--durable", durable)
+        try:
+            with ServiceClient(host, port) as client:
+                jobs = {j["job_id"]: j for j in client.jobs()}
+                if "smoke-durable" not in jobs:
+                    raise SmokeFailure(
+                        f"acknowledged job lost across restart: {jobs}"
+                    )
+                retry = client.submit(
+                    "cfd", uid="smoke-retry", idempotency_key="smoke-key"
+                )
+                if not retry.deduplicated or retry.job_id != "smoke-durable":
+                    raise SmokeFailure(
+                        f"idempotent retry not deduplicated: {retry}"
+                    )
+                drained = client.drain()
+                finished = [c.job_id for c in drained.completions]
+                if finished != ["smoke-durable"]:
+                    raise SmokeFailure(
+                        f"recovered job did not complete: {finished}"
+                    )
+                client.shutdown()
+            _finish(proc)
+            return "durable: smoke-durable survived kill -9 and completed"
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+
+
+def _smoke_multi_tenant() -> str:
+    proc, host, port = _spawn("--shards", "2", "--tenant-quota", "2")
+    try:
+        with ServiceClient(host, port) as client:
+            quota_hits = 0
+            for i in range(4):
+                reply = client.submit(
+                    "lud", uid=f"smoke-a{i}", tenant="tenant-a"
+                )
+                code = getattr(reply, "code", None)
+                if code == "tenant_quota":
+                    quota_hits += 1
+                elif reply.state != "queued":
+                    raise SmokeFailure(f"unexpected reply: {reply}")
+            if quota_hits != 2:
+                raise SmokeFailure(
+                    f"expected 2 tenant_quota rejections, got {quota_hits}"
+                )
+            other = client.submit("lud", uid="smoke-b0", tenant="tenant-b")
+            if other.state != "queued":
+                raise SmokeFailure(
+                    f"other tenant blocked by a's quota: {other}"
+                )
+            drained = client.drain()
+            if len(drained.completions) != 3:
+                raise SmokeFailure(
+                    f"expected 3 completions, got {drained.completions}"
+                )
+            client.shutdown()
+        _finish(proc)
+        return "multi-tenant: quota enforced per tenant across 2 shards"
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+
+
+def main() -> int:
+    try:
+        for line in (_smoke_basic(), _smoke_durable(), _smoke_multi_tenant()):
+            print(f"service smoke OK: {line}")
+    except SmokeFailure as exc:
+        print(f"service smoke FAILED: {exc}", file=sys.stderr)
+        return 1
+    return 0
 
 
 if __name__ == "__main__":
