@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test lint analyze bench bench-backend bench-sim bench-service bench-all experiments report calibration examples clean
+.PHONY: install test lint analyze bench bench-backend bench-sim bench-service bench-fleet bench-all experiments report calibration examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -16,7 +16,7 @@ lint: analyze
 	mypy src/repro
 	python tools/check_calibration.py
 
-# Repo-specific REP001-REP008 AST rules (same gate as `repro analyze` in CI).
+# Repo-specific REP001-REP009 AST rules (same gate as `repro analyze` in CI).
 analyze:
 	python -m repro.analysis.lint src tests tools
 
@@ -39,6 +39,12 @@ bench-sim:
 bench-service:
 	pytest benchmarks/test_service_throughput.py -q
 	python tools/check_bench.py --service-only
+
+# The fleet gate: 16-job, 4-node GA+refine must beat one APU 2x on
+# makespan, execute every job, and verify clean.
+bench-fleet:
+	pytest benchmarks/test_fleet_solvers.py -q
+	python tools/check_bench.py --fleet-only
 
 bench-all:
 	pytest benchmarks/ --benchmark-only

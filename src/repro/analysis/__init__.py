@@ -20,7 +20,7 @@ Two halves, both independent of the code they check:
   orphan events — the referee the durability e2e suite calls after
   ``kill -9``.
 * :mod:`repro.analysis.lint` — a repo-specific **AST lint pack**
-  (``python -m repro.analysis.lint src tests tools``; rules REP001-REP008)
+  (``python -m repro.analysis.lint src tests tools``; rules REP001-REP009)
   enforcing the architectural conventions that keep the above true:
   contexts instead of raw plumbing, seeded RNGs, tolerance-based float
   comparisons, cache-respecting evaluation, locked service state, a

@@ -66,6 +66,19 @@ ALL_INVARIANTS = (
     INVARIANT_LOWER_BOUND,
 )
 
+#: Fleet-level invariants (the :func:`verify_fleet_schedule` vocabulary):
+#: the job partition across nodes, each node's own cap, and the shared
+#: fleet budget swept over the union of per-node power timelines.
+INVARIANT_FLEET_PARTITION = "fleet-partition"
+INVARIANT_NODE_CAP = "node-power-cap"
+INVARIANT_FLEET_BUDGET = "fleet-budget"
+
+FLEET_INVARIANTS = (
+    INVARIANT_FLEET_PARTITION,
+    INVARIANT_NODE_CAP,
+    INVARIANT_FLEET_BUDGET,
+)
+
 #: Execution-record invariants (the :func:`verify_execution` vocabulary) —
 #: structural properties of an :class:`~repro.engine.sim.ExecutionResult`,
 #: including preempted and migrated timelines the schedule-level verifier
@@ -271,6 +284,9 @@ def _check_timeline(
     finish (e.g. the governor found no feasible setting mid-replay — which
     is itself reported as a power-cap violation).
     """
+    from repro.core.feasibility import context_cap
+
+    cap_w = context_cap(ctx)
     processor = getattr(ctx.predictor, "processor", None)
     cpu_levels = processor.cpu.domain.levels if processor is not None else None
     gpu_levels = processor.gpu.domain.levels if processor is not None else None
@@ -312,19 +328,19 @@ def _check_timeline(
                     )
                 )
             power = _segment_power_w(ctx.predictor, seg)
-            if power > ctx.cap_w * (1.0 + rel_tol):
+            if power > cap_w * (1.0 + rel_tol):
                 out.append(
                     Violation(
                         INVARIANT_POWER_CAP,
                         f"predicted chip power {power:.3f} W for {pair} at "
-                        f"{seg.setting} exceeds the {ctx.cap_w:g} W cap "
+                        f"{seg.setting} exceeds the {cap_w:g} W cap "
                         f"(co-run interval starting at t={seg.t0:.3f}s)",
                         MappingProxyType(
                             {
                                 "pair": pair,
                                 "setting": seg.setting,
                                 "power_w": power,
-                                "cap_w": ctx.cap_w,
+                                "cap_w": cap_w,
                                 "t0_s": seg.t0,
                             }
                         ),
@@ -336,7 +352,7 @@ def _check_timeline(
                 INVARIANT_POWER_CAP,
                 "governor found no cap-feasible frequency setting while "
                 f"replaying the schedule: {exc}",
-                MappingProxyType({"cap_w": ctx.cap_w, "jobs": exc.jobs}),
+                MappingProxyType({"cap_w": cap_w, "jobs": exc.jobs}),
             )
         )
         return out, None
@@ -361,17 +377,19 @@ def _check_makespan(ctx, schedule, replayed: float, rel_tol: float) -> list[Viol
 
 def _check_lower_bound(ctx, replayed: float, rel_tol: float) -> list[Violation]:
     from repro.core.bounds import lower_bound
+    from repro.core.feasibility import context_cap
 
+    cap_w = context_cap(ctx)
     try:
         # Pieces passed explicitly so duck-typed contexts work too.
-        t_low, _ = lower_bound(ctx.predictor, ctx.jobs, ctx.cap_w)
+        t_low, _ = lower_bound(ctx.predictor, ctx.jobs, cap_w)
     except (InfeasibleCapError, ValueError) as exc:
         return [
             Violation(
                 INVARIANT_LOWER_BOUND,
-                f"T_low could not be derived under the {ctx.cap_w:g} W cap: "
+                f"T_low could not be derived under the {cap_w:g} W cap: "
                 f"{exc}",
-                MappingProxyType({"cap_w": ctx.cap_w}),
+                MappingProxyType({"cap_w": cap_w}),
             )
         ]
     if replayed < t_low * (1.0 - rel_tol) - 1e-9:
@@ -729,3 +747,179 @@ def maybe_check_execution(result, *, where: str = "engine.run", ctx=None) -> Non
     """Run :func:`check_execution` only when the sanitizer is armed."""
     if sanitizer_enabled(ctx):
         check_execution(result, where=where)
+
+
+# ----------------------------------------------------------------------
+# Fleet-level invariants (the fleet_schedule sanitizer hook)
+# ----------------------------------------------------------------------
+def _check_fleet_partition(ctx, result) -> list[Violation]:
+    """The per-node assignments must partition the context's job set."""
+    out: list[Violation] = []
+    expected = [j.uid for j in ctx.jobs]
+    assigned: list[str] = []
+    for a in result.assignments:
+        assigned.extend(j.uid for j in a.jobs)
+    duplicates = sorted(u for u, n in Counter(assigned).items() if n > 1)
+    if duplicates:
+        out.append(
+            Violation(
+                INVARIANT_FLEET_PARTITION,
+                "job(s) assigned to more than one node: "
+                + ", ".join(duplicates),
+                MappingProxyType({"duplicates": tuple(duplicates)}),
+            )
+        )
+    missing = sorted(set(expected) - set(assigned))
+    if missing:
+        out.append(
+            Violation(
+                INVARIANT_FLEET_PARTITION,
+                "job(s) from the problem were assigned to no node: "
+                + ", ".join(missing),
+                MappingProxyType({"missing": tuple(missing)}),
+            )
+        )
+    extra = sorted(set(assigned) - set(expected))
+    if extra:
+        out.append(
+            Violation(
+                INVARIANT_FLEET_PARTITION,
+                "fleet schedule contains job(s) not in the problem: "
+                + ", ".join(extra),
+                MappingProxyType({"extra": tuple(extra)}),
+            )
+        )
+    known = {n.name for n in ctx.fleet.nodes}
+    ghosts = sorted(
+        set(a.node for a in result.assignments) - known
+    ) + sorted(set(result.idle_nodes) - known)
+    for name in ghosts:
+        out.append(
+            Violation(
+                INVARIANT_FLEET_PARTITION,
+                f"schedule references node {name!r} which is not in the fleet",
+                MappingProxyType({"node": name}),
+            )
+        )
+    return out
+
+
+def _node_power_steps(sub, schedule) -> list[tuple[float, float, float]]:
+    """(t0, t1, power_w) steps of one node's independently replayed plan.
+
+    All nodes share the same wall clock — the node predictor already folds
+    ``speed_scale`` into its times and ``power_scale`` into its powers, so
+    steps from different nodes line up directly.
+    """
+    steps = []
+    for seg in _replay_segments(schedule, sub.predictor, sub.governor):
+        steps.append(
+            (seg.t0, seg.t0 + seg.dt, _segment_power_w(sub.predictor, seg))
+        )
+    return steps
+
+
+def _check_fleet_budget(
+    ctx, profiles: Mapping[str, list], rel_tol: float
+) -> list[Violation]:
+    """Sweep summed node powers over every timeline boundary vs. the budget."""
+    budget = ctx.fleet.budget_w
+    if budget is None:
+        return []
+    boundaries = sorted(
+        {t for steps in profiles.values() for t0, t1, _ in steps for t in (t0, t1)}
+    )
+    out: list[Violation] = []
+    for t0, t1 in zip(boundaries, boundaries[1:]):
+        mid = 0.5 * (t0 + t1)
+        active = {
+            node: p
+            for node, steps in profiles.items()
+            for s0, s1, p in steps
+            if s0 <= mid < s1
+        }
+        total = sum(active.values())
+        if total > budget * (1.0 + rel_tol):
+            out.append(
+                Violation(
+                    INVARIANT_FLEET_BUDGET,
+                    f"summed fleet power {total:.3f} W over "
+                    f"t=[{t0:.3f}s, {t1:.3f}s) exceeds the shared "
+                    f"{budget:g} W budget "
+                    f"({', '.join(f'{n}={p:.3f}' for n, p in sorted(active.items()))})",
+                    MappingProxyType(
+                        {
+                            "budget_w": budget,
+                            "power_w": total,
+                            "t0_s": t0,
+                            "t1_s": t1,
+                            "per_node_w": MappingProxyType(dict(active)),
+                        }
+                    ),
+                )
+            )
+    return out
+
+
+def verify_fleet_schedule(ctx, result, *, rel_tol: float = DEFAULT_REL_TOL) -> list[Violation]:
+    """Check the fleet-level invariants of a :class:`FleetScheduleResult`.
+
+    Three layers: the assignments must partition ``ctx.jobs`` across real
+    fleet nodes (:data:`INVARIANT_FLEET_PARTITION`); each node's plan must
+    satisfy every Definition 2.1 invariant on that node's derived
+    single-node sub-context, with power-cap breaches re-tagged
+    :data:`INVARIANT_NODE_CAP` and messages naming the node; and when the
+    fleet declares a shared ``budget_w``, the *summed* per-node predicted
+    power must stay under it over every interval of the union timeline
+    (:data:`INVARIANT_FLEET_BUDGET`).  Returns the (possibly empty)
+    violation list; use :func:`check_fleet_schedule` to raise instead.
+    """
+    violations = _check_fleet_partition(ctx, result)
+    profiles: dict[str, list] = {}
+    for a in result.assignments:
+        try:
+            index = ctx.fleet.index(a.node)
+        except KeyError:
+            continue  # already reported as a partition violation
+        sub = ctx.node_context(index, jobs=a.jobs)
+        for v in verify_schedule(sub, a.schedule, rel_tol=rel_tol):
+            if v.invariant == INVARIANT_POWER_CAP:
+                v = Violation(
+                    INVARIANT_NODE_CAP,
+                    f"[{a.node}] {v.message}",
+                    MappingProxyType(dict(v.details, node=a.node)),
+                )
+            else:
+                v = Violation(
+                    v.invariant,
+                    f"[{a.node}] {v.message}",
+                    MappingProxyType(dict(v.details, node=a.node)),
+                )
+            violations.append(v)
+        if ctx.fleet.budget_w is not None:
+            try:
+                profiles[a.node] = _node_power_steps(sub, a.schedule)
+            except InfeasibleCapError:
+                pass  # the per-node verifier reported the replay failure
+    violations.extend(_check_fleet_budget(ctx, profiles, rel_tol))
+    return violations
+
+
+def check_fleet_schedule(
+    ctx, result, *, where: str = "fleet", rel_tol: float = DEFAULT_REL_TOL
+) -> None:
+    """Verify a fleet schedule and raise on any violation."""
+    violations = verify_fleet_schedule(ctx, result, rel_tol=rel_tol)
+    if violations:
+        summary = "; ".join(str(v) for v in violations)
+        raise ScheduleInvariantError(
+            f"invalid fleet schedule from {where}: {summary}",
+            violations=tuple(violations),
+            where=where,
+        )
+
+
+def maybe_check_fleet_schedule(ctx, result, *, where: str = "fleet") -> None:
+    """Run :func:`check_fleet_schedule` only when the sanitizer is armed."""
+    if sanitizer_enabled(ctx):
+        check_fleet_schedule(ctx, result, where=where)

@@ -1,4 +1,4 @@
-"""The REP001-REP008 rule catalog (see docs/ANALYSIS.md for the rationale).
+"""The REP001-REP009 rule catalog (see docs/ANALYSIS.md for the rationale).
 
 Each rule enforces a convention this codebase relies on for correctness but
 that nothing machine-checked before:
@@ -22,6 +22,11 @@ that nothing machine-checked before:
 * REP008 — durable job-store state changes flow through the event-log
   API (``commit``/``flush``/``fold``); no other store/service module may
   reach into a store's ``_state`` / ``_log`` internals directly.
+* REP009 — production code reads a context's power cap through
+  ``repro.core.feasibility.context_cap`` (or the fleet API), never raw
+  ``ctx.cap_w`` attribute plumbing: on a multi-node fleet context the
+  scalar alias is meaningless, and ``context_cap`` is where that is
+  enforced.
 """
 
 from __future__ import annotations
@@ -468,6 +473,52 @@ class StoreBypassRule(LintRule):
                 )
 
 
+class RawContextCapRule(LintRule):
+    code = "REP009"
+    title = "raw ctx.cap_w read outside the feasibility/fleet layer"
+    rationale = (
+        "The fleet refactor made cap_w a single-node *alias*: on a"
+        " multi-node context it is None and per-node caps live on the"
+        " fleet. context_cap(ctx) is the sanctioned accessor — it returns"
+        " the scalar cap where one exists and raises loudly where code"
+        " silently assuming one scalar cap would miscompute. A raw"
+        " ctx.cap_w read bypasses that tripwire."
+    )
+
+    #: The only modules allowed to touch the attribute directly: the
+    #: accessor's own home and the fleet model that defines the caps.
+    _HOMES = {"feasibility.py", "fleet.py"}
+
+    @staticmethod
+    def _is_ctx_name(name: str) -> bool:
+        return "ctx" in name or name == "context"
+
+    def applies_to(self, path: PurePath) -> bool:
+        if is_test_path(path):
+            return False  # tests pin the compat alias on purpose
+        if path_in_layer(path, "core") and path.name in self._HOMES:
+            return False
+        return True
+
+    def findings(self, tree: ast.Module, path: PurePath) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.Attribute) and node.attr == "cap_w"
+            ):
+                continue
+            chain = _dotted(node.value)
+            # `ctx.cap_w`, `nctx.cap_w`, `self.ctx.cap_w`, `sub_ctx.cap_w`
+            # — anything whose receiver reads like a scheduling context.
+            # `self.cap_w` / `fleet.cap_w` / `node.cap_w` are not contexts.
+            if chain and self._is_ctx_name(chain[-1]):
+                yield Finding(
+                    node,
+                    f"raw '{'.'.join(chain)}.cap_w' read; use"
+                    " repro.core.feasibility.context_cap(ctx) (fleet-aware"
+                    " and loud on multi-node contexts)",
+                )
+
+
 #: The shipped rule set, in catalog order.
 ALL_RULES: tuple[LintRule, ...] = (
     RawPlumbingRule(),
@@ -478,4 +529,5 @@ ALL_RULES: tuple[LintRule, ...] = (
     EngineWallClockRule(),
     DeprecatedExecutorRule(),
     StoreBypassRule(),
+    RawContextCapRule(),
 )

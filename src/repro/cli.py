@@ -15,16 +15,19 @@ acknowledged work survives a crash.
 
 ``python -m repro schedule`` computes one co-schedule from the command
 line — any registry method, any objective (``--objective
-makespan|energy|edp``) — and prints the queues plus predicted scores.
+makespan|energy|edp|flow_time|makespan_energy``) — and prints the queues
+plus predicted scores.  With ``--fleet-nodes`` the job set is placed and
+scheduled across a heterogeneous fleet (see ``docs/FLEET.md``).
 
 ``python -m repro simulate`` schedules a job set and *executes* it on the
 event-driven engine (:func:`repro.engine.run`) — fixed replay or an
 open-system arrival trace with an online policy — printing measured
 makespan, energy, and deadline misses (``--json`` emits the full
-:class:`~repro.engine.sim.ExecutionResult` record).
+:class:`~repro.engine.sim.ExecutionResult` record).  ``--fleet-nodes``
+executes across per-node simulators (:func:`repro.engine.run_fleet`).
 
 ``python -m repro analyze`` runs the repo's static-analysis pack (the
-REP001-REP008 AST lint rules of :mod:`repro.analysis.lint`) over source
+REP001-REP009 AST lint rules of :mod:`repro.analysis.lint`) over source
 trees and exits non-zero on violations — the same gate CI runs.
 
 Exit codes: 0 success, 1 lint violations (``analyze``), 2
@@ -46,6 +49,38 @@ from repro.experiments.registry import (
     run_experiment,
 )
 from repro.perf.diskcache import CACHE_DIR_ENV
+
+#: Every objective the registry understands (mirrors core.objectives).
+_OBJECTIVES = ("makespan", "energy", "edp", "flow_time", "makespan_energy")
+
+
+def _add_fleet_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fleet-nodes", default=None, dest="fleet_nodes", metavar="SPEC",
+        help=(
+            "heterogeneous fleet spec: comma-separated "
+            "name[:speed[:power[:cap]]] descriptors (e.g. "
+            "'big:2.0:1.3,small:0.6:0.5'), or a bare count for uniform "
+            "nodes; capless nodes need --fleet-budget"
+        ),
+    )
+    parser.add_argument(
+        "--fleet-budget", type=float, default=None, dest="fleet_budget",
+        metavar="W",
+        help="shared fleet power budget in watts, split over capless nodes "
+        "proportionally to their power rating",
+    )
+
+
+def _parse_fleet(args):
+    """Resolve --fleet-nodes/--fleet-budget into a Fleet (or None)."""
+    if args.fleet_nodes is None:
+        if args.fleet_budget is not None:
+            raise ValueError("--fleet-budget needs --fleet-nodes")
+        return None
+    from repro.core.fleet import Fleet
+
+    return Fleet.parse(args.fleet_nodes, budget_w=args.fleet_budget)
 
 
 def _serve_parser() -> argparse.ArgumentParser:
@@ -83,8 +118,7 @@ def _serve_parser() -> argparse.ArgumentParser:
         help="profiling fan-out backend: serial, threads[:N], processes[:N]",
     )
     parser.add_argument(
-        "--objective", default="makespan",
-        choices=("makespan", "energy", "edp"),
+        "--objective", default="makespan", choices=_OBJECTIVES,
         help="what the daemon's scheduler optimizes (default: makespan)",
     )
     parser.add_argument(
@@ -119,49 +153,19 @@ def _serve_parser() -> argparse.ArgumentParser:
         "--tenant-quota", type=int, default=None, dest="tenant_quota",
         help="max live (queued+held+running) jobs per tenant (default: none)",
     )
-    parser.add_argument(
-        "--legacy-server", action="store_true", dest="legacy_server",
-        help=(
-            "use the deprecated thread-per-connection server (single shard, "
-            "no durability; removed in the next release)"
-        ),
-    )
+    _add_fleet_arguments(parser)
     return parser
 
 
 def _serve(argv: list[str]) -> int:
     args = _serve_parser().parse_args(argv)
-    if args.legacy_server:
-        if args.shards != 1 or args.worker_mode != "inline":
-            print(
-                "repro serve: --legacy-server is single-shard "
-                "(drop --shards/--worker-mode)",
-                file=sys.stderr,
-            )
-            return 2
-        from repro.service.admission import TenantPolicy
-        from repro.service.server import serve
-        from repro.store.store import JobStore
-
-        store = (
-            JobStore.open(args.durable, 0) if args.durable is not None else None
-        )
-        return serve(
-            args.host,
-            args.port,
-            method=args.method,
-            cap_w=args.cap_w,
-            objective=args.objective,
-            queue_capacity=args.queue_capacity,
-            executor=args.executor,
-            seed=args.seed,
-            store=store,
-            tenant_policy=TenantPolicy(
-                quota=args.tenant_quota, backlog_capacity=args.backlog
-            ),
-        )
     from repro.service.async_server import serve_async
 
+    try:
+        fleet = _parse_fleet(args)
+    except ValueError as exc:
+        print(f"bad fleet spec: {exc}", file=sys.stderr)
+        return 2
     return serve_async(
         args.host,
         args.port,
@@ -176,6 +180,7 @@ def _serve(argv: list[str]) -> int:
         durable_dir=args.durable,
         tenant_quota=args.tenant_quota,
         backlog_capacity=args.backlog,
+        fleet=fleet,
     )
 
 
@@ -199,8 +204,7 @@ def _schedule_parser() -> argparse.ArgumentParser:
         help="power cap in watts",
     )
     parser.add_argument(
-        "--objective", default="makespan",
-        choices=("makespan", "energy", "edp"),
+        "--objective", default="makespan", choices=_OBJECTIVES,
         help="what the method optimizes (default: makespan)",
     )
     parser.add_argument(
@@ -220,7 +224,46 @@ def _schedule_parser() -> argparse.ArgumentParser:
         help="evaluation backend: precomputed tensors (default) or the "
         "scalar reference path; both give byte-identical results",
     )
+    _add_fleet_arguments(parser)
     return parser
+
+
+_SCORE_UNITS = {
+    "makespan": "s",
+    "energy": "J",
+    "edp": "J*s",
+    "flow_time": "s",
+    "makespan_energy": "s + J",
+}
+
+
+def _schedule_fleet(args, jobs, fleet) -> int:
+    """The --fleet-nodes branch of ``repro schedule``."""
+    from repro.core.context import SchedulingContext
+    from repro.core.fleetsched import fleet_schedule
+
+    ctx = SchedulingContext.build(
+        jobs,
+        fleet=fleet,
+        objective=args.objective,
+        seed=args.seed,
+        executor=args.executor,
+        backend=args.backend,
+    )
+    result = fleet_schedule(ctx, method=args.method)
+    print(f"method    : {result.method}")
+    print(f"objective : {result.objective.value}")
+    print("fleet     :")
+    for line in fleet.describe().splitlines():
+        print(f"  {line}")
+    print(result.describe())
+    print(f"predicted makespan_s : {result.predicted_makespan_s:.4f}")
+    print(f"predicted energy_j   : {result.predicted_energy_j:.2f}")
+    print(f"predicted flow_s     : {result.predicted_flow_s:.4f}")
+    unit = _SCORE_UNITS[result.objective.value]
+    print(f"predicted {result.objective.value}"
+          f" : {result.predicted_score:.4f} {unit}")
+    return 0
 
 
 def _chosen_programs(spec: str | None):
@@ -252,6 +295,18 @@ def _schedule(argv: list[str]) -> int:
         return 2
     jobs = make_jobs(chosen)
     try:
+        fleet = _parse_fleet(args)
+    except ValueError as exc:
+        print(f"bad fleet spec: {exc}", file=sys.stderr)
+        return 2
+    if fleet is not None:
+        try:
+            return _schedule_fleet(args, jobs, fleet)
+        except InfeasibleCapError as exc:
+            cap = f" (cap {exc.cap_w} W)" if exc.cap_w is not None else ""
+            print(f"infeasible power cap{cap}: {exc}", file=sys.stderr)
+            return 2
+    try:
         result = schedule(
             jobs,
             method=args.method,
@@ -281,7 +336,7 @@ def _schedule(argv: list[str]) -> int:
         ))
     print(f"predicted makespan_s : {result.predicted_makespan_s:.4f}")
     if result.objective.value != "makespan":
-        unit = "J" if result.objective.value == "energy" else "J*s"
+        unit = _SCORE_UNITS[result.objective.value]
         print(
             f"predicted {result.objective.value}"
             f" : {result.predicted_score:.4f} {unit}"
@@ -320,8 +375,7 @@ def _simulate_parser() -> argparse.ArgumentParser:
         help="power cap in watts",
     )
     parser.add_argument(
-        "--objective", default="makespan",
-        choices=("makespan", "energy", "edp"),
+        "--objective", default="makespan", choices=_OBJECTIVES,
         help="scheduling objective (default: makespan)",
     )
     parser.add_argument(
@@ -354,7 +408,51 @@ def _simulate_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the full ExecutionResult record as JSON",
     )
+    _add_fleet_arguments(parser)
     return parser
+
+
+def _simulate_fleet(args, jobs, fleet) -> int:
+    """The --fleet-nodes branch of ``repro simulate`` (fixed mode)."""
+    import json
+
+    from repro.core.context import SchedulingContext
+    from repro.engine import run_fleet
+
+    if args.mode != "fixed":
+        print(
+            "--fleet-nodes currently supports --mode fixed only",
+            file=sys.stderr,
+        )
+        return 2
+    ctx = SchedulingContext.build(
+        jobs,
+        fleet=fleet,
+        objective=args.objective,
+        seed=args.seed,
+        backend=args.backend,
+    )
+    execution = run_fleet(ctx, method=args.method)
+    if args.json:
+        print(json.dumps(execution.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"mode      : fixed ({args.method}), {len(fleet)} fleet nodes")
+    print(f"fleet cap : {fleet.total_cap_w():g} W")
+    print(f"jobs      : {len(jobs)}")
+    for entry in execution.entries:
+        print(
+            f"  {entry.node:<8} makespan {entry.makespan_s:8.3f} s  "
+            f"energy {entry.energy_j:9.2f} J  "
+            f"({len(entry.result.completions)} jobs)"
+        )
+    print(f"makespan_s    : {execution.makespan_s:.4f}")
+    print(f"energy_j      : {execution.energy_j:.2f}")
+    print(f"flow_s        : {execution.flow_s:.4f}")
+    print(
+        f"{execution.objective:<14}: "
+        f"{execution.score(execution.objective):.4f}"
+    )
+    return 0
 
 
 def _simulate(argv: list[str]) -> int:
@@ -374,6 +472,18 @@ def _simulate(argv: list[str]) -> int:
     jobs = make_jobs(chosen)
     until_s = math.inf if args.until_s is None else args.until_s
 
+    try:
+        fleet = _parse_fleet(args)
+    except ValueError as exc:
+        print(f"bad fleet spec: {exc}", file=sys.stderr)
+        return 2
+    if fleet is not None:
+        try:
+            return _simulate_fleet(args, jobs, fleet)
+        except InfeasibleCapError as exc:
+            cap = f" (cap {exc.cap_w} W)" if exc.cap_w is not None else ""
+            print(f"infeasible power cap{cap}: {exc}", file=sys.stderr)
+            return 2
     try:
         ctx = SchedulingContext.build(
             jobs,
@@ -502,8 +612,7 @@ def main(argv: list[str] | None = None) -> int:
         help="evaluation fan-out backend: serial, threads[:N], processes[:N]",
     )
     parser.add_argument(
-        "--objective", default=None,
-        choices=("makespan", "energy", "edp"),
+        "--objective", default=None, choices=_OBJECTIVES,
         help="override the scheduling objective of objective-aware "
         "experiments",
     )

@@ -147,7 +147,8 @@ def schedule(
     jobs: Sequence[Job],
     method: str = "hcs",
     *,
-    cap_w: float,
+    cap_w: float | None = None,
+    fleet=None,
     objective: Objective | str = Objective.MAKESPAN,
     predictor: CoRunPredictor | CachingPredictor | None = None,
     processor=None,
@@ -211,9 +212,31 @@ def schedule(
         known = ", ".join(scheduler_names())
         raise ValueError(f"unknown scheduler {method!r}; known: {known}") from None
 
+    if fleet is not None and len(getattr(fleet, "nodes", ())) > 1:
+        # A multi-node fleet: delegate to the placement driver, which runs
+        # this same registry method per node.  Returns a
+        # :class:`~repro.core.fleetsched.FleetScheduleResult`.
+        from repro.core.fleetsched import fleet_schedule
+
+        ctx = SchedulingContext.build(
+            jobs,
+            fleet=fleet,
+            objective=objective,
+            predictor=predictor,
+            processor=processor,
+            executor=executor,
+            cache=cache,
+            disk_cache=disk_cache,
+            seed=seed,
+            governor=governor,
+            backend=backend,
+        )
+        return fleet_schedule(ctx, method=key, **opts)
+
     ctx = SchedulingContext.build(
         jobs,
         cap_w=cap_w,
+        fleet=fleet,
         objective=objective,
         predictor=predictor,
         processor=processor,
@@ -259,9 +282,14 @@ class Scheduler:
         seed=None,
         disk_cache=None,
         backend: str = "tensor",
+        node=None,
         **opts,
     ) -> None:
         key = method.lower()
+        #: Optional fleet :class:`~repro.core.fleet.Node` this scheduler
+        #: plans for: its speed/power scaling is applied to every context
+        #: (``cap_w`` stays authoritative — the node's own cap is ignored).
+        self.node = node
         try:
             self._adapter = _REGISTRY[key]
         except KeyError:
@@ -311,11 +339,25 @@ class Scheduler:
             )
         self._rebuild()
 
+    def _scoped_predictor(self):
+        """The predictor as the node sees it (scaled), or the raw one."""
+        if self.node is None:
+            return self.predictor
+        from repro.core.fleet import node_predictor
+
+        return node_predictor(self.predictor, self._capped_node())
+
+    def _capped_node(self):
+        from dataclasses import replace
+
+        return replace(self.node, cap_w=self.cap_w)
+
     def _rebuild(self) -> None:
-        self.governor = governor_for(self.predictor, self.cap_w, self.objective)
+        scoped = self._scoped_predictor()
+        self.governor = governor_for(scoped, self.cap_w, self.objective)
         eval_cache = self._eval_caches.setdefault(self.cap_w, EvalCache())
         self.evaluator = ScheduleEvaluator(
-            self.predictor,
+            scoped,
             self.governor,
             cache=eval_cache,
             objective=self.objective,
@@ -374,6 +416,15 @@ class Scheduler:
             and self.evaluator is self._stock_evaluator
             and self.evaluator.governor is self.governor
         )
+        fleet = None
+        cap_w = self.cap_w
+        if self.node is not None:
+            from repro.core.fleet import Fleet
+
+            # The context applies the node's scaling itself (and resolves
+            # the alias cap from the node), so pass the fleet, not cap_w.
+            fleet = Fleet(nodes=(self._capped_node(),))
+            cap_w = None
         if self.backend == "tensor" and untouched:
             # Leave governor/evaluator unset so the context runs the tensor
             # pipeline over the per-cap cache; ``self.governor`` /
@@ -381,7 +432,8 @@ class Scheduler:
             # callers that consult the policy directly (e.g. the engine).
             return SchedulingContext(
                 jobs=tuple(jobs),
-                cap_w=self.cap_w,
+                cap_w=cap_w,
+                fleet=fleet,
                 predictor=self.predictor,
                 objective=self.objective,
                 executor=self.executor,
@@ -391,7 +443,8 @@ class Scheduler:
             )
         return SchedulingContext(
             jobs=tuple(jobs),
-            cap_w=self.cap_w,
+            cap_w=cap_w,
+            fleet=fleet,
             predictor=self.predictor,
             objective=self.objective,
             governor=self.governor,

@@ -109,7 +109,9 @@ class AStarScheduler:
         self.jobs = {j.uid: j for j in jobs}
         if len(self.jobs) != len(jobs):
             raise ValueError("job uids must be unique")
-        self.cap_w = ctx.cap_w
+        from repro.core.feasibility import context_cap
+
+        self.cap_w = context_cap(ctx)
         # g is always the elapsed predicted time; a non-makespan context
         # still steers the search through its governor's frequency picks.
         self.governor = ctx.governor

@@ -54,8 +54,13 @@ class SchedulingContext:
     """
 
     jobs: tuple[Job, ...]
-    cap_w: float
-    predictor: object
+    #: Deprecated alias for a one-node fleet's cap: readable for
+    #: compatibility (it always equals the single node's resolved cap) but
+    #: new code goes through :func:`repro.core.feasibility.context_cap` or
+    #: :attr:`fleet`.  ``None`` on multi-node contexts, which have no
+    #: single cap.
+    cap_w: float | None = None
+    predictor: object = None
     objective: Objective = Objective.MAKESPAN
     governor: object | None = None
     evaluator: ScheduleEvaluator | None = None
@@ -65,18 +70,69 @@ class SchedulingContext:
     governor_factory: Callable[..., object] = governor_for
     sanitize: bool = False
     backend: str = "tensor"
+    #: The machines this context schedules onto.  ``None`` coerces to
+    #: ``Fleet.single(cap_w)`` — the classic one-APU world, byte-identical
+    #: to the pre-fleet scalar path.  Multi-node contexts carry no single
+    #: governor/evaluator; the fleet driver derives per-node sub-contexts.
+    fleet: object | None = None
 
     def __post_init__(self) -> None:
+        from repro.core.fleet import Fleet, NodePredictor, node_predictor
+
         if not self.jobs:
             raise ValueError("cannot schedule an empty job set")
         if self.backend not in ("tensor", "scalar"):
             raise ValueError(
                 f"unknown backend {self.backend!r}; known: tensor, scalar"
             )
+        if self.predictor is None:
+            raise ValueError(
+                "a context needs a predictor (use SchedulingContext.build "
+                "to resolve one from the workload)"
+            )
         set_ = object.__setattr__
         set_(self, "jobs", tuple(self.jobs))
         set_(self, "objective", Objective.coerce(self.objective))
         set_(self, "executor", make_executor(self.executor))
+        if self.fleet is None:
+            if self.cap_w is None:
+                raise ValueError("a context needs cap_w or a fleet")
+            set_(self, "fleet", Fleet.single(self.cap_w))
+        else:
+            if isinstance(self.fleet, dict):
+                set_(self, "fleet", Fleet.from_dict(self.fleet))
+            if len(self.fleet.nodes) > 1:
+                if self.cap_w is not None:
+                    raise ValueError(
+                        "cap_w has no meaning on a multi-node fleet; give "
+                        "per-node caps or a shared budget on the Fleet"
+                    )
+            else:
+                cap = self.fleet.node_caps()[0]
+                if self.cap_w is not None and self.cap_w != cap:
+                    raise ValueError(
+                        f"cap_w={self.cap_w} conflicts with the single "
+                        f"node's resolved cap {cap}"
+                    )
+                set_(self, "cap_w", cap)
+                node = self.fleet.nodes[0]
+                # Derivations (replace/with_*) re-run this with an already
+                # node-scaled predictor: keep it if the node matches, else
+                # rewrap from the unscaled base — never scale twice.
+                base = self.predictor
+                if isinstance(base, NodePredictor):
+                    if base.node != node:
+                        set_(self, "predictor", node_predictor(base.inner, node))
+                else:
+                    set_(self, "predictor", node_predictor(base, node))
+        if len(self.fleet.nodes) > 1:
+            # A multi-node context is a placement problem, not a single
+            # replay: it resolves no governor/evaluator (the fleet driver
+            # derives per-node sub-contexts that do), only the shared
+            # executor/cache plumbing below.
+            if self.cache is None:
+                set_(self, "cache", EvalCache())
+            return
         if self.cache is None:
             set_(
                 self,
@@ -157,7 +213,8 @@ class SchedulingContext:
         cls,
         jobs: Sequence[Job],
         *,
-        cap_w: float,
+        cap_w: float | None = None,
+        fleet=None,
         objective: Objective | str = Objective.MAKESPAN,
         predictor=None,
         processor=None,
@@ -213,6 +270,7 @@ class SchedulingContext:
                 governor_factory if governor_factory is not None else governor_for
             ),
             backend=backend,
+            fleet=fleet,
         )
 
     @classmethod
@@ -294,6 +352,7 @@ class SchedulingContext:
             governor_factory=self.governor_factory,
             sanitize=self.sanitize,
             backend=self.backend,
+            fleet=self.fleet,
         )
 
     def with_backend(self, backend: str) -> "SchedulingContext":
@@ -316,6 +375,7 @@ class SchedulingContext:
             governor_factory=self.governor_factory,
             sanitize=self.sanitize,
             backend=backend,
+            fleet=self.fleet,
         )
 
     def with_sanitizer(self, enabled: bool = True) -> "SchedulingContext":
@@ -342,8 +402,19 @@ class SchedulingContext:
         """Re-target the power cap; governor and evaluator are rebuilt.
 
         The evaluator gets a *fresh* cache: schedule-score keys carry no
-        cap, so sharing one across caps would serve stale scores.
+        cap, so sharing one across caps would serve stale scores.  The
+        single node keeps its identity (name and scaling) under the new
+        cap; re-cap a multi-node context with :meth:`with_fleet`.
         """
+        from dataclasses import replace as _replace
+
+        from repro.core.fleet import Fleet
+
+        if len(self.fleet.nodes) > 1:
+            raise ValueError(
+                "a multi-node context has no single cap; use with_fleet()"
+            )
+        node = _replace(self.fleet.nodes[0], cap_w=cap_w)
         return SchedulingContext(
             jobs=self.jobs,
             cap_w=cap_w,
@@ -354,6 +425,70 @@ class SchedulingContext:
             governor_factory=self.governor_factory,
             sanitize=self.sanitize,
             backend=self.backend,
+            fleet=Fleet(nodes=(node,)),
+        )
+
+    def with_fleet(self, fleet) -> "SchedulingContext":
+        """Same problem over a different fleet.
+
+        Governor and evaluator are rebuilt and the eval cache starts fresh
+        (schedule-score keys carry no node or cap identity).
+        """
+        return SchedulingContext(
+            jobs=self.jobs,
+            predictor=self.base_predictor,
+            objective=self.objective,
+            executor=self.executor,
+            seed=self.seed,
+            governor_factory=self.governor_factory,
+            sanitize=self.sanitize,
+            backend=self.backend,
+            fleet=fleet,
+        )
+
+    # ------------------------------------------------------------------
+    # Fleet plumbing
+    # ------------------------------------------------------------------
+    @property
+    def base_predictor(self):
+        """The predictor before any node scaling (the calibrated model)."""
+        from repro.core.fleet import NodePredictor
+
+        predictor = self.predictor
+        while isinstance(predictor, NodePredictor):
+            predictor = predictor.inner
+        return predictor
+
+    def node_context(self, index: int, jobs: Sequence[Job] | None = None):
+        """A single-node sub-context for ``fleet.nodes[index]``.
+
+        The sub-context carries that node (with its resolved cap made
+        explicit) as a one-node fleet, the *unscaled* base predictor (the
+        sub-context's own construction applies the node scaling), a fresh
+        eval cache — schedule keys carry no node identity, so sharing the
+        parent's would leak scores across nodes — and a per-node seed
+        derived from the context seed so stochastic schedulers diverge
+        between nodes but replay identically run-to-run.
+        """
+        from dataclasses import replace as _replace
+
+        from repro.core.fleet import Fleet
+
+        node = self.fleet.nodes[index]
+        cap = self.fleet.node_caps()[index]
+        seed = self.seed
+        if isinstance(seed, (int, np.integer)):
+            seed = int(seed) + 1_000_003 * index
+        return SchedulingContext(
+            jobs=tuple(jobs) if jobs is not None else self.jobs,
+            predictor=self.base_predictor,
+            objective=self.objective,
+            executor=self.executor,
+            seed=seed,
+            governor_factory=self.governor_factory,
+            sanitize=self.sanitize,
+            backend=self.backend,
+            fleet=Fleet(nodes=(_replace(node, cap_w=cap),)),
         )
 
     # ------------------------------------------------------------------

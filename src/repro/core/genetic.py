@@ -76,7 +76,9 @@ class GeneticScheduler:
         if len({j.uid for j in self.jobs}) != len(self.jobs):
             raise ValueError("job uids must be unique")
         self.predictor = ctx.predictor
-        self.cap_w = ctx.cap_w
+        from repro.core.feasibility import context_cap
+
+        self.cap_w = context_cap(ctx)
         self.config = config if config is not None else GaConfig()
         self.rng = ctx.rng()
         # Fitness is the context's objective score — a GA over an energy

@@ -25,6 +25,7 @@ from repro.hardware.device import DeviceKind
 from repro.workload.program import Job
 from repro.core.categorize import DEFAULT_THRESHOLD, Categorized, categorize_jobs
 from repro.core.context import SchedulingContext
+from repro.core.feasibility import context_cap
 from repro.core.greedy import greedy_schedule
 from repro.core.objectives import Objective
 from repro.core.partition import Partition, partition_jobs
@@ -98,11 +99,12 @@ def hcs_schedule(
     )
     predictor, governor, evaluator = ctx.predictor, ctx.governor, ctx.evaluator
 
-    part = partition_jobs(predictor, ctx.jobs, ctx.cap_w)
-    cat = categorize_jobs(predictor, part.co, ctx.cap_w, threshold=threshold)
-    cpu_order, gpu_order = greedy_schedule(predictor, cat, ctx.cap_w, governor)
+    cap = context_cap(ctx)
+    part = partition_jobs(predictor, ctx.jobs, cap)
+    cat = categorize_jobs(predictor, part.co, cap, threshold=threshold)
+    cpu_order, gpu_order = greedy_schedule(predictor, cat, cap, governor)
     solo = tuple(
-        (job, _best_solo_kind(predictor, job, ctx.cap_w)) for job in part.seq
+        (job, _best_solo_kind(predictor, job, cap)) for job in part.seq
     )
     schedule = CoSchedule(
         cpu_queue=tuple(cpu_order), gpu_queue=tuple(gpu_order), solo_tail=solo

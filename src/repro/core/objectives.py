@@ -51,12 +51,26 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.sim import ExecutionResult
 
 
+#: Weight (seconds per joule) of the energy term in the MAKESPAN_ENERGY
+#: bicriteria objective: ``score = makespan_s + RHO * energy_j``.  One is
+#: the natural scale on this platform — a 15 W cap makes a joule cost about
+#: as much slack as a fifteenth of a second of span — and keeping it a
+#: module constant keeps every layer's fingerprints comparable.
+MAKESPAN_ENERGY_RHO = 1.0
+
+
 class Objective(enum.Enum):
     """What a schedule is scored on (lower is better)."""
 
     MAKESPAN = "makespan"
     ENERGY = "energy"
     EDP = "edp"
+    #: Sum of job completion times (total flow with release dates at zero),
+    #: the classic speed-scaling bicriteria baseline.
+    FLOW_TIME = "flow_time"
+    #: Linear makespan + energy combination (``makespan_s + RHO * energy_j``
+    #: with :data:`MAKESPAN_ENERGY_RHO`), the other bicriteria baseline.
+    MAKESPAN_ENERGY = "makespan_energy"
 
     @classmethod
     def coerce(cls, value: "Objective | str") -> "Objective":
@@ -75,13 +89,27 @@ class Objective(enum.Enum):
             f"objective must be an Objective or str, got {type(value).__name__}"
         )
 
-    def score(self, makespan_s: float, energy_j: float) -> float:
-        """Combine the two base metrics into this objective's scalar."""
+    def score(
+        self,
+        makespan_s: float,
+        energy_j: float,
+        flow_s: float | None = None,
+    ) -> float:
+        """Combine the base metrics into this objective's scalar."""
         if self is Objective.MAKESPAN:
             return makespan_s
         if self is Objective.ENERGY:
             return energy_j
-        return energy_j * makespan_s
+        if self is Objective.EDP:
+            return energy_j * makespan_s
+        if self is Objective.MAKESPAN_ENERGY:
+            return makespan_s + MAKESPAN_ENERGY_RHO * energy_j
+        if flow_s is None:
+            raise ValueError(
+                "the flow_time objective needs per-job completion times; "
+                "this metric source does not track them"
+            )
+        return flow_s
 
 
 def score_execution(
@@ -89,7 +117,14 @@ def score_execution(
 ) -> float:
     """Score a measured execution under an objective (lower is better)."""
     objective = Objective.coerce(objective)
-    return objective.score(execution.makespan_s, execution.energy_j)
+    flow = None
+    if objective is Objective.FLOW_TIME:
+        arrivals = getattr(execution, "arrivals", {})
+        flow = sum(
+            c.finish_s - arrivals.get(c.job, 0.0)
+            for c in execution.completions
+        )
+    return objective.score(execution.makespan_s, execution.energy_j, flow)
 
 
 @dataclass
@@ -111,10 +146,10 @@ class EnergyAwareGovernor:
 
     def __post_init__(self) -> None:
         self.objective = Objective.coerce(self.objective)
-        if self.objective is Objective.MAKESPAN:
+        if self.objective in (Objective.MAKESPAN, Objective.FLOW_TIME):
             raise ValueError(
-                "EnergyAwareGovernor optimizes energy/EDP; use ModelGovernor "
-                "for the makespan objective"
+                "EnergyAwareGovernor optimizes energy-weighted objectives; "
+                "use ModelGovernor for makespan/flow_time"
             )
 
     def __call__(self, cpu_job: Job | None, gpu_job: Job | None) -> FrequencySetting:
@@ -136,13 +171,18 @@ class EnergyAwareGovernor:
         if self.objective is Objective.ENERGY:
             return energy
         t_c, t_g = self.predictor.corun_times(cpu_uid, gpu_uid, s)
+        if self.objective is Objective.MAKESPAN_ENERGY:
+            return max(t_c, t_g) + MAKESPAN_ENERGY_RHO * energy
         return energy * max(t_c, t_g)
 
     def _solo_cost(self, uid: str, kind: DeviceKind, f_ghz: float) -> float:
         energy = solo_energy_j(self.predictor, uid, kind, f_ghz)
         if self.objective is Objective.ENERGY:
             return energy
-        return energy * self.predictor.solo_time(uid, kind, f_ghz)
+        t = self.predictor.solo_time(uid, kind, f_ghz)
+        if self.objective is Objective.MAKESPAN_ENERGY:
+            return t + MAKESPAN_ENERGY_RHO * energy
+        return energy * t
 
     def _choose(self, cpu_job: Job | None, gpu_job: Job | None) -> FrequencySetting:
         proc = self.predictor.processor
@@ -202,12 +242,15 @@ def governor_for(
 ):
     """The default governor for an objective.
 
-    Makespan keeps the paper's :class:`~repro.core.freqpolicy.ModelGovernor`
-    (best predicted performance under the cap); energy and EDP swap in the
-    :class:`EnergyAwareGovernor` parameterized by the objective.
+    Makespan and flow time keep the paper's
+    :class:`~repro.core.freqpolicy.ModelGovernor` (best predicted
+    performance under the cap — the flow-optimal frequency choice is the
+    fastest feasible one, like makespan); energy, EDP, and makespan+energy
+    swap in the :class:`EnergyAwareGovernor` parameterized by the
+    objective.
     """
     objective = Objective.coerce(objective)
-    if objective is Objective.MAKESPAN:
+    if objective in (Objective.MAKESPAN, Objective.FLOW_TIME):
         from repro.core.freqpolicy import ModelGovernor
 
         return ModelGovernor(predictor, cap_w)

@@ -59,10 +59,12 @@ class HcsOnlinePolicy:
         from repro.core.context import SchedulingContext
 
         if isinstance(self.predictor, SchedulingContext):
+            from repro.core.feasibility import context_cap
+
             ctx = self.predictor
             self.predictor = ctx.predictor
             if self.cap_w is None:
-                self.cap_w = ctx.cap_w
+                self.cap_w = context_cap(ctx)
             self._governor = ctx.governor
         else:
             if self.cap_w is None:

@@ -69,10 +69,13 @@ class CoSchedule:
 
 @dataclass(frozen=True)
 class PredictedMetrics:
-    """Model-predicted makespan and energy of one schedule replay."""
+    """Model-predicted makespan, energy, and flow of one schedule replay."""
 
     makespan_s: float
     energy_j: float
+    #: Sum of predicted per-job completion times (total flow, releases at
+    #: zero).  ``nan`` when the metric source predates flow tracking.
+    flow_s: float = float("nan")
 
     @property
     def edp_js(self) -> float:
@@ -87,6 +90,12 @@ class PredictedMetrics:
             return self.energy_j
         if name == "edp":
             return self.edp_js
+        if name == "flow_time":
+            return self.flow_s
+        if name == "makespan_energy":
+            from repro.core.objectives import MAKESPAN_ENERGY_RHO
+
+            return self.makespan_s + MAKESPAN_ENERGY_RHO * self.energy_j
         raise ValueError(f"unknown objective {objective!r}")
 
 
@@ -117,13 +126,13 @@ def predicted_metrics(schedule: CoSchedule, predictor, governor) -> PredictedMet
     objectives minimize while searching — the model-side analogue of
     :attr:`repro.engine.sim.ExecutionResult.energy_j`.
     """
-    t, energy = _replay(schedule, predictor, governor, track_energy=True)
-    return PredictedMetrics(makespan_s=t, energy_j=energy)
+    t, energy, flow = _replay(schedule, predictor, governor, track_energy=True)
+    return PredictedMetrics(makespan_s=t, energy_j=energy, flow_s=flow)
 
 
 def _replay(
     schedule: CoSchedule, predictor, governor, *, track_energy: bool
-) -> tuple[float, float]:
+) -> tuple[float, float, float]:
     from repro.core.feasibility import predicted_power
 
     cpu = list(schedule.cpu_queue)
@@ -134,6 +143,7 @@ def _replay(
     cur_g: tuple[Job, float] | None = None
     t = 0.0
     energy = 0.0
+    flow = 0.0
 
     while True:
         if cur_c is None and cpu:
@@ -168,13 +178,21 @@ def _replay(
                 setting,
             )
 
+        done = 0
         if cur_c is not None:
             rem = cur_c[1] - dt / t_c
-            cur_c = None if rem <= _EPS else (cur_c[0], rem)
+            if rem <= _EPS:
+                cur_c, done = None, done + 1
+            else:
+                cur_c = (cur_c[0], rem)
         if cur_g is not None:
             rem = cur_g[1] - dt / t_g
-            cur_g = None if rem <= _EPS else (cur_g[0], rem)
+            if rem <= _EPS:
+                cur_g, done = None, done + 1
+            else:
+                cur_g = (cur_g[0], rem)
         t += dt
+        flow += done * t
 
     for job, kind in schedule.solo_tail:
         setting = governor(
@@ -184,7 +202,8 @@ def _replay(
         f = setting.cpu_ghz if kind is DeviceKind.CPU else setting.gpu_ghz
         solo_s = predictor.solo_time(job.uid, kind, f)
         t += solo_s
+        flow += t
         if track_energy:
             energy += solo_s * predictor.solo_power_w(job.uid, kind, f)
 
-    return t, energy
+    return t, energy, flow

@@ -49,6 +49,12 @@ from repro.engine.sim import (
     run,
 )
 from repro.engine.feedback import ReactiveCapController, execute_with_reactive_cap
+from repro.engine.fleetsim import (
+    FleetExecutionResult,
+    FleetSim,
+    NodeExecution,
+    run_fleet,
+)
 
 __all__ = [
     "PhaseTiming",
@@ -74,4 +80,8 @@ __all__ = [
     "run",
     "ReactiveCapController",
     "execute_with_reactive_cap",
+    "FleetExecutionResult",
+    "FleetSim",
+    "NodeExecution",
+    "run_fleet",
 ]

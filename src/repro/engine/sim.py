@@ -369,6 +369,14 @@ class ExecutionResult:
         """Energy-delay product (J x s) of the whole execution."""
         return self.energy_j * self.makespan_s
 
+    @property
+    def flow_s(self) -> float:
+        """Total flow: sum of completion-minus-arrival over finished jobs."""
+        return sum(
+            c.finish_s - self.arrivals.get(c.job, 0.0)
+            for c in self.completions
+        )
+
     def score(self, objective=None) -> float:
         """Scalar score under an objective (lower is better).
 
@@ -386,6 +394,12 @@ class ExecutionResult:
             return self.energy_j
         if name == "edp":
             return self.edp_js
+        if name == "flow_time":
+            return self.flow_s
+        if name == "makespan_energy":
+            # Mirrors Objective.MAKESPAN_ENERGY with its module constant
+            # (duplicated here because the engine must not import core).
+            return self.makespan_s + 1.0 * self.energy_j
         raise ValueError(f"unknown objective {objective!r}")
 
     def finish_of(self, job_uid: str) -> float:
@@ -507,13 +521,20 @@ class _PreemptRec:
 
 @dataclass
 class _Suspended:
-    """Checkpointed progress of a preempted job."""
+    """Checkpointed progress of a preempted job.
+
+    ``foreign`` marks a checkpoint imported from another node's core (a
+    cross-node handoff in a fleet): resuming it pays the migration penalty
+    even when the device kind matches, because the state still crossed a
+    machine boundary.
+    """
 
     job: Job
     kind: DeviceKind
     phase_idx: int
     phase_frac: float
     rec: _PreemptRec
+    foreign: bool = False
 
 
 class SimCore:
@@ -700,6 +721,48 @@ class SimCore:
         self._pending.remove(job)
         self._place(job, target, from_pool=False)
         return job
+
+    def export_checkpoint(self, uid: str) -> _Suspended:
+        """Detach a preempted job's checkpoint for adoption by another core.
+
+        The job must currently be suspended (preempted and back in the
+        pending pool).  After export this core forgets the job entirely;
+        hand the returned state to :meth:`adopt_checkpoint` on the
+        destination core.  The preemption record travels with the
+        checkpoint, so the resume fields are filled in (in the destination
+        core's native time) when the job is placed again.
+        """
+        sus = self._suspended.get(uid)
+        if sus is None:
+            raise KeyError(f"job {uid!r} has no suspended checkpoint to export")
+        self._pending.remove(sus.job)
+        del self._suspended[uid]
+        self._uids.discard(uid)
+        del self._arrivals[uid]
+        self._deadlines.pop(uid, None)
+        return sus
+
+    def adopt_checkpoint(
+        self, state: _Suspended, *, deadline_s: float | None = None
+    ) -> None:
+        """Admit a checkpoint exported from another core.
+
+        The job lands in this core's pending pool marked *foreign*, so its
+        eventual placement pays the :class:`PenaltyModel` migration cost on
+        top of the resume cost even if it lands on the same device kind it
+        left — the state crossed a machine boundary.
+        """
+        uid = state.job.uid
+        if uid in self._uids:
+            raise ValueError(f"job {uid!r} already known to this core")
+        self._uids.add(uid)
+        self._arrivals[uid] = self.now
+        if deadline_s is not None:
+            self._deadlines[uid] = deadline_s
+        state.foreign = True
+        self._suspended[uid] = state
+        self._pending.append(state.job)
+        self._emit(EventKind.ARRIVAL, job=uid)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -891,7 +954,7 @@ class SimCore:
         if sus is not None:
             runner.seek(sus.phase_idx, sus.phase_frac)
             pen = self._penalties.resume_cost_s
-            migrated = kind is not sus.kind
+            migrated = sus.foreign or kind is not sus.kind
             if migrated:
                 pen += self._penalties.migrate_s
             warm = self._penalties.warmup_s
@@ -1192,6 +1255,10 @@ class FixedSchedulePolicy:
                 self._solo.popleft()
                 return job
         return None
+
+    def enqueue(self, job: Job, kind: DeviceKind) -> None:
+        """Append a late addition (e.g. a migrated checkpoint) to a queue."""
+        (self._cpu if kind is DeviceKind.CPU else self._gpu).append(job)
 
 
 class SourcePolicy:

@@ -43,6 +43,9 @@ class InfeasibleCapError(RuntimeError, ValueError):
     instead of a silent fallback or an opaque downstream failure.  Subclasses
     both ``RuntimeError`` and ``ValueError`` so callers written against the
     historical error types keep working.
+
+    ``node`` names the fleet node whose cap was violated, when the check
+    ran in a fleet context (``None`` in the classic single-APU world).
     """
 
     def __init__(
@@ -51,7 +54,9 @@ class InfeasibleCapError(RuntimeError, ValueError):
         *,
         cap_w: float | None = None,
         jobs: tuple[str, ...] = (),
+        node: str | None = None,
     ) -> None:
         super().__init__(message)
         self.cap_w = cap_w
         self.jobs = tuple(jobs)
+        self.node = node

@@ -116,7 +116,7 @@ class CachingPredictor:
 #: Objective tags a ScheduleEvaluator accepts (duck-typed string values of
 #: ``repro.core.objectives.Objective`` — perf must not import core at load
 #: time).
-OBJECTIVE_TAGS = ("makespan", "energy", "edp")
+OBJECTIVE_TAGS = ("makespan", "energy", "edp", "flow_time", "makespan_energy")
 
 
 def schedule_key(

@@ -202,6 +202,56 @@ class TensorModel:
 
         self._cap_masks: dict[float, _CapMasks] = {}
         self._pair_tables: dict[tuple, object] = {}
+        #: Name of the fleet node this model is scaled for (None = the
+        #: calibrated machine itself); set on clones by :meth:`scaled`.
+        self.node_name: str | None = None
+        self._scaled_memo: dict[tuple, "TensorModel"] = {}
+
+    # ------------------------------------------------------------------
+    # Node scaling
+    # ------------------------------------------------------------------
+    def scaled(
+        self,
+        speed_scale: float,
+        power_scale: float,
+        node_name: str | None = None,
+    ) -> "TensorModel":
+        """A clone of this model through one fleet node's scaling (memoized).
+
+        Times divide by ``speed_scale`` and powers multiply by
+        ``power_scale`` — elementwise over the already-exact tensors, the
+        same two float operations :class:`~repro.core.fleet.NodePredictor`
+        applies to each scalar answer, so scaled tensor and scaled scalar
+        stay bitwise identical.  Degradations are ratios and are shared
+        untouched; cap masks and pair tables start fresh (they depend on
+        the scaled powers).
+        """
+        # repro: noqa REP003 -- exact identity gate: only a literal 1.0 scale shares the model
+        if speed_scale == 1.0 and power_scale == 1.0:
+            return self
+        key = (speed_scale, power_scale, node_name)
+        cached = self._scaled_memo.get(key)
+        if cached is not None:
+            return cached
+        clone = object.__new__(TensorModel)
+        clone.__dict__.update(self.__dict__)
+        clone.solo_time = {
+            k: v / speed_scale for k, v in self.solo_time.items()
+        }
+        clone.solo_chip_power = {
+            k: v * power_scale for k, v in self.solo_chip_power.items()
+        }
+        clone.t_corun_c = self.t_corun_c / speed_scale
+        clone.t_corun_g = self.t_corun_g / speed_scale
+        clone.pair_power = self.pair_power * power_scale
+        clone._cap_masks = {}
+        clone._pair_tables = {}
+        clone._scaled_memo = {}
+        clone.node_name = node_name
+        if len(self._scaled_memo) >= 16:
+            self._scaled_memo.pop(next(iter(self._scaled_memo)))
+        self._scaled_memo[key] = clone
+        return clone
 
     # ------------------------------------------------------------------
     # Coverage
@@ -295,7 +345,16 @@ class TensorModel:
         i = self.index[uid]
         masks = self.masks(cap_w)
         if not masks.best_solo_valid[kind][i]:
-            # Identical message/fields to CoRunPredictor.best_solo.
+            # Identical message/fields to CoRunPredictor.best_solo (or to
+            # NodePredictor.best_solo when this model is node-scaled).
+            if self.node_name is not None:
+                raise InfeasibleCapError(
+                    f"{uid} cannot run on {kind} under a {cap_w} W cap at "
+                    f"any level on node {self.node_name}",
+                    cap_w=cap_w,
+                    jobs=(uid,),
+                    node=self.node_name,
+                )
             raise InfeasibleCapError(
                 f"{uid} cannot run on {kind} under a {cap_w} W cap at any level",
                 cap_w=cap_w,
@@ -382,6 +441,16 @@ def tensorize(predictor, uids: Sequence[str] | None = None):
     while isinstance(inner, TensorBackedPredictor):
         inner = inner.inner
     base = inner.inner if isinstance(inner, CachingPredictor) else inner
+    # A fleet node's scaled view is tensorizable: build (or reuse) the base
+    # model, then clone it through the node's scaling.  Lazy import — perf
+    # must not import core at module load.
+    node = None
+    node_predictor_type = _node_predictor_type()
+    if node_predictor_type is not None and type(base) is node_predictor_type:
+        node = base.node
+        base = base.inner
+        while isinstance(base, (TensorBackedPredictor, CachingPredictor)):
+            base = base.inner
     if type(base) is not CoRunPredictor:
         return None
     if type(base.table) is not ProfileTable:
@@ -430,7 +499,22 @@ def tensorize(predictor, uids: Sequence[str] | None = None):
         _MODEL_MEMO[key] = model
     else:
         _MODEL_MEMO.move_to_end(key)
+    if node is not None:
+        model = model.scaled(node.speed_scale, node.power_scale, node.name)
     return TensorBackedPredictor(inner, model)
+
+
+def _node_predictor_type():
+    """The fleet NodePredictor class, or ``None`` before core is loaded.
+
+    ``sys.modules`` lookup instead of an import: if nothing has touched
+    ``repro.core.fleet`` yet, no predictor we receive can be a
+    NodePredictor, and perf stays import-independent of core.
+    """
+    import sys
+
+    mod = sys.modules.get("repro.core.fleet")
+    return getattr(mod, "NodePredictor", None) if mod is not None else None
 
 
 class TensorBackedPredictor:
@@ -613,9 +697,17 @@ class PairTables:
             solo_cost = None
         elif type(governor) is EnergyAwareGovernor:
             # pair_energy_j: power * (t_c + t_g); EDP: energy * max(t_c, t_g).
+            from repro.core.objectives import MAKESPAN_ENERGY_RHO
+
             energy = tensor.pair_power * (tensor.t_corun_c + tensor.t_corun_g)
             if governor.objective is Objective.ENERGY:
                 pair_cost = energy
+            elif governor.objective is Objective.MAKESPAN_ENERGY:
+                # EnergyAwareGovernor._pair_cost order: max + RHO * energy.
+                pair_cost = (
+                    np.maximum(tensor.t_corun_c, tensor.t_corun_g)
+                    + MAKESPAN_ENERGY_RHO * energy
+                )
             else:
                 pair_cost = energy * np.maximum(tensor.t_corun_c, tensor.t_corun_g)
             solo_cost = {}
@@ -623,10 +715,14 @@ class PairTables:
                 # solo_energy_j: chip_power * solo_time; EDP multiplies by
                 # solo_time again (EnergyAwareGovernor._solo_cost order).
                 e = tensor.solo_chip_power[kind] * tensor.solo_time[kind]
-                solo_cost[kind] = (
-                    e if governor.objective is Objective.ENERGY
-                    else e * tensor.solo_time[kind]
-                )
+                if governor.objective is Objective.ENERGY:
+                    solo_cost[kind] = e
+                elif governor.objective is Objective.MAKESPAN_ENERGY:
+                    solo_cost[kind] = (
+                        tensor.solo_time[kind] + MAKESPAN_ENERGY_RHO * e
+                    )
+                else:
+                    solo_cost[kind] = e * tensor.solo_time[kind]
         else:
             return None
 
@@ -665,8 +761,8 @@ class PairTables:
 class _ReplayTrace:
     """Loop-top snapshots of one indexed replay, for delta resumption.
 
-    ``snaps`` holds ``(cp, gp, cur_c, frac_c, cur_g, frac_g, t, energy)``
-    tuples, one per event-loop iteration from the initial state onward,
+    ``snaps`` holds ``(cp, gp, cur_c, frac_c, cur_g, frac_g, t, energy,
+    flow)`` tuples, one per event-loop iteration from the initial state onward,
     where ``cp``/``gp`` count consumed queue entries and ``cur_*`` are job
     indices (-1 when idle).  A trace always records its replay's *complete*
     state history — resumed replays copy the validated prefix of the trace
@@ -710,7 +806,7 @@ def _deepest_valid_snap(trace: _ReplayTrace, cpu: tuple, gpu: tuple):
     lc_n, lg_n = len(cpu), len(gpu)
     best = None
     for k, snap in enumerate(trace.snaps):
-        cp, gp, cur_c, _, cur_g, _, _, _ = snap
+        cp, gp, cur_c, _, cur_g, _, _, _, _ = snap
         if cp > cc or gp > cg:
             break
         best = (k, snap)
@@ -768,7 +864,7 @@ class BatchScheduleEvaluator(ScheduleEvaluator):
         return all(uid in index for uid in schedule.all_uids())
 
     def _try_indexed(self, schedule):
-        """(makespan, energy) via the tables, or ``None`` for fallback."""
+        """(makespan, energy, flow) via the tables, or ``None`` for fallback."""
         if not self._indexable(schedule):
             self.batch_stats["scalar_fallbacks"] += 1
             return None
@@ -785,7 +881,7 @@ class BatchScheduleEvaluator(ScheduleEvaluator):
 
         # Resume from the deepest recorded state this schedule's replay is
         # guaranteed to pass through (deepest = largest elapsed time t).
-        start = (0, 0, -1, 0.0, -1, 0.0, 0.0, 0.0)
+        start = (0, 0, -1, 0.0, -1, 0.0, 0.0, 0.0, 0.0)
         prefix = None
         for trace in reversed(self._traces):
             got = _deepest_valid_snap(trace, cpu, gpu)
@@ -797,7 +893,7 @@ class BatchScheduleEvaluator(ScheduleEvaluator):
         else:
             self.batch_stats["full_replays"] += 1
 
-        cp, gp, cur_c, frac_c, cur_g, frac_g, t, energy = start
+        cp, gp, cur_c, frac_c, cur_g, frac_g, t, energy, flow = start
         # Keep the full state history so later delta matches can see every
         # pop decision, including those made before the resume point.
         snaps = list(prefix) if prefix is not None else [start]
@@ -834,20 +930,22 @@ class BatchScheduleEvaluator(ScheduleEvaluator):
                 dt = frac_g * t_g
             energy += dt * power
 
+            done = 0
             if cur_c >= 0:
                 rem = frac_c - dt / t_c
                 if rem <= _EPS:
-                    cur_c, frac_c = -1, 0.0
+                    cur_c, frac_c, done = -1, 0.0, done + 1
                 else:
                     frac_c = rem
             if cur_g >= 0:
                 rem = frac_g - dt / t_g
                 if rem <= _EPS:
-                    cur_g, frac_g = -1, 0.0
+                    cur_g, frac_g, done = -1, 0.0, done + 1
                 else:
                     frac_g = rem
             t += dt
-            snaps.append((cp, gp, cur_c, frac_c, cur_g, frac_g, t, energy))
+            flow += done * t
+            snaps.append((cp, gp, cur_c, frac_c, cur_g, frac_g, t, energy, flow))
 
         self._traces.append(_ReplayTrace(cpu, gpu, snaps))
 
@@ -857,8 +955,9 @@ class BatchScheduleEvaluator(ScheduleEvaluator):
                 return None
             solo_s = float(tb.solo_t[kind][i])
             t += solo_s
+            flow += t
             energy += solo_s * float(tb.solo_power[kind][i])
-        return t, energy
+        return t, energy, flow
 
     # ------------------------------------------------------------------
     # ScheduleEvaluator overrides
@@ -878,7 +977,9 @@ class BatchScheduleEvaluator(ScheduleEvaluator):
             if result is not None:
                 from repro.core.schedule import PredictedMetrics
 
-                return PredictedMetrics(makespan_s=result[0], energy_j=result[1])
+                return PredictedMetrics(
+                    makespan_s=result[0], energy_j=result[1], flow_s=result[2]
+                )
             from repro.core.schedule import predicted_metrics
 
             return predicted_metrics(schedule, self.predictor, self.governor)
@@ -916,11 +1017,11 @@ class BatchScheduleEvaluator(ScheduleEvaluator):
                     return super().evaluate_all(schedules, executor)
                 from repro.core.schedule import PredictedMetrics
 
-                for s, (mk, en) in zip(covered, batch):
+                for s, (mk, en, fl) in zip(covered, batch):
                     if self.objective == "makespan":
                         self.prime(s, mk)
                     else:
-                        m = PredictedMetrics(makespan_s=mk, energy_j=en)
+                        m = PredictedMetrics(makespan_s=mk, energy_j=en, flow_s=fl)
                         self.cache.prime(
                             schedule_key(s, "metrics", self.backend), m
                         )
@@ -988,6 +1089,7 @@ class BatchScheduleEvaluator(ScheduleEvaluator):
         frac_g = np.zeros(K)
         t = np.zeros(K)
         energy = np.zeros(K)
+        flow = np.zeros(K)
         active = np.ones(K, dtype=bool)
         bad = np.zeros(K, dtype=bool)
         CPU, GPU = DeviceKind.CPU, DeviceKind.GPU
@@ -1058,6 +1160,10 @@ class BatchScheduleEvaluator(ScheduleEvaluator):
                 frac_g = np.where(done_g, 0.0, frac_g)
                 cur_g = np.where(done_g, -1, cur_g)
                 t = np.where(active, t + dt, t)
+                # Same op order as the scalar replay: flow += done * t,
+                # with done counting completions this event (0, 1 or 2).
+                ndone = done_c.astype(np.int64) + done_g.astype(np.int64)
+                flow = np.where(ndone > 0, flow + ndone * t, flow)
 
         if bad.any():
             return None
@@ -1065,14 +1171,16 @@ class BatchScheduleEvaluator(ScheduleEvaluator):
         for k, s in enumerate(schedules):
             tk = float(t[k])
             ek = float(energy[k])
+            fk = float(flow[k])
             for job, kind in s.solo_tail:
                 i = index[job.uid]
                 if not tb.solo_valid[kind][i]:
                     return None
                 solo_s = float(tb.solo_t[kind][i])
                 tk += solo_s
+                fk += tk
                 ek += solo_s * float(tb.solo_power[kind][i])
-            out.append((tk, ek))
+            out.append((tk, ek, fk))
         return out
 
     def snapshot(self) -> dict[str, float]:

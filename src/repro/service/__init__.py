@@ -12,9 +12,9 @@ through :mod:`repro.store` so acknowledged work survives ``kill -9``.
 See ``docs/API.md`` for the protocol schema and ``docs/SERVICE.md`` for
 the architecture (store, shards, admission, recovery).
 
-The threaded listener (:func:`~repro.service.server.serve`) is
-deprecated in favor of the asyncio front end and kept for one release
-behind ``repro serve --legacy-server``.
+The deprecated threaded listener (``repro.service.server.serve`` /
+``repro serve --legacy-server``) has been removed; the asyncio front end
+is the only listener.
 """
 
 from repro.service.async_server import serve_async
@@ -28,7 +28,7 @@ from repro.service.protocol import (
     encode,
 )
 from repro.service.queue import AdmissionDecision, JobState, SubmissionQueue
-from repro.service.server import CoScheduleServer, ServiceState, serve
+from repro.service.server import ServiceState
 from repro.service.session import (
     CompletionRecord,
     LateRejection,
@@ -48,9 +48,7 @@ __all__ = [
     "CompletionRecord",
     "LateRejection",
     "ServiceSession",
-    "CoScheduleServer",
     "ServiceState",
-    "serve",
     "serve_async",
     "ServiceClient",
     "ServiceError",

@@ -252,18 +252,23 @@ def serve_async(
     durable_dir: str | None = None,
     tenant_quota: int | None = None,
     backlog_capacity: int = 0,
+    fleet=None,
     announce=None,
     ready=None,
 ) -> int:
     """Run the async sharded daemon until shutdown; returns an exit code.
 
-    Drop-in replacement for :func:`repro.service.server.serve`: same
-    protocol, same banner contract, same graceful SIGTERM/shutdown drain
-    — plus durability (``durable_dir``), sharding (``shards`` /
-    ``worker_mode``), and multi-tenant admission (``tenant_quota`` /
-    ``backlog_capacity``).
+    The daemon's only listener: newline-JSON protocol, graceful
+    SIGTERM/shutdown drain, durability (``durable_dir``), sharding
+    (``shards`` / ``worker_mode``), multi-tenant admission
+    (``tenant_quota`` / ``backlog_capacity``), and heterogeneous fleets
+    (``fleet`` — a :class:`~repro.core.fleet.Fleet` or its ``to_dict()``
+    payload; each shard then schedules over per-node sessions).
     """
     objective_name = getattr(objective, "value", None) or str(objective)
+    fleet_dict = (
+        fleet.to_dict() if hasattr(fleet, "to_dict") else fleet
+    )
     shard_set = ShardSet(
         ShardConfig(
             method=method,
@@ -275,6 +280,7 @@ def serve_async(
             durable_dir=durable_dir,
             tenant_quota=tenant_quota,
             backlog_capacity=backlog_capacity,
+            fleet=fleet_dict,
         ),
         shards=shards,
         worker_mode=worker_mode,

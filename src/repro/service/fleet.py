@@ -1,0 +1,395 @@
+"""Fleet service facade: one live session per node, one wall clock.
+
+:class:`FleetSession` presents the exact :class:`ServiceSession` surface
+(`submit` / `advance` / `drain` / `set_cap` / `running` / `sim` / ...) to
+:class:`~repro.service.server.ServiceState`, but fans the work out over a
+heterogeneous :class:`~repro.core.fleet.Fleet` — one fully independent
+:class:`ServiceSession` per node, each with its own profile table,
+EvalCache, scheduler, and SimCore.
+
+Clock model (mirrors :mod:`repro.engine.fleetsim`): every node session
+runs in *node-native* time — the calibrated APU physics, with the node's
+power rating folded into the governor via the node-scaled predictor.  The
+facade converts at its boundary: ``wall = native / speed_scale``.  All
+fleet-level numbers (completion times, the virtual clock, preemption
+logs) are wall-clock; device names are qualified ``node:device`` so the
+durable store's event log distinguishes the same APU device on different
+nodes.
+
+Placement is greedy lowest-projected-backlog: a submission goes to the
+admissible node whose accumulated estimated wall backlog (sum of the
+best-solo wall times of its unfinished jobs) is smallest, ties broken by
+node order.  Node-level scheduling stays whatever registry method each
+session runs.
+
+Cap changes treat the requested wattage as a new *fleet budget* and
+rescale every node's cap proportionally to its original share, so a
+shared-budget fleet keeps its proportional split and a per-node-capped
+fleet scales every cap by the same factor.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.core.fleet import Fleet
+from repro.hardware.device import DeviceKind
+from repro.service.session import (
+    CompletionRecord,
+    LateRejection,
+    ServiceSession,
+)
+from repro.workload.program import Job
+
+#: Seed stride between node sessions, so seeded fleets stay reproducible
+#: without correlated per-node randomness.
+_SEED_STRIDE = 1_000_003
+
+
+@dataclass(frozen=True)
+class FleetDevice:
+    """A (node, device) slot — duck-types ``DeviceKind`` for the server.
+
+    :class:`~repro.service.server.ServiceState` only ever reads
+    ``kind.name`` off the keys of ``session.running``; qualifying the
+    name with the node keeps store events unambiguous fleet-wide.
+    """
+
+    node: str
+    kind: DeviceKind
+
+    @property
+    def name(self) -> str:
+        return f"{self.node}:{self.kind.name}"
+
+
+@dataclass(frozen=True)
+class _WallStart:
+    """A node-session launch record with its start converted to wall time."""
+
+    job: str
+    kind: str
+    start_s: float
+
+
+class _FleetSimView:
+    """The slice of the ``session.sim`` surface the server layer reads."""
+
+    def __init__(self, fleet_session: "FleetSession") -> None:
+        self._fs = fleet_session
+
+    @property
+    def now(self) -> float:
+        return self._fs.now
+
+    @property
+    def starts(self) -> dict[str, _WallStart]:
+        merged: dict[str, _WallStart] = {}
+        for i, session in enumerate(self._fs.sessions):
+            node = self._fs.fleet.nodes[i]
+            for uid, start in session.sim.starts.items():
+                merged[uid] = _WallStart(
+                    job=uid,
+                    kind=f"{node.name}:{start.kind.name.lower()}",
+                    start_s=start.start_s / node.speed_scale,
+                )
+        return merged
+
+    @property
+    def preemptions(self) -> tuple:
+        return tuple(self._fs._preemptions)
+
+
+class _MergedCache:
+    """Summed cache statistics across the per-node EvalCaches."""
+
+    def __init__(self, fleet_session: "FleetSession") -> None:
+        self._fs = fleet_session
+
+    def snapshot(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for session in self._fs.sessions:
+            for key, value in session.cache.snapshot().items():
+                out[key] = out.get(key, 0.0) + value
+        return out
+
+
+class FleetSession:
+    """Live, incremental co-scheduling over a heterogeneous fleet."""
+
+    def __init__(
+        self,
+        fleet: Fleet,
+        *,
+        processor=None,
+        method: str = "hcs",
+        objective="makespan",
+        executor=None,
+        seed=None,
+        sanitize: bool | None = None,
+        **scheduler_opts,
+    ) -> None:
+        self.fleet = fleet
+        caps = fleet.node_caps()
+        total = fleet.total_cap_w()
+        #: Each node's fraction of the fleet ceiling, frozen at
+        #: construction — :meth:`set_cap` rescales against these shares.
+        self._shares = tuple(c / total for c in caps)
+        self.sessions = tuple(
+            ServiceSession(
+                processor,
+                method=method,
+                cap_w=caps[i],
+                objective=objective,
+                executor=executor,
+                seed=None if seed is None else seed + _SEED_STRIDE * i,
+                sanitize=sanitize,
+                node=node,
+                **scheduler_opts,
+            )
+            for i, node in enumerate(fleet.nodes)
+        )
+        self.sim = _FleetSimView(self)
+        self.cache = _MergedCache(self)
+        #: uid -> owning node index.
+        self._owner: dict[str, int] = {}
+        #: uid -> estimated best-solo wall time (the placement weight).
+        self._est: dict[str, float] = {}
+        #: Projected unfinished wall backlog per node.
+        self._load = [0.0] * len(fleet)
+        #: Stable append-only merged preemption log (the server slices it
+        #: by index, so entries must never reorder between reads).
+        self._preemptions: list = []
+        self._preempts_seen = [0] * len(fleet)
+
+    # ------------------------------------------------------------------
+    # Introspection (the ServiceSession surface)
+    # ------------------------------------------------------------------
+    @property
+    def method(self) -> str:
+        return self.sessions[0].method
+
+    @property
+    def objective(self):
+        return self.sessions[0].objective
+
+    @property
+    def cap_w(self) -> float:
+        """The fleet-wide ceiling: the summed effective node caps."""
+        return sum(s.cap_w for s in self.sessions)
+
+    @property
+    def cap_violations(self) -> int:
+        return sum(s.cap_violations for s in self.sessions)
+
+    @property
+    def now(self) -> float:
+        return max(self._wall_now(i) for i in range(len(self.sessions)))
+
+    def _wall_now(self, index: int) -> float:
+        return (
+            self.sessions[index].now / self.fleet.nodes[index].speed_scale
+        )
+
+    @property
+    def queue_depth(self) -> int:
+        return sum(s.queue_depth for s in self.sessions)
+
+    @property
+    def running(self) -> dict[FleetDevice, Job]:
+        merged: dict[FleetDevice, Job] = {}
+        for i, session in enumerate(self.sessions):
+            node = self.fleet.nodes[i].name
+            for kind, job in session.running.items():
+                merged[FleetDevice(node, kind)] = job
+        return merged
+
+    @property
+    def idle(self) -> bool:
+        return all(s.idle for s in self.sessions)
+
+    def job(self, uid: str) -> Job:
+        return self.sessions[self._owner[uid]].job(uid)
+
+    def node_of(self, uid: str) -> str:
+        """Which node a submitted job was placed on."""
+        return self.fleet.nodes[self._owner[uid]].name
+
+    # ------------------------------------------------------------------
+    # Admission and placement
+    # ------------------------------------------------------------------
+    def admissible(self, job: Job) -> bool:
+        """Can *some* node run the job under its cap?"""
+        return any(s.admissible(job) for s in self.sessions)
+
+    def _placement_estimate(self, session: ServiceSession, uid: str) -> float | None:
+        """Best standalone wall time on the node, or None if cap-infeasible.
+
+        The node-scaled predictor already folds speed into its times, so
+        ``best_solo`` returns wall seconds directly.
+        """
+        from repro.errors import InfeasibleCapError
+
+        best = None
+        for kind in DeviceKind:
+            try:
+                _, t = session.predictor.best_solo(uid, kind, session.cap_w)
+            except InfeasibleCapError:
+                continue
+            if best is None or t < best:
+                best = t
+        return best
+
+    def _place(self, job: Job) -> tuple[int, float]:
+        """Pick (node index, estimated wall time) for a submission."""
+        choice = None
+        for i, session in enumerate(self.sessions):
+            if not session.admissible(job):
+                continue
+            est = self._placement_estimate(session, job.uid)
+            if est is None:  # pragma: no cover - admissible implies a level
+                continue
+            projected = self._load[i] + est
+            if choice is None or projected < choice[1]:
+                choice = (i, projected, est)
+        if choice is None:
+            # No node admits the job; mirror the single-session contract
+            # (submit accepts, the cap policy late-rejects) by parking it
+            # on the first node, whose session will reject it on advance.
+            return 0, 0.0
+        return choice[0], choice[2]
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def submit(self, job: Job, arrival_s: float | None = None) -> float:
+        """Place and inject ``job``; returns its wall-clock arrival."""
+        index, est = self._place(job)
+        node = self.fleet.nodes[index]
+        native = (
+            None if arrival_s is None else arrival_s * node.speed_scale
+        )
+        arrival_native = self.sessions[index].submit(job, native)
+        self._owner[job.uid] = index
+        self._est[job.uid] = est
+        self._load[index] += est
+        return arrival_native / node.speed_scale
+
+    def set_cap(self, cap_w: float, at_s: float | None = None) -> float:
+        """Re-budget the fleet; each node keeps its original cap share."""
+        if cap_w <= 0:
+            raise ValueError("cap_w must be positive")
+        effective = self.now if at_s is None else at_s
+        for i, session in enumerate(self.sessions):
+            node_at = (
+                None
+                if at_s is None
+                else at_s * self.fleet.nodes[i].speed_scale
+            )
+            session.set_cap(cap_w * self._shares[i], node_at)
+        return effective
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+    def _to_wall(
+        self, index: int, record: CompletionRecord
+    ) -> CompletionRecord:
+        node = self.fleet.nodes[index]
+        s = node.speed_scale
+        return dataclasses.replace(
+            record,
+            kind=f"{node.name}:{record.kind}",
+            arrival_s=record.arrival_s / s,
+            start_s=record.start_s / s,
+            finish_s=record.finish_s / s,
+        )
+
+    def _settle(self, index: int, record) -> None:
+        """Release a finished/rejected job's share of the node backlog."""
+        uid = record.job_id
+        if self._owner.get(uid) == index:
+            self._load[index] = max(
+                0.0, self._load[index] - self._est.pop(uid, 0.0)
+            )
+
+    def _collect_preemptions(self) -> None:
+        for i, session in enumerate(self.sessions):
+            node = self.fleet.nodes[i]
+            s = node.speed_scale
+            log = session.sim.preemptions
+            for rec in log[self._preempts_seen[i]:]:
+                self._preemptions.append(dataclasses.replace(
+                    rec,
+                    from_device=f"{node.name}:{rec.from_device}",
+                    at_s=rec.at_s / s,
+                    resumed_device=(
+                        None
+                        if rec.resumed_device is None
+                        else f"{node.name}:{rec.resumed_device}"
+                    ),
+                    resumed_s=(
+                        None if rec.resumed_s is None else rec.resumed_s / s
+                    ),
+                    penalty_s=rec.penalty_s / s,
+                ))
+            self._preempts_seen[i] = len(log)
+
+    def _merge(
+        self,
+        per_node: list[tuple[list[CompletionRecord], list[LateRejection]]],
+    ) -> tuple[list[CompletionRecord], list[LateRejection]]:
+        completions: list[CompletionRecord] = []
+        rejections: list[LateRejection] = []
+        for i, (done, late) in enumerate(per_node):
+            node = self.fleet.nodes[i].name
+            for record in done:
+                self._settle(i, record)
+                completions.append(self._to_wall(i, record))
+            for rej in late:
+                self._settle(i, rej)
+                rejections.append(dataclasses.replace(
+                    rej, message=f"[{node}] {rej.message}"
+                ))
+        self._collect_preemptions()
+        completions.sort(key=lambda r: (r.finish_s, r.job_id))
+        rejections.sort(key=lambda r: r.job_id)
+        return completions, rejections
+
+    def advance(
+        self, until_s: float
+    ) -> tuple[list[CompletionRecord], list[LateRejection]]:
+        """Advance every node to wall time ``until_s``."""
+        for i in range(len(self.sessions)):
+            if until_s < self._wall_now(i) - 1e-9:
+                raise ValueError(
+                    f"cannot advance to {until_s}: "
+                    f"{self.fleet.nodes[i].name} is at {self._wall_now(i)}"
+                )
+        per_node = [
+            session.advance(
+                max(
+                    until_s * self.fleet.nodes[i].speed_scale,
+                    session.now,
+                )
+            )
+            for i, session in enumerate(self.sessions)
+        ]
+        return self._merge(per_node)
+
+    def drain(self) -> tuple[list[CompletionRecord], list[LateRejection]]:
+        """Run every node until its queue and devices are empty."""
+        per_node = [session.drain() for session in self.sessions]
+        return self._merge(per_node)
+
+    def pop_late_rejections(self) -> list[LateRejection]:
+        out: list[LateRejection] = []
+        for i, session in enumerate(self.sessions):
+            node = self.fleet.nodes[i].name
+            for rej in session.pop_late_rejections():
+                self._settle(i, rej)
+                out.append(dataclasses.replace(
+                    rej, message=f"[{node}] {rej.message}"
+                ))
+        return out

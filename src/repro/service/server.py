@@ -1,36 +1,31 @@
-"""Shared service state + the legacy threaded socket listener.
+"""Shared service state behind every listener front end.
 
 :class:`ServiceState` is everything behind a listener: the scheduling
 session, the bounded queue, multi-tenant admission (quotas + priority
 backlog), metrics, and the durable :class:`~repro.store.JobStore`.  Every
 job state transition is committed to the store's event log *before* the
 response that acknowledges it is returned, so an acknowledgement implies
-durability (group commit: batches flush once per request batch).  Both
-listeners — the asyncio front end in :mod:`repro.service.async_server`
-and the threaded server here — drive the same state, so the protocol
-behaves identically regardless of transport.
+durability (group commit: batches flush once per request batch).  The
+asyncio front end in :mod:`repro.service.async_server` (and the sharded
+tier above it) drives this state; the protocol behaves identically
+regardless of transport.
 
-.. deprecated::
-    The :class:`socketserver.ThreadingTCPServer` entry point
-    (:func:`serve`) is superseded by
-    :func:`repro.service.async_server.serve_async` and will be removed
-    one release after the async front end ships; ``repro serve
-    --legacy-server`` keeps it reachable until then.
+The deprecated ``socketserver.ThreadingTCPServer`` listener
+(``serve`` / ``CoScheduleServer`` / ``repro serve --legacy-server``) has
+been removed after its one-release grace period —
+:func:`repro.service.async_server.serve_async` is the only entry point.
 
-Shutdown is graceful on SIGTERM/SIGINT and on a ``shutdown`` request:
-in-flight and queued jobs are drained through the simulator before the
-listener stops, so no admitted work is ever lost.
+Shutdown is graceful on a ``shutdown`` request: in-flight and queued jobs
+are drained through the simulator before the listener stops, so no
+admitted work is ever lost.
 """
 
 from __future__ import annotations
 
-import signal
-import socketserver
 import threading
 
 from repro.workload.program import Job
 from repro.workload.rodinia import rodinia_programs
-from repro.hardware.calibration import DEFAULT_POWER_CAP_W
 from repro.service import protocol
 from repro.service.admission import (
     HeldSubmission,
@@ -43,8 +38,6 @@ from repro.service.queue import JobRecord, JobState, SubmissionQueue
 from repro.service.session import CompletionRecord, LateRejection, ServiceSession
 from repro.store import events as ev
 from repro.store.store import DONE, JobStore, LIVE_STATES, PREEMPTED, QUEUED
-
-_BANNER = "repro-service listening on"
 
 #: Store lifecycle -> wire-level job state.
 _WIRE_STATE = {
@@ -611,119 +604,3 @@ class ServiceState:
         protocol.JobsRequest: _handle_jobs,
         protocol.ShutdownRequest: _handle_shutdown,
     }
-
-
-class _Handler(socketserver.StreamRequestHandler):
-    def handle(self) -> None:
-        state: ServiceState = self.server.state  # type: ignore[attr-defined]
-        for line in self.rfile:
-            if not line.strip():
-                continue
-            try:
-                request = protocol.decode_request(line)
-            except protocol.ProtocolError as exc:
-                with state.lock:
-                    state.metrics.protocol_errors += 1
-                response = protocol.ErrorResponse(
-                    code="protocol", message=str(exc)
-                )
-            else:
-                response = state.handle(request)
-            try:
-                self.wfile.write(protocol.encode(response))
-                self.wfile.flush()
-            except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
-                return
-            if isinstance(response, protocol.ShutdownResponse):
-                # Stop the listener from a helper thread: shutdown() blocks
-                # until serve_forever() exits, so calling it inline here
-                # (or from a signal handler) would deadlock.
-                threading.Thread(
-                    target=self.server.shutdown, daemon=True
-                ).start()
-                return
-
-
-class CoScheduleServer(socketserver.ThreadingTCPServer):
-    allow_reuse_address = True
-    daemon_threads = True
-
-    def __init__(self, address, state: ServiceState):
-        super().__init__(address, _Handler)
-        self.state = state
-
-
-def serve(
-    host: str = "127.0.0.1",
-    port: int = 0,
-    *,
-    method: str = "hcs",
-    cap_w: float = DEFAULT_POWER_CAP_W,
-    objective="makespan",
-    queue_capacity: int = 64,
-    executor=None,
-    seed=None,
-    announce=None,
-    ready=None,
-    store: JobStore | None = None,
-    tenant_policy: TenantPolicy | None = None,
-) -> int:
-    """Run the threaded daemon until shutdown; returns an exit code.
-
-    .. deprecated::
-        Superseded by :func:`repro.service.async_server.serve_async` (the
-        ``repro serve`` default); kept for one release behind
-        ``--legacy-server``.
-
-    ``port=0`` binds an ephemeral port; the actual address is announced as
-    ``repro-service listening on HOST:PORT`` on stdout (or via the
-    ``announce`` callable), which is what the CLI smoke test and the
-    end-to-end suite parse.  ``ready``, when given, receives the bound
-    ``(host, port)`` tuple before the accept loop starts — for in-process
-    embedding in tests.
-    """
-    session = ServiceSession(
-        method=method,
-        cap_w=cap_w,
-        objective=objective,
-        executor=executor,
-        seed=seed,
-    )
-    state = ServiceState(
-        session,
-        queue_capacity=queue_capacity,
-        store=store,
-        tenant_policy=tenant_policy,
-    )
-    server = CoScheduleServer((host, port), state)
-    bound_host, bound_port = server.server_address[:2]
-
-    def _graceful(signum, frame):  # pragma: no cover - signal path
-        state.stopping.set()
-        threading.Thread(target=server.shutdown, daemon=True).start()
-
-    try:
-        signal.signal(signal.SIGTERM, _graceful)
-        signal.signal(signal.SIGINT, _graceful)
-    except ValueError:
-        pass  # not the main thread (embedded in tests)
-
-    message = f"{_BANNER} {bound_host}:{bound_port}"
-    if announce is not None:
-        announce(message)
-    else:
-        print(message, flush=True)
-    if ready is not None:
-        ready((bound_host, bound_port))
-    try:
-        server.serve_forever(poll_interval=0.1)
-    finally:
-        # Drain whatever was admitted before the listener stopped —
-        # graceful shutdown never abandons accepted work.
-        with state.lock:
-            if not state.session.idle or state.backlog.depth:
-                state._drain_all()
-                state.store.flush()
-        state.close()
-        server.server_close()
-    return 0

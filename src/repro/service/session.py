@@ -128,6 +128,7 @@ class ServiceSession:
         executor=None,
         seed=None,
         sanitize: bool | None = None,
+        node=None,
         **scheduler_opts,
     ) -> None:
         from repro.core.objectives import Objective
@@ -138,24 +139,36 @@ class ServiceSession:
         self.method = method.lower()
         self.objective = Objective.coerce(objective)
         self.cap_w = cap_w
+        #: Optional fleet :class:`~repro.core.fleet.Node` this session runs
+        #: on: feasibility, powers, and the scheduler's plans all see the
+        #: node's speed/power scaling.  The session clock stays native —
+        #: the fleet facade converts to wall time at its boundary.
+        self.node = node
         self.space = characterize_space(
             self.processor, executor=self.executor, cache=self.cache
         )
         self.table: ProfileTable = ProfileTable(
             processor=self.processor, jobs=(), _profiles={}
         )
-        self.predictor = CachingPredictor(
+        self._caching = CachingPredictor(
             CoRunPredictor(self.processor, self.table, self.space),
             cache=self.cache,
         )
+        if node is not None:
+            from repro.core.fleet import node_predictor
+
+            self.predictor = node_predictor(self._caching, node)
+        else:
+            self.predictor = self._caching
         self.scheduler: Scheduler = make_scheduler(
             method,
             cap_w=cap_w,
             objective=self.objective,
-            predictor=self.predictor,
+            predictor=self._caching,
             cache=self.cache,
             executor=self.executor,
             seed=seed,
+            node=node,
             **scheduler_opts,
         )
         self.sim = SimCore(self.processor, _SafeGovernor(self))
@@ -225,7 +238,7 @@ class ServiceSession:
         self.table = extend_table(
             self.table, batch, executor=self.executor, cache=self.cache
         )
-        self.predictor.inner = CoRunPredictor(
+        self._caching.inner = CoRunPredictor(
             self.processor, self.table, self.space
         )
 

@@ -49,6 +49,9 @@ class ShardConfig:
     tenant_quota: int | None = None
     backlog_capacity: int = 0
     sanitize: bool | None = None
+    #: ``Fleet.to_dict()`` payload (kept as a plain dict so the config
+    #: pickles cheaply into spawn workers); None = the single-APU session.
+    fleet: dict | None = None
 
 
 def build_state(config: ShardConfig):
@@ -58,14 +61,27 @@ def build_state(config: ShardConfig):
     from repro.service.admission import TenantPolicy
     from repro.store.store import JobStore
 
-    session = ServiceSession(
-        method=config.method,
-        cap_w=config.cap_w,
-        objective=config.objective,
-        executor=config.executor,
-        seed=config.seed,
-        sanitize=config.sanitize,
-    )
+    if config.fleet is not None:
+        from repro.core.fleet import Fleet
+        from repro.service.fleet import FleetSession
+
+        session = FleetSession(
+            Fleet.from_dict(config.fleet),
+            method=config.method,
+            objective=config.objective,
+            executor=config.executor,
+            seed=config.seed,
+            sanitize=config.sanitize,
+        )
+    else:
+        session = ServiceSession(
+            method=config.method,
+            cap_w=config.cap_w,
+            objective=config.objective,
+            executor=config.executor,
+            seed=config.seed,
+            sanitize=config.sanitize,
+        )
     store = (
         JobStore.open(config.durable_dir, config.shard_id)
         if config.durable_dir is not None

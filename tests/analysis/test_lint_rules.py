@@ -484,6 +484,68 @@ class TestRep008StoreBypass:
         assert vs == []
 
 
+class TestRep009RawContextCap:
+    SNIPPET = """
+        def budget(ctx):
+            return ctx.cap_w
+    """
+
+    def test_flags_raw_read_in_production_code(self, tmp_path):
+        vs = lint_snippet(tmp_path, "src/repro/service/bill.py", self.SNIPPET)
+        assert codes(vs) == ["REP009"]
+        assert "context_cap" in vs[0].message
+
+    @pytest.mark.parametrize(
+        "expr", ["self.ctx.cap_w", "sub_ctx.cap_w", "context.cap_w"]
+    )
+    def test_flags_any_context_shaped_receiver(self, tmp_path, expr):
+        vs = lint_snippet(
+            tmp_path,
+            "src/repro/model/peek.py",
+            f"""
+            def peek(self, sub_ctx, context):
+                return {expr}
+            """,
+        )
+        assert codes(vs) == ["REP009"]
+
+    @pytest.mark.parametrize("home", ["feasibility.py", "fleet.py"])
+    def test_accessor_homes_are_exempt(self, tmp_path, home):
+        assert lint_snippet(tmp_path, f"src/repro/core/{home}", self.SNIPPET) == []
+
+    def test_other_core_modules_are_not_exempt(self, tmp_path):
+        vs = lint_snippet(tmp_path, "src/repro/core/evaluator.py", self.SNIPPET)
+        assert codes(vs) == ["REP009"]
+
+    def test_tests_are_exempt(self, tmp_path):
+        assert lint_snippet(tmp_path, "tests/test_caps.py", self.SNIPPET) == []
+
+    @pytest.mark.parametrize(
+        "expr", ["self.cap_w", "fleet.cap_w", "node.cap_w", "session.cap_w"]
+    )
+    def test_non_context_receivers_are_fine(self, tmp_path, expr):
+        vs = lint_snippet(
+            tmp_path,
+            "src/repro/service/ok.py",
+            f"""
+            def peek(self, fleet, node, session):
+                return {expr}
+            """,
+        )
+        assert vs == []
+
+    def test_noqa_escape_hatch(self, tmp_path):
+        vs = lint_snippet(
+            tmp_path,
+            "src/repro/service/compat.py",
+            """
+            def budget(ctx):
+                return ctx.cap_w  # repro: noqa REP009 -- single-node shim
+            """,
+        )
+        assert vs == []
+
+
 class TestEngine:
     def test_trailing_noqa_suppresses(self, tmp_path):
         vs = lint_snippet(

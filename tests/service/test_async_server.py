@@ -41,7 +41,7 @@ def _server(**kwargs):
 
 
 class TestFrontendBasics:
-    def test_banner_contract_matches_legacy_server(self):
+    def test_banner_contract(self):
         with _server() as (host, port, banners):
             assert banners and banners[0].startswith(
                 f"repro-service listening on {host}:{port}"

@@ -1,0 +1,230 @@
+"""The fleet service facade: FleetSession and the fleet-backed daemon."""
+
+from __future__ import annotations
+
+import contextlib
+import queue
+import threading
+
+import pytest
+
+from repro.core.fleet import Fleet, Node
+from repro.service.fleet import FleetDevice, FleetSession
+from repro.service.session import ServiceSession
+from repro.workload.program import Job
+
+FLEET = Fleet(
+    nodes=(
+        Node("big", speed_scale=2.0, power_scale=1.3),
+        Node("mid"),
+        Node("small", speed_scale=0.6, power_scale=0.5),
+    ),
+    budget_w=45.0,
+)
+
+
+def _job(rodinia, program, uid=None):
+    return Job(uid=uid or program, profile=rodinia[program])
+
+
+@pytest.fixture
+def fleet_session():
+    return FleetSession(FLEET, seed=5)
+
+
+class TestFleetSessionLifecycle:
+    def test_submit_drain_completes_on_nodes(self, fleet_session, rodinia):
+        programs = ["cfd", "dwt2d", "lud", "srad", "hotspot", "leukocyte"]
+        for name in programs:
+            fleet_session.submit(_job(rodinia, name), 0.0)
+        completions, rejections = fleet_session.drain()
+        assert rejections == []
+        assert {c.job_id for c in completions} == set(programs)
+        for record in completions:
+            node, _, device = record.kind.partition(":")
+            assert node in {"big", "mid", "small"}
+            assert device in ("cpu", "gpu")
+            assert record.finish_s > record.start_s >= 0.0
+            # Completions come back on the shared wall clock, and the
+            # facade's clock is the furthest node's wall time.
+            assert record.finish_s <= fleet_session.now + 1e-9
+        assert fleet_session.idle
+        assert fleet_session.queue_depth == 0
+
+    def test_completions_sorted_on_the_wall_clock(
+        self, fleet_session, rodinia
+    ):
+        for name in ["cfd", "dwt2d", "lud", "srad"]:
+            fleet_session.submit(_job(rodinia, name), 0.0)
+        completions, _ = fleet_session.drain()
+        finishes = [c.finish_s for c in completions]
+        assert finishes == sorted(finishes)
+
+    def test_placement_spreads_load(self, fleet_session, rodinia):
+        programs = ["cfd", "dwt2d", "lud", "srad", "hotspot", "leukocyte"]
+        for name in programs:
+            fleet_session.submit(_job(rodinia, name), 0.0)
+        placed = {fleet_session.node_of(name) for name in programs}
+        # Greedy lowest-backlog placement must use more than one node for
+        # six jobs on a three-node fleet.
+        assert len(placed) > 1
+
+    def test_running_keys_are_node_qualified(self, fleet_session, rodinia):
+        fleet_session.submit(_job(rodinia, "cfd"), 0.0)
+        fleet_session.submit(_job(rodinia, "lud"), 0.0)
+        fleet_session.advance(1.0)
+        running = fleet_session.running
+        assert running
+        for device, job in running.items():
+            assert isinstance(device, FleetDevice)
+            assert device.name == f"{device.node}:{device.kind.name}"
+
+    def test_advance_backwards_rejected(self, fleet_session, rodinia):
+        fleet_session.submit(_job(rodinia, "cfd"), 0.0)
+        fleet_session.advance(5.0)
+        with pytest.raises(ValueError, match="cannot advance"):
+            fleet_session.advance(1.0)
+
+    def test_sim_view_exposes_wall_starts(self, fleet_session, rodinia):
+        fleet_session.submit(_job(rodinia, "cfd"), 0.0)
+        fleet_session.drain()
+        starts = fleet_session.sim.starts
+        assert "cfd" in starts
+        node, _, device = starts["cfd"].kind.partition(":")
+        assert node in {"big", "mid", "small"}
+        assert device in ("cpu", "gpu")
+        assert starts["cfd"].start_s >= 0.0
+
+
+class TestFleetCapEvents:
+    def test_set_cap_rescales_by_frozen_shares(self, fleet_session):
+        shares = [c / FLEET.total_cap_w() for c in FLEET.node_caps()]
+        fleet_session.set_cap(30.0)
+        assert fleet_session.cap_w == pytest.approx(30.0)
+        for session, share in zip(fleet_session.sessions, shares):
+            assert session.cap_w == pytest.approx(30.0 * share)
+
+    def test_cap_validation(self, fleet_session):
+        with pytest.raises(ValueError, match="positive"):
+            fleet_session.set_cap(0.0)
+
+    def test_preemption_log_is_stable_append_only(
+        self, fleet_session, rodinia
+    ):
+        for name in ["cfd", "dwt2d", "lud", "srad", "hotspot", "leukocyte"]:
+            fleet_session.submit(_job(rodinia, name), 0.0)
+        fleet_session.advance(2.0)
+        before = fleet_session.sim.preemptions
+        fleet_session.set_cap(8.0)
+        fleet_session.drain()
+        after = fleet_session.sim.preemptions
+        # The server slices this log by index between reads: the prefix
+        # already handed out must never reorder or mutate.
+        assert after[: len(before)] == before
+        for rec in after:
+            node, _, _ = rec.from_device.partition(":")
+            assert node in {"big", "mid", "small"}
+
+    def test_infeasible_everywhere_late_rejects_with_node_tag(self, rodinia):
+        tiny = Fleet(
+            nodes=(Node("a", cap_w=1.0), Node("b", cap_w=1.0)),
+        )
+        session = FleetSession(tiny)
+        job = _job(rodinia, "cfd")
+        assert not session.admissible(job)
+        session.submit(job, 0.0)
+        completions, rejections = session.drain()
+        assert completions == []
+        assert [r.job_id for r in rejections] == ["cfd"]
+        assert rejections[0].message.startswith("[a] ")
+
+
+class TestTrivialFleetMatchesSingleSession:
+    def test_single_node_fleet_is_byte_identical(self, rodinia):
+        programs = ["cfd", "dwt2d", "lud"]
+        plain = ServiceSession(seed=3)
+        fleet = FleetSession(Fleet.single(15.0), seed=3)
+        plain.set_cap(15.0)
+        for name in programs:
+            plain.submit(_job(rodinia, name), 0.0)
+            fleet.submit(_job(rodinia, name), 0.0)
+        base_done, _ = plain.drain()
+        fleet_done, _ = fleet.drain()
+        assert len(base_done) == len(fleet_done)
+        for b, f in zip(base_done, fleet_done):
+            assert f.kind == f"node0:{b.kind}"
+            # repro: noqa REP003 -- byte-identical single-node contract
+            assert (b.job_id, b.start_s, b.finish_s, b.setting) == (
+                f.job_id, f.start_s, f.finish_s, f.setting
+            )
+
+
+class TestFleetShardConfig:
+    def test_build_state_constructs_fleet_session(self):
+        from repro.service.shard import ShardConfig, build_state
+
+        config = ShardConfig(fleet=FLEET.to_dict(), method="hcs", seed=1)
+        state = build_state(config)
+        assert isinstance(state.session, FleetSession)
+        assert state.session.fleet == FLEET
+
+    def test_build_state_without_fleet_stays_single(self):
+        from repro.service.shard import ShardConfig, build_state
+
+        state = build_state(ShardConfig())
+        assert isinstance(state.session, ServiceSession)
+
+
+@contextlib.contextmanager
+def _server(**kwargs):
+    from repro.service.async_server import serve_async
+    from repro.service.client import ServiceClient
+
+    ready: "queue.Queue[tuple[str, int]]" = queue.Queue()
+    thread = threading.Thread(
+        target=serve_async,
+        kwargs={"port": 0, "ready": ready.put, **kwargs},
+        daemon=True,
+    )
+    thread.start()
+    host, port = ready.get(timeout=30)
+    try:
+        yield host, port
+    finally:
+        if thread.is_alive():
+            with contextlib.suppress(OSError):
+                with ServiceClient(host, port) as client:
+                    client.shutdown()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+
+
+class TestFleetThroughTheDaemon:
+    def test_submit_drain_status_on_a_fleet(self):
+        from repro.service.client import ServiceClient
+
+        with _server(fleet=FLEET) as (host, port):
+            with ServiceClient(host, port) as client:
+                for name in ["lud", "cfd", "srad", "dwt2d"]:
+                    accepted = client.submit(name)
+                    assert accepted.state == "queued"
+                done = client.drain()
+                assert len(done.completions) == 4
+                nodes_used = {
+                    c.kind.partition(":")[0] for c in done.completions
+                }
+                assert nodes_used <= {"big", "mid", "small"}
+                status = client.status()
+                assert status.completed == 4
+                assert status.cap_w == pytest.approx(FLEET.total_cap_w())
+
+    def test_cap_change_over_the_wire(self):
+        from repro.service.client import ServiceClient
+
+        with _server(fleet=FLEET) as (host, port):
+            with ServiceClient(host, port) as client:
+                client.submit("lud")
+                client.set_cap(30.0)
+                status = client.status()
+                assert status.cap_w == pytest.approx(30.0)
+                client.drain()

@@ -5,7 +5,7 @@ Reads ``BENCH_results.json`` (written by ``benchmarks/conftest.py`` at the
 end of every benchmark session) and fails when a gated entry misses its
 threshold or the file is missing/malformed.
 
-Three gates are implemented:
+Four gates are implemented:
 
 * **tensor** (default): the tensor backend's recorded speedup over the
   cold-cache scalar baseline must meet ``--min-speedup``, with no scalar
@@ -17,16 +17,22 @@ Three gates are implemented:
   the async front end must sustain ``--min-submissions-per-s``
   acknowledged submissions/s, record a numeric p99 turnaround, and answer
   2x overload with structured rejections instead of collapsing.
+* **fleet** (``--fleet-only``, the ``make bench-fleet`` target): the
+  16-job, 4-node GA+refine pipeline must beat the single-APU search by
+  ``--min-fleet-speedup`` on predicted makespan, schedule and execute
+  every job, and pass the fleet invariant verifier clean.
 
-Because each benchmark session rewrites the whole results file, the sim
-and service entries are only *required* in their respective ``--X-only``
-modes; in default mode they are validated opportunistically when present.
+Because each benchmark session rewrites the whole results file, the sim,
+service, and fleet entries are only *required* in their respective
+``--X-only`` modes; in default mode they are validated opportunistically
+when present.
 
 Usage::
 
     python tools/check_bench.py [RESULTS.json] [--min-speedup X]
     python tools/check_bench.py --sim-only [--min-event-rate X]
     python tools/check_bench.py --service-only [--min-submissions-per-s X]
+    python tools/check_bench.py --fleet-only [--min-fleet-speedup X]
 """
 
 from __future__ import annotations
@@ -55,6 +61,11 @@ SERVICE_ENTRY = "service_throughput"
 #: at half the target so noisy shared runners fail on regressions, not on
 #: neighbor load.
 DEFAULT_MIN_SUBMISSIONS_PER_S = 5_000.0
+FLEET_ENTRY = "fleet_ga_refine"
+#: Four parallel nodes should near-quarter the makespan; the hard gate
+#: sits at half the ideal so packing-imbalance noise on a random workload
+#: fails real regressions, not unlucky draws.
+DEFAULT_MIN_FLEET_SPEEDUP = 2.0
 
 
 def _check_tensor(benchmarks: dict, min_speedup: float) -> list[str]:
@@ -164,6 +175,50 @@ def _check_service(
     return failures
 
 
+def _check_fleet(
+    benchmarks: dict,
+    min_fleet_speedup: float,
+    *,
+    required: bool,
+) -> list[str]:
+    entry = benchmarks.get(FLEET_ENTRY)
+    if entry is None:
+        if required:
+            return [
+                f"missing the {FLEET_ENTRY!r} entry (run "
+                "benchmarks/test_fleet_solvers.py first)"
+            ]
+        return []
+
+    failures: list[str] = []
+    speedup = entry.get("makespan_speedup")
+    if not isinstance(speedup, (int, float)):
+        failures.append(
+            f"{FLEET_ENTRY}: no numeric 'makespan_speedup' recorded"
+        )
+    elif speedup < min_fleet_speedup:
+        failures.append(
+            f"{FLEET_ENTRY}: fleet makespan speedup {speedup:.2f}x is below "
+            f"the {min_fleet_speedup:g}x gate"
+        )
+    n_jobs = entry.get("n_jobs")
+    for stage in ("scheduled", "completed"):
+        count = entry.get(stage)
+        if not isinstance(count, (int, float)):
+            failures.append(f"{FLEET_ENTRY}: no numeric {stage!r} recorded")
+        elif count != n_jobs:
+            failures.append(
+                f"{FLEET_ENTRY}: only {count:g}/{n_jobs:g} jobs {stage}"
+            )
+    violations = entry.get("fleet_violations")
+    if violations not in (0, 0.0):
+        failures.append(
+            f"{FLEET_ENTRY}: fleet invariant verifier reported "
+            f"{violations!r} violations"
+        )
+    return failures
+
+
 def check(
     path: Path,
     min_speedup: float,
@@ -171,8 +226,10 @@ def check(
     min_events: int = DEFAULT_MIN_EVENTS,
     min_event_rate: float = DEFAULT_MIN_EVENT_RATE,
     min_submissions_per_s: float = DEFAULT_MIN_SUBMISSIONS_PER_S,
+    min_fleet_speedup: float = DEFAULT_MIN_FLEET_SPEEDUP,
     sim_only: bool = False,
     service_only: bool = False,
+    fleet_only: bool = False,
 ) -> list[str]:
     """Return a list of failure messages (empty == pass)."""
     if not path.exists():
@@ -187,15 +244,19 @@ def check(
         return [f"{path}: no 'benchmarks' mapping"]
 
     failures: list[str] = []
-    if not (sim_only or service_only):
+    if not (sim_only or service_only or fleet_only):
         failures += _check_tensor(benchmarks, min_speedup)
-    if not service_only:
+    if not (service_only or fleet_only):
         failures += _check_sim(
             benchmarks, min_events, min_event_rate, required=sim_only
         )
-    if not sim_only:
+    if not (sim_only or fleet_only):
         failures += _check_service(
             benchmarks, min_submissions_per_s, required=service_only
+        )
+    if not (sim_only or service_only):
+        failures += _check_fleet(
+            benchmarks, min_fleet_speedup, required=fleet_only
         )
     return [f"{path}: {m}" if m.startswith("missing") else m for m in failures]
 
@@ -228,6 +289,17 @@ def main(argv: list[str] | None = None) -> int:
         f"{DEFAULT_MIN_SUBMISSIONS_PER_S:,.0f})",
     )
     parser.add_argument(
+        "--fleet-only", action="store_true",
+        help="gate only the fleet GA+refine benchmark (requires the "
+        f"{FLEET_ENTRY!r} entry; skips the tensor, sim, and service gates)",
+    )
+    parser.add_argument(
+        "--min-fleet-speedup", type=float,
+        default=DEFAULT_MIN_FLEET_SPEEDUP,
+        help=f"minimum fleet-vs-single-APU makespan speedup (default: "
+        f"{DEFAULT_MIN_FLEET_SPEEDUP:g}x)",
+    )
+    parser.add_argument(
         "--min-events", type=int, default=DEFAULT_MIN_EVENTS,
         help=f"minimum trace size in events (default: "
         f"{DEFAULT_MIN_EVENTS:,})",
@@ -238,16 +310,21 @@ def main(argv: list[str] | None = None) -> int:
         f"{DEFAULT_MIN_EVENT_RATE:,.0f})",
     )
     args = parser.parse_args(argv)
-    if args.sim_only and args.service_only:
-        parser.error("--sim-only and --service-only are mutually exclusive")
+    if sum([args.sim_only, args.service_only, args.fleet_only]) > 1:
+        parser.error(
+            "--sim-only, --service-only, and --fleet-only are mutually "
+            "exclusive"
+        )
     failures = check(
         Path(args.results),
         args.min_speedup,
         min_events=args.min_events,
         min_event_rate=args.min_event_rate,
         min_submissions_per_s=args.min_submissions_per_s,
+        min_fleet_speedup=args.min_fleet_speedup,
         sim_only=args.sim_only,
         service_only=args.service_only,
+        fleet_only=args.fleet_only,
     )
     for message in failures:
         print(f"FAIL: {message}", file=sys.stderr)
@@ -261,6 +338,15 @@ def main(argv: list[str] | None = None) -> int:
                 f"{entry['events_per_s']:,.0f}/s >= "
                 f"{args.min_event_rate:,.0f}/s "
                 f"(wall {entry['wall_s']:.3f}s)"
+            )
+        elif args.fleet_only:
+            entry = benchmarks[FLEET_ENTRY]
+            print(
+                f"ok: fleet tier {entry['makespan_speedup']:.2f}x >= "
+                f"{args.min_fleet_speedup:g}x over one APU "
+                f"({entry['n_nodes']:g} nodes, "
+                f"{entry['completed']:g}/{entry['n_jobs']:g} jobs executed, "
+                f"{entry['fleet_violations']:g} violations)"
             )
         elif args.service_only:
             entry = benchmarks[SERVICE_ENTRY]
