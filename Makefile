@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test lint analyze bench bench-backend bench-sim bench-service bench-fleet bench-all experiments report calibration examples clean
+.PHONY: install test lint analyze analyze-dims bench bench-backend bench-sim bench-service bench-fleet bench-all experiments report calibration examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -16,9 +16,14 @@ lint: analyze
 	mypy src/repro
 	python tools/check_calibration.py
 
-# Repo-specific REP001-REP009 AST rules (same gate as `repro analyze` in CI).
+# Repo-specific REP001-REP011 AST rules (same gate as `repro analyze` in CI).
 analyze:
-	python -m repro.analysis.lint src tests tools
+	python -m repro.analysis.lint src tests tools benchmarks examples
+
+# Just the units-aware dataflow checker (REP010/REP011), for quick loops.
+analyze-dims:
+	python -m repro.analysis.lint --select REP010,REP011 \
+		src tests tools benchmarks examples
 
 bench:
 	pytest benchmarks/test_perf_layer.py --benchmark-only \

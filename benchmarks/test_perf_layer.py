@@ -128,6 +128,7 @@ def test_bench_hcs_plus_cached_repeat(benchmark, env):
 
     plain = hcs_schedule(predictor, jobs, CAP_W, refine=True, seed=13)
     assert warm.schedule == cold.schedule == plain.schedule
+    # repro: noqa REP003 -- byte-identical warm-cache memoization contract
     assert warm.predicted_makespan_s == plain.predicted_makespan_s
 
     print(f"\n[perf] HCS+ cold={cold_s:.3f}s warm={warm_s:.4f}s "

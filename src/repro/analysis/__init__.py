@@ -20,12 +20,19 @@ Two halves, both independent of the code they check:
   orphan events — the referee the durability e2e suite calls after
   ``kill -9``.
 * :mod:`repro.analysis.lint` — a repo-specific **AST lint pack**
-  (``python -m repro.analysis.lint src tests tools``; rules REP001-REP009)
-  enforcing the architectural conventions that keep the above true:
-  contexts instead of raw plumbing, seeded RNGs, tolerance-based float
-  comparisons, cache-respecting evaluation, locked service state, a
-  wall-clock-free engine, no removed-shim reintroduction, and
-  event-log-only store mutation.
+  (``python -m repro.analysis.lint src tests tools benchmarks examples``;
+  rules REP001-REP011) enforcing the architectural conventions that keep
+  the above true: contexts instead of raw plumbing, seeded RNGs,
+  tolerance-based float comparisons, cache-respecting evaluation, locked
+  service state, a wall-clock-free engine, no removed-shim
+  reintroduction, event-log-only store mutation, and fleet-aware cap
+  access.
+* :mod:`repro.analysis.dims` — a **units-aware dataflow checker** (lint
+  rules REP010/REP011): propagates watts/joules/seconds (wall and native
+  flavors) from the :mod:`repro.units` aliases and the repo's naming
+  conventions through assignments, arithmetic, comparisons, and call
+  sites, flagging cross-dimension mixing and ``speed_scale`` /
+  ``power_scale`` misuse statically.
 """
 
 from repro.analysis.invariants import (

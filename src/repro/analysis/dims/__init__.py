@@ -1,0 +1,80 @@
+"""Units-aware static dataflow analysis (the dims checker).
+
+``repro.analysis.dims`` proves dimension-consistency of the repo's
+watts/joules/seconds arithmetic: a signature-collection pass assigns
+dimensions to parameters, returns, and fields from the
+:mod:`repro.units` aliases and the repo's naming conventions, then a
+checking pass propagates dimensions through assignments, arithmetic,
+comparisons, and call sites, flagging
+
+* cross-dimension add/compare (a watts cap against a joules estimate) —
+  **REP010**;
+* native/wall-seconds mixing and ``speed_scale`` misuse (wrong
+  direction, double conversion) — **REP011**;
+* ``power_scale`` applied twice, and products that silently change
+  dimension (``W x s -> J``) flowing into wrongly-named targets.
+
+It surfaces through the lint pack (``python -m repro.analysis.lint``,
+rules REP010/REP011, with path scoping, ``--select``, and ``# repro:
+noqa`` suppressions) and standalone as ``python -m
+repro.analysis.dims``.  :func:`check_module` is the programmatic core:
+parse a module, get back :class:`DimFinding` records.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+
+from repro.analysis.dims.check import DimChecker, DimFinding, check_module
+from repro.analysis.dims.collect import (
+    ALIAS_DIMS,
+    BUILTIN_SIGS,
+    FuncSig,
+    SignatureIndex,
+    dim_of_annotation,
+    dim_of_name,
+    signature_of,
+)
+from repro.analysis.dims.model import (
+    Dim,
+    DimResult,
+    compat,
+    div_result,
+    mul_result,
+)
+
+#: One-slot memo so the REP010 and REP011 rules (which the lint engine
+#: runs back-to-back over the same parsed module) analyze each file once.
+_MEMO: tuple[int, str, list[DimFinding]] | None = None
+
+
+def check_module_cached(tree: ast.Module, path: PurePath) -> list[DimFinding]:
+    """:func:`check_module`, memoized for consecutive same-module calls."""
+    global _MEMO
+    key_id, key_path = id(tree), str(path)
+    if _MEMO is not None and _MEMO[0] == key_id and _MEMO[1] == key_path:
+        return _MEMO[2]
+    findings = check_module(tree)
+    _MEMO = (key_id, key_path, findings)
+    return findings
+
+
+__all__ = [
+    "ALIAS_DIMS",
+    "BUILTIN_SIGS",
+    "Dim",
+    "DimChecker",
+    "DimFinding",
+    "DimResult",
+    "FuncSig",
+    "SignatureIndex",
+    "check_module",
+    "check_module_cached",
+    "compat",
+    "dim_of_annotation",
+    "dim_of_name",
+    "div_result",
+    "mul_result",
+    "signature_of",
+]

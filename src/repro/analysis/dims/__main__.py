@@ -1,0 +1,52 @@
+"""Standalone dims-checker CLI: ``python -m repro.analysis.dims [paths]``.
+
+Runs only the dimensional-analysis rules (REP010/REP011) through the
+lint engine, so path discovery, ordering, and ``# repro: noqa``
+suppressions behave exactly like the full pack.  ``make analyze-dims``
+is this over the whole repo.
+
+Exit codes: 0 clean, 1 violations found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    # Imported here so `python -m repro.analysis.dims --help` stays fast.
+    from repro.analysis.lint import DEFAULT_PATHS
+    from repro.analysis.lint.engine import run_rules
+    from repro.analysis.lint.rules import DIMS_RULES
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.dims",
+        description=(
+            "Run the units-aware dimensional-analysis rules (REP010 "
+            "dimension mismatch, REP011 native/wall time mixing) over "
+            "source trees. See docs/ANALYSIS.md for the dataflow model "
+            "and the repro.units annotation vocabulary."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=list(DEFAULT_PATHS), metavar="PATH",
+        help=f"files or directories to check (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    args = parser.parse_args(argv)
+    violations = run_rules(args.paths, DIMS_RULES)
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        print(
+            f"\n{len(violations)} dimensional violation(s) across "
+            f"{len({v.path for v in violations})} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,212 @@
+"""The dimension lattice and its arithmetic algebra.
+
+A :class:`Dim` is what the dataflow checker knows about one expression's
+physical dimension.  Kinds cover the repo's vocabulary — watts, joules,
+the three time flavors (generic, wall, native), frequency, the scale
+factors, and the bicriteria exchange rate — plus ``NUM`` for values that
+are *known* to be dimensionless (a ratio of two times, a count).
+
+``None`` everywhere means "unknown": the checker is deliberately
+permissive, so an operation is flagged only when **both** sides carry a
+known, incompatible dimension.  The algebra entry points
+(:func:`add_result`, :func:`mul_result`, :func:`div_result`,
+:func:`compat`) return a :class:`DimResult` carrying the resulting
+dimension and, when the combination is dimensionally illegal, a
+``(code, message)`` problem — ``REP010`` for cross-dimension mixing,
+``REP011`` for wall/native-time and ``speed_scale`` misuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# -- kinds -------------------------------------------------------------
+WATTS = "W"
+JOULES = "J"
+SECONDS = "s"          # flavorless duration
+WALL_S = "wall-s"      # fleet wall clock
+NATIVE_S = "native-s"  # a scaled node's own clock
+HERTZ = "Hz"
+SPEED = "speed-scale"
+PSCALE = "power-scale"
+SCALE = "scale"        # generic dimensionless multiplier
+SPJ = "s/J"            # seconds per joule (MAKESPAN_ENERGY_RHO)
+NUM = "number"         # known-dimensionless value
+
+#: Time flavors; ``SECONDS`` is compatible with either specific flavor.
+TIME_KINDS = frozenset({SECONDS, WALL_S, NATIVE_S})
+#: Kinds that denote a physical quantity (mixing any two of these
+#: across different groups in +/-/compare is a REP010).
+PHYSICAL_KINDS = frozenset({WATTS, JOULES, HERTZ, SPJ}) | TIME_KINDS
+#: Dimensionless multiplier kinds (mutually compatible).
+SCALE_KINDS = frozenset({SPEED, PSCALE, SCALE})
+
+_LABELS = {
+    WATTS: "watts",
+    JOULES: "joules",
+    SECONDS: "seconds",
+    WALL_S: "wall-seconds",
+    NATIVE_S: "native-seconds",
+    HERTZ: "hertz",
+    SPEED: "speed_scale",
+    PSCALE: "power_scale",
+    SCALE: "a scale factor",
+    SPJ: "seconds-per-joule",
+    NUM: "a dimensionless number",
+}
+
+
+@dataclass(frozen=True)
+class Dim:
+    """One expression's dimension; ``pscaled`` marks a power/energy value
+    that has already been multiplied by a node's ``power_scale``."""
+
+    kind: str
+    pscaled: bool = False
+
+    @property
+    def label(self) -> str:
+        text = _LABELS[self.kind]
+        if self.pscaled:
+            return f"power_scale-adjusted {text}"
+        return text
+
+
+# Shared singletons (the checker compares kinds, never identities).
+W = Dim(WATTS)
+J = Dim(JOULES)
+S = Dim(SECONDS)
+WS = Dim(WALL_S)
+NS = Dim(NATIVE_S)
+HZ = Dim(HERTZ)
+SPEED_D = Dim(SPEED)
+PSCALE_D = Dim(PSCALE)
+SCALE_D = Dim(SCALE)
+SPJ_D = Dim(SPJ)
+NUM_D = Dim(NUM)
+
+
+@dataclass(frozen=True)
+class DimResult:
+    """Outcome of combining two dimensions: the result (``None`` when
+    unknown) and an optional ``(rule_code, message)`` problem."""
+
+    dim: Dim | None = None
+    problem: tuple[str, str] | None = None
+
+
+_OK = DimResult()
+
+
+def _is_time(d: Dim) -> bool:
+    return d.kind in TIME_KINDS
+
+
+def compat(a: Dim | None, b: Dim | None, verb: str = "mixed with") -> DimResult:
+    """May ``a`` and ``b`` legally meet in +, -, a comparison, min/max,
+    or an assignment to a dimension-named target?
+
+    ``verb`` completes the sentence ``"<a> <verb> <b>"`` in messages.
+    Returns the merged dimension (the more specific of compatible time
+    flavors) or a problem.  Unknown and ``NUM`` operands are compatible
+    with everything.
+    """
+    if a is None or b is None:
+        return DimResult(a or b)
+    if a.kind == NUM or b.kind == NUM:
+        return DimResult(a if b.kind == NUM else b)
+    if a.kind == b.kind:
+        return DimResult(a)
+    if _is_time(a) and _is_time(b):
+        if {a.kind, b.kind} == {WALL_S, NATIVE_S}:
+            return DimResult(
+                None,
+                (
+                    "REP011",
+                    f"{a.label} {verb} {b.label}; convert with "
+                    "wall_from_native(native_s, speed_scale) first",
+                ),
+            )
+        # generic seconds meet a specific flavor: the flavor wins
+        return DimResult(a if a.kind != SECONDS else b)
+    if a.kind in SCALE_KINDS and b.kind in SCALE_KINDS:
+        return DimResult(Dim(SCALE))
+    return DimResult(
+        None,
+        (
+            "REP010",
+            f"{a.label} {verb} {b.label}",
+        ),
+    )
+
+
+def mul_result(a: Dim | None, b: Dim | None) -> DimResult:
+    """Dimension of ``a * b`` (commutative)."""
+    if a is None or b is None:
+        return _OK
+    for x, y in ((a, b), (b, a)):
+        if x.kind == NUM or x.kind == SCALE:
+            return DimResult(y)
+        if x.kind == WATTS and _is_time(y):
+            return DimResult(Dim(JOULES, pscaled=x.pscaled))
+        if x.kind == HERTZ and _is_time(y):
+            return DimResult(NUM_D)
+        if x.kind == JOULES and y.kind == SPJ:
+            return DimResult(S)
+        if x.kind == PSCALE and y.kind in (WATTS, JOULES):
+            if y.pscaled:
+                return DimResult(
+                    Dim(y.kind, pscaled=True),
+                    (
+                        "REP010",
+                        f"power_scale applied twice (the value is already {y.label})",
+                    ),
+                )
+            return DimResult(Dim(y.kind, pscaled=True))
+        if x.kind == SPEED and y.kind == WALL_S:
+            return DimResult(NS)
+        if x.kind == SPEED and y.kind == NATIVE_S:
+            return DimResult(
+                None,
+                (
+                    "REP011",
+                    "native-seconds multiplied by speed_scale; wall ="
+                    " native / speed_scale (use wall_from_native), and"
+                    " only wall * speed_scale goes back to native",
+                ),
+            )
+    return _OK
+
+
+def div_result(a: Dim | None, b: Dim | None) -> DimResult:
+    """Dimension of ``a / b`` (also used for ``//``)."""
+    if b is not None and a is not None and a.kind == b.kind:
+        return DimResult(NUM_D)
+    if b is None:
+        return _OK
+    if b.kind in (NUM, SCALE):
+        return DimResult(a)
+    if a is None:
+        return _OK
+    if a.kind == JOULES and _is_time(b):
+        return DimResult(Dim(WATTS, pscaled=a.pscaled))
+    if a.kind == JOULES and b.kind == WATTS:
+        return DimResult(S)
+    if a.kind == NATIVE_S and b.kind == SPEED:
+        return DimResult(WS)
+    if a.kind == WALL_S and b.kind == SPEED:
+        return DimResult(
+            None,
+            (
+                "REP011",
+                "wall-seconds divided by speed_scale again; this value was"
+                " already converted from the node's native clock",
+            ),
+        )
+    if a.kind == SECONDS and b.kind == SPEED:
+        return DimResult(S)
+    if a.kind in (WATTS, JOULES) and b.kind == PSCALE:
+        return DimResult(Dim(a.kind, pscaled=False))
+    if _is_time(a) and _is_time(b):
+        return DimResult(NUM_D)
+    return _OK

@@ -1,8 +1,10 @@
-"""Repo-specific AST lint pack: ``python -m repro.analysis.lint src tests tools``.
+"""Repo-specific AST lint pack: ``python -m repro.analysis.lint``.
 
-The rule engine lives in :mod:`repro.analysis.lint.engine`, the REP001-REP007
-catalog in :mod:`repro.analysis.lint.rules`; :func:`run_lint` is the
-programmatic entry point the CLI (``repro analyze``) and the tests share.
+The rule engine lives in :mod:`repro.analysis.lint.engine`, the
+REP001-REP011 catalog in :mod:`repro.analysis.lint.rules` (REP010/REP011
+delegate to the :mod:`repro.analysis.dims` dataflow checker);
+:func:`run_lint` is the programmatic entry point the CLI
+(``repro analyze``) and the tests share.
 """
 
 from __future__ import annotations
@@ -20,8 +22,9 @@ from repro.analysis.lint.engine import (
 )
 from repro.analysis.lint.rules import ALL_RULES
 
-#: Default lint surface when no paths are given.
-DEFAULT_PATHS = ("src", "tests", "tools")
+#: Default lint surface when no paths are given (the whole repo: the
+#: benchmark and example trees follow the same conventions as src).
+DEFAULT_PATHS = ("src", "tests", "tools", "benchmarks", "examples")
 
 
 def run_lint(

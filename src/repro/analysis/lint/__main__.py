@@ -16,14 +16,14 @@ def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
         description=(
-            "Run the repro-specific AST lint rules (REP001-REP007) over "
+            "Run the repro-specific AST lint rules (REP001-REP011) over "
             "source trees. See docs/ANALYSIS.md for the rule catalog and "
             "the '# repro: noqa REPxxx' suppression syntax."
         ),
     )
     parser.add_argument(
         "paths", nargs="*", default=list(DEFAULT_PATHS), metavar="PATH",
-        help="files or directories to lint (default: src tests tools)",
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})",
     )
     parser.add_argument(
         "--select", default=None, metavar="CODES",
@@ -41,6 +41,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.list_rules:
         for rule in ALL_RULES:
             print(f"{rule.code}  {rule.title}")
+            rationale = " ".join(rule.rationale.split())
+            if rationale:
+                print(f"        {rationale}")
         return 0
     select = (
         [c.strip() for c in args.select.split(",") if c.strip()]

@@ -1,4 +1,4 @@
-"""The REP001-REP009 rule catalog (see docs/ANALYSIS.md for the rationale).
+"""The REP001-REP011 rule catalog (see docs/ANALYSIS.md for the rationale).
 
 Each rule enforces a convention this codebase relies on for correctness but
 that nothing machine-checked before:
@@ -27,6 +27,14 @@ that nothing machine-checked before:
   ``ctx.cap_w`` attribute plumbing: on a multi-node fleet context the
   scalar alias is meaningless, and ``context_cap`` is where that is
   enforced.
+* REP010 — dimensional consistency of watts/joules/seconds arithmetic:
+  the :mod:`repro.analysis.dims` dataflow pass flags cross-dimension
+  add/compare, ``power_scale`` applied twice, and products whose
+  dimension contradicts the name they flow into.
+* REP011 — the two time dimensions stay apart: native (scaled-node)
+  seconds never meet wall seconds without the sanctioned
+  ``/ speed_scale`` conversion, and the conversion is applied exactly
+  once, in the right direction.
 """
 
 from __future__ import annotations
@@ -519,6 +527,58 @@ class RawContextCapRule(LintRule):
                 )
 
 
+class _DimsRuleBase(LintRule):
+    """Shared plumbing for the two dims-checker surfaces.
+
+    The heavy lifting lives in :mod:`repro.analysis.dims`; these rules
+    adapt its findings to the engine so path scoping, ``--select``, and
+    ``# repro: noqa`` suppressions work unchanged.  Both rules run the
+    (memoized) analysis once per module and keep the findings matching
+    their own code.
+    """
+
+    def findings(self, tree: ast.Module, path: PurePath) -> Iterator[Finding]:
+        from repro.analysis.dims import check_module_cached
+
+        for finding in check_module_cached(tree, path):
+            if finding.code == self.code:
+                yield Finding(finding.node, finding.message)
+
+
+class DimensionMismatchRule(_DimsRuleBase):
+    code = "REP010"
+    title = "cross-dimension watts/joules/seconds arithmetic"
+    rationale = (
+        "The paper's contract is dimensional: caps in watts, energy in"
+        " joules, spans in seconds. The dims dataflow pass propagates"
+        " dimensions from repro.units annotations and the *_w/*_j/*_s"
+        " naming conventions; adding or comparing across dimensions"
+        " (cap_w vs energy_j), double-applying power_scale, or storing a"
+        " W x s product under a watts name is a silent correctness bug"
+        " the runtime sanitizer only catches when a cap happens to be"
+        " violated."
+    )
+
+
+class WallNativeTimeRule(_DimsRuleBase):
+    code = "REP011"
+    title = "native/wall seconds mixed or speed_scale misapplied"
+    rationale = (
+        "The fleet layer runs two clocks: a scaled node's native seconds"
+        " and the fleet-wide wall clock, related by wall = native /"
+        " speed_scale. Mixing the flavors without that division — or"
+        " applying it twice, or in the wrong direction — silently skews"
+        " every cross-node makespan, deadline, and migration decision;"
+        " convert through repro.units.wall_from_native/native_from_wall."
+    )
+
+
+#: The dimensional-analysis subset (``python -m repro.analysis.dims``).
+DIMS_RULES: tuple[LintRule, ...] = (
+    DimensionMismatchRule(),
+    WallNativeTimeRule(),
+)
+
 #: The shipped rule set, in catalog order.
 ALL_RULES: tuple[LintRule, ...] = (
     RawPlumbingRule(),
@@ -530,4 +590,5 @@ ALL_RULES: tuple[LintRule, ...] = (
     DeprecatedExecutorRule(),
     StoreBypassRule(),
     RawContextCapRule(),
+    *DIMS_RULES,
 )

@@ -27,8 +27,9 @@ makespan, energy, and deadline misses (``--json`` emits the full
 executes across per-node simulators (:func:`repro.engine.run_fleet`).
 
 ``python -m repro analyze`` runs the repo's static-analysis pack (the
-REP001-REP009 AST lint rules of :mod:`repro.analysis.lint`) over source
-trees and exits non-zero on violations — the same gate CI runs.
+REP001-REP011 AST lint rules of :mod:`repro.analysis.lint`, including
+the units-aware dims dataflow checker) over source trees and exits
+non-zero on violations — the same gate CI runs.
 
 Exit codes: 0 success, 1 lint violations (``analyze``), 2
 usage/infeasibility (an unknown experiment, or a power cap no frequency

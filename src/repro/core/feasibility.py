@@ -27,9 +27,10 @@ from collections.abc import Iterable
 from repro.errors import InfeasibleCapError
 from repro.hardware.device import DeviceKind
 from repro.hardware.frequency import FrequencySetting
+from repro.units import Hertz, Joules, Watts
 
 
-def context_cap(ctx) -> float:
+def context_cap(ctx) -> Watts:
     """The effective scalar power cap of a *single-node* context.
 
     This is the one sanctioned way for schedulers to read a context's cap
@@ -54,7 +55,7 @@ def predicted_power(
     cpu_uid: str | None,
     gpu_uid: str | None,
     setting: FrequencySetting,
-) -> float:
+) -> Watts:
     """Predicted chip power for an arbitrary running combination."""
     if cpu_uid is not None and gpu_uid is not None:
         return predictor.pair_power_w(cpu_uid, gpu_uid, setting)
@@ -66,21 +67,21 @@ def predicted_power(
 
 
 def pair_settings_under_cap(
-    predictor, cpu_uid: str, gpu_uid: str, cap_w: float
+    predictor, cpu_uid: str, gpu_uid: str, cap_w: Watts
 ) -> list[FrequencySetting]:
     """Frequency settings whose predicted pair power fits the cap."""
     return list(predictor.feasible_pair_settings(cpu_uid, gpu_uid, cap_w))
 
 
 def solo_levels_under_cap(
-    predictor, uid: str, kind: DeviceKind, cap_w: float
+    predictor, uid: str, kind: DeviceKind, cap_w: Watts
 ) -> list[float]:
     """Device frequency levels whose predicted solo power fits the cap."""
     return list(predictor.feasible_solo_levels(uid, kind, cap_w))
 
 
 def require_pair_settings(
-    predictor, cpu_uid: str, gpu_uid: str, cap_w: float
+    predictor, cpu_uid: str, gpu_uid: str, cap_w: Watts
 ) -> list[FrequencySetting]:
     """Cap-feasible pair settings, raising when there are none."""
     feasible = pair_settings_under_cap(predictor, cpu_uid, gpu_uid, cap_w)
@@ -95,7 +96,7 @@ def require_pair_settings(
 
 
 def require_solo_levels(
-    predictor, uid: str, kind: DeviceKind, cap_w: float
+    predictor, uid: str, kind: DeviceKind, cap_w: Watts
 ) -> list[float]:
     """Cap-feasible solo levels, raising when there are none."""
     levels = solo_levels_under_cap(predictor, uid, kind, cap_w)
@@ -109,7 +110,7 @@ def require_solo_levels(
     return levels
 
 
-def fleet_predicted_power(node_states) -> float:
+def fleet_predicted_power(node_states) -> Watts:
     """Fleet-level predicted power: per-node draws summed.
 
     ``node_states`` is an iterable of ``(predictor, cpu_uid, gpu_uid,
@@ -127,7 +128,7 @@ def fleet_predicted_power(node_states) -> float:
 
 
 def require_pair_settings_on(
-    predictor, node_name: str, cpu_uid: str, gpu_uid: str, cap_w: float
+    predictor, node_name: str, cpu_uid: str, gpu_uid: str, cap_w: Watts
 ) -> list[FrequencySetting]:
     """Node-aware :func:`require_pair_settings`: the error names the node."""
     feasible = pair_settings_under_cap(predictor, cpu_uid, gpu_uid, cap_w)
@@ -143,7 +144,7 @@ def require_pair_settings_on(
 
 
 def require_solo_levels_on(
-    predictor, node_name: str, uid: str, kind: DeviceKind, cap_w: float
+    predictor, node_name: str, uid: str, kind: DeviceKind, cap_w: Watts
 ) -> list[float]:
     """Node-aware :func:`require_solo_levels`: the error names the node."""
     levels = solo_levels_under_cap(predictor, uid, kind, cap_w)
@@ -162,7 +163,7 @@ def first_setting_under_cap(
     predictor,
     cpu_uid: str | None,
     gpu_uid: str | None,
-    cap_w: float,
+    cap_w: Watts,
     candidates: Iterable[FrequencySetting],
 ) -> FrequencySetting:
     """First candidate whose predicted power fits the cap, in given order.
@@ -183,7 +184,7 @@ def first_setting_under_cap(
 
 def pair_energy_j(
     predictor, cpu_uid: str, gpu_uid: str, setting: FrequencySetting
-) -> float:
+) -> Joules:
     """Predicted energy to complete a co-running pair at ``setting``.
 
     Approximated as the predicted chip power times the summed predicted
@@ -195,7 +196,7 @@ def pair_energy_j(
     return power * (t_c + t_g)
 
 
-def solo_energy_j(predictor, uid: str, kind: DeviceKind, f_ghz: float) -> float:
+def solo_energy_j(predictor, uid: str, kind: DeviceKind, f_ghz: Hertz) -> Joules:
     """Predicted energy to complete a solo job at level ``f_ghz``."""
     return predictor.solo_power_w(uid, kind, f_ghz) * predictor.solo_time(
         uid, kind, f_ghz

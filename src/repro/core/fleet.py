@@ -34,6 +34,7 @@ from dataclasses import dataclass
 
 from repro.errors import InfeasibleCapError
 from repro.hardware.device import DeviceKind
+from repro.units import Hertz, PowerScale, Seconds, SpeedScale, Watts
 
 
 @dataclass(frozen=True)
@@ -47,9 +48,9 @@ class Node:
     """
 
     name: str
-    speed_scale: float = 1.0
-    power_scale: float = 1.0
-    cap_w: float | None = None
+    speed_scale: SpeedScale = 1.0
+    power_scale: PowerScale = 1.0
+    cap_w: Watts | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -97,7 +98,7 @@ class Fleet:
     """
 
     nodes: tuple[Node, ...]
-    budget_w: float | None = None
+    budget_w: Watts | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "nodes", tuple(self.nodes))
@@ -127,7 +128,7 @@ class Fleet:
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def single(cls, cap_w: float, name: str = "node0") -> "Fleet":
+    def single(cls, cap_w: Watts, name: str = "node0") -> "Fleet":
         """The one-APU world: a single trivial node with its own cap.
 
         Contexts built over this fleet take the exact pre-fleet code path
@@ -137,7 +138,7 @@ class Fleet:
         return cls(nodes=(Node(name=name, cap_w=cap_w),))
 
     @classmethod
-    def parse(cls, spec: str, budget_w: float | None = None) -> "Fleet":
+    def parse(cls, spec: str, budget_w: Watts | None = None) -> "Fleet":
         """Build a fleet from a compact CLI spec.
 
         ``spec`` is a comma-separated list of node descriptors, each
@@ -172,8 +173,8 @@ class Fleet:
         cls,
         n: int,
         *,
-        node_cap_w: float | None = None,
-        budget_w: float | None = None,
+        node_cap_w: Watts | None = None,
+        budget_w: Watts | None = None,
         prefix: str = "node",
     ) -> "Fleet":
         """``n`` identical trivial nodes, per-node capped or shared-budget."""
@@ -218,7 +219,7 @@ class Fleet:
                 return i
         raise KeyError(f"no node named {name!r} in the fleet")
 
-    def node_caps(self) -> tuple[float, ...]:
+    def node_caps(self) -> tuple[Watts, ...]:
         """Effective per-node caps, resolving shared-budget shares.
 
         Explicit caps are kept verbatim; capless nodes split the budget
@@ -240,10 +241,10 @@ class Fleet:
             for n in self.nodes
         )
 
-    def cap_of(self, name: str) -> float:
+    def cap_of(self, name: str) -> Watts:
         return self.node_caps()[self.index(name)]
 
-    def total_cap_w(self) -> float:
+    def total_cap_w(self) -> Watts:
         """The fleet-wide power ceiling (shared budget, or summed caps)."""
         if self.budget_w is not None:
             return self.budget_w
@@ -328,41 +329,41 @@ class NodePredictor:
             return self.degradations(uid, partner_uid, setting)[0]
         return self.degradations(partner_uid, uid, setting)[1]
 
-    def corun_times(self, cpu_uid, gpu_uid, setting):
+    def corun_times(self, cpu_uid, gpu_uid, setting) -> tuple[Seconds, Seconds]:
         t_c, t_g = self.inner.corun_times(cpu_uid, gpu_uid, setting)
         s = self.node.speed_scale
         return t_c / s, t_g / s
 
-    def solo_time(self, uid, kind, f_ghz):
+    def solo_time(self, uid, kind, f_ghz: Hertz) -> Seconds:
         return self.inner.solo_time(uid, kind, f_ghz) / self.node.speed_scale
 
     # -- power --------------------------------------------------------------
-    def pair_power_w(self, cpu_uid, gpu_uid, setting):
+    def pair_power_w(self, cpu_uid, gpu_uid, setting) -> Watts:
         return (
             self.inner.pair_power_w(cpu_uid, gpu_uid, setting)
             * self.node.power_scale
         )
 
-    def solo_power_w(self, uid, kind, f_ghz):
+    def solo_power_w(self, uid, kind, f_ghz: Hertz) -> Watts:
         return (
             self.inner.solo_power_w(uid, kind, f_ghz) * self.node.power_scale
         )
 
     # -- cap feasibility (mirrors CoRunPredictor on scaled values) ----------
-    def feasible_pair_settings(self, cpu_uid, gpu_uid, cap_w):
+    def feasible_pair_settings(self, cpu_uid, gpu_uid, cap_w: Watts):
         return [
             s
             for s in self.processor.settings()
             if self.pair_power_w(cpu_uid, gpu_uid, s) <= cap_w
         ]
 
-    def feasible_solo_levels(self, uid, kind, cap_w):
+    def feasible_solo_levels(self, uid, kind, cap_w: Watts):
         domain = self.processor.device(kind).domain
         return [
             f for f in domain.levels if self.solo_power_w(uid, kind, f) <= cap_w
         ]
 
-    def require_feasible_pair_settings(self, cpu_uid, gpu_uid, cap_w):
+    def require_feasible_pair_settings(self, cpu_uid, gpu_uid, cap_w: Watts):
         feasible = self.feasible_pair_settings(cpu_uid, gpu_uid, cap_w)
         if not feasible:
             raise InfeasibleCapError(
@@ -374,7 +375,7 @@ class NodePredictor:
             )
         return feasible
 
-    def best_solo(self, uid, kind, cap_w):
+    def best_solo(self, uid, kind, cap_w: Watts) -> tuple[Hertz, Seconds]:
         feasible = self.feasible_solo_levels(uid, kind, cap_w)
         if not feasible:
             raise InfeasibleCapError(

@@ -46,6 +46,7 @@ from repro.core.feasibility import (
     solo_energy_j,
 )
 from repro.model.predictor import CoRunPredictor
+from repro.units import Hertz, Joules, Seconds, SecondsPerJoule, Watts
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.sim import ExecutionResult
@@ -56,7 +57,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: the natural scale on this platform — a 15 W cap makes a joule cost about
 #: as much slack as a fifteenth of a second of span — and keeping it a
 #: module constant keeps every layer's fingerprints comparable.
-MAKESPAN_ENERGY_RHO = 1.0
+MAKESPAN_ENERGY_RHO: SecondsPerJoule = 1.0
 
 
 class Objective(enum.Enum):
@@ -91,9 +92,9 @@ class Objective(enum.Enum):
 
     def score(
         self,
-        makespan_s: float,
-        energy_j: float,
-        flow_s: float | None = None,
+        makespan_s: Seconds,
+        energy_j: Joules,
+        flow_s: Seconds | None = None,
     ) -> float:
         """Combine the base metrics into this objective's scalar."""
         if self is Objective.MAKESPAN:
@@ -140,7 +141,7 @@ class EnergyAwareGovernor:
     """
 
     predictor: CoRunPredictor
-    cap_w: float
+    cap_w: Watts
     objective: Objective = Objective.ENERGY
     _cache: dict = field(default_factory=dict)
 
@@ -163,7 +164,7 @@ class EnergyAwareGovernor:
         self._cache[key] = setting
         return setting
 
-    def _pair_energy(self, cpu_uid: str, gpu_uid: str, s: FrequencySetting) -> float:
+    def _pair_energy(self, cpu_uid: str, gpu_uid: str, s: FrequencySetting) -> Joules:
         return pair_energy_j(self.predictor, cpu_uid, gpu_uid, s)
 
     def _pair_cost(self, cpu_uid: str, gpu_uid: str, s: FrequencySetting) -> float:
@@ -175,7 +176,7 @@ class EnergyAwareGovernor:
             return max(t_c, t_g) + MAKESPAN_ENERGY_RHO * energy
         return energy * max(t_c, t_g)
 
-    def _solo_cost(self, uid: str, kind: DeviceKind, f_ghz: float) -> float:
+    def _solo_cost(self, uid: str, kind: DeviceKind, f_ghz: Hertz) -> float:
         energy = solo_energy_j(self.predictor, uid, kind, f_ghz)
         if self.objective is Objective.ENERGY:
             return energy
@@ -238,7 +239,7 @@ class EnergyAwareGovernor:
 
 
 def governor_for(
-    predictor, cap_w: float, objective: Objective | str = Objective.MAKESPAN
+    predictor, cap_w: Watts, objective: Objective | str = Objective.MAKESPAN
 ):
     """The default governor for an objective.
 

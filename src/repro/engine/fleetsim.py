@@ -33,6 +33,14 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.units import (
+    Joules,
+    PowerScale,
+    SecondsPerJoule,
+    SpeedScale,
+    WallSeconds,
+    Watts,
+)
 from repro.workload.program import Job
 from repro.engine.sim import (
     ExecutionResult,
@@ -43,7 +51,7 @@ from repro.engine.sim import (
     run,
 )
 
-_MAKESPAN_ENERGY_RHO = 1.0  # mirrors core.objectives.MAKESPAN_ENERGY_RHO
+_MAKESPAN_ENERGY_RHO: SecondsPerJoule = 1.0  # mirrors core.objectives.MAKESPAN_ENERGY_RHO
 
 
 @dataclass(frozen=True)
@@ -51,22 +59,22 @@ class NodeExecution:
     """One node's execution, with the wall-clock view of its native record."""
 
     node: str
-    speed_scale: float
-    power_scale: float
+    speed_scale: SpeedScale
+    power_scale: PowerScale
     result: ExecutionResult
 
     @property
-    def makespan_s(self) -> float:
+    def makespan_s(self) -> WallSeconds:
         """Wall-clock makespan of this node's run."""
         return self.result.makespan_s / self.speed_scale
 
     @property
-    def energy_j(self) -> float:
+    def energy_j(self) -> Joules:
         """Wall-clock energy: scaled power over the shortened interval."""
         return self.result.energy_j * self.power_scale / self.speed_scale
 
     @property
-    def flow_s(self) -> float:
+    def flow_s(self) -> WallSeconds:
         """Wall-clock total flow time of this node's completions."""
         return self.result.flow_s / self.speed_scale
 
@@ -83,19 +91,19 @@ class FleetExecutionResult:
 
     entries: tuple[NodeExecution, ...]
     objective: str = "makespan"
-    budget_w: float | None = None
+    budget_w: Watts | None = None
     plan: object | None = field(default=None, compare=False)
 
     @property
-    def makespan_s(self) -> float:
+    def makespan_s(self) -> WallSeconds:
         return max((e.makespan_s for e in self.entries), default=0.0)
 
     @property
-    def energy_j(self) -> float:
+    def energy_j(self) -> Joules:
         return sum(e.energy_j for e in self.entries)
 
     @property
-    def flow_s(self) -> float:
+    def flow_s(self) -> WallSeconds:
         return sum(e.flow_s for e in self.entries)
 
     @property
@@ -209,15 +217,15 @@ class FleetSim:
         except KeyError:
             raise KeyError(f"no node named {node!r} in the fleet") from None
 
-    def _speed(self, node: str) -> float:
+    def _speed(self, node: str) -> SpeedScale:
         return self._nodes[node].speed_scale
 
-    def wall_now(self, node: str) -> float:
+    def wall_now(self, node: str) -> WallSeconds:
         """The node's clock, in wall seconds."""
         return self.core(node).now / self._speed(node)
 
     @property
-    def now(self) -> float:
+    def now(self) -> WallSeconds:
         """The fleet wall clock: the furthest any node has advanced."""
         return max(
             (self.wall_now(name) for name in self._cores), default=0.0
@@ -232,9 +240,9 @@ class FleetSim:
         self,
         node: str,
         job: Job,
-        at_s: float,
+        at_s: WallSeconds,
         *,
-        deadline_s: float | None = None,
+        deadline_s: WallSeconds | None = None,
     ) -> None:
         """Register a wall-clock arrival (and deadline) on one node."""
         speed = self._speed(node)
@@ -259,7 +267,7 @@ class FleetSim:
         self._policies[node] = policy
 
     # ------------------------------------------------------------------
-    def advance_to(self, until_s: float = math.inf) -> None:
+    def advance_to(self, until_s: WallSeconds = math.inf) -> None:
         """Advance every node's core to wall time ``until_s``."""
         for name, core in self._cores.items():
             policy = self._policies.get(name)

@@ -37,6 +37,7 @@ from collections.abc import Callable, Mapping, Sequence
 from repro.hardware.device import DeviceKind
 from repro.hardware.frequency import FrequencySetting
 from repro.hardware.processor import IntegratedProcessor
+from repro.units import Joules, Seconds, SecondsPerJoule, Watts
 from repro.workload.program import Job
 from repro.engine.corun import PhasedRunner, _pair_stalls, _segment_power
 from repro.engine.events import EventKind, SimEvent
@@ -90,6 +91,12 @@ class OnlineJobSource:
 
 
 # ----------------------------------------------------------------------
+#: Mirrors ``repro.core.objectives.MAKESPAN_ENERGY_RHO`` (the engine
+#: must not import the scheduling layer).
+_MAKESPAN_ENERGY_RHO: SecondsPerJoule = 1.0
+
+
+# ----------------------------------------------------------------------
 # Scenario description
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -97,8 +104,8 @@ class JobSpec:
     """One job of a scenario: the work plus its open-system attributes."""
 
     job: Job
-    arrival_s: float = 0.0
-    deadline_s: float | None = None
+    arrival_s: Seconds = 0.0
+    deadline_s: Seconds | None = None
 
     def __post_init__(self) -> None:
         if self.arrival_s < 0:
@@ -119,10 +126,10 @@ class PenaltyModel:
     wall seconds — the cold-cache/recompile window.
     """
 
-    checkpoint_s: float = 0.0
-    restart_s: float = 0.0
-    migrate_s: float = 0.0
-    warmup_s: float = 0.0
+    checkpoint_s: Seconds = 0.0
+    restart_s: Seconds = 0.0
+    migrate_s: Seconds = 0.0
+    warmup_s: Seconds = 0.0
     warmup_factor: float = 1.0
 
     def __post_init__(self) -> None:
@@ -133,7 +140,7 @@ class PenaltyModel:
             raise ValueError("warmup_factor must be >= 1 (a degradation)")
 
     @property
-    def resume_cost_s(self) -> float:
+    def resume_cost_s(self) -> Seconds:
         """Device time paid on a same-device resume."""
         return self.checkpoint_s + self.restart_s
 
@@ -339,11 +346,11 @@ class ExecutionResult:
     self-describing, like the evaluator's fingerprints.
     """
 
-    makespan_s: float
+    makespan_s: Seconds
     completions: tuple[JobCompletion, ...]
     segments: tuple[PowerSegment, ...]
-    cpu_busy_s: float
-    gpu_busy_s: float
+    cpu_busy_s: Seconds
+    gpu_busy_s: Seconds
     arrivals: Mapping[str, float] = field(default_factory=dict)
     starts: Mapping[str, JobStart] = field(default_factory=dict)
     timeline: tuple[DeviceInterval, ...] = ()
@@ -357,11 +364,11 @@ class ExecutionResult:
 
     # -- legacy ScheduleExecution surface ------------------------------
     @property
-    def mean_power_w(self) -> float:
+    def mean_power_w(self) -> Watts:
         return segments_mean_power_w(self.segments)
 
     @property
-    def energy_j(self) -> float:
+    def energy_j(self) -> Joules:
         return segments_energy_j(self.segments)
 
     @property
@@ -370,7 +377,7 @@ class ExecutionResult:
         return self.energy_j * self.makespan_s
 
     @property
-    def flow_s(self) -> float:
+    def flow_s(self) -> Seconds:
         """Total flow: sum of completion-minus-arrival over finished jobs."""
         return sum(
             c.finish_s - self.arrivals.get(c.job, 0.0)
@@ -397,19 +404,17 @@ class ExecutionResult:
         if name == "flow_time":
             return self.flow_s
         if name == "makespan_energy":
-            # Mirrors Objective.MAKESPAN_ENERGY with its module constant
-            # (duplicated here because the engine must not import core).
-            return self.makespan_s + 1.0 * self.energy_j
+            return self.makespan_s + _MAKESPAN_ENERGY_RHO * self.energy_j
         raise ValueError(f"unknown objective {objective!r}")
 
-    def finish_of(self, job_uid: str) -> float:
+    def finish_of(self, job_uid: str) -> Seconds:
         """Completion time of a specific job."""
         for c in self.completions:
             if c.job == job_uid:
                 return c.finish_s
         raise KeyError(f"job {job_uid!r} not in execution record")
 
-    def start_of(self, job_uid: str) -> float:
+    def start_of(self, job_uid: str) -> Seconds:
         """Launch time of a specific job."""
         for c in self.completions:
             if c.job == job_uid:
@@ -422,17 +427,17 @@ class ExecutionResult:
         """Self-reference kept for old ``ArrivalExecution.execution`` users."""
         return self
 
-    def turnaround_s(self, uid: str) -> float:
+    def turnaround_s(self, uid: str) -> Seconds:
         return self.finish_of(uid) - self.arrivals[uid]
 
     @property
-    def mean_turnaround_s(self) -> float:
+    def mean_turnaround_s(self) -> Seconds:
         return sum(self.turnaround_s(uid) for uid in self.arrivals) / len(
             self.arrivals
         )
 
     @property
-    def max_turnaround_s(self) -> float:
+    def max_turnaround_s(self) -> Seconds:
         return max(self.turnaround_s(uid) for uid in self.arrivals)
 
     # -- event-driven extension ----------------------------------------
@@ -613,7 +618,7 @@ class SimCore:
     # Mutation
     # ------------------------------------------------------------------
     def add_arrival(
-        self, job: Job, at_s: float, *, deadline_s: float | None = None
+        self, job: Job, at_s: Seconds, *, deadline_s: Seconds | None = None
     ) -> None:
         """Register ``job`` to arrive at virtual time ``at_s`` (>= now)."""
         if at_s < 0:
@@ -634,7 +639,7 @@ class SimCore:
             self._deadlines[job.uid] = deadline_s
             self._push_timed(deadline_s, EventKind.DEADLINE, job.uid)
 
-    def schedule_governor_change(self, at_s: float, governor: GovernorFn) -> None:
+    def schedule_governor_change(self, at_s: Seconds, governor: GovernorFn) -> None:
         """Schedule a governor swap (power-cap change) at virtual time ``at_s``."""
         if at_s < self.now - _EPS:
             raise ValueError(f"cap change at {at_s} is in the past (now={self.now})")

@@ -5,14 +5,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.hardware.rapl import PowerTrace, sample_power_trace
+from repro.units import Joules, Seconds, Watts
 
 
 @dataclass(frozen=True)
 class PowerSegment:
     """A stretch of execution with constant chip power."""
 
-    duration_s: float
-    watts: float
+    duration_s: Seconds
+    watts: Watts
 
 
 @dataclass(frozen=True)
@@ -21,20 +22,20 @@ class JobCompletion:
 
     job: str
     kind: str
-    finish_s: float
-    start_s: float = 0.0
+    finish_s: Seconds
+    start_s: Seconds = 0.0
 
     @property
-    def duration_s(self) -> float:
+    def duration_s(self) -> Seconds:
         return self.finish_s - self.start_s
 
 
-def segments_energy_j(segments: tuple[PowerSegment, ...]) -> float:
+def segments_energy_j(segments: tuple[PowerSegment, ...]) -> Joules:
     """Total energy of a segment list, in joules."""
     return sum(s.duration_s * s.watts for s in segments)
 
 
-def segments_mean_power_w(segments: tuple[PowerSegment, ...]) -> float:
+def segments_mean_power_w(segments: tuple[PowerSegment, ...]) -> Watts:
     """Time-weighted mean power of a segment list."""
     total = sum(s.duration_s for s in segments)
     if total <= 0:
@@ -45,8 +46,8 @@ def segments_mean_power_w(segments: tuple[PowerSegment, ...]) -> float:
 def segments_to_trace(
     segments: tuple[PowerSegment, ...],
     *,
-    dt_s: float = 1.0,
-    jitter_w: float = 0.0,
+    dt_s: Seconds = 1.0,
+    jitter_w: Watts = 0.0,
     seed=None,
 ) -> PowerTrace:
     """Convert power segments into a RAPL-style sampled trace."""

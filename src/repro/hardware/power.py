@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.hardware.voltage import VoltageCurve
+from repro.units import Hertz, Watts
 from repro.util.validation import check_in_range, check_nonnegative, check_positive
 
 
@@ -44,7 +45,7 @@ class DevicePowerModel:
     """
 
     name: str
-    leakage_w: float
+    leakage_w: Watts
     dyn_coeff: float
     curve: VoltageCurve
     stall_power_fraction: float = 0.45
@@ -56,21 +57,21 @@ class DevicePowerModel:
         check_in_range("stall_power_fraction", self.stall_power_fraction, 0.0, 1.0)
         check_in_range("idle_util", self.idle_util, 0.0, 1.0)
 
-    def dynamic_power(self, f_ghz: float, util: float = 1.0) -> float:
+    def dynamic_power(self, f_ghz: Hertz, util: float = 1.0) -> Watts:
         """Dynamic power at frequency ``f_ghz`` and utilization ``util``."""
         check_in_range("util", util, 0.0, 1.0)
         v = self.curve.voltage(f_ghz)
         return self.dyn_coeff * f_ghz * v * v * util
 
-    def power(self, f_ghz: float, util: float) -> float:
+    def power(self, f_ghz: Hertz, util: float) -> Watts:
         """Total device power (leakage + dynamic)."""
         return self.leakage_w + self.dynamic_power(f_ghz, util)
 
-    def active_power(self, f_ghz: float) -> float:
+    def active_power(self, f_ghz: Hertz) -> Watts:
         """Device power when fully busy (util = 1)."""
         return self.power(f_ghz, 1.0)
 
-    def idle_power(self, f_ghz: float) -> float:
+    def idle_power(self, f_ghz: Hertz) -> Watts:
         """Device power when hosting no job."""
         return self.power(f_ghz, self.idle_util)
 
@@ -88,14 +89,14 @@ class DevicePowerModel:
 class UncorePowerModel:
     """Shared-uncore power: base plus a memory-traffic-proportional term."""
 
-    base_w: float
+    base_w: Watts
     per_gbps_w: float
 
     def __post_init__(self) -> None:
         check_nonnegative("base_w", self.base_w)
         check_nonnegative("per_gbps_w", self.per_gbps_w)
 
-    def power(self, total_bw_gbps: float) -> float:
+    def power(self, total_bw_gbps: float) -> Watts:
         """Uncore power when ``total_bw_gbps`` of traffic flows through it."""
         check_nonnegative("total_bw_gbps", total_bw_gbps)
         return self.base_w + self.per_gbps_w * total_bw_gbps
@@ -111,12 +112,12 @@ class ChipPowerModel:
 
     def total(
         self,
-        cpu_ghz: float,
-        gpu_ghz: float,
+        cpu_ghz: Hertz,
+        gpu_ghz: Hertz,
         cpu_util: float,
         gpu_util: float,
         total_bw_gbps: float,
-    ) -> float:
+    ) -> Watts:
         """Instantaneous chip power for the given operating point."""
         return (
             self.cpu.power(cpu_ghz, cpu_util)
@@ -124,6 +125,6 @@ class ChipPowerModel:
             + self.uncore.power(total_bw_gbps)
         )
 
-    def max_power(self, cpu_fmax: float, gpu_fmax: float, bw_gbps: float) -> float:
+    def max_power(self, cpu_fmax: Hertz, gpu_fmax: Hertz, bw_gbps: float) -> Watts:
         """Worst-case chip power (both devices fully busy at max frequency)."""
         return self.total(cpu_fmax, gpu_fmax, 1.0, 1.0, bw_gbps)

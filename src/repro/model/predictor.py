@@ -26,6 +26,7 @@ from repro.hardware.processor import IntegratedProcessor
 from repro.engine.corun import steady_degradation
 from repro.model.profiler import ProfileTable
 from repro.model.space import DegradationSpace
+from repro.units import Hertz, Seconds, Watts
 
 
 @dataclass(frozen=True)
@@ -64,14 +65,14 @@ class CoRunPredictor:
 
     def corun_times(
         self, cpu_uid: str, gpu_uid: str, setting: FrequencySetting
-    ) -> tuple[float, float]:
+    ) -> tuple[Seconds, Seconds]:
         """Predicted steady co-run times ``l * (1 + d)`` for both jobs."""
         d_c, d_g = self.degradations(cpu_uid, gpu_uid, setting)
         t_c = self.table.time_s(cpu_uid, DeviceKind.CPU, setting.cpu_ghz)
         t_g = self.table.time_s(gpu_uid, DeviceKind.GPU, setting.gpu_ghz)
         return t_c * (1.0 + d_c), t_g * (1.0 + d_g)
 
-    def solo_time(self, uid: str, kind: DeviceKind, f_ghz: float) -> float:
+    def solo_time(self, uid: str, kind: DeviceKind, f_ghz: Hertz) -> Seconds:
         """Profiled standalone time ``l_{i,p,f}``."""
         return self.table.time_s(uid, kind, f_ghz)
 
@@ -80,7 +81,7 @@ class CoRunPredictor:
     # ------------------------------------------------------------------
     def pair_power_w(
         self, cpu_uid: str, gpu_uid: str, setting: FrequencySetting
-    ) -> float:
+    ) -> Watts:
         """Predicted co-run chip power: standalone device powers summed.
 
         This is the paper's Section VI-B power model: "using the power of
@@ -94,7 +95,7 @@ class CoRunPredictor:
         bw_g = self.table.demand_gbps(gpu_uid, DeviceKind.GPU, setting.gpu_ghz)
         return own_c + own_g + self.processor.power.uncore.power(bw_c + bw_g)
 
-    def solo_power_w(self, uid: str, kind: DeviceKind, f_ghz: float) -> float:
+    def solo_power_w(self, uid: str, kind: DeviceKind, f_ghz: Hertz) -> Watts:
         """Predicted chip power of a standalone run (profiled)."""
         return self.table.chip_power_w(uid, kind, f_ghz)
 
@@ -102,7 +103,7 @@ class CoRunPredictor:
     # Power-cap feasibility
     # ------------------------------------------------------------------
     def feasible_pair_settings(
-        self, cpu_uid: str, gpu_uid: str, cap_w: float
+        self, cpu_uid: str, gpu_uid: str, cap_w: Watts
     ) -> list[FrequencySetting]:
         """All frequency settings whose predicted pair power fits the cap."""
         return [
@@ -112,8 +113,8 @@ class CoRunPredictor:
         ]
 
     def feasible_solo_levels(
-        self, uid: str, kind: DeviceKind, cap_w: float
-    ) -> list[float]:
+        self, uid: str, kind: DeviceKind, cap_w: Watts
+    ) -> list[Hertz]:
         """Frequency levels at which the job may run alone under the cap."""
         domain = self.processor.device(kind).domain
         return [
@@ -121,7 +122,7 @@ class CoRunPredictor:
         ]
 
     def require_feasible_pair_settings(
-        self, cpu_uid: str, gpu_uid: str, cap_w: float
+        self, cpu_uid: str, gpu_uid: str, cap_w: Watts
     ) -> list[FrequencySetting]:
         """Like :meth:`feasible_pair_settings`, but an empty result raises
         :class:`~repro.errors.InfeasibleCapError` instead of returning an
@@ -137,8 +138,8 @@ class CoRunPredictor:
         return feasible
 
     def best_solo(
-        self, uid: str, kind: DeviceKind, cap_w: float
-    ) -> tuple[float, float]:
+        self, uid: str, kind: DeviceKind, cap_w: Watts
+    ) -> tuple[Hertz, Seconds]:
         """(frequency, time) of the fastest cap-feasible standalone run.
 
         Raises :class:`~repro.errors.InfeasibleCapError` when even the
@@ -199,7 +200,7 @@ class OracleDegradations:
 
     def corun_times(
         self, cpu_uid: str, gpu_uid: str, setting: FrequencySetting
-    ) -> tuple[float, float]:
+    ) -> tuple[Seconds, Seconds]:
         d_c, d_g = self.degradations(cpu_uid, gpu_uid, setting)
         t_c = self.table.time_s(cpu_uid, DeviceKind.CPU, setting.cpu_ghz)
         t_g = self.table.time_s(gpu_uid, DeviceKind.GPU, setting.gpu_ghz)

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from repro.units import Hertz, Seconds, Watts
 from repro.perf.cache import EvalCache, ensure_cache
 
 
@@ -68,19 +69,21 @@ class CachingPredictor:
             return self.degradations(uid, partner_uid, setting)[0]
         return self.degradations(partner_uid, uid, setting)[1]
 
-    def corun_times(self, cpu_uid, gpu_uid, setting):
+    def corun_times(
+        self, cpu_uid, gpu_uid, setting
+    ) -> tuple[Seconds, Seconds]:
         return self.cache.get_or_compute(
             ("corun", cpu_uid, gpu_uid, setting),
             lambda: self.inner.corun_times(cpu_uid, gpu_uid, setting),
         )
 
-    def pair_power_w(self, cpu_uid, gpu_uid, setting):
+    def pair_power_w(self, cpu_uid, gpu_uid, setting) -> Watts:
         return self.cache.get_or_compute(
             ("power", cpu_uid, gpu_uid, setting),
             lambda: self.inner.pair_power_w(cpu_uid, gpu_uid, setting),
         )
 
-    def feasible_pair_settings(self, cpu_uid, gpu_uid, cap_w):
+    def feasible_pair_settings(self, cpu_uid, gpu_uid, cap_w: Watts):
         feasible = self.cache.get_or_compute(
             ("feas", cpu_uid, gpu_uid, cap_w),
             lambda: tuple(
@@ -89,24 +92,24 @@ class CachingPredictor:
         )
         return list(feasible)
 
-    def feasible_solo_levels(self, uid, kind, cap_w):
+    def feasible_solo_levels(self, uid, kind, cap_w: Watts):
         feasible = self.cache.get_or_compute(
             ("feas_solo", uid, kind, cap_w),
             lambda: tuple(self.inner.feasible_solo_levels(uid, kind, cap_w)),
         )
         return list(feasible)
 
-    def best_solo(self, uid, kind, cap_w):
+    def best_solo(self, uid, kind, cap_w: Watts) -> tuple[Hertz, Seconds]:
         return self.cache.get_or_compute(
             ("best_solo", uid, kind, cap_w),
             lambda: self.inner.best_solo(uid, kind, cap_w),
         )
 
     # -- cheap table lookups, delegated uncached ----------------------------
-    def solo_time(self, uid, kind, f_ghz):
+    def solo_time(self, uid, kind, f_ghz: Hertz) -> Seconds:
         return self.inner.solo_time(uid, kind, f_ghz)
 
-    def solo_power_w(self, uid, kind, f_ghz):
+    def solo_power_w(self, uid, kind, f_ghz: Hertz) -> Watts:
         return self.inner.solo_power_w(uid, kind, f_ghz)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -205,7 +208,7 @@ class ScheduleEvaluator:
             lambda: predicted_metrics(schedule, self.predictor, self.governor),
         )
 
-    def makespan_of(self, schedule) -> float:
+    def makespan_of(self, schedule) -> Seconds:
         """The predicted makespan regardless of this evaluator's objective."""
         if self.objective == "makespan":
             return self(schedule)

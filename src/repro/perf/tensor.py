@@ -64,6 +64,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.units import Hertz, PowerScale, Seconds, SpeedScale, Watts
 from repro.errors import InfeasibleCapError
 from repro.hardware.device import DeviceKind
 from repro.perf.cache import EvalCache, ensure_cache
@@ -114,7 +115,7 @@ def _grid_eval(grid, x: np.ndarray, y: np.ndarray) -> np.ndarray:
 class _CapMasks:
     """Cap-dependent feasibility masks and best-solo reductions."""
 
-    cap_w: float
+    cap_w: Watts
     pair_ok: np.ndarray               # (n, n, S) bool
     solo_ok: dict                      # kind -> (n, L) bool
     best_solo_idx: dict                # kind -> (n,) int (argmin time over feasible)
@@ -212,8 +213,8 @@ class TensorModel:
     # ------------------------------------------------------------------
     def scaled(
         self,
-        speed_scale: float,
-        power_scale: float,
+        speed_scale: SpeedScale,
+        power_scale: PowerScale,
         node_name: str | None = None,
     ) -> "TensorModel":
         """A clone of this model through one fleet node's scaling (memoized).
@@ -267,7 +268,7 @@ class TensorModel:
             return None
         return i * self.n_gpu_levels + j
 
-    def level_index(self, kind: DeviceKind, f_ghz: float) -> int | None:
+    def level_index(self, kind: DeviceKind, f_ghz: Hertz) -> int | None:
         levels = (
             self._cpu_level_idx if kind is DeviceKind.CPU else self._gpu_level_idx
         )
@@ -287,7 +288,7 @@ class TensorModel:
     # ------------------------------------------------------------------
     # Cap masks
     # ------------------------------------------------------------------
-    def masks(self, cap_w: float) -> _CapMasks:
+    def masks(self, cap_w: Watts) -> _CapMasks:
         """Feasibility masks and best-solo reductions for one cap (memoized)."""
         cached = self._cap_masks.get(cap_w)
         if cached is not None:
@@ -322,26 +323,28 @@ class TensorModel:
         i, j = self.index[cpu_uid], self.index[gpu_uid]
         return (float(self.deg_c[i, j, s]), float(self.deg_g[i, j, s]))
 
-    def corun_times(self, cpu_uid, gpu_uid, s: int) -> tuple[float, float]:
+    def corun_times(self, cpu_uid, gpu_uid, s: int) -> tuple[Seconds, Seconds]:
         i, j = self.index[cpu_uid], self.index[gpu_uid]
         return (float(self.t_corun_c[i, j, s]), float(self.t_corun_g[i, j, s]))
 
-    def pair_power_w(self, cpu_uid, gpu_uid, s: int) -> float:
+    def pair_power_w(self, cpu_uid, gpu_uid, s: int) -> Watts:
         i, j = self.index[cpu_uid], self.index[gpu_uid]
         return float(self.pair_power[i, j, s])
 
-    def feasible_pair_settings(self, cpu_uid, gpu_uid, cap_w: float) -> tuple:
+    def feasible_pair_settings(self, cpu_uid, gpu_uid, cap_w: Watts) -> tuple:
         i, j = self.index[cpu_uid], self.index[gpu_uid]
         flags = self.masks(cap_w).pair_ok[i, j]
         return tuple(self.settings[s] for s in np.flatnonzero(flags))
 
-    def feasible_solo_levels(self, uid, kind: DeviceKind, cap_w: float) -> tuple:
+    def feasible_solo_levels(self, uid, kind: DeviceKind, cap_w: Watts) -> tuple:
         i = self.index[uid]
         flags = self.masks(cap_w).solo_ok[kind][i]
         levels = self.cpu_levels if kind is DeviceKind.CPU else self.gpu_levels
         return tuple(levels[int(k)] for k in np.flatnonzero(flags))
 
-    def best_solo(self, uid, kind: DeviceKind, cap_w: float) -> tuple[float, float]:
+    def best_solo(
+        self, uid, kind: DeviceKind, cap_w: Watts
+    ) -> tuple[Hertz, Seconds]:
         i = self.index[uid]
         masks = self.masks(cap_w)
         if not masks.best_solo_valid[kind][i]:
@@ -364,7 +367,7 @@ class TensorModel:
         idx = int(masks.best_solo_idx[kind][i])
         return levels[idx], float(self.solo_time[kind][i, idx])
 
-    def solo_time_at(self, uid, kind: DeviceKind, f_ghz: float):
+    def solo_time_at(self, uid, kind: DeviceKind, f_ghz: Hertz) -> Seconds | None:
         """Solo time at an exact level, or ``None`` when off-grid/unknown."""
         if uid not in self.index:
             return None
@@ -373,7 +376,7 @@ class TensorModel:
             return None
         return float(self.solo_time[kind][self.index[uid], li])
 
-    def solo_power_at(self, uid, kind: DeviceKind, f_ghz: float):
+    def solo_power_at(self, uid, kind: DeviceKind, f_ghz: Hertz) -> Watts | None:
         if uid not in self.index:
             return None
         li = self.level_index(kind, f_ghz)

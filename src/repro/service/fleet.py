@@ -35,6 +35,7 @@ from dataclasses import dataclass
 
 from repro.core.fleet import Fleet
 from repro.hardware.device import DeviceKind
+from repro.units import WallSeconds, Watts
 from repro.service.session import (
     CompletionRecord,
     LateRejection,
@@ -70,7 +71,7 @@ class _WallStart:
 
     job: str
     kind: str
-    start_s: float
+    start_s: WallSeconds
 
 
 class _FleetSimView:
@@ -80,7 +81,7 @@ class _FleetSimView:
         self._fs = fleet_session
 
     @property
-    def now(self) -> float:
+    def now(self) -> WallSeconds:
         return self._fs.now
 
     @property
@@ -175,7 +176,7 @@ class FleetSession:
         return self.sessions[0].objective
 
     @property
-    def cap_w(self) -> float:
+    def cap_w(self) -> Watts:
         """The fleet-wide ceiling: the summed effective node caps."""
         return sum(s.cap_w for s in self.sessions)
 
@@ -184,10 +185,10 @@ class FleetSession:
         return sum(s.cap_violations for s in self.sessions)
 
     @property
-    def now(self) -> float:
+    def now(self) -> WallSeconds:
         return max(self._wall_now(i) for i in range(len(self.sessions)))
 
-    def _wall_now(self, index: int) -> float:
+    def _wall_now(self, index: int) -> WallSeconds:
         return (
             self.sessions[index].now / self.fleet.nodes[index].speed_scale
         )
@@ -223,7 +224,9 @@ class FleetSession:
         """Can *some* node run the job under its cap?"""
         return any(s.admissible(job) for s in self.sessions)
 
-    def _placement_estimate(self, session: ServiceSession, uid: str) -> float | None:
+    def _placement_estimate(
+        self, session: ServiceSession, uid: str
+    ) -> WallSeconds | None:
         """Best standalone wall time on the node, or None if cap-infeasible.
 
         The node-scaled predictor already folds speed into its times, so
@@ -263,7 +266,9 @@ class FleetSession:
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
-    def submit(self, job: Job, arrival_s: float | None = None) -> float:
+    def submit(
+        self, job: Job, arrival_s: WallSeconds | None = None
+    ) -> WallSeconds:
         """Place and inject ``job``; returns its wall-clock arrival."""
         index, est = self._place(job)
         node = self.fleet.nodes[index]
@@ -276,7 +281,9 @@ class FleetSession:
         self._load[index] += est
         return arrival_native / node.speed_scale
 
-    def set_cap(self, cap_w: float, at_s: float | None = None) -> float:
+    def set_cap(
+        self, cap_w: Watts, at_s: WallSeconds | None = None
+    ) -> WallSeconds:
         """Re-budget the fleet; each node keeps its original cap share."""
         if cap_w <= 0:
             raise ValueError("cap_w must be positive")
@@ -358,7 +365,7 @@ class FleetSession:
         return completions, rejections
 
     def advance(
-        self, until_s: float
+        self, until_s: WallSeconds
     ) -> tuple[list[CompletionRecord], list[LateRejection]]:
         """Advance every node to wall time ``until_s``."""
         for i in range(len(self.sessions)):

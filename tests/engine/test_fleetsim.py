@@ -8,6 +8,7 @@ import pytest
 
 from repro.core.context import SchedulingContext
 from repro.core.fleet import Fleet, Node
+from repro.core.objectives import MAKESPAN_ENERGY_RHO
 from repro.core.fleetsched import fleet_schedule
 from repro.engine import FleetSim, run, run_fleet
 from repro.engine.sim import PenaltyModel, Scenario
@@ -97,7 +98,8 @@ class TestRunFleet:
         assert execution.score("energy") == pytest.approx(e)
         assert execution.score("edp") == pytest.approx(e * m)
         assert execution.score("flow_time") == pytest.approx(f)
-        assert execution.score("makespan_energy") == pytest.approx(m + e)
+        rho = MAKESPAN_ENERGY_RHO
+        assert execution.score("makespan_energy") == pytest.approx(m + rho * e)
         with pytest.raises(ValueError, match="objective"):
             execution.score("vibes")
 
