@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test lint analyze analyze-dims bench bench-backend bench-sim bench-service bench-fleet bench-all experiments report calibration examples clean
+.PHONY: install test lint analyze analyze-dims bench bench-backend bench-sim bench-service bench-fleet bench-solvers bench-all experiments report calibration examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -50,6 +50,12 @@ bench-service:
 bench-fleet:
 	pytest benchmarks/test_fleet_solvers.py -q
 	python tools/check_bench.py --fleet-only
+
+# The population-solver gate: vectorized GA+refine must beat the
+# per-schedule tensor baseline 3x at an equal-or-better objective score.
+bench-solvers:
+	pytest benchmarks/test_population_solvers.py -q
+	python tools/check_bench.py --solvers-only
 
 bench-all:
 	pytest benchmarks/ --benchmark-only

@@ -68,12 +68,27 @@ def run_experiment(benchmark, request):
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Dump everything the session recorded, even when empty (CI artifact)."""
+    """Merge the session's records into the results file (CI artifact).
+
+    Benchmark files are typically run one at a time (``make bench-*``
+    targets); rewriting the file wholesale would leave only the latest
+    run's entries.  Instead, existing benchmark entries are kept and
+    entries recorded this session replace their previous versions, so the
+    file accumulates the full trajectory across runs.
+    """
+    path = Path(session.config.rootpath) / RESULTS_BASENAME
+    benchmarks: dict[str, dict] = {}
+    try:
+        previous = json.loads(path.read_text())
+        if isinstance(previous.get("benchmarks"), dict):
+            benchmarks.update(previous["benchmarks"])
+    except (OSError, ValueError):
+        pass  # no previous file, or an unreadable one: start fresh
+    benchmarks.update(_RESULTS)
     payload = {
         "schema": 1,
         "exit_status": int(exitstatus),
-        "n_benchmarks": len(_RESULTS),
-        "benchmarks": _RESULTS,
+        "n_benchmarks": len(benchmarks),
+        "benchmarks": benchmarks,
     }
-    path = Path(session.config.rootpath) / RESULTS_BASENAME
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

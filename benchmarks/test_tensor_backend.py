@@ -34,13 +34,19 @@ MIN_SPEEDUP = 3.0
 
 
 def _search(predictor, jobs, backend):
-    """One full search pass: context build + GA + refinement."""
+    """One full search pass: context build + GA + refinement.
+
+    The scalar *search trajectory* is pinned on both backends
+    (``vectorized=False``) so this stays a pure backend benchmark with a
+    byte-identity referee; the vectorized population kernels have their
+    own gate in ``test_population_solvers.py``.
+    """
     ctx = SchedulingContext(
         jobs=jobs, cap_w=CAP_W, predictor=predictor, seed=SEED,
         backend=backend,
     )
-    best, score = genetic_schedule(ctx, config=GA)
-    refined = refine_schedule(best, ctx)
+    best, score = genetic_schedule(ctx, config=GA, vectorized=False)
+    refined = refine_schedule(best, ctx, vectorized=False)
     return ctx, refined, score
 
 

@@ -225,8 +225,49 @@ def _schedule_parser() -> argparse.ArgumentParser:
         help="evaluation backend: precomputed tensors (default) or the "
         "scalar reference path; both give byte-identical results",
     )
+    parser.add_argument(
+        "--portfolio-members", default=None, metavar="NAMES",
+        dest="portfolio_members",
+        help="comma-separated member methods raced by --method portfolio "
+        "(default: hcs,hcs+,genetic)",
+    )
+    parser.add_argument(
+        "--portfolio-deadline", type=float, default=None, metavar="SECONDS",
+        dest="portfolio_deadline",
+        help="shared wall-clock budget for --method portfolio: members "
+        "past the deadline are skipped (the first always runs)",
+    )
+    parser.add_argument(
+        "--portfolio-eval-budget", type=int, default=None, metavar="N",
+        dest="portfolio_eval_budget",
+        help="shared schedule-evaluation budget for --method portfolio",
+    )
     _add_fleet_arguments(parser)
     return parser
+
+
+def _portfolio_opts(args) -> dict:
+    """Portfolio budget options from CLI flags (only for that method)."""
+    if args.method != "portfolio":
+        for flag in ("portfolio_members", "portfolio_deadline",
+                     "portfolio_eval_budget"):
+            if getattr(args, flag) is not None:
+                print(
+                    f"--{flag.replace('_', '-')} requires --method portfolio",
+                    file=sys.stderr,
+                )
+                raise SystemExit(2)
+        return {}
+    opts: dict = {}
+    if args.portfolio_members is not None:
+        opts["members"] = tuple(
+            n.strip() for n in args.portfolio_members.split(",") if n.strip()
+        )
+    if args.portfolio_deadline is not None:
+        opts["deadline_s"] = args.portfolio_deadline
+    if args.portfolio_eval_budget is not None:
+        opts["eval_budget"] = args.portfolio_eval_budget
+    return opts
 
 
 _SCORE_UNITS = {
@@ -251,7 +292,7 @@ def _schedule_fleet(args, jobs, fleet) -> int:
         executor=args.executor,
         backend=args.backend,
     )
-    result = fleet_schedule(ctx, method=args.method)
+    result = fleet_schedule(ctx, method=args.method, **_portfolio_opts(args))
     print(f"method    : {result.method}")
     print(f"objective : {result.objective.value}")
     print("fleet     :")
@@ -316,6 +357,7 @@ def _schedule(argv: list[str]) -> int:
             seed=args.seed,
             executor=args.executor,
             backend=args.backend,
+            **_portfolio_opts(args),
         )
     except InfeasibleCapError as exc:
         cap = f" (cap {exc.cap_w} W)" if exc.cap_w is not None else ""
@@ -323,6 +365,14 @@ def _schedule(argv: list[str]) -> int:
         return 2
     sched = result.schedule
     print(f"method    : {result.method}")
+    if result.method == "portfolio":
+        print(f"winner    : {result.details['winner']}")
+        for name, entry in result.details["members"].items():
+            parts = ", ".join(
+                f"{k}={v:.4f}" if isinstance(v, float) else f"{k}={v}"
+                for k, v in entry.items()
+            )
+            print(f"  member {name}: {parts}")
     print(f"objective : {result.objective.value}")
     print(f"cap_w     : {args.cap_w:g}")
     print("cpu queue : " + (

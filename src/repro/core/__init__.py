@@ -57,6 +57,7 @@ from repro.core.objectives import (
     score_execution,
 )
 from repro.core.online import FifoOnlinePolicy, HcsOnlinePolicy
+from repro.core.portfolio import DEFAULT_MEMBERS, portfolio_schedule
 from repro.core.splitting import SplitOutcome, best_split
 from repro.core.runtime import CoScheduleRuntime, RandomAverage, ScheduleOutcome
 from repro.errors import InfeasibleCapError
@@ -115,6 +116,8 @@ __all__ = [
     "score_execution",
     "FifoOnlinePolicy",
     "HcsOnlinePolicy",
+    "DEFAULT_MEMBERS",
+    "portfolio_schedule",
     "SplitOutcome",
     "best_split",
     "CoScheduleRuntime",

@@ -583,3 +583,19 @@ def _genetic_adapter(ctx: SchedulingContext, **opts) -> ScheduleResult:
 
     sched, score = genetic_schedule(ctx, **opts)
     return _result(ctx, "genetic", sched, score)
+
+
+@register_scheduler("portfolio")
+def _portfolio_adapter(ctx: SchedulingContext, **opts) -> ScheduleResult:
+    from repro.core.portfolio import portfolio_schedule
+
+    best, stats = portfolio_schedule(ctx, **opts)
+    return ScheduleResult(
+        method="portfolio",
+        schedule=best.schedule,
+        predicted_makespan_s=best.predicted_makespan_s,
+        details=MappingProxyType({"winner": best.method, "members": stats}),
+        objective=ctx.objective,
+        predicted_score=best.predicted_score,
+        governor=ctx.governor,
+    )

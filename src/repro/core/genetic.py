@@ -49,14 +49,33 @@ class GaConfig:
 
 @dataclass
 class _Genome:
-    """placement[i] True -> CPU; priority: order within each queue."""
+    """placement[i] True -> CPU; priority: order within each queue.
+
+    ``decoded`` memoizes the genome's :class:`CoSchedule`: elites survive
+    across generations and the scalar loop re-decodes each genome for the
+    fitness sort, the tournaments, and the generation-batch evaluation —
+    all of which now share one build.  Operators always produce *new*
+    genomes (fresh arrays, empty memo), so a cached decode can never go
+    stale.
+    """
 
     placement: np.ndarray
     priority: np.ndarray
+    decoded: CoSchedule | None = None
 
 
 class GeneticScheduler:
-    """Evolve two-queue co-schedules under the predicted model."""
+    """Evolve two-queue co-schedules under the predicted model.
+
+    On a tensor-backed context the whole evolution runs vectorized: the
+    population lives as ``(P, n)`` index matrices, operators are batched
+    array ops (:mod:`repro.perf.population`), and each generation is
+    scored by one ``score_population`` lockstep replay.  ``vectorized``
+    forces the choice: ``True`` requires the population kernels (raising
+    if the context cannot support them), ``False`` pins the scalar
+    per-genome loop (the equivalence referee), ``None`` picks
+    automatically.
+    """
 
     def __init__(
         self,
@@ -68,6 +87,7 @@ class GeneticScheduler:
         seed=None,
         evaluator: ScheduleEvaluator | None = None,
         executor=None,
+        vectorized: bool | None = None,
     ) -> None:
         ctx = SchedulingContext.coerce(
             predictor, jobs, cap_w, evaluator=evaluator, executor=executor, seed=seed
@@ -86,13 +106,16 @@ class GeneticScheduler:
         self.evaluator = ctx.evaluator
         self.governor = ctx.governor
         self.executor = ctx.executor
+        self.vectorized = vectorized
 
     # ------------------------------------------------------------------
     def _decode(self, genome: _Genome) -> CoSchedule:
-        order = np.argsort(genome.priority, kind="stable")
-        cpu = [self.jobs[i] for i in order if genome.placement[i]]
-        gpu = [self.jobs[i] for i in order if not genome.placement[i]]
-        return CoSchedule(cpu_queue=tuple(cpu), gpu_queue=tuple(gpu))
+        if genome.decoded is None:
+            order = np.argsort(genome.priority, kind="stable")
+            cpu = [self.jobs[i] for i in order if genome.placement[i]]
+            gpu = [self.jobs[i] for i in order if not genome.placement[i]]
+            genome.decoded = CoSchedule(cpu_queue=tuple(cpu), gpu_queue=tuple(gpu))
+        return genome.decoded
 
     def _fitness(self, genome: _Genome) -> float:
         return self.evaluator(self._decode(genome))
@@ -144,6 +167,68 @@ class GeneticScheduler:
         return _Genome(placement=placement, priority=priority)
 
     # ------------------------------------------------------------------
+    def _population_evaluator(self):
+        """The context's batch evaluator, when it can score this job set.
+
+        Vectorized evolution needs the tensor backend's pair tables with
+        every job covered; anything else (scalar backend, custom governor
+        or evaluator, uncovered uids) returns ``None`` and the scalar
+        loop runs.
+        """
+        from repro.perf.tensor import BatchScheduleEvaluator
+
+        ev = self.evaluator
+        if not isinstance(ev, BatchScheduleEvaluator) or ev.tables is None:
+            return None
+        index = ev.tensor.index
+        if any(j.uid not in index for j in self.jobs):
+            return None
+        return ev
+
+    def _evolve_vectorized(
+        self, ev, seed_schedule: CoSchedule | None
+    ) -> tuple[CoSchedule, float]:
+        """Array-matrix evolution: one lockstep replay per generation."""
+        from repro.perf import population as popkit
+
+        index = ev.tensor.index
+        job_index = np.array(
+            [index[j.uid] for j in self.jobs], dtype=np.int64
+        )
+
+        def score(placement: np.ndarray, priority: np.ndarray) -> np.ndarray:
+            Qc, len_c, Qg, len_g = popkit.decode_queues(
+                placement, priority, job_index
+            )
+            scores, _, _, _, bad = ev.score_population(Qc, len_c, Qg, len_g)
+            if bad.any():
+                # Surface the exact scalar error: re-evaluate the first
+                # infeasible genome through the evaluator, whose scalar
+                # fallback raises InfeasibleCapError with the offending
+                # pair named — identical to the per-genome path.
+                k = int(np.argmax(bad))
+                self.evaluator(
+                    self._decode(_Genome(placement[k], priority[k]))
+                )
+            return scores
+
+        seed_place = seed_prio = None
+        if seed_schedule is not None:
+            seeded = self._encode(seed_schedule)
+            seed_place, seed_prio = seeded.placement, seeded.priority
+        place, prio, _ = popkit.evolve_population(
+            score,
+            len(self.jobs),
+            self.config,
+            self.rng,
+            seed_placement=seed_place,
+            seed_priority=seed_prio,
+        )
+        best = self._decode(_Genome(placement=place, priority=prio))
+        # Report the memoized evaluator score (bitwise equal to the batch
+        # lane's), so the result is cache-consistent with every other path.
+        return best, self.evaluator(best)
+
     def evolve(
         self, *, seed_schedule: CoSchedule | None = None
     ) -> tuple[CoSchedule, float]:
@@ -153,6 +238,16 @@ class GeneticScheduler:
         population — memetic seeding, which in practice lets the GA act as
         a *refiner* of the heuristic.
         """
+        if self.vectorized is not False:
+            ev = self._population_evaluator()
+            if ev is not None:
+                return self._evolve_vectorized(ev, seed_schedule)
+            if self.vectorized is True:
+                raise ValueError(
+                    "vectorized evolution requires a tensor-backed context "
+                    "(BatchScheduleEvaluator with pair tables covering "
+                    "every job)"
+                )
         cfg = self.config
         population = [self._random_genome() for _ in range(cfg.population)]
         if seed_schedule is not None:
@@ -210,6 +305,7 @@ def genetic_schedule(
     seed_schedule: CoSchedule | None = None,
     evaluator: ScheduleEvaluator | None = None,
     executor=None,
+    vectorized: bool | None = None,
 ) -> tuple[CoSchedule, float]:
     """Convenience wrapper around :class:`GeneticScheduler`."""
     return GeneticScheduler(
@@ -220,4 +316,5 @@ def genetic_schedule(
         seed=seed,
         evaluator=evaluator,
         executor=executor,
+        vectorized=vectorized,
     ).evolve(seed_schedule=seed_schedule)

@@ -76,6 +76,7 @@ def hcs_schedule(
     seed: int | np.random.Generator | None = None,
     evaluator: ScheduleEvaluator | None = None,
     objective: Objective | str | None = None,
+    vectorized: bool | None = None,
 ) -> HcsResult:
     """Compute an HCS (or, with ``refine=True``, HCS+) co-schedule.
 
@@ -86,7 +87,10 @@ def hcs_schedule(
     energy/EDP context the greedy pairing and the refinement passes rank
     candidates by the context governor's objective cost.  ``evaluator``
     (optional) shares a memoized evaluator with the refinement passes and
-    the final predicted-makespan report.
+    the final predicted-makespan report.  ``vectorized`` is forwarded to
+    :func:`~repro.core.refine.refine_schedule`: on a tensor-backed context
+    the refinement runs as vectorized full-neighborhood descent by
+    default; ``False`` pins the scalar sampling passes.
     """
     t0 = time.perf_counter()
     ctx = SchedulingContext.coerce(
@@ -110,7 +114,7 @@ def hcs_schedule(
         cpu_queue=tuple(cpu_order), gpu_queue=tuple(gpu_order), solo_tail=solo
     )
     if refine:
-        schedule = refine_schedule(schedule, ctx)
+        schedule = refine_schedule(schedule, ctx, vectorized=vectorized)
     elapsed = time.perf_counter() - t0
 
     return HcsResult(

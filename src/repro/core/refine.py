@@ -113,6 +113,60 @@ def _random_cross_pass(
     return schedule, best_makespan
 
 
+def _refine_vectorized(
+    schedule: CoSchedule, evaluate: ScheduleEvaluator, best: float
+) -> CoSchedule | None:
+    """Full-neighborhood steepest descent over the tensor tables.
+
+    Returns the refined schedule, or ``None`` when this evaluator cannot
+    batch-score the schedule (scalar backend, missing tables, uncovered
+    uids) and the scalar sampling passes should run instead.  The
+    vectorized neighborhood is a superset of what the scalar passes
+    sample — every adjacent, intra-queue, and cross-queue swap — scored
+    in one lockstep replay per round; infeasible candidates come back as
+    ``np.inf`` and are skipped rather than raising, since a swap that
+    breaks the cap is simply not an improvement.
+    """
+    from repro.perf.tensor import BatchScheduleEvaluator
+
+    if not isinstance(evaluate, BatchScheduleEvaluator) or evaluate.tables is None:
+        return None
+    index = evaluate.tensor.index
+    if any(uid not in index for uid in schedule.all_uids()):
+        return None
+    from repro.perf.population import refine_queues
+
+    tail = tuple((index[j.uid], kind) for j, kind in schedule.solo_tail)
+
+    def score_queues(Qc, len_c, Qg, len_g):
+        scores, _, _, _, _ = evaluate.score_population(
+            Qc, len_c, Qg, len_g, solo_tail=tail
+        )
+        return scores
+
+    cpu = np.array([index[j.uid] for j in schedule.cpu_queue], dtype=np.int64)
+    gpu = np.array([index[j.uid] for j in schedule.gpu_queue], dtype=np.int64)
+    cpu, gpu, _ = refine_queues(
+        score_queues,
+        cpu,
+        gpu,
+        best,
+        adjacent_min_gain=ADJACENT_MIN_GAIN,
+        random_min_gain=RANDOM_MIN_GAIN,
+    )
+    job_of = {
+        index[j.uid]: j
+        for j in (*schedule.cpu_queue, *schedule.gpu_queue)
+    }
+    refined = schedule.with_queues(
+        tuple(job_of[int(i)] for i in cpu),
+        tuple(job_of[int(i)] for i in gpu),
+    )
+    # Prime the memoized per-schedule score (bitwise equal to the lane's).
+    evaluate(refined)
+    return refined
+
+
 def refine_schedule(
     schedule: CoSchedule,
     predictor,
@@ -121,6 +175,7 @@ def refine_schedule(
     seed: int | np.random.Generator | None = None,
     n_samples: int | None = None,
     evaluator: ScheduleEvaluator | None = None,
+    vectorized: bool | None = None,
 ) -> CoSchedule:
     """Apply the three refinement passes; returns the improved schedule.
 
@@ -131,6 +186,13 @@ def refine_schedule(
     ``(predictor, governor)`` arguments, ``evaluator`` (optional) supplies
     a shared memoized evaluator; when omitted a private one is created,
     which still de-duplicates re-visited candidates within this call.
+
+    On a tensor-backed context the passes are replaced by vectorized
+    full-neighborhood steepest descent (see
+    :mod:`repro.perf.population`): deterministic, samples nothing, and
+    never accepts a smaller gain than the scalar passes would.
+    ``vectorized=False`` pins the scalar sampling passes (the equivalence
+    referee); ``True`` requires the vectorized path.
     """
     ctx = _coerce_context(schedule, predictor, governor, evaluator)
     if ctx is not None:
@@ -149,9 +211,27 @@ def refine_schedule(
     if n_samples is None:
         n_samples = max(1, SAMPLES_PER_JOB * schedule.n_jobs)
     best = evaluate(schedule)
-    schedule, best = _adjacent_pass(schedule, evaluate, best)
-    schedule, best = _random_intra_pass(schedule, evaluate, best, rng, n_samples)
-    schedule, best = _random_cross_pass(schedule, evaluate, best, rng, n_samples)
+    refined = (
+        _refine_vectorized(schedule, evaluate, best)
+        if vectorized is not False
+        else None
+    )
+    if refined is not None:
+        schedule = refined
+    else:
+        if vectorized is True:
+            raise ValueError(
+                "vectorized refinement requires a tensor-backed context "
+                "(BatchScheduleEvaluator with pair tables covering every "
+                "job)"
+            )
+        schedule, best = _adjacent_pass(schedule, evaluate, best)
+        schedule, best = _random_intra_pass(
+            schedule, evaluate, best, rng, n_samples
+        )
+        schedule, best = _random_cross_pass(
+            schedule, evaluate, best, rng, n_samples
+        )
     if ctx is not None:
         from repro.analysis.invariants import maybe_check_schedule
 

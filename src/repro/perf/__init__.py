@@ -14,7 +14,10 @@ predicted makespans — funnels through this package:
 * a vectorized tensor backend (:mod:`repro.perf.tensor`) that precomputes
   the whole ``(cpu_job, gpu_job, setting)`` question space as dense NumPy
   tensors and answers scheduler queries — single, batched, or delta — with
-  array lookups instead of interpolation chains.
+  array lookups instead of interpolation chains;
+* vectorized population kernels (:mod:`repro.perf.population`) that run an
+  entire GA generation or refinement neighborhood as ``(P, n)`` index
+  matrices scored by one lockstep ``score_population`` replay.
 
 All memoization is exact: cached and uncached evaluation produce identical
 schedules and makespans, and the tensor backend is bit-for-bit equal to the
@@ -42,6 +45,12 @@ from repro.perf.tensor import (
     TensorModel,
     tensorize,
 )
+from repro.perf.population import (
+    decode_queues,
+    evolve_population,
+    refine_queues,
+    swap_neighborhood,
+)
 
 __all__ = [
     "CacheStats",
@@ -67,4 +76,8 @@ __all__ = [
     "TensorBackedPredictor",
     "TensorModel",
     "tensorize",
+    "decode_queues",
+    "evolve_population",
+    "refine_queues",
+    "swap_neighborhood",
 ]

@@ -181,6 +181,14 @@ class ScheduleEvaluator:
     def _key(self, schedule) -> tuple:
         return schedule_key(schedule, self.objective, self.backend)
 
+    def _metrics_key(self, schedule) -> tuple:
+        # Metrics are computed under this evaluator's governor, whose
+        # frequency choices are objective-specific — the tag keeps a
+        # shared cache from serving one objective's metrics to another.
+        return schedule_key(
+            schedule, f"metrics:{self.objective}", self.backend
+        )
+
     def _compute(self, schedule) -> float:
         # Imported lazily: repro.core modules import this module at load
         # time, so a top-level core import here would be circular.
@@ -204,7 +212,7 @@ class ScheduleEvaluator:
         from repro.core.schedule import predicted_metrics
 
         return self.cache.get_or_compute(
-            schedule_key(schedule, "metrics", self.backend),
+            self._metrics_key(schedule),
             lambda: predicted_metrics(schedule, self.predictor, self.governor),
         )
 
@@ -242,7 +250,7 @@ class ScheduleEvaluator:
                     executor, self.predictor, self.governor, todo
                 )
                 for s, m in zip(todo, metrics):
-                    self.cache.prime(schedule_key(s, "metrics", self.backend), m)
+                    self.cache.prime(self._metrics_key(s), m)
                     self.prime(s, m.score(self.objective))
             # fan-out results count as evaluations, not hits
             self.cache.stats.misses += len(todo)

@@ -668,6 +668,35 @@ class PairTables:
         self.solo_valid = solo_valid      # kind -> (n,) bool
         self.solo_t = solo_t              # kind -> (n,) float
         self.solo_power = solo_power      # kind -> (n,) float
+        self._packed = None
+
+    @property
+    def packed(self):
+        """Channel-stacked copies of the tables for single-gather replay.
+
+        ``(pair, solo_cpu, solo_gpu)``, every row laid out as
+        ``[t_c, t_g, power, valid]`` — pair is ``(n, n, 4)``, the solos are
+        ``(n, 4)`` with the device's solo time in its own slot and a
+        harmless ``1.0`` in the idle device's slot (that channel is only
+        ever read branch-masked).  One fancy gather per table per replay
+        event instead of one per field; values are exact copies, validity
+        is 1.0/0.0.
+        """
+        if self._packed is None:
+            pair = np.empty(self.pair_t_c.shape + (4,))
+            pair[..., 0] = self.pair_t_c
+            pair[..., 1] = self.pair_t_g
+            pair[..., 2] = self.pair_power
+            pair[..., 3] = self.pair_valid
+            solo = {}
+            for kind in DeviceKind:
+                s = np.ones((self.pair_t_c.shape[0], 4))
+                s[:, 0 if kind is DeviceKind.CPU else 1] = self.solo_t[kind]
+                s[:, 2] = self.solo_power[kind]
+                s[:, 3] = self.solo_valid[kind]
+                solo[kind] = s
+            self._packed = (pair, solo[DeviceKind.CPU], solo[DeviceKind.GPU])
+        return self._packed
 
     @classmethod
     def build(cls, tensor: TensorModel, governor, cap_w: float):
@@ -854,6 +883,8 @@ class BatchScheduleEvaluator(ScheduleEvaluator):
             "full_replays": 0,
             "batch_calls": 0,
             "batch_schedules": 0,
+            "population_calls": 0,
+            "population_schedules": 0,
             "scalar_fallbacks": 0,
         }
 
@@ -987,9 +1018,7 @@ class BatchScheduleEvaluator(ScheduleEvaluator):
 
             return predicted_metrics(schedule, self.predictor, self.governor)
 
-        return self.cache.get_or_compute(
-            schedule_key(schedule, "metrics", self.backend), compute
-        )
+        return self.cache.get_or_compute(self._metrics_key(schedule), compute)
 
     # ------------------------------------------------------------------
     # Batched lockstep evaluation
@@ -1025,9 +1054,7 @@ class BatchScheduleEvaluator(ScheduleEvaluator):
                         self.prime(s, mk)
                     else:
                         m = PredictedMetrics(makespan_s=mk, energy_j=en, flow_s=fl)
-                        self.cache.prime(
-                            schedule_key(s, "metrics", self.backend), m
-                        )
+                        self.cache.prime(self._metrics_key(s), m)
                         self.prime(s, m.score(self.objective))
             if rest:
                 if self.objective == "makespan":
@@ -1041,9 +1068,7 @@ class BatchScheduleEvaluator(ScheduleEvaluator):
                         executor, self.predictor, self.governor, rest
                     )
                     for s, m in zip(rest, metrics):
-                        self.cache.prime(
-                            schedule_key(s, "metrics", self.backend), m
-                        )
+                        self.cache.prime(self._metrics_key(s), m)
                         self.prime(s, m.score(self.objective))
             # Fan-out/batch results count as evaluations, not hits.
             self.cache.stats.misses += len(todo)
@@ -1068,7 +1093,6 @@ class BatchScheduleEvaluator(ScheduleEvaluator):
                 out.append(result)
             return out
 
-        tb = self.tables
         index = self.tensor.index
         K = len(schedules)
         cpu_lists = [[index[j.uid] for j in s.cpu_queue] for s in schedules]
@@ -1084,92 +1108,10 @@ class BatchScheduleEvaluator(ScheduleEvaluator):
         for k, q in enumerate(gpu_lists):
             Qg[k, : len(q)] = q
 
-        pc = np.zeros(K, dtype=np.int64)
-        pg = np.zeros(K, dtype=np.int64)
-        cur_c = np.full(K, -1, dtype=np.int64)
-        cur_g = np.full(K, -1, dtype=np.int64)
-        frac_c = np.zeros(K)
-        frac_g = np.zeros(K)
-        t = np.zeros(K)
-        energy = np.zeros(K)
-        flow = np.zeros(K)
-        active = np.ones(K, dtype=bool)
-        bad = np.zeros(K, dtype=bool)
-        CPU, GPU = DeviceKind.CPU, DeviceKind.GPU
-
-        with np.errstate(invalid="ignore", divide="ignore"):
-            while True:
-                need_c = active & (cur_c < 0) & (pc < len_c)
-                if need_c.any():
-                    rows = np.nonzero(need_c)[0]
-                    cur_c[rows] = Qc[rows, pc[rows]]
-                    frac_c[rows] = 1.0
-                    pc[rows] += 1
-                need_g = active & (cur_g < 0) & (pg < len_g)
-                if need_g.any():
-                    rows = np.nonzero(need_g)[0]
-                    cur_g[rows] = Qg[rows, pg[rows]]
-                    frac_g[rows] = 1.0
-                    pg[rows] += 1
-                active &= ~((cur_c < 0) & (cur_g < 0))
-                if not active.any():
-                    break
-
-                ic = np.where(cur_c >= 0, cur_c, 0)
-                ig = np.where(cur_g >= 0, cur_g, 0)
-                run_c = active & (cur_c >= 0)
-                run_g = active & (cur_g >= 0)
-                pair = run_c & run_g
-                only_c = run_c & ~run_g
-                only_g = run_g & ~run_c
-                newbad = (
-                    (pair & ~tb.pair_valid[ic, ig])
-                    | (only_c & ~tb.solo_valid[CPU][ic])
-                    | (only_g & ~tb.solo_valid[GPU][ig])
-                )
-                if newbad.any():
-                    bad |= newbad
-                    active &= ~newbad
-                    pair &= ~newbad
-                    only_c &= ~newbad
-                    only_g &= ~newbad
-                    run_c &= active
-                    run_g &= active
-                    if not active.any():
-                        break
-
-                t_c = np.where(pair, tb.pair_t_c[ic, ig], tb.solo_t[CPU][ic])
-                t_g = np.where(pair, tb.pair_t_g[ic, ig], tb.solo_t[GPU][ig])
-                power = np.where(
-                    pair,
-                    tb.pair_power[ic, ig],
-                    np.where(only_c, tb.solo_power[CPU][ic], tb.solo_power[GPU][ig]),
-                )
-                dt_c = frac_c * t_c
-                dt_g = frac_g * t_g
-                dt = np.where(
-                    pair, np.minimum(dt_c, dt_g), np.where(only_c, dt_c, dt_g)
-                )
-                energy = np.where(active, energy + dt * power, energy)
-
-                rem_c = frac_c - dt / t_c
-                done_c = run_c & (rem_c <= _EPS)
-                frac_c = np.where(run_c, rem_c, frac_c)
-                frac_c = np.where(done_c, 0.0, frac_c)
-                cur_c = np.where(done_c, -1, cur_c)
-                rem_g = frac_g - dt / t_g
-                done_g = run_g & (rem_g <= _EPS)
-                frac_g = np.where(run_g, rem_g, frac_g)
-                frac_g = np.where(done_g, 0.0, frac_g)
-                cur_g = np.where(done_g, -1, cur_g)
-                t = np.where(active, t + dt, t)
-                # Same op order as the scalar replay: flow += done * t,
-                # with done counting completions this event (0, 1 or 2).
-                ndone = done_c.astype(np.int64) + done_g.astype(np.int64)
-                flow = np.where(ndone > 0, flow + ndone * t, flow)
-
+        t, energy, flow, bad = self._replay_matrices(Qc, len_c, Qg, len_g)
         if bad.any():
             return None
+        tb = self.tables
         out = []
         for k, s in enumerate(schedules):
             tk = float(t[k])
@@ -1185,6 +1127,172 @@ class BatchScheduleEvaluator(ScheduleEvaluator):
                 ek += solo_s * float(tb.solo_power[kind][i])
             out.append((tk, ek, fk))
         return out
+
+    def _replay_matrices(self, Qc, len_c, Qg, len_g):
+        """Lockstep replay over padded queue-index matrices.
+
+        ``Qc``/``Qg`` are ``(K, w)`` int matrices of tensor job indices
+        (padding value irrelevant past each lane's length); ``len_c`` /
+        ``len_g`` the per-lane queue lengths.  Returns per-lane
+        ``(t, energy, flow, bad)`` arrays, where ``bad`` flags lanes that
+        hit an infeasible pair or solo combination (their other outputs
+        are meaningless).  Lane arithmetic is bitwise identical to
+        :meth:`_indexed_replay` of the same queues.
+        """
+        # The loop body is dominated by numpy dispatch overhead on small
+        # per-event arrays, so the tables are read through channel-stacked
+        # copies (one fancy gather per table instead of one per field) and
+        # frozen lanes are preserved with masked in-place ufuncs instead of
+        # fresh ``np.where`` allocations.  Both are bitwise-neutral: the
+        # packed tables hold exact copies, and ``out=..., where=mask``
+        # writes the identical values a masked ``np.where`` would keep.
+        pair_pack, solo_c_pack, solo_g_pack = self.tables.packed
+        K = Qc.shape[0]
+        pc = np.zeros(K, dtype=np.int64)
+        pg = np.zeros(K, dtype=np.int64)
+        cur_c = np.full(K, -1, dtype=np.int64)
+        cur_g = np.full(K, -1, dtype=np.int64)
+        frac_c = np.zeros(K)
+        frac_g = np.zeros(K)
+        t = np.zeros(K)
+        energy = np.zeros(K)
+        flow = np.zeros(K)
+        active = np.ones(K, dtype=bool)
+        bad = np.zeros(K, dtype=bool)
+
+        with np.errstate(invalid="ignore", divide="ignore"):
+            while True:
+                need_c = active & (cur_c < 0) & (pc < len_c)
+                if need_c.any():
+                    rows = np.nonzero(need_c)[0]
+                    cur_c[rows] = Qc[rows, pc[rows]]
+                    frac_c[rows] = 1.0
+                    pc[rows] += 1
+                need_g = active & (cur_g < 0) & (pg < len_g)
+                if need_g.any():
+                    rows = np.nonzero(need_g)[0]
+                    cur_g[rows] = Qg[rows, pg[rows]]
+                    frac_g[rows] = 1.0
+                    pg[rows] += 1
+                mask_c = cur_c >= 0
+                mask_g = cur_g >= 0
+                active &= mask_c | mask_g
+                if not active.any():
+                    break
+
+                ic = np.maximum(cur_c, 0)
+                ig = np.maximum(cur_g, 0)
+                run_c = active & mask_c
+                run_g = active & mask_g
+                pair = run_c & run_g
+                only_c = run_c ^ pair
+                # One gather per table; rows for lanes outside a branch are
+                # garbage but every read below is branch-masked.
+                row = np.where(
+                    pair[:, None],
+                    pair_pack[ic, ig],
+                    np.where(only_c[:, None], solo_c_pack[ic], solo_g_pack[ig]),
+                )
+                newbad = active & (row[:, 3] == 0.0)
+                if newbad.any():
+                    bad |= newbad
+                    active &= ~newbad
+                    if not active.any():
+                        break
+                    keep = ~newbad
+                    pair &= keep
+                    only_c &= keep
+                    run_c &= active
+                    run_g &= active
+
+                t_c = row[:, 0]
+                t_g = row[:, 1]
+                dt_c = frac_c * t_c
+                dt_g = frac_g * t_g
+                dt = np.where(
+                    pair, np.minimum(dt_c, dt_g), np.where(only_c, dt_c, dt_g)
+                )
+                np.add(energy, dt * row[:, 2], out=energy, where=active)
+
+                rem_c = frac_c - dt / t_c
+                done_c = run_c & (rem_c <= _EPS)
+                np.copyto(frac_c, rem_c, where=run_c)
+                np.copyto(frac_c, 0.0, where=done_c)
+                np.copyto(cur_c, -1, where=done_c)
+                rem_g = frac_g - dt / t_g
+                done_g = run_g & (rem_g <= _EPS)
+                np.copyto(frac_g, rem_g, where=run_g)
+                np.copyto(frac_g, 0.0, where=done_g)
+                np.copyto(cur_g, -1, where=done_g)
+                np.add(t, dt, out=t, where=active)
+                # Same op order as the scalar replay: flow += done * t,
+                # with done counting completions this event (0, 1 or 2).
+                ndone = done_c.astype(np.int64) + done_g.astype(np.int64)
+                flow += ndone * t
+
+        return t, energy, flow, bad
+
+    # ------------------------------------------------------------------
+    # Population scoring (index matrices in, objective scores out)
+    # ------------------------------------------------------------------
+    def score_population(self, Qc, len_c, Qg, len_g, *, solo_tail=()):
+        """Score a whole population of queue-index matrices in one sweep.
+
+        The population path of :mod:`repro.perf.population`: callers hand
+        over ``(K, w)`` matrices of tensor job indices directly (no
+        :class:`~repro.core.schedule.CoSchedule` objects, no cache keys),
+        and every lane is replayed in lockstep.  ``solo_tail`` is a shared
+        tail — a sequence of ``(tensor_index, DeviceKind)`` pairs appended
+        to *every* lane, the way refinement candidates share their input
+        schedule's tail.
+
+        Returns ``(scores, makespan, energy, flow, bad)``: per-lane
+        objective scores (``np.inf`` on bad lanes) plus the raw metric
+        arrays and the infeasibility mask.  Feasible lanes are bitwise
+        identical to :meth:`_indexed_replay` of the same queues, so a
+        population score can always be cross-checked against the
+        per-schedule path.
+        """
+        if self.tables is None:
+            raise ValueError(
+                "score_population needs pair tables; this evaluator was "
+                "built without them (fall back to evaluate_all)"
+            )
+        K = int(Qc.shape[0])
+        self.batch_stats["batch_calls"] += 1
+        self.batch_stats["batch_schedules"] += K
+        self.batch_stats["population_calls"] += 1
+        self.batch_stats["population_schedules"] += K
+        t, energy, flow, bad = self._replay_matrices(Qc, len_c, Qg, len_g)
+        tb = self.tables
+        for i, kind in solo_tail:
+            if not tb.solo_valid[kind][i]:
+                bad = np.ones_like(bad)
+                break
+            # Same op order as the scalar tail: t += solo; flow += t;
+            # energy += solo * power — applied to every lane at once.
+            solo_s = float(tb.solo_t[kind][i])
+            t = t + solo_s
+            flow = flow + t
+            energy = energy + solo_s * float(tb.solo_power[kind][i])
+        scores = self._objective_scores(t, energy, flow)
+        scores = np.where(bad, np.inf, scores)
+        return scores, t, energy, flow, bad
+
+    def _objective_scores(self, makespan, energy, flow):
+        """Vectorized :meth:`PredictedMetrics.score` over metric arrays."""
+        if self.objective == "makespan":
+            return makespan
+        if self.objective == "energy":
+            return energy
+        if self.objective == "edp":
+            return energy * makespan
+        if self.objective == "flow_time":
+            return flow
+        # makespan_energy — lazy core import, as everywhere in this module.
+        from repro.core.objectives import MAKESPAN_ENERGY_RHO
+
+        return makespan + MAKESPAN_ENERGY_RHO * energy
 
     def snapshot(self) -> dict[str, float]:
         snap = dict(self.cache.snapshot())

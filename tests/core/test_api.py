@@ -22,7 +22,8 @@ CAP_W = 15.0
 class TestRegistry:
     def test_builtin_methods(self):
         assert set(scheduler_names()) == {
-            "astar", "brute", "default", "genetic", "hcs", "hcs+", "random",
+            "astar", "brute", "default", "genetic", "hcs", "hcs+",
+            "portfolio", "random",
         }
 
     def test_unknown_method(self, predictor, rodinia_jobs):

@@ -117,9 +117,13 @@ class TestCachedSearchesIdentical:
         assert plain == cached
 
     def test_genetic(self, predictor, rodinia_jobs):
+        # Scalar search pinned on both sides: the caller-supplied scalar
+        # evaluator cannot take the vectorized population path, and this
+        # test is about caching, not about the search trajectory.
         cfg = GaConfig(population=12, generations=4)
         plain = genetic_schedule(
-            predictor, rodinia_jobs[:6], CAP_W, config=cfg, seed=3
+            predictor, rodinia_jobs[:6], CAP_W, config=cfg, seed=3,
+            vectorized=False,
         )
         governor = ModelGovernor(predictor, CAP_W)
         evaluator = ScheduleEvaluator(predictor, governor, EvalCache())
@@ -130,6 +134,7 @@ class TestCachedSearchesIdentical:
             config=cfg,
             seed=3,
             evaluator=evaluator,
+            vectorized=False,
         )
         assert plain[0] == cached[0]
         assert plain[1] == cached[1]

@@ -1,0 +1,329 @@
+"""Property tests: vectorized population kernels vs the scalar operators.
+
+The vectorized GA (``repro.perf.population``) claims that, *given the same
+random decisions*, every batched operator produces exactly the genome its
+scalar ``GeneticScheduler`` counterpart produces — the batched loop merely
+draws those decisions from one vectorized stream.  These tests pin that
+claim per operator (crossover key construction, mutation moves, tournament
+first-min selection, decode), verify the draw laws the vectorized stream
+relies on, and check that population-batch scores are byte-identical to
+per-schedule tensor evaluation of the same decoded schedules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perf import population as popkit
+from repro.util.rng import default_rng
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+_sizes = st.integers(2, 10)
+
+
+@st.composite
+def genome_pairs(draw):
+    """Two parent genomes plus a crossover mask, all the same width."""
+    n = draw(_sizes)
+    rng = default_rng(draw(st.integers(0, 2**32 - 1)))
+    a_prio = rng.permutation(n).astype(np.int64)
+    b_prio = rng.permutation(n).astype(np.int64)
+    a_place = rng.random(n) < 0.5
+    b_place = rng.random(n) < 0.5
+    mask = rng.random(n) < 0.5
+    return a_place, a_prio, b_place, b_prio, mask
+
+
+def scalar_order_crossover(a_priority, b_priority):
+    """The scalar ``GeneticScheduler._crossover`` priority rule, verbatim:
+    keep a's relative order for the indices holding a's n//2 smallest
+    priorities, fill the rest in b's order."""
+    n = len(a_priority)
+    child = np.empty(n, dtype=np.int64)
+    a_rank = np.argsort(a_priority, kind="stable")
+    b_rank = np.argsort(b_priority, kind="stable")
+    picked = set(int(i) for i in a_rank[: n // 2])
+    sequence = [int(i) for i in a_rank[: n // 2]] + [
+        int(i) for i in b_rank if int(i) not in picked
+    ]
+    for rank, idx in enumerate(sequence):
+        child[idx] = rank
+    return child
+
+
+class TestCrossover:
+    @given(genome_pairs())
+    def test_matches_scalar_rule(self, parents):
+        a_place, a_prio, b_place, b_prio, mask = parents
+        place, prio = popkit.order_crossover(
+            a_place[None], a_prio[None], b_place[None], b_prio[None],
+            mask[None],
+        )
+        assert np.array_equal(place[0], np.where(mask, a_place, b_place))
+        assert np.array_equal(prio[0], scalar_order_crossover(a_prio, b_prio))
+
+    @given(genome_pairs())
+    def test_child_priority_is_a_permutation(self, parents):
+        a_place, a_prio, b_place, b_prio, mask = parents
+        _, prio = popkit.order_crossover(
+            a_place[None], a_prio[None], b_place[None], b_prio[None],
+            mask[None],
+        )
+        assert sorted(prio[0]) == list(range(len(a_prio)))
+
+
+class TestMutation:
+    @given(
+        genome_pairs(),
+        st.booleans(), st.integers(0, 9),
+        st.booleans(), st.integers(0, 9), st.integers(0, 8),
+    )
+    def test_matches_scalar_moves(self, parents, flip, fc, swap, si, off):
+        """Given the same decisions, mutation equals the scalar ``_mutate``:
+        an optional single placement-bit flip plus an optional single
+        priority pair swap."""
+        place, prio = parents[0], parents[1]
+        n = len(prio)
+        fc, si = fc % n, si % n
+        sj = (si + 1 + off % (n - 1)) % n
+        got_place, got_prio = popkit.mutate_population(
+            place[None], prio[None],
+            np.array([flip]), np.array([fc]),
+            np.array([swap]), np.array([si]), np.array([sj]),
+        )
+        want_place, want_prio = place.copy(), prio.copy()
+        if flip:
+            want_place[fc] ^= True
+        if swap:
+            want_prio[si], want_prio[sj] = want_prio[sj], want_prio[si]
+        assert np.array_equal(got_place[0], want_place)
+        assert np.array_equal(got_prio[0], want_prio)
+        # Parents stay untouched (operators copy).
+        assert np.array_equal(place, parents[0])
+        assert np.array_equal(prio, parents[1])
+
+    def test_swap_pair_law_is_uniform_over_ordered_pairs(self):
+        """The swap pair ``(i, (i+1+offset) % n)`` hits every ordered
+        distinct pair exactly once as (i, offset) sweep their ranges —
+        the same law as the scalar ``rng.choice(n, 2, replace=False)``."""
+        n = 7
+        seen = set()
+        for i in range(n):
+            for off in range(n - 1):
+                j = (i + 1 + off) % n
+                assert j != i
+                seen.add((i, j))
+        assert len(seen) == n * (n - 1)
+
+    @given(st.integers(0, 2**32 - 1), st.integers(2, 8))
+    def test_draws_are_well_formed(self, seed, n):
+        rng = default_rng(seed)
+        flip_r, flip_c, swap_r, swap_i, swap_j = popkit.mutation_draws(
+            rng, 32, n, 0.5
+        )
+        assert flip_c.max() < n and flip_c.min() >= 0
+        assert np.all(swap_i != swap_j)
+        assert swap_j.max() < n and swap_j.min() >= 0
+
+    def test_no_swaps_for_single_gene(self):
+        rng = default_rng(0)
+        _, _, swap_rows, _, _ = popkit.mutation_draws(rng, 16, 1, 1.0)
+        assert not swap_rows.any()
+
+
+class TestTournament:
+    @given(
+        st.integers(0, 2**32 - 1),
+        st.lists(st.floats(0, 100), min_size=4, max_size=12),
+    )
+    def test_winner_is_first_minimum(self, seed, fitness):
+        """Equals the scalar ``min(picks, key=fitness)``: the lowest
+        fitness among the picks, earliest pick on ties."""
+        fitness = np.array(fitness)
+        rng = default_rng(seed)
+        picks = popkit.tournament_picks(rng, 5, len(fitness), 3)
+        winners = popkit.tournament_winners(fitness, picks)
+        for row, winner in zip(picks, winners):
+            best = min(fitness[row])
+            assert fitness[winner] == best
+            # first-min tie-break: no earlier pick has the same fitness
+            first = next(int(i) for i in row if fitness[i] == best)
+            assert winner == first
+
+    @given(st.integers(0, 2**32 - 1), st.integers(3, 12))
+    def test_picks_are_distinct_subsets(self, seed, population):
+        rng = default_rng(seed)
+        k = min(3, population)
+        picks = popkit.tournament_picks(rng, 8, population, k)
+        assert picks.shape == (8, k)
+        for row in picks:
+            assert len(set(row.tolist())) == k
+            assert row.min() >= 0 and row.max() < population
+
+
+class TestDecode:
+    @given(genome_pairs())
+    def test_matches_scalar_decode(self, parents):
+        """Row decode equals the scalar ``_decode``: jobs stable-sorted by
+        priority, split by placement (True -> CPU)."""
+        place, prio = parents[0], parents[1]
+        n = len(prio)
+        job_index = np.arange(10, 10 + n, dtype=np.int64)
+        Qc, len_c, Qg, len_g = popkit.decode_queues(
+            place[None], prio[None], job_index
+        )
+        order = np.argsort(prio, kind="stable")
+        cpu = [int(job_index[i]) for i in order if place[i]]
+        gpu = [int(job_index[i]) for i in order if not place[i]]
+        assert int(len_c[0]) == len(cpu) and int(len_g[0]) == len(gpu)
+        assert Qc[0, : len(cpu)].tolist() == cpu
+        assert Qg[0, : len(gpu)].tolist() == gpu
+        assert np.all(Qc[0, len(cpu):] == -1)
+        assert np.all(Qg[0, len(gpu):] == -1)
+
+
+class TestPopulationScoresByteIdentical:
+    @pytest.fixture(scope="class")
+    def ctx(self, predictor, rodinia_jobs):
+        from repro.core.context import SchedulingContext
+
+        return SchedulingContext(
+            jobs=rodinia_jobs, cap_w=15.0, predictor=predictor,
+            backend="tensor",
+        )
+
+    @pytest.mark.parametrize("objective", [
+        "makespan", "energy", "edp", "flow_time", "makespan_energy",
+    ])
+    def test_batch_scores_equal_per_schedule_scores(self, ctx, objective):
+        """``score_population`` lanes are byte-identical to per-schedule
+        tensor evaluation of the same decoded schedules, on every
+        objective."""
+        from repro.core.schedule import CoSchedule
+
+        octx = ctx.with_objective(objective)
+        ev = octx.evaluator
+        jobs = list(octx.jobs)
+        n = len(jobs)
+        rng = default_rng(99)
+        placement, priority = popkit.random_population(rng, 24, n)
+        job_index = np.array(
+            [ev.tensor.index[j.uid] for j in jobs], dtype=np.int64
+        )
+        Qc, len_c, Qg, len_g = popkit.decode_queues(
+            placement, priority, job_index
+        )
+        scores, mk, en, fl, bad = ev.score_population(Qc, len_c, Qg, len_g)
+        assert not bad.any()
+        for k in range(placement.shape[0]):
+            order = np.argsort(priority[k], kind="stable")
+            cpu = tuple(jobs[i] for i in order if placement[k, i])
+            gpu = tuple(jobs[i] for i in order if not placement[k, i])
+            sched = CoSchedule(cpu_queue=cpu, gpu_queue=gpu)
+            # repro: noqa REP003 -- byte-identical population-lane contract
+            assert ev(sched) == scores[k]
+
+    def test_solo_tail_applied_to_every_lane(self, ctx):
+        """A shared solo tail shifts every lane exactly like the scalar
+        tail arithmetic of the per-schedule replay."""
+        from repro.core.schedule import CoSchedule
+        from repro.hardware.device import DeviceKind
+
+        ev = ctx.evaluator
+        jobs = list(ctx.jobs)
+        tail_job, rest = jobs[0], jobs[1:]
+        n = len(rest)
+        rng = default_rng(5)
+        placement, priority = popkit.random_population(rng, 8, n)
+        job_index = np.array(
+            [ev.tensor.index[j.uid] for j in rest], dtype=np.int64
+        )
+        Qc, len_c, Qg, len_g = popkit.decode_queues(
+            placement, priority, job_index
+        )
+        tail = ((ev.tensor.index[tail_job.uid], DeviceKind.CPU),)
+        scores, _, _, _, bad = ev.score_population(
+            Qc, len_c, Qg, len_g, solo_tail=tail
+        )
+        assert not bad.any()
+        for k in range(placement.shape[0]):
+            order = np.argsort(priority[k], kind="stable")
+            cpu = tuple(rest[i] for i in order if placement[k, i])
+            gpu = tuple(rest[i] for i in order if not placement[k, i])
+            sched = CoSchedule(
+                cpu_queue=cpu, gpu_queue=gpu,
+                solo_tail=((tail_job, DeviceKind.CPU),),
+            )
+            # repro: noqa REP003 -- byte-identical population-lane contract
+            assert ev(sched) == scores[k]
+
+    def test_score_population_without_tables_raises(
+        self, predictor, rodinia_jobs
+    ):
+        from repro.core.context import SchedulingContext
+
+        ctx = SchedulingContext(
+            jobs=rodinia_jobs, cap_w=15.0, predictor=predictor,
+            backend="scalar",
+        )
+        ev = ctx.evaluator
+        if hasattr(ev, "score_population"):
+            with pytest.raises(ValueError, match="tables"):
+                ev.score_population(
+                    np.zeros((2, 1), dtype=np.int64), np.zeros(2, np.int64),
+                    np.zeros((2, 1), dtype=np.int64), np.zeros(2, np.int64),
+                )
+
+
+class TestEvolveStream:
+    def test_fixed_seed_is_deterministic(self):
+        """Same seed, same score function -> identical final genome."""
+
+        def score(placement, priority):
+            return (
+                placement.sum(axis=1) * 10.0
+                + (priority * np.arange(priority.shape[1])).sum(axis=1)
+            ).astype(float)
+
+        class Cfg:
+            population, generations, elite = 16, 6, 2
+            crossover_rate, mutation_rate = 0.8, 0.15
+
+        runs = [
+            popkit.evolve_population(
+                score, 6, Cfg, default_rng(123)
+            )
+            for _ in range(2)
+        ]
+        assert np.array_equal(runs[0][0], runs[1][0])
+        assert np.array_equal(runs[0][1], runs[1][1])
+        assert runs[0][2] == runs[1][2]
+
+    def test_more_generations_never_worse(self):
+        """Per-generation draw shapes depend only on (P, n, elite), so a
+        longer run consumes the same stream prefix — with elitism the
+        best score is monotone in the generation count."""
+
+        def score(placement, priority):
+            return (
+                np.abs(priority - np.arange(priority.shape[1])).sum(axis=1)
+                + placement.sum(axis=1)
+            ).astype(float)
+
+        def run(generations):
+            class Cfg:
+                population, elite = 12, 2
+                crossover_rate, mutation_rate = 0.8, 0.15
+
+            Cfg.generations = generations
+            return popkit.evolve_population(
+                score, 5, Cfg, default_rng(7)
+            )[2]
+
+        scores = [run(g) for g in (2, 5, 9)]
+        assert scores[0] >= scores[1] >= scores[2]

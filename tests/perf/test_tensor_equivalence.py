@@ -21,6 +21,21 @@ CAP_W = 15.0
 #: Exhaustive methods only get a handful of jobs; the rest take the lot.
 SMALL_METHODS = {"brute", "astar"}
 
+#: The vectorized population kernels deliberately walk a different (never
+#: worse) search trajectory than the scalar operators, so byte-identity
+#: across *backends* is asserted with the scalar search pinned; the
+#: vectorized trajectory has its own equal-or-better tests below.
+PINNED_SCALAR_SEARCH = {
+    "genetic": {"vectorized": False},
+    "hcs+": {"vectorized": False},
+    "portfolio": {
+        "member_opts": {
+            "genetic": {"vectorized": False},
+            "hcs+": {"vectorized": False},
+        }
+    },
+}
+
 
 @pytest.fixture(scope="module")
 def jobs(rodinia_jobs):
@@ -46,7 +61,8 @@ def _result_tuple(result):
 class TestRegistryEquivalence:
     def test_registry_is_complete(self):
         assert scheduler_names() == (
-            "astar", "brute", "default", "genetic", "hcs", "hcs+", "random"
+            "astar", "brute", "default", "genetic", "hcs", "hcs+",
+            "portfolio", "random",
         )
 
     @pytest.mark.parametrize("method", sorted(scheduler_names()))
@@ -62,6 +78,7 @@ class TestRegistryEquivalence:
                 predictor=predictor,
                 seed=7,
                 backend=backend,
+                **PINNED_SCALAR_SEARCH.get(method, {}),
             )
             for backend in ("tensor", "scalar")
         ]
@@ -82,6 +99,7 @@ class TestRegistryEquivalence:
                 predictor=predictor,
                 seed=3,
                 backend=backend,
+                **PINNED_SCALAR_SEARCH.get(method, {}),
             )
             for backend in ("tensor", "scalar")
         ]
@@ -94,12 +112,75 @@ class TestRegistryEquivalence:
         results = [
             Scheduler(
                 "hcs+", predictor=predictor, cap_w=CAP_W, seed=5,
-                backend=backend,
+                backend=backend, vectorized=False,
             )(jobs)
             for backend in ("tensor", "scalar")
         ]
         # repro: noqa REP003 -- byte-identical backend contract
         assert _result_tuple(results[0]) == _result_tuple(results[1])
+
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    def test_vectorized_refine_equal_or_better(self, seed, predictor, jobs):
+        """Full-neighborhood vectorized refinement never scores worse than
+        the scalar sampling passes (same seed, same start)."""
+        vectorized, scalar = [
+            schedule(
+                jobs,
+                method="hcs+",
+                cap_w=CAP_W,
+                predictor=predictor,
+                seed=seed,
+                backend="tensor",
+                vectorized=pin,
+            )
+            for pin in (None, False)
+        ]
+        assert vectorized.predicted_score <= scalar.predicted_score
+
+    @pytest.mark.parametrize("seed", [1234, 7, 42])
+    def test_vectorized_ga_refine_pipeline_equal_or_better(
+        self, seed, processor
+    ):
+        """The vectorized GA+refine pipeline — the solver hot path the
+        population kernels replace — scores equal-or-better than the
+        scalar search on the benchmark's seeded scenario family (16-job
+        random workload, population 64, same seed, same config)."""
+        from repro.core.context import SchedulingContext
+        from repro.core.genetic import GaConfig, genetic_schedule
+        from repro.core.refine import refine_schedule
+        from repro.model.characterize import characterize_space
+        from repro.model.profiler import profile_workload
+        from repro.workload.generator import random_workload
+
+        jobs = random_workload(16, seed=1234)
+        predictor = CoRunPredictor(
+            processor, profile_workload(processor, jobs),
+            characterize_space(processor),
+        )
+        config = GaConfig(population=64, generations=15)
+
+        def pipeline(pin):
+            ctx = SchedulingContext(
+                jobs=jobs, cap_w=CAP_W, predictor=predictor, seed=seed,
+                backend="tensor",
+            )
+            best, _ = genetic_schedule(ctx, config=config, vectorized=pin)
+            refined = refine_schedule(best, ctx, vectorized=pin)
+            return ctx.evaluator(refined)
+
+        assert pipeline(None) <= pipeline(False)
+
+    def test_vectorized_true_requires_tensor_backend(self, predictor, jobs):
+        with pytest.raises(ValueError, match="vectorized"):
+            schedule(
+                jobs,
+                method="genetic",
+                cap_w=CAP_W,
+                predictor=predictor,
+                seed=1,
+                backend="scalar",
+                vectorized=True,
+            )
 
 
 class TestBackendSelection:

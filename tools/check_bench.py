@@ -5,7 +5,7 @@ Reads ``BENCH_results.json`` (written by ``benchmarks/conftest.py`` at the
 end of every benchmark session) and fails when a gated entry misses its
 threshold or the file is missing/malformed.
 
-Four gates are implemented:
+Five gates are implemented:
 
 * **tensor** (default): the tensor backend's recorded speedup over the
   cold-cache scalar baseline must meet ``--min-speedup``, with no scalar
@@ -21,11 +21,16 @@ Four gates are implemented:
   16-job, 4-node GA+refine pipeline must beat the single-APU search by
   ``--min-fleet-speedup`` on predicted makespan, schedule and execute
   every job, and pass the fleet invariant verifier clean.
+* **solvers** (``--solvers-only``, the ``make bench-solvers`` target):
+  the vectorized GA+refine population path must beat the per-schedule
+  tensor baseline by ``--min-solver-speedup`` while reaching an
+  equal-or-better objective score, with the population kernels actually
+  engaged.
 
-Because each benchmark session rewrites the whole results file, the sim,
-service, and fleet entries are only *required* in their respective
-``--X-only`` modes; in default mode they are validated opportunistically
-when present.
+The sim, service, fleet, and solvers entries are only *required* in
+their respective ``--X-only`` modes; in default mode they are validated
+opportunistically when present (benchmark sessions merge into the
+results file, so entries from earlier runs survive later sessions).
 
 Usage::
 
@@ -33,6 +38,7 @@ Usage::
     python tools/check_bench.py --sim-only [--min-event-rate X]
     python tools/check_bench.py --service-only [--min-submissions-per-s X]
     python tools/check_bench.py --fleet-only [--min-fleet-speedup X]
+    python tools/check_bench.py --solvers-only [--min-solver-speedup X]
 """
 
 from __future__ import annotations
@@ -66,6 +72,11 @@ FLEET_ENTRY = "fleet_ga_refine"
 #: sits at half the ideal so packing-imbalance noise on a random workload
 #: fails real regressions, not unlucky draws.
 DEFAULT_MIN_FLEET_SPEEDUP = 2.0
+SOLVERS_ENTRY = "population_ga_refine"
+#: The vectorized population path replaces ~P per-schedule replays per
+#: generation with one batched call; 3x over the per-schedule tensor
+#: baseline is the acceptance floor (the benchmark records ~5x warm).
+DEFAULT_MIN_SOLVER_SPEEDUP = 3.0
 
 
 def _check_tensor(benchmarks: dict, min_speedup: float) -> list[str]:
@@ -219,6 +230,54 @@ def _check_fleet(
     return failures
 
 
+def _check_solvers(
+    benchmarks: dict,
+    min_solver_speedup: float,
+    *,
+    required: bool,
+) -> list[str]:
+    entry = benchmarks.get(SOLVERS_ENTRY)
+    if entry is None:
+        if required:
+            return [
+                f"missing the {SOLVERS_ENTRY!r} entry (run "
+                "benchmarks/test_population_solvers.py first)"
+            ]
+        return []
+
+    failures: list[str] = []
+    speedup = entry.get("speedup")
+    if not isinstance(speedup, (int, float)):
+        failures.append(f"{SOLVERS_ENTRY}: no numeric 'speedup' recorded")
+    elif speedup < min_solver_speedup:
+        failures.append(
+            f"{SOLVERS_ENTRY}: vectorized speedup {speedup:.2f}x is below "
+            f"the {min_solver_speedup:g}x gate"
+        )
+    vec = entry.get("vectorized_score")
+    base = entry.get("baseline_score")
+    if not isinstance(vec, (int, float)) or not isinstance(
+        base, (int, float)
+    ):
+        failures.append(
+            f"{SOLVERS_ENTRY}: no numeric 'vectorized_score'/"
+            "'baseline_score' recorded"
+        )
+    elif vec > base:
+        failures.append(
+            f"{SOLVERS_ENTRY}: vectorized score {vec:.6g} is worse than "
+            f"the scalar trajectory's {base:.6g}"
+        )
+    stats = entry.get("population_stats", {})
+    calls = stats.get("tensor_population_calls")
+    if not isinstance(calls, (int, float)) or calls < 1:
+        failures.append(
+            f"{SOLVERS_ENTRY}: population kernels never engaged "
+            "(tensor_population_calls < 1)"
+        )
+    return failures
+
+
 def check(
     path: Path,
     min_speedup: float,
@@ -227,9 +286,11 @@ def check(
     min_event_rate: float = DEFAULT_MIN_EVENT_RATE,
     min_submissions_per_s: float = DEFAULT_MIN_SUBMISSIONS_PER_S,
     min_fleet_speedup: float = DEFAULT_MIN_FLEET_SPEEDUP,
+    min_solver_speedup: float = DEFAULT_MIN_SOLVER_SPEEDUP,
     sim_only: bool = False,
     service_only: bool = False,
     fleet_only: bool = False,
+    solvers_only: bool = False,
 ) -> list[str]:
     """Return a list of failure messages (empty == pass)."""
     if not path.exists():
@@ -243,20 +304,25 @@ def check(
     if not isinstance(benchmarks, dict):
         return [f"{path}: no 'benchmarks' mapping"]
 
+    only_flags = (sim_only, service_only, fleet_only, solvers_only)
     failures: list[str] = []
-    if not (sim_only or service_only or fleet_only):
+    if not any(only_flags):
         failures += _check_tensor(benchmarks, min_speedup)
-    if not (service_only or fleet_only):
+    if not any(only_flags) or sim_only:
         failures += _check_sim(
             benchmarks, min_events, min_event_rate, required=sim_only
         )
-    if not (sim_only or fleet_only):
+    if not any(only_flags) or service_only:
         failures += _check_service(
             benchmarks, min_submissions_per_s, required=service_only
         )
-    if not (sim_only or service_only):
+    if not any(only_flags) or fleet_only:
         failures += _check_fleet(
             benchmarks, min_fleet_speedup, required=fleet_only
+        )
+    if not any(only_flags) or solvers_only:
+        failures += _check_solvers(
+            benchmarks, min_solver_speedup, required=solvers_only
         )
     return [f"{path}: {m}" if m.startswith("missing") else m for m in failures]
 
@@ -300,6 +366,17 @@ def main(argv: list[str] | None = None) -> int:
         f"{DEFAULT_MIN_FLEET_SPEEDUP:g}x)",
     )
     parser.add_argument(
+        "--solvers-only", action="store_true",
+        help="gate only the vectorized population-solver benchmark "
+        f"(requires the {SOLVERS_ENTRY!r} entry; skips the other gates)",
+    )
+    parser.add_argument(
+        "--min-solver-speedup", type=float,
+        default=DEFAULT_MIN_SOLVER_SPEEDUP,
+        help=f"minimum vectorized-vs-per-schedule GA+refine speedup "
+        f"(default: {DEFAULT_MIN_SOLVER_SPEEDUP:g}x)",
+    )
+    parser.add_argument(
         "--min-events", type=int, default=DEFAULT_MIN_EVENTS,
         help=f"minimum trace size in events (default: "
         f"{DEFAULT_MIN_EVENTS:,})",
@@ -310,10 +387,13 @@ def main(argv: list[str] | None = None) -> int:
         f"{DEFAULT_MIN_EVENT_RATE:,.0f})",
     )
     args = parser.parse_args(argv)
-    if sum([args.sim_only, args.service_only, args.fleet_only]) > 1:
+    only = [
+        args.sim_only, args.service_only, args.fleet_only, args.solvers_only
+    ]
+    if sum(only) > 1:
         parser.error(
-            "--sim-only, --service-only, and --fleet-only are mutually "
-            "exclusive"
+            "--sim-only, --service-only, --fleet-only, and --solvers-only "
+            "are mutually exclusive"
         )
     failures = check(
         Path(args.results),
@@ -322,9 +402,11 @@ def main(argv: list[str] | None = None) -> int:
         min_event_rate=args.min_event_rate,
         min_submissions_per_s=args.min_submissions_per_s,
         min_fleet_speedup=args.min_fleet_speedup,
+        min_solver_speedup=args.min_solver_speedup,
         sim_only=args.sim_only,
         service_only=args.service_only,
         fleet_only=args.fleet_only,
+        solvers_only=args.solvers_only,
     )
     for message in failures:
         print(f"FAIL: {message}", file=sys.stderr)
@@ -347,6 +429,17 @@ def main(argv: list[str] | None = None) -> int:
                 f"({entry['n_nodes']:g} nodes, "
                 f"{entry['completed']:g}/{entry['n_jobs']:g} jobs executed, "
                 f"{entry['fleet_violations']:g} violations)"
+            )
+        elif args.solvers_only:
+            entry = benchmarks[SOLVERS_ENTRY]
+            print(
+                f"ok: population solvers {entry['speedup']:.2f}x >= "
+                f"{args.min_solver_speedup:g}x over the per-schedule "
+                f"tensor baseline (scores "
+                f"{entry['baseline_score']:.4f} -> "
+                f"{entry['vectorized_score']:.4f}, "
+                f"baseline {entry['baseline_s']:.3f}s, "
+                f"vectorized {entry['vectorized_s']:.3f}s)"
             )
         elif args.service_only:
             entry = benchmarks[SERVICE_ENTRY]
